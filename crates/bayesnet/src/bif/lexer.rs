@@ -1,0 +1,249 @@
+//! Tokenizer for the BIF format.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds. BIF state names may be numeric or contain punctuation-ish
+/// characters (`<5`, `0-10`), so everything that is not a delimiter is a
+/// single `Word`; the parser decides when a word must parse as a number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare or quoted word (identifier, state name, or number).
+    Word(String),
+    /// One of `{ } ( ) [ ] ; , |`.
+    Punct(char),
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Word(w) => write!(f, "{w}"),
+            TokenKind::Punct(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Lexer failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LexError {
+    /// A `/* ... */` comment was never closed.
+    UnterminatedComment {
+        /// Line the comment started on.
+        line: usize,
+    },
+    /// A quoted string was never closed.
+    UnterminatedString {
+        /// Line the string started on.
+        line: usize,
+    },
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnterminatedComment { line } => {
+                write!(f, "unterminated block comment starting on line {line}")
+            }
+            LexError::UnterminatedString { line } => {
+                write!(f, "unterminated quoted string starting on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCT: &[char] = &['{', '}', '(', ')', '[', ']', ';', ',', '|'];
+
+/// Tokenizes BIF text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        if c == '\n' {
+            line += 1;
+            chars.next();
+        } else if c.is_whitespace() {
+            chars.next();
+        } else if c == '/' {
+            chars.next();
+            match chars.peek() {
+                Some('/') => {
+                    // Line comment.
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    let start = line;
+                    let mut closed = false;
+                    let mut prev = ' ';
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                        }
+                        if prev == '*' && c == '/' {
+                            closed = true;
+                            break;
+                        }
+                        prev = c;
+                    }
+                    if !closed {
+                        return Err(LexError::UnterminatedComment { line: start });
+                    }
+                }
+                _ => {
+                    // A lone '/' inside a bare word (rare but legal in state
+                    // names); treat as word start.
+                    let word = read_bare_word(&mut chars, Some('/'));
+                    tokens.push(Token {
+                        kind: TokenKind::Word(word),
+                        line,
+                    });
+                }
+            }
+        } else if PUNCT.contains(&c) {
+            chars.next();
+            tokens.push(Token {
+                kind: TokenKind::Punct(c),
+                line,
+            });
+        } else if c == '"' {
+            chars.next();
+            let start = line;
+            let mut word = String::new();
+            let mut closed = false;
+            for c in chars.by_ref() {
+                if c == '"' {
+                    closed = true;
+                    break;
+                }
+                if c == '\n' {
+                    line += 1;
+                }
+                word.push(c);
+            }
+            if !closed {
+                return Err(LexError::UnterminatedString { line: start });
+            }
+            tokens.push(Token {
+                kind: TokenKind::Word(word),
+                line,
+            });
+        } else {
+            let word = read_bare_word(&mut chars, None);
+            tokens.push(Token {
+                kind: TokenKind::Word(word),
+                line,
+            });
+        }
+    }
+    Ok(tokens)
+}
+
+fn read_bare_word(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    prefix: Option<char>,
+) -> String {
+    let mut word = String::new();
+    if let Some(p) = prefix {
+        word.push(p);
+    }
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() || PUNCT.contains(&c) || c == '"' {
+            break;
+        }
+        word.push(c);
+        chars.next();
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(input: &str) -> Vec<String> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            words("network asia { }"),
+            vec!["network", "asia", "{", "}"]
+        );
+    }
+
+    #[test]
+    fn numbers_and_punctuation() {
+        assert_eq!(
+            words("table 0.5, 0.5;"),
+            vec!["table", "0.5", ",", "0.5", ";"]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            words("a // comment\nb /* multi\nline */ c"),
+            vec!["a", "b", "c"]
+        );
+    }
+
+    #[test]
+    fn quoted_words_preserve_spaces() {
+        assert_eq!(words("\"hello world\" x"), vec!["hello world", "x"]);
+    }
+
+    #[test]
+    fn weird_state_names_lex_as_words() {
+        assert_eq!(words("<5 0-10 x_y.z"), vec!["<5", "0-10", "x_y.z"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = tokenize("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert_eq!(
+            tokenize("x /* never closed").unwrap_err(),
+            LexError::UnterminatedComment { line: 1 }
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert_eq!(
+            tokenize("\"open").unwrap_err(),
+            LexError::UnterminatedString { line: 1 }
+        );
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(tokenize("").unwrap().is_empty());
+        assert!(tokenize("   \n\t ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! BIF serialization.
+
+use std::fmt::Write as _;
+
+use crate::network::BayesianNetwork;
+use crate::variable::VarId;
+
+/// True if `word` can be written bare (no quotes) in BIF output.
+fn is_bare(word: &str) -> bool {
+    !word.is_empty()
+        && !word.contains(|c: char| {
+            c.is_whitespace() || ['{', '}', '(', ')', '[', ']', ';', ',', '|', '"'].contains(&c)
+        })
+}
+
+fn quoted(word: &str) -> String {
+    if is_bare(word) {
+        word.to_string()
+    } else {
+        format!("\"{word}\"")
+    }
+}
+
+/// Formats a probability losslessly: Rust's `Display` for `f64` emits the
+/// shortest decimal string that round-trips to the same bits.
+fn fmt_prob(p: f64) -> String {
+    format!("{p}")
+}
+
+/// Serializes a network to BIF text (see the module docs for the dialect).
+pub fn to_bif_string(net: &BayesianNetwork) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "network {} {{", quoted(net.name()));
+    let _ = writeln!(out, "}}");
+
+    for v in 0..net.num_vars() {
+        let var = net.var(VarId::from_index(v));
+        let _ = writeln!(out, "variable {} {{", quoted(var.name()));
+        let states: Vec<String> = var.states().iter().map(|s| quoted(s)).collect();
+        let _ = writeln!(
+            out,
+            "  type discrete [ {} ] {{ {} }};",
+            var.cardinality(),
+            states.join(", ")
+        );
+        let _ = writeln!(out, "}}");
+    }
+
+    for v in 0..net.num_vars() {
+        let id = VarId::from_index(v);
+        let cpt = net.cpt(id);
+        let child = net.var(id);
+        if cpt.parents().is_empty() {
+            let _ = writeln!(out, "probability ( {} ) {{", quoted(child.name()));
+            let row: Vec<String> = cpt.row(0).iter().map(|&p| fmt_prob(p)).collect();
+            let _ = writeln!(out, "  table {};", row.join(", "));
+            let _ = writeln!(out, "}}");
+            continue;
+        }
+        let parent_names: Vec<String> = cpt
+            .parents()
+            .iter()
+            .map(|p| quoted(net.var(*p).name()))
+            .collect();
+        let _ = writeln!(
+            out,
+            "probability ( {} | {} ) {{",
+            quoted(child.name()),
+            parent_names.join(", ")
+        );
+        let cards = cpt.parent_cardinalities();
+        let mut config = vec![0usize; cards.len()];
+        for row in 0..cpt.num_rows() {
+            let labels: Vec<String> = config
+                .iter()
+                .zip(cpt.parents())
+                .map(|(&s, p)| quoted(net.var(*p).state_name(s)))
+                .collect();
+            let values: Vec<String> = cpt.row(row).iter().map(|&p| fmt_prob(p)).collect();
+            let _ = writeln!(out, "  ({}) {};", labels.join(", "), values.join(", "));
+            // Mixed-radix increment, last parent fastest (matches
+            // `Cpt::row_index`).
+            for i in (0..config.len()).rev() {
+                config[i] += 1;
+                if config[i] < cards[i] {
+                    break;
+                }
+                config[i] = 0;
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn fmt_prob_is_lossless_and_compact() {
+        assert_eq!(fmt_prob(0.5), "0.5");
+        assert_eq!(fmt_prob(0.0), "0");
+        assert_eq!(fmt_prob(1.0), "1");
+        let odd = 1.0 / 3.0;
+        let text = fmt_prob(odd);
+        assert_eq!(text.parse::<f64>().unwrap(), odd);
+    }
+
+    #[test]
+    fn quoting_rules() {
+        assert_eq!(quoted("plain_name"), "plain_name");
+        assert_eq!(quoted("has space"), "\"has space\"");
+        assert_eq!(quoted("a,b"), "\"a,b\"");
+    }
+
+    #[test]
+    fn output_contains_expected_blocks() {
+        let text = to_bif_string(&datasets::sprinkler());
+        assert!(text.contains("network sprinkler {"));
+        assert!(text.contains("variable Cloudy {"));
+        assert!(text.contains("probability ( WetGrass | Sprinkler, Rain ) {"));
+        assert!(text.contains("type discrete [ 2 ] { true, false };"));
+    }
+
+    #[test]
+    fn root_nodes_use_table_form() {
+        let text = to_bif_string(&datasets::cancer());
+        assert!(text.contains("probability ( Pollution ) {\n  table 0.9, 0.1;"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Conditional probability tables.
+
+use crate::variable::VarId;
+
+/// The CPT `P(child | parents)` of one network variable.
+///
+/// ## Layout
+///
+/// `values` is row-major over parent configurations with the **first parent
+/// slowest** and the **child state fastest**:
+///
+/// ```text
+/// index = parent_config_index * child_cardinality + child_state
+/// parent_config_index = ((p0 * card(p1) + p1) * card(p2) + p2) ...
+/// ```
+///
+/// Each contiguous block of `child_cardinality` values is one conditional
+/// distribution ("row") and must sum to 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cpt {
+    child: VarId,
+    parents: Vec<VarId>,
+    child_card: usize,
+    parent_cards: Vec<usize>,
+    values: Vec<f64>,
+}
+
+/// Tolerance for row normalization checks. BIF files round probabilities
+/// to a few decimals, so this is deliberately loose.
+pub const ROW_SUM_TOLERANCE: f64 = 1e-6;
+
+/// Errors detected when constructing or validating a CPT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CptError {
+    /// `values.len()` does not equal `child_card * prod(parent_cards)`.
+    WrongLength { expected: usize, got: usize },
+    /// A row does not sum to 1 (within [`ROW_SUM_TOLERANCE`]).
+    RowNotNormalized { row: usize, sum: f64 },
+    /// A probability is negative or non-finite.
+    InvalidProbability { index: usize, value: f64 },
+    /// The same variable appears twice among child+parents.
+    DuplicateVariable { var: VarId },
+}
+
+impl std::fmt::Display for CptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CptError::WrongLength { expected, got } => {
+                write!(f, "CPT has {got} values, expected {expected}")
+            }
+            CptError::RowNotNormalized { row, sum } => {
+                write!(f, "CPT row {row} sums to {sum}, expected 1")
+            }
+            CptError::InvalidProbability { index, value } => {
+                write!(f, "CPT value {value} at index {index} is not a probability")
+            }
+            CptError::DuplicateVariable { var } => {
+                write!(f, "variable {var} appears twice in the CPT scope")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CptError {}
+
+impl Cpt {
+    /// Builds and validates a CPT. `parent_cards[i]` is the cardinality of
+    /// `parents[i]`; see the type docs for the `values` layout.
+    pub fn new(
+        child: VarId,
+        parents: Vec<VarId>,
+        child_card: usize,
+        parent_cards: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, CptError> {
+        assert_eq!(
+            parents.len(),
+            parent_cards.len(),
+            "one cardinality per parent"
+        );
+        let mut scope: Vec<VarId> = parents.iter().copied().chain([child]).collect();
+        scope.sort_unstable();
+        if let Some(w) = scope.windows(2).find(|w| w[0] == w[1]) {
+            return Err(CptError::DuplicateVariable { var: w[0] });
+        }
+        let expected = child_card * parent_cards.iter().product::<usize>();
+        if values.len() != expected {
+            return Err(CptError::WrongLength {
+                expected,
+                got: values.len(),
+            });
+        }
+        let cpt = Cpt {
+            child,
+            parents,
+            child_card,
+            parent_cards,
+            values,
+        };
+        cpt.validate()?;
+        Ok(cpt)
+    }
+
+    /// Re-checks the numeric invariants (all probabilities valid, rows
+    /// normalized).
+    pub fn validate(&self) -> Result<(), CptError> {
+        for (i, &v) in self.values.iter().enumerate() {
+            if !v.is_finite() || !(0.0..=1.0 + ROW_SUM_TOLERANCE).contains(&v) {
+                return Err(CptError::InvalidProbability { index: i, value: v });
+            }
+        }
+        for row in 0..self.num_rows() {
+            let sum: f64 = self.row(row).iter().sum();
+            if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+                return Err(CptError::RowNotNormalized { row, sum });
+            }
+        }
+        Ok(())
+    }
+
+    /// The child variable.
+    pub fn child(&self) -> VarId {
+        self.child
+    }
+
+    /// Parent variables in layout order.
+    pub fn parents(&self) -> &[VarId] {
+        &self.parents
+    }
+
+    /// Cardinality of the child.
+    pub fn child_cardinality(&self) -> usize {
+        self.child_card
+    }
+
+    /// Cardinalities of the parents, in layout order.
+    pub fn parent_cardinalities(&self) -> &[usize] {
+        &self.parent_cards
+    }
+
+    /// Number of parent configurations (rows).
+    pub fn num_rows(&self) -> usize {
+        self.parent_cards.iter().product()
+    }
+
+    /// Total number of stored probabilities.
+    pub fn num_parameters(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Flat values slice (layout documented on the type).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The conditional distribution over the child for parent configuration
+    /// `row` (mixed-radix index, first parent slowest).
+    pub fn row(&self, row: usize) -> &[f64] {
+        let start = row * self.child_card;
+        &self.values[start..start + self.child_card]
+    }
+
+    /// Mixed-radix row index for explicit parent states (`parent_states[i]`
+    /// is the state of `parents[i]`).
+    pub fn row_index(&self, parent_states: &[usize]) -> usize {
+        debug_assert_eq!(parent_states.len(), self.parents.len());
+        let mut idx = 0;
+        for (s, card) in parent_states.iter().zip(&self.parent_cards) {
+            debug_assert!(s < card);
+            idx = idx * card + s;
+        }
+        idx
+    }
+
+    /// `P(child = child_state | parents = parent_states)`.
+    pub fn probability(&self, child_state: usize, parent_states: &[usize]) -> f64 {
+        self.values[self.row_index(parent_states) * self.child_card + child_state]
+    }
+
+    /// Scope of this CPT (`parents ∪ {child}`), sorted by id — the domain
+    /// its potential table will live on.
+    pub fn scope_sorted(&self) -> Vec<VarId> {
+        let mut scope: Vec<VarId> = self.parents.iter().copied().chain([self.child]).collect();
+        scope.sort_unstable();
+        scope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rain_given_cloudy() -> Cpt {
+        // P(Rain | Cloudy): cloudy -> 0.8/0.2, clear -> 0.2/0.8.
+        Cpt::new(
+            VarId(1),
+            vec![VarId(0)],
+            2,
+            vec![2],
+            vec![0.8, 0.2, 0.2, 0.8],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_states() {
+        let cpt = rain_given_cloudy();
+        assert_eq!(cpt.probability(0, &[0]), 0.8);
+        assert_eq!(cpt.probability(1, &[0]), 0.2);
+        assert_eq!(cpt.probability(0, &[1]), 0.2);
+        assert_eq!(cpt.num_rows(), 2);
+        assert_eq!(cpt.num_parameters(), 4);
+    }
+
+    #[test]
+    fn two_parent_row_indexing_is_first_parent_slowest() {
+        // child card 2, parents (A card 2, B card 3)
+        let mut values = Vec::new();
+        for a in 0..2 {
+            for b in 0..3 {
+                let p = 0.1 + 0.1 * (a * 3 + b) as f64;
+                values.extend([p, 1.0 - p]);
+            }
+        }
+        let cpt = Cpt::new(VarId(2), vec![VarId(0), VarId(1)], 2, vec![2, 3], values).unwrap();
+        assert_eq!(cpt.row_index(&[0, 0]), 0);
+        assert_eq!(cpt.row_index(&[0, 2]), 2);
+        assert_eq!(cpt.row_index(&[1, 0]), 3);
+        assert!((cpt.probability(0, &[1, 2]) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let err = Cpt::new(VarId(0), vec![], 2, vec![], vec![1.0]).unwrap_err();
+        assert_eq!(err, CptError::WrongLength { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn unnormalized_row_rejected() {
+        let err = Cpt::new(VarId(0), vec![], 2, vec![], vec![0.5, 0.4]).unwrap_err();
+        assert!(matches!(err, CptError::RowNotNormalized { row: 0, .. }));
+    }
+
+    #[test]
+    fn negative_probability_rejected() {
+        let err = Cpt::new(VarId(0), vec![], 2, vec![], vec![1.5, -0.5]).unwrap_err();
+        assert!(matches!(err, CptError::InvalidProbability { index: 0, .. }));
+    }
+
+    #[test]
+    fn duplicate_scope_variable_rejected() {
+        let err = Cpt::new(VarId(0), vec![VarId(0)], 2, vec![2], vec![0.5; 4]).unwrap_err();
+        assert_eq!(err, CptError::DuplicateVariable { var: VarId(0) });
+    }
+
+    #[test]
+    fn scope_is_sorted() {
+        let cpt = Cpt::new(
+            VarId(1),
+            vec![VarId(4), VarId(0)],
+            2,
+            vec![2, 2],
+            vec![0.5; 8],
+        )
+        .unwrap();
+        assert_eq!(cpt.scope_sorted(), vec![VarId(0), VarId(1), VarId(4)]);
+    }
+
+    #[test]
+    fn deterministic_rows_are_valid() {
+        let cpt = Cpt::new(VarId(0), vec![], 3, vec![], vec![0.0, 1.0, 0.0]).unwrap();
+        assert_eq!(cpt.row(0), &[0.0, 1.0, 0.0]);
+    }
+}

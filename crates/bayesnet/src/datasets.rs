@@ -1,0 +1,207 @@
+//! Classic textbook networks with their published parameters.
+//!
+//! These are the ground-truth fixtures of the test suite: their exact
+//! posteriors are known from the literature, so every inference engine can
+//! be checked against published numbers rather than against our own code.
+
+use crate::network::{BayesianNetwork, NetworkBuilder};
+
+/// The Sprinkler network (Russell & Norvig): Cloudy → {Sprinkler, Rain} →
+/// WetGrass. All variables binary with state 0 = `true`.
+pub fn sprinkler() -> BayesianNetwork {
+    let mut b = NetworkBuilder::new().named("sprinkler");
+    let cloudy = b.add_var("Cloudy", &["true", "false"]);
+    let sprinkler = b.add_var("Sprinkler", &["true", "false"]);
+    let rain = b.add_var("Rain", &["true", "false"]);
+    let wet = b.add_var("WetGrass", &["true", "false"]);
+    b.set_cpt(cloudy, vec![], vec![0.5, 0.5]).unwrap();
+    b.set_cpt(sprinkler, vec![cloudy], vec![0.1, 0.9, 0.5, 0.5])
+        .unwrap();
+    b.set_cpt(rain, vec![cloudy], vec![0.8, 0.2, 0.2, 0.8])
+        .unwrap();
+    // P(Wet | Sprinkler, Rain): rows (S,R) = (t,t),(t,f),(f,t),(f,f).
+    b.set_cpt(
+        wet,
+        vec![sprinkler, rain],
+        vec![0.99, 0.01, 0.90, 0.10, 0.90, 0.10, 0.00, 1.00],
+    )
+    .unwrap();
+    b.build().expect("sprinkler network is valid")
+}
+
+/// The Asia ("chest clinic") network of Lauritzen & Spiegelhalter (1988).
+///
+/// Eight binary variables (state 0 = `yes`): VisitAsia, Tuberculosis,
+/// Smoker, LungCancer, Bronchitis, TbOrCa (deterministic OR), XRay,
+/// Dyspnea. Known prior marginals (to 6 decimals): P(tub=yes) = 0.0104,
+/// P(either=yes) = 0.064828, P(xray=yes) = 0.110290, P(dysp=yes) =
+/// 0.435971 — asserted by the integration tests.
+pub fn asia() -> BayesianNetwork {
+    let mut b = NetworkBuilder::new().named("asia");
+    let asia = b.add_var("VisitAsia", &["yes", "no"]);
+    let tub = b.add_var("Tuberculosis", &["yes", "no"]);
+    let smoke = b.add_var("Smoker", &["yes", "no"]);
+    let lung = b.add_var("LungCancer", &["yes", "no"]);
+    let bronc = b.add_var("Bronchitis", &["yes", "no"]);
+    let either = b.add_var("TbOrCa", &["yes", "no"]);
+    let xray = b.add_var("XRay", &["yes", "no"]);
+    let dysp = b.add_var("Dyspnea", &["yes", "no"]);
+
+    b.set_cpt(asia, vec![], vec![0.01, 0.99]).unwrap();
+    b.set_cpt(tub, vec![asia], vec![0.05, 0.95, 0.01, 0.99])
+        .unwrap();
+    b.set_cpt(smoke, vec![], vec![0.5, 0.5]).unwrap();
+    b.set_cpt(lung, vec![smoke], vec![0.1, 0.9, 0.01, 0.99])
+        .unwrap();
+    b.set_cpt(bronc, vec![smoke], vec![0.6, 0.4, 0.3, 0.7])
+        .unwrap();
+    // Deterministic OR: rows (tub, lung) = (y,y),(y,n),(n,y),(n,n).
+    b.set_cpt(
+        either,
+        vec![tub, lung],
+        vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0],
+    )
+    .unwrap();
+    b.set_cpt(xray, vec![either], vec![0.98, 0.02, 0.05, 0.95])
+        .unwrap();
+    // Rows (either, bronc) = (y,y),(y,n),(n,y),(n,n).
+    b.set_cpt(
+        dysp,
+        vec![either, bronc],
+        vec![0.9, 0.1, 0.7, 0.3, 0.8, 0.2, 0.1, 0.9],
+    )
+    .unwrap();
+    b.build().expect("asia network is valid")
+}
+
+/// The Cancer network (Korb & Nicholson): Pollution and Smoker cause
+/// Cancer; Cancer causes XRay and Dyspnoea.
+pub fn cancer() -> BayesianNetwork {
+    let mut b = NetworkBuilder::new().named("cancer");
+    let poll = b.add_var("Pollution", &["low", "high"]);
+    let smoker = b.add_var("Smoker", &["true", "false"]);
+    let cancer = b.add_var("Cancer", &["true", "false"]);
+    let xray = b.add_var("XRay", &["positive", "negative"]);
+    let dysp = b.add_var("Dyspnoea", &["true", "false"]);
+
+    b.set_cpt(poll, vec![], vec![0.9, 0.1]).unwrap();
+    b.set_cpt(smoker, vec![], vec![0.3, 0.7]).unwrap();
+    // Rows (poll, smoker) = (low,t),(low,f),(high,t),(high,f).
+    b.set_cpt(
+        cancer,
+        vec![poll, smoker],
+        vec![0.03, 0.97, 0.001, 0.999, 0.05, 0.95, 0.02, 0.98],
+    )
+    .unwrap();
+    b.set_cpt(xray, vec![cancer], vec![0.9, 0.1, 0.2, 0.8])
+        .unwrap();
+    b.set_cpt(dysp, vec![cancer], vec![0.65, 0.35, 0.3, 0.7])
+        .unwrap();
+    b.build().expect("cancer network is valid")
+}
+
+/// The Student network (Koller & Friedman, Figure 3.4): Difficulty and
+/// Intelligence → Grade (3 states) → Letter, Intelligence → SAT.
+pub fn student() -> BayesianNetwork {
+    let mut b = NetworkBuilder::new().named("student");
+    let diff = b.add_var("Difficulty", &["d0", "d1"]);
+    let intel = b.add_var("Intelligence", &["i0", "i1"]);
+    let grade = b.add_var("Grade", &["g1", "g2", "g3"]);
+    let sat = b.add_var("SAT", &["s0", "s1"]);
+    let letter = b.add_var("Letter", &["l0", "l1"]);
+
+    b.set_cpt(diff, vec![], vec![0.6, 0.4]).unwrap();
+    b.set_cpt(intel, vec![], vec![0.7, 0.3]).unwrap();
+    // Rows (intel, diff) = (i0,d0),(i0,d1),(i1,d0),(i1,d1).
+    b.set_cpt(
+        grade,
+        vec![intel, diff],
+        vec![
+            0.3, 0.4, 0.3, //
+            0.05, 0.25, 0.7, //
+            0.9, 0.08, 0.02, //
+            0.5, 0.3, 0.2,
+        ],
+    )
+    .unwrap();
+    b.set_cpt(sat, vec![intel], vec![0.95, 0.05, 0.2, 0.8])
+        .unwrap();
+    b.set_cpt(
+        letter,
+        vec![grade],
+        vec![0.1, 0.9, 0.4, 0.6, 0.99, 0.01],
+    )
+    .unwrap();
+    b.build().expect("student network is valid")
+}
+
+/// All built-in datasets by name, for harness/CLI lookups.
+pub fn by_name(name: &str) -> Option<BayesianNetwork> {
+    match name {
+        "sprinkler" => Some(sprinkler()),
+        "asia" => Some(asia()),
+        "cancer" => Some(cancer()),
+        "student" => Some(student()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_build_and_validate() {
+        for name in ["sprinkler", "asia", "cancer", "student"] {
+            let net = by_name(name).unwrap();
+            assert_eq!(net.name(), name);
+            for cpt in net.cpts() {
+                cpt.validate().unwrap();
+            }
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn asia_structure_matches_the_paper_figure() {
+        let net = asia();
+        assert_eq!(net.num_vars(), 8);
+        assert_eq!(net.num_edges(), 8);
+        let either = net.var_id("TbOrCa").unwrap();
+        let parents: Vec<String> = net
+            .parents(either)
+            .map(|p| net.var(p).name().to_string())
+            .collect();
+        assert_eq!(parents, vec!["Tuberculosis", "LungCancer"]);
+    }
+
+    #[test]
+    fn sprinkler_cpt_lookup() {
+        let net = sprinkler();
+        let wet = net.var_id("WetGrass").unwrap();
+        // P(wet=true | sprinkler=false, rain=true) = 0.9
+        assert!((net.cpt(wet).probability(0, &[1, 0]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn student_grade_has_three_states() {
+        let net = student();
+        let grade = net.var_id("Grade").unwrap();
+        assert_eq!(net.cardinality(grade), 3);
+        assert_eq!(net.cpt(grade).num_rows(), 4);
+    }
+
+    #[test]
+    fn asia_independencies_hold_structurally() {
+        let net = asia();
+        let d = net.dag();
+        let asia_v = net.var_id("VisitAsia").unwrap().0;
+        let smoke = net.var_id("Smoker").unwrap().0;
+        let dysp = net.var_id("Dyspnea").unwrap().0;
+        // Smoking and visiting Asia are marginally independent...
+        assert!(d.d_separated(asia_v, smoke, &[]));
+        // ...but both influence dyspnea.
+        assert!(!d.d_separated(asia_v, dysp, &[]));
+        assert!(!d.d_separated(smoke, dysp, &[]));
+    }
+}

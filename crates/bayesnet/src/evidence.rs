@@ -1,0 +1,186 @@
+//! Evidence: observed variable/state pairs entered into an inference query.
+
+use crate::network::BayesianNetwork;
+use crate::variable::VarId;
+
+/// A sparse set of observations `variable = state`, kept sorted by
+/// variable id for deterministic iteration and O(log n) lookup.
+///
+/// The paper's workload observes a random 20% of variables per test case;
+/// [`crate::sampler::generate_cases`] produces `Evidence` values with
+/// exactly that shape.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Evidence {
+    entries: Vec<(VarId, usize)>,
+}
+
+/// Errors from validating evidence against a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvidenceError {
+    /// The variable id does not exist in the network.
+    UnknownVariable(VarId),
+    /// The state index is out of range for the variable.
+    StateOutOfRange {
+        /// Offending variable.
+        var: VarId,
+        /// Observed state index.
+        state: usize,
+        /// The variable's cardinality.
+        cardinality: usize,
+    },
+}
+
+impl std::fmt::Display for EvidenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvidenceError::UnknownVariable(v) => write!(f, "evidence on unknown variable {v}"),
+            EvidenceError::StateOutOfRange {
+                var,
+                state,
+                cardinality,
+            } => write!(
+                f,
+                "evidence state {state} out of range for {var} (cardinality {cardinality})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvidenceError {}
+
+impl Evidence {
+    /// No observations.
+    pub fn empty() -> Self {
+        Evidence::default()
+    }
+
+    /// Builds evidence from `(variable, state)` pairs; later entries for
+    /// the same variable overwrite earlier ones.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (VarId, usize)>) -> Self {
+        let mut ev = Evidence::default();
+        for (var, state) in pairs {
+            ev.set(var, state);
+        }
+        ev
+    }
+
+    /// Observes `var = state`, replacing any previous observation of `var`.
+    pub fn set(&mut self, var: VarId, state: usize) {
+        match self.entries.binary_search_by_key(&var, |e| e.0) {
+            Ok(pos) => self.entries[pos].1 = state,
+            Err(pos) => self.entries.insert(pos, (var, state)),
+        }
+    }
+
+    /// Removes the observation of `var`, if present.
+    pub fn clear(&mut self, var: VarId) {
+        if let Ok(pos) = self.entries.binary_search_by_key(&var, |e| e.0) {
+            self.entries.remove(pos);
+        }
+    }
+
+    /// The observed state of `var`, if observed.
+    pub fn get(&self, var: VarId) -> Option<usize> {
+        self.entries
+            .binary_search_by_key(&var, |e| e.0)
+            .ok()
+            .map(|pos| self.entries[pos].1)
+    }
+
+    /// Whether `var` is observed.
+    pub fn contains(&self, var: VarId) -> bool {
+        self.get(var).is_some()
+    }
+
+    /// Number of observed variables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is observed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates observations in ascending variable-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, usize)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Checks every observation against the network's variables.
+    pub fn validate(&self, net: &BayesianNetwork) -> Result<(), EvidenceError> {
+        for (var, state) in self.iter() {
+            if var.index() >= net.num_vars() {
+                return Err(EvidenceError::UnknownVariable(var));
+            }
+            let card = net.cardinality(var);
+            if state >= card {
+                return Err(EvidenceError::StateOutOfRange {
+                    var,
+                    state,
+                    cardinality: card,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(VarId, usize)> for Evidence {
+    fn from_iter<T: IntoIterator<Item = (VarId, usize)>>(iter: T) -> Self {
+        Evidence::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+
+    #[test]
+    fn set_get_overwrite_clear() {
+        let mut ev = Evidence::empty();
+        assert!(ev.is_empty());
+        ev.set(VarId(3), 1);
+        ev.set(VarId(1), 0);
+        ev.set(VarId(3), 2); // overwrite
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev.get(VarId(3)), Some(2));
+        assert_eq!(ev.get(VarId(1)), Some(0));
+        assert_eq!(ev.get(VarId(2)), None);
+        ev.clear(VarId(1));
+        assert!(!ev.contains(VarId(1)));
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_id() {
+        let ev = Evidence::from_pairs([(VarId(5), 1), (VarId(2), 0), (VarId(9), 3)]);
+        let ids: Vec<u32> = ev.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn validation_against_network() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_var("A", &["x", "y", "z"]);
+        b.set_cpt(a, vec![], vec![0.2, 0.3, 0.5]).unwrap();
+        let net = b.build().unwrap();
+
+        assert!(Evidence::from_pairs([(a, 2)]).validate(&net).is_ok());
+        assert_eq!(
+            Evidence::from_pairs([(a, 3)]).validate(&net).unwrap_err(),
+            EvidenceError::StateOutOfRange {
+                var: a,
+                state: 3,
+                cardinality: 3
+            }
+        );
+        assert_eq!(
+            Evidence::from_pairs([(VarId(4), 0)])
+                .validate(&net)
+                .unwrap_err(),
+            EvidenceError::UnknownVariable(VarId(4))
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Forward sampling and benchmark test-case generation.
+//!
+//! The paper's workload: "randomly generated 2,000 test cases from each
+//! network, each with 20% of the observed variables". A test case is a
+//! forward sample of the joint distribution with a random subset of
+//! variables revealed as evidence — exactly what [`generate_cases`]
+//! produces (seeded, so every engine sees identical cases).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::evidence::Evidence;
+use crate::network::BayesianNetwork;
+use crate::variable::VarId;
+
+/// One benchmark query: the evidence to enter, plus the full ground-truth
+/// assignment it was sampled from (useful for debugging and for tests).
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// Observed variables (a fraction of all variables).
+    pub evidence: Evidence,
+    /// The complete sampled assignment, indexed by variable id.
+    pub full_assignment: Vec<usize>,
+}
+
+/// Draws one state from a discrete distribution `weights` (assumed to sum
+/// to ~1; the last state absorbs rounding).
+fn sample_state(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let mut target = rng.gen::<f64>();
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Samples one full assignment by ancestral (topological-order) sampling.
+pub fn forward_sample(net: &BayesianNetwork, rng: &mut StdRng) -> Vec<usize> {
+    let mut assignment = vec![usize::MAX; net.num_vars()];
+    for &v in net.topological_order() {
+        let id = VarId(v);
+        let cpt = net.cpt(id);
+        let parent_states: Vec<usize> = cpt
+            .parents()
+            .iter()
+            .map(|p| {
+                debug_assert_ne!(assignment[p.index()], usize::MAX, "parents sampled first");
+                assignment[p.index()]
+            })
+            .collect();
+        let row = cpt.row(cpt.row_index(&parent_states));
+        assignment[id.index()] = sample_state(rng, row);
+    }
+    assignment
+}
+
+/// Generates `n_cases` test cases, each observing `ceil(observed_fraction
+/// * num_vars)` distinct uniformly-chosen variables of a forward sample.
+///
+/// `observed_fraction` is clamped to `[0, 1]`. Evidence produced this way
+/// always has positive probability (it came from a sample of the joint),
+/// so `P(e) > 0` holds for every case — matching the paper's setup.
+pub fn generate_cases(
+    net: &BayesianNetwork,
+    n_cases: usize,
+    observed_fraction: f64,
+    seed: u64,
+) -> Vec<TestCase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = net.num_vars();
+    let frac = observed_fraction.clamp(0.0, 1.0);
+    let n_observed = ((n as f64 * frac).ceil() as usize).min(n);
+    (0..n_cases)
+        .map(|_| {
+            let full = forward_sample(net, &mut rng);
+            // Partial Fisher-Yates: choose n_observed distinct variables.
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in 0..n_observed {
+                let j = rng.gen_range(i..n);
+                order.swap(i, j);
+            }
+            let evidence = Evidence::from_pairs(
+                order[..n_observed]
+                    .iter()
+                    .map(|&v| (VarId::from_index(v), full[v])),
+            );
+            TestCase {
+                evidence,
+                full_assignment: full,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn forward_sample_respects_cardinalities() {
+        let net = datasets::asia();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let sample = forward_sample(&net, &mut rng);
+            assert_eq!(sample.len(), net.num_vars());
+            for (i, &s) in sample.iter().enumerate() {
+                assert!(s < net.cardinality(VarId::from_index(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_or_node_is_respected() {
+        // In Asia, TbOrCa is a deterministic OR of Tuberculosis/LungCancer,
+        // so every sample must satisfy it.
+        let net = datasets::asia();
+        let tub = net.var_id("Tuberculosis").unwrap().index();
+        let lung = net.var_id("LungCancer").unwrap().index();
+        let either = net.var_id("TbOrCa").unwrap().index();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = forward_sample(&net, &mut rng);
+            let expect = if s[tub] == 0 || s[lung] == 0 { 0 } else { 1 };
+            assert_eq!(s[either], expect);
+        }
+    }
+
+    #[test]
+    fn generate_cases_observes_requested_fraction() {
+        let net = datasets::asia(); // 8 vars -> 20% observes ceil(1.6) = 2
+        let cases = generate_cases(&net, 10, 0.2, 3);
+        assert_eq!(cases.len(), 10);
+        for case in &cases {
+            assert_eq!(case.evidence.len(), 2);
+            case.evidence.validate(&net).unwrap();
+            // Evidence must agree with the underlying full assignment.
+            for (var, state) in case.evidence.iter() {
+                assert_eq!(case.full_assignment[var.index()], state);
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_seed_deterministic() {
+        let net = datasets::student();
+        let a = generate_cases(&net, 5, 0.4, 99);
+        let b = generate_cases(&net, 5, 0.4, 99);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.evidence, y.evidence);
+            assert_eq!(x.full_assignment, y.full_assignment);
+        }
+        let c = generate_cases(&net, 5, 0.4, 100);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.evidence != y.evidence),
+            "different seed should change cases"
+        );
+    }
+
+    #[test]
+    fn fraction_edge_cases() {
+        let net = datasets::sprinkler();
+        let none = generate_cases(&net, 3, 0.0, 1);
+        assert!(none.iter().all(|c| c.evidence.is_empty()));
+        let all = generate_cases(&net, 3, 1.0, 1);
+        assert!(all.iter().all(|c| c.evidence.len() == net.num_vars()));
+        let clamped = generate_cases(&net, 3, 7.5, 1);
+        assert!(clamped.iter().all(|c| c.evidence.len() == net.num_vars()));
+    }
+
+    #[test]
+    fn sample_state_handles_rounding_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Weights that sum slightly below 1 must still return a valid state.
+        for _ in 0..100 {
+            let s = sample_state(&mut rng, &[0.3, 0.3, 0.3999999]);
+            assert!(s < 3);
+        }
+    }
+
+    #[test]
+    fn marginal_frequencies_roughly_match_priors() {
+        // Loose statistical check: Smoker=yes in Asia has prior 0.5.
+        let net = datasets::asia();
+        let smoke = net.var_id("Smoker").unwrap().index();
+        let mut rng = StdRng::seed_from_u64(7);
+        let hits = (0..2000)
+            .filter(|_| forward_sample(&net, &mut rng)[smoke] == 0)
+            .count();
+        let freq = hits as f64 / 2000.0;
+        assert!((freq - 0.5).abs() < 0.05, "freq {freq}");
+    }
+}

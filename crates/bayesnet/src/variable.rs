@@ -1,0 +1,132 @@
+//! Random variables: identifiers, names, and discrete state spaces.
+
+use std::fmt;
+
+/// Identifier of a variable inside one [`crate::BayesianNetwork`].
+///
+/// Ids are dense (`0..num_vars`) so downstream crates can use them as
+/// array indices; `u32` keeps id-heavy structures (domains, separators,
+/// cliques) compact, per the type-size guidance in the performance guide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        VarId(u32::try_from(index).expect("more than u32::MAX variables"))
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// A named discrete random variable with at least one state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variable {
+    name: String,
+    states: Vec<String>,
+}
+
+impl Variable {
+    /// Creates a variable; panics if `states` is empty (a variable must
+    /// have a non-empty state space).
+    pub fn new(name: impl Into<String>, states: Vec<String>) -> Self {
+        assert!(!states.is_empty(), "variable must have at least one state");
+        Variable {
+            name: name.into(),
+            states,
+        }
+    }
+
+    /// Convenience constructor with auto-named states `s0..s{k-1}`.
+    pub fn with_cardinality(name: impl Into<String>, cardinality: usize) -> Self {
+        assert!(cardinality >= 1, "cardinality must be at least 1");
+        Variable {
+            name: name.into(),
+            states: (0..cardinality).map(|i| format!("s{i}")).collect(),
+        }
+    }
+
+    /// Convenience binary variable with states `true`/`false` (state 0 is
+    /// `true`, matching the convention of the classic textbook networks).
+    pub fn binary(name: impl Into<String>) -> Self {
+        Variable::new(name, vec!["true".to_string(), "false".to_string()])
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of states.
+    pub fn cardinality(&self) -> usize {
+        self.states.len()
+    }
+
+    /// State names, in index order.
+    pub fn states(&self) -> &[String] {
+        &self.states
+    }
+
+    /// Name of state `index`; panics if out of range.
+    pub fn state_name(&self, index: usize) -> &str {
+        &self.states[index]
+    }
+
+    /// Index of the state named `name`, if any.
+    pub fn state_index(&self, name: &str) -> Option<usize> {
+        self.states.iter().position(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_id_roundtrips_through_index() {
+        let id = VarId::from_index(42);
+        assert_eq!(id, VarId(42));
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "X42");
+    }
+
+    #[test]
+    fn variable_exposes_states() {
+        let v = Variable::new("Rain", vec!["yes".into(), "no".into()]);
+        assert_eq!(v.name(), "Rain");
+        assert_eq!(v.cardinality(), 2);
+        assert_eq!(v.state_name(1), "no");
+        assert_eq!(v.state_index("yes"), Some(0));
+        assert_eq!(v.state_index("maybe"), None);
+    }
+
+    #[test]
+    fn with_cardinality_autonames_states() {
+        let v = Variable::with_cardinality("G", 3);
+        assert_eq!(v.states(), &["s0", "s1", "s2"]);
+    }
+
+    #[test]
+    fn binary_orders_true_first() {
+        let v = Variable::binary("B");
+        assert_eq!(v.state_index("true"), Some(0));
+        assert_eq!(v.state_index("false"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn empty_state_space_rejected() {
+        let _ = Variable::new("bad", vec![]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Ablation of the paper's flattening: the hybrid engine (flattened
+//! per-layer tasks; 2 regions/layer) against the two unflattened
+//! decompositions it replaces — coarse-only (`Direct`) and fine-only
+//! (`Primitive`, 3 regions/message) — on the Pigs analogue, whose many
+//! mid-sized cliques are the structure flattening helps most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_bench::measure::prepare;
+use fastbn_bench::workloads::workload_by_name;
+use fastbn_inference::{build_engine, EngineKind};
+use std::time::Duration;
+
+fn ablation_flatten(c: &mut Criterion) {
+    let w = workload_by_name("pigs").expect("pigs workload");
+    let net = w.build();
+    let prepared = prepare(&net);
+    let cases = w.cases(&net, 4);
+    let threads = fastbn_parallel::available_threads();
+    let mut group = c.benchmark_group("ablation_flatten/pigs");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for (label, kind) in [
+        ("flattened-hybrid", EngineKind::Hybrid),
+        ("inter-only", EngineKind::Direct),
+        ("intra-only", EngineKind::Primitive),
+    ] {
+        let mut engine = build_engine(kind, prepared.clone(), threads);
+        let mut next = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let post = engine.query(&cases[next % cases.len()]).unwrap();
+                next += 1;
+                post.prob_evidence
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_flatten);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation of the paper's root-selection strategy: Fast-BNI-par on the
+//! Munin2 analogue with the tree rooted at the center (paper), at the
+//! first clique (naive), and at a diameter endpoint (worst case). Center
+//! rooting halves the layer count and thus the number of parallel-region
+//! invocations per pass.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_bench::workloads::workload_by_name;
+use fastbn_inference::{HybridJt, InferenceEngine, Prepared};
+use fastbn_jtree::{EliminationHeuristic, JtreeOptions, RootStrategy};
+
+fn ablation_root(c: &mut Criterion) {
+    let w = workload_by_name("munin2").expect("munin2 workload");
+    let net = w.build();
+    let threads = fastbn_parallel::available_threads();
+    let mut group = c.benchmark_group("ablation_root/munin2");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for (label, strategy) in [
+        ("center", RootStrategy::Center),
+        ("first", RootStrategy::First),
+        ("worst", RootStrategy::Worst),
+    ] {
+        let prepared = Arc::new(Prepared::new(
+            &net,
+            &JtreeOptions {
+                heuristic: EliminationHeuristic::MinFill,
+                root: strategy,
+            },
+        ));
+        let layers = prepared.built.schedule.num_layers();
+        let cases = w.cases(&net, 4);
+        let mut engine = HybridJt::new(prepared, threads);
+        let mut next = 0usize;
+        group.bench_function(BenchmarkId::new("hybrid", format!("{label}-{layers}layers")), |b| {
+            b.iter(|| {
+                let post = engine.query(&cases[next % cases.len()]).unwrap();
+                next += 1;
+                post.prob_evidence
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_root);
+criterion_main!(benches);

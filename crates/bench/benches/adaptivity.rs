@@ -1,0 +1,42 @@
+//! Structure-adaptivity bench (the paper's in-text claim): inter-clique
+//! parallelism is weak on trees with few (large) cliques, intra-clique
+//! parallelism is weak on trees with many small cliques, and the hybrid
+//! engine adapts to both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_bayesnet::sampler::generate_cases;
+use fastbn_bench::measure::prepare;
+use fastbn_bench::workloads::adaptivity_workloads;
+use fastbn_inference::{build_engine, EngineKind};
+use std::time::Duration;
+
+fn adaptivity(c: &mut Criterion) {
+    let threads = fastbn_parallel::available_threads();
+    let mut group = c.benchmark_group("adaptivity");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for (name, net) in adaptivity_workloads() {
+        let prepared = prepare(&net);
+        let cases: Vec<_> = generate_cases(&net, 4, 0.2, 99)
+            .into_iter()
+            .map(|c| c.evidence)
+            .collect();
+        for kind in EngineKind::parallel() {
+            let mut engine = build_engine(kind, prepared.clone(), threads);
+            let mut next = 0usize;
+            group.bench_function(BenchmarkId::new(kind.name(), name), |b| {
+                b.iter(|| {
+                    let post = engine.query(&cases[next % cases.len()]).unwrap();
+                    next += 1;
+                    post.prob_evidence
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adaptivity);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Junction-tree construction cost: moralization + triangulation + MST +
+//! rooting + layering for every benchmark network, and the three
+//! elimination heuristics head-to-head on one network. Construction is
+//! query-independent (paid once), but its output quality drives every
+//! propagation — this bench pairs with the `structure` binary's quality
+//! stats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_bench::workloads::all_workloads;
+use fastbn_jtree::{build_junction_tree, EliminationHeuristic, JtreeOptions, RootStrategy};
+use std::time::Duration;
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for w in all_workloads() {
+        let net = w.build();
+        group.bench_function(BenchmarkId::new("min-fill", w.name), |b| {
+            b.iter(|| build_junction_tree(&net, &JtreeOptions::default()).tree.num_cliques())
+        });
+    }
+    // Heuristic comparison on one mid-sized network.
+    let net = all_workloads()
+        .into_iter()
+        .find(|w| w.name == "pathfinder")
+        .unwrap()
+        .build();
+    for (label, heuristic) in [
+        ("min-fill", EliminationHeuristic::MinFill),
+        ("min-degree", EliminationHeuristic::MinDegree),
+        ("min-weight", EliminationHeuristic::MinWeight),
+    ] {
+        group.bench_function(BenchmarkId::new("heuristics/pathfinder", label), |b| {
+            b.iter(|| {
+                build_junction_tree(
+                    &net,
+                    &JtreeOptions {
+                        heuristic,
+                        root: RootStrategy::Center,
+                    },
+                )
+                .tree
+                .num_cliques()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Parallelization-overhead bench (the paper's in-text small-network
+//! observation): on small BNs like Hailfinder, parallel-region overhead
+//! is a large fraction of the short execution time, so parallel engines
+//! gain little (or lose) versus their own t = 1 runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_bench::measure::prepare;
+use fastbn_bench::workloads::workload_by_name;
+use fastbn_inference::{build_engine, EngineKind};
+use std::time::Duration;
+
+fn overhead(c: &mut Criterion) {
+    let threads = fastbn_parallel::available_threads();
+    let mut group = c.benchmark_group("overhead/hailfinder");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let w = workload_by_name("hailfinder").expect("hailfinder workload");
+    let net = w.build();
+    let prepared = prepare(&net);
+    let cases = w.cases(&net, 8);
+    // Sequential reference point.
+    {
+        let mut engine = build_engine(EngineKind::Seq, prepared.clone(), 1);
+        let mut next = 0usize;
+        group.bench_function(BenchmarkId::new("Fast-BNI-seq", "t1"), |b| {
+            b.iter(|| {
+                let post = engine.query(&cases[next % cases.len()]).unwrap();
+                next += 1;
+                post.prob_evidence
+            })
+        });
+    }
+    for kind in EngineKind::parallel() {
+        for t in [1usize, threads] {
+            let mut engine = build_engine(kind, prepared.clone(), t);
+            let mut next = 0usize;
+            group.bench_function(BenchmarkId::new(kind.name(), format!("t{t}")), |b| {
+                b.iter(|| {
+                    let post = engine.query(&cases[next % cases.len()]).unwrap();
+                    next += 1;
+                    post.prob_evidence
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, overhead);
+criterion_main!(benches);

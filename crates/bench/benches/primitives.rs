@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the paper's three dominant potential-table
+//! operations — marginalization, extension, reduction — sequential vs
+//! parallel, across table sizes (the intra-clique §2 claim that these ops
+//! dominate and scale with table size).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_bayesnet::VarId;
+use fastbn_parallel::{Schedule, ThreadPool};
+use fastbn_potential::{ops, ops_par, Domain, PotentialTable};
+
+/// A domain of `k` ternary variables (size 3^k).
+fn ternary_domain(k: usize) -> Arc<Domain> {
+    Arc::new(Domain::new(
+        (0..k as u32).map(|v| (VarId(v), 3)).collect(),
+    ))
+}
+
+fn primitives(c: &mut Criterion) {
+    let pool = ThreadPool::new(fastbn_parallel::available_threads());
+    let sched = Schedule::Static;
+    let mut group = c.benchmark_group("primitives");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for k in [8usize, 10, 12] {
+        let sup = ternary_domain(k);
+        let sub = Arc::new(Domain::new(
+            (0..k as u32 / 2).map(|v| (VarId(v), 3)).collect(),
+        ));
+        let src = PotentialTable::from_values(
+            sup.clone(),
+            (0..sup.size()).map(|i| 1.0 + (i % 7) as f64).collect(),
+        );
+        let msg = PotentialTable::from_values(
+            sub.clone(),
+            (0..sub.size()).map(|i| 0.5 + (i % 3) as f64).collect(),
+        );
+        let label = format!("3^{k}");
+
+        let mut out = PotentialTable::zeros(sub.clone());
+        group.bench_function(BenchmarkId::new("marginalize/seq", &label), |b| {
+            b.iter(|| ops::marginalize_into(&src, &mut out))
+        });
+        group.bench_function(BenchmarkId::new("marginalize/par", &label), |b| {
+            b.iter(|| ops_par::marginalize_into_par(&pool, sched, &src, &mut out))
+        });
+
+        let mut clique = src.clone();
+        group.bench_function(BenchmarkId::new("extend/seq", &label), |b| {
+            b.iter(|| ops::extend_multiply(&mut clique, &msg))
+        });
+        group.bench_function(BenchmarkId::new("extend/par", &label), |b| {
+            b.iter(|| ops_par::extend_multiply_par(&pool, sched, &mut clique, &msg))
+        });
+
+        let mut red = src.clone();
+        group.bench_function(BenchmarkId::new("reduce/seq", &label), |b| {
+            b.iter(|| ops::reduce_evidence(&mut red, VarId(k as u32 / 2), 1))
+        });
+        group.bench_function(BenchmarkId::new("reduce/par", &label), |b| {
+            b.iter(|| {
+                ops_par::reduce_evidence_par(&pool, sched, &mut red, VarId(k as u32 / 2), 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, primitives);
+criterion_main!(benches);

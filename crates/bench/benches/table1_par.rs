@@ -1,0 +1,37 @@
+//! Table 1, parallel half: Direct / Primitive / Element vs Fast-BNI-par
+//! on the six network analogues at the container's core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_bench::measure::prepare;
+use fastbn_bench::workloads::all_workloads;
+use fastbn_inference::{build_engine, EngineKind};
+use std::time::Duration;
+
+fn table1_par(c: &mut Criterion) {
+    let threads = fastbn_parallel::available_threads();
+    let mut group = c.benchmark_group("table1_par");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for w in all_workloads() {
+        let net = w.build();
+        let prepared = prepare(&net);
+        let cases = w.cases(&net, 4);
+        for kind in EngineKind::parallel() {
+            let mut engine = build_engine(kind, prepared.clone(), threads);
+            let mut next = 0usize;
+            group.bench_function(BenchmarkId::new(kind.name(), w.name), |b| {
+                b.iter(|| {
+                    let post = engine.query(&cases[next % cases.len()]).unwrap();
+                    next += 1;
+                    post.prob_evidence
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_par);
+criterion_main!(benches);

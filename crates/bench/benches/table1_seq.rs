@@ -1,0 +1,37 @@
+//! Table 1, sequential half: UnBBayes-analogue (`Reference`) vs
+//! Fast-BNI-seq on the six network analogues. One iteration = one full
+//! inference query (reset + evidence + propagation + all marginals).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_bench::measure::prepare;
+use fastbn_bench::workloads::all_workloads;
+use fastbn_inference::{build_engine, EngineKind};
+use std::time::Duration;
+
+fn table1_seq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_seq");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for w in all_workloads() {
+        let net = w.build();
+        let prepared = prepare(&net);
+        let cases = w.cases(&net, 4);
+        for kind in [EngineKind::Reference, EngineKind::Seq] {
+            let mut engine = build_engine(kind, prepared.clone(), 1);
+            let mut next = 0usize;
+            group.bench_function(BenchmarkId::new(kind.name(), w.name), |b| {
+                b.iter(|| {
+                    let post = engine.query(&cases[next % cases.len()]).unwrap();
+                    next += 1;
+                    post.prob_evidence
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_seq);
+criterion_main!(benches);

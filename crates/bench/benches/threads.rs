@@ -1,0 +1,40 @@
+//! Thread-scaling bench (the paper's in-text t = 1..32 sweep): every
+//! parallel engine on the Pigs analogue across thread counts, including
+//! oversubscription (the paper's t = 32 exceeded nothing on 52 cores, but
+//! on this container anything above the core count oversubscribes — the
+//! relative shape per engine is what matters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_bench::measure::prepare;
+use fastbn_bench::workloads::workload_by_name;
+use fastbn_inference::{build_engine, EngineKind};
+use std::time::Duration;
+
+fn threads(c: &mut Criterion) {
+    let w = workload_by_name("pigs").expect("pigs workload");
+    let net = w.build();
+    let prepared = prepare(&net);
+    let cases = w.cases(&net, 4);
+    let mut group = c.benchmark_group("threads/pigs");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for kind in EngineKind::parallel() {
+        for t in [1usize, 2, 4, 8] {
+            let mut engine = build_engine(kind, prepared.clone(), t);
+            let mut next = 0usize;
+            group.bench_function(BenchmarkId::new(kind.name(), format!("t{t}")), |b| {
+                b.iter(|| {
+                    let post = engine.query(&cases[next % cases.len()]).unwrap();
+                    next += 1;
+                    post.prob_evidence
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, threads);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Regenerates **Table 1** of the paper: sequential (UnBBayes-analogue vs
+//! Fast-BNI-seq) and parallel (Direct / Primitive / Element vs
+//! Fast-BNI-par) execution-time comparison on the six network analogues,
+//! with the paper's published speedups printed alongside the measured
+//! ones.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p fastbn-bench --release --bin table1 -- \
+//!     [--cases N] [--threads 1,2,4] [--networks hailfinder,pigs,...]
+//! ```
+//! Defaults: 20 cases (the paper uses 2,000 — scale up with `--cases`),
+//! thread sweep {1, 2, 4}, all six networks.
+
+use fastbn_bench::measure::{best_over_threads, prepare, run_cases};
+use fastbn_bench::workloads::all_workloads;
+use fastbn_inference::EngineKind;
+
+struct Args {
+    cases: usize,
+    threads: Vec<usize>,
+    networks: Option<Vec<String>>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cases: 20,
+        threads: vec![1, 2, 4],
+        networks: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--cases" => {
+                args.cases = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cases N");
+            }
+            "--threads" => {
+                let list = it.next().expect("--threads 1,2,4");
+                args.threads = list
+                    .split(',')
+                    .map(|t| t.parse().expect("thread count"))
+                    .collect();
+            }
+            "--networks" => {
+                let list = it.next().expect("--networks a,b");
+                args.networks = Some(list.split(',').map(str::to_string).collect());
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Table 1 reproduction: {} cases/network, 20% evidence, threads {:?}",
+        args.cases, args.threads
+    );
+    println!("(paper speedups in parentheses; absolute seconds are not comparable — see EXPERIMENTS.md)\n");
+    println!(
+        "{:<12} | {:>9} {:>9} {:>16} | {:>9} {:>9} {:>9} {:>9} {:>14} {:>14} {:>14}",
+        "BN",
+        "Ref(s)",
+        "Seq(s)",
+        "SeqSpdup",
+        "Dir(s)",
+        "Prim(s)",
+        "Elem(s)",
+        "Par(s)",
+        "vs Dir",
+        "vs Prim",
+        "vs Elem"
+    );
+
+    for w in all_workloads() {
+        if let Some(filter) = &args.networks {
+            if !filter.iter().any(|n| n == w.name) {
+                continue;
+            }
+        }
+        let net = w.build();
+        let prepared = prepare(&net);
+        let cases = w.cases(&net, args.cases);
+
+        let reference = run_cases(EngineKind::Reference, prepared.clone(), 1, &cases);
+        let seq = run_cases(EngineKind::Seq, prepared.clone(), 1, &cases);
+        let direct =
+            best_over_threads(EngineKind::Direct, prepared.clone(), &args.threads, &cases);
+        let primitive = best_over_threads(
+            EngineKind::Primitive,
+            prepared.clone(),
+            &args.threads,
+            &cases,
+        );
+        let element =
+            best_over_threads(EngineKind::Element, prepared.clone(), &args.threads, &cases);
+        let hybrid =
+            best_over_threads(EngineKind::Hybrid, prepared.clone(), &args.threads, &cases);
+
+        let secs = |t: &fastbn_bench::EngineTiming| t.total.as_secs_f64();
+        let ratio = |a: f64, b: f64| if b > 0.0 { a / b } else { f64::NAN };
+        println!(
+            "{:<12} | {:>9.3} {:>9.3} {:>7.1}x ({:>4.1}x) | {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.1}x ({:>4.1}x) {:>6.1}x ({:>4.1}x) {:>6.1}x ({:>4.1}x)",
+            w.name,
+            secs(&reference),
+            secs(&seq),
+            ratio(secs(&reference), secs(&seq)),
+            w.paper.seq_speedup,
+            secs(&direct),
+            secs(&primitive),
+            secs(&element),
+            secs(&hybrid),
+            ratio(secs(&direct), secs(&hybrid)),
+            w.paper.dir_speedup,
+            ratio(secs(&primitive), secs(&hybrid)),
+            w.paper.prim_speedup,
+            ratio(secs(&element), secs(&hybrid)),
+            w.paper.elem_speedup,
+        );
+    }
+}

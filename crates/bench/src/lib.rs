@@ -1,0 +1,16 @@
+//! # fastbn-bench
+//!
+//! Workload definitions and measurement helpers reproducing the Fast-BNI
+//! (PPoPP'23) evaluation. The paper's six bnlearn networks are replaced by
+//! seeded analogues with matching node counts, arc counts and arity
+//! distributions (DESIGN.md §1); the paper's published Table-1 numbers are
+//! carried alongside each workload so harness output can print
+//! paper-vs-measured side by side.
+
+pub mod measure;
+pub mod workloads;
+
+pub use measure::{best_over_threads, prepare, run_cases, EngineTiming};
+pub use workloads::{
+    adaptivity_workloads, all_workloads, workload_by_name, PaperRow, Workload,
+};

@@ -1,0 +1,230 @@
+//! `DirectJt` — coarse-grained inter-clique parallelism only (the Kozlov &
+//! Singh '94 analogue).
+//!
+//! Within each BFS layer, messages are independent *except* that several
+//! children may update the same parent during collect; messages are
+//! therefore grouped by receiving parent and the groups run in parallel,
+//! each group processing its children sequentially in child-id order (the
+//! same order the sequential engine uses, keeping results bit-identical).
+//!
+//! Every table operation inside a message is sequential — that is this
+//! engine's defining limitation: one huge clique in a layer stalls the
+//! whole team (the load imbalance the paper attributes to this family).
+
+use std::sync::Arc;
+
+use fastbn_bayesnet::Evidence;
+use fastbn_parallel::{Schedule, ThreadPool};
+
+use crate::engines::{InferenceEngine, SharedTables};
+use crate::error::InferenceError;
+use crate::posterior::Posteriors;
+use crate::prepared::Prepared;
+use crate::state::{message_seq, MessageParts, WorkState};
+
+/// One parallel work item: all same-layer messages into one receiver.
+#[derive(Debug, Clone)]
+struct ReceiverGroup {
+    receiver: usize,
+    /// Message ids, ascending (determinism).
+    msgs: Vec<usize>,
+}
+
+/// Coarse-grained (inter-clique only) parallel engine.
+pub struct DirectJt {
+    prepared: Arc<Prepared>,
+    state: WorkState,
+    pool: ThreadPool,
+    /// Per collect layer: receiver groups.
+    collect_groups: Vec<Vec<ReceiverGroup>>,
+    /// Per distribute layer: receiver groups (each holds one message,
+    /// since every child has a unique parent edge).
+    distribute_groups: Vec<Vec<ReceiverGroup>>,
+}
+
+/// Groups a layer's messages by the receiving clique.
+fn group_by_receiver(
+    messages: &[fastbn_jtree::Message],
+    layer: &[usize],
+    receiver_of: impl Fn(&fastbn_jtree::Message) -> usize,
+) -> Vec<ReceiverGroup> {
+    let mut groups: Vec<ReceiverGroup> = Vec::new();
+    for &id in layer {
+        let r = receiver_of(&messages[id]);
+        match groups.iter_mut().find(|g| g.receiver == r) {
+            Some(g) => g.msgs.push(id),
+            None => groups.push(ReceiverGroup {
+                receiver: r,
+                msgs: vec![id],
+            }),
+        }
+    }
+    for g in &mut groups {
+        g.msgs.sort_unstable();
+    }
+    groups
+}
+
+impl DirectJt {
+    /// Creates the engine with a private pool of `threads` workers.
+    pub fn new(prepared: Arc<Prepared>, threads: usize) -> Self {
+        let state = WorkState::new(&prepared);
+        let schedule = &prepared.built.schedule;
+        let collect_groups = schedule
+            .collect_layers
+            .iter()
+            .map(|layer| group_by_receiver(&schedule.messages, layer, |m| m.parent))
+            .collect();
+        let distribute_groups = schedule
+            .distribute_layers
+            .iter()
+            .map(|layer| group_by_receiver(&schedule.messages, layer, |m| m.child))
+            .collect();
+        DirectJt {
+            pool: ThreadPool::new(threads),
+            state,
+            prepared,
+            collect_groups,
+            distribute_groups,
+        }
+    }
+
+    /// Runs one layer: receiver groups in parallel, sequential ops inside.
+    fn run_layer(&mut self, groups: &[ReceiverGroup], collect: bool) {
+        let messages = &self.prepared.built.schedule.messages;
+        let cliques = SharedTables::new(&mut self.state.cliques);
+        let seps = SharedTables::new(&mut self.state.seps);
+        let fresh = SharedTables::new(&mut self.state.fresh);
+        let ratio = SharedTables::new(&mut self.state.ratio);
+        self.pool
+            .parallel_for(0..groups.len(), Schedule::Dynamic { grain: 1 }, |g| {
+                let group = &groups[g];
+                for &id in &group.msgs {
+                    let m = messages[id];
+                    let sender = if collect { m.child } else { m.parent };
+                    // SAFETY (layer schedule invariants):
+                    // * `group.receiver` is written by exactly this task —
+                    //   receivers are distinct across a layer's groups;
+                    // * `sender` cliques are only read this layer: in
+                    //   collect, a layer's senders are strictly deeper than
+                    //   its receivers; in distribute, strictly shallower —
+                    //   so no clique is both read and written concurrently;
+                    // * `m.sep` (and its scratch) belongs to exactly one
+                    //   message of the layer.
+                    unsafe {
+                        message_seq(MessageParts {
+                            sender: cliques.get(sender),
+                            receiver: cliques.get_mut(group.receiver),
+                            sep: seps.get_mut(m.sep),
+                            fresh: fresh.get_mut(m.sep),
+                            ratio: ratio.get_mut(m.sep),
+                        });
+                    }
+                }
+            });
+    }
+}
+
+impl InferenceEngine for DirectJt {
+    fn name(&self) -> &'static str {
+        "Direct"
+    }
+
+    fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    fn query(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
+        self.state.reset(&self.prepared);
+        self.state.absorb_evidence(&self.prepared, evidence);
+        let collect = std::mem::take(&mut self.collect_groups);
+        for groups in &collect {
+            self.run_layer(groups, true);
+        }
+        self.collect_groups = collect;
+        let distribute = std::mem::take(&mut self.distribute_groups);
+        for groups in &distribute {
+            self.run_layer(groups, false);
+        }
+        self.distribute_groups = distribute;
+        self.state.extract_posteriors(&self.prepared, evidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::seq::SeqJt;
+    use fastbn_bayesnet::{datasets, generators, sampler};
+    use fastbn_jtree::JtreeOptions;
+
+    #[test]
+    fn grouping_collects_common_parents() {
+        let net = datasets::asia();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let engine = DirectJt::new(Arc::new(prepared), 2);
+        for (layer_groups, layer) in engine
+            .collect_groups
+            .iter()
+            .zip(&engine.prepared.built.schedule.collect_layers)
+        {
+            let total: usize = layer_groups.iter().map(|g| g.msgs.len()).sum();
+            assert_eq!(total, layer.len(), "groups partition the layer");
+            let mut receivers: Vec<usize> =
+                layer_groups.iter().map(|g| g.receiver).collect();
+            receivers.sort_unstable();
+            receivers.dedup();
+            assert_eq!(receivers.len(), layer_groups.len(), "receivers unique");
+        }
+    }
+
+    #[test]
+    fn direct_matches_seq_bitwise_across_thread_counts() {
+        let net = datasets::asia();
+        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
+        let mut seq = SeqJt::new(prepared.clone());
+        let cases = sampler::generate_cases(&net, 20, 0.2, 5);
+        for threads in [1, 2, 4] {
+            let mut direct = DirectJt::new(prepared.clone(), threads);
+            for case in &cases {
+                let a = seq.query(&case.evidence).unwrap();
+                let b = direct.query(&case.evidence).unwrap();
+                assert_eq!(a.max_abs_diff(&b), 0.0, "t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_matches_seq_on_synthetic_network() {
+        let spec = generators::WindowedDagSpec {
+            nodes: 40,
+            target_arcs: 55,
+            max_parents: 3,
+            window: 6,
+            seed: 3,
+            ..generators::WindowedDagSpec::new("direct-test", 40)
+        };
+        let net = generators::windowed_dag(&spec);
+        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
+        let mut seq = SeqJt::new(prepared.clone());
+        let mut direct = DirectJt::new(prepared, 4);
+        for case in sampler::generate_cases(&net, 10, 0.2, 6) {
+            let a = seq.query(&case.evidence).unwrap();
+            let b = direct.query(&case.evidence).unwrap();
+            assert_eq!(a.max_abs_diff(&b), 0.0);
+        }
+    }
+
+    #[test]
+    fn impossible_evidence_propagates_error() {
+        let net = datasets::asia();
+        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
+        let mut direct = DirectJt::new(prepared, 2);
+        let tub = net.var_id("Tuberculosis").unwrap();
+        let either = net.var_id("TbOrCa").unwrap();
+        let err = direct
+            .query(&Evidence::from_pairs([(tub, 0), (either, 1)]))
+            .unwrap_err();
+        assert_eq!(err, InferenceError::ImpossibleEvidence);
+    }
+}

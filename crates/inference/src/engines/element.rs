@@ -1,0 +1,241 @@
+//! `ElementJt` — element-wise fine-grained parallelism (the Zheng '13 GPU
+//! analogue).
+//!
+//! Zheng's GPU junction tree precomputes index-mapping tables in device
+//! memory once per network, then launches one kernel per elementary table
+//! operation, each thread handling one element via the mapping tables.
+//! The CPU analogue (DESIGN.md §1):
+//!
+//! * all mapping arrays are **materialized up front** (engine
+//!   construction), one per separator and direction;
+//! * each table operation is one parallel region whose tasks read the
+//!   mapping arrays (indirect, memory-bound access — the GPU cost shape);
+//! * the dynamic schedule uses a deliberately small grain, mimicking
+//!   element-granularity task issue.
+//!
+//! Compared to `PrimitiveJt` this trades index arithmetic for memory
+//! traffic; both share the "one region per operation" overhead the hybrid
+//! engine eliminates.
+
+use std::sync::Arc;
+
+use fastbn_bayesnet::Evidence;
+use fastbn_parallel::{Schedule, ThreadPool};
+use fastbn_potential::{fiber_offsets, ops_par};
+
+use crate::engines::{two_mut, InferenceEngine};
+use crate::error::InferenceError;
+use crate::posterior::Posteriors;
+use crate::prepared::Prepared;
+use crate::state::WorkState;
+
+/// Element-level task issue for the query-time kernels: tiny claimable
+/// tasks, as in one-thread-per-element GPU kernels. The fine-grain claim
+/// traffic is this engine's defining overhead (the paper: "large
+/// parallelization overhead since the table operations are invoked
+/// frequently").
+const ELEMENT_GRAIN: usize = 2;
+
+/// The one-time construction phase (materializing mapping tables) is the
+/// GPU's "upload" step and is not part of query time; it uses a normal
+/// coarse schedule.
+const SETUP_GRAIN: usize = 4096;
+
+/// Per-separator mapping tables, both directions.
+struct SepMaps {
+    /// sep-entry → base index in the child clique.
+    bases_in_child: Vec<u32>,
+    /// sep-entry → base index in the parent clique.
+    bases_in_parent: Vec<u32>,
+    /// Source offsets completing a sep assignment in the child clique.
+    fibers_child: Vec<usize>,
+    /// Same for the parent clique.
+    fibers_parent: Vec<usize>,
+    /// child-clique-entry → sep entry (extension during distribute).
+    map_child: Vec<u32>,
+    /// parent-clique-entry → sep entry (extension during collect).
+    map_parent: Vec<u32>,
+}
+
+/// Element-wise (GPU-analogue) parallel engine.
+pub struct ElementJt {
+    prepared: Arc<Prepared>,
+    state: WorkState,
+    pool: ThreadPool,
+    sched: Schedule,
+    maps: Vec<SepMaps>,
+}
+
+impl ElementJt {
+    /// Creates the engine; materializes every mapping array in parallel
+    /// (the GPU "upload tables" phase).
+    pub fn new(prepared: Arc<Prepared>, threads: usize) -> Self {
+        let pool = ThreadPool::new(threads);
+        let sched = Schedule::Dynamic { grain: SETUP_GRAIN };
+        let mut maps = Vec::with_capacity(prepared.num_separators());
+        for (s, sep) in prepared.built.tree.separators.iter().enumerate() {
+            // Resolve parent/child orientation from the rooted tree: the
+            // deeper endpoint is the child.
+            let (child, parent) = if prepared.built.rooted.depth[sep.a]
+                > prepared.built.rooted.depth[sep.b]
+            {
+                (sep.a, sep.b)
+            } else {
+                (sep.b, sep.a)
+            };
+            let sep_dom = &prepared.sep_domains[s];
+            let child_dom = &prepared.clique_domains[child];
+            let parent_dom = &prepared.clique_domains[parent];
+            maps.push(SepMaps {
+                bases_in_child: ops_par::materialize_map_par(&pool, sched, sep_dom, child_dom),
+                bases_in_parent: ops_par::materialize_map_par(&pool, sched, sep_dom, parent_dom),
+                fibers_child: fiber_offsets(child_dom, sep_dom),
+                fibers_parent: fiber_offsets(parent_dom, sep_dom),
+                map_child: ops_par::materialize_map_par(&pool, sched, child_dom, sep_dom),
+                map_parent: ops_par::materialize_map_par(&pool, sched, parent_dom, sep_dom),
+            });
+        }
+        let state = WorkState::new(&prepared);
+        ElementJt {
+            state,
+            pool,
+            sched: Schedule::Dynamic {
+                grain: ELEMENT_GRAIN,
+            },
+            maps,
+            prepared,
+        }
+    }
+
+    /// One message as three mapped element-wise kernels.
+    fn message(&mut self, sender: usize, receiver: usize, sep: usize, collect: bool) {
+        let maps = &self.maps[sep];
+        let (bases, fibers, ext_map) = if collect {
+            (&maps.bases_in_child, &maps.fibers_child, &maps.map_parent)
+        } else {
+            (&maps.bases_in_parent, &maps.fibers_parent, &maps.map_child)
+        };
+        let (s, r) = two_mut(&mut self.state.cliques, sender, receiver);
+        ops_par::marginalize_mapped_par(
+            &self.pool,
+            self.sched,
+            s,
+            &mut self.state.fresh[sep],
+            bases,
+            fibers,
+        );
+        ops_par::divide_into_par(
+            &self.pool,
+            self.sched,
+            &self.state.fresh[sep],
+            &self.state.seps[sep],
+            &mut self.state.ratio[sep],
+        );
+        std::mem::swap(&mut self.state.seps[sep], &mut self.state.fresh[sep]);
+        ops_par::extend_multiply_mapped_par(
+            &self.pool,
+            self.sched,
+            r,
+            &self.state.ratio[sep],
+            ext_map,
+        );
+    }
+}
+
+impl InferenceEngine for ElementJt {
+    fn name(&self) -> &'static str {
+        "Element"
+    }
+
+    fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    fn query(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
+        self.state.reset(&self.prepared);
+        for (var, state) in evidence.iter() {
+            let home = self.prepared.home[var.index()];
+            let mut clique = std::mem::replace(
+                &mut self.state.cliques[home],
+                fastbn_potential::PotentialTable::zeros(
+                    self.prepared.clique_domains[home].clone(),
+                ),
+            );
+            ops_par::reduce_evidence_par(&self.pool, self.sched, &mut clique, var, state);
+            self.state.cliques[home] = clique;
+        }
+        let schedule = self.prepared.built.schedule.clone();
+        for layer in &schedule.collect_layers {
+            for &id in layer {
+                let m = schedule.messages[id];
+                self.message(m.child, m.parent, m.sep, true);
+            }
+        }
+        for layer in &schedule.distribute_layers {
+            for &id in layer {
+                let m = schedule.messages[id];
+                self.message(m.parent, m.child, m.sep, false);
+            }
+        }
+        self.state.extract_posteriors(&self.prepared, evidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::seq::SeqJt;
+    use fastbn_bayesnet::{datasets, generators, sampler};
+    use fastbn_jtree::JtreeOptions;
+
+    #[test]
+    fn element_matches_seq_bitwise() {
+        let net = datasets::asia();
+        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
+        let mut seq = SeqJt::new(prepared.clone());
+        let cases = sampler::generate_cases(&net, 15, 0.2, 13);
+        for threads in [1, 2, 4] {
+            let mut element = ElementJt::new(prepared.clone(), threads);
+            for case in &cases {
+                let a = seq.query(&case.evidence).unwrap();
+                let b = element.query(&case.evidence).unwrap();
+                assert_eq!(a.max_abs_diff(&b), 0.0, "t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn element_matches_seq_on_polytree() {
+        let net = generators::polytree(35, 3, 4);
+        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
+        let mut seq = SeqJt::new(prepared.clone());
+        let mut element = ElementJt::new(prepared, 2);
+        for case in sampler::generate_cases(&net, 8, 0.2, 5) {
+            let a = seq.query(&case.evidence).unwrap();
+            let b = element.query(&case.evidence).unwrap();
+            assert_eq!(a.max_abs_diff(&b), 0.0);
+        }
+    }
+
+    #[test]
+    fn mapping_tables_have_expected_shapes() {
+        let net = datasets::sprinkler();
+        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
+        let engine = ElementJt::new(prepared.clone(), 2);
+        assert_eq!(engine.maps.len(), prepared.num_separators());
+        for (s, maps) in engine.maps.iter().enumerate() {
+            let sep_size = prepared.sep_domains[s].size();
+            assert_eq!(maps.bases_in_child.len(), sep_size);
+            assert_eq!(maps.bases_in_parent.len(), sep_size);
+            // fibers × sep entries = clique entries.
+            assert_eq!(
+                maps.fibers_child.len() * sep_size,
+                maps.map_child.len()
+            );
+            assert_eq!(
+                maps.fibers_parent.len() * sep_size,
+                maps.map_parent.len()
+            );
+        }
+    }
+}

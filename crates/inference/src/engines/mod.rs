@@ -1,0 +1,192 @@
+//! The six inference engines and their common trait.
+
+pub mod direct;
+pub mod element;
+pub mod hybrid;
+pub mod primitive;
+pub mod reference;
+pub mod seq;
+
+use std::sync::Arc;
+
+use fastbn_bayesnet::Evidence;
+use fastbn_potential::PotentialTable;
+
+use crate::error::InferenceError;
+use crate::posterior::Posteriors;
+use crate::prepared::Prepared;
+
+/// A junction-tree inference engine: enter evidence, get every variable's
+/// posterior marginal.
+///
+/// Engines keep mutable per-query scratch internally (`&mut self`), reset
+/// it at the start of each query, and are cheap to call repeatedly — the
+/// paper's workload runs 2,000 queries per network on one engine instance.
+pub trait InferenceEngine {
+    /// Short display name (matches the paper's column headers).
+    fn name(&self) -> &'static str;
+
+    /// Worker count used by parallel regions (1 for sequential engines).
+    fn threads(&self) -> usize {
+        1
+    }
+
+    /// Runs one full query: reset, absorb evidence, collect, distribute,
+    /// extract posteriors.
+    fn query(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError>;
+}
+
+/// Engine selector for harnesses and examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// UnBBayes-substitute textbook baseline.
+    Reference,
+    /// Fast-BNI-seq.
+    Seq,
+    /// Kozlov & Singh-style coarse parallelism.
+    Direct,
+    /// Xia & Prasanna-style node-level primitives.
+    Primitive,
+    /// Zheng-style element-wise (GPU-analogue) parallelism.
+    Element,
+    /// Fast-BNI-par hybrid.
+    Hybrid,
+}
+
+impl EngineKind {
+    /// All engines, in the paper's Table 1 column order.
+    pub fn all() -> [EngineKind; 6] {
+        [
+            EngineKind::Reference,
+            EngineKind::Seq,
+            EngineKind::Direct,
+            EngineKind::Primitive,
+            EngineKind::Element,
+            EngineKind::Hybrid,
+        ]
+    }
+
+    /// The parallel engines compared in Table 1's right half.
+    pub fn parallel() -> [EngineKind; 4] {
+        [
+            EngineKind::Direct,
+            EngineKind::Primitive,
+            EngineKind::Element,
+            EngineKind::Hybrid,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Reference => "Reference",
+            EngineKind::Seq => "Fast-BNI-seq",
+            EngineKind::Direct => "Direct",
+            EngineKind::Primitive => "Primitive",
+            EngineKind::Element => "Element",
+            EngineKind::Hybrid => "Fast-BNI-par",
+        }
+    }
+}
+
+/// Builds an engine of the requested kind. `threads` is ignored by the
+/// sequential engines.
+pub fn build_engine(
+    kind: EngineKind,
+    prepared: Arc<Prepared>,
+    threads: usize,
+) -> Box<dyn InferenceEngine + Send> {
+    match kind {
+        EngineKind::Reference => Box::new(reference::ReferenceJt::new(prepared)),
+        EngineKind::Seq => Box::new(seq::SeqJt::new(prepared)),
+        EngineKind::Direct => Box::new(direct::DirectJt::new(prepared, threads)),
+        EngineKind::Primitive => Box::new(primitive::PrimitiveJt::new(prepared, threads)),
+        EngineKind::Element => Box::new(element::ElementJt::new(prepared, threads)),
+        EngineKind::Hybrid => Box::new(hybrid::HybridJt::new(prepared, threads)),
+    }
+}
+
+/// Two disjoint mutable borrows out of one slice (standard split trick);
+/// panics if `a == b`.
+pub(crate) fn two_mut<T>(slice: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b, "indices must differ");
+    if a < b {
+        let (lo, hi) = slice.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = slice.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+/// Lifetime-bound shared view of a table slice for the parallel engines.
+///
+/// The layer schedule guarantees that, within one parallel region, every
+/// table index is either written by exactly one task or only ever read
+/// (see the safety comments at each use site); this wrapper carries the
+/// pointers across the thread-pool boundary.
+pub(crate) struct SharedTables<'a> {
+    ptr: *mut PotentialTable,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [PotentialTable]>,
+}
+
+unsafe impl Send for SharedTables<'_> {}
+unsafe impl Sync for SharedTables<'_> {}
+
+impl<'a> SharedTables<'a> {
+    pub(crate) fn new(tables: &'a mut [PotentialTable]) -> Self {
+        SharedTables {
+            ptr: tables.as_mut_ptr(),
+            len: tables.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// # Safety
+    /// `i` must be in bounds, and no other thread may hold a mutable
+    /// reference to table `i` for the duration of this borrow.
+    #[inline]
+    pub(crate) unsafe fn get(&self, i: usize) -> &PotentialTable {
+        debug_assert!(i < self.len);
+        &*self.ptr.add(i)
+    }
+
+    /// # Safety
+    /// `i` must be in bounds, and no other thread may hold *any* reference
+    /// to table `i` for the duration of this borrow.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub(crate) unsafe fn get_mut(&self, i: usize) -> &mut PotentialTable {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_mut_returns_disjoint_references() {
+        let mut v = vec![1, 2, 3, 4];
+        let (a, b) = two_mut(&mut v, 3, 1);
+        *a += 10;
+        *b += 20;
+        assert_eq!(v, vec![1, 22, 3, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "indices must differ")]
+    fn two_mut_rejects_equal_indices() {
+        let mut v = vec![1, 2];
+        let _ = two_mut(&mut v, 1, 1);
+    }
+
+    #[test]
+    fn engine_kind_names_are_stable() {
+        assert_eq!(EngineKind::Hybrid.name(), "Fast-BNI-par");
+        assert_eq!(EngineKind::all().len(), 6);
+        assert_eq!(EngineKind::parallel().len(), 4);
+    }
+}

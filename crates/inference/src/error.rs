@@ -1,0 +1,32 @@
+//! Inference error type.
+
+use fastbn_bayesnet::evidence::EvidenceError;
+
+/// Why a query could not produce posteriors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferenceError {
+    /// The entered evidence has probability zero under the model, so
+    /// conditional posteriors are undefined.
+    ImpossibleEvidence,
+    /// The evidence refers to unknown variables or out-of-range states.
+    InvalidEvidence(EvidenceError),
+}
+
+impl std::fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferenceError::ImpossibleEvidence => {
+                write!(f, "evidence has probability zero under the model")
+            }
+            InferenceError::InvalidEvidence(e) => write!(f, "invalid evidence: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
+
+impl From<EvidenceError> for InferenceError {
+    fn from(e: EvidenceError) -> Self {
+        InferenceError::InvalidEvidence(e)
+    }
+}

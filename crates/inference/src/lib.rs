@@ -1,0 +1,56 @@
+//! # fastbn-inference
+//!
+//! The paper's contribution: exact Bayesian-network inference by junction
+//! tree with six interchangeable engines (DESIGN.md §2.5):
+//!
+//! | Engine | Paper analogue | Parallel structure |
+//! |---|---|---|
+//! | [`ReferenceJt`] | UnBBayes | sequential, textbook/object-heavy |
+//! | [`SeqJt`] | Fast-BNI-seq | sequential, odometer-fused ops |
+//! | [`DirectJt`] | Kozlov & Singh '94 | coarse: parallel messages per layer |
+//! | [`PrimitiveJt`] | Xia & Prasanna '07 | fine: one parallel region per table op |
+//! | [`ElementJt`] | Zheng '13 (GPU) | fine: mapped two-pass element-wise regions |
+//! | [`HybridJt`] | **Fast-BNI-par** | flattened per-layer regions (2 per layer) |
+//!
+//! All engines run Hugin-style two-phase propagation over the same
+//! [`Prepared`] structures and produce **bit-identical posteriors** for any
+//! thread count (asserted by the test suite). Correctness oracles —
+//! variable elimination and brute-force enumeration — live in [`oracle`].
+//!
+//! ```
+//! use fastbn_bayesnet::{datasets, Evidence};
+//! use fastbn_inference::{Prepared, SeqJt, InferenceEngine};
+//! use std::sync::Arc;
+//!
+//! let net = datasets::sprinkler();
+//! let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+//! let mut engine = SeqJt::new(prepared);
+//! let wet = net.var_id("WetGrass").unwrap();
+//! let post = engine.query(&Evidence::from_pairs([(wet, 0)])).unwrap();
+//! let rain = net.var_id("Rain").unwrap();
+//! // P(Rain | WetGrass = true) ≈ 0.708 (Russell & Norvig).
+//! assert!((post.marginal(rain)[0] - 0.7079).abs() < 1e-3);
+//! ```
+
+pub mod engines;
+pub mod error;
+pub mod mpe;
+pub mod oracle;
+pub mod posterior;
+pub mod prepared;
+pub mod state;
+pub mod validate;
+pub mod virtual_evidence;
+
+pub use engines::direct::DirectJt;
+pub use engines::element::ElementJt;
+pub use engines::hybrid::HybridJt;
+pub use engines::primitive::PrimitiveJt;
+pub use engines::reference::ReferenceJt;
+pub use engines::seq::SeqJt;
+pub use engines::{build_engine, EngineKind, InferenceEngine};
+pub use error::InferenceError;
+pub use mpe::{most_probable_explanation, MpeResult};
+pub use posterior::Posteriors;
+pub use prepared::Prepared;
+pub use virtual_evidence::VirtualEvidence;

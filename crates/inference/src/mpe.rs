@@ -1,0 +1,299 @@
+//! Most probable explanation (MPE) by max-product propagation — the
+//! classic junction-tree extension (Dawid 1992): replace summation with
+//! maximization in the collect pass, then back-track the arg-max
+//! assignment from the root outward.
+//!
+//! The paper evaluates posterior-marginal inference only; MPE is provided
+//! as the natural extension of the same machinery (identical tree,
+//! identical index mappings, max instead of sum).
+
+use fastbn_bayesnet::Evidence;
+use fastbn_potential::{ops, PotentialTable};
+
+use crate::engines::two_mut;
+use crate::error::InferenceError;
+use crate::prepared::Prepared;
+
+/// An MPE solution: the jointly most probable full assignment consistent
+/// with the evidence, and its joint probability `P(x*, e)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpeResult {
+    /// One state per variable (evidence variables keep their observed
+    /// state).
+    pub assignment: Vec<usize>,
+    /// Joint probability of the returned assignment.
+    pub probability: f64,
+}
+
+/// Computes the MPE for `evidence` on a prepared network.
+///
+/// Ties between equally probable assignments are broken deterministically
+/// (lowest flat index first), so repeated calls return the same solution.
+pub fn most_probable_explanation(
+    prepared: &Prepared,
+    evidence: &Evidence,
+) -> Result<MpeResult, InferenceError> {
+    // Working potentials: initial tables with evidence reduced in.
+    let mut cliques = prepared.initial_cliques.clone();
+    for (var, state) in evidence.iter() {
+        ops::reduce_evidence(&mut cliques[prepared.home[var.index()]], var, state);
+    }
+
+    // Max-collect: each separator carries the max-marginal of its child's
+    // subtree. Separators start at 1 and receive exactly one collect
+    // message, so the Hugin division degenerates to a plain multiply.
+    let schedule = &prepared.built.schedule;
+    for layer in &schedule.collect_layers {
+        for &id in layer {
+            let m = schedule.messages[id];
+            let (sender, receiver) = two_mut(&mut cliques, m.child, m.parent);
+            let mut message = PotentialTable::zeros(prepared.sep_domains[m.sep].clone());
+            ops::max_marginalize_into(sender, &mut message);
+            ops::extend_multiply(receiver, &message);
+        }
+    }
+
+    // Root(s): global maxima. Components are independent, so the MPE
+    // probability is the product of the per-root maxima.
+    let mut assignment = vec![usize::MAX; prepared.num_vars()];
+    let mut probability = 1.0f64;
+    for &root in &prepared.built.rooted.roots {
+        let (best_idx, best_val) = argmax(cliques[root].values());
+        if best_val <= 0.0 || !best_val.is_finite() {
+            return Err(InferenceError::ImpossibleEvidence);
+        }
+        probability *= best_val;
+        fix_from_index(&cliques[root], best_idx, &mut assignment);
+    }
+
+    // Back-track outward in BFS order: each clique extends the partial
+    // assignment by maximizing over its still-free variables, holding all
+    // previously fixed variables (its separator and beyond) constant.
+    for &c in &prepared.built.rooted.bfs_order {
+        if prepared.built.rooted.parent[c].is_none() {
+            continue; // roots handled above
+        }
+        extend_assignment(&cliques[c], &mut assignment);
+    }
+    debug_assert!(assignment.iter().all(|&s| s != usize::MAX));
+
+    // Evidence must be reproduced exactly (its alternatives were zeroed).
+    debug_assert!(evidence
+        .iter()
+        .all(|(var, state)| assignment[var.index()] == state));
+
+    Ok(MpeResult {
+        assignment,
+        probability,
+    })
+}
+
+/// Index and value of the maximum entry (first occurrence on ties).
+fn argmax(values: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, &v) in values.iter().enumerate() {
+        if v > best.1 {
+            best = (i, v);
+        }
+    }
+    best
+}
+
+/// Writes the clique states of flat index `idx` into `assignment`.
+fn fix_from_index(table: &PotentialTable, idx: usize, assignment: &mut [usize]) {
+    let domain = table.domain();
+    let mut states = vec![0usize; domain.num_vars()];
+    domain.decode(idx, &mut states);
+    for (pos, &v) in domain.vars().iter().enumerate() {
+        assignment[v.index()] = states[pos];
+    }
+}
+
+/// Maximizes `table` over its unassigned variables, with all assigned
+/// variables clamped; writes the winners into `assignment`.
+fn extend_assignment(table: &PotentialTable, assignment: &mut [usize]) {
+    let domain = table.domain();
+    let mut base = 0usize;
+    let mut free: Vec<usize> = Vec::new(); // positions within the domain
+    for (pos, &v) in domain.vars().iter().enumerate() {
+        match assignment[v.index()] {
+            usize::MAX => free.push(pos),
+            state => base += state * domain.strides()[pos],
+        }
+    }
+    if free.is_empty() {
+        return; // fully determined by ancestors
+    }
+    // Enumerate the free sub-lattice (mixed radix, last free var fastest).
+    let cards: Vec<usize> = free.iter().map(|&p| domain.cards()[p]).collect();
+    let strides: Vec<usize> = free.iter().map(|&p| domain.strides()[p]).collect();
+    let total: usize = cards.iter().product();
+    let mut digits = vec![0usize; free.len()];
+    let mut offset = 0usize;
+    let mut best = (vec![0usize; free.len()], f64::NEG_INFINITY);
+    for _ in 0..total {
+        let v = table.values()[base + offset];
+        if v > best.1 {
+            best = (digits.clone(), v);
+        }
+        // Increment.
+        let mut i = free.len();
+        loop {
+            if i == 0 {
+                break;
+            }
+            i -= 1;
+            digits[i] += 1;
+            offset += strides[i];
+            if digits[i] < cards[i] {
+                break;
+            }
+            offset -= strides[i] * cards[i];
+            digits[i] = 0;
+        }
+    }
+    for ((&pos, &state), _) in free.iter().zip(&best.0).zip(std::iter::repeat(())) {
+        assignment[domain.vars()[pos].index()] = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbn_bayesnet::{datasets, generators, sampler, BayesianNetwork, VarId};
+    use fastbn_jtree::JtreeOptions;
+
+    /// Brute-force MPE for cross-checking (joint ≤ ~2^20).
+    fn brute_mpe(net: &BayesianNetwork, evidence: &Evidence) -> (Vec<usize>, f64) {
+        let n = net.num_vars();
+        let cards = net.cardinalities();
+        let mut best = (vec![0usize; n], f64::NEG_INFINITY);
+        let mut assignment = vec![0usize; n];
+        loop {
+            if evidence
+                .iter()
+                .all(|(v, s)| assignment[v.index()] == s)
+            {
+                let p = joint_prob(net, &assignment);
+                if p > best.1 {
+                    best = (assignment.clone(), p);
+                }
+            }
+            let mut i = n;
+            loop {
+                if i == 0 {
+                    return best;
+                }
+                i -= 1;
+                assignment[i] += 1;
+                if assignment[i] < cards[i] {
+                    break;
+                }
+                assignment[i] = 0;
+            }
+        }
+    }
+
+    fn joint_prob(net: &BayesianNetwork, assignment: &[usize]) -> f64 {
+        (0..net.num_vars())
+            .map(|v| {
+                let cpt = net.cpt(VarId::from_index(v));
+                let parents: Vec<usize> = cpt
+                    .parents()
+                    .iter()
+                    .map(|p| assignment[p.index()])
+                    .collect();
+                cpt.probability(assignment[v], &parents)
+            })
+            .product()
+    }
+
+    fn check_against_brute(net: &BayesianNetwork, evidence: &Evidence) {
+        let prepared = Prepared::new(net, &JtreeOptions::default());
+        let mpe = most_probable_explanation(&prepared, evidence).unwrap();
+        let (_, brute_p) = brute_mpe(net, evidence);
+        // The returned assignment's probability must equal the true max
+        // (ties may differ in the assignment itself).
+        let own_p = joint_prob(net, &mpe.assignment);
+        assert!(
+            (own_p - brute_p).abs() <= 1e-12 * brute_p.max(1e-300),
+            "assignment prob {own_p} vs true max {brute_p}"
+        );
+        assert!(
+            (mpe.probability - brute_p).abs() <= 1e-9 * brute_p.max(1e-300),
+            "reported {} vs true {}",
+            mpe.probability,
+            brute_p
+        );
+        for (var, state) in evidence.iter() {
+            assert_eq!(mpe.assignment[var.index()], state);
+        }
+    }
+
+    #[test]
+    fn mpe_matches_brute_force_on_classic_networks() {
+        for name in ["sprinkler", "asia", "cancer", "student"] {
+            let net = datasets::by_name(name).unwrap();
+            check_against_brute(&net, &Evidence::empty());
+            let cases = sampler::generate_cases(&net, 4, 0.3, 31);
+            for case in cases {
+                check_against_brute(&net, &case.evidence);
+            }
+        }
+    }
+
+    #[test]
+    fn mpe_matches_brute_force_on_random_networks() {
+        for seed in 0..4 {
+            let spec = generators::WindowedDagSpec {
+                nodes: 12,
+                target_arcs: 16,
+                max_parents: 3,
+                window: 5,
+                seed,
+                ..generators::WindowedDagSpec::new("mpe-test", 12)
+            };
+            let net = generators::windowed_dag(&spec);
+            check_against_brute(&net, &Evidence::empty());
+            for case in sampler::generate_cases(&net, 3, 0.25, seed + 7) {
+                check_against_brute(&net, &case.evidence);
+            }
+        }
+    }
+
+    #[test]
+    fn mpe_with_impossible_evidence_errors() {
+        let net = datasets::asia();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let tub = net.var_id("Tuberculosis").unwrap();
+        let either = net.var_id("TbOrCa").unwrap();
+        let err = most_probable_explanation(
+            &prepared,
+            &Evidence::from_pairs([(tub, 0), (either, 1)]),
+        )
+        .unwrap_err();
+        assert_eq!(err, InferenceError::ImpossibleEvidence);
+    }
+
+    #[test]
+    fn mpe_of_fully_observed_network_is_the_observation() {
+        let net = datasets::sprinkler();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let ev = Evidence::from_pairs((0..4).map(|v| (VarId(v), v as usize % 2)));
+        let mpe = most_probable_explanation(&prepared, &ev).unwrap();
+        assert_eq!(mpe.assignment, vec![0, 1, 0, 1]);
+        let expected = joint_prob(&net, &mpe.assignment);
+        assert!((mpe.probability - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpe_is_deterministic() {
+        let net = datasets::asia();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let dysp = net.var_id("Dyspnea").unwrap();
+        let ev = Evidence::from_pairs([(dysp, 0)]);
+        let a = most_probable_explanation(&prepared, &ev).unwrap();
+        let b = most_probable_explanation(&prepared, &ev).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,118 @@
+//! Brute-force joint enumeration — the simplest possible oracle, viable
+//! only for small joint spaces but immune to almost every class of bug.
+
+use fastbn_bayesnet::{BayesianNetwork, Evidence, VarId};
+
+use crate::error::InferenceError;
+use crate::posterior::Posteriors;
+
+/// Refuses joints larger than this (2^22 assignments).
+pub const MAX_JOINT: u64 = 1 << 22;
+
+/// Computes all posteriors by enumerating the full joint distribution.
+/// Panics if the joint exceeds [`MAX_JOINT`] states.
+pub fn all_posteriors(
+    net: &BayesianNetwork,
+    evidence: &Evidence,
+) -> Result<Posteriors, InferenceError> {
+    evidence.validate(net)?;
+    let n = net.num_vars();
+    let cards = net.cardinalities();
+    let joint: u64 = cards.iter().map(|&c| c as u64).product();
+    assert!(
+        joint <= MAX_JOINT,
+        "joint of {joint} states exceeds brute-force limit"
+    );
+
+    let mut accum: Vec<Vec<f64>> = cards.iter().map(|&c| vec![0.0; c]).collect();
+    let mut total = 0.0;
+    let mut assignment = vec![0usize; n];
+    loop {
+        let consistent = evidence
+            .iter()
+            .all(|(var, state)| assignment[var.index()] == state);
+        if consistent {
+            let mut p = 1.0;
+            for v in 0..n {
+                let cpt = net.cpt(VarId::from_index(v));
+                let parent_states: Vec<usize> = cpt
+                    .parents()
+                    .iter()
+                    .map(|q| assignment[q.index()])
+                    .collect();
+                p *= cpt.probability(assignment[v], &parent_states);
+                if p == 0.0 {
+                    break;
+                }
+            }
+            if p > 0.0 {
+                total += p;
+                for v in 0..n {
+                    accum[v][assignment[v]] += p;
+                }
+            }
+        }
+        // Mixed-radix increment (last variable fastest).
+        let mut i = n;
+        loop {
+            if i == 0 {
+                // Wrapped: enumeration complete.
+                if total <= 0.0 || !total.is_finite() {
+                    return Err(InferenceError::ImpossibleEvidence);
+                }
+                for m in &mut accum {
+                    for p in m.iter_mut() {
+                        *p /= total;
+                    }
+                }
+                return Ok(Posteriors::new(accum, total));
+            }
+            i -= 1;
+            assignment[i] += 1;
+            if assignment[i] < cards[i] {
+                break;
+            }
+            assignment[i] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::variable_elimination as ve;
+    use fastbn_bayesnet::datasets;
+
+    #[test]
+    fn brute_force_matches_ve_on_all_datasets() {
+        for name in ["sprinkler", "asia", "cancer", "student"] {
+            let net = datasets::by_name(name).unwrap();
+            let bf = all_posteriors(&net, &Evidence::empty()).unwrap();
+            let vr = ve::all_posteriors(&net, &Evidence::empty()).unwrap();
+            assert!(bf.max_abs_diff(&vr) < 1e-10, "{name}");
+            assert!((bf.prob_evidence - vr.prob_evidence).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn brute_force_with_evidence() {
+        let net = datasets::sprinkler();
+        let wet = net.var_id("WetGrass").unwrap();
+        let rain = net.var_id("Rain").unwrap();
+        let post = all_posteriors(&net, &Evidence::from_pairs([(wet, 0)])).unwrap();
+        assert!((post.marginal(rain)[0] - 0.70793).abs() < 1e-4);
+        assert_eq!(post.marginal(wet), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn impossible_evidence() {
+        let net = datasets::asia();
+        let tub = net.var_id("Tuberculosis").unwrap();
+        let either = net.var_id("TbOrCa").unwrap();
+        assert_eq!(
+            all_posteriors(&net, &Evidence::from_pairs([(tub, 0), (either, 1)]))
+                .unwrap_err(),
+            InferenceError::ImpossibleEvidence
+        );
+    }
+}

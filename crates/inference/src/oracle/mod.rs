@@ -1,0 +1,5 @@
+//! Correctness oracles: algorithms that are slower but simpler than the
+//! junction-tree engines, used to validate every engine's posteriors.
+
+pub mod brute_force;
+pub mod variable_elimination;

@@ -1,0 +1,185 @@
+//! Variable elimination — an independent exact-inference algorithm used
+//! as the primary cross-check for the junction-tree engines.
+
+use std::sync::Arc;
+
+use fastbn_bayesnet::{BayesianNetwork, Evidence, VarId};
+use fastbn_potential::{ops, Domain, PotentialTable};
+
+use crate::error::InferenceError;
+use crate::posterior::Posteriors;
+
+/// All evidence-reduced CPT factors of the network.
+fn reduced_factors(net: &BayesianNetwork, evidence: &Evidence) -> Vec<PotentialTable> {
+    let cards = net.cardinalities();
+    net.cpts()
+        .iter()
+        .map(|cpt| {
+            let mut f = PotentialTable::from_cpt(cpt, &cards);
+            for (var, state) in evidence.iter() {
+                if f.domain().contains(var) {
+                    ops::reduce_evidence(&mut f, var, state);
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+/// Multiplies a set of factors into one table over their union domain.
+fn multiply_all(factors: &[&PotentialTable]) -> PotentialTable {
+    let union = factors
+        .iter()
+        .fold(Domain::scalar(), |acc, f| acc.union(f.domain()));
+    let mut out = PotentialTable::ones(Arc::new(union));
+    for f in factors {
+        ops::extend_multiply(&mut out, f);
+    }
+    out
+}
+
+/// Eliminates every variable except those in `keep` (sorted), using a
+/// greedy min-product-size order. Returns the final table over ⊆ `keep`.
+fn eliminate_all_but(mut factors: Vec<PotentialTable>, keep: &[VarId]) -> PotentialTable {
+    loop {
+        // Collect remaining variables not kept.
+        let mut candidates: Vec<VarId> = factors
+            .iter()
+            .flat_map(|f| f.domain().vars().iter().copied())
+            .filter(|v| keep.binary_search(v).is_err())
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let Some(&var) = candidates
+            .iter()
+            .min_by_key(|&&v| product_size_if_eliminated(&factors, v))
+        else {
+            break;
+        };
+        // Pull out all factors mentioning `var`.
+        let (with, without): (Vec<_>, Vec<_>) = factors
+            .into_iter()
+            .partition(|f| f.domain().contains(var));
+        let refs: Vec<&PotentialTable> = with.iter().collect();
+        let product = multiply_all(&refs);
+        let target = Arc::new(product.domain().minus(&Domain::new(vec![(
+            var,
+            product.domain().card_of(var),
+        )])));
+        let summed = ops::marginalize(&product, target);
+        factors = without;
+        factors.push(summed);
+    }
+    let refs: Vec<&PotentialTable> = factors.iter().collect();
+    multiply_all(&refs)
+}
+
+/// Size of the product domain that eliminating `v` would create.
+fn product_size_if_eliminated(factors: &[PotentialTable], v: VarId) -> usize {
+    let union = factors
+        .iter()
+        .filter(|f| f.domain().contains(v))
+        .fold(Domain::scalar(), |acc, f| acc.union(f.domain()));
+    union.size()
+}
+
+/// `P(evidence)` by eliminating every variable.
+pub fn prob_evidence(net: &BayesianNetwork, evidence: &Evidence) -> Result<f64, InferenceError> {
+    evidence.validate(net)?;
+    let result = eliminate_all_but(reduced_factors(net, evidence), &[]);
+    Ok(result.sum())
+}
+
+/// Posterior of a single variable given evidence.
+pub fn posterior_of(
+    net: &BayesianNetwork,
+    evidence: &Evidence,
+    query: VarId,
+) -> Result<Vec<f64>, InferenceError> {
+    evidence.validate(net)?;
+    if let Some(state) = evidence.get(query) {
+        let mut point = vec![0.0; net.cardinality(query)];
+        point[state] = 1.0;
+        return Ok(point);
+    }
+    let table = eliminate_all_but(reduced_factors(net, evidence), &[query]);
+    let mut m = ops::marginal_of_var(&table, query);
+    let total: f64 = m.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return Err(InferenceError::ImpossibleEvidence);
+    }
+    for p in &mut m {
+        *p /= total;
+    }
+    Ok(m)
+}
+
+/// All posteriors (one VE run per variable — slow, but an oracle).
+pub fn all_posteriors(
+    net: &BayesianNetwork,
+    evidence: &Evidence,
+) -> Result<Posteriors, InferenceError> {
+    let pe = prob_evidence(net, evidence)?;
+    if pe <= 0.0 || !pe.is_finite() {
+        return Err(InferenceError::ImpossibleEvidence);
+    }
+    let marginals = (0..net.num_vars())
+        .map(|v| posterior_of(net, evidence, VarId::from_index(v)))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Posteriors::new(marginals, pe))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbn_bayesnet::datasets;
+
+    #[test]
+    fn asia_prior_marginals() {
+        let net = datasets::asia();
+        let post = all_posteriors(&net, &Evidence::empty()).unwrap();
+        let get = |name: &str| post.marginal(net.var_id(name).unwrap())[0];
+        assert!((get("Tuberculosis") - 0.0104).abs() < 1e-9);
+        assert!((get("TbOrCa") - 0.064828).abs() < 1e-9);
+        assert!((get("Dyspnea") - 0.4359706).abs() < 1e-7);
+        assert!((post.prob_evidence - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sprinkler_rain_given_wet() {
+        let net = datasets::sprinkler();
+        let wet = net.var_id("WetGrass").unwrap();
+        let rain = net.var_id("Rain").unwrap();
+        let m = posterior_of(&net, &Evidence::from_pairs([(wet, 0)]), rain).unwrap();
+        assert!((m[0] - 0.70793).abs() < 1e-4);
+    }
+
+    #[test]
+    fn evidence_probability_is_consistent() {
+        // P(e) from VE equals Σ_x P(x, e) via chain rule on a small net.
+        let net = datasets::cancer();
+        let xray = net.var_id("XRay").unwrap();
+        let pe = prob_evidence(&net, &Evidence::from_pairs([(xray, 0)])).unwrap();
+        // Closed form: P(xray=pos) = 0.9·P(C) + 0.2·(1 − P(C)).
+        let p_cancer = 0.9 * (0.3 * 0.03 + 0.7 * 0.001) + 0.1 * (0.3 * 0.05 + 0.7 * 0.02);
+        let expected = 0.9 * p_cancer + 0.2 * (1.0 - p_cancer);
+        assert!((pe - expected).abs() < 1e-9, "{pe} vs {expected}");
+    }
+
+    #[test]
+    fn impossible_evidence_detected() {
+        let net = datasets::asia();
+        let tub = net.var_id("Tuberculosis").unwrap();
+        let either = net.var_id("TbOrCa").unwrap();
+        let err = all_posteriors(&net, &Evidence::from_pairs([(tub, 0), (either, 1)]))
+            .unwrap_err();
+        assert_eq!(err, InferenceError::ImpossibleEvidence);
+    }
+
+    #[test]
+    fn invalid_evidence_rejected() {
+        let net = datasets::sprinkler();
+        let err = all_posteriors(&net, &Evidence::from_pairs([(VarId(0), 9)])).unwrap_err();
+        assert!(matches!(err, InferenceError::InvalidEvidence(_)));
+    }
+}

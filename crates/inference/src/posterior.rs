@@ -1,0 +1,80 @@
+//! Query results: one normalized marginal per variable.
+
+use fastbn_bayesnet::VarId;
+
+/// Posterior marginals for every network variable given the entered
+/// evidence, plus the evidence probability.
+///
+/// Observed variables get a point-mass marginal (1 on the observed state),
+/// which keeps cross-engine and cross-oracle comparisons uniform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posteriors {
+    marginals: Vec<Vec<f64>>,
+    /// `P(evidence)` under the model (1.0 for an empty query).
+    pub prob_evidence: f64,
+}
+
+impl Posteriors {
+    /// Assembles a result; `marginals[v]` must already be normalized.
+    pub fn new(marginals: Vec<Vec<f64>>, prob_evidence: f64) -> Self {
+        Posteriors {
+            marginals,
+            prob_evidence,
+        }
+    }
+
+    /// The marginal distribution of `var`.
+    pub fn marginal(&self, var: VarId) -> &[f64] {
+        &self.marginals[var.index()]
+    }
+
+    /// All marginals, indexed by variable id.
+    pub fn marginals(&self) -> &[Vec<f64>] {
+        &self.marginals
+    }
+
+    /// Number of variables covered.
+    pub fn num_vars(&self) -> usize {
+        self.marginals.len()
+    }
+
+    /// Natural log of the evidence probability.
+    pub fn log_likelihood(&self) -> f64 {
+        self.prob_evidence.ln()
+    }
+
+    /// Largest absolute difference between two results over all marginals
+    /// — the metric used by the cross-engine agreement tests.
+    pub fn max_abs_diff(&self, other: &Posteriors) -> f64 {
+        assert_eq!(self.num_vars(), other.num_vars());
+        let mut worst: f64 = 0.0;
+        for (a, b) in self.marginals.iter().zip(&other.marginals) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                worst = worst.max((x - y).abs());
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = Posteriors::new(vec![vec![0.25, 0.75], vec![1.0]], 0.5);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.marginal(VarId(0)), &[0.25, 0.75]);
+        assert!((p.log_likelihood() - 0.5f64.ln()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_worst_entry() {
+        let a = Posteriors::new(vec![vec![0.2, 0.8], vec![0.5, 0.5]], 1.0);
+        let b = Posteriors::new(vec![vec![0.2, 0.8], vec![0.4, 0.6]], 1.0);
+        assert!((a.max_abs_diff(&b) - 0.1).abs() < 1e-15);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-query mutable state and the shared pieces of Hugin propagation.
+
+use fastbn_bayesnet::{Evidence, VarId};
+use fastbn_potential::{ops, PotentialTable};
+
+use crate::error::InferenceError;
+use crate::posterior::Posteriors;
+use crate::prepared::Prepared;
+
+/// The mutable tables of one in-flight query: clique potentials, separator
+/// potentials, plus two per-separator scratch buffers (the freshly
+/// marginalized message and the `new/old` ratio).
+///
+/// A `WorkState` is allocated once per engine and reset per query
+/// (`copy_from_slice` into existing allocations — no per-query malloc).
+#[derive(Debug, Clone)]
+pub struct WorkState {
+    /// Clique potentials (reset from `Prepared::initial_cliques`).
+    pub cliques: Vec<PotentialTable>,
+    /// Current separator potentials (reset to ones).
+    pub seps: Vec<PotentialTable>,
+    /// Scratch: newly marginalized separator message.
+    pub fresh: Vec<PotentialTable>,
+    /// Scratch: `fresh / old` ratio to multiply into the receiver.
+    pub ratio: Vec<PotentialTable>,
+}
+
+impl WorkState {
+    /// Allocates working tables shaped like `prepared`'s.
+    pub fn new(prepared: &Prepared) -> Self {
+        let cliques = prepared.initial_cliques.clone();
+        let seps: Vec<PotentialTable> = prepared
+            .sep_domains
+            .iter()
+            .map(|d| PotentialTable::ones(d.clone()))
+            .collect();
+        WorkState {
+            fresh: seps.clone(),
+            ratio: seps.clone(),
+            cliques,
+            seps,
+        }
+    }
+
+    /// Restores the pre-evidence state, reusing all allocations.
+    pub fn reset(&mut self, prepared: &Prepared) {
+        for (work, init) in self.cliques.iter_mut().zip(&prepared.initial_cliques) {
+            work.copy_values_from(init);
+        }
+        for sep in &mut self.seps {
+            sep.fill(1.0);
+        }
+    }
+
+    /// Enters evidence by reducing, for each observation, the potential of
+    /// the variable's home clique (one clique per finding suffices —
+    /// propagation spreads it).
+    pub fn absorb_evidence(&mut self, prepared: &Prepared, evidence: &Evidence) {
+        for (var, state) in evidence.iter() {
+            ops::reduce_evidence(&mut self.cliques[prepared.home[var.index()]], var, state);
+        }
+    }
+
+    /// `P(evidence)`: after propagation every clique of a component sums to
+    /// that component's evidence probability; the network-wide value is the
+    /// product over components (read at the roots).
+    pub fn prob_evidence(&self, prepared: &Prepared) -> f64 {
+        prepared
+            .built
+            .rooted
+            .roots
+            .iter()
+            .map(|&r| self.cliques[r].sum())
+            .product()
+    }
+
+    /// Extracts normalized posteriors for every variable (point masses for
+    /// observed ones). Fails with [`InferenceError::ImpossibleEvidence`]
+    /// when `P(evidence) = 0`.
+    pub fn extract_posteriors(
+        &self,
+        prepared: &Prepared,
+        evidence: &Evidence,
+    ) -> Result<Posteriors, InferenceError> {
+        let prob_evidence = self.prob_evidence(prepared);
+        if prob_evidence <= 0.0 || !prob_evidence.is_finite() {
+            return Err(InferenceError::ImpossibleEvidence);
+        }
+        let n = prepared.num_vars();
+        let mut marginals = Vec::with_capacity(n);
+        for v in 0..n {
+            let id = VarId::from_index(v);
+            if let Some(state) = evidence.get(id) {
+                let mut point = vec![0.0; prepared.cards[v]];
+                point[state] = 1.0;
+                marginals.push(point);
+                continue;
+            }
+            let mut m = ops::marginal_of_var(&self.cliques[prepared.home[v]], id);
+            let total: f64 = m.iter().sum();
+            if total <= 0.0 || !total.is_finite() {
+                return Err(InferenceError::ImpossibleEvidence);
+            }
+            for p in &mut m {
+                *p /= total;
+            }
+            marginals.push(m);
+        }
+        Ok(Posteriors::new(marginals, prob_evidence))
+    }
+}
+
+/// One sequential collect/distribute message using the odometer-fused ops
+/// (shared by the Seq and Direct engines; Primitive/Element/Hybrid have
+/// their own parallel versions).
+pub fn message_seq(state_parts: MessageParts<'_>) {
+    let MessageParts {
+        sender,
+        receiver,
+        sep,
+        fresh,
+        ratio,
+    } = state_parts;
+    ops::marginalize_into(sender, fresh);
+    ops::divide_into(fresh, sep, ratio);
+    std::mem::swap(sep, fresh);
+    ops::extend_multiply(receiver, ratio);
+}
+
+/// Borrowed pieces of one message, so engines can split `WorkState`
+/// mutably without aliasing.
+pub struct MessageParts<'a> {
+    /// Clique being marginalized (read-only).
+    pub sender: &'a PotentialTable,
+    /// Clique receiving the ratio (read-write).
+    pub receiver: &'a mut PotentialTable,
+    /// Current separator table (swapped with `fresh`).
+    pub sep: &'a mut PotentialTable,
+    /// Scratch for the new message.
+    pub fresh: &'a mut PotentialTable,
+    /// Scratch for the ratio.
+    pub ratio: &'a mut PotentialTable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbn_bayesnet::datasets;
+    use fastbn_jtree::JtreeOptions;
+
+    #[test]
+    fn reset_restores_initial_tables() {
+        let net = datasets::sprinkler();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let mut state = WorkState::new(&prepared);
+        let rain = net.var_id("Rain").unwrap();
+        state.absorb_evidence(&prepared, &Evidence::from_pairs([(rain, 0)]));
+        let changed = state.cliques[prepared.home[rain.index()]]
+            .values()
+            .contains(&0.0);
+        assert!(changed, "evidence must zero some entries");
+        state.reset(&prepared);
+        for (work, init) in state.cliques.iter().zip(&prepared.initial_cliques) {
+            assert_eq!(work.values(), init.values());
+        }
+        assert!(state.seps.iter().all(|s| s.values().iter().all(|&v| v == 1.0)));
+    }
+
+    #[test]
+    fn prob_evidence_of_empty_query_is_one_after_noop() {
+        // Without propagation, a single-clique network's root already sums
+        // to 1 (it holds the whole joint).
+        let mut b = fastbn_bayesnet::NetworkBuilder::new();
+        let a = b.add_var("a", &["x", "y"]);
+        b.set_cpt(a, vec![], vec![0.3, 0.7]).unwrap();
+        let net = b.build().unwrap();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let state = WorkState::new(&prepared);
+        assert!((state.prob_evidence(&prepared) - 1.0).abs() < 1e-12);
+        let post = state
+            .extract_posteriors(&prepared, &Evidence::empty())
+            .unwrap();
+        assert_eq!(post.marginal(a), &[0.3, 0.7]);
+    }
+
+    #[test]
+    fn impossible_evidence_is_detected() {
+        let mut b = fastbn_bayesnet::NetworkBuilder::new();
+        let a = b.add_var("a", &["x", "y"]);
+        b.set_cpt(a, vec![], vec![1.0, 0.0]).unwrap();
+        let net = b.build().unwrap();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let mut state = WorkState::new(&prepared);
+        let ev = Evidence::from_pairs([(a, 1)]); // P(a = y) = 0
+        state.absorb_evidence(&prepared, &ev);
+        assert_eq!(
+            state.extract_posteriors(&prepared, &ev).unwrap_err(),
+            InferenceError::ImpossibleEvidence
+        );
+    }
+}

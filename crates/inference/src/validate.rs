@@ -1,0 +1,96 @@
+//! Cross-engine agreement checks, shared by the integration tests and the
+//! benchmark harness's self-check mode.
+
+use std::sync::Arc;
+
+use fastbn_bayesnet::{BayesianNetwork, Evidence};
+use fastbn_jtree::JtreeOptions;
+
+use crate::engines::{build_engine, EngineKind};
+use crate::oracle::variable_elimination;
+use crate::prepared::Prepared;
+
+/// Runs every engine (at each thread count) and the VE oracle on each
+/// evidence case, asserting:
+///
+/// * all junction-tree engines agree **bitwise** with `SeqJt`;
+/// * `SeqJt` agrees with variable elimination within `tol`.
+///
+/// Returns the worst JT-vs-VE deviation observed.
+pub fn assert_engines_agree(
+    net: &BayesianNetwork,
+    cases: &[Evidence],
+    thread_counts: &[usize],
+    tol: f64,
+) -> f64 {
+    let prepared = Arc::new(Prepared::new(net, &JtreeOptions::default()));
+    let mut seq = build_engine(EngineKind::Seq, prepared.clone(), 1);
+    let mut worst = 0.0f64;
+    for (i, evidence) in cases.iter().enumerate() {
+        let expected = seq.query(evidence);
+        let oracle = variable_elimination::all_posteriors(net, evidence);
+        match (&expected, &oracle) {
+            (Ok(a), Ok(b)) => {
+                let d = a.max_abs_diff(b);
+                assert!(
+                    d <= tol,
+                    "case {i}: SeqJt deviates from VE by {d} (tol {tol})"
+                );
+                let rel = (a.prob_evidence - b.prob_evidence).abs()
+                    / b.prob_evidence.max(f64::MIN_POSITIVE);
+                assert!(rel <= tol.max(1e-9), "case {i}: P(e) relative error {rel}");
+                worst = worst.max(d);
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb, "case {i}: error mismatch"),
+            (a, b) => panic!("case {i}: SeqJt {a:?} but VE {b:?}"),
+        }
+
+        for kind in [
+            EngineKind::Reference,
+            EngineKind::Direct,
+            EngineKind::Primitive,
+            EngineKind::Element,
+            EngineKind::Hybrid,
+        ] {
+            for &t in thread_counts {
+                let mut engine = build_engine(kind, prepared.clone(), t);
+                let got = engine.query(evidence);
+                match (&expected, &got) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a.max_abs_diff(b),
+                            0.0,
+                            "case {i}: {} (t={t}) differs from SeqJt",
+                            kind.name()
+                        );
+                    }
+                    (Err(ea), Err(eb)) => {
+                        assert_eq!(ea, eb, "case {i}: {} error mismatch", kind.name())
+                    }
+                    (a, b) => panic!(
+                        "case {i}: SeqJt {a:?} but {} (t={t}) {b:?}",
+                        kind.name()
+                    ),
+                }
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbn_bayesnet::{datasets, sampler};
+
+    #[test]
+    fn full_agreement_on_asia() {
+        let net = datasets::asia();
+        let cases: Vec<Evidence> = sampler::generate_cases(&net, 6, 0.25, 3)
+            .into_iter()
+            .map(|c| c.evidence)
+            .collect();
+        let worst = assert_engines_agree(&net, &cases, &[1, 3], 1e-9);
+        assert!(worst <= 1e-9);
+    }
+}

@@ -1,0 +1,309 @@
+//! Junction-tree assembly: triangulated cliques → maximum-weight spanning
+//! tree with separator edges.
+
+use fastbn_bayesnet::{BayesianNetwork, VarId};
+
+use crate::layers::LayerSchedule;
+use crate::moralize::moralize;
+use crate::root::{root_tree, RootStrategy, RootedTree};
+use crate::tree::{Clique, JunctionTree, Separator};
+use crate::triangulate::{triangulate, EliminationHeuristic, Triangulation};
+
+/// Construction options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JtreeOptions {
+    /// Elimination heuristic for triangulation.
+    pub heuristic: EliminationHeuristic,
+    /// Root-selection strategy (the paper's optimization is `Center`).
+    pub root: RootStrategy,
+}
+
+impl Default for JtreeOptions {
+    fn default() -> Self {
+        JtreeOptions {
+            heuristic: EliminationHeuristic::MinFill,
+            root: RootStrategy::Center,
+        }
+    }
+}
+
+/// Everything the inference engines need: the tree, its rooting, the BFS
+/// layer schedule, and the triangulation it came from (for stats).
+#[derive(Debug, Clone)]
+pub struct BuiltTree {
+    /// The junction tree (forest).
+    pub tree: JunctionTree,
+    /// Rooting (parents, depths, BFS order).
+    pub rooted: RootedTree,
+    /// Layered message schedule for collect/distribute.
+    pub schedule: LayerSchedule,
+    /// The triangulation that produced the cliques.
+    pub triangulation: Triangulation,
+}
+
+/// Builds the complete junction-tree pipeline for a network:
+/// moralize → triangulate → maximal cliques → max-weight spanning tree →
+/// root selection → BFS layering.
+pub fn build_junction_tree(net: &BayesianNetwork, options: &JtreeOptions) -> BuiltTree {
+    let moral = moralize(net);
+    let log_weights: Vec<f64> = (0..net.num_vars())
+        .map(|v| (net.cardinality(VarId::from_index(v)) as f64).ln())
+        .collect();
+    let triangulation = triangulate(&moral, &log_weights, options.heuristic);
+
+    let cliques: Vec<Clique> = triangulation
+        .cliques
+        .iter()
+        .map(|vars| Clique {
+            vars: vars.iter().map(|&v| VarId(v)).collect(),
+        })
+        .collect();
+
+    let separators = max_weight_spanning_tree(&cliques, &log_weights);
+    let tree = JunctionTree::new(cliques, separators);
+    debug_assert!(tree.verify_running_intersection());
+
+    let rooted = root_tree(&tree, options.root);
+    let schedule = LayerSchedule::new(&tree, &rooted);
+    BuiltTree {
+        tree,
+        rooted,
+        schedule,
+        triangulation,
+    }
+}
+
+/// Kruskal maximum-weight spanning forest over the clique graph.
+///
+/// Edge weight is the separator size `|Cᵢ ∩ Cⱼ|` (the classic criterion
+/// guaranteeing the running intersection property); ties prefer the
+/// *lighter* separator table (`Σ log card`), then lexicographic order for
+/// determinism.
+fn max_weight_spanning_tree(cliques: &[Clique], log_weights: &[f64]) -> Vec<Separator> {
+    struct Candidate {
+        a: usize,
+        b: usize,
+        vars: Vec<VarId>,
+        weight: usize,
+        log_size: f64,
+    }
+
+    let mut candidates = Vec::new();
+    for a in 0..cliques.len() {
+        for b in a + 1..cliques.len() {
+            let vars = sorted_intersection(&cliques[a].vars, &cliques[b].vars);
+            if vars.is_empty() {
+                continue;
+            }
+            let log_size: f64 = vars.iter().map(|v| log_weights[v.index()]).sum();
+            candidates.push(Candidate {
+                a,
+                b,
+                weight: vars.len(),
+                log_size,
+                vars,
+            });
+        }
+    }
+    candidates.sort_by(|x, y| {
+        y.weight
+            .cmp(&x.weight)
+            .then_with(|| x.log_size.partial_cmp(&y.log_size).expect("finite"))
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
+
+    let mut uf = UnionFind::new(cliques.len());
+    let mut separators = Vec::with_capacity(cliques.len().saturating_sub(1));
+    for c in candidates {
+        if uf.union(c.a, c.b) {
+            separators.push(Separator {
+                a: c.a,
+                b: c.b,
+                vars: c.vars,
+            });
+        }
+    }
+    separators
+}
+
+fn sorted_intersection(a: &[VarId], b: &[VarId]) -> Vec<VarId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    /// Returns true if the sets were disjoint (edge accepted).
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbn_bayesnet::{datasets, generators};
+
+    #[test]
+    fn asia_tree_is_valid_and_compact() {
+        let net = datasets::asia();
+        let built = build_junction_tree(&net, &JtreeOptions::default());
+        let tree = &built.tree;
+        assert!(tree.verify_running_intersection());
+        assert!(tree.is_forest());
+        assert_eq!(tree.components.len(), 1);
+        // The classic Asia junction tree has 6 cliques of size ≤ 3.
+        assert_eq!(tree.num_cliques(), 6);
+        assert!(tree.cliques.iter().all(|c| c.vars.len() <= 3));
+        assert_eq!(tree.width(), 2);
+        // Every CPT family must fit in some clique.
+        for v in 0..net.num_vars() {
+            let fam = net.dag().family(VarId::from_index(v));
+            assert!(tree.smallest_containing(&fam).is_some(), "family of {v}");
+        }
+    }
+
+    #[test]
+    fn sprinkler_tree() {
+        let net = datasets::sprinkler();
+        let built = build_junction_tree(&net, &JtreeOptions::default());
+        // Two cliques: {C,S,R} and {S,R,W}, separator {S,R}.
+        assert_eq!(built.tree.num_cliques(), 2);
+        assert_eq!(built.tree.num_separators(), 1);
+        assert_eq!(built.tree.separators[0].vars.len(), 2);
+        assert!(built.tree.verify_running_intersection());
+    }
+
+    #[test]
+    fn all_heuristics_produce_valid_trees() {
+        let net = datasets::student();
+        for heuristic in [
+            EliminationHeuristic::MinFill,
+            EliminationHeuristic::MinDegree,
+            EliminationHeuristic::MinWeight,
+        ] {
+            let built = build_junction_tree(
+                &net,
+                &JtreeOptions {
+                    heuristic,
+                    root: RootStrategy::Center,
+                },
+            );
+            assert!(
+                built.tree.verify_running_intersection(),
+                "{heuristic:?} violates RIP"
+            );
+            for v in 0..net.num_vars() {
+                let fam = net.dag().family(VarId::from_index(v));
+                assert!(built.tree.smallest_containing(&fam).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn random_networks_satisfy_all_invariants() {
+        for seed in 0..8 {
+            let spec = generators::WindowedDagSpec {
+                nodes: 50,
+                target_arcs: 70,
+                max_parents: 3,
+                window: 7,
+                seed,
+                ..generators::WindowedDagSpec::new(format!("r{seed}"), 50)
+            };
+            let net = generators::windowed_dag(&spec);
+            let built = build_junction_tree(&net, &JtreeOptions::default());
+            assert!(built.tree.verify_running_intersection(), "seed {seed}");
+            assert!(built.tree.is_forest(), "seed {seed}");
+            for v in 0..net.num_vars() {
+                let fam = net.dag().family(VarId::from_index(v));
+                assert!(
+                    built.tree.smallest_containing(&fam).is_some(),
+                    "seed {seed} family {v}"
+                );
+            }
+            // Every variable appears in at least one clique.
+            for v in 0..net.num_vars() as u32 {
+                assert!(built
+                    .tree
+                    .cliques
+                    .iter()
+                    .any(|c| c.contains(VarId(v))));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_network_yields_forest() {
+        // Two independent chains in one network.
+        let mut b = fastbn_bayesnet::NetworkBuilder::new();
+        let a0 = b.add_var("a0", &["t", "f"]);
+        let a1 = b.add_var("a1", &["t", "f"]);
+        let c0 = b.add_var("c0", &["t", "f"]);
+        let c1 = b.add_var("c1", &["t", "f"]);
+        b.set_cpt(a0, vec![], vec![0.4, 0.6]).unwrap();
+        b.set_cpt(a1, vec![a0], vec![0.9, 0.1, 0.3, 0.7]).unwrap();
+        b.set_cpt(c0, vec![], vec![0.2, 0.8]).unwrap();
+        b.set_cpt(c1, vec![c0], vec![0.5, 0.5, 0.1, 0.9]).unwrap();
+        let net = b.build().unwrap();
+        let built = build_junction_tree(&net, &JtreeOptions::default());
+        assert_eq!(built.tree.components.len(), 2);
+        assert!(built.tree.is_forest());
+        assert!(built.tree.verify_running_intersection());
+        assert_eq!(built.rooted.roots.len(), 2);
+    }
+
+    #[test]
+    fn union_find_behaviour() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert!(!uf.union(1, 2));
+        assert_eq!(uf.find(0), uf.find(2));
+    }
+}

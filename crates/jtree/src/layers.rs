@@ -1,0 +1,210 @@
+//! The BFS layer schedule — the paper's inter-clique traversal method.
+//!
+//! "Our traversal method views all the cliques and separators as nodes of
+//! the tree and marks the layer where each of them is located." All
+//! messages whose child cliques share a depth are mutually independent, so
+//! each such group becomes one parallel batch. The collect pass walks the
+//! groups deepest-first; the distribute pass walks them root-first.
+
+use crate::root::RootedTree;
+use crate::tree::JunctionTree;
+
+/// One directed message slot: child ⇄ parent across a separator. The same
+/// `Message` serves both passes (child→parent in collect, parent→child in
+/// distribute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Child clique index (deeper endpoint).
+    pub child: usize,
+    /// Parent clique index (shallower endpoint).
+    pub parent: usize,
+    /// Separator index between them.
+    pub sep: usize,
+}
+
+/// Layered message batches for the two propagation passes.
+#[derive(Debug, Clone)]
+pub struct LayerSchedule {
+    /// All messages, indexed by message id; one per non-root clique.
+    pub messages: Vec<Message>,
+    /// Collect batches: `collect_layers[0]` holds messages whose child is
+    /// at the maximum depth, the last batch holds depth-1 children.
+    pub collect_layers: Vec<Vec<usize>>,
+    /// Distribute batches: `distribute_layers[0]` holds messages whose
+    /// parent is a root (depth 0), and so on outward.
+    pub distribute_layers: Vec<Vec<usize>>,
+}
+
+impl LayerSchedule {
+    /// Derives the schedule from a rooted tree.
+    pub fn new(tree: &JunctionTree, rooted: &RootedTree) -> Self {
+        let mut messages = Vec::with_capacity(tree.num_cliques());
+        for c in 0..tree.num_cliques() {
+            if let Some((parent, sep)) = rooted.parent[c] {
+                messages.push(Message {
+                    child: c,
+                    parent,
+                    sep,
+                });
+            }
+        }
+        // Deterministic order within a layer: by child clique index.
+        messages.sort_by_key(|m| (rooted.depth[m.child], m.child));
+
+        let depth_count = rooted.max_depth; // messages exist at child depths 1..=max_depth
+        let mut collect_layers = vec![Vec::new(); depth_count];
+        let mut distribute_layers = vec![Vec::new(); depth_count];
+        for (id, m) in messages.iter().enumerate() {
+            let child_depth = rooted.depth[m.child];
+            debug_assert_eq!(child_depth, rooted.depth[m.parent] + 1);
+            // Collect layer 0 = deepest children.
+            collect_layers[depth_count - child_depth].push(id);
+            // Distribute layer 0 = parents at depth 0.
+            distribute_layers[child_depth - 1].push(id);
+        }
+        LayerSchedule {
+            messages,
+            collect_layers,
+            distribute_layers,
+        }
+    }
+
+    /// Total number of messages (tree edges).
+    pub fn num_messages(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Number of collect (= distribute) batches; the driver of the
+    /// parallel-invocation count the root-selection strategy minimizes.
+    pub fn num_layers(&self) -> usize {
+        self.collect_layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::root::{root_tree, RootStrategy};
+    use crate::tree::{Clique, Separator};
+    use fastbn_bayesnet::VarId;
+
+    /// Star tree: clique 0 in the middle, 1..=4 around it.
+    fn star() -> JunctionTree {
+        let cliques = (0..5)
+            .map(|i| Clique {
+                vars: vec![VarId(0), VarId(i as u32 + 1)],
+            })
+            .collect();
+        let seps = (1..5)
+            .map(|i| Separator {
+                a: 0,
+                b: i,
+                vars: vec![VarId(0)],
+            })
+            .collect();
+        JunctionTree::new(cliques, seps)
+    }
+
+    #[test]
+    fn star_has_single_layer_with_all_messages() {
+        let tree = star();
+        let rooted = root_tree(&tree, RootStrategy::Center);
+        assert_eq!(rooted.roots, vec![0]);
+        let sched = LayerSchedule::new(&tree, &rooted);
+        assert_eq!(sched.num_messages(), 4);
+        assert_eq!(sched.num_layers(), 1);
+        assert_eq!(sched.collect_layers[0].len(), 4);
+        assert_eq!(sched.distribute_layers[0].len(), 4);
+        for &id in &sched.collect_layers[0] {
+            assert_eq!(sched.messages[id].parent, 0);
+        }
+    }
+
+    fn path(n: usize) -> JunctionTree {
+        let cliques = (0..n)
+            .map(|i| Clique {
+                vars: vec![VarId(i as u32), VarId(i as u32 + 1)],
+            })
+            .collect();
+        let seps = (0..n - 1)
+            .map(|i| Separator {
+                a: i,
+                b: i + 1,
+                vars: vec![VarId(i as u32 + 1)],
+            })
+            .collect();
+        JunctionTree::new(cliques, seps)
+    }
+
+    #[test]
+    fn collect_layers_run_deepest_first() {
+        let tree = path(5);
+        let rooted = root_tree(&tree, RootStrategy::Worst); // linear chain
+        let sched = LayerSchedule::new(&tree, &rooted);
+        assert_eq!(sched.num_layers(), 4);
+        // Each collect batch has exactly one message; child depths must
+        // descend 4, 3, 2, 1.
+        let depths: Vec<usize> = sched
+            .collect_layers
+            .iter()
+            .map(|layer| {
+                assert_eq!(layer.len(), 1);
+                rooted.depth[sched.messages[layer[0]].child]
+            })
+            .collect();
+        assert_eq!(depths, vec![4, 3, 2, 1]);
+        // Distribute is the mirror image.
+        let d2: Vec<usize> = sched
+            .distribute_layers
+            .iter()
+            .map(|layer| rooted.depth[sched.messages[layer[0]].parent])
+            .collect();
+        assert_eq!(d2, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn center_rooting_halves_layer_count() {
+        let tree = path(9);
+        let worst = LayerSchedule::new(&tree, &root_tree(&tree, RootStrategy::Worst));
+        let center = LayerSchedule::new(&tree, &root_tree(&tree, RootStrategy::Center));
+        assert_eq!(worst.num_layers(), 8);
+        assert_eq!(center.num_layers(), 4);
+        // Same total message count either way.
+        assert_eq!(worst.num_messages(), center.num_messages());
+    }
+
+    #[test]
+    fn every_non_root_clique_sends_exactly_one_message() {
+        let tree = star();
+        let rooted = root_tree(&tree, RootStrategy::Center);
+        let sched = LayerSchedule::new(&tree, &rooted);
+        let mut senders: Vec<usize> = sched.messages.iter().map(|m| m.child).collect();
+        senders.sort_unstable();
+        assert_eq!(senders, vec![1, 2, 3, 4]);
+        // And both passes cover every message exactly once.
+        let total_collect: usize = sched.collect_layers.iter().map(Vec::len).sum();
+        let total_dist: usize = sched.distribute_layers.iter().map(Vec::len).sum();
+        assert_eq!(total_collect, sched.num_messages());
+        assert_eq!(total_dist, sched.num_messages());
+    }
+
+    #[test]
+    fn forest_schedule_merges_components() {
+        let cliques = vec![
+            Clique { vars: vec![VarId(0), VarId(1)] },
+            Clique { vars: vec![VarId(1), VarId(2)] },
+            Clique { vars: vec![VarId(7), VarId(8)] },
+            Clique { vars: vec![VarId(8), VarId(9)] },
+        ];
+        let seps = vec![
+            Separator { a: 0, b: 1, vars: vec![VarId(1)] },
+            Separator { a: 2, b: 3, vars: vec![VarId(8)] },
+        ];
+        let tree = JunctionTree::new(cliques, seps);
+        let rooted = root_tree(&tree, RootStrategy::Center);
+        let sched = LayerSchedule::new(&tree, &rooted);
+        assert_eq!(sched.num_messages(), 2);
+        assert_eq!(sched.num_layers(), 1);
+        assert_eq!(sched.collect_layers[0].len(), 2, "components run together");
+    }
+}

@@ -1,0 +1,42 @@
+//! Moralization: DAG → undirected moral graph.
+
+use fastbn_bayesnet::BayesianNetwork;
+
+use crate::ugraph::UGraph;
+
+/// Builds the moral graph of a network: every directed edge becomes
+/// undirected, and all co-parents of each node are "married".
+pub fn moralize(net: &BayesianNetwork) -> UGraph {
+    UGraph::from_edges(net.num_vars(), &net.dag().moral_edges())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbn_bayesnet::datasets;
+
+    #[test]
+    fn sprinkler_moral_graph() {
+        // Cloudy -> {Sprinkler, Rain} -> WetGrass; marriage: Sprinkler-Rain.
+        let net = datasets::sprinkler();
+        let g = moralize(&net);
+        assert_eq!(g.num_edges(), 5);
+        let s = net.var_id("Sprinkler").unwrap().0;
+        let r = net.var_id("Rain").unwrap().0;
+        assert!(g.has_edge(s, r), "co-parents must be married");
+    }
+
+    #[test]
+    fn asia_moral_graph_marries_tub_and_lung() {
+        let net = datasets::asia();
+        let g = moralize(&net);
+        let tub = net.var_id("Tuberculosis").unwrap().0;
+        let lung = net.var_id("LungCancer").unwrap().0;
+        let either = net.var_id("TbOrCa").unwrap().0;
+        let bronc = net.var_id("Bronchitis").unwrap().0;
+        assert!(g.has_edge(tub, lung));
+        assert!(g.has_edge(either, bronc), "parents of Dyspnea married");
+        // 8 directed edges + 2 marriages.
+        assert_eq!(g.num_edges(), 10);
+    }
+}

@@ -1,0 +1,107 @@
+//! Structural statistics of a built junction tree — the quantities that
+//! explain the paper's performance observations (clique-size distribution,
+//! layer counts, entries per layer).
+
+use fastbn_bayesnet::{BayesianNetwork, VarId};
+
+use crate::build::BuiltTree;
+
+/// Summary statistics of a junction tree for one network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Number of cliques.
+    pub num_cliques: usize,
+    /// Number of separators.
+    pub num_separators: usize,
+    /// Treewidth witnessed by the tree (`max |clique| − 1`).
+    pub width: usize,
+    /// Entries of the largest clique table (saturating).
+    pub max_clique_entries: usize,
+    /// Total clique-table entries (saturating) — the memory/working-set
+    /// driver.
+    pub total_clique_entries: usize,
+    /// Total separator-table entries (saturating).
+    pub total_sep_entries: usize,
+    /// Number of message layers (parallel invocations per pass).
+    pub num_layers: usize,
+    /// Clique entries per clique depth (index = depth) — the load profile
+    /// the hybrid scheduler balances.
+    pub entries_per_depth: Vec<usize>,
+}
+
+/// Computes [`TreeStats`] for a built tree.
+pub fn tree_stats(net: &BayesianNetwork, built: &BuiltTree) -> TreeStats {
+    let table_size = |vars: &[VarId]| -> usize {
+        vars.iter().try_fold(1usize, |acc, v| {
+            acc.checked_mul(net.cardinality(*v))
+        })
+        .unwrap_or(usize::MAX)
+    };
+    let clique_sizes: Vec<usize> = built
+        .tree
+        .cliques
+        .iter()
+        .map(|c| table_size(&c.vars))
+        .collect();
+    let sep_sizes: Vec<usize> = built
+        .tree
+        .separators
+        .iter()
+        .map(|s| table_size(&s.vars))
+        .collect();
+
+    let mut entries_per_depth = vec![0usize; built.rooted.max_depth + 1];
+    for (c, &size) in clique_sizes.iter().enumerate() {
+        let d = built.rooted.depth[c];
+        entries_per_depth[d] = entries_per_depth[d].saturating_add(size);
+    }
+
+    TreeStats {
+        num_cliques: built.tree.num_cliques(),
+        num_separators: built.tree.num_separators(),
+        width: built.tree.width(),
+        max_clique_entries: clique_sizes.iter().copied().max().unwrap_or(0),
+        total_clique_entries: clique_sizes
+            .iter()
+            .fold(0usize, |a, &b| a.saturating_add(b)),
+        total_sep_entries: sep_sizes.iter().fold(0usize, |a, &b| a.saturating_add(b)),
+        num_layers: built.schedule.num_layers(),
+        entries_per_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_junction_tree, JtreeOptions};
+    use fastbn_bayesnet::datasets;
+
+    #[test]
+    fn asia_stats() {
+        let net = datasets::asia();
+        let built = build_junction_tree(&net, &JtreeOptions::default());
+        let stats = tree_stats(&net, &built);
+        assert_eq!(stats.num_cliques, 6);
+        assert_eq!(stats.num_separators, 5);
+        assert_eq!(stats.width, 2);
+        assert_eq!(stats.max_clique_entries, 8); // 3 binary vars
+        // Four 3-var cliques (8 entries) + two 2-var cliques (4 entries).
+        assert_eq!(stats.total_clique_entries, 40);
+        assert!(stats.num_layers >= 1);
+        assert_eq!(
+            stats.entries_per_depth.iter().sum::<usize>(),
+            stats.total_clique_entries
+        );
+    }
+
+    #[test]
+    fn sprinkler_stats() {
+        let net = datasets::sprinkler();
+        let built = build_junction_tree(&net, &JtreeOptions::default());
+        let stats = tree_stats(&net, &built);
+        assert_eq!(stats.num_cliques, 2);
+        assert_eq!(stats.max_clique_entries, 8);
+        assert_eq!(stats.total_sep_entries, 4);
+        assert_eq!(stats.num_layers, 1);
+    }
+}

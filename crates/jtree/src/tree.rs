@@ -1,0 +1,332 @@
+//! The junction tree (or forest) structure.
+
+use fastbn_bayesnet::VarId;
+
+/// A clique: a sorted set of variables. Its potential table (attached by
+/// the inference crate) ranges over all their joint assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clique {
+    /// Member variables, ascending.
+    pub vars: Vec<VarId>,
+}
+
+impl Clique {
+    /// Whether `vars` (sorted) is a subset of this clique.
+    pub fn contains_all(&self, vars: &[VarId]) -> bool {
+        let mut j = 0;
+        for &x in vars {
+            loop {
+                if j == self.vars.len() {
+                    return false;
+                }
+                if self.vars[j] == x {
+                    j += 1;
+                    break;
+                }
+                if self.vars[j] > x {
+                    return false;
+                }
+                j += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `var` is a member.
+    pub fn contains(&self, var: VarId) -> bool {
+        self.vars.binary_search(&var).is_ok()
+    }
+}
+
+/// A separator: the edge between two adjacent cliques, scoped to their
+/// intersection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Separator {
+    /// One endpoint (clique index).
+    pub a: usize,
+    /// Other endpoint (clique index).
+    pub b: usize,
+    /// Intersection variables, ascending.
+    pub vars: Vec<VarId>,
+}
+
+/// A junction tree — or forest, when the moral graph is disconnected.
+///
+/// Invariant (checked by [`JunctionTree::verify_running_intersection`]):
+/// for any two cliques containing a variable `v`, every clique and
+/// separator on the path between them also contains `v`.
+#[derive(Debug, Clone)]
+pub struct JunctionTree {
+    /// All cliques.
+    pub cliques: Vec<Clique>,
+    /// All separators (tree edges).
+    pub separators: Vec<Separator>,
+    /// `adj[c]` lists `(neighbor_clique, separator_index)` pairs, sorted by
+    /// neighbor.
+    adj: Vec<Vec<(usize, usize)>>,
+    /// Clique indices grouped by connected component.
+    pub components: Vec<Vec<usize>>,
+}
+
+impl JunctionTree {
+    /// Assembles the structure from cliques + separator edges, computing
+    /// adjacency and components.
+    pub fn new(cliques: Vec<Clique>, separators: Vec<Separator>) -> Self {
+        let mut adj = vec![Vec::new(); cliques.len()];
+        for (i, sep) in separators.iter().enumerate() {
+            adj[sep.a].push((sep.b, i));
+            adj[sep.b].push((sep.a, i));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let components = compute_components(cliques.len(), &adj);
+        JunctionTree {
+            cliques,
+            separators,
+            adj,
+            components,
+        }
+    }
+
+    /// Number of cliques.
+    pub fn num_cliques(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// Number of separators.
+    pub fn num_separators(&self) -> usize {
+        self.separators.len()
+    }
+
+    /// Neighbors of clique `c` as `(clique, separator)` pairs.
+    pub fn neighbors(&self, c: usize) -> &[(usize, usize)] {
+        &self.adj[c]
+    }
+
+    /// Index of the smallest clique containing all of `vars` (sorted), if
+    /// any — used for CPT assignment and for answering marginal queries.
+    pub fn smallest_containing(&self, vars: &[VarId]) -> Option<usize> {
+        self.cliques
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.contains_all(vars))
+            .min_by_key(|(i, c)| (c.vars.len(), *i))
+            .map(|(i, _)| i)
+    }
+
+    /// Index of the smallest clique containing `var`.
+    pub fn smallest_containing_var(&self, var: VarId) -> Option<usize> {
+        self.smallest_containing(std::slice::from_ref(&var))
+    }
+
+    /// Checks the tree invariant: clique count = separator count +
+    /// component count.
+    pub fn is_forest(&self) -> bool {
+        self.num_cliques() == self.num_separators() + self.components.len()
+    }
+
+    /// Verifies the running intersection property by checking, for every
+    /// variable, that the cliques containing it induce a connected subtree.
+    pub fn verify_running_intersection(&self) -> bool {
+        if !self.is_forest() {
+            return false;
+        }
+        // Collect all variables.
+        let mut vars: Vec<VarId> = self
+            .cliques
+            .iter()
+            .flat_map(|c| c.vars.iter().copied())
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        for v in vars {
+            let members: Vec<usize> = (0..self.num_cliques())
+                .filter(|&c| self.cliques[c].contains(v))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            // BFS from the first member, walking only through cliques that
+            // contain v; all members must be reached.
+            let mut seen = vec![false; self.num_cliques()];
+            let mut stack = vec![members[0]];
+            seen[members[0]] = true;
+            while let Some(c) = stack.pop() {
+                for &(n, _) in self.neighbors(c) {
+                    if !seen[n] && self.cliques[n].contains(v) {
+                        seen[n] = true;
+                        stack.push(n);
+                    }
+                }
+            }
+            if !members.iter().all(|&m| seen[m]) {
+                return false;
+            }
+            // Separators on member-member edges must contain v.
+            for sep in &self.separators {
+                if self.cliques[sep.a].contains(v)
+                    && self.cliques[sep.b].contains(v)
+                    && !sep.vars.contains(&v)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Treewidth witnessed by this tree: `max |clique| - 1`.
+    pub fn width(&self) -> usize {
+        self.cliques
+            .iter()
+            .map(|c| c.vars.len())
+            .max()
+            .unwrap_or(1)
+            - 1
+    }
+}
+
+fn compute_components(n: usize, adj: &[Vec<(usize, usize)>]) -> Vec<Vec<usize>> {
+    let mut comp_of = vec![usize::MAX; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if comp_of[start] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = vec![start];
+        comp_of[start] = id;
+        let mut stack = vec![start];
+        while let Some(c) = stack.pop() {
+            for &(next, _) in &adj[c] {
+                if comp_of[next] == usize::MAX {
+                    comp_of[next] = id;
+                    members.push(next);
+                    stack.push(next);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ids: &[u32]) -> Vec<VarId> {
+        ids.iter().map(|&i| VarId(i)).collect()
+    }
+
+    /// A small valid junction tree:
+    /// C0{0,1} -(1)- C1{1,2} -(2)- C2{2,3}
+    fn path_tree() -> JunctionTree {
+        JunctionTree::new(
+            vec![
+                Clique { vars: v(&[0, 1]) },
+                Clique { vars: v(&[1, 2]) },
+                Clique { vars: v(&[2, 3]) },
+            ],
+            vec![
+                Separator {
+                    a: 0,
+                    b: 1,
+                    vars: v(&[1]),
+                },
+                Separator {
+                    a: 1,
+                    b: 2,
+                    vars: v(&[2]),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn clique_membership() {
+        let c = Clique { vars: v(&[1, 3, 5]) };
+        assert!(c.contains(VarId(3)));
+        assert!(!c.contains(VarId(2)));
+        assert!(c.contains_all(&v(&[1, 5])));
+        assert!(!c.contains_all(&v(&[1, 2])));
+        assert!(c.contains_all(&[]));
+    }
+
+    #[test]
+    fn adjacency_and_components() {
+        let t = path_tree();
+        assert_eq!(t.num_cliques(), 3);
+        assert_eq!(t.neighbors(1), &[(0, 0), (2, 1)]);
+        assert_eq!(t.components, vec![vec![0, 1, 2]]);
+        assert!(t.is_forest());
+        assert_eq!(t.width(), 1);
+    }
+
+    #[test]
+    fn running_intersection_holds_on_valid_tree() {
+        assert!(path_tree().verify_running_intersection());
+    }
+
+    #[test]
+    fn running_intersection_fails_when_violated() {
+        // Var 0 appears in C0 and C2 but not C1 on the path between them.
+        let bad = JunctionTree::new(
+            vec![
+                Clique { vars: v(&[0, 1]) },
+                Clique { vars: v(&[1, 2]) },
+                Clique { vars: v(&[0, 2]) },
+            ],
+            vec![
+                Separator {
+                    a: 0,
+                    b: 1,
+                    vars: v(&[1]),
+                },
+                Separator {
+                    a: 1,
+                    b: 2,
+                    vars: v(&[2]),
+                },
+            ],
+        );
+        assert!(!bad.verify_running_intersection());
+    }
+
+    #[test]
+    fn smallest_containing_prefers_small_cliques() {
+        let t = JunctionTree::new(
+            vec![
+                Clique {
+                    vars: v(&[0, 1, 2]),
+                },
+                Clique { vars: v(&[1, 2]) },
+            ],
+            vec![Separator {
+                a: 0,
+                b: 1,
+                vars: v(&[1, 2]),
+            }],
+        );
+        assert_eq!(t.smallest_containing(&v(&[1, 2])), Some(1));
+        assert_eq!(t.smallest_containing(&v(&[0, 2])), Some(0));
+        assert_eq!(t.smallest_containing(&v(&[5])), None);
+        assert_eq!(t.smallest_containing_var(VarId(1)), Some(1));
+    }
+
+    #[test]
+    fn forest_with_two_components() {
+        let t = JunctionTree::new(
+            vec![
+                Clique { vars: v(&[0, 1]) },
+                Clique { vars: v(&[2, 3]) },
+            ],
+            vec![],
+        );
+        assert_eq!(t.components.len(), 2);
+        assert!(t.is_forest());
+        assert!(t.verify_running_intersection());
+    }
+}

@@ -1,0 +1,118 @@
+//! Undirected graphs (adjacency sets) — the substrate of triangulation.
+
+use std::collections::BTreeSet;
+
+/// An undirected simple graph on dense node ids `0..n`, with sorted
+/// adjacency sets (deterministic iteration everywhere).
+#[derive(Debug, Clone, Default)]
+pub struct UGraph {
+    adj: Vec<BTreeSet<u32>>,
+}
+
+impl UGraph {
+    /// An edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        UGraph {
+            adj: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Builds from an edge list (self-loops ignored, duplicates collapsed).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = UGraph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Adds edge `{a, b}`; returns true if it was new. Self-loops are
+    /// ignored (returns false).
+    pub fn add_edge(&mut self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        let inserted = self.adj[a as usize].insert(b);
+        self.adj[b as usize].insert(a);
+        inserted
+    }
+
+    /// Whether `{a, b}` is an edge.
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.adj[a as usize].contains(&b)
+    }
+
+    /// Sorted neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        self.adj[v as usize].iter().copied()
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Removes `v` and all incident edges.
+    pub fn remove_node(&mut self, v: u32) {
+        let neighbors = std::mem::take(&mut self.adj[v as usize]);
+        for n in neighbors {
+            self.adj[n as usize].remove(&v);
+        }
+    }
+
+    /// All edges with `a < b`, sorted.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for (a, ns) in self.adj.iter().enumerate() {
+            for &b in ns {
+                if (a as u32) < b {
+                    out.push((a as u32, b));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_operations() {
+        let mut g = UGraph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "duplicate collapses");
+        assert!(!g.add_edge(2, 2), "self loop ignored");
+        g.add_edge(1, 2);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn remove_node_clears_incident_edges() {
+        let mut g = UGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)]);
+        g.remove_node(1);
+        assert_eq!(g.edges(), vec![(2, 3)]);
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn edges_listing_is_sorted_and_deduped() {
+        let g = UGraph::from_edges(5, &[(3, 1), (0, 4), (1, 3)]);
+        assert_eq!(g.edges(), vec![(0, 4), (1, 3)]);
+    }
+}

@@ -1,0 +1,411 @@
+//! The persistent worker pool.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::region::Region;
+use crate::schedule::Schedule;
+
+/// A fixed-width fork-join pool with OpenMP-like `parallel for` entry
+/// points.
+///
+/// A pool of width `t` owns `t - 1` background workers; the thread calling
+/// [`ThreadPool::parallel_for`] participates as the `t`-th member, exactly
+/// like an OpenMP parallel region's encountering thread. `t = 1` therefore
+/// degenerates to inline sequential execution with no synchronization —
+/// matching how the paper's `t = 1` OpenMP measurements behave.
+///
+/// All entry points take `&self`; concurrent regions from multiple threads
+/// are permitted and simply interleave on the worker team. Nested
+/// `parallel_for` calls from inside a body are also permitted (the nested
+/// caller drains its own region, so progress is guaranteed), though the
+/// Fast-BNI engines never need them — avoiding nesting is precisely the
+/// point of the paper's flattening.
+pub struct ThreadPool {
+    sender: Option<Sender<Arc<Region>>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawns a pool of `threads` total members (`threads - 1` background
+    /// workers). `threads` is clamped to at least 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = crossbeam_channel::unbounded::<Arc<Region>>();
+        let workers = (1..threads)
+            .map(|i| {
+                let rx: Receiver<Arc<Region>> = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("fastbn-worker-{i}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("failed to spawn fastbn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            threads,
+        }
+    }
+
+    /// Pool width, including the participating caller.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `body(start, end)` over every chunk of `range` under `sched`.
+    ///
+    /// This is the primitive the table operations build on: a chunk body
+    /// can set up incremental index-mapping state once per chunk (the
+    /// paper's "index mapping computations") and then stream through the
+    /// chunk.
+    pub fn parallel_for_chunks<F>(&self, range: Range<usize>, sched: Schedule, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return;
+        }
+        let offset = range.start;
+        let shifted = move |s: usize, e: usize| body(offset + s, offset + e);
+        if self.threads == 1 {
+            // Still honour the schedule's chunk layout so per-chunk state
+            // (and fold order, for `parallel_reduce`) is identical to the
+            // multi-threaded execution.
+            for c in 0..sched.chunk_count(len, 1) {
+                let (s, e) = sched.chunk_bounds(c, len, 1);
+                shifted(s, e);
+            }
+            return;
+        }
+        // SAFETY: `region` (and thus the borrow of `shifted`) is kept alive
+        // by this frame until `region.wait()` returns, which per the region
+        // protocol happens only after every body invocation has completed.
+        let region = Arc::new(unsafe { Region::new(&shifted, len, self.threads, sched) });
+        let sender = self
+            .sender
+            .as_ref()
+            .expect("pool sender alive while pool exists");
+        // One wake-up per background worker; extras are cheap no-ops.
+        for _ in 1..self.threads {
+            sender
+                .send(Arc::clone(&region))
+                .expect("worker channel closed while pool exists");
+        }
+        region.work();
+        region.wait();
+    }
+
+    /// Runs `body(i)` for every `i` in `range` under `sched`.
+    pub fn parallel_for<F>(&self, range: Range<usize>, sched: Schedule, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.parallel_for_chunks(range, sched, |s, e| {
+            for i in s..e {
+                body(i);
+            }
+        });
+    }
+
+    /// Parallel map-reduce: `map(start, end)` produces one partial value per
+    /// chunk; partials are folded with `fold` in **chunk order**, starting
+    /// from `identity`.
+    ///
+    /// Folding in chunk order makes the result deterministic for a fixed
+    /// schedule; with a `Dynamic` schedule the chunking is independent of
+    /// the pool width, so results are bit-identical across thread counts —
+    /// the determinism policy of DESIGN.md §6.
+    pub fn parallel_reduce<T, M, F>(
+        &self,
+        range: Range<usize>,
+        sched: Schedule,
+        identity: T,
+        map: M,
+        fold: F,
+    ) -> T
+    where
+        T: Send,
+        M: Fn(usize, usize) -> T + Sync,
+        F: Fn(T, T) -> T,
+    {
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return identity;
+        }
+        if self.threads == 1 {
+            let offset = range.start;
+            let mut acc = identity;
+            for c in 0..sched.chunk_count(len, 1) {
+                let (s, e) = sched.chunk_bounds(c, len, 1);
+                acc = fold(acc, map(offset + s, offset + e));
+            }
+            return acc;
+        }
+        let offset = range.start;
+        let partials: Mutex<Vec<(usize, T)>> =
+            Mutex::new(Vec::with_capacity(sched.chunk_count(len, self.threads)));
+        self.parallel_for_chunks(0..len, sched, |s, e| {
+            let value = map(offset + s, offset + e);
+            // Key partials by chunk start so the final fold order is the
+            // chunk order, independent of which thread ran which chunk.
+            partials.lock().push((s, value));
+        });
+        let mut partials = partials.into_inner();
+        partials.sort_by_key(|&(start, _)| start);
+        partials
+            .into_iter()
+            .fold(identity, |acc, (_, v)| fold(acc, v))
+    }
+
+    /// Fills `out[i] = f(i)` in parallel. A convenience over
+    /// `parallel_for_chunks` for the common "compute a fresh table" case,
+    /// where disjoint chunks give each task exclusive access to its slice.
+    pub fn parallel_fill<T, F>(&self, out: &mut [T], sched: Schedule, f: F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let ptr = SendPtr(out.as_mut_ptr());
+        let len = out.len();
+        self.parallel_for_chunks(0..len, sched, |s, e| {
+            for i in s..e {
+                // SAFETY: chunks are disjoint, so each element is written by
+                // exactly one task; `ptr` stays valid for the region's
+                // lifetime because `out` is borrowed for the whole call.
+                unsafe { ptr.get().add(i).write(f(i)) };
+            }
+        });
+    }
+}
+
+/// Background worker: spin briefly between regions before parking on the
+/// channel. Junction-tree layers issue microsecond-scale regions
+/// back-to-back, so a short spin keeps wake-up latency off the critical
+/// path; the bounded budget avoids burning a core during long sequential
+/// phases.
+fn worker_loop(rx: Receiver<Arc<Region>>) {
+    const SPIN_LIMIT: u32 = 16_384;
+    let mut spin_budget = SPIN_LIMIT;
+    loop {
+        match rx.try_recv() {
+            Ok(region) => {
+                region.work();
+                spin_budget = SPIN_LIMIT;
+            }
+            Err(crossbeam_channel::TryRecvError::Empty) => {
+                if spin_budget > 0 {
+                    spin_budget -= 1;
+                    std::hint::spin_loop();
+                } else {
+                    match rx.recv() {
+                        Ok(region) => {
+                            region.work();
+                            spin_budget = SPIN_LIMIT;
+                        }
+                        Err(_) => return,
+                    }
+                }
+            }
+            Err(crossbeam_channel::TryRecvError::Disconnected) => return,
+        }
+    }
+}
+
+/// Raw pointer wrapper so disjoint-chunk writers can be dispatched to the
+/// team. Soundness is argued at each use site.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// `Sync` wrapper itself, not the raw pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers' recv loops.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_index_once_dynamic() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..10_000, Schedule::Dynamic { grain: 17 }, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn covers_every_index_once_static() {
+        let pool = ThreadPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..1003).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..1003, Schedule::Static, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn respects_range_offset() {
+        let pool = ThreadPool::new(2);
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(100..200, Schedule::Static, |i| {
+            assert!((100..200).contains(&i));
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), (100..200u64).sum());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(0..1000, Schedule::Dynamic { grain: 8 }, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let pool = ThreadPool::new(4);
+        pool.parallel_for(5..5, Schedule::Static, |_| panic!("must not run"));
+        #[allow(clippy::reversed_empty_ranges)]
+        pool.parallel_for(5..2, Schedule::Static, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn reduce_matches_sequential_sum() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<f64> = (0..4096).map(|i| (i as f64).sin()).collect();
+        let par = pool.parallel_reduce(
+            0..data.len(),
+            Schedule::Dynamic { grain: 64 },
+            0.0,
+            |s, e| data[s..e].iter().sum::<f64>(),
+            |a, b| a + b,
+        );
+        let chunked_seq: f64 = (0..data.len())
+            .step_by(64)
+            .map(|s| data[s..(s + 64).min(data.len())].iter().sum::<f64>())
+            .sum();
+        assert_eq!(par, chunked_seq, "chunk-ordered fold must be deterministic");
+    }
+
+    #[test]
+    fn reduce_is_deterministic_across_pool_widths() {
+        let data: Vec<f64> = (0..10_001).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let run = |t: usize| {
+            let pool = ThreadPool::new(t);
+            pool.parallel_reduce(
+                0..data.len(),
+                Schedule::Dynamic { grain: 128 },
+                0.0,
+                |s, e| data[s..e].iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+        };
+        let r1 = run(1);
+        for t in [2, 3, 4, 8] {
+            assert_eq!(r1.to_bits(), run(t).to_bits(), "width {t}");
+        }
+    }
+
+    #[test]
+    fn parallel_fill_writes_every_slot() {
+        let pool = ThreadPool::new(4);
+        let mut out = vec![0u64; 5000];
+        pool.parallel_fill(&mut out, Schedule::Dynamic { grain: 33 }, |i| i as u64 * 3);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = ThreadPool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel_for(0..64, Schedule::Dynamic { grain: 4 }, |i| {
+                if i == 33 {
+                    panic!("injected failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic in a chunk body must reach the caller");
+        // The pool must remain usable after a panicked region.
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(0..100, Schedule::Static, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn nested_regions_do_not_deadlock() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicU64::new(0);
+        pool.parallel_for(0..8, Schedule::Dynamic { grain: 1 }, |_| {
+            pool.parallel_for(0..100, Schedule::Dynamic { grain: 10 }, |j| {
+                total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.into_inner(), 8 * (99 * 100 / 2));
+    }
+
+    #[test]
+    fn many_small_regions_stress() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicU64::new(0);
+        for _ in 0..2000 {
+            pool.parallel_for(0..16, Schedule::Dynamic { grain: 2 }, |i| {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.into_inner(), 2000 * (15 * 16 / 2));
+    }
+
+    #[test]
+    fn concurrent_regions_from_multiple_threads() {
+        let pool = std::sync::Arc::new(ThreadPool::new(4));
+        let total = std::sync::Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = std::sync::Arc::clone(&pool);
+            let total = std::sync::Arc::clone(&total);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    pool.parallel_for(0..64, Schedule::Dynamic { grain: 8 }, |i| {
+                        total.fetch_add(i as u64, Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 100 * (63 * 64 / 2));
+    }
+}

@@ -1,0 +1,167 @@
+//! Loop schedules, modelled on OpenMP's `schedule(static)` and
+//! `schedule(dynamic, grain)` clauses.
+
+/// How a `parallel_for` iteration space is divided into chunks.
+///
+/// The Fast-BNI engines are distinguished by *which* loops they
+/// parallelize; the schedule controls how each such loop is carved up:
+///
+/// * [`Schedule::Static`] splits the range into one contiguous chunk per
+///   pool thread (OpenMP `schedule(static)`). Chunks are still *claimed*
+///   atomically, so correctness never depends on every worker showing up,
+///   but when all threads participate each executes exactly one chunk.
+/// * [`Schedule::Dynamic`] carves the range into fixed-size chunks claimed
+///   on demand (OpenMP `schedule(dynamic, grain)`), trading claim traffic
+///   for load balance — important for the skewed potential-table sizes the
+///   paper highlights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// One near-equal contiguous chunk per thread.
+    Static,
+    /// Fixed-size chunks of `grain` iterations, claimed dynamically.
+    Dynamic {
+        /// Iterations per chunk; clamped to at least 1.
+        grain: usize,
+    },
+}
+
+impl Schedule {
+    /// A dynamic schedule with a grain targeting roughly `chunks_per_thread`
+    /// chunks per pool thread — the idiom used by the hybrid engine to pick
+    /// a grain from a flattened layer's total entry count.
+    pub fn dynamic_for(len: usize, threads: usize, chunks_per_thread: usize) -> Self {
+        let denom = threads.max(1) * chunks_per_thread.max(1);
+        Schedule::Dynamic {
+            grain: (len / denom).max(1),
+        }
+    }
+
+    /// Number of chunks this schedule produces for `len` iterations on a
+    /// pool of `threads` threads.
+    pub fn chunk_count(&self, len: usize, threads: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        match *self {
+            Schedule::Static => threads.max(1).min(len),
+            Schedule::Dynamic { grain } => {
+                let g = grain.max(1);
+                len.div_ceil(g)
+            }
+        }
+    }
+
+    /// Half-open bounds of chunk `chunk` for `len` iterations on `threads`
+    /// threads. `chunk` must be `< chunk_count(len, threads)`.
+    pub fn chunk_bounds(&self, chunk: usize, len: usize, threads: usize) -> (usize, usize) {
+        match *self {
+            Schedule::Static => {
+                let n = threads.max(1).min(len);
+                debug_assert!(chunk < n);
+                // Distribute the remainder over the first `rem` chunks so
+                // chunk sizes differ by at most one.
+                let base = len / n;
+                let rem = len % n;
+                let start = chunk * base + chunk.min(rem);
+                let size = base + usize::from(chunk < rem);
+                (start, start + size)
+            }
+            Schedule::Dynamic { grain } => {
+                let g = grain.max(1);
+                let start = chunk * g;
+                debug_assert!(start < len);
+                (start, (start + g).min(len))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(sched: Schedule, len: usize, threads: usize) {
+        let mut seen = vec![false; len];
+        let chunks = sched.chunk_count(len, threads);
+        let mut prev_end = 0;
+        for c in 0..chunks {
+            let (s, e) = sched.chunk_bounds(c, len, threads);
+            assert!(s < e, "empty chunk {c} for {sched:?} len={len} t={threads}");
+            assert_eq!(s, prev_end, "chunks must be contiguous");
+            prev_end = e;
+            for (i, slot) in seen.iter_mut().enumerate().take(e).skip(s) {
+                assert!(!*slot, "index {i} covered twice");
+                *slot = true;
+            }
+        }
+        assert_eq!(prev_end, len);
+        assert!(seen.iter().all(|&b| b), "all indices covered");
+    }
+
+    #[test]
+    fn static_covers_exactly() {
+        for len in [1usize, 2, 3, 7, 64, 1000, 1001] {
+            for t in [1usize, 2, 3, 4, 7, 32, 2000] {
+                cover(Schedule::Static, len, t);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_covers_exactly() {
+        for len in [1usize, 2, 63, 64, 65, 1000] {
+            for grain in [1usize, 2, 7, 64, 4096] {
+                cover(Schedule::Dynamic { grain }, len, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn static_chunk_sizes_differ_by_at_most_one() {
+        let sched = Schedule::Static;
+        let (len, t) = (103, 8);
+        let sizes: Vec<usize> = (0..sched.chunk_count(len, t))
+            .map(|c| {
+                let (s, e) = sched.chunk_bounds(c, len, t);
+                e - s
+            })
+            .collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn zero_len_has_zero_chunks() {
+        assert_eq!(Schedule::Static.chunk_count(0, 4), 0);
+        assert_eq!(Schedule::Dynamic { grain: 8 }.chunk_count(0, 4), 0);
+    }
+
+    #[test]
+    fn grain_zero_is_clamped() {
+        let sched = Schedule::Dynamic { grain: 0 };
+        assert_eq!(sched.chunk_count(5, 4), 5);
+        cover(sched, 5, 4);
+    }
+
+    #[test]
+    fn dynamic_for_targets_chunks_per_thread() {
+        let sched = Schedule::dynamic_for(1024, 4, 4);
+        match sched {
+            Schedule::Dynamic { grain } => assert_eq!(grain, 64),
+            _ => unreachable!(),
+        }
+        // Degenerate inputs never panic and never produce grain 0.
+        match Schedule::dynamic_for(3, 64, 8) {
+            Schedule::Dynamic { grain } => assert_eq!(grain, 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn static_more_threads_than_items() {
+        let sched = Schedule::Static;
+        assert_eq!(sched.chunk_count(3, 16), 3);
+        cover(sched, 3, 16);
+    }
+}

@@ -1,0 +1,387 @@
+//! Sequential potential-table operations.
+//!
+//! These are the "simplified bottleneck operations" of Fast-BNI-seq: every
+//! operation walks its output (or input) exactly once with an incremental
+//! [`Odometer`] index mapping — no per-entry decode, no allocation beyond
+//! the output table.
+
+use crate::domain::Domain;
+use crate::index_map::{embedding_strides, Odometer};
+use crate::table::PotentialTable;
+use fastbn_bayesnet::VarId;
+
+/// Marginalizes `src` onto `out`'s (sub)domain, accumulating into `out`
+/// (which is zeroed first): `out[m(i)] += src[i]` over a single linear
+/// scan of the source.
+///
+/// For each output entry, contributions arrive in ascending source index —
+/// the same order the parallel fiber sums use, so results are bit-identical
+/// across all engines.
+pub fn marginalize_into(src: &PotentialTable, out: &mut PotentialTable) {
+    debug_assert!(out.domain().is_subdomain_of(src.domain()));
+    out.fill(0.0);
+    let strides = embedding_strides(src.domain(), out.domain());
+    let mut odo = Odometer::new(src.domain().cards(), &strides);
+    let out_values = out.values_mut();
+    for &v in src.values() {
+        out_values[odo.mapped()] += v;
+        odo.advance();
+    }
+}
+
+/// Allocating variant of [`marginalize_into`].
+pub fn marginalize(src: &PotentialTable, target: std::sync::Arc<Domain>) -> PotentialTable {
+    let mut out = PotentialTable::zeros(target);
+    marginalize_into(src, &mut out);
+    out
+}
+
+/// The paper's **extension** primitive: multiplies a smaller-domain
+/// message into a larger-domain table, `table[i] *= msg[m(i)]`.
+pub fn extend_multiply(table: &mut PotentialTable, msg: &PotentialTable) {
+    debug_assert!(msg.domain().is_subdomain_of(table.domain()));
+    let domain = table.domain_arc().clone();
+    let strides = embedding_strides(&domain, msg.domain());
+    let mut odo = Odometer::new(domain.cards(), &strides);
+    let msg_values = msg.values();
+    for v in table.values_mut() {
+        *v *= msg_values[odo.mapped()];
+        odo.advance();
+    }
+}
+
+/// Like [`extend_multiply`] but dividing, with the Hugin convention
+/// `0 / 0 = 0` (a zero in the denominator can only ever be paired with a
+/// zero numerator during propagation).
+pub fn extend_divide(table: &mut PotentialTable, msg: &PotentialTable) {
+    debug_assert!(msg.domain().is_subdomain_of(table.domain()));
+    let domain = table.domain_arc().clone();
+    let strides = embedding_strides(&domain, msg.domain());
+    let mut odo = Odometer::new(domain.cards(), &strides);
+    let msg_values = msg.values();
+    for v in table.values_mut() {
+        let d = msg_values[odo.mapped()];
+        *v = safe_div(*v, d);
+        odo.advance();
+    }
+}
+
+/// Element-wise `num[i] / den[i]` written into `out[i]`, all on the same
+/// domain, with `0 / 0 = 0`. This is the separator-update step of Hugin
+/// propagation (`ratio = new_sep / old_sep`).
+pub fn divide_into(num: &PotentialTable, den: &PotentialTable, out: &mut PotentialTable) {
+    debug_assert_eq!(num.domain().vars(), den.domain().vars());
+    debug_assert_eq!(num.domain().vars(), out.domain().vars());
+    let out_values = out.values_mut();
+    for (o, (&n, &d)) in out_values
+        .iter_mut()
+        .zip(num.values().iter().zip(den.values()))
+    {
+        *o = safe_div(n, d);
+    }
+}
+
+/// Element-wise multiply of two same-domain tables.
+pub fn multiply_into(table: &mut PotentialTable, other: &PotentialTable) {
+    debug_assert_eq!(table.domain().vars(), other.domain().vars());
+    for (a, &b) in table.values_mut().iter_mut().zip(other.values()) {
+        *a *= b;
+    }
+}
+
+/// The paper's **reduction** primitive: zeroes every entry inconsistent
+/// with the observation `var = state`, leaving the table size unchanged
+/// (as in FastBN).
+///
+/// Walks the table as `blocks × card × stride`, touching only the
+/// mismatching slices — contiguous writes, no index decoding at all.
+pub fn reduce_evidence(table: &mut PotentialTable, var: VarId, state: usize) {
+    let stride = table.domain().stride_of(var);
+    let card = table.domain().card_of(var);
+    debug_assert!(state < card);
+    let block = stride * card;
+    let len = table.len();
+    let values = table.values_mut();
+    let mut base = 0;
+    while base < len {
+        for s in 0..card {
+            if s != state {
+                values[base + s * stride..base + (s + 1) * stride].fill(0.0);
+            }
+        }
+        base += block;
+    }
+}
+
+/// Single-variable marginal of a table: sums all entries by the state of
+/// `var`. Returns a vector of length `card(var)` (unnormalized).
+pub fn marginal_of_var(table: &PotentialTable, var: VarId) -> Vec<f64> {
+    let stride = table.domain().stride_of(var);
+    let card = table.domain().card_of(var);
+    let mut out = vec![0.0; card];
+    let block = stride * card;
+    let values = table.values();
+    let mut base = 0;
+    while base < values.len() {
+        for (s, slot) in out.iter_mut().enumerate() {
+            let start = base + s * stride;
+            // Element-by-element accumulation (not a per-segment partial
+            // sum) so the f64 addition chain per state is identical to a
+            // flat ascending-index scan — the bit-identity contract every
+            // engine's extraction relies on.
+            for &v in &values[start..start + stride] {
+                *slot += v;
+            }
+        }
+        base += block;
+    }
+    out
+}
+
+/// Max-marginalization: like [`marginalize_into`] but taking the maximum
+/// over each fiber instead of the sum — the core of max-product (MPE)
+/// propagation.
+pub fn max_marginalize_into(src: &PotentialTable, out: &mut PotentialTable) {
+    debug_assert!(out.domain().is_subdomain_of(src.domain()));
+    out.fill(f64::NEG_INFINITY);
+    let strides = embedding_strides(src.domain(), out.domain());
+    let mut odo = Odometer::new(src.domain().cards(), &strides);
+    let out_values = out.values_mut();
+    for &v in src.values() {
+        let slot = &mut out_values[odo.mapped()];
+        if v > *slot {
+            *slot = v;
+        }
+        odo.advance();
+    }
+}
+
+/// Max-marginal of a single variable: `out[s] = max { table[i] :
+/// state_of(i, var) = s }`.
+pub fn max_marginal_of_var(table: &PotentialTable, var: VarId) -> Vec<f64> {
+    let stride = table.domain().stride_of(var);
+    let card = table.domain().card_of(var);
+    let mut out = vec![f64::NEG_INFINITY; card];
+    let block = stride * card;
+    let values = table.values();
+    let mut base = 0;
+    while base < values.len() {
+        for (s, slot) in out.iter_mut().enumerate() {
+            let start = base + s * stride;
+            for &v in &values[start..start + stride] {
+                if v > *slot {
+                    *slot = v;
+                }
+            }
+        }
+        base += block;
+    }
+    out
+}
+
+/// Division with the Hugin `0/0 = 0` convention.
+#[inline]
+pub fn safe_div(n: f64, d: f64) -> f64 {
+    if d == 0.0 {
+        debug_assert_eq!(n, 0.0, "nonzero / zero encountered in propagation");
+        0.0
+    } else {
+        n / d
+    }
+}
+
+/// Precomputed strides of `sub` inside `sup`, for callers that run the
+/// extension mapping manually (the hybrid engine's flattened loops).
+pub fn extension_strides(sup: &Domain, sub: &Domain) -> Vec<usize> {
+    embedding_strides(sup, sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn dom(pairs: &[(u32, usize)]) -> Arc<Domain> {
+        Arc::new(Domain::new(
+            pairs.iter().map(|&(v, c)| (VarId(v), c)).collect(),
+        ))
+    }
+
+    /// Brute-force marginalization via full decode, for cross-checking.
+    fn marginalize_reference(src: &PotentialTable, target: &Arc<Domain>) -> Vec<f64> {
+        let mut out = vec![0.0; target.size()];
+        let mut states = vec![0usize; src.domain().num_vars()];
+        for i in 0..src.len() {
+            src.domain().decode(i, &mut states);
+            let t: usize = target
+                .vars()
+                .iter()
+                .map(|&v| {
+                    let pos = src.domain().position_of(v).unwrap();
+                    states[pos] * target.stride_of(v)
+                })
+                .sum();
+            out[t] += src.values()[i];
+        }
+        out
+    }
+
+    fn ramp_table(domain: Arc<Domain>) -> PotentialTable {
+        let values: Vec<f64> = (0..domain.size()).map(|i| (i + 1) as f64).collect();
+        PotentialTable::from_values(domain, values)
+    }
+
+    #[test]
+    fn marginalize_matches_reference() {
+        let src_dom = dom(&[(0, 2), (1, 3), (2, 2), (4, 2)]);
+        let src = ramp_table(src_dom);
+        for target_vars in [vec![(1u32, 3usize)], vec![(0, 2), (2, 2)], vec![(4, 2)]] {
+            let tgt = dom(&target_vars);
+            let got = marginalize(&src, tgt.clone());
+            assert_eq!(got.values(), marginalize_reference(&src, &tgt).as_slice());
+        }
+    }
+
+    #[test]
+    fn marginalize_to_same_domain_is_identity() {
+        let d = dom(&[(0, 2), (1, 2)]);
+        let src = ramp_table(d.clone());
+        let got = marginalize(&src, d);
+        assert_eq!(got.values(), src.values());
+    }
+
+    #[test]
+    fn marginalize_to_scalar_is_total_sum() {
+        let src = ramp_table(dom(&[(0, 3), (1, 4)]));
+        let got = marginalize(&src, Arc::new(Domain::scalar()));
+        assert_eq!(got.values(), &[src.sum()]);
+    }
+
+    #[test]
+    fn marginalization_order_independence() {
+        // Summing out B then C equals summing out {B, C} directly.
+        let src = ramp_table(dom(&[(0, 2), (1, 3), (2, 4)]));
+        let mid = marginalize(&src, dom(&[(0, 2), (2, 4)]));
+        let two_step = marginalize(&mid, dom(&[(0, 2)]));
+        let one_step = marginalize(&src, dom(&[(0, 2)]));
+        for (a, b) in two_step.values().iter().zip(one_step.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn extend_multiply_matches_pointwise_definition() {
+        let cd = dom(&[(0, 2), (1, 3)]);
+        let md = dom(&[(1, 3)]);
+        let mut clique = ramp_table(cd.clone());
+        let msg = PotentialTable::from_values(md, vec![2.0, 0.5, 1.0]);
+        extend_multiply(&mut clique, &msg);
+        for s0 in 0..2 {
+            for s1 in 0..3 {
+                let original = (cd.index_of(&[s0, s1]) + 1) as f64;
+                assert_eq!(clique.value_at(&[s0, s1]), original * msg.values()[s1]);
+            }
+        }
+    }
+
+    #[test]
+    fn extend_then_marginalize_roundtrip() {
+        // ones(sup) *= msg, then marginalize back to msg's domain:
+        // every msg entry is multiplied by |sup| / |msg| (the fiber size).
+        let sup = dom(&[(0, 2), (1, 3), (2, 2)]);
+        let sub = dom(&[(1, 3)]);
+        let msg = PotentialTable::from_values(sub.clone(), vec![0.2, 0.3, 0.5]);
+        let mut table = PotentialTable::ones(sup.clone());
+        extend_multiply(&mut table, &msg);
+        let back = marginalize(&table, sub);
+        let fiber = (sup.size() / 3) as f64;
+        for (b, m) in back.values().iter().zip(msg.values()) {
+            assert!((b - m * fiber).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn divide_handles_zero_over_zero() {
+        let d = dom(&[(0, 2)]);
+        let num = PotentialTable::from_values(d.clone(), vec![0.0, 0.6]);
+        let den = PotentialTable::from_values(d.clone(), vec![0.0, 0.3]);
+        let mut out = PotentialTable::zeros(d);
+        divide_into(&num, &den, &mut out);
+        assert_eq!(out.values()[0], 0.0);
+        assert!((out.values()[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_divide_matches_divide_semantics() {
+        let cd = dom(&[(0, 2), (1, 2)]);
+        let md = dom(&[(0, 2)]);
+        let mut t = PotentialTable::from_values(cd, vec![0.0, 0.0, 4.0, 6.0]);
+        let msg = PotentialTable::from_values(md, vec![0.0, 2.0]);
+        extend_divide(&mut t, &msg);
+        assert_eq!(t.values(), &[0.0, 0.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reduce_evidence_zeroes_inconsistent_entries() {
+        let d = dom(&[(0, 2), (1, 3)]);
+        let mut t = ramp_table(d.clone());
+        reduce_evidence(&mut t, VarId(1), 2);
+        for s0 in 0..2 {
+            for s1 in 0..3 {
+                let v = t.value_at(&[s0, s1]);
+                if s1 == 2 {
+                    assert_eq!(v, (d.index_of(&[s0, s1]) + 1) as f64);
+                } else {
+                    assert_eq!(v, 0.0);
+                }
+            }
+        }
+        // Reduction then marginalization = slicing.
+        let m = marginal_of_var(&t, VarId(1));
+        assert_eq!(m[0], 0.0);
+        assert_eq!(m[1], 0.0);
+        assert!(m[2] > 0.0);
+    }
+
+    #[test]
+    fn reduce_on_fastest_and_slowest_vars() {
+        let d = dom(&[(0, 3), (1, 2)]);
+        let mut slow = ramp_table(d.clone());
+        reduce_evidence(&mut slow, VarId(0), 1); // slowest (stride 2)
+        for s0 in 0..3 {
+            for s1 in 0..2 {
+                assert_eq!(slow.value_at(&[s0, s1]) != 0.0, s0 == 1);
+            }
+        }
+        let mut fast = ramp_table(d);
+        reduce_evidence(&mut fast, VarId(1), 0); // fastest (stride 1)
+        for s0 in 0..3 {
+            assert!(fast.value_at(&[s0, 0]) != 0.0);
+            assert_eq!(fast.value_at(&[s0, 1]), 0.0);
+        }
+    }
+
+    #[test]
+    fn marginal_of_var_matches_full_marginalize() {
+        let src = ramp_table(dom(&[(0, 2), (1, 3), (2, 2)]));
+        let quick = marginal_of_var(&src, VarId(1));
+        let full = marginalize(&src, dom(&[(1, 3)]));
+        assert_eq!(quick.as_slice(), full.values());
+    }
+
+    #[test]
+    fn multiply_into_same_domain() {
+        let d = dom(&[(0, 2)]);
+        let mut a = PotentialTable::from_values(d.clone(), vec![2.0, 3.0]);
+        let b = PotentialTable::from_values(d, vec![0.5, 2.0]);
+        multiply_into(&mut a, &b);
+        assert_eq!(a.values(), &[1.0, 6.0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "nonzero / zero")]
+    fn nonzero_over_zero_asserts_in_debug() {
+        safe_div(1.0, 0.0);
+    }
+}

@@ -1,0 +1,473 @@
+//! Parallel potential-table operations.
+//!
+//! Every operation parallelizes over **output** entries, so no two tasks
+//! ever write the same slot and no atomics are needed on the value arrays.
+//! Each chunk pays one `Odometer::seek` (a single mixed-radix decode) and
+//! then streams incrementally — this is the paper's "parallelize the index
+//! mapping computations of different potential table entries".
+//!
+//! The `*_mapped` variants implement the Element engine's two-pass GPU
+//! style: pass one materializes the whole index-mapping array, pass two
+//! applies it. They produce identical results with more parallel regions
+//! and more memory traffic — which is precisely the overhead the paper's
+//! hybrid design avoids.
+
+use fastbn_bayesnet::VarId;
+use fastbn_parallel::{Schedule, ThreadPool};
+
+use crate::domain::Domain;
+use crate::index_map::{embedding_strides, fiber_offsets, Odometer};
+use crate::ops::safe_div;
+use crate::table::{PotentialTable, ZeroSumError};
+
+/// Raw-pointer wrapper allowing disjoint chunks to write a shared output
+/// slice. Soundness: callers only ever hand each chunk the sub-slice
+/// `[start, end)` it owns, and chunks are disjoint by construction.
+struct SharedMut<T>(*mut T);
+unsafe impl<T: Send> Send for SharedMut<T> {}
+unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+impl<T> SharedMut<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+
+    /// # Safety
+    /// `[start, end)` must be in bounds and disjoint from every other
+    /// concurrently handed-out range (which is why a `&self` receiver can
+    /// soundly produce a `&mut` here — exclusivity is established by the
+    /// chunk schedule, not the borrow checker).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn range(&self, start: usize, end: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.get().add(start), end - start)
+    }
+}
+
+/// Parallel marginalization: for each target entry, sums its source fiber
+/// in ascending source order (bit-identical to the sequential scan).
+pub fn marginalize_into_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    src: &PotentialTable,
+    out: &mut PotentialTable,
+) {
+    debug_assert!(out.domain().is_subdomain_of(src.domain()));
+    let fibers = fiber_offsets(src.domain(), out.domain());
+    let base_strides = embedding_strides(out.domain(), src.domain());
+    let out_domain = out.domain_arc().clone();
+    let src_values = src.values();
+    let out_ptr = SharedMut(out.values_mut().as_mut_ptr());
+    pool.parallel_for_chunks(0..out_domain.size(), sched, |start, end| {
+        let mut odo = Odometer::new(out_domain.cards(), &base_strides);
+        odo.seek(start);
+        // SAFETY: chunks are disjoint sub-ranges of the output.
+        let out_chunk = unsafe { out_ptr.range(start, end) };
+        for slot in out_chunk {
+            let base = odo.mapped();
+            let mut acc = 0.0;
+            for &off in &fibers {
+                acc += src_values[base + off];
+            }
+            *slot = acc;
+            odo.advance();
+        }
+    });
+}
+
+/// Parallel extension: `table[i] *= msg[m(i)]`.
+pub fn extend_multiply_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    table: &mut PotentialTable,
+    msg: &PotentialTable,
+) {
+    debug_assert!(msg.domain().is_subdomain_of(table.domain()));
+    let domain = table.domain_arc().clone();
+    let strides = embedding_strides(&domain, msg.domain());
+    let msg_values = msg.values();
+    let ptr = SharedMut(table.values_mut().as_mut_ptr());
+    pool.parallel_for_chunks(0..domain.size(), sched, |start, end| {
+        let mut odo = Odometer::new(domain.cards(), &strides);
+        odo.seek(start);
+        // SAFETY: chunks are disjoint sub-ranges of the table.
+        let chunk = unsafe { ptr.range(start, end) };
+        for v in chunk {
+            *v *= msg_values[odo.mapped()];
+            odo.advance();
+        }
+    });
+}
+
+/// Parallel extension-divide with `0/0 = 0`.
+pub fn extend_divide_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    table: &mut PotentialTable,
+    msg: &PotentialTable,
+) {
+    debug_assert!(msg.domain().is_subdomain_of(table.domain()));
+    let domain = table.domain_arc().clone();
+    let strides = embedding_strides(&domain, msg.domain());
+    let msg_values = msg.values();
+    let ptr = SharedMut(table.values_mut().as_mut_ptr());
+    pool.parallel_for_chunks(0..domain.size(), sched, |start, end| {
+        let mut odo = Odometer::new(domain.cards(), &strides);
+        odo.seek(start);
+        // SAFETY: chunks are disjoint sub-ranges of the table.
+        let chunk = unsafe { ptr.range(start, end) };
+        for v in chunk {
+            *v = safe_div(*v, msg_values[odo.mapped()]);
+            odo.advance();
+        }
+    });
+}
+
+/// Parallel same-domain element-wise division (`out = num / den`,
+/// `0/0 = 0`): the separator-ratio step.
+pub fn divide_into_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    num: &PotentialTable,
+    den: &PotentialTable,
+    out: &mut PotentialTable,
+) {
+    debug_assert_eq!(num.domain().vars(), den.domain().vars());
+    debug_assert_eq!(num.domain().vars(), out.domain().vars());
+    let n = num.values();
+    let d = den.values();
+    let ptr = SharedMut(out.values_mut().as_mut_ptr());
+    pool.parallel_for_chunks(0..n.len(), sched, |start, end| {
+        // SAFETY: chunks are disjoint sub-ranges of the output.
+        let chunk = unsafe { ptr.range(start, end) };
+        for (i, o) in (start..end).zip(chunk) {
+            *o = safe_div(n[i], d[i]);
+        }
+    });
+}
+
+/// Parallel reduction: zeroes entries inconsistent with `var = state`.
+/// One integer division per stride segment, not per entry.
+pub fn reduce_evidence_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    table: &mut PotentialTable,
+    var: VarId,
+    state: usize,
+) {
+    let stride = table.domain().stride_of(var);
+    let card = table.domain().card_of(var);
+    debug_assert!(state < card);
+    let len = table.len();
+    let ptr = SharedMut(table.values_mut().as_mut_ptr());
+    pool.parallel_for_chunks(0..len, sched, |start, end| {
+        let mut i = start;
+        while i < end {
+            let seg = i / stride; // which stride segment we are in
+            let seg_state = seg % card;
+            let seg_end = ((seg + 1) * stride).min(end);
+            if seg_state != state {
+                // SAFETY: [i, seg_end) ⊆ [start, end), this chunk's range.
+                unsafe { ptr.range(i, seg_end) }.fill(0.0);
+            }
+            i = seg_end;
+        }
+    });
+}
+
+/// Parallel sum of all entries (chunk-ordered fold: deterministic across
+/// thread counts under a `Dynamic` schedule).
+pub fn sum_par(pool: &ThreadPool, sched: Schedule, table: &PotentialTable) -> f64 {
+    let values = table.values();
+    pool.parallel_reduce(
+        0..values.len(),
+        sched,
+        0.0,
+        |s, e| values[s..e].iter().sum::<f64>(),
+        |a, b| a + b,
+    )
+}
+
+/// Parallel normalization; returns the pre-normalization sum.
+pub fn normalize_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    table: &mut PotentialTable,
+) -> Result<f64, ZeroSumError> {
+    let sum = sum_par(pool, sched, table);
+    if sum <= 0.0 || !sum.is_finite() {
+        return Err(ZeroSumError);
+    }
+    let inv = 1.0 / sum;
+    let len = table.len();
+    let ptr = SharedMut(table.values_mut().as_mut_ptr());
+    pool.parallel_for_chunks(0..len, sched, |start, end| {
+        // SAFETY: chunks are disjoint sub-ranges of the table.
+        for v in unsafe { ptr.range(start, end) } {
+            *v *= inv;
+        }
+    });
+    Ok(sum)
+}
+
+/// Element-engine pass 1: materializes the full `iter_domain → target`
+/// index-mapping array in parallel.
+pub fn materialize_map_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    iter_domain: &Domain,
+    target: &Domain,
+) -> Vec<u32> {
+    assert!(
+        target.size() <= u32::MAX as usize,
+        "mapping table exceeds u32 index range"
+    );
+    let strides = embedding_strides(iter_domain, target);
+    let mut map = vec![0u32; iter_domain.size()];
+    let ptr = SharedMut(map.as_mut_ptr());
+    pool.parallel_for_chunks(0..iter_domain.size(), sched, |start, end| {
+        let mut odo = Odometer::new(iter_domain.cards(), &strides);
+        odo.seek(start);
+        // SAFETY: chunks are disjoint sub-ranges of the map.
+        let chunk = unsafe { ptr.range(start, end) };
+        for slot in chunk {
+            *slot = odo.mapped() as u32;
+            odo.advance();
+        }
+    });
+    map
+}
+
+/// Element-engine pass 2 (extension): `table[i] *= msg[map[i]]`.
+pub fn extend_multiply_mapped_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    table: &mut PotentialTable,
+    msg: &PotentialTable,
+    map: &[u32],
+) {
+    debug_assert_eq!(map.len(), table.len());
+    let msg_values = msg.values();
+    let len = table.len();
+    let ptr = SharedMut(table.values_mut().as_mut_ptr());
+    pool.parallel_for_chunks(0..len, sched, |start, end| {
+        // SAFETY: chunks are disjoint sub-ranges of the table.
+        let chunk = unsafe { ptr.range(start, end) };
+        for (i, v) in (start..end).zip(chunk) {
+            *v *= msg_values[map[i] as usize];
+        }
+    });
+}
+
+/// Element-engine pass 2 (marginalization): `out[t] = Σ_f src[bases[t] +
+/// fibers[f]]`, with `bases` produced by [`materialize_map_par`] over
+/// `(target → source)`.
+pub fn marginalize_mapped_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    src: &PotentialTable,
+    out: &mut PotentialTable,
+    bases: &[u32],
+    fibers: &[usize],
+) {
+    debug_assert_eq!(bases.len(), out.len());
+    let src_values = src.values();
+    let len = out.len();
+    let ptr = SharedMut(out.values_mut().as_mut_ptr());
+    pool.parallel_for_chunks(0..len, sched, |start, end| {
+        // SAFETY: chunks are disjoint sub-ranges of the output.
+        let chunk = unsafe { ptr.range(start, end) };
+        for (t, slot) in (start..end).zip(chunk) {
+            let base = bases[t] as usize;
+            let mut acc = 0.0;
+            for &off in fibers {
+                acc += src_values[base + off];
+            }
+            *slot = acc;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index_map::materialize_map;
+    use crate::ops;
+    use std::sync::Arc;
+
+    fn dom(pairs: &[(u32, usize)]) -> Arc<Domain> {
+        Arc::new(Domain::new(
+            pairs.iter().map(|&(v, c)| (VarId(v), c)).collect(),
+        ))
+    }
+
+    fn pseudo_random_table(domain: Arc<Domain>, seed: u64) -> PotentialTable {
+        // Tiny xorshift so this test has no RNG dependency.
+        let mut state = seed.wrapping_mul(2685821657736338717).max(1);
+        let values: Vec<f64> = (0..domain.size())
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 1000.0
+            })
+            .collect();
+        PotentialTable::from_values(domain, values)
+    }
+
+    fn pools() -> Vec<ThreadPool> {
+        vec![ThreadPool::new(1), ThreadPool::new(2), ThreadPool::new(4)]
+    }
+
+    fn schedules() -> Vec<Schedule> {
+        vec![
+            Schedule::Static,
+            Schedule::Dynamic { grain: 1 },
+            Schedule::Dynamic { grain: 7 },
+            Schedule::Dynamic { grain: 4096 },
+        ]
+    }
+
+    #[test]
+    fn marginalize_par_is_bit_identical_to_seq() {
+        let src = pseudo_random_table(dom(&[(0, 3), (1, 2), (2, 4), (3, 2)]), 1);
+        let tgt = dom(&[(1, 2), (3, 2)]);
+        let mut expected = PotentialTable::zeros(tgt.clone());
+        ops::marginalize_into(&src, &mut expected);
+        for pool in pools() {
+            for sched in schedules() {
+                let mut got = PotentialTable::zeros(tgt.clone());
+                marginalize_into_par(&pool, sched, &src, &mut got);
+                assert_eq!(got.values(), expected.values(), "{sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_multiply_par_is_bit_identical_to_seq() {
+        let base = pseudo_random_table(dom(&[(0, 2), (1, 3), (2, 2)]), 2);
+        let msg = pseudo_random_table(dom(&[(1, 3)]), 3);
+        let mut expected = base.clone();
+        ops::extend_multiply(&mut expected, &msg);
+        for pool in pools() {
+            for sched in schedules() {
+                let mut got = base.clone();
+                extend_multiply_par(&pool, sched, &mut got, &msg);
+                assert_eq!(got.values(), expected.values(), "{sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_divide_par_matches_seq_including_zeros() {
+        let d = dom(&[(0, 2), (1, 2)]);
+        let md = dom(&[(0, 2)]);
+        let base = PotentialTable::from_values(d, vec![0.0, 0.0, 4.0, 6.0]);
+        let msg = PotentialTable::from_values(md, vec![0.0, 2.0]);
+        let mut expected = base.clone();
+        ops::extend_divide(&mut expected, &msg);
+        let pool = ThreadPool::new(4);
+        let mut got = base.clone();
+        extend_divide_par(&pool, Schedule::Dynamic { grain: 1 }, &mut got, &msg);
+        assert_eq!(got.values(), expected.values());
+    }
+
+    #[test]
+    fn divide_into_par_matches_seq() {
+        let d = dom(&[(0, 4), (1, 3)]);
+        let num = pseudo_random_table(d.clone(), 4);
+        let mut den = pseudo_random_table(d.clone(), 5);
+        den.values_mut()[0] = 0.0; // force a 0/x and pair it with 0 num
+        let mut num = num;
+        num.values_mut()[0] = 0.0;
+        let mut expected = PotentialTable::zeros(d.clone());
+        ops::divide_into(&num, &den, &mut expected);
+        for pool in pools() {
+            let mut got = PotentialTable::zeros(d.clone());
+            divide_into_par(&pool, Schedule::Static, &num, &den, &mut got);
+            assert_eq!(got.values(), expected.values());
+        }
+    }
+
+    #[test]
+    fn reduce_evidence_par_matches_seq() {
+        for (var, state) in [(VarId(0), 1usize), (VarId(1), 0), (VarId(2), 3)] {
+            let d = dom(&[(0, 2), (1, 3), (2, 4)]);
+            let base = pseudo_random_table(d, 6);
+            let mut expected = base.clone();
+            ops::reduce_evidence(&mut expected, var, state);
+            for pool in pools() {
+                for sched in schedules() {
+                    let mut got = base.clone();
+                    reduce_evidence_par(&pool, sched, &mut got, var, state);
+                    assert_eq!(got.values(), expected.values(), "{var} {sched:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_and_normalize_par() {
+        let d = dom(&[(0, 5), (1, 5)]);
+        let base = pseudo_random_table(d, 7);
+        let pool = ThreadPool::new(4);
+        let sched = Schedule::Dynamic { grain: 3 };
+        let total = sum_par(&pool, sched, &base);
+        // Chunk-ordered fold must equal the same chunking sequentially.
+        let seq_chunked: f64 = (0..base.len())
+            .step_by(3)
+            .map(|s| base.values()[s..(s + 3).min(base.len())].iter().sum::<f64>())
+            .sum();
+        assert_eq!(total, seq_chunked);
+
+        let mut t = base.clone();
+        let z = normalize_par(&pool, sched, &mut t).unwrap();
+        assert_eq!(z, total);
+        assert!((t.sum() - 1.0).abs() < 1e-12);
+
+        let mut zero = PotentialTable::zeros(dom(&[(0, 3)]));
+        assert_eq!(
+            normalize_par(&pool, sched, &mut zero),
+            Err(ZeroSumError)
+        );
+    }
+
+    #[test]
+    fn materialize_map_par_matches_seq() {
+        let sup = dom(&[(0, 3), (1, 2), (2, 2)]);
+        let sub = dom(&[(0, 3), (2, 2)]);
+        let expected = materialize_map(&sup, &sub);
+        for pool in pools() {
+            let got = materialize_map_par(&pool, Schedule::Dynamic { grain: 2 }, &sup, &sub);
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn mapped_extension_and_marginalization_match_direct() {
+        let sup = dom(&[(0, 2), (1, 3), (2, 2), (3, 2)]);
+        let sub = dom(&[(1, 3), (3, 2)]);
+        let src = pseudo_random_table(sup.clone(), 8);
+        let msg = pseudo_random_table(sub.clone(), 9);
+        let pool = ThreadPool::new(4);
+        let sched = Schedule::Dynamic { grain: 5 };
+
+        // Extension via mapping table.
+        let mut direct = src.clone();
+        ops::extend_multiply(&mut direct, &msg);
+        let map = materialize_map_par(&pool, sched, &sup, &sub);
+        let mut mapped = src.clone();
+        extend_multiply_mapped_par(&pool, sched, &mut mapped, &msg, &map);
+        assert_eq!(mapped.values(), direct.values());
+
+        // Marginalization via base mapping + fibers.
+        let mut expect = PotentialTable::zeros(sub.clone());
+        ops::marginalize_into(&src, &mut expect);
+        let bases = materialize_map_par(&pool, sched, &sub, &sup);
+        let fibers = fiber_offsets(&sup, &sub);
+        let mut got = PotentialTable::zeros(sub);
+        marginalize_mapped_par(&pool, sched, &src, &mut got, &bases, &fibers);
+        assert_eq!(got.values(), expect.values());
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests of the potential-table algebra — the invariants
+//! the inference engines silently rely on.
+
+use std::sync::Arc;
+
+use fastbn_bayesnet::VarId;
+use fastbn_parallel::{Schedule, ThreadPool};
+use fastbn_potential::{ops, ops_par, Domain, PotentialTable};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+/// A random domain of 1..=5 variables with cardinalities 1..=4, ids drawn
+/// sparsely so sub/superdomain relations exercise gaps.
+fn arb_domain() -> impl Strategy<Value = Arc<Domain>> {
+    proptest::collection::btree_map(0u32..12, 1usize..5, 1..6).prop_map(|m| {
+        Arc::new(Domain::from_sorted(
+            m.into_iter().map(|(v, c)| (VarId(v), c)).collect(),
+        ))
+    })
+}
+
+/// A random table over a random domain with non-negative entries.
+fn arb_table() -> impl Strategy<Value = PotentialTable> {
+    arb_domain().prop_flat_map(|d| {
+        let size = d.size();
+        proptest::collection::vec(0.0f64..4.0, size)
+            .prop_map(move |values| PotentialTable::from_values(d.clone(), values))
+    })
+}
+
+/// A random subdomain of `d` (possibly empty/scalar).
+fn arb_subdomain(d: &Domain) -> impl Strategy<Value = Arc<Domain>> {
+    let pairs: Vec<(VarId, usize)> = d
+        .vars()
+        .iter()
+        .zip(d.cards())
+        .map(|(&v, &c)| (v, c))
+        .collect();
+    proptest::collection::vec(proptest::bool::ANY, pairs.len()).prop_map(move |mask| {
+        Arc::new(Domain::from_sorted(
+            pairs
+                .iter()
+                .zip(&mask)
+                .filter(|(_, &keep)| keep)
+                .map(|(&p, _)| p)
+                .collect(),
+        ))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn marginalization_preserves_total_mass(table in arb_table()) {
+        let sub_strategy = arb_subdomain(table.domain());
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let sub = sub_strategy.new_tree(&mut runner).unwrap().current();
+        let out = ops::marginalize(&table, sub);
+        prop_assert!((out.sum() - table.sum()).abs() < 1e-9 * (1.0 + table.sum()));
+    }
+
+    #[test]
+    fn marginalization_is_order_independent(table in arb_table()) {
+        // Summing out variables one at a time (any split) equals summing
+        // out all at once; here: two-step via a random mid domain.
+        let mid_strategy = arb_subdomain(table.domain());
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let mid = mid_strategy.new_tree(&mut runner).unwrap().current();
+        let sub_strategy = arb_subdomain(&mid);
+        let sub = sub_strategy.new_tree(&mut runner).unwrap().current();
+
+        let direct = ops::marginalize(&table, sub.clone());
+        let two_step = ops::marginalize(&ops::marginalize(&table, mid), sub);
+        for (a, b) in direct.values().iter().zip(two_step.values()) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn extension_distributes_over_marginalization(table in arb_table()) {
+        // Σ_z (φ(x,z) · ψ(x)) = ψ(x) · Σ_z φ(x,z): multiply-then-sum equals
+        // sum-then-multiply when the message domain survives.
+        let sub_strategy = arb_subdomain(table.domain());
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let sub = sub_strategy.new_tree(&mut runner).unwrap().current();
+        let msg = PotentialTable::from_values(
+            sub.clone(),
+            (0..sub.size()).map(|i| 0.5 + (i % 5) as f64).collect(),
+        );
+
+        let mut mul_first = table.clone();
+        ops::extend_multiply(&mut mul_first, &msg);
+        let lhs = ops::marginalize(&mul_first, sub.clone());
+
+        let mut rhs = ops::marginalize(&table, sub);
+        ops::multiply_into(&mut rhs, &msg);
+
+        for (a, b) in lhs.values().iter().zip(rhs.values()) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn reduction_then_sum_equals_slice_mass(table in arb_table()) {
+        // After reduce(var = s), total mass equals the var = s slice of the
+        // single-variable marginal.
+        let domain = table.domain();
+        let pos = domain.num_vars() / 2;
+        let var = domain.vars()[pos];
+        let card = domain.cards()[pos];
+        let marginal = ops::marginal_of_var(&table, var);
+        for (state, &mass) in marginal.iter().enumerate().take(card) {
+            let mut reduced = table.clone();
+            ops::reduce_evidence(&mut reduced, var, state);
+            prop_assert!((reduced.sum() - mass).abs() < 1e-9,
+                "state {state}: {} vs {}", reduced.sum(), mass);
+        }
+    }
+
+    #[test]
+    fn parallel_ops_bit_match_sequential(table in arb_table()) {
+        let pool = ThreadPool::new(3);
+        let sched = Schedule::Dynamic { grain: 3 };
+        let sub_strategy = arb_subdomain(table.domain());
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let sub = sub_strategy.new_tree(&mut runner).unwrap().current();
+
+        let mut seq_out = PotentialTable::zeros(sub.clone());
+        ops::marginalize_into(&table, &mut seq_out);
+        let mut par_out = PotentialTable::zeros(sub.clone());
+        ops_par::marginalize_into_par(&pool, sched, &table, &mut par_out);
+        prop_assert_eq!(seq_out.values(), par_out.values());
+
+        let msg = PotentialTable::from_values(
+            sub.clone(),
+            (0..sub.size()).map(|i| 0.25 + (i % 3) as f64).collect(),
+        );
+        let mut seq_t = table.clone();
+        ops::extend_multiply(&mut seq_t, &msg);
+        let mut par_t = table.clone();
+        ops_par::extend_multiply_par(&pool, sched, &mut par_t, &msg);
+        prop_assert_eq!(seq_t.values(), par_t.values());
+    }
+
+    #[test]
+    fn normalize_makes_a_distribution(mut table in arb_table()) {
+        prop_assume!(table.sum() > 0.0);
+        let before = table.sum();
+        let z = table.normalize().unwrap();
+        prop_assert!((z - before).abs() < 1e-12);
+        prop_assert!((table.sum() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_cpt_tables_are_conditional_distributions(
+        child_card in 2usize..4,
+        parent_card in 2usize..4,
+        seed in 0u64..50,
+    ) {
+        // Build a random CPT and check its potential-table form sums to 1
+        // over the child for every parent state.
+        let mut values = Vec::new();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        for _ in 0..parent_card {
+            let mut row: Vec<f64> = (0..child_card)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    1.0 + (state % 100) as f64
+                })
+                .collect();
+            let sum: f64 = row.iter().sum();
+            for v in &mut row {
+                *v /= sum;
+            }
+            let drift = 1.0 - row.iter().sum::<f64>();
+            row[0] += drift;
+            values.extend(row);
+        }
+        let cpt = fastbn_bayesnet::Cpt::new(
+            VarId(0),
+            vec![VarId(1)],
+            child_card,
+            vec![parent_card],
+            values,
+        )
+        .unwrap();
+        let cards = vec![child_card, parent_card];
+        let table = PotentialTable::from_cpt(&cpt, &cards);
+        for p in 0..parent_card {
+            let total: f64 = (0..child_card)
+                .map(|c| table.value_at(&[c, p]))
+                .sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+}

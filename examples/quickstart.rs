@@ -1,0 +1,55 @@
+//! Quickstart: build a network, run Fast-BNI inference, print posteriors.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use fastbn::bayesnet::datasets;
+use fastbn::{Evidence, HybridJt, InferenceEngine, Prepared, VarId};
+
+fn main() {
+    // The classic "Asia" chest-clinic network (8 binary variables).
+    let net = datasets::asia();
+    println!(
+        "network: {} ({} variables, {} edges)\n",
+        net.name(),
+        net.num_vars(),
+        net.num_edges()
+    );
+
+    // One-time preparation: moralize, triangulate, build the junction
+    // tree, select the center root, assign CPTs to cliques.
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    println!(
+        "junction tree: {} cliques, {} separators, width {}, {} layers\n",
+        prepared.num_cliques(),
+        prepared.num_separators(),
+        prepared.built.tree.width(),
+        prepared.built.schedule.num_layers(),
+    );
+
+    // The Fast-BNI-par hybrid engine on 2 threads.
+    let mut engine = HybridJt::new(prepared, 2);
+
+    // A patient with dyspnea who recently visited Asia.
+    let evidence = Evidence::from_pairs([
+        (net.var_id("Dyspnea").unwrap(), 0),
+        (net.var_id("VisitAsia").unwrap(), 0),
+    ]);
+    let posteriors = engine.query(&evidence).unwrap();
+
+    println!("P(evidence) = {:.6}", posteriors.prob_evidence);
+    println!("posterior marginals given dyspnea + Asia visit:");
+    for v in 0..net.num_vars() {
+        let id = VarId::from_index(v);
+        let var = net.var(id);
+        let m = posteriors.marginal(id);
+        let states: Vec<String> = var
+            .states()
+            .iter()
+            .zip(m)
+            .map(|(s, p)| format!("{s}={p:.4}"))
+            .collect();
+        println!("  {:<14} {}", var.name(), states.join("  "));
+    }
+}

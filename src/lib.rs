@@ -1,0 +1,52 @@
+//! # fastbn
+//!
+//! A Rust reproduction of **"Fast Parallel Exact Inference on Bayesian
+//! Networks"** (Jiang, Wen, Mansoor, Mian — PPoPP 2023): junction-tree
+//! exact inference with hybrid inter-/intra-clique parallelism
+//! (**Fast-BNI**), plus the full substrate it depends on — Bayesian
+//! networks with BIF I/O, potential tables with parallel index-mapped
+//! operations, junction-tree construction with root selection and BFS
+//! layering, an OpenMP-analogue thread pool, and the paper's three
+//! parallel baselines.
+//!
+//! This facade crate re-exports the workspace members; depend on it for
+//! everything, or on individual `fastbn-*` crates for a subset.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fastbn::bayesnet::{datasets, Evidence};
+//! use fastbn::inference::{HybridJt, InferenceEngine, Prepared};
+//! use std::sync::Arc;
+//!
+//! // 1. A Bayesian network (classic Asia; or load a .bif, or generate).
+//! let net = datasets::asia();
+//! // 2. Build the junction tree and initial potentials once.
+//! let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+//! // 3. Fast-BNI-par engine with 2 threads.
+//! let mut engine = HybridJt::new(prepared, 2);
+//! // 4. Query: P(everything | XRay = yes).
+//! let xray = net.var_id("XRay").unwrap();
+//! let posteriors = engine.query(&Evidence::from_pairs([(xray, 0)])).unwrap();
+//! let tub = net.var_id("Tuberculosis").unwrap();
+//! assert!(posteriors.marginal(tub)[0] > 0.05); // x-ray raises P(tub)
+//! ```
+
+/// Bayesian-network substrate (variables, CPTs, DAG, BIF, generators).
+pub use fastbn_bayesnet as bayesnet;
+/// Inference engines and oracles (the paper's contribution).
+pub use fastbn_inference as inference;
+/// Junction-tree construction.
+pub use fastbn_jtree as jtree;
+/// OpenMP-analogue thread pool.
+pub use fastbn_parallel as parallel;
+/// Potential tables and the three dominant operations.
+pub use fastbn_potential as potential;
+
+pub use fastbn_bayesnet::{BayesianNetwork, Evidence, NetworkBuilder, VarId, Variable};
+pub use fastbn_inference::{
+    build_engine, DirectJt, ElementJt, EngineKind, HybridJt, InferenceEngine, InferenceError,
+    Posteriors, Prepared, PrimitiveJt, ReferenceJt, SeqJt,
+};
+pub use fastbn_jtree::JtreeOptions;
+pub use fastbn_parallel::{Schedule, ThreadPool};

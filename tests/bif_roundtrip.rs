@@ -1,0 +1,79 @@
+//! Property-based BIF round-trip: any generated network serializes to BIF
+//! and parses back to an equivalent network (same structure, same CPTs,
+//! same inference results).
+
+use fastbn::bayesnet::generators::{self, ArityDist, CptStyle, WindowedDagSpec};
+use fastbn::bayesnet::{bif, datasets};
+use fastbn::VarId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_networks_roundtrip_through_bif(
+        nodes in 2usize..30,
+        max_parents in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let spec = WindowedDagSpec {
+            name: "bif-prop".into(),
+            nodes,
+            target_arcs: nodes * 2,
+            max_parents,
+            window: 5,
+            arity: ArityDist::Uniform { min: 2, max: 5 },
+            cpt: CptStyle { alpha: 1.0 },
+            seed,
+        };
+        let net = generators::windowed_dag(&spec);
+        let text = bif::to_bif_string(&net);
+        let back = bif::parse_str(&text).expect("parse own output");
+        prop_assert_eq!(back.num_vars(), net.num_vars());
+        prop_assert_eq!(back.num_edges(), net.num_edges());
+        for v in 0..net.num_vars() {
+            let id = VarId::from_index(v);
+            prop_assert_eq!(back.var(id).name(), net.var(id).name());
+            prop_assert_eq!(back.var(id).states(), net.var(id).states());
+            prop_assert_eq!(back.cpt(id).parents(), net.cpt(id).parents());
+            let (a, b) = (back.cpt(id).values(), net.cpt(id).values());
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!((x - y).abs() < 1e-12, "var {}: {} vs {}", v, x, y);
+            }
+        }
+    }
+}
+
+#[test]
+fn bif_text_of_asia_reparses_after_whitespace_mangling() {
+    let net = datasets::asia();
+    let text = bif::to_bif_string(&net);
+    // Collapse all newlines: the grammar is whitespace-insensitive.
+    let mangled = text.replace('\n', " ");
+    let back = bif::parse_str(&mangled).unwrap();
+    assert_eq!(back.num_vars(), 8);
+}
+
+#[test]
+fn bif_accepts_foreign_dialect_features() {
+    // Comments, properties, quoted names, default rows — things real
+    // bnlearn/JavaBayes files contain.
+    let text = r#"
+// full line comment
+network "chest clinic" {
+  property author "test";
+}
+variable A { type discrete [ 2 ] { "yes state", no }; property x y z; }
+variable B { type discrete [ 2 ] { t, f }; }
+probability ( A ) { table 0.25, 0.75; }
+probability ( B | A ) {
+  default 0.5, 0.5;
+  ("yes state") 0.9, 0.1; /* inline */
+}
+"#;
+    let net = bif::parse_str(text).unwrap();
+    assert_eq!(net.name(), "chest clinic");
+    let b = net.var_id("B").unwrap();
+    assert!((net.cpt(b).probability(0, &[0]) - 0.9).abs() < 1e-12);
+    assert!((net.cpt(b).probability(0, &[1]) - 0.5).abs() < 1e-12);
+}

@@ -1,0 +1,109 @@
+//! Cross-engine / cross-oracle consistency: every engine (at several
+//! thread counts) must agree bitwise with Fast-BNI-seq, which in turn
+//! must agree with variable elimination and brute force.
+
+use std::sync::Arc;
+
+use fastbn::bayesnet::{datasets, generators, sampler};
+use fastbn::inference::oracle::{brute_force, variable_elimination};
+use fastbn::inference::validate::assert_engines_agree;
+use fastbn::{Evidence, InferenceEngine, Prepared, SeqJt};
+
+fn cases_for(net: &fastbn::BayesianNetwork, n: usize, seed: u64) -> Vec<Evidence> {
+    sampler::generate_cases(net, n, 0.25, seed)
+        .into_iter()
+        .map(|c| c.evidence)
+        .collect()
+}
+
+#[test]
+fn all_engines_agree_on_classic_networks() {
+    for name in ["sprinkler", "asia", "cancer", "student"] {
+        let net = datasets::by_name(name).unwrap();
+        let cases = cases_for(&net, 8, 42);
+        let worst = assert_engines_agree(&net, &cases, &[1, 2, 4], 1e-9);
+        assert!(worst <= 1e-9, "{name}: worst JT-vs-VE diff {worst}");
+    }
+}
+
+#[test]
+fn all_engines_agree_on_random_windowed_dags() {
+    for seed in 0..3 {
+        let spec = generators::WindowedDagSpec {
+            nodes: 35,
+            target_arcs: 48,
+            max_parents: 3,
+            window: 5,
+            seed,
+            ..generators::WindowedDagSpec::new("consistency", 35)
+        };
+        let net = generators::windowed_dag(&spec);
+        let cases = cases_for(&net, 4, seed + 100);
+        assert_engines_agree(&net, &cases, &[2], 1e-8);
+    }
+}
+
+#[test]
+fn all_engines_agree_on_polytrees_and_grids() {
+    let poly = generators::polytree(40, 3, 5);
+    assert_engines_agree(&poly, &cases_for(&poly, 4, 1), &[2], 1e-8);
+    let grid = generators::grid(3, 6, 2, 5);
+    assert_engines_agree(&grid, &cases_for(&grid, 4, 2), &[2], 1e-8);
+}
+
+#[test]
+fn seq_jt_matches_brute_force_exactly_enough() {
+    // Brute force enumerates the joint — a fully independent path.
+    for name in ["sprinkler", "asia", "cancer", "student"] {
+        let net = datasets::by_name(name).unwrap();
+        let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+        let mut engine = SeqJt::new(prepared);
+        for ev in cases_for(&net, 6, 7) {
+            let jt = engine.query(&ev).unwrap();
+            let bf = brute_force::all_posteriors(&net, &ev).unwrap();
+            assert!(
+                jt.max_abs_diff(&bf) < 1e-10,
+                "{name}: JT vs brute force diff {}",
+                jt.max_abs_diff(&bf)
+            );
+            let rel = (jt.prob_evidence - bf.prob_evidence).abs() / bf.prob_evidence;
+            assert!(rel < 1e-10, "{name}: P(e) rel err {rel}");
+        }
+    }
+}
+
+#[test]
+fn posteriors_respect_d_separation() {
+    // If X ⫫ Y | Z structurally, observing X must not change P(Y | Z).
+    let net = datasets::asia();
+    let d = net.dag();
+    let smoke = net.var_id("Smoker").unwrap();
+    let asia_v = net.var_id("VisitAsia").unwrap();
+    assert!(d.d_separated(asia_v.0, smoke.0, &[]));
+
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let mut engine = SeqJt::new(prepared);
+    let base = engine.query(&Evidence::empty()).unwrap();
+    let cond = engine
+        .query(&Evidence::from_pairs([(asia_v, 0)]))
+        .unwrap();
+    for (a, b) in base.marginal(smoke).iter().zip(cond.marginal(smoke)) {
+        assert!((a - b).abs() < 1e-12, "d-separated var moved: {a} vs {b}");
+    }
+}
+
+#[test]
+fn ve_prob_evidence_decreases_with_more_findings() {
+    // P(e1, e2) ≤ P(e1): adding evidence can only lower the probability.
+    let net = datasets::asia();
+    let dysp = net.var_id("Dyspnea").unwrap();
+    let smoke = net.var_id("Smoker").unwrap();
+    let p1 =
+        variable_elimination::prob_evidence(&net, &Evidence::from_pairs([(dysp, 0)])).unwrap();
+    let p2 = variable_elimination::prob_evidence(
+        &net,
+        &Evidence::from_pairs([(dysp, 0), (smoke, 0)]),
+    )
+    .unwrap();
+    assert!(p2 <= p1 + 1e-15, "{p2} > {p1}");
+}

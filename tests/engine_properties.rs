@@ -1,0 +1,117 @@
+//! Property-based tests of inference itself: on random networks with
+//! random (sampled, hence possible) evidence, the junction-tree engines
+//! must match variable elimination, marginals must be normalized, and
+//! results must be invariant to thread count and engine choice.
+
+use std::sync::Arc;
+
+use fastbn::bayesnet::generators::{self, ArityDist, CptStyle, WindowedDagSpec};
+use fastbn::bayesnet::sampler;
+use fastbn::inference::oracle::variable_elimination as ve;
+use fastbn::{build_engine, EngineKind, Prepared};
+use proptest::prelude::*;
+
+fn arb_net_spec() -> impl Strategy<Value = WindowedDagSpec> {
+    (6usize..28, 1usize..4, 2usize..6, 0u64..500).prop_map(
+        |(nodes, max_parents, window, seed)| WindowedDagSpec {
+            name: "prop-net".into(),
+            nodes,
+            target_arcs: nodes + nodes / 2,
+            max_parents,
+            window,
+            arity: ArityDist::Uniform { min: 2, max: 4 },
+            cpt: CptStyle { alpha: 0.8 },
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn jt_matches_ve_on_random_networks(spec in arb_net_spec(), case_seed in 0u64..100) {
+        let net = generators::windowed_dag(&spec);
+        let evidence = sampler::generate_cases(&net, 1, 0.3, case_seed)
+            .pop()
+            .unwrap()
+            .evidence;
+        let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+        let mut seq = build_engine(EngineKind::Seq, prepared.clone(), 1);
+        let jt = seq.query(&evidence).unwrap();
+        let oracle = ve::all_posteriors(&net, &evidence).unwrap();
+        prop_assert!(jt.max_abs_diff(&oracle) < 1e-8,
+            "diff {}", jt.max_abs_diff(&oracle));
+        let rel = (jt.prob_evidence - oracle.prob_evidence).abs() / oracle.prob_evidence;
+        prop_assert!(rel < 1e-8, "P(e) rel err {rel}");
+    }
+
+    #[test]
+    fn marginals_are_normalized_distributions(spec in arb_net_spec(), case_seed in 0u64..100) {
+        let net = generators::windowed_dag(&spec);
+        let evidence = sampler::generate_cases(&net, 1, 0.2, case_seed)
+            .pop()
+            .unwrap()
+            .evidence;
+        let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+        let mut hybrid = build_engine(EngineKind::Hybrid, prepared, 2);
+        let post = hybrid.query(&evidence).unwrap();
+        for v in 0..net.num_vars() {
+            let m = post.marginal(fastbn::VarId::from_index(v));
+            let sum: f64 = m.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "var {v} sums to {sum}");
+            prop_assert!(m.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        }
+        prop_assert!(post.prob_evidence > 0.0 && post.prob_evidence <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn engines_and_thread_counts_are_bitwise_interchangeable(
+        spec in arb_net_spec(),
+        case_seed in 0u64..100,
+    ) {
+        let net = generators::windowed_dag(&spec);
+        let evidence = sampler::generate_cases(&net, 1, 0.25, case_seed)
+            .pop()
+            .unwrap()
+            .evidence;
+        let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+        let mut seq = build_engine(EngineKind::Seq, prepared.clone(), 1);
+        let expected = seq.query(&evidence).unwrap();
+        for kind in [EngineKind::Direct, EngineKind::Primitive, EngineKind::Element, EngineKind::Hybrid] {
+            for t in [1usize, 3] {
+                let mut engine = build_engine(kind, prepared.clone(), t);
+                let got = engine.query(&evidence).unwrap();
+                prop_assert_eq!(expected.max_abs_diff(&got), 0.0,
+                    "{} t={} differs", kind.name(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn conditioning_on_sampled_state_raises_its_joint_consistency(
+        spec in arb_net_spec(),
+        case_seed in 0u64..50,
+    ) {
+        // Chain rule check: P(e) computed by the engine equals the product
+        // of CPT entries when e is a full assignment.
+        let net = generators::windowed_dag(&spec);
+        let case = sampler::generate_cases(&net, 1, 1.0, case_seed).pop().unwrap();
+        let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+        let mut engine = build_engine(EngineKind::Seq, prepared, 1);
+        let post = engine.query(&case.evidence).unwrap();
+        let mut expected = 1.0;
+        for v in 0..net.num_vars() {
+            let id = fastbn::VarId::from_index(v);
+            let cpt = net.cpt(id);
+            let parent_states: Vec<usize> = cpt
+                .parents()
+                .iter()
+                .map(|p| case.full_assignment[p.index()])
+                .collect();
+            expected *= cpt.probability(case.full_assignment[v], &parent_states);
+        }
+        let rel = (post.prob_evidence - expected).abs() / expected.max(f64::MIN_POSITIVE);
+        prop_assert!(rel < 1e-9, "P(e) {} vs chain rule {}", post.prob_evidence, expected);
+    }
+}

@@ -1,0 +1,168 @@
+//! Evidence edge cases, exercised across all engines: empty evidence,
+//! full observation, impossible findings, deterministic CPTs, invalid
+//! input, repeated querying.
+
+use std::sync::Arc;
+
+use fastbn::bayesnet::{datasets, NetworkBuilder};
+use fastbn::{
+    build_engine, Evidence, EngineKind, InferenceError, Prepared, VarId,
+};
+
+fn engines_for(
+    prepared: &Arc<Prepared>,
+) -> Vec<Box<dyn fastbn::InferenceEngine + Send>> {
+    EngineKind::all()
+        .into_iter()
+        .map(|k| build_engine(k, prepared.clone(), 2))
+        .collect()
+}
+
+#[test]
+fn empty_evidence_reproduces_priors_in_every_engine() {
+    let net = datasets::asia();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let tub = net.var_id("Tuberculosis").unwrap();
+    for mut engine in engines_for(&prepared) {
+        let post = engine.query(&Evidence::empty()).unwrap();
+        assert!(
+            (post.marginal(tub)[0] - 0.0104).abs() < 1e-9,
+            "{}",
+            engine.name()
+        );
+        assert!((post.prob_evidence - 1.0).abs() < 1e-9, "{}", engine.name());
+    }
+}
+
+#[test]
+fn fully_observed_network_in_every_engine() {
+    let net = datasets::sprinkler();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    // Cloudy=t, Sprinkler=f, Rain=t, Wet=t: P = 0.5 * 0.9 * 0.8 * 0.9.
+    let ev = Evidence::from_pairs([
+        (VarId(0), 0),
+        (VarId(1), 1),
+        (VarId(2), 0),
+        (VarId(3), 0),
+    ]);
+    let expected = 0.5 * 0.9 * 0.8 * 0.9;
+    for mut engine in engines_for(&prepared) {
+        let post = engine.query(&ev).unwrap();
+        assert!(
+            (post.prob_evidence - expected).abs() < 1e-12,
+            "{}: {} vs {expected}",
+            engine.name(),
+            post.prob_evidence
+        );
+        for v in 0..4 {
+            let m = post.marginal(VarId(v));
+            assert_eq!(m.iter().filter(|&&p| p == 1.0).count(), 1);
+        }
+    }
+}
+
+#[test]
+fn impossible_evidence_rejected_by_every_engine() {
+    let net = datasets::asia();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let tub = net.var_id("Tuberculosis").unwrap();
+    let either = net.var_id("TbOrCa").unwrap();
+    let impossible = Evidence::from_pairs([(tub, 0), (either, 1)]);
+    for mut engine in engines_for(&prepared) {
+        assert_eq!(
+            engine.query(&impossible).unwrap_err(),
+            InferenceError::ImpossibleEvidence,
+            "{}",
+            engine.name()
+        );
+        // Engine remains usable after the failure.
+        assert!(engine.query(&Evidence::empty()).is_ok(), "{}", engine.name());
+    }
+}
+
+#[test]
+fn deterministic_cpts_propagate_hard_constraints() {
+    let net = datasets::asia();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let tub = net.var_id("Tuberculosis").unwrap();
+    let lung = net.var_id("LungCancer").unwrap();
+    let either = net.var_id("TbOrCa").unwrap();
+    for mut engine in engines_for(&prepared) {
+        // Observing either=no forces tub=no and lung=no exactly.
+        let post = engine.query(&Evidence::from_pairs([(either, 1)])).unwrap();
+        assert_eq!(post.marginal(tub)[0], 0.0, "{}", engine.name());
+        assert_eq!(post.marginal(lung)[0], 0.0, "{}", engine.name());
+    }
+}
+
+#[test]
+fn evidence_on_single_node_network() {
+    let mut b = NetworkBuilder::new();
+    let a = b.add_var("only", &["x", "y", "z"]);
+    b.set_cpt(a, vec![], vec![0.2, 0.3, 0.5]).unwrap();
+    let net = b.build().unwrap();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    for mut engine in engines_for(&prepared) {
+        let post = engine.query(&Evidence::from_pairs([(a, 2)])).unwrap();
+        assert_eq!(post.marginal(a), &[0.0, 0.0, 1.0], "{}", engine.name());
+        assert!((post.prob_evidence - 0.5).abs() < 1e-12, "{}", engine.name());
+    }
+}
+
+#[test]
+fn disconnected_components_stay_independent() {
+    let mut b = NetworkBuilder::new();
+    let a = b.add_var("a", &["t", "f"]);
+    let a2 = b.add_var("a2", &["t", "f"]);
+    let c = b.add_var("c", &["t", "f"]);
+    b.set_cpt(a, vec![], vec![0.6, 0.4]).unwrap();
+    b.set_cpt(a2, vec![a], vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+    b.set_cpt(c, vec![], vec![0.3, 0.7]).unwrap();
+    let net = b.build().unwrap();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    for mut engine in engines_for(&prepared) {
+        // Evidence in one component must not disturb the other.
+        let post = engine.query(&Evidence::from_pairs([(a2, 0)])).unwrap();
+        assert!(
+            (post.marginal(c)[0] - 0.3).abs() < 1e-12,
+            "{}",
+            engine.name()
+        );
+        // P(a2 = t) = 0.6*0.9 + 0.4*0.2 = 0.62.
+        assert!(
+            (post.prob_evidence - 0.62).abs() < 1e-12,
+            "{}: {}",
+            engine.name(),
+            post.prob_evidence
+        );
+    }
+}
+
+#[test]
+fn invalid_evidence_fails_validation() {
+    let net = datasets::sprinkler();
+    let ev = Evidence::from_pairs([(VarId(0), 5)]);
+    assert!(ev.validate(&net).is_err());
+    let unknown = Evidence::from_pairs([(VarId(99), 0)]);
+    assert!(unknown.validate(&net).is_err());
+}
+
+#[test]
+fn overwriting_and_clearing_evidence_between_queries() {
+    let net = datasets::cancer();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let mut engine = build_engine(EngineKind::Hybrid, prepared, 2);
+    let smoker = net.var_id("Smoker").unwrap();
+    let cancer = net.var_id("Cancer").unwrap();
+
+    let p_smoker = engine
+        .query(&Evidence::from_pairs([(smoker, 0)]))
+        .unwrap()
+        .marginal(cancer)[0];
+    let p_nonsmoker = engine
+        .query(&Evidence::from_pairs([(smoker, 1)]))
+        .unwrap()
+        .marginal(cancer)[0];
+    let p_prior = engine.query(&Evidence::empty()).unwrap().marginal(cancer)[0];
+    assert!(p_smoker > p_prior && p_prior > p_nonsmoker);
+}

@@ -1,0 +1,135 @@
+//! Integration tests of the extension features (parameter learning and
+//! virtual evidence) working together with the inference pipeline.
+
+use std::sync::Arc;
+
+use fastbn::bayesnet::learn::{fit_parameters, mean_log_likelihood};
+use fastbn::bayesnet::{datasets, generators, sampler};
+use fastbn::inference::virtual_evidence::VirtualEvidence;
+use fastbn::{Evidence, InferenceEngine, Prepared, SeqJt, VarId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rows(net: &fastbn::BayesianNetwork, n: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| sampler::forward_sample(net, &mut rng))
+        .collect()
+}
+
+#[test]
+fn fitted_model_posteriors_approach_truth() {
+    let truth = datasets::cancer();
+    let fitted = fit_parameters(&truth, &rows(&truth, 80_000, 11), 1.0).unwrap();
+
+    let mut truth_engine = SeqJt::new(Arc::new(Prepared::new(&truth, &Default::default())));
+    let mut fitted_engine = SeqJt::new(Arc::new(Prepared::new(&fitted, &Default::default())));
+    let smoker = truth.var_id("Smoker").unwrap();
+    let ev = Evidence::from_pairs([(smoker, 0)]);
+    let a = truth_engine.query(&ev).unwrap();
+    let b = fitted_engine.query(&ev).unwrap();
+    assert!(
+        a.max_abs_diff(&b) < 0.02,
+        "fitted posteriors deviate by {}",
+        a.max_abs_diff(&b)
+    );
+}
+
+#[test]
+fn learning_works_on_generated_networks() {
+    let spec = generators::WindowedDagSpec {
+        nodes: 20,
+        target_arcs: 28,
+        max_parents: 2,
+        window: 5,
+        seed: 9,
+        ..generators::WindowedDagSpec::new("learn-gen", 20)
+    };
+    let truth = generators::windowed_dag(&spec);
+    let train = rows(&truth, 30_000, 12);
+    let fitted = fit_parameters(&truth, &train, 1.0).unwrap();
+    // Held-out likelihood of the fitted model must be close to the truth's.
+    let test = rows(&truth, 5_000, 13);
+    let gap = mean_log_likelihood(&truth, &test) - mean_log_likelihood(&fitted, &test);
+    assert!(gap.abs() < 0.05, "likelihood gap {gap}");
+}
+
+#[test]
+fn virtual_evidence_interpolates_between_prior_and_hard() {
+    // Increasingly confident likelihoods must move the posterior
+    // monotonically from the prior toward the hard-evidence posterior.
+    let net = datasets::asia();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let mut engine = SeqJt::new(prepared);
+    let xray = net.var_id("XRay").unwrap();
+    let lung = net.var_id("LungCancer").unwrap();
+
+    let prior = engine.query(&Evidence::empty()).unwrap().marginal(lung)[0];
+    let hard = engine
+        .query(&Evidence::from_pairs([(xray, 0)]))
+        .unwrap()
+        .marginal(lung)[0];
+    let mut last = prior;
+    for confidence in [0.55, 0.7, 0.85, 0.99] {
+        let post = engine
+            .query_with_virtual(
+                &Evidence::empty(),
+                &VirtualEvidence::empty().with(xray, vec![confidence, 1.0 - confidence]),
+            )
+            .unwrap()
+            .marginal(lung)[0];
+        assert!(
+            post >= last - 1e-12,
+            "posterior must rise with confidence: {post} < {last}"
+        );
+        assert!(post <= hard + 1e-12);
+        last = post;
+    }
+}
+
+#[test]
+fn virtual_evidence_combines_with_hard_evidence() {
+    let net = datasets::asia();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let mut engine = SeqJt::new(prepared);
+    let dysp = net.var_id("Dyspnea").unwrap();
+    let xray = net.var_id("XRay").unwrap();
+    let bronc = net.var_id("Bronchitis").unwrap();
+
+    let hard_only = engine
+        .query(&Evidence::from_pairs([(dysp, 0)]))
+        .unwrap();
+    let with_soft = engine
+        .query_with_virtual(
+            &Evidence::from_pairs([(dysp, 0)]),
+            &VirtualEvidence::empty().with(xray, vec![0.9, 0.1]),
+        )
+        .unwrap();
+    // The soft x-ray shifts mass toward TbOrCa explanations, away from
+    // bronchitis-only explanations.
+    assert!(with_soft.marginal(bronc)[0] < hard_only.marginal(bronc)[0] + 1e-12);
+    // P(e) shrinks when more (soft) findings are added.
+    assert!(with_soft.prob_evidence <= hard_only.prob_evidence + 1e-12);
+    // Hard evidence still reported as a point mass.
+    assert_eq!(with_soft.marginal(dysp), &[1.0, 0.0]);
+}
+
+#[test]
+fn refit_then_mpe_pipeline() {
+    // Full pipeline: learn parameters, then ask for the MPE under the
+    // fitted model — exercises learn + jtree + max-product together.
+    let truth = datasets::student();
+    let fitted = fit_parameters(&truth, &rows(&truth, 20_000, 21), 1.0).unwrap();
+    let prepared = Prepared::new(&fitted, &Default::default());
+    let letter = fitted.var_id("Letter").unwrap();
+    let mpe = fastbn::inference::mpe::most_probable_explanation(
+        &prepared,
+        &Evidence::from_pairs([(letter, 1)]),
+    )
+    .unwrap();
+    assert_eq!(mpe.assignment[letter.index()], 1);
+    assert!(mpe.probability > 0.0);
+    for v in 0..fitted.num_vars() {
+        assert!(mpe.assignment[v] < fitted.cardinality(VarId::from_index(v)));
+    }
+}

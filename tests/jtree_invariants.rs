@@ -1,0 +1,96 @@
+//! Property-based tests of the junction-tree pipeline: every random
+//! network must yield a tree satisfying the running intersection
+//! property, family coverage, and a consistent layer schedule; the center
+//! root must never produce more layers than the alternatives.
+
+use fastbn::bayesnet::generators::{self, ArityDist, CptStyle, WindowedDagSpec};
+use fastbn::jtree::{
+    build_junction_tree, root_tree, JtreeOptions, LayerSchedule, RootStrategy,
+};
+use fastbn::VarId;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = WindowedDagSpec> {
+    (5usize..60, 1usize..4, 2usize..9, 0u64..1000, 1usize..4).prop_map(
+        |(nodes, max_parents, window, seed, arity_max)| WindowedDagSpec {
+            name: "prop".into(),
+            nodes,
+            target_arcs: nodes * 3 / 2,
+            max_parents,
+            window,
+            arity: ArityDist::Uniform {
+                min: 2,
+                max: 1 + arity_max,
+            },
+            cpt: CptStyle { alpha: 1.0 },
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn junction_tree_invariants_hold(spec in arb_spec()) {
+        let net = generators::windowed_dag(&spec);
+        let built = build_junction_tree(&net, &JtreeOptions::default());
+        // Running intersection property.
+        prop_assert!(built.tree.verify_running_intersection());
+        // Tree/forest edge count.
+        prop_assert!(built.tree.is_forest());
+        // Every CPT family is covered by some clique.
+        for v in 0..net.num_vars() {
+            let fam = net.dag().family(VarId::from_index(v));
+            prop_assert!(built.tree.smallest_containing(&fam).is_some());
+        }
+        // Schedule covers every non-root clique exactly once per pass.
+        let sched = &built.schedule;
+        let collect_total: usize = sched.collect_layers.iter().map(Vec::len).sum();
+        let dist_total: usize = sched.distribute_layers.iter().map(Vec::len).sum();
+        prop_assert_eq!(collect_total, sched.num_messages());
+        prop_assert_eq!(dist_total, sched.num_messages());
+        prop_assert_eq!(
+            sched.num_messages(),
+            built.tree.num_cliques() - built.tree.components.len()
+        );
+        // Collect layers are deepest-first and each layer is one depth.
+        let mut last_depth = usize::MAX;
+        for layer in &sched.collect_layers {
+            prop_assert!(!layer.is_empty());
+            let d = built.rooted.depth[sched.messages[layer[0]].child];
+            prop_assert!(layer.iter().all(|&id| built.rooted.depth[sched.messages[id].child] == d));
+            prop_assert!(d < last_depth);
+            last_depth = d;
+        }
+    }
+
+    #[test]
+    fn center_root_minimizes_layers(spec in arb_spec()) {
+        let net = generators::windowed_dag(&spec);
+        let built = build_junction_tree(&net, &JtreeOptions::default());
+        let layers_of = |strategy| {
+            LayerSchedule::new(&built.tree, &root_tree(&built.tree, strategy)).num_layers()
+        };
+        let center = layers_of(RootStrategy::Center);
+        let first = layers_of(RootStrategy::First);
+        let worst = layers_of(RootStrategy::Worst);
+        prop_assert!(center <= first, "center {center} > first {first}");
+        prop_assert!(center <= worst, "center {center} > worst {worst}");
+        // Center achieves ceil(diameter / 2); worst realizes the diameter,
+        // so center is at most ceil(worst / 2) per component — globally,
+        // allow the +1 slack from mixing components.
+        prop_assert!(center <= worst / 2 + 1, "center {center}, worst {worst}");
+    }
+
+    #[test]
+    fn separators_are_proper_subsets_of_their_endpoints(spec in arb_spec()) {
+        let net = generators::windowed_dag(&spec);
+        let built = build_junction_tree(&net, &JtreeOptions::default());
+        for sep in &built.tree.separators {
+            prop_assert!(!sep.vars.is_empty(), "empty separator in a component");
+            prop_assert!(built.tree.cliques[sep.a].contains_all(&sep.vars));
+            prop_assert!(built.tree.cliques[sep.b].contains_all(&sep.vars));
+        }
+    }
+}

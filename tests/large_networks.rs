@@ -1,0 +1,109 @@
+//! End-to-end checks on the paper-scale workload analogues: structure
+//! statistics, engine agreement, determinism across repeated preparation,
+//! and the root-selection layer reduction on real benchmark structures.
+
+use std::sync::Arc;
+
+use fastbn::inference::validate::assert_engines_agree;
+use fastbn::jtree::{root_tree, LayerSchedule, RootStrategy};
+use fastbn::{build_engine, EngineKind, Prepared};
+use fastbn_bench::workloads::{all_workloads, workload_by_name};
+
+#[test]
+fn workload_structures_are_tractable() {
+    for w in all_workloads() {
+        let net = w.build();
+        let prepared = Prepared::new(&net, &Default::default());
+        let stats = fastbn::jtree::tree_stats(&net, &prepared.built);
+        assert!(
+            stats.max_clique_entries < 1 << 22,
+            "{}: max clique {} entries",
+            w.name,
+            stats.max_clique_entries
+        );
+        assert!(prepared.built.tree.verify_running_intersection(), "{}", w.name);
+    }
+}
+
+#[test]
+fn engines_agree_on_hailfinder_analogue() {
+    let w = workload_by_name("hailfinder").unwrap();
+    let net = w.build();
+    let cases = w.cases(&net, 3);
+    assert_engines_agree(&net, &cases, &[2], 1e-7);
+}
+
+#[test]
+fn parallel_engines_agree_with_seq_on_large_analogues() {
+    // VE is too slow on the big nets; bitwise JT-vs-JT agreement is the
+    // meaningful check here (VE agreement is covered on smaller nets).
+    for name in ["pigs", "munin2"] {
+        let w = workload_by_name(name).unwrap();
+        let net = w.build();
+        let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+        let cases = w.cases(&net, 2);
+        let mut seq = build_engine(EngineKind::Seq, prepared.clone(), 1);
+        for kind in EngineKind::parallel() {
+            let mut engine = build_engine(kind, prepared.clone(), 2);
+            for ev in &cases {
+                let a = seq.query(ev).unwrap();
+                let b = engine.query(ev).unwrap();
+                assert_eq!(a.max_abs_diff(&b), 0.0, "{name}/{}", kind.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn preparation_is_deterministic() {
+    let w = workload_by_name("pathfinder").unwrap();
+    let net1 = w.build();
+    let net2 = w.build();
+    let p1 = Prepared::new(&net1, &Default::default());
+    let p2 = Prepared::new(&net2, &Default::default());
+    assert_eq!(p1.num_cliques(), p2.num_cliques());
+    for (a, b) in p1.initial_cliques.iter().zip(&p2.initial_cliques) {
+        assert_eq!(a.values(), b.values());
+    }
+    assert_eq!(p1.assignment, p2.assignment);
+}
+
+#[test]
+fn center_rooting_reduces_layers_on_benchmark_structures() {
+    // The root-selection claim on the actual evaluation structures: the
+    // center root must (roughly) halve the deepest-rooted layer count.
+    for w in all_workloads() {
+        let net = w.build();
+        let built = fastbn::jtree::build_junction_tree(&net, &Default::default());
+        let center = built.schedule.num_layers();
+        let worst = LayerSchedule::new(
+            &built.tree,
+            &root_tree(&built.tree, RootStrategy::Worst),
+        )
+        .num_layers();
+        assert!(
+            center <= worst / 2 + 1,
+            "{}: center {center} vs worst {worst}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn query_throughput_smoke() {
+    // Ensure a full 10-case batch on a large analogue completes and every
+    // posterior is a distribution (guards against silent NaN creep).
+    let w = workload_by_name("munin2").unwrap();
+    let net = w.build();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let mut engine = build_engine(EngineKind::Hybrid, prepared, 2);
+    for ev in w.cases(&net, 10) {
+        let post = engine.query(&ev).unwrap();
+        assert!(post.prob_evidence.is_finite() && post.prob_evidence > 0.0);
+        for v in 0..net.num_vars() {
+            let m = post.marginal(fastbn::VarId::from_index(v));
+            let sum: f64 = m.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "var {v} marginal sums to {sum}");
+        }
+    }
+}

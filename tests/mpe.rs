@@ -1,0 +1,99 @@
+//! Integration tests of the MPE extension: max-product results are
+//! consistent with posterior inference and stable across networks.
+
+use std::sync::Arc;
+
+use fastbn::bayesnet::{datasets, sampler};
+use fastbn::inference::mpe::most_probable_explanation;
+use fastbn::{Evidence, InferenceEngine, Prepared, SeqJt, VarId};
+use fastbn_bench::workloads::workload_by_name;
+
+#[test]
+fn mpe_probability_never_exceeds_evidence_probability() {
+    // P(x*, e) ≤ P(e) with equality iff the conditional is degenerate.
+    let net = datasets::asia();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let mut engine = SeqJt::new(prepared.clone());
+    for case in sampler::generate_cases(&net, 10, 0.25, 77) {
+        let posterior = engine.query(&case.evidence).unwrap();
+        let mpe = most_probable_explanation(&prepared, &case.evidence).unwrap();
+        assert!(
+            mpe.probability <= posterior.prob_evidence + 1e-12,
+            "P(x*, e) = {} > P(e) = {}",
+            mpe.probability,
+            posterior.prob_evidence
+        );
+        assert!(mpe.probability > 0.0);
+    }
+}
+
+#[test]
+fn mpe_states_have_positive_posterior() {
+    // Every MPE state must be possible under the posterior marginals.
+    let net = datasets::student();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let mut engine = SeqJt::new(prepared.clone());
+    for case in sampler::generate_cases(&net, 10, 0.3, 13) {
+        let posterior = engine.query(&case.evidence).unwrap();
+        let mpe = most_probable_explanation(&prepared, &case.evidence).unwrap();
+        for v in 0..net.num_vars() {
+            let state = mpe.assignment[v];
+            assert!(
+                posterior.marginal(VarId::from_index(v))[state] > 0.0,
+                "var {v} state {state} has zero posterior"
+            );
+        }
+    }
+}
+
+#[test]
+fn mpe_on_paper_scale_network() {
+    // Smoke test on the Pigs analogue: runs, satisfies evidence, yields a
+    // positive probability matching a direct chain-rule evaluation.
+    let w = workload_by_name("pigs").unwrap();
+    let net = w.build();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let case = &sampler::generate_cases(&net, 1, 0.2, 5)[0];
+    let mpe = most_probable_explanation(&prepared, &case.evidence).unwrap();
+    for (var, state) in case.evidence.iter() {
+        assert_eq!(mpe.assignment[var.index()], state);
+    }
+    let mut direct = 1.0f64;
+    for v in 0..net.num_vars() {
+        let id = VarId::from_index(v);
+        let cpt = net.cpt(id);
+        let parents: Vec<usize> = cpt
+            .parents()
+            .iter()
+            .map(|p| mpe.assignment[p.index()])
+            .collect();
+        direct *= cpt.probability(mpe.assignment[v], &parents);
+    }
+    let rel = (mpe.probability - direct).abs() / direct.max(f64::MIN_POSITIVE);
+    assert!(rel < 1e-6, "reported {} vs chain rule {}", mpe.probability, direct);
+}
+
+#[test]
+fn unconditional_mpe_beats_forward_samples() {
+    // The unconditional MPE is at least as probable as any sampled
+    // assignment.
+    let net = datasets::cancer();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let mpe = most_probable_explanation(&prepared, &Evidence::empty()).unwrap();
+    let joint = |assignment: &[usize]| -> f64 {
+        (0..net.num_vars())
+            .map(|v| {
+                let cpt = net.cpt(VarId::from_index(v));
+                let parents: Vec<usize> = cpt
+                    .parents()
+                    .iter()
+                    .map(|p| assignment[p.index()])
+                    .collect();
+                cpt.probability(assignment[v], &parents)
+            })
+            .product()
+    };
+    for case in sampler::generate_cases(&net, 50, 0.0, 3) {
+        assert!(joint(&case.full_assignment) <= mpe.probability + 1e-12);
+    }
+}
