@@ -186,10 +186,7 @@ mod tests {
 
     #[test]
     fn basic_tokens() {
-        assert_eq!(
-            words("network asia { }"),
-            vec!["network", "asia", "{", "}"]
-        );
+        assert_eq!(words("network asia { }"), vec!["network", "asia", "{", "}"]);
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl std::fmt::Display for BifError {
                 "line {line}: row for {var:?} has {got} values, expected {expected}"
             ),
             BifError::MissingRows { var, missing } => {
-                write!(f, "{var:?}: {missing} parent configuration(s) have no probabilities")
+                write!(
+                    f,
+                    "{var:?}: {missing} parent configuration(s) have no probabilities"
+                )
             }
             BifError::DuplicateProbability { line, var } => {
                 write!(f, "line {line}: duplicate probability block for {var:?}")
@@ -297,11 +300,10 @@ impl Parser {
                     self.expect_keyword("discrete")?;
                     self.expect_punct('[')?;
                     let (count_word, cline) = self.expect_word("state count")?;
-                    let declared: usize =
-                        count_word.parse().map_err(|_| BifError::BadNumber {
-                            line: cline,
-                            text: count_word,
-                        })?;
+                    let declared: usize = count_word.parse().map_err(|_| BifError::BadNumber {
+                        line: cline,
+                        text: count_word,
+                    })?;
                     self.expect_punct(']')?;
                     self.expect_punct('{')?;
                     while !self.at_punct('}') {
@@ -519,16 +521,12 @@ pub fn parse_str(input: &str) -> Result<BayesianNetwork, BifError> {
                         });
                     }
                     let mut row = 0usize;
-                    for ((pname, state), card) in decl
-                        .parents
-                        .iter()
-                        .zip(&config)
-                        .zip(&parent_cards)
+                    for ((pname, state), card) in
+                        decl.parents.iter().zip(&config).zip(&parent_cards)
                     {
                         row = row * card + state_index(pname, state, rline)?;
                     }
-                    values[row * child_card..(row + 1) * child_card]
-                        .copy_from_slice(&row_values);
+                    values[row * child_card..(row + 1) * child_card].copy_from_slice(&row_values);
                 }
                 let missing = values.iter().filter(|v| v.is_nan()).count() / child_card.max(1);
                 if missing > 0 {

@@ -232,7 +232,13 @@ mod tests {
     #[test]
     fn wrong_length_rejected() {
         let err = Cpt::new(VarId(0), vec![], 2, vec![], vec![1.0]).unwrap_err();
-        assert_eq!(err, CptError::WrongLength { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            CptError::WrongLength {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

@@ -126,12 +126,8 @@ pub fn student() -> BayesianNetwork {
     .unwrap();
     b.set_cpt(sat, vec![intel], vec![0.95, 0.05, 0.2, 0.8])
         .unwrap();
-    b.set_cpt(
-        letter,
-        vec![grade],
-        vec![0.1, 0.9, 0.4, 0.6, 0.99, 0.01],
-    )
-    .unwrap();
+    b.set_cpt(letter, vec![grade], vec![0.1, 0.9, 0.4, 0.6, 0.99, 0.01])
+        .unwrap();
     b.build().expect("student network is valid")
 }
 

@@ -271,10 +271,9 @@ pub fn naive_bayes(
     let mut ids = vec![class];
     let mut cards = vec![class_card];
     for i in 0..n_features {
-        ids.push(builder.add_variable(Variable::with_cardinality(
-            format!("F{i:03}"),
-            feature_card,
-        )));
+        ids.push(
+            builder.add_variable(Variable::with_cardinality(format!("F{i:03}"), feature_card)),
+        );
         cards.push(feature_card);
     }
     let parents: Vec<Vec<VarId>> = (0..=n_features)
@@ -412,7 +411,8 @@ mod tests {
         let mut spec2 = spec.clone();
         spec2.seed = 1;
         let c = windowed_dag(&spec2);
-        let differs = (0..40).any(|v| a.cpt(crate::VarId(v)).values() != c.cpt(crate::VarId(v)).values());
+        let differs =
+            (0..40).any(|v| a.cpt(crate::VarId(v)).values() != c.cpt(crate::VarId(v)).values());
         assert!(differs, "different seeds should differ");
     }
 

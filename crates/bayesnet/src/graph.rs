@@ -110,9 +110,8 @@ impl Dag {
         let mut in_deg: Vec<usize> = (0..n).map(|v| self.parents[v].len()).collect();
         // A BinaryHeap would give the same result; a sorted frontier via
         // BTreeSet keeps this simple and n is small (≤ ~1k nodes).
-        let mut frontier: std::collections::BTreeSet<u32> = (0..n as u32)
-            .filter(|&v| in_deg[v as usize] == 0)
-            .collect();
+        let mut frontier: std::collections::BTreeSet<u32> =
+            (0..n as u32).filter(|&v| in_deg[v as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(&v) = frontier.iter().next() {
             frontier.remove(&v);
@@ -331,7 +330,10 @@ mod tests {
         g.add_edge(0, 1).unwrap();
         assert_eq!(
             g.add_edge(0, 1),
-            Err(DagError::DuplicateEdge { parent: 0, child: 1 })
+            Err(DagError::DuplicateEdge {
+                parent: 0,
+                child: 1
+            })
         );
     }
 

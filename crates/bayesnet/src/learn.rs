@@ -163,12 +163,11 @@ pub fn mean_log_likelihood(net: &BayesianNetwork, data: &[Vec<usize>]) -> f64 {
             (0..net.num_vars())
                 .map(|v| {
                     let cpt = net.cpt(VarId::from_index(v));
-                    let parents: Vec<usize> = cpt
-                        .parents()
-                        .iter()
-                        .map(|p| row[p.index()])
-                        .collect();
-                    cpt.probability(row[v], &parents).max(f64::MIN_POSITIVE).ln()
+                    let parents: Vec<usize> =
+                        cpt.parents().iter().map(|p| row[p.index()]).collect();
+                    cpt.probability(row[v], &parents)
+                        .max(f64::MIN_POSITIVE)
+                        .ln()
                 })
                 .sum::<f64>()
         })
@@ -185,7 +184,9 @@ mod tests {
 
     fn sample_rows(net: &BayesianNetwork, n: usize, seed: u64) -> Vec<Vec<usize>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| sampler::forward_sample(net, &mut rng)).collect()
+        (0..n)
+            .map(|_| sampler::forward_sample(net, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -263,7 +264,10 @@ mod tests {
         let ll_true = mean_log_likelihood(&net, &test);
         assert!(ll_fitted > ll_uniform, "{ll_fitted} <= {ll_uniform}");
         // And close to the true model's likelihood.
-        assert!((ll_fitted - ll_true).abs() < 0.05, "{ll_fitted} vs {ll_true}");
+        assert!(
+            (ll_fitted - ll_true).abs() < 0.05,
+            "{ll_fitted} vs {ll_true}"
+        );
     }
 
     #[test]

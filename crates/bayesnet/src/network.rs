@@ -224,10 +224,7 @@ impl NetworkBuilder {
     /// at `build` time (so builder calls can stay infallible).
     pub fn add_variable(&mut self, variable: Variable) -> VarId {
         let id = VarId::from_index(self.variables.len());
-        if self
-            .names
-            .insert(variable.name().to_string(), id)
-            .is_some()
+        if self.names.insert(variable.name().to_string(), id).is_some()
             && self.duplicate_name.is_none()
         {
             self.duplicate_name = Some(variable.name().to_string());

@@ -6,8 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fastbn_bench::measure::prepare;
+use fastbn_bench::measure::solver_for;
 use fastbn_bench::workloads::workload_by_name;
-use fastbn_inference::{build_engine, EngineKind};
+use fastbn_inference::EngineKind;
 use std::time::Duration;
 
 fn ablation_flatten(c: &mut Criterion) {
@@ -26,11 +27,12 @@ fn ablation_flatten(c: &mut Criterion) {
         ("inter-only", EngineKind::Direct),
         ("intra-only", EngineKind::Primitive),
     ] {
-        let mut engine = build_engine(kind, prepared.clone(), threads);
+        let solver = solver_for(kind, prepared.clone(), threads);
+        let mut session = solver.session();
         let mut next = 0usize;
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
-                let post = engine.query(&cases[next % cases.len()]).unwrap();
+                let post = session.posteriors(&cases[next % cases.len()]).unwrap();
                 next += 1;
                 post.prob_evidence
             })

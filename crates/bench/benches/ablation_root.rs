@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fastbn_bench::workloads::workload_by_name;
-use fastbn_inference::{HybridJt, InferenceEngine, Prepared};
+use fastbn_inference::{EngineKind, Prepared, Solver};
 use fastbn_jtree::{EliminationHeuristic, JtreeOptions, RootStrategy};
 
 fn ablation_root(c: &mut Criterion) {
@@ -35,15 +35,22 @@ fn ablation_root(c: &mut Criterion) {
         ));
         let layers = prepared.built.schedule.num_layers();
         let cases = w.cases(&net, 4);
-        let mut engine = HybridJt::new(prepared, threads);
+        let solver = Solver::from_prepared(prepared)
+            .engine(EngineKind::Hybrid)
+            .threads(threads)
+            .build();
+        let mut session = solver.session();
         let mut next = 0usize;
-        group.bench_function(BenchmarkId::new("hybrid", format!("{label}-{layers}layers")), |b| {
-            b.iter(|| {
-                let post = engine.query(&cases[next % cases.len()]).unwrap();
-                next += 1;
-                post.prob_evidence
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("hybrid", format!("{label}-{layers}layers")),
+            |b| {
+                b.iter(|| {
+                    let post = session.posteriors(&cases[next % cases.len()]).unwrap();
+                    next += 1;
+                    post.prob_evidence
+                })
+            },
+        );
     }
     group.finish();
 }

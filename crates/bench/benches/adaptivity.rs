@@ -6,8 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fastbn_bayesnet::sampler::generate_cases;
 use fastbn_bench::measure::prepare;
+use fastbn_bench::measure::solver_for;
 use fastbn_bench::workloads::adaptivity_workloads;
-use fastbn_inference::{build_engine, EngineKind};
+use fastbn_inference::EngineKind;
 use std::time::Duration;
 
 fn adaptivity(c: &mut Criterion) {
@@ -24,11 +25,12 @@ fn adaptivity(c: &mut Criterion) {
             .map(|c| c.evidence)
             .collect();
         for kind in EngineKind::parallel() {
-            let mut engine = build_engine(kind, prepared.clone(), threads);
+            let solver = solver_for(kind, prepared.clone(), threads);
+            let mut session = solver.session();
             let mut next = 0usize;
             group.bench_function(BenchmarkId::new(kind.name(), name), |b| {
                 b.iter(|| {
-                    let post = engine.query(&cases[next % cases.len()]).unwrap();
+                    let post = session.posteriors(&cases[next % cases.len()]).unwrap();
                     next += 1;
                     post.prob_evidence
                 })

@@ -19,7 +19,11 @@ fn construction(c: &mut Criterion) {
     for w in all_workloads() {
         let net = w.build();
         group.bench_function(BenchmarkId::new("min-fill", w.name), |b| {
-            b.iter(|| build_junction_tree(&net, &JtreeOptions::default()).tree.num_cliques())
+            b.iter(|| {
+                build_junction_tree(&net, &JtreeOptions::default())
+                    .tree
+                    .num_cliques()
+            })
         });
     }
     // Heuristic comparison on one mid-sized network.

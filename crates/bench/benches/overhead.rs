@@ -5,8 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fastbn_bench::measure::prepare;
+use fastbn_bench::measure::solver_for;
 use fastbn_bench::workloads::workload_by_name;
-use fastbn_inference::{build_engine, EngineKind};
+use fastbn_inference::EngineKind;
 use std::time::Duration;
 
 fn overhead(c: &mut Criterion) {
@@ -22,11 +23,12 @@ fn overhead(c: &mut Criterion) {
     let cases = w.cases(&net, 8);
     // Sequential reference point.
     {
-        let mut engine = build_engine(EngineKind::Seq, prepared.clone(), 1);
+        let solver = solver_for(EngineKind::Seq, prepared.clone(), 1);
+        let mut session = solver.session();
         let mut next = 0usize;
         group.bench_function(BenchmarkId::new("Fast-BNI-seq", "t1"), |b| {
             b.iter(|| {
-                let post = engine.query(&cases[next % cases.len()]).unwrap();
+                let post = session.posteriors(&cases[next % cases.len()]).unwrap();
                 next += 1;
                 post.prob_evidence
             })
@@ -34,11 +36,12 @@ fn overhead(c: &mut Criterion) {
     }
     for kind in EngineKind::parallel() {
         for t in [1usize, threads] {
-            let mut engine = build_engine(kind, prepared.clone(), t);
+            let solver = solver_for(kind, prepared.clone(), t);
+            let mut session = solver.session();
             let mut next = 0usize;
             group.bench_function(BenchmarkId::new(kind.name(), format!("t{t}")), |b| {
                 b.iter(|| {
-                    let post = engine.query(&cases[next % cases.len()]).unwrap();
+                    let post = session.posteriors(&cases[next % cases.len()]).unwrap();
                     next += 1;
                     post.prob_evidence
                 })

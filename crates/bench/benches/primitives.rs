@@ -13,9 +13,7 @@ use fastbn_potential::{ops, ops_par, Domain, PotentialTable};
 
 /// A domain of `k` ternary variables (size 3^k).
 fn ternary_domain(k: usize) -> Arc<Domain> {
-    Arc::new(Domain::new(
-        (0..k as u32).map(|v| (VarId(v), 3)).collect(),
-    ))
+    Arc::new(Domain::new((0..k as u32).map(|v| (VarId(v), 3)).collect()))
 }
 
 fn primitives(c: &mut Criterion) {
@@ -63,9 +61,7 @@ fn primitives(c: &mut Criterion) {
             b.iter(|| ops::reduce_evidence(&mut red, VarId(k as u32 / 2), 1))
         });
         group.bench_function(BenchmarkId::new("reduce/par", &label), |b| {
-            b.iter(|| {
-                ops_par::reduce_evidence_par(&pool, sched, &mut red, VarId(k as u32 / 2), 1)
-            })
+            b.iter(|| ops_par::reduce_evidence_par(&pool, sched, &mut red, VarId(k as u32 / 2), 1))
         });
     }
     group.finish();

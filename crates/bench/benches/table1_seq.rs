@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fastbn_bench::measure::prepare;
+use fastbn_bench::measure::solver_for;
 use fastbn_bench::workloads::all_workloads;
-use fastbn_inference::{build_engine, EngineKind};
+use fastbn_inference::EngineKind;
 use std::time::Duration;
 
 fn table1_seq(c: &mut Criterion) {
@@ -19,11 +20,12 @@ fn table1_seq(c: &mut Criterion) {
         let prepared = prepare(&net);
         let cases = w.cases(&net, 4);
         for kind in [EngineKind::Reference, EngineKind::Seq] {
-            let mut engine = build_engine(kind, prepared.clone(), 1);
+            let solver = solver_for(kind, prepared.clone(), 1);
+            let mut session = solver.session();
             let mut next = 0usize;
             group.bench_function(BenchmarkId::new(kind.name(), w.name), |b| {
                 b.iter(|| {
-                    let post = engine.query(&cases[next % cases.len()]).unwrap();
+                    let post = session.posteriors(&cases[next % cases.len()]).unwrap();
                     next += 1;
                     post.prob_evidence
                 })

@@ -6,10 +6,13 @@
 //! Usage:
 //! ```text
 //! cargo run -p fastbn-bench --release --bin sweep -- \
-//!     [--cases N] [--threads 1,2,4,8,16,32] [--networks pigs,...]
+//!     [--cases N] [--threads 1,2,4,8,16,32] [--networks pigs,...] \
+//!     [--engines hybrid,direct]
 //! ```
 //! Defaults: 10 cases, threads {1, 2, 4, 8, 16, 32} (counts above the
-//! core count oversubscribe, as the paper's 32 threads did on 52 cores).
+//! core count oversubscribe, as the paper's 32 threads did on 52 cores),
+//! the four parallel engines. `--engines` is parsed via
+//! `EngineKind::from_str` (ids or display names, case-insensitive).
 
 use fastbn_bench::measure::{prepare, run_cases};
 use fastbn_bench::workloads::all_workloads;
@@ -19,6 +22,7 @@ fn main() {
     let mut cases_n = 10usize;
     let mut threads = vec![1usize, 2, 4, 8, 16, 32];
     let mut networks: Option<Vec<String>> = None;
+    let mut engines: Vec<EngineKind> = EngineKind::parallel().to_vec();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -39,6 +43,17 @@ fn main() {
                         .map(str::to_string)
                         .collect(),
                 )
+            }
+            "--engines" => {
+                engines = it
+                    .next()
+                    .expect("--engines list")
+                    .split(',')
+                    .map(|e| {
+                        e.parse::<EngineKind>()
+                            .unwrap_or_else(|err| panic!("{err}"))
+                    })
+                    .collect()
             }
             other => panic!("unknown flag {other:?}"),
         }
@@ -65,8 +80,8 @@ fn main() {
             print!(" {t:>9}");
         }
         println!();
-        for kind in EngineKind::parallel() {
-            print!("{:<14}", kind.name());
+        for &kind in &engines {
+            print!("{kind:<14}");
             let mut best = (0usize, f64::INFINITY);
             for &t in &threads {
                 let timing = run_cases(kind, prepared.clone(), t, &cases);

@@ -7,12 +7,16 @@
 //! Usage:
 //! ```text
 //! cargo run -p fastbn-bench --release --bin table1 -- \
-//!     [--cases N] [--threads 1,2,4] [--networks hailfinder,pigs,...]
+//!     [--cases N] [--threads 1,2,4] [--networks hailfinder,pigs,...] \
+//!     [--engines direct,hybrid]
 //! ```
 //! Defaults: 20 cases (the paper uses 2,000 — scale up with `--cases`),
-//! thread sweep {1, 2, 4}, all six networks.
+//! thread sweep {1, 2, 4}, all six networks, all four parallel engines.
+//! `--engines` accepts the canonical ids (`direct`, `primitive`,
+//! `element`, `hybrid`) or display names (`Fast-BNI-par`), parsed via
+//! `EngineKind::from_str`; skipped columns print `-`.
 
-use fastbn_bench::measure::{best_over_threads, prepare, run_cases};
+use fastbn_bench::measure::{best_over_threads, prepare, run_cases, EngineTiming};
 use fastbn_bench::workloads::all_workloads;
 use fastbn_inference::EngineKind;
 
@@ -20,6 +24,7 @@ struct Args {
     cases: usize,
     threads: Vec<usize>,
     networks: Option<Vec<String>>,
+    engines: Vec<EngineKind>,
 }
 
 fn parse_args() -> Args {
@@ -27,15 +32,13 @@ fn parse_args() -> Args {
         cases: 20,
         threads: vec![1, 2, 4],
         networks: None,
+        engines: EngineKind::parallel().to_vec(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--cases" => {
-                args.cases = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--cases N");
+                args.cases = it.next().and_then(|v| v.parse().ok()).expect("--cases N");
             }
             "--threads" => {
                 let list = it.next().expect("--threads 1,2,4");
@@ -48,6 +51,16 @@ fn parse_args() -> Args {
                 let list = it.next().expect("--networks a,b");
                 args.networks = Some(list.split(',').map(str::to_string).collect());
             }
+            "--engines" => {
+                let list = it.next().expect("--engines direct,hybrid");
+                args.engines = list
+                    .split(',')
+                    .map(|e| {
+                        e.parse::<EngineKind>()
+                            .unwrap_or_else(|err| panic!("{err}"))
+                    })
+                    .collect();
+            }
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -57,8 +70,14 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     println!(
-        "Table 1 reproduction: {} cases/network, 20% evidence, threads {:?}",
-        args.cases, args.threads
+        "Table 1 reproduction: {} cases/network, 20% evidence, threads {:?}, parallel engines: {}",
+        args.cases,
+        args.threads,
+        args.engines
+            .iter()
+            .map(EngineKind::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!("(paper speedups in parentheses; absolute seconds are not comparable — see EXPERIMENTS.md)\n");
     println!(
@@ -76,6 +95,7 @@ fn main() {
         "vs Elem"
     );
 
+    let selected = |kind: EngineKind| args.engines.contains(&kind);
     for w in all_workloads() {
         if let Some(filter) = &args.networks {
             if !filter.iter().any(|n| n == w.name) {
@@ -88,38 +108,42 @@ fn main() {
 
         let reference = run_cases(EngineKind::Reference, prepared.clone(), 1, &cases);
         let seq = run_cases(EngineKind::Seq, prepared.clone(), 1, &cases);
-        let direct =
-            best_over_threads(EngineKind::Direct, prepared.clone(), &args.threads, &cases);
-        let primitive = best_over_threads(
-            EngineKind::Primitive,
-            prepared.clone(),
-            &args.threads,
-            &cases,
-        );
-        let element =
-            best_over_threads(EngineKind::Element, prepared.clone(), &args.threads, &cases);
-        let hybrid =
-            best_over_threads(EngineKind::Hybrid, prepared.clone(), &args.threads, &cases);
+        let run_parallel = |kind: EngineKind| -> Option<EngineTiming> {
+            selected(kind).then(|| best_over_threads(kind, prepared.clone(), &args.threads, &cases))
+        };
+        let direct = run_parallel(EngineKind::Direct);
+        let primitive = run_parallel(EngineKind::Primitive);
+        let element = run_parallel(EngineKind::Element);
+        let hybrid = run_parallel(EngineKind::Hybrid);
 
-        let secs = |t: &fastbn_bench::EngineTiming| t.total.as_secs_f64();
-        let ratio = |a: f64, b: f64| if b > 0.0 { a / b } else { f64::NAN };
+        let secs =
+            |t: &Option<EngineTiming>| -> Option<f64> { t.as_ref().map(|t| t.total.as_secs_f64()) };
+        let cell = |v: Option<f64>| match v {
+            Some(s) => format!("{s:>9.3}"),
+            None => format!("{:>9}", "-"),
+        };
+        let speedup = |num: Option<f64>, den: Option<f64>, paper: f64| match (num, den) {
+            // Populated cells are 15 chars (6+1 ratio, 2+4+2 paper
+            // annotation); the placeholder must match for alignment.
+            (Some(n), Some(d)) if d > 0.0 => format!("{:>6.1}x ({paper:>4.1}x)", n / d),
+            _ => format!("{:>15}", "-"),
+        };
+        let ref_s = reference.total.as_secs_f64();
+        let seq_s = seq.total.as_secs_f64();
         println!(
-            "{:<12} | {:>9.3} {:>9.3} {:>7.1}x ({:>4.1}x) | {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.1}x ({:>4.1}x) {:>6.1}x ({:>4.1}x) {:>6.1}x ({:>4.1}x)",
+            "{:<12} | {:>9.3} {:>9.3} {:>7.1}x ({:>4.1}x) | {} {} {} {} {} {} {}",
             w.name,
-            secs(&reference),
-            secs(&seq),
-            ratio(secs(&reference), secs(&seq)),
+            ref_s,
+            seq_s,
+            if seq_s > 0.0 { ref_s / seq_s } else { f64::NAN },
             w.paper.seq_speedup,
-            secs(&direct),
-            secs(&primitive),
-            secs(&element),
-            secs(&hybrid),
-            ratio(secs(&direct), secs(&hybrid)),
-            w.paper.dir_speedup,
-            ratio(secs(&primitive), secs(&hybrid)),
-            w.paper.prim_speedup,
-            ratio(secs(&element), secs(&hybrid)),
-            w.paper.elem_speedup,
+            cell(secs(&direct)),
+            cell(secs(&primitive)),
+            cell(secs(&element)),
+            cell(secs(&hybrid)),
+            speedup(secs(&direct), secs(&hybrid), w.paper.dir_speedup),
+            speedup(secs(&primitive), secs(&hybrid), w.paper.prim_speedup),
+            speedup(secs(&element), secs(&hybrid), w.paper.elem_speedup),
         );
     }
 }

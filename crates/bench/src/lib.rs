@@ -10,7 +10,5 @@
 pub mod measure;
 pub mod workloads;
 
-pub use measure::{best_over_threads, prepare, run_cases, EngineTiming};
-pub use workloads::{
-    adaptivity_workloads, all_workloads, workload_by_name, PaperRow, Workload,
-};
+pub use measure::{best_over_threads, prepare, run_cases, solver_for, EngineTiming};
+pub use workloads::{adaptivity_workloads, all_workloads, workload_by_name, PaperRow, Workload};

@@ -4,12 +4,20 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fastbn_bayesnet::{BayesianNetwork, Evidence};
-use fastbn_inference::{build_engine, EngineKind, Prepared};
+use fastbn_inference::{EngineKind, Prepared, Solver};
 use fastbn_jtree::JtreeOptions;
 
 /// Builds the shared prepared structures for a network.
 pub fn prepare(net: &BayesianNetwork) -> Arc<Prepared> {
     Arc::new(Prepared::new(net, &JtreeOptions::default()))
+}
+
+/// Compiles a solver of `kind` over shared prepared structures.
+pub fn solver_for(kind: EngineKind, prepared: Arc<Prepared>, threads: usize) -> Solver {
+    Solver::from_prepared(prepared)
+        .engine(kind)
+        .threads(threads)
+        .build()
 }
 
 /// A measured engine run.
@@ -28,24 +36,25 @@ impl EngineTiming {
     }
 }
 
-/// Runs every case through a fresh engine of `kind` and returns the wall
-/// time of the query loop (engine construction excluded, matching how the
-/// paper times repeated inference).
+/// Runs every case through one session of a fresh solver of `kind` and
+/// returns the wall time of the query loop (solver construction excluded,
+/// matching how the paper times repeated inference).
 pub fn run_cases(
     kind: EngineKind,
     prepared: Arc<Prepared>,
     threads: usize,
     cases: &[Evidence],
 ) -> EngineTiming {
-    let mut engine = build_engine(kind, prepared, threads);
+    let solver = solver_for(kind, prepared, threads);
+    let mut session = solver.session();
     // One untimed warm-up query faults in all working memory.
     if let Some(first) = cases.first() {
-        let _ = engine.query(first);
+        let _ = session.posteriors(first);
     }
     let start = Instant::now();
     for evidence in cases {
-        engine
-            .query(evidence)
+        session
+            .posteriors(evidence)
             .expect("workload evidence is sampled from the joint, so P(e) > 0");
     }
     EngineTiming {

@@ -1,0 +1,119 @@
+//! Deprecated pre-session API, forwarded onto the new one.
+//!
+//! Earlier releases exposed `build_engine(kind, prepared, threads)`
+//! returning a boxed engine whose `query(&mut self, &Evidence)` owned its
+//! scratch — one in-flight query per instance. That shape survives here
+//! as a thin wrapper over [`Solver`]/[`Session`] so existing snippets
+//! keep compiling, but new code should use the session API directly:
+//!
+//! ```
+//! use fastbn_bayesnet::{datasets, Evidence};
+//! use fastbn_inference::{EngineKind, Solver};
+//!
+//! let net = datasets::asia();
+//! let solver = Solver::builder(&net).engine(EngineKind::Hybrid).threads(2).build();
+//! let posteriors = solver.posteriors(&Evidence::empty()).unwrap();
+//! assert!((posteriors.prob_evidence - 1.0).abs() < 1e-9);
+//! ```
+
+use std::sync::Arc;
+
+use fastbn_bayesnet::Evidence;
+
+use crate::engines::{make_engine, EngineKind, InferenceEngine};
+use crate::error::InferenceError;
+use crate::posterior::Posteriors;
+use crate::prepared::Prepared;
+use crate::state::WorkState;
+
+/// An engine bundled with one private [`WorkState`] — the old
+/// one-query-at-a-time object. Forwarded onto the stateless engines.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Solver::builder(...).engine(kind).build() and Session::run / Query instead"
+)]
+pub struct LegacyEngine {
+    engine: Box<dyn InferenceEngine>,
+    state: WorkState,
+}
+
+#[allow(deprecated)]
+impl LegacyEngine {
+    /// Short display name (matches the paper's column headers).
+    pub fn name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Worker count used by parallel regions (1 for sequential engines).
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
+    }
+
+    /// Runs one full query: reset, absorb evidence, collect, distribute,
+    /// extract posteriors — the historical `InferenceEngine::query`
+    /// signature.
+    pub fn query(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
+        let prepared = self.engine.prepared().clone();
+        crate::solver::validate_evidence(&prepared, evidence)?;
+        self.state.reset(&prepared);
+        self.engine.enter_evidence(&mut self.state, evidence);
+        self.engine.propagate(&mut self.state);
+        self.state.extract_posteriors(&prepared, evidence)
+    }
+}
+
+/// Builds an engine of the requested kind with its own scratch. `threads`
+/// is ignored by the sequential engines.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Solver::builder(...).engine(kind).threads(n).build() instead"
+)]
+#[allow(deprecated)]
+pub fn build_engine(kind: EngineKind, prepared: Arc<Prepared>, threads: usize) -> LegacyEngine {
+    let engine = make_engine(kind, prepared.clone(), threads);
+    LegacyEngine {
+        state: WorkState::new(&prepared),
+        engine,
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+    use fastbn_bayesnet::datasets;
+    use fastbn_jtree::JtreeOptions;
+
+    #[test]
+    fn legacy_engine_matches_session_api_bitwise() {
+        let net = datasets::asia();
+        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
+        let solver = Solver::from_prepared(prepared.clone())
+            .engine(EngineKind::Hybrid)
+            .threads(2)
+            .build();
+        let mut legacy = build_engine(EngineKind::Hybrid, prepared, 2);
+        assert_eq!(legacy.name(), "Fast-BNI-par");
+        assert_eq!(legacy.threads(), 2);
+        let dysp = net.var_id("Dyspnea").unwrap();
+        for ev in [Evidence::empty(), Evidence::from_pairs([(dysp, 0)])] {
+            let old = legacy.query(&ev).unwrap();
+            let new = solver.posteriors(&ev).unwrap();
+            assert_eq!(old.max_abs_diff(&new), 0.0);
+            assert_eq!(old.prob_evidence.to_bits(), new.prob_evidence.to_bits());
+        }
+    }
+
+    #[test]
+    fn legacy_engine_resets_between_queries() {
+        let net = datasets::sprinkler();
+        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
+        let mut legacy = build_engine(EngineKind::Seq, prepared, 1);
+        let wet = net.var_id("WetGrass").unwrap();
+        let baseline = legacy.query(&Evidence::empty()).unwrap();
+        let _ = legacy.query(&Evidence::from_pairs([(wet, 0)])).unwrap();
+        let again = legacy.query(&Evidence::empty()).unwrap();
+        assert_eq!(baseline.max_abs_diff(&again), 0.0);
+    }
+}

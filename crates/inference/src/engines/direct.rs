@@ -13,12 +13,9 @@
 
 use std::sync::Arc;
 
-use fastbn_bayesnet::Evidence;
 use fastbn_parallel::{Schedule, ThreadPool};
 
 use crate::engines::{InferenceEngine, SharedTables};
-use crate::error::InferenceError;
-use crate::posterior::Posteriors;
 use crate::prepared::Prepared;
 use crate::state::{message_seq, MessageParts, WorkState};
 
@@ -33,7 +30,6 @@ struct ReceiverGroup {
 /// Coarse-grained (inter-clique only) parallel engine.
 pub struct DirectJt {
     prepared: Arc<Prepared>,
-    state: WorkState,
     pool: ThreadPool,
     /// Per collect layer: receiver groups.
     collect_groups: Vec<Vec<ReceiverGroup>>,
@@ -68,7 +64,6 @@ fn group_by_receiver(
 impl DirectJt {
     /// Creates the engine with a private pool of `threads` workers.
     pub fn new(prepared: Arc<Prepared>, threads: usize) -> Self {
-        let state = WorkState::new(&prepared);
         let schedule = &prepared.built.schedule;
         let collect_groups = schedule
             .collect_layers
@@ -82,7 +77,6 @@ impl DirectJt {
             .collect();
         DirectJt {
             pool: ThreadPool::new(threads),
-            state,
             prepared,
             collect_groups,
             distribute_groups,
@@ -90,12 +84,12 @@ impl DirectJt {
     }
 
     /// Runs one layer: receiver groups in parallel, sequential ops inside.
-    fn run_layer(&mut self, groups: &[ReceiverGroup], collect: bool) {
+    fn run_layer(&self, state: &mut WorkState, groups: &[ReceiverGroup], collect: bool) {
         let messages = &self.prepared.built.schedule.messages;
-        let cliques = SharedTables::new(&mut self.state.cliques);
-        let seps = SharedTables::new(&mut self.state.seps);
-        let fresh = SharedTables::new(&mut self.state.fresh);
-        let ratio = SharedTables::new(&mut self.state.ratio);
+        let cliques = SharedTables::new(&mut state.cliques);
+        let seps = SharedTables::new(&mut state.seps);
+        let fresh = SharedTables::new(&mut state.fresh);
+        let ratio = SharedTables::new(&mut state.ratio);
         self.pool
             .parallel_for(0..groups.len(), Schedule::Dynamic { grain: 1 }, |g| {
                 let group = &groups[g];
@@ -134,28 +128,27 @@ impl InferenceEngine for DirectJt {
         self.pool.threads()
     }
 
-    fn query(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
-        self.state.reset(&self.prepared);
-        self.state.absorb_evidence(&self.prepared, evidence);
-        let collect = std::mem::take(&mut self.collect_groups);
-        for groups in &collect {
-            self.run_layer(groups, true);
+    fn prepared(&self) -> &Arc<Prepared> {
+        &self.prepared
+    }
+
+    fn propagate(&self, state: &mut WorkState) {
+        for groups in &self.collect_groups {
+            self.run_layer(state, groups, true);
         }
-        self.collect_groups = collect;
-        let distribute = std::mem::take(&mut self.distribute_groups);
-        for groups in &distribute {
-            self.run_layer(groups, false);
+        for groups in &self.distribute_groups {
+            self.run_layer(state, groups, false);
         }
-        self.distribute_groups = distribute;
-        self.state.extract_posteriors(&self.prepared, evidence)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engines::seq::SeqJt;
-    use fastbn_bayesnet::{datasets, generators, sampler};
+    use crate::engines::EngineKind;
+    use crate::error::InferenceError;
+    use crate::solver::Solver;
+    use fastbn_bayesnet::{datasets, generators, sampler, Evidence};
     use fastbn_jtree::JtreeOptions;
 
     #[test]
@@ -170,8 +163,7 @@ mod tests {
         {
             let total: usize = layer_groups.iter().map(|g| g.msgs.len()).sum();
             assert_eq!(total, layer.len(), "groups partition the layer");
-            let mut receivers: Vec<usize> =
-                layer_groups.iter().map(|g| g.receiver).collect();
+            let mut receivers: Vec<usize> = layer_groups.iter().map(|g| g.receiver).collect();
             receivers.sort_unstable();
             receivers.dedup();
             assert_eq!(receivers.len(), layer_groups.len(), "receivers unique");
@@ -182,13 +174,18 @@ mod tests {
     fn direct_matches_seq_bitwise_across_thread_counts() {
         let net = datasets::asia();
         let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut seq = SeqJt::new(prepared.clone());
+        let seq = Solver::from_prepared(prepared.clone()).build();
+        let mut seq_session = seq.session();
         let cases = sampler::generate_cases(&net, 20, 0.2, 5);
         for threads in [1, 2, 4] {
-            let mut direct = DirectJt::new(prepared.clone(), threads);
+            let direct = Solver::from_prepared(prepared.clone())
+                .engine(EngineKind::Direct)
+                .threads(threads)
+                .build();
+            let mut session = direct.session();
             for case in &cases {
-                let a = seq.query(&case.evidence).unwrap();
-                let b = direct.query(&case.evidence).unwrap();
+                let a = seq_session.posteriors(&case.evidence).unwrap();
+                let b = session.posteriors(&case.evidence).unwrap();
                 assert_eq!(a.max_abs_diff(&b), 0.0, "t={threads}");
             }
         }
@@ -206,11 +203,16 @@ mod tests {
         };
         let net = generators::windowed_dag(&spec);
         let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut seq = SeqJt::new(prepared.clone());
-        let mut direct = DirectJt::new(prepared, 4);
+        let seq = Solver::from_prepared(prepared.clone()).build();
+        let direct = Solver::from_prepared(prepared)
+            .engine(EngineKind::Direct)
+            .threads(4)
+            .build();
+        let mut seq_session = seq.session();
+        let mut session = direct.session();
         for case in sampler::generate_cases(&net, 10, 0.2, 6) {
-            let a = seq.query(&case.evidence).unwrap();
-            let b = direct.query(&case.evidence).unwrap();
+            let a = seq_session.posteriors(&case.evidence).unwrap();
+            let b = session.posteriors(&case.evidence).unwrap();
             assert_eq!(a.max_abs_diff(&b), 0.0);
         }
     }
@@ -218,12 +220,14 @@ mod tests {
     #[test]
     fn impossible_evidence_propagates_error() {
         let net = datasets::asia();
-        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut direct = DirectJt::new(prepared, 2);
+        let direct = Solver::builder(&net)
+            .engine(EngineKind::Direct)
+            .threads(2)
+            .build();
         let tub = net.var_id("Tuberculosis").unwrap();
         let either = net.var_id("TbOrCa").unwrap();
         let err = direct
-            .query(&Evidence::from_pairs([(tub, 0), (either, 1)]))
+            .posteriors(&Evidence::from_pairs([(tub, 0), (either, 1)]))
             .unwrap_err();
         assert_eq!(err, InferenceError::ImpossibleEvidence);
     }

@@ -24,8 +24,6 @@ use fastbn_parallel::{Schedule, ThreadPool};
 use fastbn_potential::{fiber_offsets, ops_par};
 
 use crate::engines::{two_mut, InferenceEngine};
-use crate::error::InferenceError;
-use crate::posterior::Posteriors;
 use crate::prepared::Prepared;
 use crate::state::WorkState;
 
@@ -60,7 +58,6 @@ struct SepMaps {
 /// Element-wise (GPU-analogue) parallel engine.
 pub struct ElementJt {
     prepared: Arc<Prepared>,
-    state: WorkState,
     pool: ThreadPool,
     sched: Schedule,
     maps: Vec<SepMaps>,
@@ -76,13 +73,12 @@ impl ElementJt {
         for (s, sep) in prepared.built.tree.separators.iter().enumerate() {
             // Resolve parent/child orientation from the rooted tree: the
             // deeper endpoint is the child.
-            let (child, parent) = if prepared.built.rooted.depth[sep.a]
-                > prepared.built.rooted.depth[sep.b]
-            {
-                (sep.a, sep.b)
-            } else {
-                (sep.b, sep.a)
-            };
+            let (child, parent) =
+                if prepared.built.rooted.depth[sep.a] > prepared.built.rooted.depth[sep.b] {
+                    (sep.a, sep.b)
+                } else {
+                    (sep.b, sep.a)
+                };
             let sep_dom = &prepared.sep_domains[s];
             let child_dom = &prepared.clique_domains[child];
             let parent_dom = &prepared.clique_domains[parent];
@@ -95,9 +91,7 @@ impl ElementJt {
                 map_parent: ops_par::materialize_map_par(&pool, sched, parent_dom, sep_dom),
             });
         }
-        let state = WorkState::new(&prepared);
         ElementJt {
-            state,
             pool,
             sched: Schedule::Dynamic {
                 grain: ELEMENT_GRAIN,
@@ -108,37 +102,38 @@ impl ElementJt {
     }
 
     /// One message as three mapped element-wise kernels.
-    fn message(&mut self, sender: usize, receiver: usize, sep: usize, collect: bool) {
+    fn message(
+        &self,
+        state: &mut WorkState,
+        sender: usize,
+        receiver: usize,
+        sep: usize,
+        collect: bool,
+    ) {
         let maps = &self.maps[sep];
         let (bases, fibers, ext_map) = if collect {
             (&maps.bases_in_child, &maps.fibers_child, &maps.map_parent)
         } else {
             (&maps.bases_in_parent, &maps.fibers_parent, &maps.map_child)
         };
-        let (s, r) = two_mut(&mut self.state.cliques, sender, receiver);
+        let (s, r) = two_mut(&mut state.cliques, sender, receiver);
         ops_par::marginalize_mapped_par(
             &self.pool,
             self.sched,
             s,
-            &mut self.state.fresh[sep],
+            &mut state.fresh[sep],
             bases,
             fibers,
         );
         ops_par::divide_into_par(
             &self.pool,
             self.sched,
-            &self.state.fresh[sep],
-            &self.state.seps[sep],
-            &mut self.state.ratio[sep],
+            &state.fresh[sep],
+            &state.seps[sep],
+            &mut state.ratio[sep],
         );
-        std::mem::swap(&mut self.state.seps[sep], &mut self.state.fresh[sep]);
-        ops_par::extend_multiply_mapped_par(
-            &self.pool,
-            self.sched,
-            r,
-            &self.state.ratio[sep],
-            ext_map,
-        );
+        std::mem::swap(&mut state.seps[sep], &mut state.fresh[sep]);
+        ops_par::extend_multiply_mapped_par(&self.pool, self.sched, r, &state.ratio[sep], ext_map);
     }
 }
 
@@ -151,40 +146,46 @@ impl InferenceEngine for ElementJt {
         self.pool.threads()
     }
 
-    fn query(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
-        self.state.reset(&self.prepared);
-        for (var, state) in evidence.iter() {
+    fn prepared(&self) -> &Arc<Prepared> {
+        &self.prepared
+    }
+
+    fn enter_evidence(&self, state: &mut WorkState, evidence: &Evidence) {
+        // Reduction as an element-wise kernel, like the other ops.
+        for (var, observed) in evidence.iter() {
             let home = self.prepared.home[var.index()];
-            let mut clique = std::mem::replace(
-                &mut self.state.cliques[home],
-                fastbn_potential::PotentialTable::zeros(
-                    self.prepared.clique_domains[home].clone(),
-                ),
+            ops_par::reduce_evidence_par(
+                &self.pool,
+                self.sched,
+                &mut state.cliques[home],
+                var,
+                observed,
             );
-            ops_par::reduce_evidence_par(&self.pool, self.sched, &mut clique, var, state);
-            self.state.cliques[home] = clique;
         }
-        let schedule = self.prepared.built.schedule.clone();
+    }
+
+    fn propagate(&self, state: &mut WorkState) {
+        let schedule = &self.prepared.built.schedule;
         for layer in &schedule.collect_layers {
             for &id in layer {
                 let m = schedule.messages[id];
-                self.message(m.child, m.parent, m.sep, true);
+                self.message(state, m.child, m.parent, m.sep, true);
             }
         }
         for layer in &schedule.distribute_layers {
             for &id in layer {
                 let m = schedule.messages[id];
-                self.message(m.parent, m.child, m.sep, false);
+                self.message(state, m.parent, m.child, m.sep, false);
             }
         }
-        self.state.extract_posteriors(&self.prepared, evidence)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engines::seq::SeqJt;
+    use crate::engines::EngineKind;
+    use crate::solver::Solver;
     use fastbn_bayesnet::{datasets, generators, sampler};
     use fastbn_jtree::JtreeOptions;
 
@@ -192,13 +193,18 @@ mod tests {
     fn element_matches_seq_bitwise() {
         let net = datasets::asia();
         let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut seq = SeqJt::new(prepared.clone());
+        let seq = Solver::from_prepared(prepared.clone()).build();
+        let mut seq_session = seq.session();
         let cases = sampler::generate_cases(&net, 15, 0.2, 13);
         for threads in [1, 2, 4] {
-            let mut element = ElementJt::new(prepared.clone(), threads);
+            let element = Solver::from_prepared(prepared.clone())
+                .engine(EngineKind::Element)
+                .threads(threads)
+                .build();
+            let mut session = element.session();
             for case in &cases {
-                let a = seq.query(&case.evidence).unwrap();
-                let b = element.query(&case.evidence).unwrap();
+                let a = seq_session.posteriors(&case.evidence).unwrap();
+                let b = session.posteriors(&case.evidence).unwrap();
                 assert_eq!(a.max_abs_diff(&b), 0.0, "t={threads}");
             }
         }
@@ -208,11 +214,16 @@ mod tests {
     fn element_matches_seq_on_polytree() {
         let net = generators::polytree(35, 3, 4);
         let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut seq = SeqJt::new(prepared.clone());
-        let mut element = ElementJt::new(prepared, 2);
+        let seq = Solver::from_prepared(prepared.clone()).build();
+        let element = Solver::from_prepared(prepared)
+            .engine(EngineKind::Element)
+            .threads(2)
+            .build();
+        let mut seq_session = seq.session();
+        let mut session = element.session();
         for case in sampler::generate_cases(&net, 8, 0.2, 5) {
-            let a = seq.query(&case.evidence).unwrap();
-            let b = element.query(&case.evidence).unwrap();
+            let a = seq_session.posteriors(&case.evidence).unwrap();
+            let b = session.posteriors(&case.evidence).unwrap();
             assert_eq!(a.max_abs_diff(&b), 0.0);
         }
     }
@@ -228,14 +239,8 @@ mod tests {
             assert_eq!(maps.bases_in_child.len(), sep_size);
             assert_eq!(maps.bases_in_parent.len(), sep_size);
             // fibers × sep entries = clique entries.
-            assert_eq!(
-                maps.fibers_child.len() * sep_size,
-                maps.map_child.len()
-            );
-            assert_eq!(
-                maps.fibers_parent.len() * sep_size,
-                maps.map_parent.len()
-            );
+            assert_eq!(maps.fibers_child.len() * sep_size, maps.map_child.len());
+            assert_eq!(maps.fibers_parent.len() * sep_size, maps.map_parent.len());
         }
     }
 }

@@ -25,18 +25,17 @@
 //! efficient on few-large-clique and many-small-clique trees.
 //!
 //! All index mappings (fiber offsets, base strides, extension strides) and
-//! the task lists themselves are precomputed at engine construction.
+//! the task lists themselves are precomputed at engine construction; the
+//! engine itself is stateless, so one instance serves any number of
+//! concurrent sessions, each supplying its own `WorkState`.
 
 use std::sync::Arc;
 
-use fastbn_bayesnet::Evidence;
 use fastbn_jtree::Message;
 use fastbn_parallel::{Schedule, ThreadPool};
 use fastbn_potential::{embedding_strides, fiber_offsets, ops::safe_div, Odometer, PotentialTable};
 
 use crate::engines::InferenceEngine;
-use crate::error::InferenceError;
-use crate::posterior::Posteriors;
 use crate::prepared::Prepared;
 use crate::state::WorkState;
 
@@ -135,20 +134,32 @@ impl RawTables {
     }
 }
 
+/// The three pointer views of one query's `WorkState`, rebuilt per
+/// `propagate` call (three small `Vec`s — negligible against even one
+/// layer's table work).
+struct RawState {
+    cliques: RawTables,
+    seps: RawTables,
+    ratio: RawTables,
+}
+
+impl RawState {
+    fn new(state: &mut WorkState) -> Self {
+        RawState {
+            cliques: RawTables::new(&mut state.cliques),
+            seps: RawTables::new(&mut state.seps),
+            ratio: RawTables::new(&mut state.ratio),
+        }
+    }
+}
+
 /// Fast-BNI-par: the hybrid flattened engine.
 pub struct HybridJt {
     prepared: Arc<Prepared>,
-    state: WorkState,
     pool: ThreadPool,
     sep_info: Vec<SepInfo>,
     collect_plans: Vec<LayerPlan>,
     distribute_plans: Vec<LayerPlan>,
-    /// Cached value-pointer tables into `state` (valid because potential
-    /// value buffers are allocated once and only ever mutated in place —
-    /// reset/reduce/propagate never reallocate; see `WorkState`).
-    raw_cliques: RawTables,
-    raw_seps: RawTables,
-    raw_ratio: RawTables,
 }
 
 impl HybridJt {
@@ -195,31 +206,23 @@ impl HybridJt {
             .map(|layer| build_layer_plan(&prepared, layer, false, threads))
             .collect();
 
-        let mut state = WorkState::new(&prepared);
-        let raw_cliques = RawTables::new(&mut state.cliques);
-        let raw_seps = RawTables::new(&mut state.seps);
-        let raw_ratio = RawTables::new(&mut state.ratio);
         HybridJt {
-            state,
             pool,
             sep_info,
             collect_plans,
             distribute_plans,
-            raw_cliques,
-            raw_seps,
-            raw_ratio,
             prepared,
         }
     }
 
     /// Runs one layer: separator phase (fused marginalize + ratio +
     /// in-place separator update), then receiver phase (extension).
-    fn run_layer(&self, plan: &LayerPlan, collect: bool) {
+    fn run_layer(&self, raw: &RawState, plan: &LayerPlan, collect: bool) {
         let messages = &self.prepared.built.schedule.messages;
         let sep_domains = &self.prepared.sep_domains;
         let clique_domains = &self.prepared.clique_domains;
         let sep_info = &self.sep_info;
-        let (cliques, seps, ratio) = (&self.raw_cliques, &self.raw_seps, &self.raw_ratio);
+        let (cliques, seps, ratio) = (&raw.cliques, &raw.seps, &raw.ratio);
 
         // ---- Phase 1: flat over sep entries — fresh marginal, ratio
         // against the old value, separator updated in place (each entry is
@@ -377,24 +380,27 @@ impl InferenceEngine for HybridJt {
         self.pool.threads()
     }
 
-    fn query(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
-        self.state.reset(&self.prepared);
-        self.state.absorb_evidence(&self.prepared, evidence);
+    fn prepared(&self) -> &Arc<Prepared> {
+        &self.prepared
+    }
+
+    fn propagate(&self, state: &mut WorkState) {
+        let raw = RawState::new(state);
         for plan in &self.collect_plans {
-            self.run_layer(plan, true);
+            self.run_layer(&raw, plan, true);
         }
         for plan in &self.distribute_plans {
-            self.run_layer(plan, false);
+            self.run_layer(&raw, plan, false);
         }
-        self.state.extract_posteriors(&self.prepared, evidence)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engines::seq::SeqJt;
-    use fastbn_bayesnet::{datasets, generators, sampler};
+    use crate::engines::EngineKind;
+    use crate::solver::Solver;
+    use fastbn_bayesnet::{datasets, generators, sampler, Evidence};
     use fastbn_jtree::JtreeOptions;
 
     #[test]
@@ -439,13 +445,18 @@ mod tests {
     fn hybrid_matches_seq_bitwise_across_thread_counts() {
         let net = datasets::asia();
         let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut seq = SeqJt::new(prepared.clone());
+        let seq = Solver::from_prepared(prepared.clone()).build();
+        let mut seq_session = seq.session();
         let cases = sampler::generate_cases(&net, 20, 0.2, 17);
         for threads in [1, 2, 3, 4] {
-            let mut hybrid = HybridJt::new(prepared.clone(), threads);
+            let hybrid = Solver::from_prepared(prepared.clone())
+                .engine(EngineKind::Hybrid)
+                .threads(threads)
+                .build();
+            let mut session = hybrid.session();
             for case in &cases {
-                let a = seq.query(&case.evidence).unwrap();
-                let b = hybrid.query(&case.evidence).unwrap();
+                let a = seq_session.posteriors(&case.evidence).unwrap();
+                let b = session.posteriors(&case.evidence).unwrap();
                 assert_eq!(a.max_abs_diff(&b), 0.0, "t={threads}");
                 assert_eq!(a.prob_evidence.to_bits(), b.prob_evidence.to_bits());
             }
@@ -458,11 +469,16 @@ mod tests {
         // the multi-ratio receiver-phase case.
         let net = generators::naive_bayes(12, 3, 2, 8);
         let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut seq = SeqJt::new(prepared.clone());
-        let mut hybrid = HybridJt::new(prepared, 4);
+        let seq = Solver::from_prepared(prepared.clone()).build();
+        let hybrid = Solver::from_prepared(prepared)
+            .engine(EngineKind::Hybrid)
+            .threads(4)
+            .build();
+        let mut seq_session = seq.session();
+        let mut session = hybrid.session();
         for case in sampler::generate_cases(&net, 10, 0.3, 21) {
-            let a = seq.query(&case.evidence).unwrap();
-            let b = hybrid.query(&case.evidence).unwrap();
+            let a = seq_session.posteriors(&case.evidence).unwrap();
+            let b = session.posteriors(&case.evidence).unwrap();
             assert_eq!(a.max_abs_diff(&b), 0.0);
         }
     }
@@ -480,11 +496,16 @@ mod tests {
             };
             let net = generators::windowed_dag(&spec);
             let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-            let mut seq = SeqJt::new(prepared.clone());
-            let mut hybrid = HybridJt::new(prepared, 2);
+            let seq = Solver::from_prepared(prepared.clone()).build();
+            let hybrid = Solver::from_prepared(prepared)
+                .engine(EngineKind::Hybrid)
+                .threads(2)
+                .build();
+            let mut seq_session = seq.session();
+            let mut session = hybrid.session();
             for case in sampler::generate_cases(&net, 6, 0.2, seed) {
-                let a = seq.query(&case.evidence).unwrap();
-                let b = hybrid.query(&case.evidence).unwrap();
+                let a = seq_session.posteriors(&case.evidence).unwrap();
+                let b = session.posteriors(&case.evidence).unwrap();
                 assert_eq!(a.max_abs_diff(&b), 0.0, "seed {seed}");
             }
         }
@@ -502,12 +523,18 @@ mod tests {
         b.set_cpt(c0, vec![], vec![0.2, 0.8]).unwrap();
         let net = b.build().unwrap();
         let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut seq = SeqJt::new(prepared.clone());
-        let mut hybrid = HybridJt::new(prepared, 2);
+        let seq = Solver::from_prepared(prepared.clone()).build();
+        let hybrid = Solver::from_prepared(prepared)
+            .engine(EngineKind::Hybrid)
+            .threads(2)
+            .build();
         let ev = Evidence::from_pairs([(a1, 0)]);
-        let x = seq.query(&ev).unwrap();
-        let y = hybrid.query(&ev).unwrap();
+        let x = seq.posteriors(&ev).unwrap();
+        let y = hybrid.posteriors(&ev).unwrap();
         assert_eq!(x.max_abs_diff(&y), 0.0);
-        assert!((x.marginal(c0)[0] - 0.2).abs() < 1e-12, "other component untouched");
+        assert!(
+            (x.marginal(c0)[0] - 0.2).abs() < 1e-12,
+            "other component untouched"
+        );
     }
 }

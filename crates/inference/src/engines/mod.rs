@@ -1,4 +1,12 @@
 //! The six inference engines and their common trait.
+//!
+//! Engines are **stateless strategies**: they own only query-independent
+//! structure (the shared [`Prepared`], precomputed task plans, a thread
+//! pool for the parallel families) and are therefore `Send + Sync`. All
+//! per-query mutable state lives in an explicit
+//! [`WorkState`](crate::state::WorkState) passed into every call, which
+//! is what lets one compiled [`Solver`](crate::solver::Solver) serve any
+//! number of concurrent [`Session`](crate::solver::Session)s.
 
 pub mod direct;
 pub mod element;
@@ -7,22 +15,26 @@ pub mod primitive;
 pub mod reference;
 pub mod seq;
 
+use std::str::FromStr;
 use std::sync::Arc;
 
 use fastbn_bayesnet::Evidence;
 use fastbn_potential::PotentialTable;
 
-use crate::error::InferenceError;
-use crate::posterior::Posteriors;
 use crate::prepared::Prepared;
+use crate::state::WorkState;
 
-/// A junction-tree inference engine: enter evidence, get every variable's
-/// posterior marginal.
+/// A junction-tree propagation strategy over shared [`Prepared`]
+/// structures.
 ///
-/// Engines keep mutable per-query scratch internally (`&mut self`), reset
-/// it at the start of each query, and are cheap to call repeatedly — the
-/// paper's workload runs 2,000 queries per network on one engine instance.
-pub trait InferenceEngine {
+/// Implementations hold no per-query state (`&self` everywhere); the
+/// caller supplies a [`WorkState`] that has been `reset` and
+/// evidence-absorbed. The driving sequence — reset, evidence, virtual
+/// evidence, propagate, extract — lives in
+/// [`Session::run`](crate::solver::Session::run), so every engine answers
+/// every query type (targeted marginals, virtual evidence, joints)
+/// identically.
+pub trait InferenceEngine: Send + Sync {
     /// Short display name (matches the paper's column headers).
     fn name(&self) -> &'static str;
 
@@ -31,13 +43,26 @@ pub trait InferenceEngine {
         1
     }
 
-    /// Runs one full query: reset, absorb evidence, collect, distribute,
-    /// extract posteriors.
-    fn query(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError>;
+    /// The shared query-independent structures this engine runs over.
+    fn prepared(&self) -> &Arc<Prepared>;
+
+    /// Enters hard evidence into `state` (before propagation). The
+    /// default reduces each finding's home clique sequentially; the
+    /// fine-grained engines override this with their parallel reduction
+    /// primitive, preserving their cost model. All overrides are
+    /// bit-identical.
+    fn enter_evidence(&self, state: &mut WorkState, evidence: &Evidence) {
+        state.absorb_evidence(self.prepared(), evidence);
+    }
+
+    /// Runs the two Hugin passes (collect, distribute) on an
+    /// evidence-absorbed `state`. After this, every clique holds its
+    /// unnormalized posterior.
+    fn propagate(&self, state: &mut WorkState);
 }
 
 /// Engine selector for harnesses and examples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// UnBBayes-substitute textbook baseline.
     Reference,
@@ -87,15 +112,75 @@ impl EngineKind {
             EngineKind::Hybrid => "Fast-BNI-par",
         }
     }
+
+    /// Canonical lowercase identifier, the inverse of [`FromStr`]'s
+    /// preferred spelling (useful for CLI flags and file names).
+    pub fn id(&self) -> &'static str {
+        match self {
+            EngineKind::Reference => "reference",
+            EngineKind::Seq => "seq",
+            EngineKind::Direct => "direct",
+            EngineKind::Primitive => "primitive",
+            EngineKind::Element => "element",
+            EngineKind::Hybrid => "hybrid",
+        }
+    }
 }
 
-/// Builds an engine of the requested kind. `threads` is ignored by the
-/// sequential engines.
-pub fn build_engine(
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad`, not `write_str`: width/alignment flags ({:<14}) must
+        // work, the bench bins rely on them for column layout.
+        f.pad(self.name())
+    }
+}
+
+/// Error from parsing an [`EngineKind`]; lists the accepted names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEngineKindError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseEngineKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown engine {:?}; expected one of: reference, seq, direct, primitive, \
+             element, hybrid (display names like \"Fast-BNI-par\" also accepted)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseEngineKindError {}
+
+impl FromStr for EngineKind {
+    type Err = ParseEngineKindError;
+
+    /// Parses canonical ids (`seq`, `hybrid`, …) and display names
+    /// (`Fast-BNI-par`, …), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        for kind in EngineKind::all() {
+            if lower == kind.id() || lower == kind.name().to_ascii_lowercase() {
+                return Ok(kind);
+            }
+        }
+        Err(ParseEngineKindError {
+            input: s.to_string(),
+        })
+    }
+}
+
+/// Instantiates a stateless engine of the requested kind. `threads` is
+/// ignored by the sequential engines. Most callers want
+/// [`Solver::builder`](crate::solver::Solver::builder) instead, which
+/// pairs the engine with a scratch pool.
+pub fn make_engine(
     kind: EngineKind,
     prepared: Arc<Prepared>,
     threads: usize,
-) -> Box<dyn InferenceEngine + Send> {
+) -> Box<dyn InferenceEngine> {
     match kind {
         EngineKind::Reference => Box::new(reference::ReferenceJt::new(prepared)),
         EngineKind::Seq => Box::new(seq::SeqJt::new(prepared)),
@@ -188,5 +273,31 @@ mod tests {
         assert_eq!(EngineKind::Hybrid.name(), "Fast-BNI-par");
         assert_eq!(EngineKind::all().len(), 6);
         assert_eq!(EngineKind::parallel().len(), 4);
+    }
+
+    #[test]
+    fn engine_kind_display_matches_name() {
+        for kind in EngineKind::all() {
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
+    fn engine_kind_round_trips_through_id_and_name() {
+        for kind in EngineKind::all() {
+            assert_eq!(kind.id().parse::<EngineKind>().unwrap(), kind);
+            assert_eq!(kind.name().parse::<EngineKind>().unwrap(), kind);
+            assert_eq!(
+                kind.name().to_uppercase().parse::<EngineKind>().unwrap(),
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn engine_kind_parse_rejects_unknown() {
+        let err = "turbo".parse::<EngineKind>().unwrap_err();
+        assert!(err.to_string().contains("turbo"));
+        assert!(err.to_string().contains("hybrid"));
     }
 }

@@ -15,15 +15,12 @@ use fastbn_parallel::{Schedule, ThreadPool};
 use fastbn_potential::ops_par;
 
 use crate::engines::{two_mut, InferenceEngine};
-use crate::error::InferenceError;
-use crate::posterior::Posteriors;
 use crate::prepared::Prepared;
 use crate::state::WorkState;
 
 /// Fine-grained (intra-clique only) parallel engine.
 pub struct PrimitiveJt {
     prepared: Arc<Prepared>,
-    state: WorkState,
     pool: ThreadPool,
     /// OpenMP-default-style static split, as in the original primitives.
     sched: Schedule,
@@ -32,28 +29,26 @@ pub struct PrimitiveJt {
 impl PrimitiveJt {
     /// Creates the engine with a private pool of `threads` workers.
     pub fn new(prepared: Arc<Prepared>, threads: usize) -> Self {
-        let state = WorkState::new(&prepared);
         PrimitiveJt {
             pool: ThreadPool::new(threads),
-            state,
             prepared,
             sched: Schedule::Static,
         }
     }
 
     /// One message: three parallel primitives, invoked back-to-back.
-    fn message(&mut self, sender: usize, receiver: usize, sep: usize) {
-        let (s, r) = two_mut(&mut self.state.cliques, sender, receiver);
-        ops_par::marginalize_into_par(&self.pool, self.sched, s, &mut self.state.fresh[sep]);
+    fn message(&self, state: &mut WorkState, sender: usize, receiver: usize, sep: usize) {
+        let (s, r) = two_mut(&mut state.cliques, sender, receiver);
+        ops_par::marginalize_into_par(&self.pool, self.sched, s, &mut state.fresh[sep]);
         ops_par::divide_into_par(
             &self.pool,
             self.sched,
-            &self.state.fresh[sep],
-            &self.state.seps[sep],
-            &mut self.state.ratio[sep],
+            &state.fresh[sep],
+            &state.seps[sep],
+            &mut state.ratio[sep],
         );
-        std::mem::swap(&mut self.state.seps[sep], &mut self.state.fresh[sep]);
-        ops_par::extend_multiply_par(&self.pool, self.sched, r, &self.state.ratio[sep]);
+        std::mem::swap(&mut state.seps[sep], &mut state.fresh[sep]);
+        ops_par::extend_multiply_par(&self.pool, self.sched, r, &state.ratio[sep]);
     }
 }
 
@@ -66,41 +61,46 @@ impl InferenceEngine for PrimitiveJt {
         self.pool.threads()
     }
 
-    fn query(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
-        self.state.reset(&self.prepared);
+    fn prepared(&self) -> &Arc<Prepared> {
+        &self.prepared
+    }
+
+    fn enter_evidence(&self, state: &mut WorkState, evidence: &Evidence) {
         // Evidence reduction is also a node-level primitive here.
-        for (var, state) in evidence.iter() {
+        for (var, observed) in evidence.iter() {
             let home = self.prepared.home[var.index()];
-            let mut clique = std::mem::replace(
-                &mut self.state.cliques[home],
-                fastbn_potential::PotentialTable::zeros(
-                    self.prepared.clique_domains[home].clone(),
-                ),
+            ops_par::reduce_evidence_par(
+                &self.pool,
+                self.sched,
+                &mut state.cliques[home],
+                var,
+                observed,
             );
-            ops_par::reduce_evidence_par(&self.pool, self.sched, &mut clique, var, state);
-            self.state.cliques[home] = clique;
         }
-        let schedule = self.prepared.built.schedule.clone();
+    }
+
+    fn propagate(&self, state: &mut WorkState) {
+        let schedule = &self.prepared.built.schedule;
         for layer in &schedule.collect_layers {
             for &id in layer {
                 let m = schedule.messages[id];
-                self.message(m.child, m.parent, m.sep);
+                self.message(state, m.child, m.parent, m.sep);
             }
         }
         for layer in &schedule.distribute_layers {
             for &id in layer {
                 let m = schedule.messages[id];
-                self.message(m.parent, m.child, m.sep);
+                self.message(state, m.parent, m.child, m.sep);
             }
         }
-        self.state.extract_posteriors(&self.prepared, evidence)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engines::seq::SeqJt;
+    use crate::engines::EngineKind;
+    use crate::solver::Solver;
     use fastbn_bayesnet::{datasets, generators, sampler};
     use fastbn_jtree::JtreeOptions;
 
@@ -108,13 +108,18 @@ mod tests {
     fn primitive_matches_seq_bitwise() {
         let net = datasets::asia();
         let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut seq = SeqJt::new(prepared.clone());
+        let seq = Solver::from_prepared(prepared.clone()).build();
+        let mut seq_session = seq.session();
         let cases = sampler::generate_cases(&net, 15, 0.2, 9);
         for threads in [1, 2, 4] {
-            let mut primitive = PrimitiveJt::new(prepared.clone(), threads);
+            let primitive = Solver::from_prepared(prepared.clone())
+                .engine(EngineKind::Primitive)
+                .threads(threads)
+                .build();
+            let mut session = primitive.session();
             for case in &cases {
-                let a = seq.query(&case.evidence).unwrap();
-                let b = primitive.query(&case.evidence).unwrap();
+                let a = seq_session.posteriors(&case.evidence).unwrap();
+                let b = session.posteriors(&case.evidence).unwrap();
                 assert_eq!(a.max_abs_diff(&b), 0.0, "t={threads}");
                 assert_eq!(a.prob_evidence.to_bits(), b.prob_evidence.to_bits());
             }
@@ -125,11 +130,16 @@ mod tests {
     fn primitive_matches_seq_on_wider_network() {
         let net = generators::grid(3, 5, 2, 1);
         let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut seq = SeqJt::new(prepared.clone());
-        let mut primitive = PrimitiveJt::new(prepared, 3);
+        let seq = Solver::from_prepared(prepared.clone()).build();
+        let primitive = Solver::from_prepared(prepared)
+            .engine(EngineKind::Primitive)
+            .threads(3)
+            .build();
+        let mut seq_session = seq.session();
+        let mut session = primitive.session();
         for case in sampler::generate_cases(&net, 8, 0.25, 2) {
-            let a = seq.query(&case.evidence).unwrap();
-            let b = primitive.query(&case.evidence).unwrap();
+            let a = seq_session.posteriors(&case.evidence).unwrap();
+            let b = session.posteriors(&case.evidence).unwrap();
             assert_eq!(a.max_abs_diff(&b), 0.0);
         }
     }

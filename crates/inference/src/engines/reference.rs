@@ -23,22 +23,18 @@ use fastbn_bayesnet::{Evidence, VarId};
 use fastbn_potential::{Domain, PotentialTable};
 
 use crate::engines::{two_mut, InferenceEngine};
-use crate::error::InferenceError;
-use crate::posterior::Posteriors;
 use crate::prepared::Prepared;
 use crate::state::WorkState;
 
 /// Textbook-style sequential junction-tree engine (UnBBayes analogue).
 pub struct ReferenceJt {
     prepared: Arc<Prepared>,
-    state: WorkState,
 }
 
 impl ReferenceJt {
     /// Creates an engine over prepared structures.
     pub fn new(prepared: Arc<Prepared>) -> Self {
-        let state = WorkState::new(&prepared);
-        ReferenceJt { prepared, state }
+        ReferenceJt { prepared }
     }
 }
 
@@ -107,22 +103,13 @@ fn naive_reduce(table: &mut PotentialTable, var: VarId, state: usize) {
     }
 }
 
-fn naive_marginal_of_var(table: &PotentialTable, var: VarId, card: usize) -> Vec<f64> {
-    let mut out = vec![0.0; card];
-    for i in 0..table.len() {
-        let states = decode_fresh(table.domain(), i);
-        out[states[position_linear(table.domain(), var)]] += table.values()[i];
-    }
-    out
-}
-
 impl ReferenceJt {
-    fn message(&mut self, sender: usize, receiver: usize, sep: usize) {
-        let (s, r) = two_mut(&mut self.state.cliques, sender, receiver);
+    fn message(&self, state: &mut WorkState, sender: usize, receiver: usize, sep: usize) {
+        let (s, r) = two_mut(&mut state.cliques, sender, receiver);
         // Fresh allocations per message, like the Java baseline.
         let fresh = naive_marginalize(s, self.prepared.sep_domains[sep].clone());
-        let ratio = naive_divide(&fresh, &self.state.seps[sep]);
-        self.state.seps[sep] = fresh;
+        let ratio = naive_divide(&fresh, &state.seps[sep]);
+        state.seps[sep] = fresh;
         naive_extend_multiply(r, &ratio);
     }
 }
@@ -132,79 +119,68 @@ impl InferenceEngine for ReferenceJt {
         "Reference"
     }
 
-    fn query(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
-        self.state.reset(&self.prepared);
-        for (var, state) in evidence.iter() {
+    fn prepared(&self) -> &Arc<Prepared> {
+        &self.prepared
+    }
+
+    fn enter_evidence(&self, state: &mut WorkState, evidence: &Evidence) {
+        // Per-entry decode even for reduction, as the baseline would.
+        for (var, observed) in evidence.iter() {
             naive_reduce(
-                &mut self.state.cliques[self.prepared.home[var.index()]],
+                &mut state.cliques[self.prepared.home[var.index()]],
                 var,
-                state,
+                observed,
             );
         }
-        let schedule = self.prepared.built.schedule.clone();
+    }
+
+    fn propagate(&self, state: &mut WorkState) {
+        let schedule = &self.prepared.built.schedule;
         for layer in &schedule.collect_layers {
             for &id in layer {
                 let m = schedule.messages[id];
-                self.message(m.child, m.parent, m.sep);
+                self.message(state, m.child, m.parent, m.sep);
             }
         }
         for layer in &schedule.distribute_layers {
             for &id in layer {
                 let m = schedule.messages[id];
-                self.message(m.parent, m.child, m.sep);
+                self.message(state, m.parent, m.child, m.sep);
             }
         }
-
-        // Naive extraction (decode per entry), same outputs as the shared
-        // extractor.
-        let prob_evidence = self.state.prob_evidence(&self.prepared);
-        if prob_evidence <= 0.0 || !prob_evidence.is_finite() {
-            return Err(InferenceError::ImpossibleEvidence);
-        }
-        let n = self.prepared.num_vars();
-        let mut marginals = Vec::with_capacity(n);
-        for v in 0..n {
-            let id = VarId::from_index(v);
-            if let Some(state) = evidence.get(id) {
-                let mut point = vec![0.0; self.prepared.cards[v]];
-                point[state] = 1.0;
-                marginals.push(point);
-                continue;
-            }
-            let mut m = naive_marginal_of_var(
-                &self.state.cliques[self.prepared.home[v]],
-                id,
-                self.prepared.cards[v],
-            );
-            let total: f64 = m.iter().sum();
-            if total <= 0.0 || !total.is_finite() {
-                return Err(InferenceError::ImpossibleEvidence);
-            }
-            for p in &mut m {
-                *p /= total;
-            }
-            marginals.push(m);
-        }
-        Ok(Posteriors::new(marginals, prob_evidence))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engines::seq::SeqJt;
+    use crate::engines::EngineKind;
+    use crate::solver::Solver;
     use fastbn_bayesnet::{datasets, sampler};
     use fastbn_jtree::JtreeOptions;
+
+    fn naive_marginal_of_var(table: &PotentialTable, var: VarId, card: usize) -> Vec<f64> {
+        let mut out = vec![0.0; card];
+        for i in 0..table.len() {
+            let states = decode_fresh(table.domain(), i);
+            out[states[position_linear(table.domain(), var)]] += table.values()[i];
+        }
+        out
+    }
 
     #[test]
     fn reference_matches_seq_bitwise_on_asia() {
         let net = datasets::asia();
         let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut reference = ReferenceJt::new(prepared.clone());
-        let mut seq = SeqJt::new(prepared);
+        let reference = Solver::from_prepared(prepared.clone())
+            .engine(EngineKind::Reference)
+            .build();
+        let seq = Solver::from_prepared(prepared).build();
+        let mut ref_session = reference.session();
+        let mut seq_session = seq.session();
         for case in sampler::generate_cases(&net, 25, 0.25, 11) {
-            let a = reference.query(&case.evidence).unwrap();
-            let b = seq.query(&case.evidence).unwrap();
+            let a = ref_session.posteriors(&case.evidence).unwrap();
+            let b = seq_session.posteriors(&case.evidence).unwrap();
             assert_eq!(a.max_abs_diff(&b), 0.0, "case {:?}", case.evidence);
             assert_eq!(a.prob_evidence.to_bits(), b.prob_evidence.to_bits());
         }
@@ -214,10 +190,12 @@ mod tests {
     fn reference_matches_seq_on_student_no_evidence() {
         let net = datasets::student();
         let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut reference = ReferenceJt::new(prepared.clone());
-        let mut seq = SeqJt::new(prepared);
-        let a = reference.query(&Evidence::empty()).unwrap();
-        let b = seq.query(&Evidence::empty()).unwrap();
+        let reference = Solver::from_prepared(prepared.clone())
+            .engine(EngineKind::Reference)
+            .build();
+        let seq = Solver::from_prepared(prepared).build();
+        let a = reference.posteriors(&Evidence::empty()).unwrap();
+        let b = seq.posteriors(&Evidence::empty()).unwrap();
         assert_eq!(a.max_abs_diff(&b), 0.0);
     }
 
@@ -237,10 +215,8 @@ mod tests {
         let fast = ops::marginalize(&table, target);
         assert_eq!(naive.values(), fast.values());
 
-        let msg = PotentialTable::from_values(
-            Arc::new(Domain::new(vec![(VarId(5), 2)])),
-            vec![0.5, 2.0],
-        );
+        let msg =
+            PotentialTable::from_values(Arc::new(Domain::new(vec![(VarId(5), 2)])), vec![0.5, 2.0]);
         let mut a = table.clone();
         let mut b = table.clone();
         naive_extend_multiply(&mut a, &msg);

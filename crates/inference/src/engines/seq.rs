@@ -7,100 +7,23 @@
 
 use std::sync::Arc;
 
-use fastbn_bayesnet::Evidence;
-
 use crate::engines::{two_mut, InferenceEngine};
-use crate::error::InferenceError;
-use crate::posterior::Posteriors;
 use crate::prepared::Prepared;
 use crate::state::{message_seq, MessageParts, WorkState};
 
 /// The optimized sequential junction-tree engine (Fast-BNI-seq).
+///
+/// Stateless: holds only the shared [`Prepared`]; per-query scratch is
+/// passed in by the caller (normally a
+/// [`Session`](crate::solver::Session)).
 pub struct SeqJt {
     prepared: Arc<Prepared>,
-    state: WorkState,
 }
 
 impl SeqJt {
     /// Creates an engine over prepared structures.
     pub fn new(prepared: Arc<Prepared>) -> Self {
-        let state = WorkState::new(&prepared);
-        SeqJt { prepared, state }
-    }
-
-    /// Split-borrow accessor for extension modules (virtual evidence).
-    pub(crate) fn state_and_prepared(&mut self) -> (&mut WorkState, &Prepared) {
-        (&mut self.state, &self.prepared)
-    }
-
-    /// Runs the two propagation passes on the current state without
-    /// resetting it (extension-module entry point).
-    pub(crate) fn propagate_only(&mut self) {
-        self.propagate();
-    }
-
-    /// Shared propagation body, also reused by tests.
-    fn propagate(&mut self) {
-        let schedule = &self.prepared.built.schedule;
-        for layer in &schedule.collect_layers {
-            for &id in layer {
-                let m = schedule.messages[id];
-                let (sender, receiver) = two_mut(&mut self.state.cliques, m.child, m.parent);
-                message_seq(MessageParts {
-                    sender,
-                    receiver,
-                    sep: &mut self.state.seps[m.sep],
-                    fresh: &mut self.state.fresh[m.sep],
-                    ratio: &mut self.state.ratio[m.sep],
-                });
-            }
-        }
-        for layer in &schedule.distribute_layers {
-            for &id in layer {
-                let m = schedule.messages[id];
-                let (sender, receiver) = two_mut(&mut self.state.cliques, m.parent, m.child);
-                message_seq(MessageParts {
-                    sender,
-                    receiver,
-                    sep: &mut self.state.seps[m.sep],
-                    fresh: &mut self.state.fresh[m.sep],
-                    ratio: &mut self.state.ratio[m.sep],
-                });
-            }
-        }
-    }
-}
-
-impl SeqJt {
-    /// Joint posterior `P(vars | evidence)` for a variable set that
-    /// co-occurs in some clique (junction trees answer these for free;
-    /// out-of-clique joints would require query-specific restructuring).
-    ///
-    /// Returns a normalized table over the sorted `vars`, or `None` if no
-    /// clique contains them all.
-    pub fn query_joint(
-        &mut self,
-        evidence: &Evidence,
-        vars: &[fastbn_bayesnet::VarId],
-    ) -> Result<Option<fastbn_potential::PotentialTable>, InferenceError> {
-        let mut sorted = vars.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        let Some(clique) = self.prepared.built.tree.smallest_containing(&sorted) else {
-            return Ok(None);
-        };
-        self.state.reset(&self.prepared);
-        self.state.absorb_evidence(&self.prepared, evidence);
-        self.propagate();
-        let target = std::sync::Arc::new(fastbn_potential::Domain::from_vars(
-            &sorted,
-            &self.prepared.cards,
-        ));
-        let mut joint = fastbn_potential::ops::marginalize(&self.state.cliques[clique], target);
-        joint
-            .normalize()
-            .map_err(|_| InferenceError::ImpossibleEvidence)?;
-        Ok(Some(joint))
+        SeqJt { prepared }
     }
 }
 
@@ -109,29 +32,56 @@ impl InferenceEngine for SeqJt {
         "Fast-BNI-seq"
     }
 
-    fn query(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
-        self.state.reset(&self.prepared);
-        self.state.absorb_evidence(&self.prepared, evidence);
-        self.propagate();
-        self.state.extract_posteriors(&self.prepared, evidence)
+    fn prepared(&self) -> &Arc<Prepared> {
+        &self.prepared
+    }
+
+    fn propagate(&self, state: &mut WorkState) {
+        let schedule = &self.prepared.built.schedule;
+        for layer in &schedule.collect_layers {
+            for &id in layer {
+                let m = schedule.messages[id];
+                let (sender, receiver) = two_mut(&mut state.cliques, m.child, m.parent);
+                message_seq(MessageParts {
+                    sender,
+                    receiver,
+                    sep: &mut state.seps[m.sep],
+                    fresh: &mut state.fresh[m.sep],
+                    ratio: &mut state.ratio[m.sep],
+                });
+            }
+        }
+        for layer in &schedule.distribute_layers {
+            for &id in layer {
+                let m = schedule.messages[id];
+                let (sender, receiver) = two_mut(&mut state.cliques, m.parent, m.child);
+                message_seq(MessageParts {
+                    sender,
+                    receiver,
+                    sep: &mut state.seps[m.sep],
+                    fresh: &mut state.fresh[m.sep],
+                    ratio: &mut state.ratio[m.sep],
+                });
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use fastbn_bayesnet::{datasets, VarId};
-    use fastbn_jtree::JtreeOptions;
+    use crate::error::InferenceError;
+    use crate::solver::Solver;
+    use fastbn_bayesnet::{datasets, Evidence, VarId};
 
-    fn engine_for(net: &fastbn_bayesnet::BayesianNetwork) -> SeqJt {
-        SeqJt::new(Arc::new(Prepared::new(net, &JtreeOptions::default())))
+    fn solver_for(net: &fastbn_bayesnet::BayesianNetwork) -> Solver {
+        Solver::new(net) // defaults to SeqJt
     }
 
     #[test]
     fn asia_prior_marginals_match_published_values() {
         let net = datasets::asia();
-        let mut engine = engine_for(&net);
-        let post = engine.query(&Evidence::empty()).unwrap();
+        let solver = solver_for(&net);
+        let post = solver.posteriors(&Evidence::empty()).unwrap();
         let get = |name: &str| post.marginal(net.var_id(name).unwrap())[0];
         assert!((get("Tuberculosis") - 0.0104).abs() < 1e-6);
         assert!((get("LungCancer") - 0.055).abs() < 1e-6);
@@ -147,34 +97,45 @@ mod tests {
         // Classic Russell & Norvig result:
         // P(Rain | Wet) = 0.4581/0.6471 ≈ 0.70793, P(Sprinkler | Wet) ≈ 0.42976.
         let net = datasets::sprinkler();
-        let mut engine = engine_for(&net);
+        let solver = solver_for(&net);
         let wet = net.var_id("WetGrass").unwrap();
-        let post = engine.query(&Evidence::from_pairs([(wet, 0)])).unwrap();
+        let post = solver
+            .posteriors(&Evidence::from_pairs([(wet, 0)]))
+            .unwrap();
         let rain = post.marginal(net.var_id("Rain").unwrap())[0];
         let spr = post.marginal(net.var_id("Sprinkler").unwrap())[0];
         assert!((rain - 0.70793).abs() < 1e-4, "rain {rain}");
         assert!((spr - 0.42976).abs() < 1e-4, "sprinkler {spr}");
-        assert!((post.prob_evidence - 0.6471).abs() < 1e-9, "P(Wet) = 0.6471");
+        assert!(
+            (post.prob_evidence - 0.6471).abs() < 1e-9,
+            "P(Wet) = 0.6471"
+        );
     }
 
     #[test]
     fn evidence_marginal_is_point_mass() {
         let net = datasets::cancer();
-        let mut engine = engine_for(&net);
+        let solver = solver_for(&net);
         let smoker = net.var_id("Smoker").unwrap();
-        let post = engine.query(&Evidence::from_pairs([(smoker, 1)])).unwrap();
+        let post = solver
+            .posteriors(&Evidence::from_pairs([(smoker, 1)]))
+            .unwrap();
         assert_eq!(post.marginal(smoker), &[0.0, 1.0]);
     }
 
     #[test]
     fn explaining_away_in_cancer_network() {
         let net = datasets::cancer();
-        let mut engine = engine_for(&net);
+        let solver = solver_for(&net);
+        let mut session = solver.session();
         let cancer = net.var_id("Cancer").unwrap();
         let xray = net.var_id("XRay").unwrap();
-        let prior = engine.query(&Evidence::empty()).unwrap().marginal(cancer)[0];
-        let with_xray = engine
-            .query(&Evidence::from_pairs([(xray, 0)]))
+        let prior = session
+            .posteriors(&Evidence::empty())
+            .unwrap()
+            .marginal(cancer)[0];
+        let with_xray = session
+            .posteriors(&Evidence::from_pairs([(xray, 0)]))
             .unwrap()
             .marginal(cancer)[0];
         assert!(
@@ -185,29 +146,33 @@ mod tests {
 
     #[test]
     fn repeated_queries_are_independent() {
-        // Engine state must fully reset between queries.
+        // Session state must fully reset between queries.
         let net = datasets::asia();
-        let mut engine = engine_for(&net);
+        let solver = solver_for(&net);
+        let mut session = solver.session();
         let dysp = net.var_id("Dyspnea").unwrap();
-        let baseline = engine.query(&Evidence::empty()).unwrap();
-        let _ = engine.query(&Evidence::from_pairs([(dysp, 0)])).unwrap();
-        let again = engine.query(&Evidence::empty()).unwrap();
+        let baseline = session.posteriors(&Evidence::empty()).unwrap();
+        let _ = session
+            .posteriors(&Evidence::from_pairs([(dysp, 0)]))
+            .unwrap();
+        let again = session.posteriors(&Evidence::empty()).unwrap();
         assert_eq!(baseline.max_abs_diff(&again), 0.0, "bitwise reset");
     }
 
     #[test]
     fn impossible_evidence_reported() {
         let net = datasets::asia();
-        let mut engine = engine_for(&net);
+        let solver = solver_for(&net);
+        let mut session = solver.session();
         // TbOrCa is a deterministic OR: tub=yes & either=no is impossible.
         let tub = net.var_id("Tuberculosis").unwrap();
         let either = net.var_id("TbOrCa").unwrap();
-        let err = engine
-            .query(&Evidence::from_pairs([(tub, 0), (either, 1)]))
+        let err = session
+            .posteriors(&Evidence::from_pairs([(tub, 0), (either, 1)]))
             .unwrap_err();
         assert_eq!(err, InferenceError::ImpossibleEvidence);
-        // And the engine still works afterwards.
-        assert!(engine.query(&Evidence::empty()).is_ok());
+        // And the session still works afterwards.
+        assert!(session.posteriors(&Evidence::empty()).is_ok());
     }
 
     #[test]
@@ -216,18 +181,19 @@ mod tests {
         // match brute-force enumeration and its marginals must match the
         // per-variable posteriors.
         let net = datasets::sprinkler();
-        let mut engine = engine_for(&net);
+        let solver = solver_for(&net);
+        let mut session = solver.session();
         let wet = net.var_id("WetGrass").unwrap();
         let spr = net.var_id("Sprinkler").unwrap();
         let rain = net.var_id("Rain").unwrap();
         let ev = Evidence::from_pairs([(wet, 0)]);
-        let joint = engine
-            .query_joint(&ev, &[rain, spr])
+        let joint = session
+            .joint_posterior(&ev, &[rain, spr])
             .unwrap()
             .expect("S and R share a clique");
         assert!((joint.sum() - 1.0).abs() < 1e-12);
         // Marginals of the joint equal the single-variable posteriors.
-        let post = engine.query(&ev).unwrap();
+        let post = session.posteriors(&ev).unwrap();
         let spr_marginal = fastbn_potential::ops::marginal_of_var(&joint, spr);
         for (a, b) in spr_marginal.iter().zip(post.marginal(spr)) {
             assert!((a - b).abs() < 1e-12);
@@ -242,11 +208,12 @@ mod tests {
     fn joint_posterior_out_of_clique_is_none() {
         // VisitAsia and Smoker never co-occur in a clique of the Asia tree.
         let net = datasets::asia();
-        let mut engine = engine_for(&net);
+        let solver = solver_for(&net);
+        let mut session = solver.session();
         let a = net.var_id("VisitAsia").unwrap();
         let s = net.var_id("Smoker").unwrap();
-        assert!(engine
-            .query_joint(&Evidence::empty(), &[a, s])
+        assert!(session
+            .joint_posterior(&Evidence::empty(), &[a, s])
             .unwrap()
             .is_none());
     }
@@ -254,9 +221,9 @@ mod tests {
     #[test]
     fn all_variables_observed() {
         let net = datasets::student();
-        let mut engine = engine_for(&net);
+        let solver = solver_for(&net);
         let ev = Evidence::from_pairs((0..net.num_vars()).map(|v| (VarId::from_index(v), 0)));
-        let post = engine.query(&ev).unwrap();
+        let post = solver.posteriors(&ev).unwrap();
         for v in 0..net.num_vars() {
             assert_eq!(post.marginal(VarId::from_index(v))[0], 1.0);
         }

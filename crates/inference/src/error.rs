@@ -10,6 +10,23 @@ pub enum InferenceError {
     ImpossibleEvidence,
     /// The evidence refers to unknown variables or out-of-range states.
     InvalidEvidence(EvidenceError),
+    /// A query's target set names a variable outside the network.
+    InvalidTarget {
+        /// The offending variable index.
+        var: usize,
+        /// The network's variable count.
+        num_vars: usize,
+    },
+    /// A virtual finding's likelihood vector does not match its
+    /// variable's cardinality.
+    InvalidLikelihood {
+        /// The offending variable index.
+        var: usize,
+        /// The variable's cardinality.
+        expected: usize,
+        /// The likelihood vector's length.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for InferenceError {
@@ -19,6 +36,15 @@ impl std::fmt::Display for InferenceError {
                 write!(f, "evidence has probability zero under the model")
             }
             InferenceError::InvalidEvidence(e) => write!(f, "invalid evidence: {e}"),
+            InferenceError::InvalidTarget { var, num_vars } => write!(
+                f,
+                "target variable {var} is out of range for a network of {num_vars} variables"
+            ),
+            InferenceError::InvalidLikelihood { var, expected, got } => write!(
+                f,
+                "likelihood for variable {var} has {got} entries, expected {expected} \
+                 (the variable's cardinality)"
+            ),
         }
     }
 }

@@ -1,7 +1,45 @@
 //! # fastbn-inference
 //!
-//! The paper's contribution: exact Bayesian-network inference by junction
-//! tree with six interchangeable engines (DESIGN.md §2.5):
+//! Exact Bayesian-network inference by junction tree, served through a
+//! three-layer concurrent API:
+//!
+//! * [`Solver`] — an immutable, `Send + Sync` **compiled model**: the
+//!   junction tree, initial potentials and engine task plans, built once
+//!   per network.
+//! * [`Session`] — a cheap **per-caller handle** holding reusable scratch
+//!   from the solver's lock-free pool; open one per thread and query
+//!   concurrently.
+//! * [`Query`] — a **builder** describing one request: hard evidence,
+//!   virtual (likelihood) evidence, an optional target-variable subset
+//!   (pay only for the marginals you ask for), or MPE mode. Results come
+//!   back as a unified [`QueryResult`].
+//!
+//! ```
+//! use fastbn_bayesnet::datasets;
+//! use fastbn_inference::{EngineKind, Query, Solver};
+//!
+//! let net = datasets::sprinkler();
+//! // Compile once (expensive), query from anywhere (cheap).
+//! let solver = Solver::builder(&net).engine(EngineKind::Hybrid).threads(2).build();
+//! let wet = net.var_id("WetGrass").unwrap();
+//! let rain = net.var_id("Rain").unwrap();
+//!
+//! let mut session = solver.session();
+//! let result = session.run(&Query::new().observe(wet, 0).targets([rain])).unwrap();
+//! let posteriors = result.posteriors().unwrap();
+//! // P(Rain | WetGrass = true) ≈ 0.708 (Russell & Norvig).
+//! assert!((posteriors.marginal(rain)[0] - 0.7079).abs() < 1e-3);
+//!
+//! // Same entry point for the most probable explanation:
+//! let mpe = session.run(&Query::new().observe(wet, 0).mpe()).unwrap();
+//! assert_eq!(mpe.mpe().unwrap().assignment[wet.index()], 0);
+//! ```
+//!
+//! ## Engines
+//!
+//! Propagation is pluggable: six engines (DESIGN.md §2.5) implement the
+//! stateless [`InferenceEngine`] trait — `&self` plus an explicit
+//! [`WorkState`] — so one engine instance serves any number of sessions:
 //!
 //! | Engine | Paper analogue | Parallel structure |
 //! |---|---|---|
@@ -13,31 +51,23 @@
 //! | [`HybridJt`] | **Fast-BNI-par** | flattened per-layer regions (2 per layer) |
 //!
 //! All engines run Hugin-style two-phase propagation over the same
-//! [`Prepared`] structures and produce **bit-identical posteriors** for any
-//! thread count (asserted by the test suite). Correctness oracles —
-//! variable elimination and brute-force enumeration — live in [`oracle`].
+//! [`Prepared`] structures and produce **bit-identical posteriors** for
+//! any engine, thread count, or session interleaving (asserted by the
+//! test suite). Correctness oracles — variable elimination and
+//! brute-force enumeration — live in [`oracle`].
 //!
-//! ```
-//! use fastbn_bayesnet::{datasets, Evidence};
-//! use fastbn_inference::{Prepared, SeqJt, InferenceEngine};
-//! use std::sync::Arc;
-//!
-//! let net = datasets::sprinkler();
-//! let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-//! let mut engine = SeqJt::new(prepared);
-//! let wet = net.var_id("WetGrass").unwrap();
-//! let post = engine.query(&Evidence::from_pairs([(wet, 0)])).unwrap();
-//! let rain = net.var_id("Rain").unwrap();
-//! // P(Rain | WetGrass = true) ≈ 0.708 (Russell & Norvig).
-//! assert!((post.marginal(rain)[0] - 0.7079).abs() < 1e-3);
-//! ```
+//! The pre-session API (`build_engine` + `query(&mut self)`) survives as
+//! a deprecated forwarding shim in [`compat`].
 
+pub mod compat;
 pub mod engines;
 pub mod error;
 pub mod mpe;
 pub mod oracle;
 pub mod posterior;
 pub mod prepared;
+pub mod query;
+pub mod solver;
 pub mod state;
 pub mod validate;
 pub mod virtual_evidence;
@@ -48,9 +78,15 @@ pub use engines::hybrid::HybridJt;
 pub use engines::primitive::PrimitiveJt;
 pub use engines::reference::ReferenceJt;
 pub use engines::seq::SeqJt;
-pub use engines::{build_engine, EngineKind, InferenceEngine};
+pub use engines::{make_engine, EngineKind, InferenceEngine, ParseEngineKindError};
 pub use error::InferenceError;
 pub use mpe::{most_probable_explanation, MpeResult};
 pub use posterior::Posteriors;
 pub use prepared::Prepared;
+pub use query::{Query, QueryMode, QueryResult};
+pub use solver::{Session, Solver, SolverBuilder};
+pub use state::WorkState;
 pub use virtual_evidence::VirtualEvidence;
+
+#[allow(deprecated)]
+pub use compat::{build_engine, LegacyEngine};

@@ -13,6 +13,8 @@ use fastbn_potential::{ops, PotentialTable};
 use crate::engines::two_mut;
 use crate::error::InferenceError;
 use crate::prepared::Prepared;
+use crate::state::WorkState;
+use crate::virtual_evidence::{absorb_virtual, VirtualEvidence};
 
 /// An MPE solution: the jointly most probable full assignment consistent
 /// with the evidence, and its joint probability `P(x*, e)`.
@@ -29,15 +31,34 @@ pub struct MpeResult {
 ///
 /// Ties between equally probable assignments are broken deterministically
 /// (lowest flat index first), so repeated calls return the same solution.
+/// Allocates a transient [`WorkState`]; use an MPE-mode
+/// [`Query`](crate::query::Query) through a
+/// [`Session`](crate::solver::Session) to amortize the scratch across
+/// calls.
 pub fn most_probable_explanation(
     prepared: &Prepared,
     evidence: &Evidence,
 ) -> Result<MpeResult, InferenceError> {
-    // Working potentials: initial tables with evidence reduced in.
-    let mut cliques = prepared.initial_cliques.clone();
-    for (var, state) in evidence.iter() {
-        ops::reduce_evidence(&mut cliques[prepared.home[var.index()]], var, state);
-    }
+    let mut state = WorkState::new(prepared);
+    mpe_on_state(prepared, evidence, &VirtualEvidence::empty(), &mut state)
+}
+
+/// MPE by max-product on caller-provided scratch — the session-API entry
+/// point. Virtual findings multiply into the maximized objective, i.e.
+/// the result maximizes `P(x, e) · ∏ L(v)` (hard evidence is the one-hot
+/// special case).
+pub(crate) fn mpe_on_state(
+    prepared: &Prepared,
+    evidence: &Evidence,
+    virtual_evidence: &VirtualEvidence,
+    state: &mut WorkState,
+) -> Result<MpeResult, InferenceError> {
+    // Working potentials: initial tables with evidence reduced in. The
+    // max pass only touches cliques and the `fresh` scratch.
+    state.reset(prepared);
+    state.absorb_evidence(prepared, evidence);
+    absorb_virtual(state, prepared, virtual_evidence);
+    let cliques = &mut state.cliques;
 
     // Max-collect: each separator carries the max-marginal of its child's
     // subtree. Separators start at 1 and receive exactly one collect
@@ -46,10 +67,11 @@ pub fn most_probable_explanation(
     for layer in &schedule.collect_layers {
         for &id in layer {
             let m = schedule.messages[id];
-            let (sender, receiver) = two_mut(&mut cliques, m.child, m.parent);
-            let mut message = PotentialTable::zeros(prepared.sep_domains[m.sep].clone());
-            ops::max_marginalize_into(sender, &mut message);
-            ops::extend_multiply(receiver, &message);
+            let (sender, receiver) = two_mut(cliques, m.child, m.parent);
+            // `max_marginalize_into` re-initializes the scratch itself.
+            let message = &mut state.fresh[m.sep];
+            ops::max_marginalize_into(sender, message);
+            ops::extend_multiply(receiver, message);
         }
     }
 
@@ -170,10 +192,7 @@ mod tests {
         let mut best = (vec![0usize; n], f64::NEG_INFINITY);
         let mut assignment = vec![0usize; n];
         loop {
-            if evidence
-                .iter()
-                .all(|(v, s)| assignment[v.index()] == s)
-            {
+            if evidence.iter().all(|(v, s)| assignment[v.index()] == s) {
                 let p = joint_prob(net, &assignment);
                 if p > best.1 {
                     best = (assignment.clone(), p);
@@ -267,11 +286,9 @@ mod tests {
         let prepared = Prepared::new(&net, &JtreeOptions::default());
         let tub = net.var_id("Tuberculosis").unwrap();
         let either = net.var_id("TbOrCa").unwrap();
-        let err = most_probable_explanation(
-            &prepared,
-            &Evidence::from_pairs([(tub, 0), (either, 1)]),
-        )
-        .unwrap_err();
+        let err =
+            most_probable_explanation(&prepared, &Evidence::from_pairs([(tub, 0), (either, 1)]))
+                .unwrap_err();
         assert_eq!(err, InferenceError::ImpossibleEvidence);
     }
 

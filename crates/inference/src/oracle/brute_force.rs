@@ -110,8 +110,7 @@ mod tests {
         let tub = net.var_id("Tuberculosis").unwrap();
         let either = net.var_id("TbOrCa").unwrap();
         assert_eq!(
-            all_posteriors(&net, &Evidence::from_pairs([(tub, 0), (either, 1)]))
-                .unwrap_err(),
+            all_posteriors(&net, &Evidence::from_pairs([(tub, 0), (either, 1)])).unwrap_err(),
             InferenceError::ImpossibleEvidence
         );
     }

@@ -57,15 +57,15 @@ fn eliminate_all_but(mut factors: Vec<PotentialTable>, keep: &[VarId]) -> Potent
             break;
         };
         // Pull out all factors mentioning `var`.
-        let (with, without): (Vec<_>, Vec<_>) = factors
-            .into_iter()
-            .partition(|f| f.domain().contains(var));
+        let (with, without): (Vec<_>, Vec<_>) =
+            factors.into_iter().partition(|f| f.domain().contains(var));
         let refs: Vec<&PotentialTable> = with.iter().collect();
         let product = multiply_all(&refs);
-        let target = Arc::new(product.domain().minus(&Domain::new(vec![(
-            var,
-            product.domain().card_of(var),
-        )])));
+        let target = Arc::new(
+            product
+                .domain()
+                .minus(&Domain::new(vec![(var, product.domain().card_of(var))])),
+        );
         let summed = ops::marginalize(&product, target);
         factors = without;
         factors.push(summed);
@@ -171,8 +171,7 @@ mod tests {
         let net = datasets::asia();
         let tub = net.var_id("Tuberculosis").unwrap();
         let either = net.var_id("TbOrCa").unwrap();
-        let err = all_posteriors(&net, &Evidence::from_pairs([(tub, 0), (either, 1)]))
-            .unwrap_err();
+        let err = all_posteriors(&net, &Evidence::from_pairs([(tub, 0), (either, 1)])).unwrap_err();
         assert_eq!(err, InferenceError::ImpossibleEvidence);
     }
 

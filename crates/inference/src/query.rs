@@ -1,0 +1,215 @@
+//! The query builder and unified result type of the session API.
+//!
+//! A [`Query`] describes *what* to compute — hard evidence, virtual
+//! (likelihood) evidence, an optional target-variable subset, and the
+//! mode (posterior marginals or MPE). It is a plain value: build once,
+//! reuse across sessions and solvers, send between threads.
+
+use fastbn_bayesnet::{Evidence, VarId};
+
+use crate::mpe::MpeResult;
+use crate::posterior::Posteriors;
+use crate::virtual_evidence::VirtualEvidence;
+
+/// What a [`Query`] asks the engine to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Posterior marginals (all variables, or the requested targets).
+    #[default]
+    Marginals,
+    /// The most probable explanation: one max-product pass plus
+    /// back-tracking, on the same tree.
+    Mpe,
+}
+
+/// A description of one inference request, built fluently:
+///
+/// ```
+/// use fastbn_bayesnet::datasets;
+/// use fastbn_inference::{Query, Solver};
+///
+/// let net = datasets::sprinkler();
+/// let solver = Solver::new(&net);
+/// let wet = net.var_id("WetGrass").unwrap();
+/// let rain = net.var_id("Rain").unwrap();
+/// let query = Query::new().observe(wet, 0).targets([rain]);
+/// let result = solver.query(&query).unwrap();
+/// let posteriors = result.posteriors().unwrap();
+/// assert!((posteriors.marginal(rain)[0] - 0.7079).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Query {
+    evidence: Evidence,
+    virtual_evidence: VirtualEvidence,
+    targets: Option<Vec<VarId>>,
+    mode: QueryMode,
+}
+
+impl Query {
+    /// An empty query: no evidence, all marginals.
+    pub fn new() -> Self {
+        Query::default()
+    }
+
+    /// Replaces the hard evidence wholesale.
+    pub fn evidence(mut self, evidence: Evidence) -> Self {
+        self.evidence = evidence;
+        self
+    }
+
+    /// Adds one hard finding `var = state`.
+    pub fn observe(mut self, var: VarId, state: usize) -> Self {
+        self.evidence.set(var, state);
+        self
+    }
+
+    /// Replaces the virtual (likelihood) evidence wholesale.
+    pub fn virtual_evidence(mut self, virtual_evidence: VirtualEvidence) -> Self {
+        self.virtual_evidence = virtual_evidence;
+        self
+    }
+
+    /// Adds one likelihood finding on `var` (Pearl's soft evidence).
+    pub fn likelihood(mut self, var: VarId, likelihood: Vec<f64>) -> Self {
+        self.virtual_evidence.add(var, likelihood);
+        self
+    }
+
+    /// Restricts marginal extraction to `vars` — the caller pays only for
+    /// the marginals it asks for. Duplicates are removed. Ignored in MPE
+    /// mode (an explanation is always a full assignment).
+    pub fn targets(mut self, vars: impl IntoIterator<Item = VarId>) -> Self {
+        let mut targets: Vec<VarId> = vars.into_iter().collect();
+        targets.sort_unstable();
+        targets.dedup();
+        self.targets = Some(targets);
+        self
+    }
+
+    /// Adds one variable to the target set (creating it if absent).
+    pub fn target(self, var: VarId) -> Self {
+        let mut targets = self.targets.clone().unwrap_or_default();
+        targets.push(var);
+        self.targets(targets)
+    }
+
+    /// Switches the query to MPE mode.
+    pub fn mpe(mut self) -> Self {
+        self.mode = QueryMode::Mpe;
+        self
+    }
+
+    /// The hard evidence.
+    pub fn get_evidence(&self) -> &Evidence {
+        &self.evidence
+    }
+
+    /// The virtual evidence.
+    pub fn get_virtual_evidence(&self) -> &VirtualEvidence {
+        &self.virtual_evidence
+    }
+
+    /// The target set (`None` = all variables), sorted and deduplicated.
+    pub fn get_targets(&self) -> Option<&[VarId]> {
+        self.targets.as_deref()
+    }
+
+    /// The query mode.
+    pub fn mode(&self) -> QueryMode {
+        self.mode
+    }
+}
+
+/// The unified result of [`Session::run`](crate::solver::Session::run):
+/// either posterior marginals or an MPE assignment, depending on the
+/// query's [`QueryMode`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// Posterior marginals (full or targeted).
+    Marginals(Posteriors),
+    /// Most probable explanation.
+    Mpe(MpeResult),
+}
+
+impl QueryResult {
+    /// The marginals, if this was a marginal query.
+    pub fn posteriors(&self) -> Option<&Posteriors> {
+        match self {
+            QueryResult::Marginals(p) => Some(p),
+            QueryResult::Mpe(_) => None,
+        }
+    }
+
+    /// Consumes the result into its marginals, if any.
+    pub fn into_posteriors(self) -> Option<Posteriors> {
+        match self {
+            QueryResult::Marginals(p) => Some(p),
+            QueryResult::Mpe(_) => None,
+        }
+    }
+
+    /// The MPE solution, if this was an MPE query.
+    pub fn mpe(&self) -> Option<&MpeResult> {
+        match self {
+            QueryResult::Mpe(m) => Some(m),
+            QueryResult::Marginals(_) => None,
+        }
+    }
+
+    /// Consumes the result into its MPE solution, if any.
+    pub fn into_mpe(self) -> Option<MpeResult> {
+        match self {
+            QueryResult::Mpe(m) => Some(m),
+            QueryResult::Marginals(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_evidence_and_targets() {
+        let q = Query::new()
+            .observe(VarId(3), 1)
+            .observe(VarId(1), 0)
+            .targets([VarId(5), VarId(2), VarId(5)])
+            .target(VarId(0));
+        assert_eq!(q.get_evidence().get(VarId(3)), Some(1));
+        assert_eq!(q.get_evidence().get(VarId(1)), Some(0));
+        assert_eq!(
+            q.get_targets().unwrap(),
+            &[VarId(0), VarId(2), VarId(5)],
+            "targets sorted and deduplicated"
+        );
+        assert_eq!(q.mode(), QueryMode::Marginals);
+    }
+
+    #[test]
+    fn mpe_mode_switch() {
+        let q = Query::new().mpe();
+        assert_eq!(q.mode(), QueryMode::Mpe);
+    }
+
+    #[test]
+    fn default_query_has_no_findings() {
+        let q = Query::new();
+        assert!(q.get_evidence().is_empty());
+        assert!(q.get_virtual_evidence().is_empty());
+        assert!(q.get_targets().is_none());
+    }
+
+    #[test]
+    fn result_accessors_are_mode_exclusive() {
+        let marginals = QueryResult::Marginals(Posteriors::new(vec![vec![1.0]], 1.0));
+        assert!(marginals.posteriors().is_some());
+        assert!(marginals.mpe().is_none());
+        let mpe = QueryResult::Mpe(MpeResult {
+            assignment: vec![0],
+            probability: 0.5,
+        });
+        assert!(mpe.posteriors().is_none());
+        assert!(mpe.into_mpe().is_some());
+    }
+}

@@ -1,0 +1,648 @@
+//! The concurrent session API: [`Solver`] (immutable compiled model),
+//! [`Session`] (cheap per-caller handle with pooled scratch), and the
+//! scratch pool that connects them.
+//!
+//! The Fast-BNI engines parallelize *inside* one query; serving heavy
+//! traffic also needs parallelism *across* queries. A `Solver` compiles a
+//! network once (junction tree, initial potentials, engine task plans)
+//! into a `Send + Sync` value; any number of threads then open
+//! `Session`s against it and run [`Query`]s concurrently. Per-query
+//! scratch ([`WorkState`]) is recycled through a lock-free pool, so
+//! steady-state querying performs no allocation, and results are
+//! bit-identical to the sequential baseline regardless of engine, thread
+//! count, or interleaving.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use fastbn_bayesnet::{BayesianNetwork, Evidence, VarId};
+use fastbn_jtree::JtreeOptions;
+use fastbn_potential::PotentialTable;
+
+use crate::engines::{make_engine, EngineKind, InferenceEngine};
+use crate::error::InferenceError;
+use crate::mpe::{mpe_on_state, MpeResult};
+use crate::posterior::Posteriors;
+use crate::prepared::Prepared;
+use crate::query::{Query, QueryMode, QueryResult};
+use crate::state::WorkState;
+use crate::virtual_evidence::{absorb_virtual, VirtualEvidence};
+
+/// An immutable, `Send + Sync` compiled inference model: shared
+/// [`Prepared`] structures plus one stateless engine and a pool of
+/// reusable [`WorkState`] scratch.
+///
+/// Construction is the expensive step (triangulation, initial
+/// potentials, engine task plans); queries afterwards are cheap and may
+/// run from many threads at once:
+///
+/// ```
+/// use fastbn_bayesnet::{datasets, Evidence};
+/// use fastbn_inference::{EngineKind, Query, Solver};
+///
+/// let net = datasets::asia();
+/// let solver = Solver::builder(&net).engine(EngineKind::Hybrid).threads(2).build();
+/// let xray = net.var_id("XRay").unwrap();
+/// std::thread::scope(|scope| {
+///     for _ in 0..4 {
+///         scope.spawn(|| {
+///             let mut session = solver.session();
+///             let post = session.posteriors(&Evidence::from_pairs([(xray, 0)])).unwrap();
+///             assert!(post.prob_evidence > 0.0);
+///         });
+///     }
+/// });
+/// ```
+pub struct Solver {
+    prepared: Arc<Prepared>,
+    engine: Box<dyn InferenceEngine>,
+    kind: EngineKind,
+    scratch: ScratchPool,
+}
+
+impl Solver {
+    /// Compiles `net` with defaults: the optimized sequential engine
+    /// (`EngineKind::Seq`), default junction-tree options. Cross-query
+    /// throughput then comes from concurrent sessions; pick a parallel
+    /// engine via [`Solver::builder`] to also parallelize inside each
+    /// query.
+    pub fn new(net: &BayesianNetwork) -> Solver {
+        Solver::builder(net).build()
+    }
+
+    /// Starts a builder compiling from a network.
+    pub fn builder(net: &BayesianNetwork) -> SolverBuilder<'_> {
+        SolverBuilder {
+            source: Source::Net(net, JtreeOptions::default()),
+            kind: EngineKind::Seq,
+            threads: 1,
+        }
+    }
+
+    /// Starts a builder over already-prepared structures (lets several
+    /// solvers — e.g. one per engine kind — share one `Prepared`).
+    pub fn from_prepared(prepared: Arc<Prepared>) -> SolverBuilder<'static> {
+        SolverBuilder {
+            source: Source::Prepared(prepared),
+            kind: EngineKind::Seq,
+            threads: 1,
+        }
+    }
+
+    /// Opens a session: a cheap per-caller handle holding one scratch
+    /// state drawn from the pool (allocated fresh only when the pool is
+    /// empty). Drop the session to return the scratch.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            solver: self,
+            scratch: Some(self.scratch.acquire(&self.prepared)),
+        }
+    }
+
+    /// One-shot convenience: open a session, run `query`, return the
+    /// result. For repeated queries keep a [`Session`] instead (it reuses
+    /// its scratch without touching the pool).
+    pub fn query(&self, query: &Query) -> Result<QueryResult, InferenceError> {
+        self.session().run(query)
+    }
+
+    /// One-shot convenience for the common case: all posterior marginals
+    /// given hard evidence.
+    pub fn posteriors(&self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
+        self.session().posteriors(evidence)
+    }
+
+    /// The engine kind this solver was compiled with.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The engine's display name.
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Worker threads used *inside* each query (1 for sequential
+    /// engines). Independent of how many sessions query concurrently.
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
+    }
+
+    /// The shared query-independent structures.
+    pub fn prepared(&self) -> &Arc<Prepared> {
+        &self.prepared
+    }
+
+    /// Number of network variables.
+    pub fn num_vars(&self) -> usize {
+        self.prepared.num_vars()
+    }
+
+    /// Number of scratch states currently parked in the pool (one per
+    /// peak-concurrency session, in steady state).
+    pub fn pooled_states(&self) -> usize {
+        self.scratch.len()
+    }
+}
+
+impl std::fmt::Debug for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solver")
+            .field("engine", &self.engine.name())
+            .field("threads", &self.engine.threads())
+            .field("num_vars", &self.prepared.num_vars())
+            .field("num_cliques", &self.prepared.num_cliques())
+            .finish()
+    }
+}
+
+enum Source<'n> {
+    Net(&'n BayesianNetwork, JtreeOptions),
+    Prepared(Arc<Prepared>),
+}
+
+/// Configures and compiles a [`Solver`].
+pub struct SolverBuilder<'n> {
+    source: Source<'n>,
+    kind: EngineKind,
+    threads: usize,
+}
+
+impl SolverBuilder<'_> {
+    /// Selects the propagation engine (default: `EngineKind::Seq`).
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Worker threads per query for the parallel engines (default 1;
+    /// ignored by the sequential engines).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Junction-tree construction options. Only meaningful when building
+    /// from a network; ignored when building from existing `Prepared`
+    /// structures (they are already built).
+    pub fn jtree_options(mut self, options: JtreeOptions) -> Self {
+        if let Source::Net(_, opts) = &mut self.source {
+            *opts = options;
+        }
+        self
+    }
+
+    /// Compiles the solver.
+    pub fn build(self) -> Solver {
+        let prepared = match self.source {
+            Source::Net(net, options) => Arc::new(Prepared::new(net, &options)),
+            Source::Prepared(prepared) => prepared,
+        };
+        let engine = make_engine(self.kind, prepared.clone(), self.threads);
+        Solver {
+            prepared,
+            engine,
+            kind: self.kind,
+            scratch: ScratchPool::new(),
+        }
+    }
+}
+
+/// A per-caller query handle over a shared [`Solver`].
+///
+/// Holds one [`WorkState`] for its lifetime, so repeated queries reuse
+/// allocations without synchronization; the state returns to the
+/// solver's pool on drop. Sessions are `Send` (open one per thread, or
+/// move one into a task) but deliberately not `Sync` — each concurrent
+/// caller opens its own.
+pub struct Session<'s> {
+    solver: &'s Solver,
+    /// `Some` for the session's whole life; `Option` only so `Drop` can
+    /// move the box back into the pool.
+    scratch: Option<Box<ScratchNode>>,
+}
+
+impl Session<'_> {
+    /// Runs one query and returns its unified result.
+    pub fn run(&mut self, query: &Query) -> Result<QueryResult, InferenceError> {
+        self.run_parts(
+            query.get_evidence(),
+            query.get_virtual_evidence(),
+            query.get_targets(),
+            query.mode(),
+        )
+    }
+
+    /// The borrowed core of [`Session::run`]: the convenience wrappers
+    /// route here without materializing a `Query` (no per-call clone of
+    /// the caller's evidence on the hot path).
+    fn run_parts(
+        &mut self,
+        evidence: &Evidence,
+        virtual_evidence: &VirtualEvidence,
+        targets: Option<&[VarId]>,
+        mode: QueryMode,
+    ) -> Result<QueryResult, InferenceError> {
+        let solver = self.solver;
+        let prepared = &*solver.prepared;
+        validate_evidence(prepared, evidence)?;
+        validate_virtual(prepared, virtual_evidence)?;
+        let state = &mut self
+            .scratch
+            .as_mut()
+            .expect("scratch present until drop")
+            .state;
+        match mode {
+            QueryMode::Marginals => {
+                state.reset(prepared);
+                solver.engine.enter_evidence(state, evidence);
+                absorb_virtual(state, prepared, virtual_evidence);
+                solver.engine.propagate(state);
+                let posteriors = match targets {
+                    None => state.extract_posteriors(prepared, evidence)?,
+                    Some(targets) => state.extract_posteriors_for(prepared, evidence, targets)?,
+                };
+                Ok(QueryResult::Marginals(posteriors))
+            }
+            QueryMode::Mpe => {
+                mpe_on_state(prepared, evidence, virtual_evidence, state).map(QueryResult::Mpe)
+            }
+        }
+    }
+
+    /// All posterior marginals given hard evidence (the classic engine
+    /// call).
+    pub fn posteriors(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
+        Ok(self
+            .run_parts(
+                evidence,
+                &VirtualEvidence::empty(),
+                None,
+                QueryMode::Marginals,
+            )?
+            .into_posteriors()
+            .expect("marginal query yields marginals"))
+    }
+
+    /// The most probable explanation given hard evidence.
+    pub fn mpe(&mut self, evidence: &Evidence) -> Result<MpeResult, InferenceError> {
+        Ok(self
+            .run_parts(evidence, &VirtualEvidence::empty(), None, QueryMode::Mpe)?
+            .into_mpe()
+            .expect("MPE query yields an MPE result"))
+    }
+
+    /// Joint posterior `P(vars | evidence)` for a variable set that
+    /// co-occurs in some clique (junction trees answer these for free;
+    /// out-of-clique joints would require query-specific restructuring).
+    ///
+    /// Returns a normalized table over the sorted `vars`, or `None` if no
+    /// clique contains them all.
+    pub fn joint_posterior(
+        &mut self,
+        evidence: &Evidence,
+        vars: &[VarId],
+    ) -> Result<Option<PotentialTable>, InferenceError> {
+        let solver = self.solver;
+        let prepared = &*solver.prepared;
+        // Validate before the clique lookup: bogus evidence must surface
+        // as an error, not be masked by an out-of-clique Ok(None).
+        validate_evidence(prepared, evidence)?;
+        let mut sorted = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let Some(clique) = prepared.built.tree.smallest_containing(&sorted) else {
+            return Ok(None);
+        };
+        let state = &mut self
+            .scratch
+            .as_mut()
+            .expect("scratch present until drop")
+            .state;
+        state.reset(prepared);
+        solver.engine.enter_evidence(state, evidence);
+        solver.engine.propagate(state);
+        let target = Arc::new(fastbn_potential::Domain::from_vars(
+            &sorted,
+            &prepared.cards,
+        ));
+        let mut joint = fastbn_potential::ops::marginalize(&state.cliques[clique], target);
+        joint
+            .normalize()
+            .map_err(|_| InferenceError::ImpossibleEvidence)?;
+        Ok(Some(joint))
+    }
+
+    /// The solver this session queries.
+    pub fn solver(&self) -> &Solver {
+        self.solver
+    }
+}
+
+/// Rejects evidence naming unknown variables or out-of-range states
+/// with a typed error, before it can corrupt scratch or panic on an
+/// index (the network is not available here, so the check runs against
+/// the compiled cardinalities).
+pub(crate) fn validate_evidence(
+    prepared: &Prepared,
+    evidence: &Evidence,
+) -> Result<(), InferenceError> {
+    for (var, state) in evidence.iter() {
+        if var.index() >= prepared.num_vars() {
+            return Err(InferenceError::InvalidEvidence(
+                fastbn_bayesnet::evidence::EvidenceError::UnknownVariable(var),
+            ));
+        }
+        let cardinality = prepared.cards[var.index()];
+        if state >= cardinality {
+            return Err(InferenceError::InvalidEvidence(
+                fastbn_bayesnet::evidence::EvidenceError::StateOutOfRange {
+                    var,
+                    state,
+                    cardinality,
+                },
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Rejects virtual findings on unknown variables or with likelihood
+/// vectors whose length disagrees with the variable's cardinality (which
+/// would silently mis-multiply in release builds).
+pub(crate) fn validate_virtual(
+    prepared: &Prepared,
+    virtual_evidence: &VirtualEvidence,
+) -> Result<(), InferenceError> {
+    for (var, likelihood) in virtual_evidence.iter() {
+        if var.index() >= prepared.num_vars() {
+            return Err(InferenceError::InvalidEvidence(
+                fastbn_bayesnet::evidence::EvidenceError::UnknownVariable(var),
+            ));
+        }
+        let expected = prepared.cards[var.index()];
+        if likelihood.len() != expected {
+            return Err(InferenceError::InvalidLikelihood {
+                var: var.index(),
+                expected,
+                got: likelihood.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        if let Some(node) = self.scratch.take() {
+            self.solver.scratch.release(node);
+        }
+    }
+}
+
+/// One pooled scratch state, chained intrusively when parked.
+struct ScratchNode {
+    state: WorkState,
+    /// Next node in the parked chain; dangling while the node is held by
+    /// a session (never dereferenced then). Only ever read or written by
+    /// the node's exclusive owner; kept atomic so link publication is
+    /// explicit and any future concurrent traversal stays race-free.
+    next: AtomicPtr<ScratchNode>,
+}
+
+// SAFETY: a node is either exclusively owned by one session (plain data)
+// or parked in the pool (reached only through the pool's atomic head).
+unsafe impl Send for ScratchNode {}
+
+/// A lock-free pool of [`WorkState`]s (an intrusive Treiber-style stack).
+///
+/// `acquire` pops by **swapping out the whole chain**: the popper takes
+/// the head node and re-attaches the remainder. Because the detached
+/// remainder is exclusively owned during re-attachment, the classic ABA
+/// hazard of a CAS-pop (a stale `next` winning the race) cannot arise —
+/// the only CAS loops push chains whose links no other thread can
+/// observe. A concurrent `acquire` that finds the head empty (including
+/// transiently, while another popper holds the detached chain) simply
+/// allocates a fresh state, so the pool tracks peak concurrency
+/// approximately rather than exactly; `release` therefore frees instead
+/// of parking once `max_parked` states are already retained, bounding
+/// memory under long-running contention.
+struct ScratchPool {
+    head: AtomicPtr<ScratchNode>,
+    /// Approximate count of parked states (exact when quiescent).
+    parked: AtomicUsize,
+    /// Retention bound enforced by `release`.
+    max_parked: usize,
+}
+
+// SAFETY: all shared access goes through `head`'s atomic operations;
+// node payloads are only touched by their exclusive owner.
+unsafe impl Send for ScratchPool {}
+unsafe impl Sync for ScratchPool {}
+
+impl ScratchPool {
+    fn new() -> Self {
+        ScratchPool {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            parked: AtomicUsize::new(0),
+            // Generous headroom over any sane session concurrency; the
+            // bound only matters as a leak backstop, not a working limit.
+            max_parked: 4 * fastbn_parallel::available_threads().max(8),
+        }
+    }
+
+    /// Pops a parked state, or allocates one shaped like `prepared`'s.
+    fn acquire(&self, prepared: &Prepared) -> Box<ScratchNode> {
+        let chain = self.head.swap(std::ptr::null_mut(), Ordering::Acquire);
+        if chain.is_null() {
+            return Box::new(ScratchNode {
+                state: WorkState::new(prepared),
+                next: AtomicPtr::new(std::ptr::null_mut()),
+            });
+        }
+        // SAFETY: `chain` was published by a `release`/`push_chain` and we
+        // now own the entire detached list exclusively. Links are still
+        // touched atomically (not `get_mut`): a concurrent `len` traversal
+        // holding a stale head pointer may load them at any time.
+        let node = unsafe { Box::from_raw(chain) };
+        let rest = node.next.swap(std::ptr::null_mut(), Ordering::Relaxed);
+        self.parked.fetch_sub(1, Ordering::Relaxed);
+        if !rest.is_null() {
+            self.push_chain(rest);
+        }
+        node
+    }
+
+    /// Parks a state for reuse — or frees it when the pool already holds
+    /// `max_parked` states, so racing acquires (which may over-allocate:
+    /// see [`ScratchPool::acquire`]) cannot grow retention without bound.
+    fn release(&self, node: Box<ScratchNode>) {
+        if self.parked.load(Ordering::Relaxed) >= self.max_parked {
+            return; // drop the box, freeing the state
+        }
+        node.next.store(std::ptr::null_mut(), Ordering::Relaxed);
+        self.parked.fetch_add(1, Ordering::Relaxed);
+        self.push_chain(Box::into_raw(node));
+    }
+
+    /// Attaches an exclusively-owned chain (ending in null) to the head.
+    fn push_chain(&self, chain: *mut ScratchNode) {
+        // Find the chain's tail; the chain is ours alone, so walking it
+        // races with nothing (the atomic loads keep a concurrent `len`
+        // traversal race-free).
+        let mut tail = chain;
+        // SAFETY: every node on the detached chain is exclusively owned.
+        unsafe {
+            loop {
+                let next = (*tail).next.load(Ordering::Relaxed);
+                if next.is_null() {
+                    break;
+                }
+                tail = next;
+            }
+        }
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `tail` is still exclusively owned until the CAS
+            // below publishes the chain.
+            unsafe { (*tail).next.store(head, Ordering::Relaxed) };
+            match self
+                .head
+                .compare_exchange_weak(head, chain, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(current) => head = current,
+            }
+        }
+    }
+
+    /// Number of parked states (diagnostics only — concurrent push/pop
+    /// can make the count momentarily stale, exact when quiescent). Reads
+    /// the counter rather than walking the chain: a traversal could
+    /// dereference a node that `release` freed at the retention bound.
+    fn len(&self) -> usize {
+        self.parked.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ScratchPool {
+    fn drop(&mut self) {
+        let mut node = *self.head.get_mut();
+        while !node.is_null() {
+            // SAFETY: `&mut self` means no sessions remain (they borrow
+            // the solver); every parked node is ours to free.
+            let mut boxed = unsafe { Box::from_raw(node) };
+            node = *boxed.next.get_mut();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbn_bayesnet::datasets;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn solver_is_send_and_sync() {
+        assert_send_sync::<Solver>();
+    }
+
+    #[test]
+    fn sessions_reuse_pooled_scratch() {
+        let net = datasets::sprinkler();
+        let solver = Solver::new(&net);
+        assert_eq!(solver.pooled_states(), 0);
+        {
+            let _a = solver.session();
+            let _b = solver.session();
+            assert_eq!(solver.pooled_states(), 0, "both states checked out");
+        }
+        assert_eq!(solver.pooled_states(), 2, "both returned on drop");
+        {
+            let _c = solver.session();
+            assert_eq!(solver.pooled_states(), 1, "one reused, not reallocated");
+        }
+        assert_eq!(solver.pooled_states(), 2);
+    }
+
+    #[test]
+    fn one_shot_query_matches_session_query() {
+        let net = datasets::asia();
+        let solver = Solver::new(&net);
+        let dysp = net.var_id("Dyspnea").unwrap();
+        let ev = Evidence::from_pairs([(dysp, 0)]);
+        let one_shot = solver.posteriors(&ev).unwrap();
+        let mut session = solver.session();
+        let via_session = session.posteriors(&ev).unwrap();
+        assert_eq!(one_shot.max_abs_diff(&via_session), 0.0);
+    }
+
+    #[test]
+    fn repeated_session_queries_are_independent() {
+        let net = datasets::asia();
+        let solver = Solver::new(&net);
+        let mut session = solver.session();
+        let dysp = net.var_id("Dyspnea").unwrap();
+        let baseline = session.posteriors(&Evidence::empty()).unwrap();
+        let _ = session
+            .posteriors(&Evidence::from_pairs([(dysp, 0)]))
+            .unwrap();
+        let again = session.posteriors(&Evidence::empty()).unwrap();
+        assert_eq!(baseline.max_abs_diff(&again), 0.0, "bitwise reset");
+    }
+
+    #[test]
+    fn builder_selects_engine_and_threads() {
+        let net = datasets::sprinkler();
+        let solver = Solver::builder(&net)
+            .engine(EngineKind::Hybrid)
+            .threads(3)
+            .build();
+        assert_eq!(solver.engine_kind(), EngineKind::Hybrid);
+        assert_eq!(solver.engine_name(), "Fast-BNI-par");
+        assert_eq!(solver.threads(), 3);
+    }
+
+    #[test]
+    fn from_prepared_shares_structures() {
+        let net = datasets::asia();
+        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
+        let a = Solver::from_prepared(prepared.clone())
+            .engine(EngineKind::Seq)
+            .build();
+        let b = Solver::from_prepared(prepared.clone())
+            .engine(EngineKind::Hybrid)
+            .threads(2)
+            .build();
+        assert!(Arc::ptr_eq(a.prepared(), &prepared));
+        let x = a.posteriors(&Evidence::empty()).unwrap();
+        let y = b.posteriors(&Evidence::empty()).unwrap();
+        assert_eq!(x.max_abs_diff(&y), 0.0);
+    }
+
+    #[test]
+    fn concurrent_sessions_return_identical_posteriors() {
+        let net = datasets::asia();
+        let solver = Solver::builder(&net)
+            .engine(EngineKind::Hybrid)
+            .threads(2)
+            .build();
+        let dysp = net.var_id("Dyspnea").unwrap();
+        let ev = Evidence::from_pairs([(dysp, 0)]);
+        let expected = solver.posteriors(&ev).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                scope.spawn(|| {
+                    let mut session = solver.session();
+                    for _ in 0..20 {
+                        let got = session.posteriors(&ev).unwrap();
+                        assert_eq!(expected.max_abs_diff(&got), 0.0);
+                    }
+                });
+            }
+        });
+        assert!(solver.pooled_states() <= 6, "pool bounded by concurrency");
+    }
+}

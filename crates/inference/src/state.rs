@@ -11,8 +11,10 @@ use crate::prepared::Prepared;
 /// potentials, plus two per-separator scratch buffers (the freshly
 /// marginalized message and the `new/old` ratio).
 ///
-/// A `WorkState` is allocated once per engine and reset per query
-/// (`copy_from_slice` into existing allocations — no per-query malloc).
+/// A `WorkState` is the unit of scratch a [`Session`](crate::solver::Session)
+/// holds: allocated once, reset per query (`copy_from_slice` into existing
+/// allocations — no per-query malloc), and recycled through the solver's
+/// scratch pool when the session drops.
 #[derive(Debug, Clone)]
 pub struct WorkState {
     /// Clique potentials (reset from `Prepared::initial_cliques`).
@@ -74,6 +76,39 @@ impl WorkState {
             .product()
     }
 
+    /// One variable's normalized posterior (point mass if observed), read
+    /// from its home clique. Requires a propagated state.
+    fn marginal_of(
+        &self,
+        prepared: &Prepared,
+        evidence: &Evidence,
+        var: VarId,
+    ) -> Result<Vec<f64>, InferenceError> {
+        if let Some(state) = evidence.get(var) {
+            let mut point = vec![0.0; prepared.cards[var.index()]];
+            point[state] = 1.0;
+            return Ok(point);
+        }
+        let mut m = ops::marginal_of_var(&self.cliques[prepared.home[var.index()]], var);
+        let total: f64 = m.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return Err(InferenceError::ImpossibleEvidence);
+        }
+        for p in &mut m {
+            *p /= total;
+        }
+        Ok(m)
+    }
+
+    /// Checks that `P(evidence)` is positive and finite, returning it.
+    fn checked_prob_evidence(&self, prepared: &Prepared) -> Result<f64, InferenceError> {
+        let prob_evidence = self.prob_evidence(prepared);
+        if prob_evidence <= 0.0 || !prob_evidence.is_finite() {
+            return Err(InferenceError::ImpossibleEvidence);
+        }
+        Ok(prob_evidence)
+    }
+
     /// Extracts normalized posteriors for every variable (point masses for
     /// observed ones). Fails with [`InferenceError::ImpossibleEvidence`]
     /// when `P(evidence) = 0`.
@@ -82,31 +117,42 @@ impl WorkState {
         prepared: &Prepared,
         evidence: &Evidence,
     ) -> Result<Posteriors, InferenceError> {
-        let prob_evidence = self.prob_evidence(prepared);
-        if prob_evidence <= 0.0 || !prob_evidence.is_finite() {
-            return Err(InferenceError::ImpossibleEvidence);
-        }
+        let prob_evidence = self.checked_prob_evidence(prepared)?;
         let n = prepared.num_vars();
         let mut marginals = Vec::with_capacity(n);
         for v in 0..n {
-            let id = VarId::from_index(v);
-            if let Some(state) = evidence.get(id) {
-                let mut point = vec![0.0; prepared.cards[v]];
-                point[state] = 1.0;
-                marginals.push(point);
-                continue;
-            }
-            let mut m = ops::marginal_of_var(&self.cliques[prepared.home[v]], id);
-            let total: f64 = m.iter().sum();
-            if total <= 0.0 || !total.is_finite() {
-                return Err(InferenceError::ImpossibleEvidence);
-            }
-            for p in &mut m {
-                *p /= total;
-            }
-            marginals.push(m);
+            marginals.push(self.marginal_of(prepared, evidence, VarId::from_index(v))?);
         }
         Ok(Posteriors::new(marginals, prob_evidence))
+    }
+
+    /// Extracts posteriors for `targets` only — the work scales with the
+    /// target count, not the network size. `targets` must be sorted and
+    /// deduplicated (the [`Query`](crate::query::Query) builder
+    /// guarantees this); a target outside the network fails with
+    /// [`InferenceError::InvalidTarget`].
+    pub fn extract_posteriors_for(
+        &self,
+        prepared: &Prepared,
+        evidence: &Evidence,
+        targets: &[VarId],
+    ) -> Result<Posteriors, InferenceError> {
+        if let Some(&bad) = targets.iter().find(|v| v.index() >= prepared.num_vars()) {
+            return Err(InferenceError::InvalidTarget {
+                var: bad.index(),
+                num_vars: prepared.num_vars(),
+            });
+        }
+        let prob_evidence = self.checked_prob_evidence(prepared)?;
+        let mut entries = Vec::with_capacity(targets.len());
+        for &var in targets {
+            entries.push((var, self.marginal_of(prepared, evidence, var)?));
+        }
+        Ok(Posteriors::targeted(
+            prepared.num_vars(),
+            entries,
+            prob_evidence,
+        ))
     }
 }
 
@@ -163,7 +209,10 @@ mod tests {
         for (work, init) in state.cliques.iter().zip(&prepared.initial_cliques) {
             assert_eq!(work.values(), init.values());
         }
-        assert!(state.seps.iter().all(|s| s.values().iter().all(|&v| v == 1.0)));
+        assert!(state
+            .seps
+            .iter()
+            .all(|s| s.values().iter().all(|&v| v == 1.0)));
     }
 
     #[test]
@@ -196,6 +245,31 @@ mod tests {
         assert_eq!(
             state.extract_posteriors(&prepared, &ev).unwrap_err(),
             InferenceError::ImpossibleEvidence
+        );
+    }
+
+    #[test]
+    fn targeted_extraction_matches_full_extraction() {
+        // Single-clique network: no propagation needed to extract.
+        let mut b = fastbn_bayesnet::NetworkBuilder::new();
+        let a = b.add_var("a", &["x", "y"]);
+        let c = b.add_var("c", &["s", "t"]);
+        b.set_cpt(a, vec![], vec![0.3, 0.7]).unwrap();
+        b.set_cpt(c, vec![a], vec![0.9, 0.1, 0.4, 0.6]).unwrap();
+        let net = b.build().unwrap();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let state = WorkState::new(&prepared);
+        let full = state
+            .extract_posteriors(&prepared, &Evidence::empty())
+            .unwrap();
+        let targeted = state
+            .extract_posteriors_for(&prepared, &Evidence::empty(), &[c])
+            .unwrap();
+        assert_eq!(targeted.marginal(c), full.marginal(c));
+        assert!(!targeted.has_marginal(a), "only targets computed");
+        assert_eq!(
+            targeted.prob_evidence.to_bits(),
+            full.prob_evidence.to_bits()
         );
     }
 }

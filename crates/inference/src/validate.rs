@@ -6,15 +6,20 @@ use std::sync::Arc;
 use fastbn_bayesnet::{BayesianNetwork, Evidence};
 use fastbn_jtree::JtreeOptions;
 
-use crate::engines::{build_engine, EngineKind};
+use crate::engines::EngineKind;
 use crate::oracle::variable_elimination;
 use crate::prepared::Prepared;
+use crate::solver::Solver;
 
 /// Runs every engine (at each thread count) and the VE oracle on each
 /// evidence case, asserting:
 ///
 /// * all junction-tree engines agree **bitwise** with `SeqJt`;
 /// * `SeqJt` agrees with variable elimination within `tol`.
+///
+/// All solvers share one `Prepared`; each engine/thread combination gets
+/// its own [`Solver`] and queries through a session, exactly as a caller
+/// of the public API would.
 ///
 /// Returns the worst JT-vs-VE deviation observed.
 pub fn assert_engines_agree(
@@ -24,10 +29,33 @@ pub fn assert_engines_agree(
     tol: f64,
 ) -> f64 {
     let prepared = Arc::new(Prepared::new(net, &JtreeOptions::default()));
-    let mut seq = build_engine(EngineKind::Seq, prepared.clone(), 1);
+    let seq = Solver::from_prepared(prepared.clone()).build();
+    let mut seq_session = seq.session();
     let mut worst = 0.0f64;
+
+    // One solver per (kind, threads), reused across cases.
+    let others: Vec<Solver> = [
+        EngineKind::Reference,
+        EngineKind::Direct,
+        EngineKind::Primitive,
+        EngineKind::Element,
+        EngineKind::Hybrid,
+    ]
+    .into_iter()
+    .flat_map(|kind| {
+        let prepared = &prepared;
+        thread_counts.iter().map(move |&t| {
+            Solver::from_prepared(prepared.clone())
+                .engine(kind)
+                .threads(t)
+                .build()
+        })
+    })
+    .collect();
+    let mut sessions: Vec<_> = others.iter().map(Solver::session).collect();
+
     for (i, evidence) in cases.iter().enumerate() {
-        let expected = seq.query(evidence);
+        let expected = seq_session.posteriors(evidence);
         let oracle = variable_elimination::all_posteriors(net, evidence);
         match (&expected, &oracle) {
             (Ok(a), Ok(b)) => {
@@ -45,33 +73,25 @@ pub fn assert_engines_agree(
             (a, b) => panic!("case {i}: SeqJt {a:?} but VE {b:?}"),
         }
 
-        for kind in [
-            EngineKind::Reference,
-            EngineKind::Direct,
-            EngineKind::Primitive,
-            EngineKind::Element,
-            EngineKind::Hybrid,
-        ] {
-            for &t in thread_counts {
-                let mut engine = build_engine(kind, prepared.clone(), t);
-                let got = engine.query(evidence);
-                match (&expected, &got) {
-                    (Ok(a), Ok(b)) => {
-                        assert_eq!(
-                            a.max_abs_diff(b),
-                            0.0,
-                            "case {i}: {} (t={t}) differs from SeqJt",
-                            kind.name()
-                        );
-                    }
-                    (Err(ea), Err(eb)) => {
-                        assert_eq!(ea, eb, "case {i}: {} error mismatch", kind.name())
-                    }
-                    (a, b) => panic!(
-                        "case {i}: SeqJt {a:?} but {} (t={t}) {b:?}",
-                        kind.name()
-                    ),
+        for session in &mut sessions {
+            let label = format!(
+                "{} (t={})",
+                session.solver().engine_name(),
+                session.solver().threads()
+            );
+            let got = session.posteriors(evidence);
+            match (&expected, &got) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a.max_abs_diff(b),
+                        0.0,
+                        "case {i}: {label} differs from SeqJt"
+                    );
                 }
+                (Err(ea), Err(eb)) => {
+                    assert_eq!(ea, eb, "case {i}: {label} error mismatch")
+                }
+                (a, b) => panic!("case {i}: SeqJt {a:?} but {label} {b:?}"),
             }
         }
     }

@@ -13,12 +13,9 @@
 
 use std::sync::Arc;
 
-use fastbn_bayesnet::{Evidence, VarId};
+use fastbn_bayesnet::VarId;
 use fastbn_potential::{ops, Domain, PotentialTable};
 
-use crate::engines::seq::SeqJt;
-use crate::error::InferenceError;
-use crate::posterior::Posteriors;
 use crate::prepared::Prepared;
 use crate::state::WorkState;
 
@@ -92,32 +89,14 @@ pub(crate) fn absorb_virtual(
     }
 }
 
-impl SeqJt {
-    /// Full query with both hard and virtual evidence. `prob_evidence` in
-    /// the result is `P(e_hard, e_virtual)` — the normalizing constant
-    /// including the likelihood weights.
-    pub fn query_with_virtual(
-        &mut self,
-        evidence: &Evidence,
-        virtual_evidence: &VirtualEvidence,
-    ) -> Result<Posteriors, InferenceError> {
-        let (state, prepared) = self.state_and_prepared();
-        state.reset(prepared);
-        state.absorb_evidence(prepared, evidence);
-        absorb_virtual(state, prepared, virtual_evidence);
-        self.propagate_only();
-        let (state, prepared) = self.state_and_prepared();
-        state.extract_posteriors(prepared, evidence)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engines::InferenceEngine;
     use crate::oracle::variable_elimination as ve;
-    use fastbn_bayesnet::{datasets, BayesianNetwork};
-    use fastbn_jtree::JtreeOptions;
+    use crate::posterior::Posteriors;
+    use crate::query::Query;
+    use crate::solver::Solver;
+    use fastbn_bayesnet::{datasets, BayesianNetwork, Evidence};
 
     /// Oracle: VE over CPT factors with likelihood factors appended.
     fn ve_with_virtual(
@@ -176,17 +155,16 @@ mod tests {
     #[test]
     fn one_hot_virtual_equals_hard_evidence() {
         let net = datasets::asia();
-        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut engine = SeqJt::new(prepared);
+        let solver = Solver::new(&net);
+        let mut session = solver.session();
         let dysp = net.var_id("Dyspnea").unwrap();
-        let hard = engine
-            .query(&Evidence::from_pairs([(dysp, 0)]))
+        let hard = session
+            .posteriors(&Evidence::from_pairs([(dysp, 0)]))
             .unwrap();
-        let virt = engine
-            .query_with_virtual(
-                &Evidence::empty(),
-                &VirtualEvidence::empty().with(dysp, vec![1.0, 0.0]),
-            )
+        let virt = session
+            .run(&Query::new().likelihood(dysp, vec![1.0, 0.0]))
+            .unwrap()
+            .into_posteriors()
             .unwrap();
         for v in 0..net.num_vars() {
             let id = VarId::from_index(v);
@@ -203,14 +181,21 @@ mod tests {
     #[test]
     fn virtual_evidence_matches_sensor_construction_oracle() {
         let net = datasets::cancer();
-        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut engine = SeqJt::new(prepared);
+        let solver = Solver::new(&net);
         let xray = net.var_id("XRay").unwrap();
         let smoker = net.var_id("Smoker").unwrap();
         // A blurry x-ray: 3:1 likelihood toward "positive".
         let virt = VirtualEvidence::empty().with(xray, vec![0.75, 0.25]);
         let hard = Evidence::from_pairs([(smoker, 0)]);
-        let got = engine.query_with_virtual(&hard, &virt).unwrap();
+        let got = solver
+            .query(
+                &Query::new()
+                    .evidence(hard.clone())
+                    .virtual_evidence(virt.clone()),
+            )
+            .unwrap()
+            .into_posteriors()
+            .unwrap();
         let oracle = ve_with_virtual(&net, &hard, &virt);
         for v in 0..net.num_vars() {
             let id = VarId::from_index(v);
@@ -223,15 +208,14 @@ mod tests {
     #[test]
     fn uniform_likelihood_is_a_noop() {
         let net = datasets::student();
-        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut engine = SeqJt::new(prepared);
+        let solver = Solver::new(&net);
+        let mut session = solver.session();
         let grade = net.var_id("Grade").unwrap();
-        let base = engine.query(&Evidence::empty()).unwrap();
-        let flat = engine
-            .query_with_virtual(
-                &Evidence::empty(),
-                &VirtualEvidence::empty().with(grade, vec![1.0, 1.0, 1.0]),
-            )
+        let base = session.posteriors(&Evidence::empty()).unwrap();
+        let flat = session
+            .run(&Query::new().likelihood(grade, vec![1.0, 1.0, 1.0]))
+            .unwrap()
+            .into_posteriors()
             .unwrap();
         assert!(base.max_abs_diff(&flat) < 1e-12);
     }
@@ -240,18 +224,22 @@ mod tests {
     fn repeated_findings_multiply() {
         // Two independent noisy sensors on the same variable.
         let net = datasets::cancer();
-        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
-        let mut engine = SeqJt::new(prepared);
+        let solver = Solver::new(&net);
+        let mut session = solver.session();
         let cancer = net.var_id("Cancer").unwrap();
-        let single = VirtualEvidence::empty().with(cancer, vec![0.8 * 0.8, 0.2 * 0.2]);
-        let double = VirtualEvidence::empty()
-            .with(cancer, vec![0.8, 0.2])
-            .with(cancer, vec![0.8, 0.2]);
-        let a = engine
-            .query_with_virtual(&Evidence::empty(), &single)
+        let a = session
+            .run(&Query::new().likelihood(cancer, vec![0.8 * 0.8, 0.2 * 0.2]))
+            .unwrap()
+            .into_posteriors()
             .unwrap();
-        let b = engine
-            .query_with_virtual(&Evidence::empty(), &double)
+        let b = session
+            .run(
+                &Query::new()
+                    .likelihood(cancer, vec![0.8, 0.2])
+                    .likelihood(cancer, vec![0.8, 0.2]),
+            )
+            .unwrap()
+            .into_posteriors()
             .unwrap();
         assert!(a.max_abs_diff(&b) < 1e-12);
     }

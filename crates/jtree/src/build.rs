@@ -267,11 +267,7 @@ mod tests {
             }
             // Every variable appears in at least one clique.
             for v in 0..net.num_vars() as u32 {
-                assert!(built
-                    .tree
-                    .cliques
-                    .iter()
-                    .any(|c| c.contains(VarId(v))));
+                assert!(built.tree.cliques.iter().any(|c| c.contains(VarId(v))));
             }
         }
     }

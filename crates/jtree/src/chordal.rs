@@ -48,10 +48,7 @@ pub fn is_chordal(graph: &UGraph) -> bool {
             .neighbors(v)
             .filter(|&u| position[u as usize] < position[v as usize])
             .collect();
-        let Some(&p) = earlier
-            .iter()
-            .max_by_key(|&&u| position[u as usize])
-        else {
+        let Some(&p) = earlier.iter().max_by_key(|&&u| position[u as usize]) else {
             continue;
         };
         for &u in &earlier {
@@ -69,9 +66,7 @@ mod tests {
     use crate::triangulate::{triangulate, EliminationHeuristic};
 
     fn cycle(n: usize) -> UGraph {
-        let edges: Vec<(u32, u32)> = (0..n as u32)
-            .map(|i| (i, (i + 1) % n as u32))
-            .collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         UGraph::from_edges(n, &edges)
     }
 
@@ -150,10 +145,7 @@ mod tests {
     fn mcs_on_chordal_graph_yields_zero_fill_order() {
         // On a chordal graph, eliminating in reverse MCS order creates no
         // fill edges.
-        let g = UGraph::from_edges(
-            5,
-            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)],
-        );
+        let g = UGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)]);
         assert!(is_chordal(&g));
         let mut order = maximum_cardinality_search(&g);
         order.reverse();

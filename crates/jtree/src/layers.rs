@@ -191,14 +191,30 @@ mod tests {
     #[test]
     fn forest_schedule_merges_components() {
         let cliques = vec![
-            Clique { vars: vec![VarId(0), VarId(1)] },
-            Clique { vars: vec![VarId(1), VarId(2)] },
-            Clique { vars: vec![VarId(7), VarId(8)] },
-            Clique { vars: vec![VarId(8), VarId(9)] },
+            Clique {
+                vars: vec![VarId(0), VarId(1)],
+            },
+            Clique {
+                vars: vec![VarId(1), VarId(2)],
+            },
+            Clique {
+                vars: vec![VarId(7), VarId(8)],
+            },
+            Clique {
+                vars: vec![VarId(8), VarId(9)],
+            },
         ];
         let seps = vec![
-            Separator { a: 0, b: 1, vars: vec![VarId(1)] },
-            Separator { a: 2, b: 3, vars: vec![VarId(8)] },
+            Separator {
+                a: 0,
+                b: 1,
+                vars: vec![VarId(1)],
+            },
+            Separator {
+                a: 2,
+                b: 3,
+                vars: vec![VarId(8)],
+            },
         ];
         let tree = JunctionTree::new(cliques, seps);
         let rooted = root_tree(&tree, RootStrategy::Center);

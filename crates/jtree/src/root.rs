@@ -232,7 +232,11 @@ mod tests {
             }],
             vec![],
         );
-        for strat in [RootStrategy::First, RootStrategy::Center, RootStrategy::Worst] {
+        for strat in [
+            RootStrategy::First,
+            RootStrategy::Center,
+            RootStrategy::Worst,
+        ] {
             let rooted = root_tree(&tree, strat);
             assert_eq!(rooted.roots, vec![0]);
             assert_eq!(rooted.max_depth, 0);
@@ -243,9 +247,15 @@ mod tests {
     #[test]
     fn multi_component_rooting() {
         let cliques = vec![
-            Clique { vars: vec![VarId(0), VarId(1)] },
-            Clique { vars: vec![VarId(1), VarId(2)] },
-            Clique { vars: vec![VarId(5)] },
+            Clique {
+                vars: vec![VarId(0), VarId(1)],
+            },
+            Clique {
+                vars: vec![VarId(1), VarId(2)],
+            },
+            Clique {
+                vars: vec![VarId(5)],
+            },
         ];
         let seps = vec![Separator {
             a: 0,

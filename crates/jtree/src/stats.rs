@@ -32,10 +32,9 @@ pub struct TreeStats {
 /// Computes [`TreeStats`] for a built tree.
 pub fn tree_stats(net: &BayesianNetwork, built: &BuiltTree) -> TreeStats {
     let table_size = |vars: &[VarId]| -> usize {
-        vars.iter().try_fold(1usize, |acc, v| {
-            acc.checked_mul(net.cardinality(*v))
-        })
-        .unwrap_or(usize::MAX)
+        vars.iter()
+            .try_fold(1usize, |acc, v| acc.checked_mul(net.cardinality(*v)))
+            .unwrap_or(usize::MAX)
     };
     let clique_sizes: Vec<usize> = built
         .tree
@@ -85,7 +84,7 @@ mod tests {
         assert_eq!(stats.num_separators, 5);
         assert_eq!(stats.width, 2);
         assert_eq!(stats.max_clique_entries, 8); // 3 binary vars
-        // Four 3-var cliques (8 entries) + two 2-var cliques (4 entries).
+                                                 // Four 3-var cliques (8 entries) + two 2-var cliques (4 entries).
         assert_eq!(stats.total_clique_entries, 40);
         assert!(stats.num_layers >= 1);
         assert_eq!(

@@ -178,12 +178,7 @@ impl JunctionTree {
 
     /// Treewidth witnessed by this tree: `max |clique| - 1`.
     pub fn width(&self) -> usize {
-        self.cliques
-            .iter()
-            .map(|c| c.vars.len())
-            .max()
-            .unwrap_or(1)
-            - 1
+        self.cliques.iter().map(|c| c.vars.len()).max().unwrap_or(1) - 1
     }
 }
 
@@ -247,7 +242,9 @@ mod tests {
 
     #[test]
     fn clique_membership() {
-        let c = Clique { vars: v(&[1, 3, 5]) };
+        let c = Clique {
+            vars: v(&[1, 3, 5]),
+        };
         assert!(c.contains(VarId(3)));
         assert!(!c.contains(VarId(2)));
         assert!(c.contains_all(&v(&[1, 5])));
@@ -319,10 +316,7 @@ mod tests {
     #[test]
     fn forest_with_two_components() {
         let t = JunctionTree::new(
-            vec![
-                Clique { vars: v(&[0, 1]) },
-                Clique { vars: v(&[2, 3]) },
-            ],
+            vec![Clique { vars: v(&[0, 1]) }, Clique { vars: v(&[2, 3]) }],
             vec![],
         );
         assert_eq!(t.components.len(), 2);

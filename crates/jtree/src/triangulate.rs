@@ -61,9 +61,7 @@ pub fn triangulate(
             let (fill, weight) = score(&work, v, log_weights);
             let key = match heuristic {
                 EliminationHeuristic::MinFill => (fill as f64, weight, v),
-                EliminationHeuristic::MinDegree => {
-                    (work.degree(v) as f64, weight, v)
-                }
+                EliminationHeuristic::MinDegree => (work.degree(v) as f64, weight, v),
                 EliminationHeuristic::MinWeight => (weight, fill as f64, v),
             };
             let better = match &best {
@@ -202,9 +200,7 @@ mod tests {
     ];
 
     fn cycle(n: usize) -> UGraph {
-        let edges: Vec<(u32, u32)> = (0..n as u32)
-            .map(|i| (i, (i + 1) % n as u32))
-            .collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         UGraph::from_edges(n, &edges)
     }
 
@@ -271,8 +267,7 @@ mod tests {
         // Path 0-1-2: eliminating endpoint first is always fill-free, but
         // min-weight should pick the *lightest* endpoint first.
         let g = UGraph::from_edges(3, &[(0, 1), (1, 2)]);
-        let light_first =
-            triangulate(&g, &[5.0, 1.0, 0.1], EliminationHeuristic::MinWeight);
+        let light_first = triangulate(&g, &[5.0, 1.0, 0.1], EliminationHeuristic::MinWeight);
         assert_eq!(light_first.order[0], 2, "vertex 2 is lightest");
     }
 
@@ -307,9 +302,7 @@ mod tests {
                 // Every original edge must be inside some clique.
                 for &(a, b) in &edges {
                     assert!(
-                        t.cliques
-                            .iter()
-                            .any(|c| c.contains(&a) && c.contains(&b)),
+                        t.cliques.iter().any(|c| c.contains(&a) && c.contains(&b)),
                         "edge ({a},{b}) uncovered"
                     );
                 }

@@ -354,7 +354,10 @@ mod tests {
                 }
             });
         }));
-        assert!(result.is_err(), "panic in a chunk body must reach the caller");
+        assert!(
+            result.is_err(),
+            "panic in a chunk body must reach the caller"
+        );
         // The pool must remain usable after a panicked region.
         let sum = AtomicU64::new(0);
         pool.parallel_for(0..100, Schedule::Static, |i| {

@@ -71,11 +71,7 @@ impl Domain {
     /// Builds the domain of `vars` using a per-network cardinality lookup
     /// (`cards_by_id[v.index()]`).
     pub fn from_vars(vars: &[VarId], cards_by_id: &[usize]) -> Self {
-        Self::new(
-            vars.iter()
-                .map(|&v| (v, cards_by_id[v.index()]))
-                .collect(),
-        )
+        Self::new(vars.iter().map(|&v| (v, cards_by_id[v.index()])).collect())
     }
 
     /// Number of variables in scope.
@@ -276,10 +272,7 @@ mod tests {
         assert!(sub.is_subdomain_of(&d));
         assert!(!d.is_subdomain_of(&sub));
         assert_eq!(d.intersection(&sub), sub);
-        assert_eq!(
-            d.minus(&sub),
-            Domain::new(vec![(VarId(1), 3)])
-        );
+        assert_eq!(d.minus(&sub), Domain::new(vec![(VarId(1), 3)]));
         let other = Domain::new(vec![(VarId(1), 3), (VarId(5), 2)]);
         let u = d.union(&other);
         assert_eq!(u.vars(), &[VarId(0), VarId(1), VarId(2), VarId(5)]);

@@ -42,11 +42,7 @@ pub fn fiber_offsets(source: &Domain, target: &Domain) -> Vec<usize> {
     let summed = source.minus(target);
     let mut offsets = Vec::with_capacity(summed.size());
     // Strides of the summed variables inside the *source* table.
-    let strides: Vec<usize> = summed
-        .vars()
-        .iter()
-        .map(|&v| source.stride_of(v))
-        .collect();
+    let strides: Vec<usize> = summed.vars().iter().map(|&v| source.stride_of(v)).collect();
     let cards = summed.cards();
     let mut digits = vec![0usize; cards.len()];
     let mut offset = 0usize;
@@ -249,11 +245,7 @@ mod tests {
         let mut digits = vec![0usize; tgt.num_vars()];
         for t in 0..tgt.size() {
             tgt.decode(t, &mut digits);
-            let base: usize = digits
-                .iter()
-                .zip(&base_strides)
-                .map(|(&d, &s)| d * s)
-                .sum();
+            let base: usize = digits.iter().zip(&base_strides).map(|(&d, &s)| d * s).sum();
             for &off in &offsets {
                 assert!(!seen[base + off], "source index hit twice");
                 seen[base + off] = true;

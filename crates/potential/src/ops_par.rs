@@ -417,7 +417,11 @@ mod tests {
         // Chunk-ordered fold must equal the same chunking sequentially.
         let seq_chunked: f64 = (0..base.len())
             .step_by(3)
-            .map(|s| base.values()[s..(s + 3).min(base.len())].iter().sum::<f64>())
+            .map(|s| {
+                base.values()[s..(s + 3).min(base.len())]
+                    .iter()
+                    .sum::<f64>()
+            })
             .sum();
         assert_eq!(total, seq_chunked);
 
@@ -427,10 +431,7 @@ mod tests {
         assert!((t.sum() - 1.0).abs() < 1e-12);
 
         let mut zero = PotentialTable::zeros(dom(&[(0, 3)]));
-        assert_eq!(
-            normalize_par(&pool, sched, &mut zero),
-            Err(ZeroSumError)
-        );
+        assert_eq!(normalize_par(&pool, sched, &mut zero), Err(ZeroSumError));
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct ZeroSumError;
 
 impl std::fmt::Display for ZeroSumError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "potential table sums to zero (evidence has probability 0)")
+        write!(
+            f,
+            "potential table sums to zero (evidence has probability 0)"
+        )
     }
 }
 
@@ -71,11 +74,8 @@ impl PotentialTable {
         let scope = cpt.scope_sorted();
         let domain = Arc::new(Domain::from_vars(&scope, cards_by_id));
         let child_stride = domain.stride_of(cpt.child());
-        let parent_strides: Vec<usize> = cpt
-            .parents()
-            .iter()
-            .map(|&p| domain.stride_of(p))
-            .collect();
+        let parent_strides: Vec<usize> =
+            cpt.parents().iter().map(|&p| domain.stride_of(p)).collect();
         let parent_cards = cpt.parent_cardinalities();
 
         let mut values = vec![0.0; domain.size()];

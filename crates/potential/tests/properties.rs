@@ -1,89 +1,122 @@
-//! Property-based tests of the potential-table algebra — the invariants
-//! the inference engines silently rely on.
+//! Property-style tests of the potential-table algebra — the invariants
+//! the inference engines silently rely on — run over a seeded family of
+//! random domains and tables (the build environment has no proptest).
 
 use std::sync::Arc;
 
 use fastbn_bayesnet::VarId;
 use fastbn_parallel::{Schedule, ThreadPool};
 use fastbn_potential::{ops, ops_par, Domain, PotentialTable};
-use proptest::prelude::*;
-use proptest::strategy::ValueTree;
+
+/// Minimal deterministic generator (xorshift64*) for test data.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng(seed.wrapping_mul(0x9E3779B97F4A7C15).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() >> 63 == 1
+    }
+}
 
 /// A random domain of 1..=5 variables with cardinalities 1..=4, ids drawn
-/// sparsely so sub/superdomain relations exercise gaps.
-fn arb_domain() -> impl Strategy<Value = Arc<Domain>> {
-    proptest::collection::btree_map(0u32..12, 1usize..5, 1..6).prop_map(|m| {
-        Arc::new(Domain::from_sorted(
-            m.into_iter().map(|(v, c)| (VarId(v), c)).collect(),
-        ))
-    })
+/// sparsely from 0..12 so sub/superdomain relations exercise gaps.
+fn random_domain(rng: &mut TestRng) -> Arc<Domain> {
+    let num_vars = 1 + rng.below(5);
+    let mut ids: Vec<u32> = (0..12).collect();
+    // Partial shuffle, take the first `num_vars`, sort.
+    for i in 0..num_vars {
+        let j = i + rng.below(12 - i);
+        ids.swap(i, j);
+    }
+    let mut chosen: Vec<u32> = ids[..num_vars].to_vec();
+    chosen.sort_unstable();
+    Arc::new(Domain::from_sorted(
+        chosen
+            .into_iter()
+            .map(|v| (VarId(v), 1 + rng.below(4)))
+            .collect(),
+    ))
 }
 
 /// A random table over a random domain with non-negative entries.
-fn arb_table() -> impl Strategy<Value = PotentialTable> {
-    arb_domain().prop_flat_map(|d| {
-        let size = d.size();
-        proptest::collection::vec(0.0f64..4.0, size)
-            .prop_map(move |values| PotentialTable::from_values(d.clone(), values))
-    })
+fn random_table(rng: &mut TestRng) -> PotentialTable {
+    let domain = random_domain(rng);
+    let values: Vec<f64> = (0..domain.size()).map(|_| rng.f64() * 4.0).collect();
+    PotentialTable::from_values(domain, values)
 }
 
 /// A random subdomain of `d` (possibly empty/scalar).
-fn arb_subdomain(d: &Domain) -> impl Strategy<Value = Arc<Domain>> {
-    let pairs: Vec<(VarId, usize)> = d
-        .vars()
-        .iter()
-        .zip(d.cards())
-        .map(|(&v, &c)| (v, c))
-        .collect();
-    proptest::collection::vec(proptest::bool::ANY, pairs.len()).prop_map(move |mask| {
-        Arc::new(Domain::from_sorted(
-            pairs
-                .iter()
-                .zip(&mask)
-                .filter(|(_, &keep)| keep)
-                .map(|(&p, _)| p)
-                .collect(),
-        ))
-    })
+fn random_subdomain(rng: &mut TestRng, d: &Domain) -> Arc<Domain> {
+    Arc::new(Domain::from_sorted(
+        d.vars()
+            .iter()
+            .zip(d.cards())
+            .filter(|_| rng.bool())
+            .map(|(&v, &c)| (v, c))
+            .collect(),
+    ))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn marginalization_preserves_total_mass(table in arb_table()) {
-        let sub_strategy = arb_subdomain(table.domain());
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let sub = sub_strategy.new_tree(&mut runner).unwrap().current();
+#[test]
+fn marginalization_preserves_total_mass() {
+    for case in 0..CASES {
+        let mut rng = TestRng::new(case + 1);
+        let table = random_table(&mut rng);
+        let sub = random_subdomain(&mut rng, table.domain());
         let out = ops::marginalize(&table, sub);
-        prop_assert!((out.sum() - table.sum()).abs() < 1e-9 * (1.0 + table.sum()));
+        assert!(
+            (out.sum() - table.sum()).abs() < 1e-9 * (1.0 + table.sum()),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn marginalization_is_order_independent(table in arb_table()) {
-        // Summing out variables one at a time (any split) equals summing
-        // out all at once; here: two-step via a random mid domain.
-        let mid_strategy = arb_subdomain(table.domain());
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let mid = mid_strategy.new_tree(&mut runner).unwrap().current();
-        let sub_strategy = arb_subdomain(&mid);
-        let sub = sub_strategy.new_tree(&mut runner).unwrap().current();
+#[test]
+fn marginalization_is_order_independent() {
+    // Summing out variables one at a time (any split) equals summing
+    // out all at once; here: two-step via a random mid domain.
+    for case in 0..CASES {
+        let mut rng = TestRng::new(case + 100);
+        let table = random_table(&mut rng);
+        let mid = random_subdomain(&mut rng, table.domain());
+        let sub = random_subdomain(&mut rng, &mid);
 
         let direct = ops::marginalize(&table, sub.clone());
         let two_step = ops::marginalize(&ops::marginalize(&table, mid), sub);
         for (a, b) in direct.values().iter().zip(two_step.values()) {
-            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-9, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn extension_distributes_over_marginalization(table in arb_table()) {
-        // Σ_z (φ(x,z) · ψ(x)) = ψ(x) · Σ_z φ(x,z): multiply-then-sum equals
-        // sum-then-multiply when the message domain survives.
-        let sub_strategy = arb_subdomain(table.domain());
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let sub = sub_strategy.new_tree(&mut runner).unwrap().current();
+#[test]
+fn extension_distributes_over_marginalization() {
+    // Σ_z (φ(x,z) · ψ(x)) = ψ(x) · Σ_z φ(x,z): multiply-then-sum equals
+    // sum-then-multiply when the message domain survives.
+    for case in 0..CASES {
+        let mut rng = TestRng::new(case + 200);
+        let table = random_table(&mut rng);
+        let sub = random_subdomain(&mut rng, table.domain());
         let msg = PotentialTable::from_values(
             sub.clone(),
             (0..sub.size()).map(|i| 0.5 + (i % 5) as f64).collect(),
@@ -97,14 +130,21 @@ proptest! {
         ops::multiply_into(&mut rhs, &msg);
 
         for (a, b) in lhs.values().iter().zip(rhs.values()) {
-            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-9 * (1.0 + a.abs()),
+                "case {case}: {a} vs {b}"
+            );
         }
     }
+}
 
-    #[test]
-    fn reduction_then_sum_equals_slice_mass(table in arb_table()) {
-        // After reduce(var = s), total mass equals the var = s slice of the
-        // single-variable marginal.
+#[test]
+fn reduction_then_sum_equals_slice_mass() {
+    // After reduce(var = s), total mass equals the var = s slice of the
+    // single-variable marginal.
+    for case in 0..CASES {
+        let mut rng = TestRng::new(case + 300);
+        let table = random_table(&mut rng);
         let domain = table.domain();
         let pos = domain.num_vars() / 2;
         let var = domain.vars()[pos];
@@ -113,24 +153,30 @@ proptest! {
         for (state, &mass) in marginal.iter().enumerate().take(card) {
             let mut reduced = table.clone();
             ops::reduce_evidence(&mut reduced, var, state);
-            prop_assert!((reduced.sum() - mass).abs() < 1e-9,
-                "state {state}: {} vs {}", reduced.sum(), mass);
+            assert!(
+                (reduced.sum() - mass).abs() < 1e-9,
+                "case {case} state {state}: {} vs {}",
+                reduced.sum(),
+                mass
+            );
         }
     }
+}
 
-    #[test]
-    fn parallel_ops_bit_match_sequential(table in arb_table()) {
-        let pool = ThreadPool::new(3);
-        let sched = Schedule::Dynamic { grain: 3 };
-        let sub_strategy = arb_subdomain(table.domain());
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let sub = sub_strategy.new_tree(&mut runner).unwrap().current();
+#[test]
+fn parallel_ops_bit_match_sequential() {
+    let pool = ThreadPool::new(3);
+    let sched = Schedule::Dynamic { grain: 3 };
+    for case in 0..CASES {
+        let mut rng = TestRng::new(case + 400);
+        let table = random_table(&mut rng);
+        let sub = random_subdomain(&mut rng, table.domain());
 
         let mut seq_out = PotentialTable::zeros(sub.clone());
         ops::marginalize_into(&table, &mut seq_out);
         let mut par_out = PotentialTable::zeros(sub.clone());
         ops_par::marginalize_into_par(&pool, sched, &table, &mut par_out);
-        prop_assert_eq!(seq_out.values(), par_out.values());
+        assert_eq!(seq_out.values(), par_out.values(), "case {case}");
 
         let msg = PotentialTable::from_values(
             sub.clone(),
@@ -140,36 +186,37 @@ proptest! {
         ops::extend_multiply(&mut seq_t, &msg);
         let mut par_t = table.clone();
         ops_par::extend_multiply_par(&pool, sched, &mut par_t, &msg);
-        prop_assert_eq!(seq_t.values(), par_t.values());
+        assert_eq!(seq_t.values(), par_t.values(), "case {case}");
     }
+}
 
-    #[test]
-    fn normalize_makes_a_distribution(mut table in arb_table()) {
-        prop_assume!(table.sum() > 0.0);
+#[test]
+fn normalize_makes_a_distribution() {
+    for case in 0..CASES {
+        let mut rng = TestRng::new(case + 500);
+        let mut table = random_table(&mut rng);
+        if table.sum() <= 0.0 {
+            continue; // the all-zero corner is covered by normalize()'s Err path
+        }
         let before = table.sum();
         let z = table.normalize().unwrap();
-        prop_assert!((z - before).abs() < 1e-12);
-        prop_assert!((table.sum() - 1.0).abs() < 1e-9);
+        assert!((z - before).abs() < 1e-12, "case {case}");
+        assert!((table.sum() - 1.0).abs() < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn from_cpt_tables_are_conditional_distributions(
-        child_card in 2usize..4,
-        parent_card in 2usize..4,
-        seed in 0u64..50,
-    ) {
+#[test]
+fn from_cpt_tables_are_conditional_distributions() {
+    for case in 0u64..50 {
         // Build a random CPT and check its potential-table form sums to 1
         // over the child for every parent state.
+        let mut rng = TestRng::new(case + 600);
+        let child_card = 2 + rng.below(2);
+        let parent_card = 2 + rng.below(2);
         let mut values = Vec::new();
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
         for _ in 0..parent_card {
             let mut row: Vec<f64> = (0..child_card)
-                .map(|_| {
-                    state ^= state << 13;
-                    state ^= state >> 7;
-                    state ^= state << 17;
-                    1.0 + (state % 100) as f64
-                })
+                .map(|_| 1.0 + (rng.next() % 100) as f64)
                 .collect();
             let sum: f64 = row.iter().sum();
             for v in &mut row {
@@ -190,10 +237,8 @@ proptest! {
         let cards = vec![child_card, parent_card];
         let table = PotentialTable::from_cpt(&cpt, &cards);
         for p in 0..parent_card {
-            let total: f64 = (0..child_card)
-                .map(|c| table.value_at(&[c, p]))
-                .sum();
-            prop_assert!((total - 1.0).abs() < 1e-9);
+            let total: f64 = (0..child_card).map(|c| table.value_at(&[c, p])).sum();
+            assert!((total - 1.0).abs() < 1e-9, "case {case}");
         }
     }
 }

@@ -4,10 +4,8 @@
 //!
 //! Run with: `cargo run --release --example bif_roundtrip [path/to/net.bif]`
 
-use std::sync::Arc;
-
 use fastbn::bayesnet::{bif, datasets};
-use fastbn::{Evidence, InferenceEngine, Prepared, SeqJt};
+use fastbn::{Evidence, Solver};
 
 fn main() {
     // With an argument: load that BIF file and report on it.
@@ -20,13 +18,12 @@ fn main() {
             net.num_edges(),
             net.total_parameters()
         );
-        let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-        let mut engine = SeqJt::new(prepared.clone());
-        let post = engine.query(&Evidence::empty()).expect("prior query");
+        let solver = Solver::new(&net);
+        let post = solver.posteriors(&Evidence::empty()).expect("prior query");
         println!(
             "junction tree: {} cliques, width {}; P(no evidence) = {:.3}",
-            prepared.num_cliques(),
-            prepared.built.tree.width(),
+            solver.prepared().num_cliques(),
+            solver.prepared().built.tree.width(),
             post.prob_evidence
         );
         return;
@@ -52,10 +49,10 @@ fn main() {
     // Inference on original and reloaded networks must agree exactly.
     let xray = net.var_id("XRay").unwrap();
     let ev = Evidence::from_pairs([(xray, 0)]);
-    let mut orig = SeqJt::new(Arc::new(Prepared::new(&net, &Default::default())));
-    let mut back = SeqJt::new(Arc::new(Prepared::new(&reloaded, &Default::default())));
-    let a = orig.query(&ev).unwrap();
-    let b = back.query(&ev).unwrap();
+    let orig = Solver::new(&net);
+    let back = Solver::new(&reloaded);
+    let a = orig.posteriors(&ev).unwrap();
+    let b = back.posteriors(&ev).unwrap();
     assert_eq!(a.max_abs_diff(&b), 0.0);
     println!(
         "round-trip OK: posteriors identical (P(evidence) = {:.6})",

@@ -8,7 +8,7 @@ use std::time::Instant;
 
 use fastbn::bayesnet::generators::{windowed_dag, ArityDist, CptStyle, WindowedDagSpec};
 use fastbn::bayesnet::sampler::generate_cases;
-use fastbn::{build_engine, EngineKind, Prepared};
+use fastbn::{EngineKind, Prepared, Solver};
 
 fn main() {
     // A mid-sized synthetic network (Pigs-like: uniform ternary).
@@ -48,28 +48,31 @@ fn main() {
         } else {
             threads
         };
-        let mut engine = build_engine(kind, prepared.clone(), t);
+        // All six solvers share the one Prepared; only the engine differs.
+        let solver = Solver::from_prepared(prepared.clone())
+            .engine(kind)
+            .threads(t)
+            .build();
+        let mut session = solver.session();
         let start = Instant::now();
         let mut checksums = Vec::with_capacity(cases.len());
         for ev in &cases {
-            let post = engine.query(ev).expect("valid evidence");
+            let post = session.posteriors(ev).expect("valid evidence");
             checksums.push(post.prob_evidence);
         }
         let elapsed = start.elapsed().as_secs_f64();
         // All engines must produce identical evidence probabilities.
         match &baseline {
             None => baseline = Some(checksums),
-            Some(expected) => assert_eq!(
-                expected, &checksums,
-                "{} disagrees with the baseline",
-                kind.name()
-            ),
+            Some(expected) => {
+                assert_eq!(expected, &checksums, "{kind} disagrees with the baseline")
+            }
         }
         if matches!(kind, EngineKind::Seq) {
             seq_time = Some(elapsed);
         }
         let vs_seq = seq_time.map_or(String::from("-"), |s| format!("{:.2}x", s / elapsed));
-        println!("{:<14} {:>10.3} {:>12}", kind.name(), elapsed, vs_seq);
+        println!("{:<14} {:>10.3} {:>12}", kind.to_string(), elapsed, vs_seq);
     }
     println!("\nall engines agreed bit-for-bit on P(evidence) for every case");
 }

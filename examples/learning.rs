@@ -4,18 +4,19 @@
 //!
 //! Run with: `cargo run --release --example learning`
 
-use std::sync::Arc;
-
 use fastbn::bayesnet::learn::{fit_parameters, mean_log_likelihood};
 use fastbn::bayesnet::{datasets, sampler};
-use fastbn::inference::virtual_evidence::VirtualEvidence;
-use fastbn::{Evidence, InferenceEngine, Prepared, SeqJt};
+use fastbn::{Evidence, Query, Solver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let truth = datasets::asia();
-    println!("ground truth: {} ({} variables)", truth.name(), truth.num_vars());
+    println!(
+        "ground truth: {} ({} variables)",
+        truth.name(),
+        truth.num_vars()
+    );
 
     // 1. Sample complete observations from the true model.
     let mut rng = StdRng::seed_from_u64(2024);
@@ -36,22 +37,21 @@ fn main() {
 
     // 3. Query the fitted model with a noisy sensor: an x-ray whose
     //    positive report is only 80% reliable.
-    let prepared = Arc::new(Prepared::new(&fitted, &Default::default()));
-    let mut engine = SeqJt::new(prepared);
+    let solver = Solver::new(&fitted);
+    let mut session = solver.session();
     let xray = fitted.var_id("XRay").unwrap();
     let lung = fitted.var_id("LungCancer").unwrap();
     let tub = fitted.var_id("Tuberculosis").unwrap();
 
-    let hard = engine
-        .query(&Evidence::from_pairs([(xray, 0)]))
+    let hard = session
+        .posteriors(&Evidence::from_pairs([(xray, 0)]))
         .expect("possible evidence");
-    let soft = engine
-        .query_with_virtual(
-            &Evidence::empty(),
-            &VirtualEvidence::empty().with(xray, vec![0.8, 0.2]),
-        )
-        .expect("possible evidence");
-    let prior = engine.query(&Evidence::empty()).unwrap();
+    let soft = session
+        .run(&Query::new().likelihood(xray, vec![0.8, 0.2]))
+        .expect("possible evidence")
+        .into_posteriors()
+        .unwrap();
+    let prior = session.posteriors(&Evidence::empty()).unwrap();
 
     println!("\nfitted-model posteriors for LungCancer / Tuberculosis (state = yes):");
     println!(

@@ -3,15 +3,13 @@
 //!
 //! Run with: `cargo run --release --example medical_diagnosis`
 
-use std::sync::Arc;
-
 use fastbn::bayesnet::datasets;
-use fastbn::{Evidence, InferenceEngine, Prepared, SeqJt};
+use fastbn::{Evidence, Query, Solver};
 
 fn main() {
     let net = datasets::asia();
-    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-    let mut engine = SeqJt::new(prepared);
+    let solver = Solver::new(&net);
+    let mut session = solver.session();
 
     let var = |name: &str| net.var_id(name).expect("known variable");
     let lung = var("LungCancer");
@@ -20,21 +18,14 @@ fn main() {
 
     let scenarios: Vec<(&str, Evidence)> = vec![
         ("no findings (priors)", Evidence::empty()),
-        (
-            "dyspnea only",
-            Evidence::from_pairs([(var("Dyspnea"), 0)]),
-        ),
+        ("dyspnea only", Evidence::from_pairs([(var("Dyspnea"), 0)])),
         (
             "dyspnea + smoker",
             Evidence::from_pairs([(var("Dyspnea"), 0), (var("Smoker"), 0)]),
         ),
         (
             "dyspnea + smoker + positive x-ray",
-            Evidence::from_pairs([
-                (var("Dyspnea"), 0),
-                (var("Smoker"), 0),
-                (var("XRay"), 0),
-            ]),
+            Evidence::from_pairs([(var("Dyspnea"), 0), (var("Smoker"), 0), (var("XRay"), 0)]),
         ),
         (
             "... + visited Asia (explains away toward TB)",
@@ -47,11 +38,7 @@ fn main() {
         ),
         (
             "positive x-ray but non-smoker, no Asia visit",
-            Evidence::from_pairs([
-                (var("XRay"), 0),
-                (var("Smoker"), 1),
-                (var("VisitAsia"), 1),
-            ]),
+            Evidence::from_pairs([(var("XRay"), 0), (var("Smoker"), 1), (var("VisitAsia"), 1)]),
         ),
     ];
 
@@ -60,7 +47,13 @@ fn main() {
         "scenario", "P(lung)", "P(tub)", "P(bronch)", "P(evidence)"
     );
     for (label, evidence) in scenarios {
-        let post = engine.query(&evidence).expect("consistent evidence");
+        // Only the three disease marginals are needed — ask for exactly
+        // those.
+        let post = session
+            .run(&Query::new().evidence(evidence).targets([lung, tub, bronc]))
+            .expect("consistent evidence")
+            .into_posteriors()
+            .unwrap();
         println!(
             "{:<48} {:>10.4} {:>10.4} {:>10.4} {:>12.6}",
             label,
@@ -73,21 +66,23 @@ fn main() {
 
     // Impossible evidence is reported, not silently mangled.
     let impossible = Evidence::from_pairs([(tub, 0), (var("TbOrCa"), 1)]);
-    match engine.query(&impossible) {
+    match session.posteriors(&impossible) {
         Err(e) => println!("\nimpossible scenario correctly rejected: {e}"),
         Ok(_) => unreachable!("TB with negative TbOrCa has probability 0"),
     }
 
     // Beyond marginals: the single most probable full explanation of the
-    // sickest scenario (max-product propagation on the same tree).
-    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-    let findings = Evidence::from_pairs([
-        (var("Dyspnea"), 0),
-        (var("Smoker"), 0),
-        (var("XRay"), 0),
-    ]);
-    let mpe = fastbn::inference::mpe::most_probable_explanation(&prepared, &findings)
-        .expect("possible evidence");
+    // sickest scenario — same session, same tree, MPE mode.
+    let findings = Query::new()
+        .observe(var("Dyspnea"), 0)
+        .observe(var("Smoker"), 0)
+        .observe(var("XRay"), 0)
+        .mpe();
+    let mpe = session
+        .run(&findings)
+        .expect("possible evidence")
+        .into_mpe()
+        .unwrap();
     println!("\nmost probable explanation of dyspnea + smoker + positive x-ray:");
     for v in 0..net.num_vars() {
         let id = fastbn::VarId::from_index(v);

@@ -1,11 +1,10 @@
-//! Quickstart: build a network, run Fast-BNI inference, print posteriors.
+//! Quickstart: build a network, compile a solver, run Fast-BNI queries
+//! through a session, print posteriors.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use std::sync::Arc;
-
 use fastbn::bayesnet::datasets;
-use fastbn::{Evidence, HybridJt, InferenceEngine, Prepared, VarId};
+use fastbn::{EngineKind, Query, Solver, VarId};
 
 fn main() {
     // The classic "Asia" chest-clinic network (8 binary variables).
@@ -17,9 +16,14 @@ fn main() {
         net.num_edges()
     );
 
-    // One-time preparation: moralize, triangulate, build the junction
-    // tree, select the center root, assign CPTs to cliques.
-    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    // One-time compilation: moralize, triangulate, build the junction
+    // tree, select the center root, assign CPTs to cliques, precompute
+    // the engine's task plans. The solver is immutable and Send + Sync.
+    let solver = Solver::builder(&net)
+        .engine(EngineKind::Hybrid) // Fast-BNI-par
+        .threads(2)
+        .build();
+    let prepared = solver.prepared();
     println!(
         "junction tree: {} cliques, {} separators, width {}, {} layers\n",
         prepared.num_cliques(),
@@ -28,15 +32,14 @@ fn main() {
         prepared.built.schedule.num_layers(),
     );
 
-    // The Fast-BNI-par hybrid engine on 2 threads.
-    let mut engine = HybridJt::new(prepared, 2);
+    // A per-caller session; repeated queries reuse its scratch.
+    let mut session = solver.session();
 
     // A patient with dyspnea who recently visited Asia.
-    let evidence = Evidence::from_pairs([
-        (net.var_id("Dyspnea").unwrap(), 0),
-        (net.var_id("VisitAsia").unwrap(), 0),
-    ]);
-    let posteriors = engine.query(&evidence).unwrap();
+    let query = Query::new()
+        .observe(net.var_id("Dyspnea").unwrap(), 0)
+        .observe(net.var_id("VisitAsia").unwrap(), 0);
+    let posteriors = session.run(&query).unwrap().into_posteriors().unwrap();
 
     println!("P(evidence) = {:.6}", posteriors.prob_evidence);
     println!("posterior marginals given dyspnea + Asia visit:");
@@ -52,4 +55,20 @@ fn main() {
             .collect();
         println!("  {:<14} {}", var.name(), states.join("  "));
     }
+
+    // Targeted query: pay only for the marginal you need.
+    let lung = net.var_id("LungCancer").unwrap();
+    let targeted = session
+        .run(
+            &Query::new()
+                .observe(net.var_id("Dyspnea").unwrap(), 0)
+                .targets([lung]),
+        )
+        .unwrap()
+        .into_posteriors()
+        .unwrap();
+    println!(
+        "\ntargeted: P(LungCancer = yes | dyspnea) = {:.4} (only this marginal was extracted)",
+        targeted.marginal(lung)[0]
+    );
 }

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use fastbn::{HybridJt, InferenceEngine, Prepared};
+use fastbn::{EngineKind, Prepared, Solver};
 use fastbn_bench::workloads::workload_by_name;
 
 fn main() {
@@ -30,11 +30,15 @@ fn main() {
     let mut t1 = None;
     println!("{:>8} {:>12} {:>10}", "threads", "total (s)", "speedup");
     for t in [1usize, 2, 3, 4, 8, 16, 32] {
-        let mut engine = HybridJt::new(prepared.clone(), t);
-        let _ = engine.query(&cases[0]); // warm-up
+        let solver = Solver::from_prepared(prepared.clone())
+            .engine(EngineKind::Hybrid)
+            .threads(t)
+            .build();
+        let mut session = solver.session();
+        let _ = session.posteriors(&cases[0]); // warm-up
         let start = Instant::now();
         for ev in &cases {
-            engine.query(ev).expect("valid evidence");
+            session.posteriors(ev).expect("valid evidence");
         }
         let elapsed = start.elapsed().as_secs_f64();
         if t == 1 {

@@ -9,27 +9,65 @@
 //! layering, an OpenMP-analogue thread pool, and the paper's three
 //! parallel baselines.
 //!
+//! Inference is served through a concurrent three-layer API: a
+//! [`Solver`] compiles a network once into an immutable `Send + Sync`
+//! model; any number of threads open [`Session`]s against it; each
+//! session runs [`Query`]s (hard evidence, virtual evidence, targeted
+//! marginals, MPE) with pooled scratch and zero steady-state allocation.
+//!
 //! This facade crate re-exports the workspace members; depend on it for
 //! everything, or on individual `fastbn-*` crates for a subset.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use fastbn::bayesnet::{datasets, Evidence};
-//! use fastbn::inference::{HybridJt, InferenceEngine, Prepared};
-//! use std::sync::Arc;
+//! use fastbn::bayesnet::datasets;
+//! use fastbn::{EngineKind, Query, Solver};
 //!
 //! // 1. A Bayesian network (classic Asia; or load a .bif, or generate).
 //! let net = datasets::asia();
-//! // 2. Build the junction tree and initial potentials once.
-//! let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-//! // 3. Fast-BNI-par engine with 2 threads.
-//! let mut engine = HybridJt::new(prepared, 2);
-//! // 4. Query: P(everything | XRay = yes).
+//! // 2. Compile once: junction tree, initial potentials, engine plans.
+//! //    The solver is Send + Sync — share it across threads freely.
+//! let solver = Solver::builder(&net)
+//!     .engine(EngineKind::Hybrid) // Fast-BNI-par
+//!     .threads(2)                 // workers inside each query
+//!     .build();
+//! // 3. Open a per-caller session (cheap; scratch comes from a pool).
+//! let mut session = solver.session();
+//! // 4. Query: P(Tuberculosis | XRay = yes), computing only that marginal.
 //! let xray = net.var_id("XRay").unwrap();
-//! let posteriors = engine.query(&Evidence::from_pairs([(xray, 0)])).unwrap();
 //! let tub = net.var_id("Tuberculosis").unwrap();
+//! let result = session
+//!     .run(&Query::new().observe(xray, 0).targets([tub]))
+//!     .unwrap();
+//! let posteriors = result.posteriors().unwrap();
 //! assert!(posteriors.marginal(tub)[0] > 0.05); // x-ray raises P(tub)
+//!
+//! // The same session also answers MPE queries (max-product):
+//! let mpe = session.run(&Query::new().observe(xray, 0).mpe()).unwrap();
+//! assert_eq!(mpe.mpe().unwrap().assignment[xray.index()], 0);
+//! ```
+//!
+//! ## Concurrent serving
+//!
+//! ```
+//! use fastbn::bayesnet::datasets;
+//! use fastbn::{Evidence, Solver};
+//!
+//! let net = datasets::sprinkler();
+//! let solver = Solver::new(&net); // Fast-BNI-seq, threads = 1
+//! let rain = net.var_id("Rain").unwrap();
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         scope.spawn(|| {
+//!             let mut session = solver.session();
+//!             let post = session
+//!                 .posteriors(&Evidence::from_pairs([(rain, 0)]))
+//!                 .unwrap();
+//!             assert_eq!(post.marginal(rain), &[1.0, 0.0]);
+//!         });
+//!     }
+//! });
 //! ```
 
 /// Bayesian-network substrate (variables, CPTs, DAG, BIF, generators).
@@ -45,8 +83,12 @@ pub use fastbn_potential as potential;
 
 pub use fastbn_bayesnet::{BayesianNetwork, Evidence, NetworkBuilder, VarId, Variable};
 pub use fastbn_inference::{
-    build_engine, DirectJt, ElementJt, EngineKind, HybridJt, InferenceEngine, InferenceError,
-    Posteriors, Prepared, PrimitiveJt, ReferenceJt, SeqJt,
+    make_engine, DirectJt, ElementJt, EngineKind, HybridJt, InferenceEngine, InferenceError,
+    MpeResult, Posteriors, Prepared, PrimitiveJt, Query, QueryMode, QueryResult, ReferenceJt,
+    SeqJt, Session, Solver, SolverBuilder, VirtualEvidence, WorkState,
 };
 pub use fastbn_jtree::JtreeOptions;
 pub use fastbn_parallel::{Schedule, ThreadPool};
+
+#[allow(deprecated)]
+pub use fastbn_inference::{build_engine, LegacyEngine};

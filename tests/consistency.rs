@@ -2,12 +2,10 @@
 //! thread counts) must agree bitwise with Fast-BNI-seq, which in turn
 //! must agree with variable elimination and brute force.
 
-use std::sync::Arc;
-
 use fastbn::bayesnet::{datasets, generators, sampler};
 use fastbn::inference::oracle::{brute_force, variable_elimination};
 use fastbn::inference::validate::assert_engines_agree;
-use fastbn::{Evidence, InferenceEngine, Prepared, SeqJt};
+use fastbn::{Evidence, Solver};
 
 fn cases_for(net: &fastbn::BayesianNetwork, n: usize, seed: u64) -> Vec<Evidence> {
     sampler::generate_cases(net, n, 0.25, seed)
@@ -56,10 +54,10 @@ fn seq_jt_matches_brute_force_exactly_enough() {
     // Brute force enumerates the joint — a fully independent path.
     for name in ["sprinkler", "asia", "cancer", "student"] {
         let net = datasets::by_name(name).unwrap();
-        let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-        let mut engine = SeqJt::new(prepared);
+        let solver = Solver::new(&net);
+        let mut session = solver.session();
         for ev in cases_for(&net, 6, 7) {
-            let jt = engine.query(&ev).unwrap();
+            let jt = session.posteriors(&ev).unwrap();
             let bf = brute_force::all_posteriors(&net, &ev).unwrap();
             assert!(
                 jt.max_abs_diff(&bf) < 1e-10,
@@ -81,11 +79,11 @@ fn posteriors_respect_d_separation() {
     let asia_v = net.var_id("VisitAsia").unwrap();
     assert!(d.d_separated(asia_v.0, smoke.0, &[]));
 
-    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-    let mut engine = SeqJt::new(prepared);
-    let base = engine.query(&Evidence::empty()).unwrap();
-    let cond = engine
-        .query(&Evidence::from_pairs([(asia_v, 0)]))
+    let solver = Solver::new(&net);
+    let mut session = solver.session();
+    let base = session.posteriors(&Evidence::empty()).unwrap();
+    let cond = session
+        .posteriors(&Evidence::from_pairs([(asia_v, 0)]))
         .unwrap();
     for (a, b) in base.marginal(smoke).iter().zip(cond.marginal(smoke)) {
         assert!((a - b).abs() < 1e-12, "d-separated var moved: {a} vs {b}");
@@ -98,12 +96,9 @@ fn ve_prob_evidence_decreases_with_more_findings() {
     let net = datasets::asia();
     let dysp = net.var_id("Dyspnea").unwrap();
     let smoke = net.var_id("Smoker").unwrap();
-    let p1 =
-        variable_elimination::prob_evidence(&net, &Evidence::from_pairs([(dysp, 0)])).unwrap();
-    let p2 = variable_elimination::prob_evidence(
-        &net,
-        &Evidence::from_pairs([(dysp, 0), (smoke, 0)]),
-    )
-    .unwrap();
+    let p1 = variable_elimination::prob_evidence(&net, &Evidence::from_pairs([(dysp, 0)])).unwrap();
+    let p2 =
+        variable_elimination::prob_evidence(&net, &Evidence::from_pairs([(dysp, 0), (smoke, 0)]))
+            .unwrap();
     assert!(p2 <= p1 + 1e-15, "{p2} > {p1}");
 }

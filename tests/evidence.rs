@@ -5,16 +5,17 @@
 use std::sync::Arc;
 
 use fastbn::bayesnet::{datasets, NetworkBuilder};
-use fastbn::{
-    build_engine, Evidence, EngineKind, InferenceError, Prepared, VarId,
-};
+use fastbn::{EngineKind, Evidence, InferenceError, Prepared, Solver, VarId};
 
-fn engines_for(
-    prepared: &Arc<Prepared>,
-) -> Vec<Box<dyn fastbn::InferenceEngine + Send>> {
+fn solvers_for(prepared: &Arc<Prepared>) -> Vec<Solver> {
     EngineKind::all()
         .into_iter()
-        .map(|k| build_engine(k, prepared.clone(), 2))
+        .map(|k| {
+            Solver::from_prepared(prepared.clone())
+                .engine(k)
+                .threads(2)
+                .build()
+        })
         .collect()
 }
 
@@ -23,14 +24,18 @@ fn empty_evidence_reproduces_priors_in_every_engine() {
     let net = datasets::asia();
     let prepared = Arc::new(Prepared::new(&net, &Default::default()));
     let tub = net.var_id("Tuberculosis").unwrap();
-    for mut engine in engines_for(&prepared) {
-        let post = engine.query(&Evidence::empty()).unwrap();
+    for solver in solvers_for(&prepared) {
+        let post = solver.posteriors(&Evidence::empty()).unwrap();
         assert!(
             (post.marginal(tub)[0] - 0.0104).abs() < 1e-9,
             "{}",
-            engine.name()
+            solver.engine_name()
         );
-        assert!((post.prob_evidence - 1.0).abs() < 1e-9, "{}", engine.name());
+        assert!(
+            (post.prob_evidence - 1.0).abs() < 1e-9,
+            "{}",
+            solver.engine_name()
+        );
     }
 }
 
@@ -39,19 +44,14 @@ fn fully_observed_network_in_every_engine() {
     let net = datasets::sprinkler();
     let prepared = Arc::new(Prepared::new(&net, &Default::default()));
     // Cloudy=t, Sprinkler=f, Rain=t, Wet=t: P = 0.5 * 0.9 * 0.8 * 0.9.
-    let ev = Evidence::from_pairs([
-        (VarId(0), 0),
-        (VarId(1), 1),
-        (VarId(2), 0),
-        (VarId(3), 0),
-    ]);
+    let ev = Evidence::from_pairs([(VarId(0), 0), (VarId(1), 1), (VarId(2), 0), (VarId(3), 0)]);
     let expected = 0.5 * 0.9 * 0.8 * 0.9;
-    for mut engine in engines_for(&prepared) {
-        let post = engine.query(&ev).unwrap();
+    for solver in solvers_for(&prepared) {
+        let post = solver.posteriors(&ev).unwrap();
         assert!(
             (post.prob_evidence - expected).abs() < 1e-12,
             "{}: {} vs {expected}",
-            engine.name(),
+            solver.engine_name(),
             post.prob_evidence
         );
         for v in 0..4 {
@@ -68,15 +68,20 @@ fn impossible_evidence_rejected_by_every_engine() {
     let tub = net.var_id("Tuberculosis").unwrap();
     let either = net.var_id("TbOrCa").unwrap();
     let impossible = Evidence::from_pairs([(tub, 0), (either, 1)]);
-    for mut engine in engines_for(&prepared) {
+    for solver in solvers_for(&prepared) {
+        let mut session = solver.session();
         assert_eq!(
-            engine.query(&impossible).unwrap_err(),
+            session.posteriors(&impossible).unwrap_err(),
             InferenceError::ImpossibleEvidence,
             "{}",
-            engine.name()
+            solver.engine_name()
         );
-        // Engine remains usable after the failure.
-        assert!(engine.query(&Evidence::empty()).is_ok(), "{}", engine.name());
+        // Session remains usable after the failure.
+        assert!(
+            session.posteriors(&Evidence::empty()).is_ok(),
+            "{}",
+            solver.engine_name()
+        );
     }
 }
 
@@ -87,11 +92,13 @@ fn deterministic_cpts_propagate_hard_constraints() {
     let tub = net.var_id("Tuberculosis").unwrap();
     let lung = net.var_id("LungCancer").unwrap();
     let either = net.var_id("TbOrCa").unwrap();
-    for mut engine in engines_for(&prepared) {
+    for solver in solvers_for(&prepared) {
         // Observing either=no forces tub=no and lung=no exactly.
-        let post = engine.query(&Evidence::from_pairs([(either, 1)])).unwrap();
-        assert_eq!(post.marginal(tub)[0], 0.0, "{}", engine.name());
-        assert_eq!(post.marginal(lung)[0], 0.0, "{}", engine.name());
+        let post = solver
+            .posteriors(&Evidence::from_pairs([(either, 1)]))
+            .unwrap();
+        assert_eq!(post.marginal(tub)[0], 0.0, "{}", solver.engine_name());
+        assert_eq!(post.marginal(lung)[0], 0.0, "{}", solver.engine_name());
     }
 }
 
@@ -102,10 +109,19 @@ fn evidence_on_single_node_network() {
     b.set_cpt(a, vec![], vec![0.2, 0.3, 0.5]).unwrap();
     let net = b.build().unwrap();
     let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-    for mut engine in engines_for(&prepared) {
-        let post = engine.query(&Evidence::from_pairs([(a, 2)])).unwrap();
-        assert_eq!(post.marginal(a), &[0.0, 0.0, 1.0], "{}", engine.name());
-        assert!((post.prob_evidence - 0.5).abs() < 1e-12, "{}", engine.name());
+    for solver in solvers_for(&prepared) {
+        let post = solver.posteriors(&Evidence::from_pairs([(a, 2)])).unwrap();
+        assert_eq!(
+            post.marginal(a),
+            &[0.0, 0.0, 1.0],
+            "{}",
+            solver.engine_name()
+        );
+        assert!(
+            (post.prob_evidence - 0.5).abs() < 1e-12,
+            "{}",
+            solver.engine_name()
+        );
     }
 }
 
@@ -120,19 +136,19 @@ fn disconnected_components_stay_independent() {
     b.set_cpt(c, vec![], vec![0.3, 0.7]).unwrap();
     let net = b.build().unwrap();
     let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-    for mut engine in engines_for(&prepared) {
+    for solver in solvers_for(&prepared) {
         // Evidence in one component must not disturb the other.
-        let post = engine.query(&Evidence::from_pairs([(a2, 0)])).unwrap();
+        let post = solver.posteriors(&Evidence::from_pairs([(a2, 0)])).unwrap();
         assert!(
             (post.marginal(c)[0] - 0.3).abs() < 1e-12,
             "{}",
-            engine.name()
+            solver.engine_name()
         );
         // P(a2 = t) = 0.6*0.9 + 0.4*0.2 = 0.62.
         assert!(
             (post.prob_evidence - 0.62).abs() < 1e-12,
             "{}: {}",
-            engine.name(),
+            solver.engine_name(),
             post.prob_evidence
         );
     }
@@ -150,19 +166,61 @@ fn invalid_evidence_fails_validation() {
 #[test]
 fn overwriting_and_clearing_evidence_between_queries() {
     let net = datasets::cancer();
-    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-    let mut engine = build_engine(EngineKind::Hybrid, prepared, 2);
+    let solver = Solver::builder(&net)
+        .engine(EngineKind::Hybrid)
+        .threads(2)
+        .build();
+    let mut session = solver.session();
     let smoker = net.var_id("Smoker").unwrap();
     let cancer = net.var_id("Cancer").unwrap();
 
-    let p_smoker = engine
-        .query(&Evidence::from_pairs([(smoker, 0)]))
+    let p_smoker = session
+        .posteriors(&Evidence::from_pairs([(smoker, 0)]))
         .unwrap()
         .marginal(cancer)[0];
-    let p_nonsmoker = engine
-        .query(&Evidence::from_pairs([(smoker, 1)]))
+    let p_nonsmoker = session
+        .posteriors(&Evidence::from_pairs([(smoker, 1)]))
         .unwrap()
         .marginal(cancer)[0];
-    let p_prior = engine.query(&Evidence::empty()).unwrap().marginal(cancer)[0];
+    let p_prior = session
+        .posteriors(&Evidence::empty())
+        .unwrap()
+        .marginal(cancer)[0];
     assert!(p_smoker > p_prior && p_prior > p_nonsmoker);
+}
+
+#[test]
+fn malformed_evidence_is_a_typed_error_not_a_panic() {
+    use fastbn::bayesnet::evidence::EvidenceError;
+    let net = datasets::sprinkler(); // 4 binary variables
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    for solver in solvers_for(&prepared) {
+        let mut session = solver.session();
+        // Unknown variable.
+        let err = session
+            .posteriors(&Evidence::from_pairs([(VarId(99), 0)]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InferenceError::InvalidEvidence(EvidenceError::UnknownVariable(VarId(99))),
+            "{}",
+            solver.engine_name()
+        );
+        // Out-of-range state on a known variable.
+        let err = session
+            .posteriors(&Evidence::from_pairs([(VarId(0), 7)]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InferenceError::InvalidEvidence(EvidenceError::StateOutOfRange {
+                var: VarId(0),
+                state: 7,
+                cardinality: 2,
+            }),
+            "{}",
+            solver.engine_name()
+        );
+        // Session still healthy afterwards.
+        assert!(session.posteriors(&Evidence::empty()).is_ok());
+    }
 }

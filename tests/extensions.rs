@@ -1,12 +1,9 @@
 //! Integration tests of the extension features (parameter learning and
 //! virtual evidence) working together with the inference pipeline.
 
-use std::sync::Arc;
-
 use fastbn::bayesnet::learn::{fit_parameters, mean_log_likelihood};
 use fastbn::bayesnet::{datasets, generators, sampler};
-use fastbn::inference::virtual_evidence::VirtualEvidence;
-use fastbn::{Evidence, InferenceEngine, Prepared, SeqJt, VarId};
+use fastbn::{Evidence, Query, Solver, VarId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,12 +19,12 @@ fn fitted_model_posteriors_approach_truth() {
     let truth = datasets::cancer();
     let fitted = fit_parameters(&truth, &rows(&truth, 80_000, 11), 1.0).unwrap();
 
-    let mut truth_engine = SeqJt::new(Arc::new(Prepared::new(&truth, &Default::default())));
-    let mut fitted_engine = SeqJt::new(Arc::new(Prepared::new(&fitted, &Default::default())));
+    let truth_solver = Solver::new(&truth);
+    let fitted_solver = Solver::new(&fitted);
     let smoker = truth.var_id("Smoker").unwrap();
     let ev = Evidence::from_pairs([(smoker, 0)]);
-    let a = truth_engine.query(&ev).unwrap();
-    let b = fitted_engine.query(&ev).unwrap();
+    let a = truth_solver.posteriors(&ev).unwrap();
+    let b = fitted_solver.posteriors(&ev).unwrap();
     assert!(
         a.max_abs_diff(&b) < 0.02,
         "fitted posteriors deviate by {}",
@@ -59,23 +56,25 @@ fn virtual_evidence_interpolates_between_prior_and_hard() {
     // Increasingly confident likelihoods must move the posterior
     // monotonically from the prior toward the hard-evidence posterior.
     let net = datasets::asia();
-    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-    let mut engine = SeqJt::new(prepared);
+    let solver = Solver::new(&net);
+    let mut session = solver.session();
     let xray = net.var_id("XRay").unwrap();
     let lung = net.var_id("LungCancer").unwrap();
 
-    let prior = engine.query(&Evidence::empty()).unwrap().marginal(lung)[0];
-    let hard = engine
-        .query(&Evidence::from_pairs([(xray, 0)]))
+    let prior = session
+        .posteriors(&Evidence::empty())
+        .unwrap()
+        .marginal(lung)[0];
+    let hard = session
+        .posteriors(&Evidence::from_pairs([(xray, 0)]))
         .unwrap()
         .marginal(lung)[0];
     let mut last = prior;
     for confidence in [0.55, 0.7, 0.85, 0.99] {
-        let post = engine
-            .query_with_virtual(
-                &Evidence::empty(),
-                &VirtualEvidence::empty().with(xray, vec![confidence, 1.0 - confidence]),
-            )
+        let post = session
+            .run(&Query::new().likelihood(xray, vec![confidence, 1.0 - confidence]))
+            .unwrap()
+            .into_posteriors()
             .unwrap()
             .marginal(lung)[0];
         assert!(
@@ -90,20 +89,23 @@ fn virtual_evidence_interpolates_between_prior_and_hard() {
 #[test]
 fn virtual_evidence_combines_with_hard_evidence() {
     let net = datasets::asia();
-    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-    let mut engine = SeqJt::new(prepared);
+    let solver = Solver::new(&net);
+    let mut session = solver.session();
     let dysp = net.var_id("Dyspnea").unwrap();
     let xray = net.var_id("XRay").unwrap();
     let bronc = net.var_id("Bronchitis").unwrap();
 
-    let hard_only = engine
-        .query(&Evidence::from_pairs([(dysp, 0)]))
+    let hard_only = session
+        .posteriors(&Evidence::from_pairs([(dysp, 0)]))
         .unwrap();
-    let with_soft = engine
-        .query_with_virtual(
-            &Evidence::from_pairs([(dysp, 0)]),
-            &VirtualEvidence::empty().with(xray, vec![0.9, 0.1]),
+    let with_soft = session
+        .run(
+            &Query::new()
+                .observe(dysp, 0)
+                .likelihood(xray, vec![0.9, 0.1]),
         )
+        .unwrap()
+        .into_posteriors()
         .unwrap();
     // The soft x-ray shifts mass toward TbOrCa explanations, away from
     // bronchitis-only explanations.
@@ -117,19 +119,75 @@ fn virtual_evidence_combines_with_hard_evidence() {
 #[test]
 fn refit_then_mpe_pipeline() {
     // Full pipeline: learn parameters, then ask for the MPE under the
-    // fitted model — exercises learn + jtree + max-product together.
+    // fitted model — exercises learn + jtree + max-product together,
+    // through the unified Query entry point.
     let truth = datasets::student();
     let fitted = fit_parameters(&truth, &rows(&truth, 20_000, 21), 1.0).unwrap();
-    let prepared = Prepared::new(&fitted, &Default::default());
+    let solver = Solver::new(&fitted);
     let letter = fitted.var_id("Letter").unwrap();
-    let mpe = fastbn::inference::mpe::most_probable_explanation(
-        &prepared,
-        &Evidence::from_pairs([(letter, 1)]),
-    )
-    .unwrap();
+    let mpe = solver
+        .query(&Query::new().observe(letter, 1).mpe())
+        .unwrap()
+        .into_mpe()
+        .unwrap();
     assert_eq!(mpe.assignment[letter.index()], 1);
     assert!(mpe.probability > 0.0);
     for v in 0..fitted.num_vars() {
         assert!(mpe.assignment[v] < fitted.cardinality(VarId::from_index(v)));
     }
+}
+
+#[test]
+fn malformed_virtual_evidence_is_a_typed_error() {
+    use fastbn::bayesnet::evidence::EvidenceError;
+    use fastbn::{InferenceError, VirtualEvidence};
+    let net = datasets::cancer();
+    let solver = Solver::new(&net);
+    let mut session = solver.session();
+    // Likelihood on an unknown variable.
+    let err = session
+        .run(
+            &Query::new()
+                .virtual_evidence(VirtualEvidence::empty().with(VarId(99), vec![0.5, 0.5])),
+        )
+        .unwrap_err();
+    assert_eq!(
+        err,
+        InferenceError::InvalidEvidence(EvidenceError::UnknownVariable(VarId(99)))
+    );
+    // Wrong-length likelihood for a binary variable.
+    let cancer = net.var_id("Cancer").unwrap();
+    let err = session
+        .run(&Query::new().likelihood(cancer, vec![0.5, 0.3, 0.2]))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        InferenceError::InvalidLikelihood {
+            var: cancer.index(),
+            expected: 2,
+            got: 3
+        }
+    );
+    // Session still healthy.
+    assert!(session.posteriors(&Evidence::empty()).is_ok());
+}
+
+#[test]
+fn joint_posterior_rejects_invalid_evidence_before_clique_lookup() {
+    use fastbn::bayesnet::evidence::EvidenceError;
+    use fastbn::InferenceError;
+    let net = datasets::asia();
+    let solver = Solver::new(&net);
+    let mut session = solver.session();
+    // VisitAsia and Smoker never share a clique, so without up-front
+    // validation this would be masked as Ok(None).
+    let a = net.var_id("VisitAsia").unwrap();
+    let s = net.var_id("Smoker").unwrap();
+    let err = session
+        .joint_posterior(&Evidence::from_pairs([(VarId(99), 0)]), &[a, s])
+        .unwrap_err();
+    assert_eq!(
+        err,
+        InferenceError::InvalidEvidence(EvidenceError::UnknownVariable(VarId(99)))
+    );
 }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use fastbn::inference::validate::assert_engines_agree;
 use fastbn::jtree::{root_tree, LayerSchedule, RootStrategy};
-use fastbn::{build_engine, EngineKind, Prepared};
+use fastbn::{EngineKind, Prepared, Solver};
 use fastbn_bench::workloads::{all_workloads, workload_by_name};
 
 #[test]
@@ -21,7 +21,11 @@ fn workload_structures_are_tractable() {
             w.name,
             stats.max_clique_entries
         );
-        assert!(prepared.built.tree.verify_running_intersection(), "{}", w.name);
+        assert!(
+            prepared.built.tree.verify_running_intersection(),
+            "{}",
+            w.name
+        );
     }
 }
 
@@ -42,13 +46,18 @@ fn parallel_engines_agree_with_seq_on_large_analogues() {
         let net = w.build();
         let prepared = Arc::new(Prepared::new(&net, &Default::default()));
         let cases = w.cases(&net, 2);
-        let mut seq = build_engine(EngineKind::Seq, prepared.clone(), 1);
+        let seq = Solver::from_prepared(prepared.clone()).build();
+        let mut seq_session = seq.session();
         for kind in EngineKind::parallel() {
-            let mut engine = build_engine(kind, prepared.clone(), 2);
+            let solver = Solver::from_prepared(prepared.clone())
+                .engine(kind)
+                .threads(2)
+                .build();
+            let mut session = solver.session();
             for ev in &cases {
-                let a = seq.query(ev).unwrap();
-                let b = engine.query(ev).unwrap();
-                assert_eq!(a.max_abs_diff(&b), 0.0, "{name}/{}", kind.name());
+                let a = seq_session.posteriors(ev).unwrap();
+                let b = session.posteriors(ev).unwrap();
+                assert_eq!(a.max_abs_diff(&b), 0.0, "{name}/{kind}");
             }
         }
     }
@@ -76,11 +85,8 @@ fn center_rooting_reduces_layers_on_benchmark_structures() {
         let net = w.build();
         let built = fastbn::jtree::build_junction_tree(&net, &Default::default());
         let center = built.schedule.num_layers();
-        let worst = LayerSchedule::new(
-            &built.tree,
-            &root_tree(&built.tree, RootStrategy::Worst),
-        )
-        .num_layers();
+        let worst = LayerSchedule::new(&built.tree, &root_tree(&built.tree, RootStrategy::Worst))
+            .num_layers();
         assert!(
             center <= worst / 2 + 1,
             "{}: center {center} vs worst {worst}",
@@ -95,10 +101,13 @@ fn query_throughput_smoke() {
     // posterior is a distribution (guards against silent NaN creep).
     let w = workload_by_name("munin2").unwrap();
     let net = w.build();
-    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-    let mut engine = build_engine(EngineKind::Hybrid, prepared, 2);
+    let solver = Solver::builder(&net)
+        .engine(EngineKind::Hybrid)
+        .threads(2)
+        .build();
+    let mut session = solver.session();
     for ev in w.cases(&net, 10) {
-        let post = engine.query(&ev).unwrap();
+        let post = session.posteriors(&ev).unwrap();
         assert!(post.prob_evidence.is_finite() && post.prob_evidence > 0.0);
         for v in 0..net.num_vars() {
             let m = post.marginal(fastbn::VarId::from_index(v));

@@ -1,22 +1,21 @@
 //! Integration tests of the MPE extension: max-product results are
-//! consistent with posterior inference and stable across networks.
-
-use std::sync::Arc;
+//! consistent with posterior inference and stable across networks, both
+//! through the standalone function and the MPE-mode Query.
 
 use fastbn::bayesnet::{datasets, sampler};
 use fastbn::inference::mpe::most_probable_explanation;
-use fastbn::{Evidence, InferenceEngine, Prepared, SeqJt, VarId};
+use fastbn::{Evidence, Query, Solver, VarId};
 use fastbn_bench::workloads::workload_by_name;
 
 #[test]
 fn mpe_probability_never_exceeds_evidence_probability() {
     // P(x*, e) ≤ P(e) with equality iff the conditional is degenerate.
     let net = datasets::asia();
-    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-    let mut engine = SeqJt::new(prepared.clone());
+    let solver = Solver::new(&net);
+    let mut session = solver.session();
     for case in sampler::generate_cases(&net, 10, 0.25, 77) {
-        let posterior = engine.query(&case.evidence).unwrap();
-        let mpe = most_probable_explanation(&prepared, &case.evidence).unwrap();
+        let posterior = session.posteriors(&case.evidence).unwrap();
+        let mpe = session.mpe(&case.evidence).unwrap();
         assert!(
             mpe.probability <= posterior.prob_evidence + 1e-12,
             "P(x*, e) = {} > P(e) = {}",
@@ -31,11 +30,15 @@ fn mpe_probability_never_exceeds_evidence_probability() {
 fn mpe_states_have_positive_posterior() {
     // Every MPE state must be possible under the posterior marginals.
     let net = datasets::student();
-    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-    let mut engine = SeqJt::new(prepared.clone());
+    let solver = Solver::new(&net);
+    let mut session = solver.session();
     for case in sampler::generate_cases(&net, 10, 0.3, 13) {
-        let posterior = engine.query(&case.evidence).unwrap();
-        let mpe = most_probable_explanation(&prepared, &case.evidence).unwrap();
+        let posterior = session.posteriors(&case.evidence).unwrap();
+        let mpe = session
+            .run(&Query::new().evidence(case.evidence.clone()).mpe())
+            .unwrap()
+            .into_mpe()
+            .unwrap();
         for v in 0..net.num_vars() {
             let state = mpe.assignment[v];
             assert!(
@@ -47,14 +50,32 @@ fn mpe_states_have_positive_posterior() {
 }
 
 #[test]
+fn query_mpe_matches_standalone_function() {
+    // The Query::mpe() path and the standalone helper must agree exactly
+    // (same scratch-backed max-product underneath).
+    let net = datasets::asia();
+    let solver = Solver::new(&net);
+    let mut session = solver.session();
+    for case in sampler::generate_cases(&net, 8, 0.3, 41) {
+        let via_query = session.mpe(&case.evidence).unwrap();
+        let standalone = most_probable_explanation(solver.prepared(), &case.evidence).unwrap();
+        assert_eq!(via_query, standalone);
+    }
+}
+
+#[test]
 fn mpe_on_paper_scale_network() {
     // Smoke test on the Pigs analogue: runs, satisfies evidence, yields a
     // positive probability matching a direct chain-rule evaluation.
     let w = workload_by_name("pigs").unwrap();
     let net = w.build();
-    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let solver = Solver::new(&net);
     let case = &sampler::generate_cases(&net, 1, 0.2, 5)[0];
-    let mpe = most_probable_explanation(&prepared, &case.evidence).unwrap();
+    let mpe = solver
+        .query(&Query::new().evidence(case.evidence.clone()).mpe())
+        .unwrap()
+        .into_mpe()
+        .unwrap();
     for (var, state) in case.evidence.iter() {
         assert_eq!(mpe.assignment[var.index()], state);
     }
@@ -70,7 +91,12 @@ fn mpe_on_paper_scale_network() {
         direct *= cpt.probability(mpe.assignment[v], &parents);
     }
     let rel = (mpe.probability - direct).abs() / direct.max(f64::MIN_POSITIVE);
-    assert!(rel < 1e-6, "reported {} vs chain rule {}", mpe.probability, direct);
+    assert!(
+        rel < 1e-6,
+        "reported {} vs chain rule {}",
+        mpe.probability,
+        direct
+    );
 }
 
 #[test]
@@ -78,8 +104,8 @@ fn unconditional_mpe_beats_forward_samples() {
     // The unconditional MPE is at least as probable as any sampled
     // assignment.
     let net = datasets::cancer();
-    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
-    let mpe = most_probable_explanation(&prepared, &Evidence::empty()).unwrap();
+    let solver = Solver::new(&net);
+    let mpe = solver.session().mpe(&Evidence::empty()).unwrap();
     let joint = |assignment: &[usize]| -> f64 {
         (0..net.num_vars())
             .map(|v| {

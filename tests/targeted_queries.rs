@@ -1,0 +1,141 @@
+//! Targeted-marginal queries: `Query::targets(...)` must (a) compute
+//! exactly the requested marginals, (b) match the full-`Posteriors` path
+//! bitwise, and (c) match the brute-force enumeration oracle on the
+//! classic networks.
+
+use fastbn::bayesnet::{datasets, sampler};
+use fastbn::inference::oracle::brute_force;
+use fastbn::{EngineKind, Query, Solver, VarId};
+
+#[test]
+fn targets_match_full_path_and_brute_force_oracle() {
+    for name in ["sprinkler", "asia"] {
+        let net = datasets::by_name(name).unwrap();
+        let solver = Solver::new(&net);
+        let mut session = solver.session();
+        for (i, case) in sampler::generate_cases(&net, 6, 0.25, 17)
+            .iter()
+            .enumerate()
+        {
+            // Target every other variable — a proper non-trivial subset.
+            let targets: Vec<VarId> = (0..net.num_vars())
+                .step_by(2)
+                .map(VarId::from_index)
+                .collect();
+            let query = Query::new()
+                .evidence(case.evidence.clone())
+                .targets(targets.iter().copied());
+            let targeted = session.run(&query).unwrap().into_posteriors().unwrap();
+            let full = session.posteriors(&case.evidence).unwrap();
+            let oracle = brute_force::all_posteriors(&net, &case.evidence).unwrap();
+
+            for v in 0..net.num_vars() {
+                let id = VarId::from_index(v);
+                if targets.contains(&id) {
+                    // (b) bitwise against the full path.
+                    assert_eq!(
+                        targeted.marginal(id),
+                        full.marginal(id),
+                        "{name} case {i} var {v}: targeted vs full"
+                    );
+                    // (c) against the independent enumeration oracle.
+                    for (a, b) in targeted.marginal(id).iter().zip(oracle.marginal(id)) {
+                        assert!(
+                            (a - b).abs() < 1e-10,
+                            "{name} case {i} var {v}: {a} vs oracle {b}"
+                        );
+                    }
+                } else {
+                    // (a) non-targets are genuinely not computed.
+                    assert!(
+                        !targeted.has_marginal(id),
+                        "{name} case {i} var {v}: must not be computed"
+                    );
+                }
+            }
+            assert_eq!(
+                targeted.prob_evidence.to_bits(),
+                full.prob_evidence.to_bits(),
+                "{name} case {i}: P(e) identical on both paths"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_target_on_every_engine() {
+    let net = datasets::asia();
+    let lung = net.var_id("LungCancer").unwrap();
+    let dysp = net.var_id("Dyspnea").unwrap();
+    let query = Query::new().observe(dysp, 0).targets([lung]);
+    let reference = Solver::new(&net)
+        .query(&query)
+        .unwrap()
+        .into_posteriors()
+        .unwrap();
+    for kind in EngineKind::all() {
+        let solver = Solver::builder(&net).engine(kind).threads(2).build();
+        let got = solver.query(&query).unwrap().into_posteriors().unwrap();
+        assert_eq!(
+            got.marginal(lung),
+            reference.marginal(lung),
+            "{kind}: targeted marginal must be engine-invariant"
+        );
+        assert_eq!(got.computed_vars().count(), 1, "{kind}");
+    }
+}
+
+#[test]
+fn targets_compose_with_virtual_evidence() {
+    let net = datasets::cancer();
+    let solver = Solver::new(&net);
+    let mut session = solver.session();
+    let xray = net.var_id("XRay").unwrap();
+    let cancer = net.var_id("Cancer").unwrap();
+    let full = session
+        .run(&Query::new().likelihood(xray, vec![0.75, 0.25]))
+        .unwrap()
+        .into_posteriors()
+        .unwrap();
+    let targeted = session
+        .run(
+            &Query::new()
+                .likelihood(xray, vec![0.75, 0.25])
+                .targets([cancer]),
+        )
+        .unwrap()
+        .into_posteriors()
+        .unwrap();
+    assert_eq!(targeted.marginal(cancer), full.marginal(cancer));
+    assert!(!targeted.has_marginal(xray));
+}
+
+#[test]
+fn observed_target_reports_point_mass() {
+    let net = datasets::sprinkler();
+    let rain = net.var_id("Rain").unwrap();
+    let solver = Solver::new(&net);
+    let post = solver
+        .query(&Query::new().observe(rain, 1).targets([rain]))
+        .unwrap()
+        .into_posteriors()
+        .unwrap();
+    assert_eq!(post.marginal(rain), &[0.0, 1.0]);
+}
+
+#[test]
+fn out_of_range_target_is_a_typed_error_not_a_panic() {
+    let net = datasets::sprinkler(); // 4 variables
+    let solver = Solver::new(&net);
+    let err = solver
+        .query(&Query::new().targets([VarId(99)]))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        fastbn::InferenceError::InvalidTarget {
+            var: 99,
+            num_vars: 4
+        }
+    );
+    assert!(err.to_string().contains("99"));
+}

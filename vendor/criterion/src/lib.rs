@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size` / `warm_up_time` /
+//! `measurement_time`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — as a plain
+//! wall-clock harness: one warm-up call, then `sample_size` samples of
+//! adaptively batched iterations, reporting min/mean per iteration.
+//! No statistics, plots, or regression tracking; results print to
+//! stdout. Invoke via `cargo bench` exactly as with real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Two-part id: function name + parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Single-part id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Per-iteration durations of each sample, filled by `iter`.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `body` over the configured samples. The closure's return
+    /// value is black-boxed so the optimizer cannot elide the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up + batch sizing: one untimed call, then scale the batch
+        // so a sample is not dominated by timer overhead.
+        let start = Instant::now();
+        black_box(body());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let batch = if once >= target {
+            1
+        } else {
+            (target.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64
+        };
+        let batch = batch.min(self.iters_per_sample.max(1));
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            self.results.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's warm-up is one call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes batches itself.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters_per_sample: u64::MAX,
+            samples: self.sample_size,
+            results: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher);
+        let (min, mean) = summarize(&bencher.results);
+        println!(
+            "{}/{}: min {} mean {} ({} samples)",
+            self.name,
+            id.label,
+            fmt_duration(min),
+            fmt_duration(mean),
+            bencher.results.len()
+        );
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn summarize(results: &[Duration]) -> (Duration, Duration) {
+    if results.is_empty() {
+        return (Duration::ZERO, Duration::ZERO);
+    }
+    let min = results.iter().min().copied().unwrap_or_default();
+    let total: Duration = results.iter().sum();
+    (min, total / results.len() as u32)
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2}µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs and reports a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function(BenchmarkId::from_parameter("-"), f);
+        self
+    }
+}
+
+/// Identity function the optimizer must assume reads its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-test");
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_function(BenchmarkId::new("count", "up"), |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 3, "body must have run warm-up + samples: {count}");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.00µs");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(1)), "1.000s");
+    }
+}

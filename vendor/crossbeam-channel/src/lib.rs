@@ -1,0 +1,219 @@
+//! Offline stand-in for the `crossbeam-channel` crate.
+//!
+//! Implements the subset the thread pool uses: an **unbounded MPMC
+//! channel** with clonable `Sender`/`Receiver`, blocking `recv`,
+//! non-blocking `try_recv`, and disconnect detection when all senders
+//! (or all receivers) are gone. Built on `Mutex<VecDeque>` + `Condvar`
+//! rather than crossbeam's lock-free internals — a constant-factor
+//! slowdown under contention, with identical semantics.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Error returned by [`Sender::send`] when every receiver is gone; the
+/// unsent message is handed back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    // Like upstream: no `T: Debug` bound, the payload is elided.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message available right now.
+    Empty,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+struct Chan<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Sending half; clonable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Receiving half; clonable (messages go to exactly one receiver).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`; fails (returning it) if every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if self.chan.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(value));
+        }
+        self.chan.lock().push_back(value);
+        self.chan.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.senders.fetch_add(1, Ordering::AcqRel);
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender: wake parked receivers so they observe the
+            // disconnect.
+            let _guard = self.chan.lock();
+            self.chan.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Pops a message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.chan.lock();
+        match queue.pop_front() {
+            Some(v) => Ok(v),
+            None if self.chan.senders.load(Ordering::Acquire) == 0 => {
+                Err(TryRecvError::Disconnected)
+            }
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocks until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.chan.lock();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.chan.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            queue = self
+                .chan
+                .ready
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_when_senders_dropped() {
+        let (tx, rx) = unbounded::<i32>();
+        tx.send(5).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(5));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(77u32).unwrap();
+        assert_eq!(h.join().unwrap(), 77);
+    }
+
+    #[test]
+    fn mpmc_each_message_delivered_once() {
+        let (tx, rx) = unbounded::<usize>();
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}
