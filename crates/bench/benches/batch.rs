@@ -1,0 +1,46 @@
+//! Batched vs naive serving — the throughput case for `run_batch`.
+//!
+//! One compiled solver, one fixed case set: the naive loop issues the
+//! cases one `posteriors` call at a time (per-query inner parallelism
+//! only), the batch path issues them as a single `QueryBatch` (outer
+//! parallelism across queries, pooled scratch per chunk). The interesting
+//! regime is small networks at high thread counts, where per-query
+//! regions are too short to amortize their own fork-join overhead — the
+//! workload the ROADMAP's million-user north star actually serves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_bench::measure::{batch_of, prepare, solver_for};
+use fastbn_bench::workloads::workload_by_name;
+use fastbn_inference::EngineKind;
+
+fn bench_batch_vs_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+    for name in ["hailfinder", "pathfinder"] {
+        let Some(w) = workload_by_name(name) else {
+            continue;
+        };
+        let net = w.build();
+        let prepared = prepare(&net);
+        let cases = w.cases(&net, 32);
+        let batch = batch_of(&cases);
+        for threads in [4usize, 8] {
+            let solver = solver_for(EngineKind::Hybrid, prepared.clone(), threads);
+            group.bench_function(BenchmarkId::new(format!("{name}-loop"), threads), |b| {
+                let mut session = solver.session();
+                b.iter(|| {
+                    for ev in &cases {
+                        criterion::black_box(session.posteriors(ev).unwrap());
+                    }
+                });
+            });
+            group.bench_function(BenchmarkId::new(format!("{name}-batch"), threads), |b| {
+                let mut session = solver.session();
+                b.iter(|| criterion::black_box(session.run_batch(&batch)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_loop);
+criterion_main!(benches);

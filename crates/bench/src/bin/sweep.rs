@@ -7,14 +7,17 @@
 //! ```text
 //! cargo run -p fastbn-bench --release --bin sweep -- \
 //!     [--cases N] [--threads 1,2,4,8,16,32] [--networks pigs,...] \
-//!     [--engines hybrid,direct]
+//!     [--engines hybrid,direct] [--batch]
 //! ```
 //! Defaults: 10 cases, threads {1, 2, 4, 8, 16, 32} (counts above the
 //! core count oversubscribe, as the paper's 32 threads did on 52 cores),
 //! the four parallel engines. `--engines` is parsed via
 //! `EngineKind::from_str` (ids or display names, case-insensitive).
+//! With `--batch`, each engine prints two rows — the naive
+//! one-query-at-a-time loop and the same cases through `run_batch` —
+//! plus the per-thread-count batching speedup.
 
-use fastbn_bench::measure::{prepare, run_cases};
+use fastbn_bench::measure::{prepare, run_cases, run_cases_batch};
 use fastbn_bench::workloads::all_workloads;
 use fastbn_inference::EngineKind;
 
@@ -23,9 +26,11 @@ fn main() {
     let mut threads = vec![1usize, 2, 4, 8, 16, 32];
     let mut networks: Option<Vec<String>> = None;
     let mut engines: Vec<EngineKind> = EngineKind::parallel().to_vec();
+    let mut batch = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
+            "--batch" => batch = true,
             "--cases" => cases_n = it.next().and_then(|v| v.parse().ok()).expect("--cases N"),
             "--threads" => {
                 threads = it
@@ -59,7 +64,20 @@ fn main() {
         }
     }
 
-    println!("Thread sweep: {cases_n} cases/network, per-engine seconds by t\n");
+    if batch {
+        // run_batch only takes the outer-parallel path when the batch is
+        // at least as wide as the pool; with fewer cases than threads the
+        // "batch" row would silently re-measure the naive loop and print
+        // a meaningless ~1.0x speedup. Widen the case set instead.
+        let widest = threads.iter().copied().max().unwrap_or(1);
+        if cases_n < widest {
+            println!("(--batch: raising cases from {cases_n} to {widest} so every thread count exercises the batch path)");
+            cases_n = widest;
+        }
+        println!("Thread sweep (batched): {cases_n} cases/network, naive loop vs run_batch seconds by t\n");
+    } else {
+        println!("Thread sweep: {cases_n} cases/network, per-engine seconds by t\n");
+    }
     for w in all_workloads() {
         if let Some(filter) = &networks {
             if !filter.iter().any(|n| n == w.name) {
@@ -81,17 +99,51 @@ fn main() {
         }
         println!();
         for &kind in &engines {
-            print!("{kind:<14}");
-            let mut best = (0usize, f64::INFINITY);
-            for &t in &threads {
-                let timing = run_cases(kind, prepared.clone(), t, &cases);
-                let s = timing.total.as_secs_f64();
-                if s < best.1 {
-                    best = (t, s);
+            if batch {
+                let naive: Vec<f64> = threads
+                    .iter()
+                    .map(|&t| {
+                        run_cases(kind, prepared.clone(), t, &cases)
+                            .total
+                            .as_secs_f64()
+                    })
+                    .collect();
+                let batched: Vec<f64> = threads
+                    .iter()
+                    .map(|&t| {
+                        run_cases_batch(kind, prepared.clone(), t, &cases)
+                            .total
+                            .as_secs_f64()
+                    })
+                    .collect();
+                print!("{:<14}", format!("{} loop", kind.id()));
+                for s in &naive {
+                    print!(" {s:>9.3}");
                 }
-                print!(" {s:>9.3}");
+                println!();
+                print!("{:<14}", format!("{} batch", kind.id()));
+                for s in &batched {
+                    print!(" {s:>9.3}");
+                }
+                println!();
+                print!("{:<14}", "  speedup");
+                for (n, b) in naive.iter().zip(&batched) {
+                    print!(" {:>8.2}x", n / b);
+                }
+                println!();
+            } else {
+                print!("{kind:<14}");
+                let mut best = (0usize, f64::INFINITY);
+                for &t in &threads {
+                    let timing = run_cases(kind, prepared.clone(), t, &cases);
+                    let s = timing.total.as_secs_f64();
+                    if s < best.1 {
+                        best = (t, s);
+                    }
+                    print!(" {s:>9.3}");
+                }
+                println!("   best: t={}", best.0);
             }
-            println!("   best: t={}", best.0);
         }
         println!();
     }

@@ -8,13 +8,16 @@
 //! ```text
 //! cargo run -p fastbn-bench --release --bin table1 -- \
 //!     [--cases N] [--threads 1,2,4] [--networks hailfinder,pigs,...] \
-//!     [--engines direct,hybrid]
+//!     [--engines direct,hybrid] [--quick]
 //! ```
 //! Defaults: 20 cases (the paper uses 2,000 — scale up with `--cases`),
 //! thread sweep {1, 2, 4}, all six networks, all four parallel engines.
 //! `--engines` accepts the canonical ids (`direct`, `primitive`,
 //! `element`, `hybrid`) or display names (`Fast-BNI-par`), parsed via
-//! `EngineKind::from_str`; skipped columns print `-`.
+//! `EngineKind::from_str`; skipped columns print `-`. `--quick` is the
+//! CI smoke preset — 2 cases, threads {1, 2}, the smallest network only
+//! (later flags still override it) — there to prove the bench bins run,
+//! not to produce meaningful numbers.
 
 use fastbn_bench::measure::{best_over_threads, prepare, run_cases, EngineTiming};
 use fastbn_bench::workloads::all_workloads;
@@ -37,6 +40,11 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
+            "--quick" => {
+                args.cases = 2;
+                args.threads = vec![1, 2];
+                args.networks = Some(vec!["hailfinder".to_string()]);
+            }
             "--cases" => {
                 args.cases = it.next().and_then(|v| v.parse().ok()).expect("--cases N");
             }

@@ -10,5 +10,7 @@
 pub mod measure;
 pub mod workloads;
 
-pub use measure::{best_over_threads, prepare, run_cases, solver_for, EngineTiming};
+pub use measure::{
+    batch_of, best_over_threads, prepare, run_cases, run_cases_batch, solver_for, EngineTiming,
+};
 pub use workloads::{adaptivity_workloads, all_workloads, workload_by_name, PaperRow, Workload};

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fastbn_bayesnet::{BayesianNetwork, Evidence};
-use fastbn_inference::{EngineKind, Prepared, Solver};
+use fastbn_inference::{EngineKind, Prepared, Query, QueryBatch, Solver};
 use fastbn_jtree::JtreeOptions;
 
 /// Builds the shared prepared structures for a network.
@@ -61,6 +61,41 @@ pub fn run_cases(
         threads,
         total: start.elapsed(),
     }
+}
+
+/// Builds the all-marginals [`QueryBatch`] equivalent of `cases` (what
+/// [`run_cases`] executes one call at a time).
+pub fn batch_of(cases: &[Evidence]) -> QueryBatch {
+    cases
+        .iter()
+        .map(|ev| Query::new().evidence(ev.clone()))
+        .collect()
+}
+
+/// Times the same cases as [`run_cases`], but executed as one
+/// `run_batch` call — the batched serving path the naive loop is
+/// measured against. Batch construction and an untimed warm-up batch
+/// are excluded from the timing, mirroring `run_cases`: the warm-up
+/// must itself be a batch so the *per-chunk* pool scratch the outer
+/// path draws is faulted in, not just the session's own state.
+pub fn run_cases_batch(
+    kind: EngineKind,
+    prepared: Arc<Prepared>,
+    threads: usize,
+    cases: &[Evidence],
+) -> EngineTiming {
+    let solver = solver_for(kind, prepared, threads);
+    let batch = batch_of(cases);
+    let mut session = solver.session();
+    let _ = session.run_batch(&batch);
+    let start = Instant::now();
+    let results = session.run_batch(&batch);
+    let total = start.elapsed();
+    assert!(
+        results.iter().all(Result::is_ok),
+        "workload evidence is sampled from the joint, so every item succeeds"
+    );
+    EngineTiming { threads, total }
 }
 
 /// The paper's methodology: run each thread count, report the best.

@@ -3,8 +3,9 @@
 //! Earlier releases exposed `build_engine(kind, prepared, threads)`
 //! returning a boxed engine whose `query(&mut self, &Evidence)` owned its
 //! scratch — one in-flight query per instance. That shape survives here
-//! as a thin wrapper over [`Solver`]/[`Session`] so existing snippets
-//! keep compiling, but new code should use the session API directly:
+//! as a thin wrapper over [`Solver`](crate::solver::Solver) /
+//! [`Session`](crate::solver::Session) so existing snippets keep
+//! compiling, but new code should use the session API directly:
 //!
 //! ```
 //! use fastbn_bayesnet::{datasets, Evidence};
@@ -54,7 +55,7 @@ impl LegacyEngine {
     /// signature.
     pub fn query(&mut self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
         let prepared = self.engine.prepared().clone();
-        crate::solver::validate_evidence(&prepared, evidence)?;
+        crate::validate::validate_evidence(&prepared, evidence)?;
         self.state.reset(&prepared);
         self.engine.enter_evidence(&mut self.state, evidence);
         self.engine.propagate(&mut self.state);

@@ -128,6 +128,10 @@ impl InferenceEngine for DirectJt {
         self.pool.threads()
     }
 
+    fn pool(&self) -> Option<&ThreadPool> {
+        Some(&self.pool)
+    }
+
     fn prepared(&self) -> &Arc<Prepared> {
         &self.prepared
     }

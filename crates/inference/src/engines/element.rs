@@ -146,6 +146,10 @@ impl InferenceEngine for ElementJt {
         self.pool.threads()
     }
 
+    fn pool(&self) -> Option<&ThreadPool> {
+        Some(&self.pool)
+    }
+
     fn prepared(&self) -> &Arc<Prepared> {
         &self.prepared
     }

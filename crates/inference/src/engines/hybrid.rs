@@ -380,6 +380,10 @@ impl InferenceEngine for HybridJt {
         self.pool.threads()
     }
 
+    fn pool(&self) -> Option<&ThreadPool> {
+        Some(&self.pool)
+    }
+
     fn prepared(&self) -> &Arc<Prepared> {
         &self.prepared
     }

@@ -4,7 +4,7 @@
 //! structure (the shared [`Prepared`], precomputed task plans, a thread
 //! pool for the parallel families) and are therefore `Send + Sync`. All
 //! per-query mutable state lives in an explicit
-//! [`WorkState`](crate::state::WorkState) passed into every call, which
+//! [`WorkState`] passed into every call, which
 //! is what lets one compiled [`Solver`](crate::solver::Solver) serve any
 //! number of concurrent [`Session`](crate::solver::Session)s.
 
@@ -19,6 +19,7 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use fastbn_bayesnet::Evidence;
+use fastbn_parallel::ThreadPool;
 use fastbn_potential::PotentialTable;
 
 use crate::prepared::Prepared;
@@ -41,6 +42,14 @@ pub trait InferenceEngine: Send + Sync {
     /// Worker count used by parallel regions (1 for sequential engines).
     fn threads(&self) -> usize {
         1
+    }
+
+    /// The worker pool driving this engine's parallel regions, if any
+    /// (`None` for the sequential engines). Batch execution reuses it for
+    /// *outer* parallelism — independent queries dispatched across the
+    /// team, with each query's own regions nesting on the same pool.
+    fn pool(&self) -> Option<&ThreadPool> {
+        None
     }
 
     /// The shared query-independent structures this engine runs over.

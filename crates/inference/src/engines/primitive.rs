@@ -61,6 +61,10 @@ impl InferenceEngine for PrimitiveJt {
         self.pool.threads()
     }
 
+    fn pool(&self) -> Option<&ThreadPool> {
+        Some(&self.pool)
+    }
+
     fn prepared(&self) -> &Arc<Prepared> {
         &self.prepared
     }

@@ -27,6 +27,38 @@ pub enum InferenceError {
         /// The likelihood vector's length.
         got: usize,
     },
+    /// A virtual finding's likelihood vector has well-formed length but
+    /// malformed entries (negative, non-finite, or all zero). Multiplying
+    /// such a vector in would yield NaN or all-zero posteriors, so it is
+    /// rejected before touching any scratch.
+    MalformedLikelihood {
+        /// The offending variable index.
+        var: usize,
+        /// What is wrong with the vector.
+        defect: LikelihoodDefect,
+    },
+}
+
+/// Why a likelihood vector was rejected as malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LikelihoodDefect {
+    /// Some entry is negative.
+    Negative,
+    /// Some entry is NaN or infinite.
+    NonFinite,
+    /// Every entry is zero — the virtual finding would make any state of
+    /// the variable impossible.
+    AllZero,
+}
+
+impl std::fmt::Display for LikelihoodDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LikelihoodDefect::Negative => write!(f, "a negative entry"),
+            LikelihoodDefect::NonFinite => write!(f, "a NaN or infinite entry"),
+            LikelihoodDefect::AllZero => write!(f, "no positive entry"),
+        }
+    }
 }
 
 impl std::fmt::Display for InferenceError {
@@ -44,6 +76,10 @@ impl std::fmt::Display for InferenceError {
                 f,
                 "likelihood for variable {var} has {got} entries, expected {expected} \
                  (the variable's cardinality)"
+            ),
+            InferenceError::MalformedLikelihood { var, defect } => write!(
+                f,
+                "likelihood for variable {var} is malformed: it has {defect}"
             ),
         }
     }

@@ -12,11 +12,12 @@
 //! * [`Query`] — a **builder** describing one request: hard evidence,
 //!   virtual (likelihood) evidence, an optional target-variable subset
 //!   (pay only for the marginals you ask for), or MPE mode. Results come
-//!   back as a unified [`QueryResult`].
+//!   back as a unified [`QueryResult`]. Independent requests group into a
+//!   [`QueryBatch`] and execute as one unit.
 //!
 //! ```
 //! use fastbn_bayesnet::datasets;
-//! use fastbn_inference::{EngineKind, Query, Solver};
+//! use fastbn_inference::{EngineKind, Query, QueryBatch, Solver};
 //!
 //! let net = datasets::sprinkler();
 //! // Compile once (expensive), query from anywhere (cheap).
@@ -33,6 +34,18 @@
 //! // Same entry point for the most probable explanation:
 //! let mpe = session.run(&Query::new().observe(wet, 0).mpe()).unwrap();
 //! assert_eq!(mpe.mpe().unwrap().assignment[wet.index()], 0);
+//!
+//! // Many independent requests? Batch them: results arrive in input
+//! // order, each failure confined to its own slot, and batches at least
+//! // as wide as the engine's pool run with *outer* parallelism — one
+//! // query per worker, pooled scratch — instead of paying per-query
+//! // setup serially.
+//! let batch: QueryBatch = (0..8)
+//!     .map(|i| Query::new().observe(wet, i % 2))
+//!     .collect();
+//! let results = session.run_batch(&batch);
+//! assert_eq!(results.len(), 8);
+//! assert!(results.iter().all(|r| r.is_ok()));
 //! ```
 //!
 //! ## Engines
@@ -79,11 +92,11 @@ pub use engines::primitive::PrimitiveJt;
 pub use engines::reference::ReferenceJt;
 pub use engines::seq::SeqJt;
 pub use engines::{make_engine, EngineKind, InferenceEngine, ParseEngineKindError};
-pub use error::InferenceError;
+pub use error::{InferenceError, LikelihoodDefect};
 pub use mpe::{most_probable_explanation, MpeResult};
 pub use posterior::Posteriors;
 pub use prepared::Prepared;
-pub use query::{Query, QueryMode, QueryResult};
+pub use query::{Query, QueryBatch, QueryMode, QueryResult};
 pub use solver::{Session, Solver, SolverBuilder};
 pub use state::WorkState;
 pub use virtual_evidence::VirtualEvidence;

@@ -120,6 +120,119 @@ impl Query {
     }
 }
 
+/// An ordered batch of [`Query`] values executed as one unit through
+/// [`Session::run_batch`](crate::solver::Session::run_batch) or
+/// [`Solver::query_batch`](crate::solver::Solver::query_batch).
+///
+/// Results come back as `Vec<Result<QueryResult, InferenceError>>` in
+/// input order; a failing item (impossible evidence, malformed
+/// likelihood, …) yields `Err` in its own slot without affecting its
+/// neighbours. Batches at least as wide as the engine's worker pool are
+/// dispatched across the pool — one query per worker, with pooled
+/// scratch — which amortizes reset/evidence-entry/extraction setup that
+/// a one-at-a-time loop pays per request:
+///
+/// ```
+/// use fastbn_bayesnet::datasets;
+/// use fastbn_inference::{Query, QueryBatch, Solver};
+///
+/// let net = datasets::sprinkler();
+/// let solver = Solver::new(&net);
+/// let wet = net.var_id("WetGrass").unwrap();
+/// let batch: QueryBatch = (0..2).map(|s| Query::new().observe(wet, s)).collect();
+/// let results = solver.query_batch(&batch);
+/// assert_eq!(results.len(), 2);
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryBatch {
+    queries: Vec<Query>,
+}
+
+impl QueryBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        QueryBatch::default()
+    }
+
+    /// Appends one query to the batch.
+    pub fn push(&mut self, query: Query) {
+        self.queries.push(query);
+    }
+
+    /// Builder-style [`QueryBatch::push`].
+    pub fn with(mut self, query: Query) -> Self {
+        self.push(query);
+        self
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterates the queries in input order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Query> {
+        self.queries.iter()
+    }
+
+    /// The queries as a slice, in input order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+}
+
+impl From<Vec<Query>> for QueryBatch {
+    fn from(queries: Vec<Query>) -> Self {
+        QueryBatch { queries }
+    }
+}
+
+impl FromIterator<Query> for QueryBatch {
+    fn from_iter<I: IntoIterator<Item = Query>>(iter: I) -> Self {
+        QueryBatch {
+            queries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Query> for QueryBatch {
+    fn extend<I: IntoIterator<Item = Query>>(&mut self, iter: I) {
+        self.queries.extend(iter);
+    }
+}
+
+impl std::ops::Index<usize> for QueryBatch {
+    type Output = Query;
+
+    fn index(&self, i: usize) -> &Query {
+        &self.queries[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a QueryBatch {
+    type Item = &'a Query;
+    type IntoIter = std::slice::Iter<'a, Query>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.queries.iter()
+    }
+}
+
+impl IntoIterator for QueryBatch {
+    type Item = Query;
+    type IntoIter = std::vec::IntoIter<Query>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.queries.into_iter()
+    }
+}
+
 /// The unified result of [`Session::run`](crate::solver::Session::run):
 /// either posterior marginals or an MPE assignment, depending on the
 /// query's [`QueryMode`].
@@ -198,6 +311,26 @@ mod tests {
         assert!(q.get_evidence().is_empty());
         assert!(q.get_virtual_evidence().is_empty());
         assert!(q.get_targets().is_none());
+    }
+
+    #[test]
+    fn batch_builders_preserve_input_order() {
+        let a = Query::new().observe(VarId(0), 1);
+        let b = Query::new().mpe();
+        let c = Query::new().targets([VarId(2)]);
+        let mut batch = QueryBatch::new().with(a.clone());
+        batch.push(b.clone());
+        batch.extend([c.clone()]);
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(batch[0], a);
+        assert_eq!(batch[1], b);
+        assert_eq!(batch[2], c);
+        let collected: QueryBatch = vec![a.clone(), b.clone(), c.clone()].into_iter().collect();
+        assert_eq!(collected, batch);
+        assert_eq!(QueryBatch::from(vec![a, b, c]), batch);
+        let roundtrip: Vec<Query> = batch.clone().into_iter().collect();
+        assert_eq!(roundtrip.as_slice(), batch.queries());
     }
 
     #[test]

@@ -24,8 +24,9 @@ use crate::error::InferenceError;
 use crate::mpe::{mpe_on_state, MpeResult};
 use crate::posterior::Posteriors;
 use crate::prepared::Prepared;
-use crate::query::{Query, QueryMode, QueryResult};
+use crate::query::{Query, QueryBatch, QueryMode, QueryResult};
 use crate::state::WorkState;
+use crate::validate::{validate_evidence, validate_virtual};
 use crate::virtual_evidence::{absorb_virtual, VirtualEvidence};
 
 /// An immutable, `Send + Sync` compiled inference model: shared
@@ -106,6 +107,19 @@ impl Solver {
         self.session().run(query)
     }
 
+    /// One-shot convenience: run `batch`, returning one result per query
+    /// in input order. See [`Session::run_batch`] for the execution
+    /// strategy. Batches wide enough for outer parallelism skip session
+    /// setup entirely (the outer path draws its scratch per chunk, so a
+    /// session's state would sit idle).
+    pub fn query_batch(&self, batch: &QueryBatch) -> Vec<Result<QueryResult, InferenceError>> {
+        if self.outer_pool_for(batch.len()).is_some() {
+            self.run_batch_outer(batch)
+        } else {
+            self.session().run_batch(batch)
+        }
+    }
+
     /// One-shot convenience for the common case: all posterior marginals
     /// given hard evidence.
     pub fn posteriors(&self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
@@ -142,6 +156,80 @@ impl Solver {
     /// peak-concurrency session, in steady state).
     pub fn pooled_states(&self) -> usize {
         self.scratch.len()
+    }
+
+    /// The engine's worker pool, when a batch of `n` queries should be
+    /// spread across it: outer parallelism only pays once there is at
+    /// least one query per pool member; narrower batches do better giving
+    /// each query the whole pool via its inner regions.
+    fn outer_pool_for(&self, n: usize) -> Option<&fastbn_parallel::ThreadPool> {
+        self.engine
+            .pool()
+            .filter(|pool| pool.threads() > 1 && n >= pool.threads())
+    }
+
+    /// The outer-parallel batch path: queries dispatched across the
+    /// engine's pool, each chunk working on scratch from a pre-acquired
+    /// set. Callers must have checked [`Solver::outer_pool_for`].
+    fn run_batch_outer(&self, batch: &QueryBatch) -> Vec<Result<QueryResult, InferenceError>> {
+        let queries = batch.queries();
+        let pool = self
+            .outer_pool_for(queries.len())
+            .expect("caller checked the batch is wide enough for outer parallelism");
+        let mut results: Vec<Option<Result<QueryResult, InferenceError>>> =
+            std::iter::repeat_with(|| None)
+                .take(queries.len())
+                .collect();
+        // Pre-acquire the scratch on this thread, one state per pool
+        // member: sequential acquires actually reuse parked states,
+        // whereas per-chunk acquires inside the region would race the
+        // pool's swap-whole-chain pop and frequently allocate fresh
+        // WorkStates on the hot path. Chunk bodies check states out of
+        // this stack; at most `threads` chunks are in flight at once, so
+        // it never runs dry.
+        let stack: std::sync::Mutex<Vec<Box<ScratchNode>>> = std::sync::Mutex::new(
+            (0..pool.threads().min(queries.len()))
+                .map(|_| self.scratch.acquire(&self.prepared))
+                .collect(),
+        );
+        // A couple of chunks per thread balances mixed query costs while
+        // still amortizing one scratch checkout over several queries.
+        let sched = fastbn_parallel::Schedule::dynamic_for(queries.len(), pool.threads(), 2);
+        pool.parallel_chunks_mut(&mut results, sched, |start, chunk| {
+            // Every query in the chunk reuses the same allocations, and
+            // an erroring query leaves nothing behind (each run starts
+            // with a full reset).
+            let mut node = stack
+                .lock()
+                .expect("no chunk body panics while holding the stack lock")
+                .pop()
+                .expect("one pre-acquired state per concurrently running chunk");
+            for (offset, slot) in chunk.iter_mut().enumerate() {
+                let query = &queries[start + offset];
+                *slot = Some(run_on_state(
+                    self,
+                    &mut node.state,
+                    query.get_evidence(),
+                    query.get_virtual_evidence(),
+                    query.get_targets(),
+                    query.mode(),
+                ));
+            }
+            stack
+                .lock()
+                .expect("no chunk body panics while holding the stack lock")
+                .push(node);
+        });
+        for node in stack
+            .into_inner()
+            .expect("no chunk body panics while holding the stack lock")
+        {
+            self.scratch.release(node);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every batch slot written by its chunk"))
+            .collect()
     }
 }
 
@@ -244,30 +332,34 @@ impl Session<'_> {
         mode: QueryMode,
     ) -> Result<QueryResult, InferenceError> {
         let solver = self.solver;
-        let prepared = &*solver.prepared;
-        validate_evidence(prepared, evidence)?;
-        validate_virtual(prepared, virtual_evidence)?;
         let state = &mut self
             .scratch
             .as_mut()
             .expect("scratch present until drop")
             .state;
-        match mode {
-            QueryMode::Marginals => {
-                state.reset(prepared);
-                solver.engine.enter_evidence(state, evidence);
-                absorb_virtual(state, prepared, virtual_evidence);
-                solver.engine.propagate(state);
-                let posteriors = match targets {
-                    None => state.extract_posteriors(prepared, evidence)?,
-                    Some(targets) => state.extract_posteriors_for(prepared, evidence, targets)?,
-                };
-                Ok(QueryResult::Marginals(posteriors))
-            }
-            QueryMode::Mpe => {
-                mpe_on_state(prepared, evidence, virtual_evidence, state).map(QueryResult::Mpe)
-            }
+        run_on_state(solver, state, evidence, virtual_evidence, targets, mode)
+    }
+
+    /// Runs an ordered batch of queries, returning one result per query
+    /// in input order (failing items yield `Err` in their own slot).
+    ///
+    /// When the batch is at least as wide as the engine's worker pool,
+    /// independent queries are dispatched *across* the pool — outer
+    /// parallelism, one pooled [`WorkState`] per in-flight chunk, with
+    /// each query's own parallel regions nesting on the same team. This
+    /// amortizes the reset/evidence-entry/extraction setup a
+    /// one-at-a-time loop pays serially, which is where the throughput
+    /// win on small networks comes from. Narrower batches (or sequential
+    /// engines) fall back to a sequential loop on the session's own
+    /// scratch, where each query still uses the engine's full inner
+    /// parallelism. Both paths return results bit-identical to the same
+    /// queries issued through [`Session::run`] one at a time.
+    pub fn run_batch(&mut self, batch: &QueryBatch) -> Vec<Result<QueryResult, InferenceError>> {
+        let solver = self.solver;
+        if solver.outer_pool_for(batch.len()).is_some() {
+            return solver.run_batch_outer(batch);
         }
+        batch.iter().map(|q| self.run(q)).collect()
     }
 
     /// All posterior marginals given hard evidence (the classic engine
@@ -339,63 +431,45 @@ impl Session<'_> {
     }
 }
 
-/// Rejects evidence naming unknown variables or out-of-range states
-/// with a typed error, before it can corrupt scratch or panic on an
-/// index (the network is not available here, so the check runs against
-/// the compiled cardinalities).
-pub(crate) fn validate_evidence(
-    prepared: &Prepared,
-    evidence: &Evidence,
-) -> Result<(), InferenceError> {
-    for (var, state) in evidence.iter() {
-        if var.index() >= prepared.num_vars() {
-            return Err(InferenceError::InvalidEvidence(
-                fastbn_bayesnet::evidence::EvidenceError::UnknownVariable(var),
-            ));
-        }
-        let cardinality = prepared.cards[var.index()];
-        if state >= cardinality {
-            return Err(InferenceError::InvalidEvidence(
-                fastbn_bayesnet::evidence::EvidenceError::StateOutOfRange {
-                    var,
-                    state,
-                    cardinality,
-                },
-            ));
-        }
-    }
-    Ok(())
-}
-
-/// Rejects virtual findings on unknown variables or with likelihood
-/// vectors whose length disagrees with the variable's cardinality (which
-/// would silently mis-multiply in release builds).
-pub(crate) fn validate_virtual(
-    prepared: &Prepared,
-    virtual_evidence: &VirtualEvidence,
-) -> Result<(), InferenceError> {
-    for (var, likelihood) in virtual_evidence.iter() {
-        if var.index() >= prepared.num_vars() {
-            return Err(InferenceError::InvalidEvidence(
-                fastbn_bayesnet::evidence::EvidenceError::UnknownVariable(var),
-            ));
-        }
-        let expected = prepared.cards[var.index()];
-        if likelihood.len() != expected {
-            return Err(InferenceError::InvalidLikelihood {
-                var: var.index(),
-                expected,
-                got: likelihood.len(),
-            });
-        }
-    }
-    Ok(())
-}
-
 impl Drop for Session<'_> {
     fn drop(&mut self) {
         if let Some(node) = self.scratch.take() {
             self.solver.scratch.release(node);
+        }
+    }
+}
+
+/// The engine-driving sequence of one query — validate, reset, evidence,
+/// virtual evidence, propagate, extract — on caller-provided scratch.
+/// Shared by [`Session::run`] (session scratch) and
+/// [`Session::run_batch`] (one pooled scratch per chunk); errors leave
+/// `state` dirty but harmless, because every call starts with a full
+/// reset.
+fn run_on_state(
+    solver: &Solver,
+    state: &mut WorkState,
+    evidence: &Evidence,
+    virtual_evidence: &VirtualEvidence,
+    targets: Option<&[VarId]>,
+    mode: QueryMode,
+) -> Result<QueryResult, InferenceError> {
+    let prepared = &*solver.prepared;
+    validate_evidence(prepared, evidence)?;
+    validate_virtual(prepared, virtual_evidence)?;
+    match mode {
+        QueryMode::Marginals => {
+            state.reset(prepared);
+            solver.engine.enter_evidence(state, evidence);
+            absorb_virtual(state, prepared, virtual_evidence);
+            solver.engine.propagate(state);
+            let posteriors = match targets {
+                None => state.extract_posteriors(prepared, evidence)?,
+                Some(targets) => state.extract_posteriors_for(prepared, evidence, targets)?,
+            };
+            Ok(QueryResult::Marginals(posteriors))
+        }
+        QueryMode::Mpe => {
+            mpe_on_state(prepared, evidence, virtual_evidence, state).map(QueryResult::Mpe)
         }
     }
 }

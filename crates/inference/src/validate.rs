@@ -1,5 +1,6 @@
-//! Cross-engine agreement checks, shared by the integration tests and the
-//! benchmark harness's self-check mode.
+//! Query validation (the typed-error gate every query passes before it
+//! may touch scratch) and cross-engine agreement checks shared by the
+//! integration tests and the benchmark harness's self-check mode.
 
 use std::sync::Arc;
 
@@ -7,9 +8,89 @@ use fastbn_bayesnet::{BayesianNetwork, Evidence};
 use fastbn_jtree::JtreeOptions;
 
 use crate::engines::EngineKind;
+use crate::error::{InferenceError, LikelihoodDefect};
 use crate::oracle::variable_elimination;
 use crate::prepared::Prepared;
 use crate::solver::Solver;
+use crate::virtual_evidence::VirtualEvidence;
+
+/// Rejects evidence naming unknown variables or out-of-range states
+/// with a typed error, before it can corrupt scratch or panic on an
+/// index (the network is not available here, so the check runs against
+/// the compiled cardinalities).
+pub(crate) fn validate_evidence(
+    prepared: &Prepared,
+    evidence: &Evidence,
+) -> Result<(), InferenceError> {
+    for (var, state) in evidence.iter() {
+        if var.index() >= prepared.num_vars() {
+            return Err(InferenceError::InvalidEvidence(
+                fastbn_bayesnet::evidence::EvidenceError::UnknownVariable(var),
+            ));
+        }
+        let cardinality = prepared.cards[var.index()];
+        if state >= cardinality {
+            return Err(InferenceError::InvalidEvidence(
+                fastbn_bayesnet::evidence::EvidenceError::StateOutOfRange {
+                    var,
+                    state,
+                    cardinality,
+                },
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Rejects virtual findings that would corrupt a query if multiplied in:
+/// unknown variables, likelihood vectors whose length disagrees with the
+/// variable's cardinality (which would silently mis-multiply in release
+/// builds), and malformed entries — negative values, NaN/infinities, or
+/// all-zero vectors, each of which would surface later as NaN or
+/// all-zero posteriors instead of a typed error.
+pub(crate) fn validate_virtual(
+    prepared: &Prepared,
+    virtual_evidence: &VirtualEvidence,
+) -> Result<(), InferenceError> {
+    for (var, likelihood) in virtual_evidence.iter() {
+        if var.index() >= prepared.num_vars() {
+            return Err(InferenceError::InvalidEvidence(
+                fastbn_bayesnet::evidence::EvidenceError::UnknownVariable(var),
+            ));
+        }
+        let expected = prepared.cards[var.index()];
+        if likelihood.len() != expected {
+            return Err(InferenceError::InvalidLikelihood {
+                var: var.index(),
+                expected,
+                got: likelihood.len(),
+            });
+        }
+        let mut any_positive = false;
+        for &p in likelihood {
+            if !p.is_finite() {
+                return Err(InferenceError::MalformedLikelihood {
+                    var: var.index(),
+                    defect: LikelihoodDefect::NonFinite,
+                });
+            }
+            if p < 0.0 {
+                return Err(InferenceError::MalformedLikelihood {
+                    var: var.index(),
+                    defect: LikelihoodDefect::Negative,
+                });
+            }
+            any_positive |= p > 0.0;
+        }
+        if !any_positive {
+            return Err(InferenceError::MalformedLikelihood {
+                var: var.index(),
+                defect: LikelihoodDefect::AllZero,
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Runs every engine (at each thread count) and the VE oracle on each
 /// evidence case, asserting:
@@ -101,7 +182,115 @@ pub fn assert_engines_agree(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fastbn_bayesnet::{datasets, sampler};
+    use crate::query::Query;
+    use fastbn_bayesnet::{datasets, sampler, VarId};
+
+    /// Each malformed-likelihood shape must surface as its typed error —
+    /// never a panic, never NaN posteriors — from both the dedicated
+    /// validator and a full query run.
+    #[test]
+    fn malformed_likelihoods_yield_typed_errors() {
+        let net = datasets::sprinkler();
+        let solver = Solver::new(&net);
+        let rain = net.var_id("Rain").unwrap();
+        let cases: Vec<(Vec<f64>, InferenceError)> = vec![
+            (
+                vec![0.0, 0.0],
+                InferenceError::MalformedLikelihood {
+                    var: rain.index(),
+                    defect: LikelihoodDefect::AllZero,
+                },
+            ),
+            (
+                vec![0.5, -0.1],
+                InferenceError::MalformedLikelihood {
+                    var: rain.index(),
+                    defect: LikelihoodDefect::Negative,
+                },
+            ),
+            (
+                vec![f64::NAN, 1.0],
+                InferenceError::MalformedLikelihood {
+                    var: rain.index(),
+                    defect: LikelihoodDefect::NonFinite,
+                },
+            ),
+            (
+                vec![0.2, f64::INFINITY],
+                InferenceError::MalformedLikelihood {
+                    var: rain.index(),
+                    defect: LikelihoodDefect::NonFinite,
+                },
+            ),
+            (
+                vec![0.3, 0.3, 0.4],
+                InferenceError::InvalidLikelihood {
+                    var: rain.index(),
+                    expected: 2,
+                    got: 3,
+                },
+            ),
+            (
+                vec![],
+                InferenceError::InvalidLikelihood {
+                    var: rain.index(),
+                    expected: 2,
+                    got: 0,
+                },
+            ),
+        ];
+        for (likelihood, expected_err) in cases {
+            let virt = VirtualEvidence::empty().with(rain, likelihood.clone());
+            assert_eq!(
+                validate_virtual(solver.prepared(), &virt).unwrap_err(),
+                expected_err,
+                "validator on {likelihood:?}"
+            );
+            let got = solver.query(&Query::new().likelihood(rain, likelihood.clone()));
+            assert_eq!(got.unwrap_err(), expected_err, "query on {likelihood:?}");
+        }
+    }
+
+    #[test]
+    fn negative_entry_reported_before_all_zero_check() {
+        // A vector that is both negative-bearing and positive-free reports
+        // the entry defect, which points at the actual bad datum.
+        let net = datasets::sprinkler();
+        let solver = Solver::new(&net);
+        let rain = net.var_id("Rain").unwrap();
+        let err = solver
+            .query(&Query::new().likelihood(rain, vec![-1.0, 0.0]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InferenceError::MalformedLikelihood {
+                var: rain.index(),
+                defect: LikelihoodDefect::Negative,
+            }
+        );
+    }
+
+    #[test]
+    fn virtual_finding_on_unknown_variable_is_rejected() {
+        let net = datasets::sprinkler();
+        let solver = Solver::new(&net);
+        let err = solver
+            .query(&Query::new().likelihood(VarId(99), vec![1.0, 1.0]))
+            .unwrap_err();
+        assert!(matches!(err, InferenceError::InvalidEvidence(_)));
+    }
+
+    #[test]
+    fn well_formed_likelihood_passes_validation() {
+        let net = datasets::sprinkler();
+        let solver = Solver::new(&net);
+        let rain = net.var_id("Rain").unwrap();
+        let virt = VirtualEvidence::empty().with(rain, vec![0.0, 0.4]);
+        assert_eq!(validate_virtual(solver.prepared(), &virt), Ok(()));
+        assert!(solver
+            .query(&Query::new().likelihood(rain, vec![0.0, 0.4]))
+            .is_ok());
+    }
 
     #[test]
     fn full_agreement_on_asia() {

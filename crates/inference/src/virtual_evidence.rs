@@ -32,20 +32,19 @@ impl VirtualEvidence {
         Self::default()
     }
 
-    /// Adds a likelihood vector for `var`. Panics if the vector is empty,
-    /// has a negative/non-finite entry, or is all zeros (that would be
-    /// impossible evidence by construction — use hard evidence plus
-    /// `InferenceError::ImpossibleEvidence` handling instead).
+    /// Adds a likelihood vector for `var`.
+    ///
+    /// The vector is accepted as-is; validation happens when the finding
+    /// is *used*: running a query rejects vectors that are mis-sized for
+    /// the variable ([`InferenceError::InvalidLikelihood`]) or malformed —
+    /// negative, NaN/infinite, or all-zero entries
+    /// ([`InferenceError::MalformedLikelihood`]) — with a typed error
+    /// instead of a panic, so one bad finding in a batch fails only its
+    /// own slot.
+    ///
+    /// [`InferenceError::InvalidLikelihood`]: crate::error::InferenceError::InvalidLikelihood
+    /// [`InferenceError::MalformedLikelihood`]: crate::error::InferenceError::MalformedLikelihood
     pub fn add(&mut self, var: VarId, likelihood: Vec<f64>) {
-        assert!(!likelihood.is_empty(), "likelihood must be non-empty");
-        assert!(
-            likelihood.iter().all(|&p| p.is_finite() && p >= 0.0),
-            "likelihood entries must be finite and non-negative"
-        );
-        assert!(
-            likelihood.iter().any(|&p| p > 0.0),
-            "likelihood must have at least one positive entry"
-        );
         self.entries.push((var, likelihood));
         self.entries.sort_by_key(|e| e.0);
     }
@@ -245,8 +244,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one positive entry")]
-    fn all_zero_likelihood_rejected() {
-        VirtualEvidence::empty().add(VarId(0), vec![0.0, 0.0]);
+    fn all_zero_likelihood_rejected_at_query_time() {
+        // Construction accepts the vector (builders stay infallible);
+        // running it returns the typed error.
+        let virt = VirtualEvidence::empty().with(VarId(0), vec![0.0, 0.0]);
+        assert_eq!(virt.len(), 1);
+        let net = datasets::sprinkler();
+        let solver = Solver::new(&net);
+        let err = solver
+            .query(&Query::new().virtual_evidence(virt))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::InferenceError::MalformedLikelihood { .. }
+        ));
     }
 }

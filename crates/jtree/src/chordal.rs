@@ -4,7 +4,8 @@
 //! already-visited neighbors; the reverse visit order is a perfect
 //! elimination order **iff** the graph is chordal. This gives a
 //! triangulation-independent verifier for the output of
-//! [`crate::triangulate`]: the filled graph must pass [`is_chordal`].
+//! [`triangulate`](fn@crate::triangulate): the filled graph must pass
+//! [`is_chordal`].
 
 use crate::ugraph::UGraph;
 

@@ -183,6 +183,34 @@ impl ThreadPool {
             }
         });
     }
+
+    /// Runs `body(start, chunk)` over every chunk of `out` under `sched`,
+    /// handing each invocation an exclusive `&mut` slice of that chunk's
+    /// elements (`start` is the chunk's offset within `out`, for callers
+    /// indexing side tables).
+    ///
+    /// This is the entry point for *batched* work: a chunk body can set up
+    /// shared per-chunk state once — e.g. draw one scratch buffer from a
+    /// pool — and then fill its slice item by item. Bodies may issue
+    /// nested `parallel_for` calls on the same pool (nested-region
+    /// batches); the nested caller drains its own region, so progress is
+    /// guaranteed even when every pool member is busy with an outer chunk.
+    pub fn parallel_chunks_mut<T, F>(&self, out: &mut [T], sched: Schedule, body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let ptr = SendPtr(out.as_mut_ptr());
+        let len = out.len();
+        self.parallel_for_chunks(0..len, sched, |s, e| {
+            // SAFETY: chunks are disjoint half-open subranges of `0..len`,
+            // so each element is exclusively borrowed by exactly one task;
+            // `ptr` stays valid for the region's lifetime because `out` is
+            // borrowed for the whole call.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(s), e - s) };
+            body(s, chunk);
+        });
+    }
 }
 
 /// Background worker: spin briefly between regions before parking on the
@@ -341,6 +369,130 @@ mod tests {
         pool.parallel_fill(&mut out, Schedule::Dynamic { grain: 33 }, |i| i as u64 * 3);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn fewer_items_than_threads_static() {
+        // A Static schedule on a wide pool must produce `len` one-element
+        // chunks, not empty chunks or double coverage.
+        let pool = ThreadPool::new(8);
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..3, Schedule::Static, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn fewer_items_than_threads_dynamic() {
+        // A grain larger than the range collapses to one chunk; the spare
+        // workers' wake-ups must retire as no-ops.
+        let pool = ThreadPool::new(8);
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..3, Schedule::Dynamic { grain: 64 }, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_item_range_runs_once() {
+        for sched in [Schedule::Static, Schedule::Dynamic { grain: 4 }] {
+            let pool = ThreadPool::new(4);
+            let count = AtomicUsize::new(0);
+            pool.parallel_for(7..8, sched, |i| {
+                assert_eq!(i, 7);
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.into_inner(), 1);
+        }
+    }
+
+    #[test]
+    fn offset_range_boundary_chunks_stay_in_range() {
+        // Chunk layout at the boundaries of a shifted range: every chunk
+        // must stay within [start, end) and cover it exactly.
+        let pool = ThreadPool::new(4);
+        for (lo, hi) in [(100usize, 103usize), (99, 100), (1, 9)] {
+            let len = hi - lo;
+            let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for_chunks(lo..hi, Schedule::Static, |s, e| {
+                assert!(
+                    lo <= s && s < e && e <= hi,
+                    "chunk [{s}, {e}) escapes [{lo}, {hi})"
+                );
+                for i in s..e {
+                    hits[i - lo].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_mut_covers_every_slot_with_correct_offsets() {
+        let pool = ThreadPool::new(4);
+        for sched in [Schedule::Static, Schedule::Dynamic { grain: 7 }] {
+            let mut out = vec![usize::MAX; 1001];
+            pool.parallel_chunks_mut(&mut out, sched, |start, chunk| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = start + off;
+                }
+            });
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i, "slot {i} under {sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_mut_single_thread_and_empty() {
+        let pool = ThreadPool::new(1);
+        let mut out = vec![0u32; 10];
+        pool.parallel_chunks_mut(&mut out, Schedule::Dynamic { grain: 3 }, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = (start + off) as u32 * 2;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 * 2));
+        let mut empty: Vec<u32> = Vec::new();
+        pool.parallel_chunks_mut(&mut empty, Schedule::Static, |_, _| {
+            panic!("must not run on an empty slice")
+        });
+        let wide = ThreadPool::new(8);
+        let mut tiny = vec![0u8; 2];
+        wide.parallel_chunks_mut(&mut tiny, Schedule::Static, |_, chunk| {
+            for slot in chunk {
+                *slot += 1;
+            }
+        });
+        assert_eq!(tiny, vec![1, 1]);
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_stale_queued_wakeups() {
+        // Every region sends one wake-up per background worker even when
+        // the region completes before the workers pick them up; dropping
+        // the pool right after must close the channel and join without a
+        // stale handle ever touching a dead region body.
+        for _ in 0..50 {
+            let pool = ThreadPool::new(4);
+            let count = AtomicUsize::new(0);
+            for _ in 0..8 {
+                pool.parallel_for(0..2, Schedule::Static, |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            assert_eq!(count.into_inner(), 16);
+            drop(pool); // must not hang or crash
+        }
+    }
+
+    #[test]
+    fn drop_of_idle_pool_terminates() {
+        for threads in [1, 2, 8] {
+            drop(ThreadPool::new(threads));
         }
     }
 

@@ -159,6 +159,25 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_grain_exceeding_len_is_one_clamped_chunk() {
+        let sched = Schedule::Dynamic { grain: 100 };
+        assert_eq!(sched.chunk_count(7, 4), 1);
+        assert_eq!(sched.chunk_bounds(0, 7, 4), (0, 7));
+        cover(sched, 7, 4);
+    }
+
+    #[test]
+    fn dynamic_final_chunk_is_clamped_to_len() {
+        // len not a multiple of grain: the last chunk must end exactly at
+        // `len`, never past it.
+        let sched = Schedule::Dynamic { grain: 8 };
+        let len = 21;
+        let last = sched.chunk_count(len, 4) - 1;
+        assert_eq!(sched.chunk_bounds(last, len, 4), (16, 21));
+        cover(sched, len, 4);
+    }
+
+    #[test]
     fn static_more_threads_than_items() {
         let sched = Schedule::Static;
         assert_eq!(sched.chunk_count(3, 16), 3);

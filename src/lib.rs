@@ -48,6 +48,33 @@
 //! assert_eq!(mpe.mpe().unwrap().assignment[xray.index()], 0);
 //! ```
 //!
+//! ## Batched serving
+//!
+//! Independent requests group into a [`QueryBatch`] and execute as one
+//! unit: results come back in input order, a failing request (impossible
+//! evidence, malformed likelihood) occupies only its own `Err` slot, and
+//! batches at least as wide as the engine's pool are spread *across* the
+//! workers — one query per worker with pooled scratch — instead of
+//! paying reset/evidence-entry/extraction setup serially per request:
+//!
+//! ```
+//! use fastbn::bayesnet::datasets;
+//! use fastbn::{EngineKind, Query, QueryBatch, Solver};
+//!
+//! let net = datasets::asia();
+//! let solver = Solver::builder(&net).engine(EngineKind::Hybrid).threads(4).build();
+//! let dysp = net.var_id("Dyspnea").unwrap();
+//! let xray = net.var_id("XRay").unwrap();
+//! let batch = QueryBatch::new()
+//!     .with(Query::new().observe(dysp, 0))
+//!     .with(Query::new().observe(dysp, 0).mpe())
+//!     .with(Query::new().likelihood(xray, vec![0.8, 0.2]))
+//!     .with(Query::new().likelihood(xray, vec![0.0, 0.0])); // malformed
+//! let results = solver.query_batch(&batch);
+//! assert!(results[..3].iter().all(|r| r.is_ok()));
+//! assert!(results[3].is_err(), "bad slot fails alone");
+//! ```
+//!
 //! ## Concurrent serving
 //!
 //! ```
@@ -84,8 +111,8 @@ pub use fastbn_potential as potential;
 pub use fastbn_bayesnet::{BayesianNetwork, Evidence, NetworkBuilder, VarId, Variable};
 pub use fastbn_inference::{
     make_engine, DirectJt, ElementJt, EngineKind, HybridJt, InferenceEngine, InferenceError,
-    MpeResult, Posteriors, Prepared, PrimitiveJt, Query, QueryMode, QueryResult, ReferenceJt,
-    SeqJt, Session, Solver, SolverBuilder, VirtualEvidence, WorkState,
+    LikelihoodDefect, MpeResult, Posteriors, Prepared, PrimitiveJt, Query, QueryBatch, QueryMode,
+    QueryResult, ReferenceJt, SeqJt, Session, Solver, SolverBuilder, VirtualEvidence, WorkState,
 };
 pub use fastbn_jtree::JtreeOptions;
 pub use fastbn_parallel::{Schedule, ThreadPool};

@@ -1,0 +1,170 @@
+//! The batch path's headline guarantee: `run_batch` over N independent
+//! queries returns results **bit-identical** to N sequential `run` calls
+//! — for every engine family, pool width, and batch composition
+//! (marginals, targeted marginals, virtual evidence, MPE, and failing
+//! items mixed together).
+
+use std::sync::Arc;
+
+use fastbn::bayesnet::{datasets, sampler};
+use fastbn::{EngineKind, InferenceError, Prepared, Query, QueryBatch, QueryResult, Solver};
+
+/// A mixed batch over Asia: plain marginals from sampled evidence, a
+/// targeted query, a virtual-evidence query, an MPE query, an impossible
+/// query, and a malformed-likelihood query.
+fn mixed_batch(net: &fastbn::BayesianNetwork, n_sampled: usize) -> QueryBatch {
+    let dysp = net.var_id("Dyspnea").unwrap();
+    let lung = net.var_id("LungCancer").unwrap();
+    let xray = net.var_id("XRay").unwrap();
+    let tub = net.var_id("Tuberculosis").unwrap();
+    let either = net.var_id("TbOrCa").unwrap();
+    let mut batch: QueryBatch = sampler::generate_cases(net, n_sampled, 0.25, 42)
+        .into_iter()
+        .map(|c| Query::new().evidence(c.evidence))
+        .collect();
+    batch.push(Query::new().observe(dysp, 0).targets([lung, tub]));
+    batch.push(Query::new().likelihood(xray, vec![0.8, 0.2]));
+    batch.push(Query::new().observe(dysp, 0).mpe());
+    // P(e) = 0: fails at extraction, after full propagation.
+    batch.push(Query::new().observe(tub, 0).observe(either, 1));
+    // Malformed likelihood: fails validation before touching scratch.
+    batch.push(Query::new().likelihood(xray, vec![0.0, 0.0]));
+    batch
+}
+
+/// One-at-a-time ground truth through a single session, exactly as a
+/// caller without the batch API would execute the same queries.
+fn sequential(solver: &Solver, batch: &QueryBatch) -> Vec<Result<QueryResult, InferenceError>> {
+    let mut session = solver.session();
+    batch.iter().map(|q| session.run(q)).collect()
+}
+
+fn assert_identical(
+    a: &[Result<QueryResult, InferenceError>],
+    b: &[Result<QueryResult, InferenceError>],
+    label: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x, y, "{label}: slot {i} differs");
+        if let (Ok(QueryResult::Marginals(p)), Ok(QueryResult::Marginals(q))) = (x, y) {
+            assert_eq!(p.max_abs_diff(q), 0.0, "{label}: slot {i} not bitwise");
+            assert_eq!(p.prob_evidence.to_bits(), q.prob_evidence.to_bits());
+        }
+    }
+}
+
+#[test]
+fn batch_matches_sequential_loop_for_every_engine_and_pool_width() {
+    let net = datasets::asia();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    // 12 sampled + 5 structured queries: wider than the widest pool, so
+    // the 4- and 8-thread parallel engines take the outer-parallel path.
+    let batch = mixed_batch(&net, 12);
+    for kind in EngineKind::all() {
+        for threads in [1usize, 4, 8] {
+            let solver = Solver::from_prepared(prepared.clone())
+                .engine(kind)
+                .threads(threads)
+                .build();
+            let expected = sequential(&solver, &batch);
+            let got = solver.query_batch(&batch);
+            assert_identical(&expected, &got, &format!("{kind} t={threads}"));
+            // And again through a reused session (scratch reuse between
+            // batch runs must not perturb results either).
+            let mut session = solver.session();
+            let again = session.run_batch(&batch);
+            assert_identical(&expected, &again, &format!("{kind} t={threads} reused"));
+        }
+    }
+}
+
+#[test]
+fn batches_narrower_than_the_pool_take_the_inner_parallel_path() {
+    // A 3-item batch on an 8-thread engine must fall back to the serial
+    // loop (per-query inner parallelism) and still match exactly.
+    let net = datasets::asia();
+    let solver = Solver::builder(&net)
+        .engine(EngineKind::Hybrid)
+        .threads(8)
+        .build();
+    let dysp = net.var_id("Dyspnea").unwrap();
+    let batch = QueryBatch::new()
+        .with(Query::new().observe(dysp, 0))
+        .with(Query::new())
+        .with(Query::new().observe(dysp, 1).mpe());
+    let expected = sequential(&solver, &batch);
+    let got = solver.query_batch(&batch);
+    assert_identical(&expected, &got, "narrow batch");
+}
+
+#[test]
+fn failing_items_fail_alone() {
+    let net = datasets::asia();
+    let solver = Solver::builder(&net)
+        .engine(EngineKind::Hybrid)
+        .threads(4)
+        .build();
+    let batch = mixed_batch(&net, 12);
+    let results = solver.query_batch(&batch);
+    let n = results.len();
+    // The two planted failures sit in the last two slots…
+    assert_eq!(
+        results[n - 2],
+        Err(InferenceError::ImpossibleEvidence),
+        "impossible-evidence slot"
+    );
+    assert!(
+        matches!(
+            results[n - 1],
+            Err(InferenceError::MalformedLikelihood { .. })
+        ),
+        "malformed-likelihood slot"
+    );
+    // …and every other slot succeeded despite sharing chunk scratch with
+    // the failures.
+    for (i, r) in results[..n - 2].iter().enumerate() {
+        assert!(r.is_ok(), "slot {i} poisoned by a failing neighbour: {r:?}");
+    }
+}
+
+#[test]
+fn empty_and_singleton_batches() {
+    let net = datasets::sprinkler();
+    let solver = Solver::builder(&net)
+        .engine(EngineKind::Hybrid)
+        .threads(4)
+        .build();
+    assert!(solver.query_batch(&QueryBatch::new()).is_empty());
+    let rain = net.var_id("Rain").unwrap();
+    let q = Query::new().observe(rain, 0);
+    let one = solver.query_batch(&QueryBatch::new().with(q.clone()));
+    assert_eq!(one.len(), 1);
+    assert_eq!(one[0], solver.query(&q));
+}
+
+#[test]
+fn concurrent_batches_from_many_sessions_are_deterministic() {
+    // Several OS threads each running batches against one shared solver:
+    // outer parallelism (batch chunks), inner parallelism (engine
+    // regions) and cross-session concurrency all on one pool, and every
+    // result still bitwise equal to the sequential loop.
+    let net = datasets::asia();
+    let solver = Solver::builder(&net)
+        .engine(EngineKind::Hybrid)
+        .threads(4)
+        .build();
+    let batch = mixed_batch(&net, 10);
+    let expected = sequential(&solver, &batch);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let mut session = solver.session();
+                for _ in 0..5 {
+                    let got = session.run_batch(&batch);
+                    assert_identical(&expected, &got, "concurrent batch");
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,134 @@
+//! A session whose query fails — impossible evidence, bogus evidence, a
+//! malformed likelihood, a failing MPE — must be as good as new for its
+//! next query: no stale scratch may leak from the error into later
+//! results, for any engine family.
+
+use std::sync::Arc;
+
+use fastbn::bayesnet::datasets;
+use fastbn::{
+    EngineKind, Evidence, InferenceError, LikelihoodDefect, Prepared, Query, Solver, VarId,
+};
+
+/// Asia evidence with `P(e) = 0`: tuberculosis present but the or-gate
+/// `TbOrCa` reporting false.
+fn impossible(net: &fastbn::BayesianNetwork) -> Evidence {
+    let tub = net.var_id("Tuberculosis").unwrap();
+    let either = net.var_id("TbOrCa").unwrap();
+    Evidence::from_pairs([(tub, 0), (either, 1)])
+}
+
+#[test]
+fn error_then_success_on_one_session_for_every_engine() {
+    let net = datasets::asia();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let dysp = net.var_id("Dyspnea").unwrap();
+    let bad_ev = impossible(&net);
+    let good_ev = Evidence::from_pairs([(dysp, 0)]);
+
+    for kind in EngineKind::all() {
+        let solver = Solver::from_prepared(prepared.clone())
+            .engine(kind)
+            .threads(2)
+            .build();
+        // Ground truth from fresh sessions that have never errored.
+        let expected_good = solver.posteriors(&good_ev).unwrap();
+        let expected_empty = solver.posteriors(&Evidence::empty()).unwrap();
+        let expected_mpe = solver.session().mpe(&good_ev).unwrap();
+
+        let mut session = solver.session();
+        for round in 0..3 {
+            // Impossible evidence: detected at extraction, after the
+            // scratch has been fully propagated into a dead end.
+            assert_eq!(
+                session.posteriors(&bad_ev).unwrap_err(),
+                InferenceError::ImpossibleEvidence,
+                "{kind} round {round}"
+            );
+            let got = session.posteriors(&good_ev).unwrap();
+            assert_eq!(
+                expected_good.max_abs_diff(&got),
+                0.0,
+                "{kind} round {round}: stale scratch after ImpossibleEvidence"
+            );
+
+            // Validation errors: rejected before touching scratch.
+            assert!(session
+                .posteriors(&Evidence::from_pairs([(VarId(999), 0)]))
+                .is_err());
+            assert_eq!(
+                session
+                    .run(&Query::new().likelihood(dysp, vec![0.0, 0.0]))
+                    .unwrap_err(),
+                InferenceError::MalformedLikelihood {
+                    var: dysp.index(),
+                    defect: LikelihoodDefect::AllZero,
+                }
+            );
+            let got = session.posteriors(&Evidence::empty()).unwrap();
+            assert_eq!(
+                expected_empty.max_abs_diff(&got),
+                0.0,
+                "{kind} round {round}: stale scratch after validation error"
+            );
+
+            // A failing max-product pass, then a succeeding one.
+            assert_eq!(
+                session.mpe(&bad_ev).unwrap_err(),
+                InferenceError::ImpossibleEvidence
+            );
+            assert_eq!(session.mpe(&good_ev).unwrap(), expected_mpe, "{kind}");
+
+            // And a failing MPE must not corrupt a following marginal
+            // query either (the passes share clique scratch).
+            assert_eq!(
+                session.mpe(&bad_ev).unwrap_err(),
+                InferenceError::ImpossibleEvidence
+            );
+            let got = session.posteriors(&good_ev).unwrap();
+            assert_eq!(expected_good.max_abs_diff(&got), 0.0, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn errored_scratch_recycled_through_the_pool_is_clean() {
+    // The scratch of a dropped, errored session goes back to the solver's
+    // pool; the next session draws it and must see no residue.
+    let net = datasets::asia();
+    let solver = Solver::builder(&net)
+        .engine(EngineKind::Hybrid)
+        .threads(2)
+        .build();
+    let bad_ev = impossible(&net);
+    let expected = solver.posteriors(&Evidence::empty()).unwrap();
+    {
+        let mut session = solver.session();
+        assert!(session.posteriors(&bad_ev).is_err());
+    } // dirty scratch parked here
+    assert_eq!(solver.pooled_states(), 1);
+    let mut session = solver.session();
+    assert_eq!(solver.pooled_states(), 0, "the dirty state was reused");
+    let got = session.posteriors(&Evidence::empty()).unwrap();
+    assert_eq!(expected.max_abs_diff(&got), 0.0);
+}
+
+#[test]
+fn error_then_success_with_virtual_evidence_and_targets() {
+    // Mixed query kinds around the failure, exercising the targeted and
+    // virtual-evidence extraction paths on reused scratch.
+    let net = datasets::asia();
+    let solver = Solver::new(&net);
+    let dysp = net.var_id("Dyspnea").unwrap();
+    let lung = net.var_id("LungCancer").unwrap();
+    let targeted = Query::new().observe(dysp, 0).targets([lung]);
+    let virt = Query::new().likelihood(dysp, vec![0.7, 0.3]);
+    let expected_targeted = solver.query(&targeted).unwrap();
+    let expected_virt = solver.query(&virt).unwrap();
+
+    let mut session = solver.session();
+    assert!(session.posteriors(&impossible(&net)).is_err());
+    assert_eq!(session.run(&targeted).unwrap(), expected_targeted);
+    assert!(session.mpe(&impossible(&net)).is_err());
+    assert_eq!(session.run(&virt).unwrap(), expected_virt);
+}
