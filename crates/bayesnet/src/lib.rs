@@ -8,7 +8,9 @@
 //! evaluates), and forward sampling for test-case generation.
 //!
 //! Everything downstream — potential tables, junction trees, the inference
-//! engines — consumes the types defined here.
+//! engines — consumes the types defined here. Where this crate sits in
+//! the full stack is mapped in `docs/ARCHITECTURE.md` at the repository
+//! root.
 //!
 //! ## Quick example
 //!

@@ -1,0 +1,217 @@
+//! Serving sweep — measures the micro-batching front end against the
+//! PR 2 batch path it wraps, at equal batch width.
+//!
+//! For each network × engine it reports:
+//! * the **batch path**: the cases split into `QueryBatch`es of exactly
+//!   the micro-batch width, run back-to-back through one session — the
+//!   throughput ceiling a perfectly coalesced offline caller gets;
+//! * the **server**: the same cases submitted by closed-loop concurrent
+//!   clients through a `fastbn_serve::Server` at each worker count,
+//!   with requests/second and the p50/p99 round-trip latency a client
+//!   actually observes.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p fastbn-bench --bin serve -- \
+//!     [--cases N] [--threads T] [--width W] [--workers 1,2] \
+//!     [--delay-us D] [--repeat R] [--networks pigs,...] [--engines hybrid,...] [--quick]
+//! ```
+//! Defaults: 256 cases, best of 3 repetitions, engine threads = available cores, micro-batch
+//! width = engine threads (the narrowest batch that takes the
+//! outer-parallel path), worker counts {1, 2}, 200µs window, the hybrid
+//! engine, all six networks. `--quick` shrinks everything to a smoke
+//! run for CI.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fastbn_bayesnet::Evidence;
+use fastbn_bench::measure::{prepare, run_cases_serve, solver_for, ServeRun};
+use fastbn_bench::workloads::all_workloads;
+use fastbn_inference::{EngineKind, Query, QueryBatch};
+
+/// The PR 2 batch path at fixed width: cases chopped into batches of
+/// exactly `width`, run back-to-back through one session (untimed
+/// warm-up pass first, like every other measurement in this crate).
+fn run_cases_batch_width(
+    kind: EngineKind,
+    prepared: Arc<fastbn_inference::Prepared>,
+    threads: usize,
+    width: usize,
+    cases: &[Evidence],
+) -> Duration {
+    let solver = solver_for(kind, prepared, threads);
+    let batches: Vec<QueryBatch> = cases
+        .chunks(width)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|ev| Query::new().evidence(ev.clone()))
+                .collect()
+        })
+        .collect();
+    let mut session = solver.session();
+    for batch in &batches {
+        let _ = session.run_batch(batch);
+    }
+    let start = Instant::now();
+    for batch in &batches {
+        let results = session.run_batch(batch);
+        assert!(results.iter().all(Result::is_ok));
+    }
+    start.elapsed()
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let mut cases_n = 256usize;
+    let mut threads = fastbn_parallel::available_threads().max(2);
+    let mut width: Option<usize> = None;
+    let mut worker_counts = vec![1usize, 2];
+    let mut delay = Duration::from_micros(200);
+    let mut repeat = 3usize;
+    let mut networks: Option<Vec<String>> = None;
+    let mut engines: Vec<EngineKind> = vec![EngineKind::Hybrid];
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => {
+                // Each measurement must cover tens of milliseconds or OS
+                // jitter swamps the batch-vs-serve comparison; 384 cases
+                // of the smallest network keep the whole smoke run ~1s.
+                cases_n = 384;
+                threads = 2;
+                worker_counts = vec![1, 2];
+                networks = Some(vec!["hailfinder".into()]);
+            }
+            "--cases" => cases_n = it.next().and_then(|v| v.parse().ok()).expect("--cases N"),
+            "--repeat" => repeat = it.next().and_then(|v| v.parse().ok()).expect("--repeat R"),
+            "--threads" => threads = it.next().and_then(|v| v.parse().ok()).expect("--threads T"),
+            "--width" => width = Some(it.next().and_then(|v| v.parse().ok()).expect("--width W")),
+            "--delay-us" => {
+                delay = Duration::from_micros(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--delay-us D"),
+                )
+            }
+            "--workers" => {
+                worker_counts = it
+                    .next()
+                    .expect("--workers list")
+                    .split(',')
+                    .map(|w| w.parse().expect("worker count"))
+                    .collect()
+            }
+            "--networks" => {
+                networks = Some(
+                    it.next()
+                        .expect("--networks list")
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                )
+            }
+            "--engines" => {
+                engines = it
+                    .next()
+                    .expect("--engines list")
+                    .split(',')
+                    .map(|e| {
+                        e.parse::<EngineKind>()
+                            .unwrap_or_else(|err| panic!("{err}"))
+                    })
+                    .collect()
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    let width = width.unwrap_or(threads).max(1);
+    // Fewer cases than the width would never exercise the outer batch
+    // path (same guard as sweep --batch).
+    let cases_n = cases_n.max(width);
+
+    println!(
+        "Serving sweep: {cases_n} cases/network, engine threads t={threads}, \
+         micro-batch width {width}, {}µs window\n",
+        delay.as_micros()
+    );
+    for w in all_workloads() {
+        if let Some(filter) = &networks {
+            if !filter.iter().any(|n| n == w.name) {
+                continue;
+            }
+        }
+        let net = w.build();
+        let prepared = prepare(&net);
+        let cases = w.cases(&net, cases_n);
+        println!(
+            "== {} ({}, {} nodes) ==",
+            w.name,
+            if w.large_scale { "large" } else { "small" },
+            net.num_vars()
+        );
+        for &kind in &engines {
+            // Best of `repeat` for both sides, the paper's best-over-runs
+            // methodology: OS jitter hits each measurement independently.
+            let batch_total = (0..repeat)
+                .map(|_| run_cases_batch_width(kind, prepared.clone(), threads, width, &cases))
+                .min()
+                .expect("at least one repetition");
+            let batch_thru = cases.len() as f64 / batch_total.as_secs_f64();
+            println!(
+                "{:<24} {:>9.0} req/s  ({} ms total, best of {repeat})",
+                format!("{} batch path w={width}", kind.id()),
+                batch_thru,
+                fmt_ms(batch_total),
+            );
+            let mut best_thru = 0.0f64;
+            let runs: Vec<(usize, ServeRun)> = worker_counts
+                .iter()
+                .map(|&workers| {
+                    (
+                        workers,
+                        (0..repeat)
+                            .map(|_| {
+                                run_cases_serve(
+                                    kind,
+                                    prepared.clone(),
+                                    threads,
+                                    workers,
+                                    width,
+                                    delay,
+                                    &cases,
+                                )
+                            })
+                            .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+                            .expect("at least one repetition"),
+                    )
+                })
+                .collect();
+            for (workers, run) in &runs {
+                println!(
+                    "{:<24} {:>9.0} req/s  ({:.2}x batch)  p50 {} ms  p99 {} ms  \
+                     [{} batches, mean {} ms]",
+                    format!("  serve workers={workers}"),
+                    run.throughput,
+                    run.throughput / batch_thru,
+                    fmt_ms(run.latency.p50),
+                    fmt_ms(run.latency.p99),
+                    run.stats.batches,
+                    fmt_ms(run.latency.mean),
+                );
+                best_thru = best_thru.max(run.throughput);
+            }
+            println!(
+                "{:<24} {:>9.0} req/s  ({:.2}x batch path at equal width)",
+                "  serve best",
+                best_thru,
+                best_thru / batch_thru
+            );
+        }
+        println!();
+    }
+}

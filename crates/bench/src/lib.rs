@@ -6,11 +6,19 @@
 //! distributions (DESIGN.md §1); the paper's published Table-1 numbers are
 //! carried alongside each workload so harness output can print
 //! paper-vs-measured side by side.
+//!
+//! Three measurement paths cover the three ways queries execute (see
+//! `docs/ARCHITECTURE.md` at the repository root): [`measure::run_cases`]
+//! (one session, one query at a time), [`measure::run_cases_batch`] (one
+//! `run_batch` call), and [`measure::run_cases_serve`] (closed-loop
+//! concurrent clients against a `fastbn_serve::Server`, with p50/p99
+//! latency percentiles).
 
 pub mod measure;
 pub mod workloads;
 
 pub use measure::{
-    batch_of, best_over_threads, prepare, run_cases, run_cases_batch, solver_for, EngineTiming,
+    batch_of, best_over_threads, percentile, prepare, run_cases, run_cases_batch, run_cases_serve,
+    solver_for, EngineTiming, LatencySummary, ServeRun,
 };
 pub use workloads::{adaptivity_workloads, all_workloads, workload_by_name, PaperRow, Workload};

@@ -98,6 +98,162 @@ pub fn run_cases_batch(
     EngineTiming { threads, total }
 }
 
+/// Latency distribution of one serving run (nearest-rank percentiles
+/// over the per-request submit→result round trips).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    /// Median round-trip latency.
+    pub p50: Duration,
+    /// 99th-percentile round-trip latency (the serving tail).
+    pub p99: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Worst observed request.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarizes raw round-trip samples; panics on an empty set.
+    pub fn from_samples(mut samples: Vec<Duration>) -> LatencySummary {
+        assert!(!samples.is_empty(), "latency summary needs samples");
+        samples.sort_unstable();
+        let total: Duration = samples.iter().sum();
+        LatencySummary {
+            p50: percentile(&samples, 50.0),
+            p99: percentile(&samples, 99.0),
+            mean: total / samples.len() as u32,
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    assert!(!sorted.is_empty(), "percentile needs samples");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One measured serving run: wall time, per-request latency
+/// distribution, and the server's own traffic counters.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Wall time from the clients' synchronized start to the last
+    /// result.
+    pub total: Duration,
+    /// Requests completed per second.
+    pub throughput: f64,
+    /// Round-trip latency distribution.
+    pub latency: LatencySummary,
+    /// Server counters at the end of the run.
+    pub stats: fastbn_serve::ServerStats,
+}
+
+/// Times the same cases as [`run_cases`] / [`run_cases_batch`], but
+/// served through a [`fastbn_serve::Server`] under closed-loop
+/// concurrent submitters (each client submits one request, waits for
+/// its result, repeats). Client count is `2 × workers × max_batch`,
+/// enough in-flight requests to fill every worker's micro-batching
+/// window with the next window already queued. An untimed full pass
+/// warms each worker's scratch, mirroring the other measurement paths.
+pub fn run_cases_serve(
+    kind: EngineKind,
+    prepared: Arc<Prepared>,
+    threads: usize,
+    workers: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    cases: &[Evidence],
+) -> ServeRun {
+    use std::sync::{Barrier, Mutex};
+
+    let solver = Arc::new(solver_for(kind, prepared, threads));
+    let server = fastbn_serve::Server::builder(Arc::clone(&solver))
+        .workers(workers)
+        .max_batch(max_batch)
+        .max_delay(max_delay)
+        .build();
+    let queries: Vec<Query> = cases
+        .iter()
+        .map(|ev| Query::new().evidence(ev.clone()))
+        .collect();
+    // Untimed warm-up pass through the server itself, so every worker's
+    // pooled scratch (and the batch path's per-chunk states) is faulted
+    // in before the clock starts.
+    let warmup: Vec<_> = queries
+        .iter()
+        .map(|q| server.submit(q.clone()).expect("server accepting"))
+        .collect();
+    for pending in warmup {
+        pending.wait().expect("workload evidence has P(e) > 0");
+    }
+    // Counters are bumped by workers *after* delivering each reply, so
+    // give the warm-up's trailing increments a moment to land, then
+    // baseline them away — the reported stats must describe the timed
+    // run only.
+    let warm_deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().completed < queries.len() as u64 && Instant::now() < warm_deadline {
+        std::thread::yield_now();
+    }
+    let warm = server.stats();
+
+    // Twice the windows' worth of in-flight clients keeps the queue
+    // primed: while one window executes, the next window's requests are
+    // already waiting, so workers never idle between dispatches (the
+    // bounded queue caps actual buffering).
+    let clients = (2 * workers * max_batch).min(queries.len()).max(1);
+    let barrier = Barrier::new(clients + 1);
+    let samples: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(queries.len()));
+    let start = std::thread::scope(|scope| {
+        for c in 0..clients {
+            let server = &server;
+            let queries = &queries;
+            let barrier = &barrier;
+            let samples = &samples;
+            scope.spawn(move || {
+                let mut mine = Vec::with_capacity(queries.len() / clients + 1);
+                barrier.wait();
+                // Closed loop over this client's share, round-robin by
+                // index so every client sees the full evidence mix.
+                for query in queries.iter().skip(c).step_by(clients) {
+                    let begin = Instant::now();
+                    let pending = server.submit(query.clone()).expect("server accepting");
+                    pending.wait().expect("workload evidence has P(e) > 0");
+                    mine.push(begin.elapsed());
+                }
+                samples.lock().expect("client panicked").extend(mine);
+            });
+        }
+        // Time from the moment every client is at the barrier — spawn
+        // and arrival laggards must not count against the server.
+        barrier.wait();
+        Instant::now()
+        // Scope exit joins every client: all requests completed.
+    });
+    let total = start.elapsed();
+    // Shutdown joins the workers, making the counters final; subtract
+    // the warm-up baseline so the stats cover the timed run alone.
+    server.shutdown();
+    let end = server.stats();
+    let stats = fastbn_serve::ServerStats {
+        submitted: end.submitted - warm.submitted,
+        rejected: end.rejected - warm.rejected,
+        dequeued: end.dequeued - warm.dequeued,
+        completed: end.completed - warm.completed,
+        cancelled: end.cancelled - warm.cancelled,
+        batches: end.batches - warm.batches,
+        worker_panics: end.worker_panics - warm.worker_panics,
+    };
+    let samples = samples.into_inner().expect("client panicked");
+    assert_eq!(samples.len(), queries.len(), "every request measured");
+    ServeRun {
+        total,
+        throughput: queries.len() as f64 / total.as_secs_f64(),
+        latency: LatencySummary::from_samples(samples),
+        stats,
+    }
+}
+
 /// The paper's methodology: run each thread count, report the best.
 pub fn best_over_threads(
     kind: EngineKind,

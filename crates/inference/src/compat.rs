@@ -16,6 +16,15 @@
 //! let posteriors = solver.posteriors(&Evidence::empty()).unwrap();
 //! assert!((posteriors.prob_evidence - 1.0).abs() < 1e-9);
 //! ```
+//!
+//! In particular, the historical "loop over `query` calls" pattern this
+//! API forced is superseded twice over: N independent queries belong in
+//! a [`QueryBatch`](crate::query::QueryBatch) executed by
+//! [`Session::run_batch`](crate::solver::Session::run_batch) (one call,
+//! outer parallelism across the engine's pool), and live single-request
+//! traffic belongs behind the `fastbn-serve` `Server`, which coalesces
+//! queued requests into those same batches with a deadline. Both return
+//! results bit-identical to the loop they replace.
 
 use std::sync::Arc;
 
@@ -31,7 +40,7 @@ use crate::state::WorkState;
 /// one-query-at-a-time object. Forwarded onto the stateless engines.
 #[deprecated(
     since = "0.1.0",
-    note = "use Solver::builder(...).engine(kind).build() and Session::run / Query instead"
+    note = "use Solver::builder(...).engine(kind).build() with Session::run / Query; batch repeated queries via Session::run_batch, or serve live traffic through fastbn_serve::Server"
 )]
 pub struct LegacyEngine {
     engine: Box<dyn InferenceEngine>,
@@ -67,7 +76,7 @@ impl LegacyEngine {
 /// is ignored by the sequential engines.
 #[deprecated(
     since = "0.1.0",
-    note = "use Solver::builder(...).engine(kind).threads(n).build() instead"
+    note = "use Solver::builder(...).engine(kind).threads(n).build(); sessions replace the per-engine scratch, and repeated queries belong in Session::run_batch"
 )]
 #[allow(deprecated)]
 pub fn build_engine(kind: EngineKind, prepared: Arc<Prepared>, threads: usize) -> LegacyEngine {

@@ -8,7 +8,9 @@
 //!   per network.
 //! * [`Session`] — a cheap **per-caller handle** holding reusable scratch
 //!   from the solver's lock-free pool; open one per thread and query
-//!   concurrently.
+//!   concurrently. Its `'static` counterpart [`OwnedSession`] co-owns
+//!   the solver through an `Arc`, so it can move into spawned threads
+//!   and task runtimes (the `fastbn-serve` front end is built on it).
 //! * [`Query`] — a **builder** describing one request: hard evidence,
 //!   virtual (likelihood) evidence, an optional target-variable subset
 //!   (pay only for the marginals you ask for), or MPE mode. Results come
@@ -71,12 +73,18 @@
 //!
 //! The pre-session API (`build_engine` + `query(&mut self)`) survives as
 //! a deprecated forwarding shim in [`compat`].
+//!
+//! How this crate relates to the layers below (junction trees, potential
+//! tables, the thread pool) and above (the `fastbn-serve` micro-batching
+//! front end) is mapped in `docs/ARCHITECTURE.md` at the repository
+//! root.
 
 pub mod compat;
 pub mod engines;
 pub mod error;
 pub mod mpe;
 pub mod oracle;
+pub mod owned;
 pub mod posterior;
 pub mod prepared;
 pub mod query;
@@ -94,10 +102,11 @@ pub use engines::seq::SeqJt;
 pub use engines::{make_engine, EngineKind, InferenceEngine, ParseEngineKindError};
 pub use error::{InferenceError, LikelihoodDefect};
 pub use mpe::{most_probable_explanation, MpeResult};
+pub use owned::OwnedSession;
 pub use posterior::Posteriors;
 pub use prepared::Prepared;
 pub use query::{Query, QueryBatch, QueryMode, QueryResult};
-pub use solver::{Session, Solver, SolverBuilder};
+pub use solver::{Session, SessionCore, Solver, SolverBuilder};
 pub use state::WorkState;
 pub use virtual_evidence::VirtualEvidence;
 

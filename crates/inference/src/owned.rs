@@ -1,0 +1,167 @@
+//! [`OwnedSession`]: the `'static`, movable counterpart of
+//! [`Session`](crate::solver::Session).
+//!
+//! A borrowed `Session<'s>` is the cheapest handle when the solver
+//! outlives the caller on the same stack. Serving runtimes invert that
+//! relationship: worker threads, task executors, and detached clients
+//! all need a handle they can *move into* a closure with no lifetime
+//! tying them to the spawning frame. `OwnedSession` holds an
+//! [`Arc<Solver>`] plus the same pooled scratch, so it is `Send` and
+//! `'static` while answering queries bit-identically to the borrowed
+//! session — both are type aliases of the same [`SessionCore`], so they
+//! *cannot* diverge: every method body is literally shared.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use fastbn_bayesnet::datasets;
+//! use fastbn_inference::{EngineKind, Query, Solver};
+//!
+//! let net = datasets::asia();
+//! let solver = Arc::new(
+//!     Solver::builder(&net).engine(EngineKind::Hybrid).threads(2).build(),
+//! );
+//! let xray = net.var_id("XRay").unwrap();
+//!
+//! // Each worker takes its own owned session; no scoped threads needed.
+//! let workers: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let mut session = Arc::clone(&solver).into_session();
+//!         let query = Query::new().observe(xray, 0);
+//!         std::thread::spawn(move || session.run(&query).unwrap())
+//!     })
+//!     .collect();
+//! let results: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+//! assert!(results.windows(2).all(|w| w[0] == w[1]), "bit-identical");
+//! ```
+
+use std::sync::Arc;
+
+use crate::solver::{SessionCore, Solver};
+
+/// A query handle that co-owns its [`Solver`] (via `Arc`), so it can
+/// move into spawned threads, worker pools, and task runtimes.
+///
+/// An alias of [`SessionCore`] — exactly the [`Session`](crate::solver::Session)
+/// API (`run`, `run_batch`, `posteriors`, `mpe`, `joint_posterior`),
+/// same pooled scratch, bit-identical results — but `'static` and
+/// `Send`. Like `Session` it is deliberately not `Sync`: each
+/// concurrent caller opens its own (cheap; scratch comes from the
+/// solver's lock-free pool and returns there on drop).
+///
+/// Open one with [`Solver::into_session`] (consuming an `Arc` clone) or
+/// [`OwnedSession::new`]:
+///
+/// ```
+/// use std::sync::Arc;
+/// use fastbn_bayesnet::{datasets, Evidence};
+/// use fastbn_inference::{OwnedSession, Solver};
+///
+/// let net = datasets::sprinkler();
+/// let rain = net.var_id("Rain").unwrap();
+/// let solver = Arc::new(Solver::new(&net));
+/// let mut session = OwnedSession::new(Arc::clone(&solver));
+/// let handle = std::thread::spawn(move || {
+///     let post = session.posteriors(&Evidence::empty()).unwrap();
+///     post.marginal(rain).to_vec()
+/// });
+/// let marginal = handle.join().unwrap();
+/// assert!((marginal.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+pub type OwnedSession = SessionCore<Arc<Solver>>;
+
+impl OwnedSession {
+    /// Opens an owned session over `solver`, drawing scratch from its
+    /// pool (allocated fresh only when the pool is empty).
+    pub fn new(solver: Arc<Solver>) -> OwnedSession {
+        SessionCore::over(solver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbn_bayesnet::{datasets, Evidence};
+
+    use crate::query::Query;
+
+    fn assert_send<T: Send + 'static>() {}
+
+    #[test]
+    fn owned_session_is_send_and_static() {
+        assert_send::<OwnedSession>();
+    }
+
+    #[test]
+    fn owned_session_returns_scratch_to_pool() {
+        let solver = Arc::new(Solver::new(&datasets::sprinkler()));
+        assert_eq!(solver.pooled_states(), 0);
+        {
+            let _s = Arc::clone(&solver).into_session();
+            assert_eq!(solver.pooled_states(), 0, "state checked out");
+        }
+        assert_eq!(solver.pooled_states(), 1, "state returned on drop");
+        {
+            let _s = OwnedSession::new(Arc::clone(&solver));
+            assert_eq!(solver.pooled_states(), 0, "reused, not reallocated");
+        }
+        assert_eq!(solver.pooled_states(), 1);
+    }
+
+    #[test]
+    fn owned_matches_borrowed_session() {
+        let net = datasets::asia();
+        let solver = Arc::new(Solver::new(&net));
+        let dysp = net.var_id("Dyspnea").unwrap();
+        let ev = Evidence::from_pairs([(dysp, 0)]);
+        let borrowed = solver.session().posteriors(&ev).unwrap();
+        let mut owned = Arc::clone(&solver).into_session();
+        let via_owned = owned.posteriors(&ev).unwrap();
+        assert_eq!(borrowed.max_abs_diff(&via_owned), 0.0);
+        assert_eq!(
+            solver.session().mpe(&ev).unwrap(),
+            owned.mpe(&ev).unwrap(),
+            "MPE agrees too"
+        );
+    }
+
+    #[test]
+    fn owned_session_outlives_spawning_frame() {
+        let net = datasets::asia();
+        let xray = net.var_id("XRay").unwrap();
+        let handle = {
+            // The solver Arc moves into the session; nothing borrows the
+            // spawning frame.
+            let solver = Arc::new(Solver::new(&net));
+            let mut session = solver.into_session();
+            std::thread::spawn(move || {
+                session
+                    .run(&Query::new().observe(xray, 0))
+                    .unwrap()
+                    .into_posteriors()
+                    .unwrap()
+                    .prob_evidence
+            })
+        };
+        assert!(handle.join().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn owned_joint_posterior_matches_borrowed() {
+        let net = datasets::sprinkler();
+        let solver = Arc::new(Solver::new(&net));
+        let rain = net.var_id("Rain").unwrap();
+        let sprinkler = net.var_id("Sprinkler").unwrap();
+        let ev = Evidence::empty();
+        let borrowed = solver
+            .session()
+            .joint_posterior(&ev, &[rain, sprinkler])
+            .unwrap()
+            .expect("Rain and Sprinkler share a clique");
+        let owned = Arc::clone(&solver)
+            .into_session()
+            .joint_posterior(&ev, &[rain, sprinkler])
+            .unwrap()
+            .expect("Rain and Sprinkler share a clique");
+        assert_eq!(borrowed.values(), owned.values());
+    }
+}

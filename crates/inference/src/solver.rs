@@ -94,10 +94,34 @@ impl Solver {
     /// state drawn from the pool (allocated fresh only when the pool is
     /// empty). Drop the session to return the scratch.
     pub fn session(&self) -> Session<'_> {
-        Session {
-            solver: self,
-            scratch: Some(self.scratch.acquire(&self.prepared)),
-        }
+        SessionCore::over(self)
+    }
+
+    /// Opens an [`OwnedSession`](crate::owned::OwnedSession) over this
+    /// solver, consuming one `Arc` reference. Unlike [`Solver::session`],
+    /// the returned handle carries no borrow, so it can move into spawned
+    /// threads and task runtimes. Clone the `Arc` first to keep your own
+    /// handle:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use fastbn_bayesnet::{datasets, Evidence};
+    /// use fastbn_inference::Solver;
+    ///
+    /// let solver = Arc::new(Solver::new(&datasets::sprinkler()));
+    /// let mut session = Arc::clone(&solver).into_session();
+    /// let worker = std::thread::spawn(move || {
+    ///     session.posteriors(&Evidence::empty()).unwrap().prob_evidence
+    /// });
+    /// assert!((worker.join().unwrap() - 1.0).abs() < 1e-9);
+    /// ```
+    pub fn into_session(self: Arc<Self>) -> crate::owned::OwnedSession {
+        crate::owned::OwnedSession::new(self)
+    }
+
+    /// Draws one scratch state from the pool (for session handles).
+    pub(crate) fn acquire_scratch(&self) -> Box<ScratchNode> {
+        self.scratch.acquire(&self.prepared)
     }
 
     /// One-shot convenience: open a session, run `query`, return the
@@ -162,7 +186,7 @@ impl Solver {
     /// spread across it: outer parallelism only pays once there is at
     /// least one query per pool member; narrower batches do better giving
     /// each query the whole pool via its inner regions.
-    fn outer_pool_for(&self, n: usize) -> Option<&fastbn_parallel::ThreadPool> {
+    pub(crate) fn outer_pool_for(&self, n: usize) -> Option<&fastbn_parallel::ThreadPool> {
         self.engine
             .pool()
             .filter(|pool| pool.threads() > 1 && n >= pool.threads())
@@ -171,7 +195,10 @@ impl Solver {
     /// The outer-parallel batch path: queries dispatched across the
     /// engine's pool, each chunk working on scratch from a pre-acquired
     /// set. Callers must have checked [`Solver::outer_pool_for`].
-    fn run_batch_outer(&self, batch: &QueryBatch) -> Vec<Result<QueryResult, InferenceError>> {
+    pub(crate) fn run_batch_outer(
+        &self,
+        batch: &QueryBatch,
+    ) -> Vec<Result<QueryResult, InferenceError>> {
         let queries = batch.queries();
         let pool = self
             .outer_pool_for(queries.len())
@@ -296,21 +323,45 @@ impl SolverBuilder<'_> {
     }
 }
 
-/// A per-caller query handle over a shared [`Solver`].
+/// The one session implementation behind both handle flavors.
 ///
-/// Holds one [`WorkState`] for its lifetime, so repeated queries reuse
-/// allocations without synchronization; the state returns to the
-/// solver's pool on drop. Sessions are `Send` (open one per thread, or
-/// move one into a task) but deliberately not `Sync` — each concurrent
-/// caller opens its own.
-pub struct Session<'s> {
-    solver: &'s Solver,
+/// A session holds one [`WorkState`] for its lifetime, so repeated
+/// queries reuse allocations without synchronization; the state returns
+/// to the solver's pool on drop. Sessions are `Send` (open one per
+/// thread, or move one into a task) but deliberately not `Sync` — each
+/// concurrent caller opens its own.
+///
+/// The generic parameter is only *how the solver is held*: [`Session`]
+/// borrows it (`&Solver`), [`OwnedSession`](crate::owned::OwnedSession)
+/// co-owns it (`Arc<Solver>`). Every method — and therefore every
+/// result, bit for bit — is shared between the two; a query feature
+/// added here reaches both handles by construction.
+pub struct SessionCore<S: std::borrow::Borrow<Solver>> {
+    solver: S,
     /// `Some` for the session's whole life; `Option` only so `Drop` can
     /// move the box back into the pool.
     scratch: Option<Box<ScratchNode>>,
 }
 
-impl Session<'_> {
+/// A per-caller query handle **borrowing** a shared [`Solver`] — the
+/// cheapest flavor when the solver outlives the caller on the same
+/// stack (scoped threads, request handlers over a long-lived solver).
+/// Open one with [`Solver::session`]. For a handle that can move into
+/// spawned threads and task runtimes, use
+/// [`OwnedSession`](crate::owned::OwnedSession); both answer queries
+/// bit-identically (they share [`SessionCore`]).
+pub type Session<'s> = SessionCore<&'s Solver>;
+
+impl<S: std::borrow::Borrow<Solver>> SessionCore<S> {
+    /// Opens a session over `solver`, drawing scratch from its pool.
+    pub(crate) fn over(solver: S) -> SessionCore<S> {
+        let scratch = solver.borrow().acquire_scratch();
+        SessionCore {
+            solver,
+            scratch: Some(scratch),
+        }
+    }
+
     /// Runs one query and returns its unified result.
     pub fn run(&mut self, query: &Query) -> Result<QueryResult, InferenceError> {
         self.run_parts(
@@ -331,7 +382,7 @@ impl Session<'_> {
         targets: Option<&[VarId]>,
         mode: QueryMode,
     ) -> Result<QueryResult, InferenceError> {
-        let solver = self.solver;
+        let solver = self.solver.borrow();
         let state = &mut self
             .scratch
             .as_mut()
@@ -354,8 +405,35 @@ impl Session<'_> {
     /// scratch, where each query still uses the engine's full inner
     /// parallelism. Both paths return results bit-identical to the same
     /// queries issued through [`Session::run`] one at a time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastbn_bayesnet::datasets;
+    /// use fastbn_inference::{EngineKind, Query, QueryBatch, Solver};
+    ///
+    /// let net = datasets::asia();
+    /// let solver = Solver::builder(&net).engine(EngineKind::Hybrid).threads(2).build();
+    /// let dysp = net.var_id("Dyspnea").unwrap();
+    /// let xray = net.var_id("XRay").unwrap();
+    /// let mut session = solver.session();
+    ///
+    /// let batch = QueryBatch::new()
+    ///     .with(Query::new().observe(dysp, 0))                  // marginals
+    ///     .with(Query::new().observe(dysp, 0).mpe())            // MPE
+    ///     .with(Query::new().likelihood(xray, vec![0.0, 0.0])); // malformed
+    /// let results = session.run_batch(&batch);
+    ///
+    /// assert_eq!(results.len(), 3);
+    /// assert!(results[0].is_ok() && results[1].is_ok());
+    /// assert!(results[2].is_err(), "a bad request fails in its own slot");
+    /// // Bit-identical to the one-at-a-time loop:
+    /// for (batched, q) in results.iter().zip(&batch) {
+    ///     assert_eq!(batched, &session.run(q));
+    /// }
+    /// ```
     pub fn run_batch(&mut self, batch: &QueryBatch) -> Vec<Result<QueryResult, InferenceError>> {
-        let solver = self.solver;
+        let solver = self.solver.borrow();
         if solver.outer_pool_for(batch.len()).is_some() {
             return solver.run_batch_outer(batch);
         }
@@ -395,57 +473,44 @@ impl Session<'_> {
         evidence: &Evidence,
         vars: &[VarId],
     ) -> Result<Option<PotentialTable>, InferenceError> {
-        let solver = self.solver;
-        let prepared = &*solver.prepared;
-        // Validate before the clique lookup: bogus evidence must surface
-        // as an error, not be masked by an out-of-clique Ok(None).
-        validate_evidence(prepared, evidence)?;
-        let mut sorted = vars.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        let Some(clique) = prepared.built.tree.smallest_containing(&sorted) else {
-            return Ok(None);
-        };
+        let solver = self.solver.borrow();
         let state = &mut self
             .scratch
             .as_mut()
             .expect("scratch present until drop")
             .state;
-        state.reset(prepared);
-        solver.engine.enter_evidence(state, evidence);
-        solver.engine.propagate(state);
-        let target = Arc::new(fastbn_potential::Domain::from_vars(
-            &sorted,
-            &prepared.cards,
-        ));
-        let mut joint = fastbn_potential::ops::marginalize(&state.cliques[clique], target);
-        joint
-            .normalize()
-            .map_err(|_| InferenceError::ImpossibleEvidence)?;
-        Ok(Some(joint))
+        joint_on_state(solver, state, evidence, vars)
     }
 
     /// The solver this session queries.
     pub fn solver(&self) -> &Solver {
-        self.solver
+        self.solver.borrow()
     }
 }
 
-impl Drop for Session<'_> {
+impl<S: std::borrow::Borrow<Solver>> std::fmt::Debug for SessionCore<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("solver", self.solver.borrow())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: std::borrow::Borrow<Solver>> Drop for SessionCore<S> {
     fn drop(&mut self) {
         if let Some(node) = self.scratch.take() {
-            self.solver.scratch.release(node);
+            self.solver.borrow().scratch.release(node);
         }
     }
 }
 
 /// The engine-driving sequence of one query — validate, reset, evidence,
 /// virtual evidence, propagate, extract — on caller-provided scratch.
-/// Shared by [`Session::run`] (session scratch) and
+/// Shared by [`Session::run`] / `OwnedSession::run` (session scratch) and
 /// [`Session::run_batch`] (one pooled scratch per chunk); errors leave
 /// `state` dirty but harmless, because every call starts with a full
 /// reset.
-fn run_on_state(
+pub(crate) fn run_on_state(
     solver: &Solver,
     state: &mut WorkState,
     evidence: &Evidence,
@@ -474,9 +539,41 @@ fn run_on_state(
     }
 }
 
+/// The in-clique joint-posterior sequence shared by
+/// [`Session::joint_posterior`] and `OwnedSession::joint_posterior`.
+pub(crate) fn joint_on_state(
+    solver: &Solver,
+    state: &mut WorkState,
+    evidence: &Evidence,
+    vars: &[VarId],
+) -> Result<Option<PotentialTable>, InferenceError> {
+    let prepared = &*solver.prepared;
+    // Validate before the clique lookup: bogus evidence must surface
+    // as an error, not be masked by an out-of-clique Ok(None).
+    validate_evidence(prepared, evidence)?;
+    let mut sorted = vars.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let Some(clique) = prepared.built.tree.smallest_containing(&sorted) else {
+        return Ok(None);
+    };
+    state.reset(prepared);
+    solver.engine.enter_evidence(state, evidence);
+    solver.engine.propagate(state);
+    let target = Arc::new(fastbn_potential::Domain::from_vars(
+        &sorted,
+        &prepared.cards,
+    ));
+    let mut joint = fastbn_potential::ops::marginalize(&state.cliques[clique], target);
+    joint
+        .normalize()
+        .map_err(|_| InferenceError::ImpossibleEvidence)?;
+    Ok(Some(joint))
+}
+
 /// One pooled scratch state, chained intrusively when parked.
-struct ScratchNode {
-    state: WorkState,
+pub(crate) struct ScratchNode {
+    pub(crate) state: WorkState,
     /// Next node in the parked chain; dangling while the node is held by
     /// a session (never dereferenced then). Only ever read or written by
     /// the node's exclusive owner; kept atomic so link publication is

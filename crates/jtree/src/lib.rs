@@ -10,6 +10,8 @@
 //!
 //! The output types ([`JunctionTree`], [`RootedTree`], [`LayerSchedule`])
 //! are purely structural — potentials are attached by `fastbn-inference`.
+//! Where tree construction sits in the full stack is mapped in
+//! `docs/ARCHITECTURE.md` at the repository root.
 //!
 //! ```
 //! use fastbn_bayesnet::datasets;

@@ -1,0 +1,71 @@
+//! # fastbn-serve
+//!
+//! A **micro-batching serving front end** over the fastbn inference
+//! stack: the layer that turns a compiled
+//! [`Solver`] from a fast batch runner into a
+//! system that sits under live traffic.
+//!
+//! The engines get their throughput from two things the paper measures —
+//! keeping one compiled junction tree hot, and running wide batches so
+//! independent queries spread *across* the worker pool. Real traffic
+//! arrives one request at a time, though. This crate closes the gap with
+//! a classic serving design:
+//!
+//! * a [`Server`] owning N worker threads, each holding an
+//!   [`OwnedSession`] over the shared
+//!   solver;
+//! * a **bounded request queue** with backpressure — [`Server::submit`]
+//!   blocks while full, [`Server::try_submit`] rejects with the query
+//!   handed back;
+//! * **deadline micro-batching** — a worker that pops a request keeps
+//!   the window open until `max_batch` requests arrive or `max_delay`
+//!   elapses, then dispatches the window as one
+//!   [`QueryBatch`] (the PR 2 outer-parallel
+//!   batch path);
+//! * **per-request oneshot delivery** — every submission returns a
+//!   [`Pending`] handle whose `wait()` yields that request's own
+//!   `Result`; dropping the handle cancels the request;
+//! * **graceful shutdown** — [`Server::shutdown`] (or drop) stops
+//!   intake, drains every accepted request, and joins the workers.
+//!
+//! Results are bit-identical to running each query alone through a
+//! [`Session`](fastbn_inference::Session): batching, scheduling, and
+//! worker count are invisible to clients.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use fastbn_bayesnet::datasets;
+//! use fastbn_inference::{Query, Solver};
+//! use fastbn_serve::Server;
+//!
+//! let net = datasets::sprinkler();
+//! let solver = Arc::new(Solver::new(&net));
+//! let server = Server::builder(solver)
+//!     .workers(2)
+//!     .max_batch(4)
+//!     .max_delay(Duration::from_micros(100))
+//!     .build();
+//!
+//! let wet = net.var_id("WetGrass").unwrap();
+//! let rain = net.var_id("Rain").unwrap();
+//! let pending = server.submit(Query::new().observe(wet, 0)).unwrap();
+//! let posteriors = pending.wait().unwrap().into_posteriors().unwrap();
+//! // P(Rain | WetGrass = true) ≈ 0.708 (Russell & Norvig).
+//! assert!((posteriors.marginal(rain)[0] - 0.7079).abs() < 1e-3);
+//! ```
+//!
+//! Where this sits in the stack — and why micro-batching lives *here*
+//! rather than in the engines — is mapped out in `docs/ARCHITECTURE.md`
+//! at the repository root.
+
+mod oneshot;
+mod server;
+
+pub use server::{
+    Pending, ServeError, Server, ServerBuilder, ServerStats, SubmitError, SubmitErrorKind,
+};
+
+// Re-export the request/response vocabulary so serving callers can
+// depend on this crate alone.
+pub use fastbn_inference::{InferenceError, OwnedSession, Query, QueryBatch, QueryResult, Solver};

@@ -1,0 +1,238 @@
+//! A minimal oneshot channel with cancellation, for per-request result
+//! delivery.
+//!
+//! Each submitted request gets one `(SlotSender, SlotReceiver)` pair:
+//! the worker sends exactly one result, the client waits for it. Either
+//! side may disappear early — a client dropping its receiver *cancels*
+//! the request (the worker observes [`SlotSender::is_cancelled`] and
+//! skips or discards the work), and a worker dropping its sender without
+//! replying (server torn down mid-flight) surfaces to the waiting client
+//! as [`WaitError::Abandoned`] rather than a hang.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// What the waiting client observes instead of a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitError {
+    /// The sender was dropped without ever sending — the serving side
+    /// went away mid-flight.
+    Abandoned,
+}
+
+enum Slot<T> {
+    /// No value yet; sender still alive.
+    Pending,
+    /// Value delivered, waiting to be taken.
+    Ready(T),
+    /// Sender dropped without delivering.
+    Abandoned,
+}
+
+struct Inner<T> {
+    slot: Mutex<Slot<T>>,
+    ready: Condvar,
+    /// Set when the receiver is dropped; lets the sender side poll
+    /// cancellation without taking the lock.
+    cancelled: AtomicBool,
+}
+
+impl<T> Inner<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Slot<T>> {
+        self.slot.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The producing half; delivers at most one value.
+pub(crate) struct SlotSender<T> {
+    inner: Arc<Inner<T>>,
+    /// Cleared by `send` so `Drop` knows a value was delivered.
+    live: bool,
+}
+
+/// The consuming half; waits for the value.
+pub(crate) struct SlotReceiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a fresh oneshot pair.
+pub(crate) fn slot<T>() -> (SlotSender<T>, SlotReceiver<T>) {
+    let inner = Arc::new(Inner {
+        slot: Mutex::new(Slot::Pending),
+        ready: Condvar::new(),
+        cancelled: AtomicBool::new(false),
+    });
+    (
+        SlotSender {
+            inner: inner.clone(),
+            live: true,
+        },
+        SlotReceiver { inner },
+    )
+}
+
+impl<T> SlotSender<T> {
+    /// Delivers the value; hands it back if the receiver is already gone
+    /// (the request was cancelled). The cancellation check happens under
+    /// the slot lock — the receiver's `Drop` takes the same lock — so a
+    /// send and a concurrent drop serialize: either the drop wins and the
+    /// value is handed back (counted cancelled), or the send wins and the
+    /// value was delivered while the handle was still live.
+    pub(crate) fn send(mut self, value: T) -> Result<(), T> {
+        let mut slot = self.inner.lock();
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return Err(value);
+        }
+        *slot = Slot::Ready(value);
+        drop(slot);
+        self.live = false;
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+
+    /// True once the receiver has been dropped — the client abandoned
+    /// the request, so computing its result is wasted work.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for SlotSender<T> {
+    fn drop(&mut self) {
+        if self.live {
+            *self.inner.lock() = Slot::Abandoned;
+            self.inner.ready.notify_one();
+        }
+    }
+}
+
+impl<T> SlotReceiver<T> {
+    /// Blocks until the value arrives (or the sender is dropped).
+    pub(crate) fn wait(self) -> Result<T, WaitError> {
+        let mut slot = self.inner.lock();
+        loop {
+            match std::mem::replace(&mut *slot, Slot::Pending) {
+                Slot::Ready(v) => return Ok(v),
+                Slot::Abandoned => return Err(WaitError::Abandoned),
+                Slot::Pending => {
+                    slot = self
+                        .inner
+                        .ready
+                        .wait(slot)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Blocks until the value arrives, the sender is dropped, or
+    /// `timeout` elapses; on timeout the receiver is handed back so the
+    /// caller can keep waiting (or drop it to cancel).
+    pub(crate) fn wait_timeout(self, timeout: Duration) -> Result<Result<T, WaitError>, Self> {
+        let deadline = saturating_deadline(timeout);
+        let mut slot = self.inner.lock();
+        loop {
+            match std::mem::replace(&mut *slot, Slot::Pending) {
+                Slot::Ready(v) => return Ok(Ok(v)),
+                Slot::Abandoned => return Ok(Err(WaitError::Abandoned)),
+                Slot::Pending => {
+                    let Some(remaining) = deadline
+                        .checked_duration_since(Instant::now())
+                        .filter(|d| !d.is_zero())
+                    else {
+                        drop(slot);
+                        return Err(self);
+                    };
+                    let (guard, _timed_out) = self
+                        .inner
+                        .ready
+                        .wait_timeout(slot, remaining)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    slot = guard;
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for SlotReceiver<T> {
+    fn drop(&mut self) {
+        // Under the slot lock, so it serializes with `SlotSender::send`
+        // (see there); `is_cancelled` stays a lock-free advisory read.
+        let _slot = self.inner.lock();
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+}
+
+/// `Instant::now() + timeout` without the panic on absurd durations
+/// (`Duration::MAX` legitimately means "wait forever"): saturates to a
+/// deadline ~30 years out, far beyond any process lifetime.
+pub(crate) fn saturating_deadline(timeout: Duration) -> Instant {
+    let now = Instant::now();
+    now.checked_add(timeout)
+        .or_else(|| now.checked_add(Duration::from_secs(60 * 60 * 24 * 365 * 30)))
+        .unwrap_or(now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_one_value() {
+        let (tx, rx) = slot();
+        tx.send(42u32).unwrap();
+        assert_eq!(rx.wait(), Ok(42));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = slot();
+        let h = std::thread::spawn(move || rx.wait());
+        std::thread::sleep(Duration::from_millis(5));
+        tx.send("done").unwrap();
+        assert_eq!(h.join().unwrap(), Ok("done"));
+    }
+
+    #[test]
+    fn dropped_receiver_cancels() {
+        let (tx, rx) = slot::<u8>();
+        assert!(!tx.is_cancelled());
+        drop(rx);
+        assert!(tx.is_cancelled());
+        assert_eq!(tx.send(1), Err(1), "value handed back on cancellation");
+    }
+
+    #[test]
+    fn dropped_sender_abandons() {
+        let (tx, rx) = slot::<u8>();
+        drop(tx);
+        assert_eq!(rx.wait(), Err(WaitError::Abandoned));
+    }
+
+    #[test]
+    fn wait_timeout_returns_receiver_then_value() {
+        let (tx, rx) = slot();
+        let Err(rx) = rx.wait_timeout(Duration::from_millis(10)) else {
+            panic!("nothing sent yet, wait must time out");
+        };
+        tx.send(7u8).unwrap();
+        match rx.wait_timeout(Duration::from_secs(5)) {
+            Ok(outcome) => assert_eq!(outcome, Ok(7)),
+            Err(_) => panic!("value was sent, wait must not time out"),
+        }
+    }
+
+    #[test]
+    fn wait_timeout_observes_abandonment() {
+        let (tx, rx) = slot::<u8>();
+        let h = std::thread::spawn(move || match rx.wait_timeout(Duration::from_secs(5)) {
+            Ok(outcome) => outcome,
+            Err(_) => panic!("abandonment must surface before the timeout"),
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(WaitError::Abandoned));
+    }
+}

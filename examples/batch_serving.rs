@@ -1,5 +1,11 @@
-//! Batched serving: execute a mixed set of independent queries as one
+//! Batched execution: run a mixed set of independent queries as one
 //! `QueryBatch` and compare against the naive one-at-a-time loop.
+//!
+//! This shows the *offline* batch path — the caller assembles the batch
+//! by hand. For live traffic (requests arriving one at a time from many
+//! clients), don't hand-roll this: the `serving` example shows the
+//! recommended front end, a `fastbn::Server` that coalesces queued
+//! requests into these same batches with a deadline.
 //!
 //! Run with: `cargo run --release --example batch_serving`
 
@@ -22,8 +28,8 @@ fn main() {
         net.num_vars()
     );
 
-    // A mixed batch, as a serving front end would assemble from queued
-    // requests: sampled-evidence marginals, a targeted query, a
+    // A mixed batch, like the ones the `Server` front end assembles from
+    // queued requests: sampled-evidence marginals, a targeted query, a
     // virtual-evidence query, an MPE query — and one bad request, whose
     // typed error occupies its own slot without failing the batch.
     let dysp = net.var_id("Dyspnea").unwrap();

@@ -1,6 +1,12 @@
 //! Runs all six engines on the same workload, verifying they agree
 //! bit-for-bit and reporting their speeds — Table 1 in miniature.
 //!
+//! The one-query-at-a-time loop below is deliberate: it reproduces the
+//! paper's repeated-inference timing methodology. When you just want N
+//! independent queries answered fast, use `Session::run_batch` (see the
+//! batch_serving example) or a `Server` (see the serving example)
+//! instead of a loop like this.
+//!
 //! Run with: `cargo run --release --example engine_comparison`
 
 use std::sync::Arc;

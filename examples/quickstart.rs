@@ -71,4 +71,9 @@ fn main() {
         "\ntargeted: P(LungCancer = yes | dyspnea) = {:.4} (only this marginal was extracted)",
         targeted.marginal(lung)[0]
     );
+
+    // Got many independent queries instead of one? Don't loop — group
+    // them into a `QueryBatch` (see the batch_serving example), and for
+    // live traffic from many clients put a `Server` in front (see the
+    // serving example).
 }

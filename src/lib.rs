@@ -75,27 +75,45 @@
 //! assert!(results[3].is_err(), "bad slot fails alone");
 //! ```
 //!
-//! ## Concurrent serving
+//! ## Live serving
+//!
+//! Under live traffic — single requests arriving from many clients —
+//! don't hand-roll batches or per-query loops: put a [`Server`] in
+//! front. It owns worker threads over the shared solver, coalesces
+//! queued requests into deadline-bounded micro-batches (feeding the
+//! same `run_batch` path), pushes back through a bounded queue, and
+//! delivers each request's own result; dropping a pending handle
+//! cancels that request:
 //!
 //! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
 //! use fastbn::bayesnet::datasets;
-//! use fastbn::{Evidence, Solver};
+//! use fastbn::{EngineKind, Query, Server, Solver};
 //!
 //! let net = datasets::sprinkler();
-//! let solver = Solver::new(&net); // Fast-BNI-seq, threads = 1
+//! let solver = Arc::new(Solver::builder(&net).engine(EngineKind::Hybrid).threads(2).build());
+//! let server = Server::builder(Arc::clone(&solver))
+//!     .workers(2)
+//!     .max_batch(4)
+//!     .max_delay(Duration::from_micros(200))
+//!     .build();
 //! let rain = net.var_id("Rain").unwrap();
-//! std::thread::scope(|scope| {
-//!     for _ in 0..4 {
-//!         scope.spawn(|| {
-//!             let mut session = solver.session();
-//!             let post = session
-//!                 .posteriors(&Evidence::from_pairs([(rain, 0)]))
-//!                 .unwrap();
-//!             assert_eq!(post.marginal(rain), &[1.0, 0.0]);
-//!         });
-//!     }
-//! });
+//! let pending: Vec<_> = (0..8)
+//!     .map(|i| server.submit(Query::new().observe(rain, i % 2)).unwrap())
+//!     .collect();
+//! for p in pending {
+//!     assert!(p.wait().unwrap().posteriors().unwrap().prob_evidence > 0.0);
+//! }
+//! server.shutdown(); // drains accepted work, joins the workers
 //! ```
+//!
+//! For embedding without a server, sharing the solver across scoped
+//! threads with one [`Session`] each works too — sessions are cheap and
+//! results are bit-identical either way.
+//!
+//! The full crate map and the path a query takes through the layers are
+//! documented in `docs/ARCHITECTURE.md`.
 
 /// Bayesian-network substrate (variables, CPTs, DAG, BIF, generators).
 pub use fastbn_bayesnet as bayesnet;
@@ -107,15 +125,21 @@ pub use fastbn_jtree as jtree;
 pub use fastbn_parallel as parallel;
 /// Potential tables and the three dominant operations.
 pub use fastbn_potential as potential;
+/// Micro-batching serving front end over `Solver`.
+pub use fastbn_serve as serve;
 
 pub use fastbn_bayesnet::{BayesianNetwork, Evidence, NetworkBuilder, VarId, Variable};
 pub use fastbn_inference::{
     make_engine, DirectJt, ElementJt, EngineKind, HybridJt, InferenceEngine, InferenceError,
-    LikelihoodDefect, MpeResult, Posteriors, Prepared, PrimitiveJt, Query, QueryBatch, QueryMode,
-    QueryResult, ReferenceJt, SeqJt, Session, Solver, SolverBuilder, VirtualEvidence, WorkState,
+    LikelihoodDefect, MpeResult, OwnedSession, Posteriors, Prepared, PrimitiveJt, Query,
+    QueryBatch, QueryMode, QueryResult, ReferenceJt, SeqJt, Session, SessionCore, Solver,
+    SolverBuilder, VirtualEvidence, WorkState,
 };
 pub use fastbn_jtree::JtreeOptions;
 pub use fastbn_parallel::{Schedule, ThreadPool};
+pub use fastbn_serve::{
+    Pending, ServeError, Server, ServerBuilder, ServerStats, SubmitError, SubmitErrorKind,
+};
 
 #[allow(deprecated)]
 pub use fastbn_inference::{build_engine, LegacyEngine};

@@ -1,0 +1,142 @@
+//! `OwnedSession` guarantees: it is `Send + 'static` (movable into
+//! spawned threads and task runtimes), draws scratch from the same pool
+//! as borrowed sessions, and — run from another thread — produces
+//! posteriors **bit-identical** to a borrowed `Session` on every engine.
+
+use std::sync::Arc;
+
+use fastbn::bayesnet::{datasets, sampler};
+use fastbn::{
+    EngineKind, InferenceError, OwnedSession, Prepared, Query, QueryBatch, QueryResult, Solver,
+};
+
+fn assert_send<T: Send + 'static>() {}
+
+#[test]
+fn owned_session_is_send_and_static() {
+    assert_send::<OwnedSession>();
+    // The solver handle it carries must itself be shareable.
+    assert_send::<Arc<Solver>>();
+}
+
+/// A mixed query set over Asia: sampled-evidence marginals, a targeted
+/// query, virtual evidence, MPE, and two failing requests (impossible
+/// evidence; malformed likelihood).
+fn mixed_queries(net: &fastbn::BayesianNetwork) -> Vec<Query> {
+    let dysp = net.var_id("Dyspnea").unwrap();
+    let lung = net.var_id("LungCancer").unwrap();
+    let xray = net.var_id("XRay").unwrap();
+    let tub = net.var_id("Tuberculosis").unwrap();
+    let either = net.var_id("TbOrCa").unwrap();
+    let mut queries: Vec<Query> = sampler::generate_cases(net, 12, 0.25, 11)
+        .into_iter()
+        .map(|c| Query::new().evidence(c.evidence))
+        .collect();
+    queries.push(Query::new().observe(dysp, 0).targets([lung, tub]));
+    queries.push(Query::new().likelihood(xray, vec![0.8, 0.2]));
+    queries.push(Query::new().observe(dysp, 0).mpe());
+    queries.push(Query::new().observe(tub, 0).observe(either, 1)); // P(e) = 0
+    queries.push(Query::new().likelihood(xray, vec![0.0, 0.0])); // malformed
+    queries
+}
+
+fn assert_identical(
+    a: &[Result<QueryResult, InferenceError>],
+    b: &[Result<QueryResult, InferenceError>],
+    label: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x, y, "{label}: slot {i} differs");
+        if let (Ok(QueryResult::Marginals(p)), Ok(QueryResult::Marginals(q))) = (x, y) {
+            assert_eq!(p.max_abs_diff(q), 0.0, "{label}: slot {i} not bitwise");
+            assert_eq!(p.prob_evidence.to_bits(), q.prob_evidence.to_bits());
+        }
+    }
+}
+
+#[test]
+fn owned_session_on_a_spawned_thread_matches_borrowed_for_every_engine() {
+    let net = datasets::asia();
+    let prepared = Arc::new(Prepared::new(&net, &Default::default()));
+    let queries = mixed_queries(&net);
+    for kind in EngineKind::all() {
+        let solver = Arc::new(
+            Solver::from_prepared(prepared.clone())
+                .engine(kind)
+                .threads(2)
+                .build(),
+        );
+        // Oracle: borrowed session on this thread, one query at a time.
+        let mut session = solver.session();
+        let expected: Vec<_> = queries.iter().map(|q| session.run(q)).collect();
+        drop(session);
+        // Candidate: owned session *moved into* a spawned thread.
+        let mut owned = Arc::clone(&solver).into_session();
+        let thread_queries = queries.clone();
+        let got = std::thread::spawn(move || {
+            thread_queries
+                .iter()
+                .map(|q| owned.run(q))
+                .collect::<Vec<_>>()
+        })
+        .join()
+        .expect("owned-session thread panicked");
+        assert_identical(&expected, &got, &format!("{kind:?} run"));
+        // And the batch entry point, also from a spawned thread.
+        let batch = QueryBatch::from(queries.clone());
+        let mut owned = Arc::clone(&solver).into_session();
+        let got_batch = std::thread::spawn(move || owned.run_batch(&batch))
+            .join()
+            .expect("owned-session batch thread panicked");
+        assert_identical(&expected, &got_batch, &format!("{kind:?} run_batch"));
+    }
+}
+
+#[test]
+fn many_owned_sessions_share_one_scratch_pool() {
+    let net = datasets::asia();
+    let solver = Arc::new(Solver::new(&net));
+    let ev = fastbn::Evidence::empty();
+    let expected = solver.posteriors(&ev).unwrap();
+    let workers: Vec<_> = (0..6)
+        .map(|_| {
+            let mut session = Arc::clone(&solver).into_session();
+            let ev = ev.clone();
+            std::thread::spawn(move || {
+                let mut last = session.posteriors(&ev).unwrap();
+                for _ in 0..9 {
+                    let got = session.posteriors(&ev).unwrap();
+                    assert_eq!(got.max_abs_diff(&last), 0.0, "bitwise repeatable");
+                    last = got;
+                }
+                last
+            })
+        })
+        .collect();
+    for worker in workers {
+        let got = worker.join().unwrap();
+        assert_eq!(expected.max_abs_diff(&got), 0.0, "bitwise across threads");
+    }
+    assert!(
+        solver.pooled_states() <= 7,
+        "pool bounded by peak concurrency (6 owned sessions + the one-shot)"
+    );
+}
+
+#[test]
+fn owned_session_can_outlive_the_scope_that_made_it() {
+    let net = datasets::sprinkler();
+    let wet = net.var_id("WetGrass").unwrap();
+    let rain = net.var_id("Rain").unwrap();
+    // The session (and the solver Arc inside it) escapes the block.
+    let mut session = {
+        let solver = Arc::new(Solver::builder(&net).engine(EngineKind::Seq).build());
+        OwnedSession::new(solver)
+    };
+    let result = session
+        .run(&Query::new().observe(wet, 0).targets([rain]))
+        .unwrap();
+    let posteriors = result.posteriors().unwrap();
+    assert!((posteriors.marginal(rain)[0] - 0.7079).abs() < 1e-3);
+}

@@ -1,15 +1,22 @@
 //! Offline stand-in for the `crossbeam-channel` crate.
 //!
-//! Implements the subset the thread pool uses: an **unbounded MPMC
-//! channel** with clonable `Sender`/`Receiver`, blocking `recv`,
-//! non-blocking `try_recv`, and disconnect detection when all senders
-//! (or all receivers) are gone. Built on `Mutex<VecDeque>` + `Condvar`
+//! Implements the subset this workspace uses: **unbounded** and
+//! **bounded** MPMC channels with clonable `Sender`/`Receiver`, blocking
+//! `send`/`recv`, non-blocking `try_send`/`try_recv`, deadline-aware
+//! `recv_timeout`/`recv_deadline`, and disconnect detection when all
+//! senders (or all receivers) are gone. Bounded channels give blocking
+//! backpressure: `send` parks until space frees up, `try_send` reports
+//! `TrySendError::Full`. Built on `Mutex<VecDeque>` + two `Condvar`s
 //! rather than crossbeam's lock-free internals — a constant-factor
 //! slowdown under contention, with identical semantics.
+//!
+//! Deviation from upstream: zero-capacity (rendezvous) channels are not
+//! implemented; `bounded(0)` panics.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] when every receiver is gone; the
 /// unsent message is handed back.
@@ -20,6 +27,46 @@ impl<T> std::fmt::Debug for SendError<T> {
     // Like upstream: no `T: Debug` bound, the payload is elided.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Sender::try_send`]; the unsent message is handed
+/// back in either case.
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+
+    /// True when the failure was a full queue (backpressure), not a
+    /// disconnect.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+
+    /// True when the failure was a disconnect.
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, TrySendError::Disconnected(_))
+    }
+}
+
+impl<T> std::fmt::Debug for TrySendError<T> {
+    // Like upstream: no `T: Debug` bound, the payload is elided.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
     }
 }
 
@@ -37,9 +84,24 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Receiver::recv_timeout`] / [`Receiver::recv_deadline`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no message available.
+    Timeout,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
 struct Chan<T> {
     queue: Mutex<VecDeque<T>>,
+    /// Signalled when a message arrives or the last sender leaves.
     ready: Condvar,
+    /// Signalled when space frees up or the last receiver leaves
+    /// (bounded channels only; never waited on when `cap` is `None`).
+    space: Condvar,
+    /// `None` = unbounded.
+    cap: Option<usize>,
     senders: AtomicUsize,
     receivers: AtomicUsize,
 }
@@ -47,6 +109,10 @@ struct Chan<T> {
 impl<T> Chan<T> {
     fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
         self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn full(&self, queue: &VecDeque<T>) -> bool {
+        self.cap.is_some_and(|cap| queue.len() >= cap)
     }
 }
 
@@ -60,24 +126,71 @@ pub struct Receiver<T> {
     chan: Arc<Chan<T>>,
 }
 
-/// Creates an unbounded channel.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let chan = Arc::new(Chan {
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
+        space: Condvar::new(),
+        cap,
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
     });
     (Sender { chan: chan.clone() }, Receiver { chan })
 }
 
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Creates a bounded channel holding at most `cap` queued messages;
+/// `send` blocks (and `try_send` fails with [`TrySendError::Full`]) while
+/// the queue is at capacity. Panics if `cap` is 0 — this shim does not
+/// implement upstream's rendezvous channels.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(
+        cap > 0,
+        "bounded(0) rendezvous channels are not implemented by this shim"
+    );
+    channel(Some(cap))
+}
+
 impl<T> Sender<T> {
-    /// Enqueues `value`; fails (returning it) if every receiver is gone.
+    /// Enqueues `value`, blocking while a bounded channel is at capacity;
+    /// fails (returning the value) if every receiver is gone.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        if self.chan.receivers.load(Ordering::Acquire) == 0 {
-            return Err(SendError(value));
+        let mut queue = self.chan.lock();
+        loop {
+            if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            if !self.chan.full(&queue) {
+                queue.push_back(value);
+                drop(queue);
+                self.chan.ready.notify_one();
+                return Ok(());
+            }
+            queue = self
+                .chan
+                .space
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
         }
-        self.chan.lock().push_back(value);
+    }
+
+    /// Enqueues `value` without blocking; fails with
+    /// [`TrySendError::Full`] when a bounded channel is at capacity, or
+    /// [`TrySendError::Disconnected`] when every receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut queue = self.chan.lock();
+        if self.chan.receivers.load(Ordering::Acquire) == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if self.chan.full(&queue) {
+            return Err(TrySendError::Full(value));
+        }
+        queue.push_back(value);
+        drop(queue);
         self.chan.ready.notify_one();
         Ok(())
     }
@@ -104,10 +217,20 @@ impl<T> Drop for Sender<T> {
 }
 
 impl<T> Receiver<T> {
+    /// Pops `queue`'s front and, on a bounded channel, wakes one sender
+    /// blocked on the freed slot.
+    fn pop(&self, queue: &mut VecDeque<T>) -> Option<T> {
+        let value = queue.pop_front()?;
+        if self.chan.cap.is_some() {
+            self.chan.space.notify_one();
+        }
+        Some(value)
+    }
+
     /// Pops a message without blocking.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut queue = self.chan.lock();
-        match queue.pop_front() {
+        match self.pop(&mut queue) {
             Some(v) => Ok(v),
             None if self.chan.senders.load(Ordering::Acquire) == 0 => {
                 Err(TryRecvError::Disconnected)
@@ -120,7 +243,7 @@ impl<T> Receiver<T> {
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut queue = self.chan.lock();
         loop {
-            if let Some(v) = queue.pop_front() {
+            if let Some(v) = self.pop(&mut queue) {
                 return Ok(v);
             }
             if self.chan.senders.load(Ordering::Acquire) == 0 {
@@ -131,6 +254,49 @@ impl<T> Receiver<T> {
                 .ready
                 .wait(queue)
                 .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until a message arrives, every sender is dropped, or
+    /// `timeout` elapses. Oversized timeouts (e.g. `Duration::MAX` as
+    /// "wait forever") saturate to a far-future deadline instead of
+    /// panicking on `Instant` overflow.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let now = Instant::now();
+        let deadline = now
+            .checked_add(timeout)
+            .or_else(|| now.checked_add(Duration::from_secs(60 * 60 * 24 * 365 * 30)))
+            .unwrap_or(now);
+        self.recv_deadline(deadline)
+    }
+
+    /// Blocks until a message arrives, every sender is dropped, or
+    /// `deadline` passes.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        let mut queue = self.chan.lock();
+        loop {
+            if let Some(v) = self.pop(&mut queue) {
+                return Ok(v);
+            }
+            if self.chan.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            // Re-check the queue after every wake-up, spurious or not; a
+            // message may have landed between the notify and reacquiring
+            // the lock.
+            let (guard, _timed_out) = self
+                .chan
+                .ready
+                .wait_timeout(queue, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = guard;
         }
     }
 }
@@ -146,7 +312,12 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+        if self.chan.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last receiver: wake senders blocked on a full bounded
+            // channel so they observe the disconnect.
+            let _guard = self.chan.lock();
+            self.chan.space.notify_all();
+        }
     }
 }
 
@@ -185,7 +356,7 @@ mod tests {
     fn blocking_recv_wakes_on_send() {
         let (tx, rx) = unbounded();
         let h = std::thread::spawn(move || rx.recv().unwrap());
-        std::thread::sleep(std::time::Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(10));
         tx.send(77u32).unwrap();
         assert_eq!(h.join().unwrap(), 77);
     }
@@ -209,6 +380,150 @@ mod tests {
             tx.send(i).unwrap();
         }
         drop(tx);
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        let err = tx.try_send(3).unwrap_err();
+        assert!(err.is_full());
+        assert!(!err.is_disconnected());
+        assert_eq!(err.into_inner(), 3);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let sender = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the receiver pops 1
+            Instant::now()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let popped_at = Instant::now();
+        assert_eq!(rx.recv(), Ok(1));
+        let sent_at = sender.join().unwrap();
+        assert!(sent_at >= popped_at, "send must not complete before pop");
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn bounded_send_observes_receiver_disconnect() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let sender = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx); // wake the blocked sender with a disconnect
+        assert_eq!(sender.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn try_send_disconnected_without_receivers() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        let err = tx.try_send(7).unwrap_err();
+        assert!(err.is_disconnected());
+        assert_eq!(err.into_inner(), 7);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(9));
+    }
+
+    #[test]
+    fn recv_deadline_in_the_past_is_immediate_timeout() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_deadline(Instant::now() - Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_observes_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send() {
+        let (tx, rx) = bounded(4);
+        let h = std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(42u32).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn recv_timeout_saturates_oversized_durations() {
+        // Duration::MAX as "wait forever" must not panic on Instant
+        // overflow; the send below unblocks it.
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv_timeout(Duration::MAX));
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(11u8).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "rendezvous")]
+    fn bounded_zero_panics() {
+        let _ = bounded::<u8>(0);
+    }
+
+    #[test]
+    fn bounded_mpmc_backpressure_stress() {
+        let (tx, rx) = bounded::<usize>(3);
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let rx = rx.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let tx = tx.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    tx.send(p * 250 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        for p in producers {
+            p.join().unwrap();
+        }
         let mut all: Vec<usize> = consumers
             .into_iter()
             .flat_map(|h| h.join().unwrap())
