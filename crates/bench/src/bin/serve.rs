@@ -14,19 +14,30 @@
 //! ```text
 //! cargo run --release -p fastbn-bench --bin serve -- \
 //!     [--cases N] [--threads T] [--width W] [--workers 1,2] \
-//!     [--delay-us D] [--repeat R] [--networks pigs,...] [--engines hybrid,...] [--quick]
+//!     [--delay-us D] [--repeat R] [--networks pigs,...] [--engines hybrid,...] \
+//!     [--cache] [--distinct D] [--quick]
 //! ```
 //! Defaults: 256 cases, best of 3 repetitions, engine threads = available cores, micro-batch
 //! width = engine threads (the narrowest batch that takes the
 //! outer-parallel path), worker counts {1, 2}, 200µs window, the hybrid
 //! engine, all six networks. `--quick` shrinks everything to a smoke
 //! run for CI.
+//!
+//! `--cache` switches to the **repeated-query** benchmark: the case
+//! stream cycles through only `--distinct` (default 16) evidence sets —
+//! the serving traffic shape the query-result cache exists for — and
+//! each engine prints a cache-off row (no solver cache, no in-window
+//! dedup) against a cache-on row (solver cache + dedup) with the
+//! speedup and the hit/miss/dedup counters.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fastbn_bayesnet::Evidence;
-use fastbn_bench::measure::{prepare, run_cases_serve, solver_for, ServeRun};
+use fastbn_bench::measure::{
+    cached_solver_for, prepare, repeat_cases, run_cases_serve, run_cases_serve_on, solver_for,
+    ServeRun,
+};
 use fastbn_bench::workloads::all_workloads;
 use fastbn_inference::{EngineKind, Query, QueryBatch};
 
@@ -66,6 +77,66 @@ fn fmt_ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
 
+/// The repeated-query cache comparison: cache-off (no solver cache, no
+/// in-window dedup) vs cache-on (both), best of `repeat`, with the
+/// cache's hit/miss counters and the server's dedup counter reported.
+#[allow(clippy::too_many_arguments)]
+fn run_cache_rows(
+    kind: EngineKind,
+    prepared: Arc<fastbn_inference::Prepared>,
+    threads: usize,
+    workers: usize,
+    width: usize,
+    delay: Duration,
+    repeat: usize,
+    cases: &[Evidence],
+) {
+    let off = (0..repeat)
+        .map(|_| {
+            let solver = Arc::new(solver_for(kind, prepared.clone(), threads));
+            run_cases_serve_on(solver, workers, width, delay, false, cases)
+        })
+        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .expect("at least one repetition");
+    println!(
+        "{:<26} {:>9.0} req/s  p50 {} ms  p99 {} ms",
+        format!("{} cache-off wk={workers}", kind.id()),
+        off.throughput,
+        fmt_ms(off.latency.p50),
+        fmt_ms(off.latency.p99),
+    );
+    let on = (0..repeat)
+        .map(|_| {
+            // A fresh solver per repetition keeps the counters clean;
+            // the warm-up pass inside the runner fills the cache, so
+            // the timed window measures steady-state repeated traffic.
+            let solver = Arc::new(cached_solver_for(kind, prepared.clone(), threads));
+            run_cases_serve_on(Arc::clone(&solver), workers, width, delay, true, cases)
+        })
+        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .expect("at least one repetition");
+    println!(
+        "{:<26} {:>9.0} req/s  p50 {} ms  p99 {} ms  ({:.2}x cache-off)",
+        format!("  cache-on  wk={workers}"),
+        on.throughput,
+        fmt_ms(on.latency.p50),
+        fmt_ms(on.latency.p99),
+        on.throughput / off.throughput,
+    );
+    // Both counters below cover the timed window only (warm-up pass
+    // baselined away), so the hit rate describes steady-state traffic.
+    let stats = on.cache.expect("cached solver reports cache stats");
+    println!(
+        "{:<26} timed window: {} hits / {} misses ({:.1}% hit rate, {} entries), {} dedups",
+        "",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.entries,
+        on.stats.dedups,
+    );
+}
+
 fn main() {
     let mut cases_n = 256usize;
     let mut threads = fastbn_parallel::available_threads().max(2);
@@ -75,9 +146,18 @@ fn main() {
     let mut repeat = 3usize;
     let mut networks: Option<Vec<String>> = None;
     let mut engines: Vec<EngineKind> = vec![EngineKind::Hybrid];
+    let mut cache = false;
+    let mut distinct = 16usize;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
+            "--cache" => cache = true,
+            "--distinct" => {
+                distinct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--distinct D")
+            }
             "--quick" => {
                 // Each measurement must cover tens of milliseconds or OS
                 // jitter swamps the batch-vs-serve comparison; 384 cases
@@ -134,11 +214,19 @@ fn main() {
     // path (same guard as sweep --batch).
     let cases_n = cases_n.max(width);
 
-    println!(
-        "Serving sweep: {cases_n} cases/network, engine threads t={threads}, \
-         micro-batch width {width}, {}µs window\n",
-        delay.as_micros()
-    );
+    if cache {
+        println!(
+            "Repeated-query cache sweep: {cases_n} cases/network cycling {distinct} distinct \
+             evidence sets, engine threads t={threads}, micro-batch width {width}, {}µs window\n",
+            delay.as_micros()
+        );
+    } else {
+        println!(
+            "Serving sweep: {cases_n} cases/network, engine threads t={threads}, \
+             micro-batch width {width}, {}µs window\n",
+            delay.as_micros()
+        );
+    }
     for w in all_workloads() {
         if let Some(filter) = &networks {
             if !filter.iter().any(|n| n == w.name) {
@@ -154,6 +242,25 @@ fn main() {
             if w.large_scale { "large" } else { "small" },
             net.num_vars()
         );
+        if cache {
+            let repeated = repeat_cases(&cases, distinct);
+            for &kind in &engines {
+                for &workers in &worker_counts {
+                    run_cache_rows(
+                        kind,
+                        prepared.clone(),
+                        threads,
+                        workers,
+                        width,
+                        delay,
+                        repeat,
+                        &repeated,
+                    );
+                }
+            }
+            println!();
+            continue;
+        }
         for &kind in &engines {
             // Best of `repeat` for both sides, the paper's best-over-runs
             // methodology: OS jitter hits each measurement independently.

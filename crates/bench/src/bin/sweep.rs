@@ -7,7 +7,7 @@
 //! ```text
 //! cargo run -p fastbn-bench --release --bin sweep -- \
 //!     [--cases N] [--threads 1,2,4,8,16,32] [--networks pigs,...] \
-//!     [--engines hybrid,direct] [--batch]
+//!     [--engines hybrid,direct] [--batch] [--cache] [--distinct D]
 //! ```
 //! Defaults: 10 cases, threads {1, 2, 4, 8, 16, 32} (counts above the
 //! core count oversubscribe, as the paper's 32 threads did on 52 cores),
@@ -15,9 +15,12 @@
 //! `EngineKind::from_str` (ids or display names, case-insensitive).
 //! With `--batch`, each engine prints two rows — the naive
 //! one-query-at-a-time loop and the same cases through `run_batch` —
-//! plus the per-thread-count batching speedup.
+//! plus the per-thread-count batching speedup. With `--cache`, the case
+//! stream cycles `--distinct` (default 8) evidence sets and each engine
+//! prints the uncached loop against the cache-enabled loop (warm cache,
+//! steady-state repeated traffic) plus the speedup and hit rate.
 
-use fastbn_bench::measure::{prepare, run_cases, run_cases_batch};
+use fastbn_bench::measure::{prepare, repeat_cases, run_cases, run_cases_batch, run_cases_cached};
 use fastbn_bench::workloads::all_workloads;
 use fastbn_inference::EngineKind;
 
@@ -27,10 +30,19 @@ fn main() {
     let mut networks: Option<Vec<String>> = None;
     let mut engines: Vec<EngineKind> = EngineKind::parallel().to_vec();
     let mut batch = false;
+    let mut cache = false;
+    let mut distinct = 8usize;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--batch" => batch = true,
+            "--cache" => cache = true,
+            "--distinct" => {
+                distinct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--distinct D")
+            }
             "--cases" => cases_n = it.next().and_then(|v| v.parse().ok()).expect("--cases N"),
             "--threads" => {
                 threads = it
@@ -75,6 +87,11 @@ fn main() {
             cases_n = widest;
         }
         println!("Thread sweep (batched): {cases_n} cases/network, naive loop vs run_batch seconds by t\n");
+    } else if cache {
+        println!(
+            "Thread sweep (cached): {cases_n} cases/network cycling {distinct} distinct \
+             evidence sets, uncached loop vs warm cache-enabled loop seconds by t\n"
+        );
     } else {
         println!("Thread sweep: {cases_n} cases/network, per-engine seconds by t\n");
     }
@@ -86,7 +103,10 @@ fn main() {
         }
         let net = w.build();
         let prepared = prepare(&net);
-        let cases = w.cases(&net, cases_n);
+        let mut cases = w.cases(&net, cases_n);
+        if cache {
+            cases = repeat_cases(&cases, distinct);
+        }
         println!(
             "== {} ({}, {} nodes) ==",
             w.name,
@@ -131,6 +151,41 @@ fn main() {
                     print!(" {:>8.2}x", n / b);
                 }
                 println!();
+            } else if cache {
+                let uncached: Vec<f64> = threads
+                    .iter()
+                    .map(|&t| {
+                        run_cases(kind, prepared.clone(), t, &cases)
+                            .total
+                            .as_secs_f64()
+                    })
+                    .collect();
+                let cached: Vec<(f64, fastbn_inference::CacheStats)> = threads
+                    .iter()
+                    .map(|&t| {
+                        let (timing, stats) = run_cases_cached(kind, prepared.clone(), t, &cases);
+                        (timing.total.as_secs_f64(), stats)
+                    })
+                    .collect();
+                print!("{:<14}", format!("{} loop", kind.id()));
+                for s in &uncached {
+                    print!(" {s:>9.3}");
+                }
+                println!();
+                print!("{:<14}", format!("{} cache", kind.id()));
+                for (s, _) in &cached {
+                    print!(" {s:>9.3}");
+                }
+                println!();
+                print!("{:<14}", "  speedup");
+                for (u, (c, _)) in uncached.iter().zip(&cached) {
+                    print!(" {:>8.2}x", u / c);
+                }
+                let stats = &cached[0].1;
+                println!(
+                    "   [{} hits / {} misses per timed pass, {} entries]",
+                    stats.hits, stats.misses, stats.entries
+                );
             } else {
                 print!("{kind:<14}");
                 let mut best = (0usize, f64::INFINITY);

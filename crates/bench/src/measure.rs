@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fastbn_bayesnet::{BayesianNetwork, Evidence};
-use fastbn_inference::{EngineKind, Prepared, Query, QueryBatch, Solver};
+use fastbn_inference::{CacheConfig, CacheStats, EngineKind, Prepared, Query, QueryBatch, Solver};
 use fastbn_jtree::JtreeOptions;
 
 /// Builds the shared prepared structures for a network.
@@ -18,6 +18,28 @@ pub fn solver_for(kind: EngineKind, prepared: Arc<Prepared>, threads: usize) -> 
         .engine(kind)
         .threads(threads)
         .build()
+}
+
+/// [`solver_for`] with the query-result cache enabled (default
+/// [`CacheConfig`]).
+pub fn cached_solver_for(kind: EngineKind, prepared: Arc<Prepared>, threads: usize) -> Solver {
+    Solver::from_prepared(prepared)
+        .engine(kind)
+        .threads(threads)
+        .cache(CacheConfig::default())
+        .build()
+}
+
+/// The repeated-query serving workload: the first `distinct` cases of
+/// `cases`, cycled to the original length. Models traffic dominated by
+/// recurring evidence sets (the Fast-PGM observation the cache exists
+/// for); `distinct >= cases.len()` returns the cases unchanged.
+pub fn repeat_cases(cases: &[Evidence], distinct: usize) -> Vec<Evidence> {
+    if cases.is_empty() {
+        return Vec::new();
+    }
+    let pool = &cases[..distinct.clamp(1, cases.len())];
+    pool.iter().cycle().take(cases.len()).cloned().collect()
 }
 
 /// A measured engine run.
@@ -98,6 +120,34 @@ pub fn run_cases_batch(
     EngineTiming { threads, total }
 }
 
+/// [`run_cases`] on a cache-enabled solver
+/// ([`cached_solver_for`]). The untimed warm-up pass both faults in
+/// scratch and fills the cache, so the timed loop measures steady-state
+/// repeated traffic; the returned [`CacheStats`] covers the timed loop
+/// only (hit/miss/insertion/eviction are deltas, occupancy is final).
+pub fn run_cases_cached(
+    kind: EngineKind,
+    prepared: Arc<Prepared>,
+    threads: usize,
+    cases: &[Evidence],
+) -> (EngineTiming, CacheStats) {
+    let solver = cached_solver_for(kind, prepared, threads);
+    let mut session = solver.session();
+    for evidence in cases {
+        let _ = session.posteriors(evidence);
+    }
+    let warm = solver.cache_stats().expect("solver built with a cache");
+    let start = Instant::now();
+    for evidence in cases {
+        session
+            .posteriors(evidence)
+            .expect("workload evidence is sampled from the joint, so P(e) > 0");
+    }
+    let total = start.elapsed();
+    let end = solver.cache_stats().expect("solver built with a cache");
+    (EngineTiming { threads, total }, end.delta_since(&warm))
+}
+
 /// Latency distribution of one serving run (nearest-rank percentiles
 /// over the per-request submit→result round trips).
 #[derive(Debug, Clone, Copy)]
@@ -147,6 +197,10 @@ pub struct ServeRun {
     pub latency: LatencySummary,
     /// Server counters at the end of the run.
     pub stats: fastbn_serve::ServerStats,
+    /// Solver cache counters for the **timed window only** (warm-up
+    /// baselined away, like `stats`); `None` when the solver has no
+    /// cache. Occupancy fields are final, not deltas.
+    pub cache: Option<CacheStats>,
 }
 
 /// Times the same cases as [`run_cases`] / [`run_cases_batch`], but
@@ -165,13 +219,33 @@ pub fn run_cases_serve(
     max_delay: Duration,
     cases: &[Evidence],
 ) -> ServeRun {
+    let solver = Arc::new(solver_for(kind, prepared, threads));
+    // Dedup off: this wrapper backs the serve-vs-batch-path comparison,
+    // which measures raw per-request serving overhead — colliding
+    // sampled cases must cost the server exactly what they cost the
+    // batch baseline. The cache benchmark enables dedup explicitly.
+    run_cases_serve_on(solver, workers, max_batch, max_delay, false, cases)
+}
+
+/// The [`run_cases_serve`] core over a caller-built solver — the entry
+/// point for cache-on / cache-off comparisons (pass a
+/// [`cached_solver_for`] solver, or disable the server's in-window
+/// `dedup` to measure raw per-request engine throughput).
+pub fn run_cases_serve_on(
+    solver: Arc<Solver>,
+    workers: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    dedup: bool,
+    cases: &[Evidence],
+) -> ServeRun {
     use std::sync::{Barrier, Mutex};
 
-    let solver = Arc::new(solver_for(kind, prepared, threads));
     let server = fastbn_serve::Server::builder(Arc::clone(&solver))
         .workers(workers)
         .max_batch(max_batch)
         .max_delay(max_delay)
+        .dedup(dedup)
         .build();
     let queries: Vec<Query> = cases
         .iter()
@@ -196,6 +270,7 @@ pub fn run_cases_serve(
         std::thread::yield_now();
     }
     let warm = server.stats();
+    let warm_cache = solver.cache_stats();
 
     // Twice the windows' worth of in-flight clients keeps the queue
     // primed: while one window executes, the next window's requests are
@@ -242,8 +317,12 @@ pub fn run_cases_serve(
         completed: end.completed - warm.completed,
         cancelled: end.cancelled - warm.cancelled,
         batches: end.batches - warm.batches,
+        dedups: end.dedups - warm.dedups,
         worker_panics: end.worker_panics - warm.worker_panics,
     };
+    let cache = solver
+        .cache_stats()
+        .map(|end| end.delta_since(&warm_cache.expect("cache present before and after")));
     let samples = samples.into_inner().expect("client panicked");
     assert_eq!(samples.len(), queries.len(), "every request measured");
     ServeRun {
@@ -251,6 +330,7 @@ pub fn run_cases_serve(
         throughput: queries.len() as f64 / total.as_secs_f64(),
         latency: LatencySummary::from_samples(samples),
         stats,
+        cache,
     }
 }
 

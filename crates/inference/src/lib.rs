@@ -79,6 +79,7 @@
 //! front end) is mapped in `docs/ARCHITECTURE.md` at the repository
 //! root.
 
+pub mod cache;
 pub mod compat;
 pub mod engines;
 pub mod error;
@@ -93,6 +94,7 @@ pub mod state;
 pub mod validate;
 pub mod virtual_evidence;
 
+pub use cache::{CacheConfig, CacheStats, QueryCache};
 pub use engines::direct::DirectJt;
 pub use engines::element::ElementJt;
 pub use engines::hybrid::HybridJt;
@@ -105,7 +107,7 @@ pub use mpe::{most_probable_explanation, MpeResult};
 pub use owned::OwnedSession;
 pub use posterior::Posteriors;
 pub use prepared::Prepared;
-pub use query::{Query, QueryBatch, QueryMode, QueryResult};
+pub use query::{Query, QueryBatch, QueryKey, QueryMode, QueryResult};
 pub use solver::{Session, SessionCore, Solver, SolverBuilder};
 pub use state::WorkState;
 pub use virtual_evidence::VirtualEvidence;

@@ -9,10 +9,10 @@ use fastbn_bayesnet::{Evidence, VarId};
 
 use crate::mpe::MpeResult;
 use crate::posterior::Posteriors;
-use crate::virtual_evidence::VirtualEvidence;
+use crate::virtual_evidence::{canonical_likelihood, VirtualEvidence};
 
 /// What a [`Query`] asks the engine to compute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum QueryMode {
     /// Posterior marginals (all variables, or the requested targets).
     #[default]
@@ -58,6 +58,14 @@ impl Query {
     }
 
     /// Adds one hard finding `var = state`.
+    ///
+    /// Observing an already-observed variable **replaces** the earlier
+    /// finding (last-wins, the [`Evidence::set`] contract): a query is a
+    /// *set* of observations, not a history. Two build sequences that end
+    /// at the same final evidence set are the same query — they compare
+    /// equal, execute identically, and derive the same [`QueryKey`].
+    /// Contrast [`Query::likelihood`], where repeated findings on one
+    /// variable *accumulate*.
     pub fn observe(mut self, var: VarId, state: usize) -> Self {
         self.evidence.set(var, state);
         self
@@ -70,6 +78,16 @@ impl Query {
     }
 
     /// Adds one likelihood finding on `var` (Pearl's soft evidence).
+    ///
+    /// Repeated findings on the same variable **multiply together**
+    /// (independent sensors) — they do *not* replace each other, unlike
+    /// [`Query::observe`]'s last-wins hard evidence. Each finding is
+    /// absorbed separately in insertion order, and the canonical
+    /// [`QueryKey`] preserves that sequence, so a two-sensor query and a
+    /// pre-multiplied single-sensor query are distinct cache entries
+    /// (their floating-point round-off can differ). The vector's overall
+    /// scale is irrelevant and canonicalized away — see
+    /// [`VirtualEvidence`] for the exact rule.
     pub fn likelihood(mut self, var: VarId, likelihood: Vec<f64>) -> Self {
         self.virtual_evidence.add(var, likelihood);
         self
@@ -117,6 +135,110 @@ impl Query {
     /// The query mode.
     pub fn mode(&self) -> QueryMode {
         self.mode
+    }
+
+    /// The canonical cache key of this query — see [`QueryKey`].
+    pub fn key(&self) -> QueryKey {
+        QueryKey::from_parts(
+            &self.evidence,
+            &self.virtual_evidence,
+            self.targets.as_deref(),
+            self.mode,
+        )
+    }
+}
+
+/// The canonical identity of a [`Query`]: two queries with equal keys
+/// make the engine perform the **exact same arithmetic**, so their
+/// results are bit-identical and one may stand in for the other — the
+/// contract behind the per-solver result cache
+/// ([`QueryCache`](crate::cache::QueryCache)) and the serve window's
+/// in-flight dedup.
+///
+/// Canonicalization folds away exactly the representation freedoms the
+/// engine itself ignores:
+///
+/// * **hard evidence** is the final, sorted observation set —
+///   [`Query::observe`] is last-wins, so the build history never leaks
+///   into the key;
+/// * **virtual evidence** stores each likelihood vector in its
+///   [`canonical form`](VirtualEvidence#scale-canonicalization)
+///   (max-normalized, `-0.0` → `+0.0`), bit-patterned via `to_bits`, in
+///   the same stable order the engine absorbs them — proportional
+///   vectors collide, differently-ordered multi-sensor stacks do not;
+/// * **targets** are the sorted, deduplicated set ([`Query::targets`]
+///   already canonicalizes), and are dropped entirely in MPE mode (an
+///   explanation is always a full assignment, so the engine ignores
+///   them);
+/// * **mode** distinguishes marginal from MPE queries.
+///
+/// Key derivation is *total*: malformed queries (NaN likelihoods,
+/// out-of-range states) still derive keys, and distinct defects derive
+/// distinct keys — but the solver's cache only ever consults the key
+/// *after* validation has accepted the query, so malformed requests are
+/// never cached (see `tests/cache.rs`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// `(variable id, observed state)`, ascending by variable.
+    evidence: Vec<(u32, u64)>,
+    /// `(variable id, canonical likelihood bits)`, ascending by variable,
+    /// same-variable findings in insertion (= absorption) order.
+    likelihoods: Vec<(u32, Vec<u64>)>,
+    /// Sorted, deduplicated target set; `None` = all variables. Always
+    /// `None` in MPE mode.
+    targets: Option<Vec<u32>>,
+    mode: QueryMode,
+}
+
+impl QueryKey {
+    /// Derives the canonical key of `query`.
+    pub fn of(query: &Query) -> QueryKey {
+        query.key()
+    }
+
+    /// The borrowed-parts core, shared with the solver's run path (which
+    /// works on parts, not a materialized `Query`).
+    pub(crate) fn from_parts(
+        evidence: &Evidence,
+        virtual_evidence: &VirtualEvidence,
+        targets: Option<&[VarId]>,
+        mode: QueryMode,
+    ) -> QueryKey {
+        QueryKey {
+            evidence: evidence.iter().map(|(v, s)| (v.0, s as u64)).collect(),
+            likelihoods: virtual_evidence
+                .iter()
+                .map(|(v, l)| {
+                    (
+                        v.0,
+                        canonical_likelihood(l)
+                            .iter()
+                            .map(|p| p.to_bits())
+                            .collect(),
+                    )
+                })
+                .collect(),
+            targets: match mode {
+                QueryMode::Mpe => None,
+                QueryMode::Marginals => targets.map(|t| t.iter().map(|v| v.0).collect()),
+            },
+            mode,
+        }
+    }
+
+    /// Approximate heap footprint, used for the cache's byte accounting.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<QueryKey>()
+            + self.evidence.len() * std::mem::size_of::<(u32, u64)>()
+            + self
+                .likelihoods
+                .iter()
+                .map(|(_, bits)| std::mem::size_of::<(u32, Vec<u64>)>() + bits.len() * 8)
+                .sum::<usize>()
+            + self
+                .targets
+                .as_ref()
+                .map_or(0, |t| t.len() * std::mem::size_of::<u32>())
     }
 }
 
@@ -303,6 +425,96 @@ mod tests {
     fn mpe_mode_switch() {
         let q = Query::new().mpe();
         assert_eq!(q.mode(), QueryMode::Mpe);
+    }
+
+    #[test]
+    fn observe_is_last_wins_and_keys_ignore_build_history() {
+        // Re-observing replaces; two build orders ending at the same set
+        // are the same query and the same key.
+        let a = Query::new().observe(VarId(2), 0).observe(VarId(2), 1);
+        assert_eq!(a.get_evidence().get(VarId(2)), Some(1), "last wins");
+        assert_eq!(a.get_evidence().len(), 1);
+        let b = Query::new()
+            .observe(VarId(5), 0)
+            .observe(VarId(2), 1)
+            .observe(VarId(5), 1);
+        let c = Query::new().observe(VarId(2), 1).observe(VarId(5), 1);
+        assert_eq!(b, c);
+        assert_eq!(b.key(), c.key());
+    }
+
+    #[test]
+    fn repeated_likelihoods_accumulate_and_stay_distinct_in_the_key() {
+        // Two sensors multiply — both findings survive, and the key keeps
+        // them apart from a pre-multiplied single sensor (different
+        // floating-point round-off is possible, so they must not alias).
+        let two = Query::new()
+            .likelihood(VarId(1), vec![0.8, 0.2])
+            .likelihood(VarId(1), vec![0.8, 0.2]);
+        assert_eq!(two.get_virtual_evidence().len(), 2);
+        let merged = Query::new().likelihood(VarId(1), vec![0.64, 0.04]);
+        assert_ne!(two.key(), merged.key());
+        // And differently-ordered stacks of *different* sensors stay
+        // distinct too (multiplication order changes round-off).
+        let ab = Query::new()
+            .likelihood(VarId(1), vec![0.8, 0.2])
+            .likelihood(VarId(1), vec![0.5, 0.7]);
+        let ba = Query::new()
+            .likelihood(VarId(1), vec![0.5, 0.7])
+            .likelihood(VarId(1), vec![0.8, 0.2]);
+        assert_ne!(ab.key(), ba.key());
+    }
+
+    #[test]
+    fn keys_canonicalize_likelihood_scale_and_negative_zero() {
+        let base = Query::new().likelihood(VarId(0), vec![0.75, 0.25]);
+        let scaled = Query::new().likelihood(VarId(0), vec![3.0, 1.0]);
+        assert_eq!(base.key(), scaled.key(), "proportional vectors collide");
+        let pos = Query::new().likelihood(VarId(0), vec![1.0, 0.0]);
+        let neg = Query::new().likelihood(VarId(0), vec![1.0, -0.0]);
+        assert_eq!(pos.key(), neg.key(), "-0.0 canonicalized to +0.0");
+        let other = Query::new().likelihood(VarId(0), vec![0.5, 1.0]);
+        assert_ne!(base.key(), other.key());
+    }
+
+    #[test]
+    fn keys_separate_what_the_engine_separates() {
+        let plain = Query::new().observe(VarId(0), 1);
+        assert_ne!(plain.key(), Query::new().observe(VarId(0), 0).key());
+        assert_ne!(plain.key(), Query::new().observe(VarId(1), 1).key());
+        assert_ne!(plain.key(), plain.clone().targets([VarId(2)]).key());
+        assert_ne!(plain.key(), plain.clone().mpe().key());
+        // An explicit empty target set is not "all variables".
+        assert_ne!(plain.key(), plain.clone().targets([]).key());
+        // Hard evidence and its one-hot virtual twin are different
+        // computations (point-mass reduce vs multiply), hence different
+        // keys.
+        assert_ne!(
+            Query::new().observe(VarId(0), 0).key(),
+            Query::new().likelihood(VarId(0), vec![1.0, 0.0]).key()
+        );
+    }
+
+    #[test]
+    fn mpe_keys_drop_targets() {
+        // MPE ignores targets, so targeted and untargeted MPE queries are
+        // the same computation — and the same key.
+        let bare = Query::new().observe(VarId(3), 0).mpe();
+        let targeted = Query::new().observe(VarId(3), 0).targets([VarId(1)]).mpe();
+        assert_eq!(bare.key(), targeted.key());
+    }
+
+    #[test]
+    fn key_derivation_is_total_on_malformed_queries() {
+        // Keys must never panic — serve's window dedup derives them
+        // before validation has run. Distinct defects stay distinct.
+        let nan = Query::new().likelihood(VarId(0), vec![f64::NAN, 1.0]);
+        let inf = Query::new().likelihood(VarId(0), vec![f64::INFINITY, 1.0]);
+        let zero = Query::new().likelihood(VarId(0), vec![0.0, 0.0]);
+        assert_eq!(nan.key(), nan.key(), "NaN keys are self-equal (bit keyed)");
+        assert_ne!(nan.key(), inf.key());
+        assert_ne!(inf.key(), zero.key());
+        let _ = Query::new().observe(VarId(u32::MAX), usize::MAX).key();
     }
 
     #[test]

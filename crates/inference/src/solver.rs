@@ -19,12 +19,13 @@ use fastbn_bayesnet::{BayesianNetwork, Evidence, VarId};
 use fastbn_jtree::JtreeOptions;
 use fastbn_potential::PotentialTable;
 
+use crate::cache::{CacheConfig, CacheStats, QueryCache};
 use crate::engines::{make_engine, EngineKind, InferenceEngine};
 use crate::error::InferenceError;
 use crate::mpe::{mpe_on_state, MpeResult};
 use crate::posterior::Posteriors;
 use crate::prepared::Prepared;
-use crate::query::{Query, QueryBatch, QueryMode, QueryResult};
+use crate::query::{Query, QueryBatch, QueryKey, QueryMode, QueryResult};
 use crate::state::WorkState;
 use crate::validate::{validate_evidence, validate_virtual};
 use crate::virtual_evidence::{absorb_virtual, VirtualEvidence};
@@ -59,6 +60,10 @@ pub struct Solver {
     engine: Box<dyn InferenceEngine>,
     kind: EngineKind,
     scratch: ScratchPool,
+    /// The optional query-result cache ([`SolverBuilder::cache`]);
+    /// consulted by every run path after validation. The model is
+    /// immutable, so entries never go stale.
+    cache: Option<QueryCache>,
 }
 
 impl Solver {
@@ -77,6 +82,7 @@ impl Solver {
             source: Source::Net(net, JtreeOptions::default()),
             kind: EngineKind::Seq,
             threads: 1,
+            cache: None,
         }
     }
 
@@ -87,6 +93,7 @@ impl Solver {
             source: Source::Prepared(prepared),
             kind: EngineKind::Seq,
             threads: 1,
+            cache: None,
         }
     }
 
@@ -169,6 +176,18 @@ impl Solver {
     /// The shared query-independent structures.
     pub fn prepared(&self) -> &Arc<Prepared> {
         &self.prepared
+    }
+
+    /// The query-result cache, if one was enabled via
+    /// [`SolverBuilder::cache`].
+    pub fn cache(&self) -> Option<&QueryCache> {
+        self.cache.as_ref()
+    }
+
+    /// A snapshot of the cache counters, or `None` when the solver was
+    /// built without a cache.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(QueryCache::stats)
     }
 
     /// Number of network variables.
@@ -267,6 +286,7 @@ impl std::fmt::Debug for Solver {
             .field("threads", &self.engine.threads())
             .field("num_vars", &self.prepared.num_vars())
             .field("num_cliques", &self.prepared.num_cliques())
+            .field("cached", &self.cache.is_some())
             .finish()
     }
 }
@@ -281,6 +301,7 @@ pub struct SolverBuilder<'n> {
     source: Source<'n>,
     kind: EngineKind,
     threads: usize,
+    cache: Option<CacheConfig>,
 }
 
 impl SolverBuilder<'_> {
@@ -307,6 +328,31 @@ impl SolverBuilder<'_> {
         self
     }
 
+    /// Enables the per-solver query-result cache (default: off). Every
+    /// run path — single queries, batches, and the serve front end built
+    /// on them — then memoizes `Ok` results keyed by the canonical
+    /// [`QueryKey`], with hits bit-identical to recomputation. See
+    /// [`QueryCache`] for the semantics and
+    /// [`CacheConfig`] for the knobs:
+    ///
+    /// ```
+    /// use fastbn_bayesnet::datasets;
+    /// use fastbn_inference::{CacheConfig, Query, Solver};
+    ///
+    /// let net = datasets::sprinkler();
+    /// let solver = Solver::builder(&net).cache(CacheConfig::default()).build();
+    /// let rain = net.var_id("Rain").unwrap();
+    /// let cold = solver.query(&Query::new().observe(rain, 0)).unwrap();
+    /// let warm = solver.query(&Query::new().observe(rain, 0)).unwrap();
+    /// assert_eq!(cold, warm);
+    /// let stats = solver.cache_stats().unwrap();
+    /// assert_eq!((stats.hits, stats.misses), (1, 1));
+    /// ```
+    pub fn cache(mut self, config: CacheConfig) -> Self {
+        self.cache = Some(config);
+        self
+    }
+
     /// Compiles the solver.
     pub fn build(self) -> Solver {
         let prepared = match self.source {
@@ -319,6 +365,7 @@ impl SolverBuilder<'_> {
             engine,
             kind: self.kind,
             scratch: ScratchPool::new(),
+            cache: self.cache.map(QueryCache::new),
         }
     }
 }
@@ -504,12 +551,21 @@ impl<S: std::borrow::Borrow<Solver>> Drop for SessionCore<S> {
     }
 }
 
-/// The engine-driving sequence of one query — validate, reset, evidence,
-/// virtual evidence, propagate, extract — on caller-provided scratch.
-/// Shared by [`Session::run`] / `OwnedSession::run` (session scratch) and
-/// [`Session::run_batch`] (one pooled scratch per chunk); errors leave
-/// `state` dirty but harmless, because every call starts with a full
-/// reset.
+/// The engine-driving sequence of one query — validate, consult the
+/// cache, then (on a miss) reset, evidence, virtual evidence, propagate,
+/// extract — on caller-provided scratch. Shared by [`Session::run`] /
+/// `OwnedSession::run` (session scratch) and [`Session::run_batch`] (one
+/// pooled scratch per chunk), so the cache sees every path with per-slot
+/// hit/miss granularity. Errors leave `state` dirty but harmless,
+/// because every call starts with a full reset.
+///
+/// Ordering matters: validation runs **before** key derivation, so
+/// malformed queries (NaN/∞ likelihoods, out-of-range states) surface
+/// their typed error without ever touching the cache — a NaN-bearing
+/// key can neither be looked up nor inserted here. Only `Ok` results
+/// are cached; errors are rediscovered on each call (validation errors
+/// never reach the engine, and impossible evidence is detected during
+/// the propagation a cached error would have to pay for anyway).
 pub(crate) fn run_on_state(
     solver: &Solver,
     state: &mut WorkState,
@@ -521,6 +577,28 @@ pub(crate) fn run_on_state(
     let prepared = &*solver.prepared;
     validate_evidence(prepared, evidence)?;
     validate_virtual(prepared, virtual_evidence)?;
+    let Some(cache) = &solver.cache else {
+        return compute_on_state(solver, state, evidence, virtual_evidence, targets, mode);
+    };
+    let key = QueryKey::from_parts(evidence, virtual_evidence, targets, mode);
+    if let Some(hit) = cache.get(&key) {
+        return Ok(hit);
+    }
+    let result = compute_on_state(solver, state, evidence, virtual_evidence, targets, mode)?;
+    cache.insert(key, &result);
+    Ok(result)
+}
+
+/// The post-validation engine dispatch (the cache-miss path).
+fn compute_on_state(
+    solver: &Solver,
+    state: &mut WorkState,
+    evidence: &Evidence,
+    virtual_evidence: &VirtualEvidence,
+    targets: Option<&[VarId]>,
+    mode: QueryMode,
+) -> Result<QueryResult, InferenceError> {
+    let prepared = &*solver.prepared;
     match mode {
         QueryMode::Marginals => {
             state.reset(prepared);
@@ -791,6 +869,65 @@ mod tests {
         let x = a.posteriors(&Evidence::empty()).unwrap();
         let y = b.posteriors(&Evidence::empty()).unwrap();
         assert_eq!(x.max_abs_diff(&y), 0.0);
+    }
+
+    #[test]
+    fn cached_solver_answers_hits_bit_identically() {
+        let net = datasets::asia();
+        let prepared = Arc::new(Prepared::new(&net, &JtreeOptions::default()));
+        let plain = Solver::from_prepared(prepared.clone()).build();
+        let cached = Solver::from_prepared(prepared)
+            .cache(CacheConfig::default())
+            .build();
+        assert!(plain.cache_stats().is_none());
+        let dysp = net.var_id("Dyspnea").unwrap();
+        let query = Query::new().observe(dysp, 0);
+        let expected = plain.query(&query).unwrap();
+        let cold = cached.query(&query).unwrap();
+        let warm = cached.query(&query).unwrap();
+        assert_eq!(expected, cold, "miss computes the cache-off bits");
+        assert_eq!(expected, warm, "hit replays them exactly");
+        let stats = cached.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn malformed_queries_fail_validation_before_touching_the_cache() {
+        // NaN/∞ likelihoods and bogus evidence must produce their typed
+        // errors without a cache lookup or insert — validation runs
+        // before key derivation.
+        let net = datasets::sprinkler();
+        let solver = Solver::builder(&net).cache(CacheConfig::default()).build();
+        let rain = net.var_id("Rain").unwrap();
+        for bad in [
+            Query::new().likelihood(rain, vec![f64::NAN, 1.0]),
+            Query::new().likelihood(rain, vec![0.2, f64::INFINITY]),
+            Query::new().likelihood(rain, vec![0.0, -0.0]),
+            Query::new().observe(VarId(99), 0),
+            Query::new().observe(rain, 7),
+        ] {
+            assert!(solver.query(&bad).is_err());
+        }
+        let stats = solver.cache_stats().unwrap();
+        assert_eq!(stats, crate::cache::CacheStats::default());
+        // Errors discovered *during* propagation (impossible evidence)
+        // do reach the cache as misses but are never inserted.
+        let net = datasets::asia();
+        let solver = Solver::builder(&net).cache(CacheConfig::default()).build();
+        let tub = net.var_id("Tuberculosis").unwrap();
+        let either = net.var_id("TbOrCa").unwrap();
+        let impossible = Query::new().observe(tub, 0).observe(either, 1);
+        assert_eq!(
+            solver.query(&impossible).unwrap_err(),
+            InferenceError::ImpossibleEvidence
+        );
+        assert_eq!(
+            solver.query(&impossible).unwrap_err(),
+            InferenceError::ImpossibleEvidence
+        );
+        let stats = solver.cache_stats().unwrap();
+        assert_eq!((stats.misses, stats.entries), (2, 0), "errors not cached");
     }
 
     #[test]

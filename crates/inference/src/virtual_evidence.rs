@@ -20,7 +20,28 @@ use crate::prepared::Prepared;
 use crate::state::WorkState;
 
 /// A set of likelihood findings, sorted by variable id. Multiple findings
-/// on the same variable multiply together (independent sensors).
+/// on the same variable **multiply together** (independent sensors) —
+/// unlike hard evidence, where re-observing a variable replaces the
+/// earlier finding. Both behaviors are part of the API contract (see
+/// [`Query::likelihood`](crate::query::Query::likelihood) and
+/// [`Query::observe`](crate::query::Query::observe)) and both are
+/// reflected faithfully in the canonical
+/// [`QueryKey`](crate::query::QueryKey) the result cache is keyed by.
+///
+/// # Scale canonicalization
+///
+/// Only the *ratios* within a likelihood vector are meaningful: `L(v)`
+/// and `c · L(v)` describe the same soft finding. The engine therefore
+/// canonicalizes every vector before absorbing it — each entry is
+/// divided by the vector's maximum (so the largest entry becomes exactly
+/// `1.0`) and negative zeros become positive zeros. Consequences:
+///
+/// * posteriors and `prob_evidence` are **bit-identical** for
+///   proportional vectors (`[0.8, 0.2]` vs `[1.6, 0.4]` vs `[4.0, 1.0]`),
+///   which is what lets the query-result cache treat them as one query;
+/// * `prob_evidence` under virtual findings is reported against the
+///   canonical (max = 1) vectors, so it never exceeds the hard-evidence
+///   `P(e)` of the same query — adding a soft finding can only shrink it.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct VirtualEvidence {
     entries: Vec<(VarId, Vec<f64>)>,
@@ -71,8 +92,41 @@ impl VirtualEvidence {
     }
 }
 
+/// The canonical form of one likelihood vector: every entry divided by
+/// the vector's maximum (so the largest entry is exactly `1.0`) and
+/// `-0.0` replaced by `+0.0`. This is what the engine actually absorbs
+/// and what [`QueryKey`](crate::query::QueryKey) hashes, so two queries
+/// with the same key perform the exact same arithmetic — the foundation
+/// of the cache's bit-identity guarantee.
+///
+/// Total on malformed input: vectors containing non-finite entries, or
+/// without a positive maximum (all-zero / negative-only), are returned
+/// unchanged — validation rejects them with a typed error before they
+/// can reach the engine, and key derivation (which runs pre-validation
+/// in the serve dedup path) still distinguishes them.
+pub(crate) fn canonical_likelihood(likelihood: &[f64]) -> Vec<f64> {
+    let mut max = 0.0f64;
+    for &p in likelihood {
+        if !p.is_finite() {
+            return likelihood.to_vec();
+        }
+        if p > max {
+            max = p;
+        }
+    }
+    if max <= 0.0 {
+        return likelihood.to_vec();
+    }
+    likelihood
+        .iter()
+        .map(|&p| if p == 0.0 { 0.0 } else { p / max })
+        .collect()
+}
+
 /// Absorbs virtual findings into a work state (after hard evidence,
-/// before propagation).
+/// before propagation). Each vector is absorbed in its
+/// [`canonical_likelihood`] form, so proportional findings perform
+/// identical arithmetic.
 pub(crate) fn absorb_virtual(
     state: &mut WorkState,
     prepared: &Prepared,
@@ -82,7 +136,7 @@ pub(crate) fn absorb_virtual(
         debug_assert_eq!(likelihood.len(), prepared.cards[var.index()]);
         let msg = PotentialTable::from_values(
             Arc::new(Domain::new(vec![(var, likelihood.len())])),
-            likelihood.to_vec(),
+            canonical_likelihood(likelihood),
         );
         ops::extend_multiply(&mut state.cliques[prepared.home[var.index()]], &msg);
     }
@@ -241,6 +295,88 @@ mod tests {
             .into_posteriors()
             .unwrap();
         assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn proportional_likelihoods_are_bit_identical() {
+        // Only the ratios of a likelihood vector are meaningful; the
+        // engine canonicalizes scale away, so proportional vectors give
+        // bitwise-equal posteriors *and* prob_evidence. This is what the
+        // query-result cache's key relies on.
+        let net = datasets::cancer();
+        let solver = Solver::new(&net);
+        let mut session = solver.session();
+        let xray = net.var_id("XRay").unwrap();
+        let base = session
+            .run(&Query::new().likelihood(xray, vec![0.75, 0.25]))
+            .unwrap()
+            .into_posteriors()
+            .unwrap();
+        for scale in [2.0, 0.5, 1e6, 1e-6] {
+            let scaled = session
+                .run(&Query::new().likelihood(xray, vec![0.75 * scale, 0.25 * scale]))
+                .unwrap()
+                .into_posteriors()
+                .unwrap();
+            assert_eq!(base.max_abs_diff(&scaled), 0.0, "scale {scale}");
+            assert_eq!(
+                base.prob_evidence.to_bits(),
+                scaled.prob_evidence.to_bits(),
+                "scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_zero_likelihood_entry_is_canonicalized() {
+        // -0.0 passes validation (it is not negative in the IEEE
+        // comparison sense) and must behave exactly like +0.0 — bit for
+        // bit — so the two cannot alias distinct cache entries with
+        // different payloads.
+        let net = datasets::asia();
+        let solver = Solver::new(&net);
+        let mut session = solver.session();
+        let dysp = net.var_id("Dyspnea").unwrap();
+        let pos = session
+            .run(&Query::new().likelihood(dysp, vec![1.0, 0.0]))
+            .unwrap()
+            .into_posteriors()
+            .unwrap();
+        let neg = session
+            .run(&Query::new().likelihood(dysp, vec![1.0, -0.0]))
+            .unwrap()
+            .into_posteriors()
+            .unwrap();
+        assert_eq!(pos.max_abs_diff(&neg), 0.0);
+        assert_eq!(pos.prob_evidence.to_bits(), neg.prob_evidence.to_bits());
+        for v in 0..net.num_vars() {
+            let id = VarId::from_index(v);
+            for (a, b) in pos.marginal(id).iter().zip(neg.marginal(id)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "var {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_likelihood_normalizes_by_max_and_fixes_negative_zero() {
+        assert_eq!(
+            canonical_likelihood(&[0.5, 1.0, 0.25]),
+            vec![0.5, 1.0, 0.25]
+        );
+        assert_eq!(canonical_likelihood(&[1.0, 2.0, 0.5]), vec![0.5, 1.0, 0.25]);
+        let canon = canonical_likelihood(&[-0.0, 2.0]);
+        assert_eq!(canon, vec![0.0, 1.0]);
+        assert_eq!(canon[0].to_bits(), 0.0f64.to_bits(), "-0.0 becomes +0.0");
+        // Malformed vectors pass through untouched (validation rejects
+        // them before the engine ever sees them).
+        assert!(canonical_likelihood(&[f64::NAN, 1.0])[0].is_nan());
+        assert_eq!(
+            canonical_likelihood(&[f64::INFINITY, 1.0]),
+            vec![f64::INFINITY, 1.0]
+        );
+        assert_eq!(canonical_likelihood(&[0.0, 0.0]), vec![0.0, 0.0]);
+        assert_eq!(canonical_likelihood(&[-1.0, -2.0]), vec![-1.0, -2.0]);
+        assert_eq!(canonical_likelihood(&[]), Vec::<f64>::new());
     }
 
     #[test]

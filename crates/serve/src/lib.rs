@@ -22,6 +22,12 @@
 //!   elapses, then dispatches the window as one
 //!   [`QueryBatch`] (the PR 2 outer-parallel
 //!   batch path);
+//! * **in-window dedup** — identical in-flight requests (equal
+//!   canonical [`QueryKey`]s) collapse into one computation whose
+//!   result fans out to every waiter, bit-identically; pair it with the
+//!   solver's own query-result cache
+//!   ([`SolverBuilder::cache`](fastbn_inference::SolverBuilder::cache))
+//!   to also skip repeats *across* windows and workers;
 //! * **per-request oneshot delivery** — every submission returns a
 //!   [`Pending`] handle whose `wait()` yields that request's own
 //!   `Result`; dropping the handle cancels the request;
@@ -68,4 +74,7 @@ pub use server::{
 
 // Re-export the request/response vocabulary so serving callers can
 // depend on this crate alone.
-pub use fastbn_inference::{InferenceError, OwnedSession, Query, QueryBatch, QueryResult, Solver};
+pub use fastbn_inference::{
+    CacheConfig, CacheStats, InferenceError, OwnedSession, Query, QueryBatch, QueryKey,
+    QueryResult, Solver,
+};

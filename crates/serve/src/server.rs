@@ -16,6 +16,10 @@
 //!    [`QueryBatch`](fastbn_inference::QueryBatch) through the worker's
 //!    [`OwnedSession`] — wide windows spread across the engine's worker
 //!    pool exactly like [`Session::run_batch`](fastbn_inference::Session::run_batch).
+//!    Identical in-flight requests (equal canonical
+//!    [`QueryKey`]s) are deduplicated first: one computation fans its
+//!    result out to every waiter ([`ServerBuilder::dedup`], on by
+//!    default, bit-identical by the key contract).
 //! 4. Each result is delivered through its request's oneshot;
 //!    [`Pending::wait`] unblocks with a per-request
 //!    `Result<QueryResult, _>` — batching never smears one request's
@@ -33,7 +37,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam_channel::{RecvTimeoutError, TrySendError};
-use fastbn_inference::{InferenceError, OwnedSession, Query, QueryBatch, QueryResult, Solver};
+use fastbn_inference::{
+    InferenceError, OwnedSession, Query, QueryBatch, QueryKey, QueryResult, Solver,
+};
 
 use crate::oneshot::{saturating_deadline, slot, SlotReceiver, SlotSender, WaitError};
 
@@ -156,6 +162,33 @@ impl std::fmt::Debug for Pending {
 
 /// Monotonic counters describing a server's traffic so far (a snapshot;
 /// concurrently updated by submitters and workers).
+///
+/// # Accounting invariant
+///
+/// Every request is counted **exactly once** at each stage it reaches,
+/// so at any instant
+///
+/// ```text
+/// submitted == completed + cancelled + queued_or_in_flight
+/// ```
+///
+/// where `queued_or_in_flight` is the (unobservable) number of accepted
+/// requests not yet resolved; after [`Server::shutdown`] returns (the
+/// queue fully drained, workers joined) it is zero and `submitted ==
+/// completed + cancelled` exactly — **provided `worker_panics` is 0**
+/// (a panicking dispatch abandons its window's requests mid-unwind;
+/// they surface to clients as [`ServeError::Abandoned`] and are counted
+/// nowhere else). `rejected` requests were never accepted, so they sit
+/// outside the identity, and `completed + cancelled ≤ dequeued ≤
+/// submitted` holds throughout. In particular a request whose handle is
+/// dropped *between* dequeue and delivery is counted once as
+/// `cancelled` — never double-counted across `dequeued` / `cancelled` /
+/// `completed`. Locked in by the stress test in `tests/serve.rs`.
+///
+/// A request answered by the in-window dedup (see
+/// [`ServerBuilder::dedup`]) still counts as `completed` — `dedups`
+/// tells you how many of those completions shared another request's
+/// computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
     /// Requests accepted onto the queue.
@@ -171,12 +204,26 @@ pub struct ServerStats {
     pub cancelled: u64,
     /// Micro-batches dispatched (each covering ≥ 1 request).
     pub batches: u64,
+    /// Requests answered by cloning an identical in-flight request's
+    /// result instead of computing their own (in-window dedup; the
+    /// clones are bit-identical by the [`QueryKey`] contract).
+    pub dedups: u64,
     /// Dispatches that panicked (an engine bug, not bad input — bad
     /// input yields a per-slot `Err`). The window's requests surface as
     /// [`ServeError::Abandoned`]; the worker survives and keeps serving.
     pub worker_panics: u64,
 }
 
+/// The atomic counters behind [`ServerStats`].
+///
+/// The stage counters (`submitted`, `dequeued`, `completed`,
+/// `cancelled`) use `SeqCst` so the accounting invariant is observable
+/// from a *concurrent* snapshot, not just after shutdown: `submitted`
+/// is incremented **before** the request enters the queue (undone on a
+/// failed send), each later stage is incremented after the earlier
+/// one, and [`Counters::snapshot`] reads the stages in reverse order —
+/// so a snapshot can never catch a completion whose submission it
+/// missed.
 #[derive(Default)]
 struct Counters {
     submitted: AtomicU64,
@@ -185,18 +232,28 @@ struct Counters {
     completed: AtomicU64,
     cancelled: AtomicU64,
     batches: AtomicU64,
+    dedups: AtomicU64,
     worker_panics: AtomicU64,
 }
 
 impl Counters {
     fn snapshot(&self) -> ServerStats {
+        // Read latest-stage counters first: `completed + cancelled ≤
+        // dequeued ≤ submitted` must hold in the snapshot even while
+        // requests race through the pipeline (each read can only miss
+        // increments that post-date the earlier reads).
+        let completed = self.completed.load(Ordering::SeqCst);
+        let cancelled = self.cancelled.load(Ordering::SeqCst);
+        let dequeued = self.dequeued.load(Ordering::SeqCst);
+        let submitted = self.submitted.load(Ordering::SeqCst);
         ServerStats {
-            submitted: self.submitted.load(Ordering::Relaxed),
+            submitted,
             rejected: self.rejected.load(Ordering::Relaxed),
-            dequeued: self.dequeued.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            cancelled: self.cancelled.load(Ordering::Relaxed),
+            dequeued,
+            completed,
+            cancelled,
             batches: self.batches.load(Ordering::Relaxed),
+            dedups: self.dedups.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
         }
     }
@@ -210,6 +267,7 @@ pub struct ServerBuilder {
     max_batch: usize,
     max_delay: Duration,
     queue_capacity: Option<usize>,
+    dedup: bool,
 }
 
 impl ServerBuilder {
@@ -246,6 +304,19 @@ impl ServerBuilder {
         self
     }
 
+    /// Whether a micro-batch window deduplicates identical in-flight
+    /// requests (default **on**). Requests whose canonical
+    /// [`QueryKey`]s match are dispatched as *one* query; the result
+    /// fans out to every waiter. Safe to leave on: equal keys imply the
+    /// engine would perform the exact same arithmetic, so the clones
+    /// are bit-identical to individual computation (each fan-out still
+    /// counts as `completed`; [`ServerStats::dedups`] counts the shared
+    /// ones). Turn it off to measure raw per-request engine throughput.
+    pub fn dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
     /// Starts the workers and returns the running server.
     pub fn build(self) -> Server {
         let queue_capacity = self
@@ -261,9 +332,10 @@ impl ServerBuilder {
                 let counters = Arc::clone(&counters);
                 let max_batch = self.max_batch;
                 let max_delay = self.max_delay;
+                let dedup = self.dedup;
                 std::thread::Builder::new()
                     .name(format!("fastbn-serve-{i}"))
-                    .spawn(move || worker_loop(session, rx, max_batch, max_delay, &counters))
+                    .spawn(move || worker_loop(session, rx, max_batch, max_delay, dedup, &counters))
                     .expect("failed to spawn fastbn serve worker")
             })
             .collect();
@@ -276,6 +348,7 @@ impl ServerBuilder {
             max_batch: self.max_batch,
             max_delay: self.max_delay,
             queue_capacity,
+            dedup: self.dedup,
         }
     }
 }
@@ -336,6 +409,7 @@ pub struct Server {
     max_batch: usize,
     max_delay: Duration,
     queue_capacity: usize,
+    dedup: bool,
 }
 
 impl Server {
@@ -353,6 +427,7 @@ impl Server {
             max_batch: 16,
             max_delay: Duration::from_micros(500),
             queue_capacity: None,
+            dedup: true,
         }
     }
 
@@ -366,15 +441,19 @@ impl Server {
             });
         };
         let (reply, rx) = slot();
+        // Count the submission *before* the send: a worker may dequeue
+        // and complete the request before this thread runs again, and
+        // `completed` must never lead `submitted` in any snapshot.
+        self.counters.submitted.fetch_add(1, Ordering::SeqCst);
         match sender.send(Request { query, reply }) {
-            Ok(()) => {
-                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(Pending { rx })
+            Ok(()) => Ok(Pending { rx }),
+            Err(crossbeam_channel::SendError(request)) => {
+                self.counters.submitted.fetch_sub(1, Ordering::SeqCst);
+                Err(SubmitError {
+                    query: request.query,
+                    kind: SubmitErrorKind::ShutDown,
+                })
             }
-            Err(crossbeam_channel::SendError(request)) => Err(SubmitError {
-                query: request.query,
-                kind: SubmitErrorKind::ShutDown,
-            }),
         }
     }
 
@@ -389,22 +468,27 @@ impl Server {
             });
         };
         let (reply, rx) = slot();
+        // Pre-counted for the same snapshot-consistency reason as
+        // `submit`; undone on rejection (a transiently-high `submitted`
+        // is harmless, a transiently-low one would let `completed` lead).
+        self.counters.submitted.fetch_add(1, Ordering::SeqCst);
         match sender.try_send(Request { query, reply }) {
-            Ok(()) => {
-                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(Pending { rx })
-            }
+            Ok(()) => Ok(Pending { rx }),
             Err(TrySendError::Full(request)) => {
+                self.counters.submitted.fetch_sub(1, Ordering::SeqCst);
                 self.counters.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError {
                     query: request.query,
                     kind: SubmitErrorKind::QueueFull,
                 })
             }
-            Err(TrySendError::Disconnected(request)) => Err(SubmitError {
-                query: request.query,
-                kind: SubmitErrorKind::ShutDown,
-            }),
+            Err(TrySendError::Disconnected(request)) => {
+                self.counters.submitted.fetch_sub(1, Ordering::SeqCst);
+                Err(SubmitError {
+                    query: request.query,
+                    kind: SubmitErrorKind::ShutDown,
+                })
+            }
         }
     }
 
@@ -462,6 +546,12 @@ impl Server {
         self.queue_capacity
     }
 
+    /// Whether micro-batch windows deduplicate identical in-flight
+    /// requests ([`ServerBuilder::dedup`]).
+    pub fn dedup(&self) -> bool {
+        self.dedup
+    }
+
     fn sender(&self) -> Option<crossbeam_channel::Sender<Request>> {
         self.queue
             .read()
@@ -479,6 +569,7 @@ impl std::fmt::Debug for Server {
             .field("max_batch", &self.max_batch)
             .field("max_delay", &self.max_delay)
             .field("queue_capacity", &self.queue_capacity)
+            .field("dedup", &self.dedup)
             .field("shut_down", &self.is_shut_down())
             .finish()
     }
@@ -498,6 +589,7 @@ fn worker_loop(
     rx: crossbeam_channel::Receiver<Request>,
     max_batch: usize,
     max_delay: Duration,
+    dedup: bool,
     counters: &Counters,
 ) {
     let mut window: Vec<Request> = Vec::with_capacity(max_batch);
@@ -506,14 +598,14 @@ fn worker_loop(
             Ok(request) => request,
             Err(_) => return, // queue closed and drained
         };
-        counters.dequeued.fetch_add(1, Ordering::Relaxed);
+        counters.dequeued.fetch_add(1, Ordering::SeqCst);
         window.push(first);
         let deadline = saturating_deadline(max_delay);
         let mut disconnected = false;
         while window.len() < max_batch {
             match rx.recv_deadline(deadline) {
                 Ok(request) => {
-                    counters.dequeued.fetch_add(1, Ordering::Relaxed);
+                    counters.dequeued.fetch_add(1, Ordering::SeqCst);
                     window.push(request);
                 }
                 Err(RecvTimeoutError::Timeout) => break,
@@ -530,7 +622,7 @@ fn worker_loop(
         // window's own replies were dropped mid-unwind, so those clients
         // see `Abandoned`; everything still queued gets a live worker.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dispatch(&mut session, &mut window, counters)
+            dispatch(&mut session, &mut window, dedup, counters)
         }));
         if outcome.is_err() {
             counters.worker_panics.fetch_add(1, Ordering::Relaxed);
@@ -547,12 +639,21 @@ fn worker_loop(
 /// Runs one collected window as a single `QueryBatch` and delivers each
 /// slot's result through its oneshot. Requests whose [`Pending`] handle
 /// is already gone are dropped *before* the batch is assembled, so
-/// cancelled work is never computed.
-fn dispatch(session: &mut OwnedSession, window: &mut Vec<Request>, counters: &Counters) {
+/// cancelled work is never computed — and with `dedup` on, requests
+/// whose canonical [`QueryKey`]s match collapse into one computed slot
+/// whose result fans out to every waiter (bit-identical by the key
+/// contract; the engine would have performed the same arithmetic for
+/// each).
+fn dispatch(
+    session: &mut OwnedSession,
+    window: &mut Vec<Request>,
+    dedup: bool,
+    counters: &Counters,
+) {
     window.retain(|request| {
         let live = !request.reply.is_cancelled();
         if !live {
-            counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            counters.cancelled.fetch_add(1, Ordering::SeqCst);
         }
         live
     });
@@ -560,18 +661,57 @@ fn dispatch(session: &mut OwnedSession, window: &mut Vec<Request>, counters: &Co
         return;
     }
     counters.batches.fetch_add(1, Ordering::Relaxed);
-    let (queries, replies): (Vec<Query>, Vec<_>) = window
-        .drain(..)
-        .map(|request| (request.query, request.reply))
-        .unzip();
+    // One computed slot per distinct key; every reply hangs off its slot.
+    let mut queries: Vec<Query> = Vec::with_capacity(window.len());
+    let mut waiters: Vec<Vec<SlotSender<Result<QueryResult, InferenceError>>>> =
+        Vec::with_capacity(window.len());
+    if dedup {
+        let mut seen: std::collections::HashMap<QueryKey, usize> = std::collections::HashMap::new();
+        for request in window.drain(..) {
+            match seen.entry(request.query.key()) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    counters.dedups.fetch_add(1, Ordering::Relaxed);
+                    waiters[*slot.get()].push(request.reply);
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(queries.len());
+                    queries.push(request.query);
+                    waiters.push(vec![request.reply]);
+                }
+            }
+        }
+    } else {
+        for request in window.drain(..) {
+            queries.push(request.query);
+            waiters.push(vec![request.reply]);
+        }
+    }
     let batch = QueryBatch::from(queries);
     let results = session.run_batch(&batch);
-    for (reply, result) in replies.into_iter().zip(results) {
-        match reply.send(result) {
-            Ok(()) => counters.completed.fetch_add(1, Ordering::Relaxed),
-            // The handle was dropped while the batch ran: result
-            // discarded, request counted as cancelled.
-            Err(_) => counters.cancelled.fetch_add(1, Ordering::Relaxed),
-        };
+    for (replies, result) in waiters.into_iter().zip(results) {
+        let mut replies = replies.into_iter();
+        let last = replies.next_back();
+        for reply in replies {
+            deliver(reply, result.clone(), counters);
+        }
+        if let Some(reply) = last {
+            // The representative (or lone) waiter takes the result
+            // without a clone.
+            deliver(reply, result, counters);
+        }
     }
+}
+
+/// Sends one result through its oneshot, counting the outcome.
+fn deliver(
+    reply: SlotSender<Result<QueryResult, InferenceError>>,
+    result: Result<QueryResult, InferenceError>,
+    counters: &Counters,
+) {
+    match reply.send(result) {
+        Ok(()) => counters.completed.fetch_add(1, Ordering::SeqCst),
+        // The handle was dropped while the batch ran: result discarded,
+        // request counted as cancelled.
+        Err(_) => counters.cancelled.fetch_add(1, Ordering::SeqCst),
+    };
 }

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use fastbn::bayesnet::datasets;
-use fastbn::{EngineKind, Query, Solver, VarId};
+use fastbn::{CacheConfig, EngineKind, Query, Solver, VarId};
 
 fn main() {
     // The classic "Asia" chest-clinic network (8 binary variables).
@@ -72,8 +72,29 @@ fn main() {
         targeted.marginal(lung)[0]
     );
 
+    // Repeated traffic? Enable the query-result cache: posteriors are
+    // memoized per canonicalized query (the model is immutable, so
+    // entries never go stale), and a hit is bit-identical to
+    // recomputing. Proportional likelihood vectors and last-wins
+    // re-observations canonicalize to the same entry.
+    let cached = Solver::builder(&net)
+        .engine(EngineKind::Hybrid)
+        .threads(2)
+        .cache(CacheConfig::default())
+        .build();
+    let repeat = Query::new().observe(net.var_id("Dyspnea").unwrap(), 0);
+    let cold = cached.query(&repeat).unwrap(); // computed
+    let warm = cached.query(&repeat).unwrap(); // replayed from the cache
+    assert_eq!(cold, warm);
+    let stats = cached.cache_stats().unwrap();
+    println!(
+        "\ncache: {} hit / {} miss ({} entries, ~{} bytes)",
+        stats.hits, stats.misses, stats.entries, stats.bytes
+    );
+
     // Got many independent queries instead of one? Don't loop — group
     // them into a `QueryBatch` (see the batch_serving example), and for
     // live traffic from many clients put a `Server` in front (see the
-    // serving example).
+    // serving example; pair it with `.cache(..)` so repeated requests
+    // are answered from memory and identical in-flight requests dedup).
 }

@@ -95,10 +95,12 @@ fn main() {
         summary.max.as_secs_f64() * 1e3,
     );
     println!(
-        "micro-batching: {} requests coalesced into {} batches ({:.1} per dispatch)\n",
+        "micro-batching: {} requests coalesced into {} batches ({:.1} per dispatch, \
+         {} answered by in-window dedup)\n",
         stats.dequeued,
         stats.batches,
         stats.dequeued as f64 / stats.batches.max(1) as f64,
+        stats.dedups,
     );
 
     // Backpressure is part of the contract: a fail-fast submitter sees

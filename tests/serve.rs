@@ -339,6 +339,187 @@ fn unbounded_window_delay_means_wait_for_a_full_batch() {
 }
 
 #[test]
+fn window_dedup_fans_one_computation_out_to_identical_requests() {
+    // A full window of 9: one distinct query plus 8 requests that all
+    // canonicalize to the same key (two scale variants of one likelihood
+    // vector). `max_delay: MAX` + `max_batch: 9` makes the window
+    // deterministic; dedup must compute 2 queries, answer 9 clients, and
+    // stay bit-identical to the sequential oracle.
+    let net = datasets::asia();
+    let solver = Arc::new(Solver::new(&net));
+    let xray = net.var_id("XRay").unwrap();
+    let dysp = net.var_id("Dyspnea").unwrap();
+    let blocker = Query::new().observe(dysp, 1);
+    let soft_a = Query::new().likelihood(xray, vec![0.8, 0.2]);
+    let soft_b = Query::new().likelihood(xray, vec![1.6, 0.4]); // same key: scale canonicalized
+    assert_eq!(soft_a.key(), soft_b.key());
+    let expected = oracle(&solver, &[blocker.clone(), soft_a.clone()]);
+
+    let server = Server::builder(Arc::clone(&solver))
+        .workers(1)
+        .max_batch(9)
+        .max_delay(Duration::MAX)
+        .build();
+    assert!(server.dedup(), "dedup is on by default");
+    let first = server.submit(blocker).unwrap();
+    let softs: Vec<_> = (0..8)
+        .map(|i| {
+            let q = if i % 2 == 0 { &soft_a } else { &soft_b };
+            server.submit(q.clone()).unwrap()
+        })
+        .collect();
+    let got_first = first.wait();
+    assert_matches_oracle(&expected[..1], &[got_first], "dedup blocker");
+    for (i, pending) in softs.into_iter().enumerate() {
+        let got = pending.wait();
+        assert_matches_oracle(&expected[1..], &[got], &format!("dedup waiter {i}"));
+    }
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 9);
+    assert_eq!(stats.completed, 9, "every client answered");
+    assert_eq!(stats.dedups, 7, "8 identical requests, 1 computed");
+    assert_eq!(stats.batches, 1, "one full window");
+}
+
+#[test]
+fn dedup_can_be_disabled() {
+    let net = datasets::sprinkler();
+    let solver = Arc::new(Solver::new(&net));
+    let server = Server::builder(Arc::clone(&solver))
+        .workers(1)
+        .max_batch(4)
+        .max_delay(Duration::MAX)
+        .dedup(false)
+        .build();
+    assert!(!server.dedup());
+    let pending: Vec<_> = (0..4)
+        .map(|_| server.submit(Query::new()).unwrap())
+        .collect();
+    for p in pending {
+        assert!(p.wait().is_ok());
+    }
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.dedups, 0, "identical requests computed separately");
+    assert_eq!(stats.completed, 4);
+}
+
+#[test]
+fn stats_invariant_holds_under_concurrent_submit_cancel_shutdown() {
+    // The ServerStats accounting contract: every accepted request is
+    // counted exactly once as completed or cancelled — including
+    // requests whose handle is dropped *between* dequeue and delivery —
+    // and `completed + cancelled ≤ dequeued ≤ submitted` is observable
+    // from concurrent snapshots while the pipeline churns.
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let net = datasets::asia();
+    let solver = Arc::new(Solver::new(&net));
+    let dysp = net.var_id("Dyspnea").unwrap();
+    let server = Server::builder(Arc::clone(&solver))
+        .workers(2)
+        .max_batch(4)
+        .max_delay(Duration::from_micros(100))
+        .queue_capacity(8)
+        .build();
+    let accepted = AtomicU64::new(0);
+    let waited = AtomicU64::new(0);
+    let dropped = AtomicU64::new(0);
+    let stop_sampling = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // A sampler hammering the snapshot while requests race through.
+        let sampler = {
+            let server = &server;
+            let stop = &stop_sampling;
+            scope.spawn(move || {
+                let mut samples = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = server.stats();
+                    assert!(
+                        s.completed + s.cancelled <= s.dequeued,
+                        "resolution cannot lead dequeue: {s:?}"
+                    );
+                    assert!(
+                        s.dequeued <= s.submitted,
+                        "dequeue cannot lead submit: {s:?}"
+                    );
+                    samples += 1;
+                }
+                samples
+            })
+        };
+        let submitters: Vec<_> = (0..4)
+            .map(|t| {
+                let server = &server;
+                let (accepted, waited, dropped) = (&accepted, &waited, &dropped);
+                scope.spawn(move || {
+                    for i in 0..200usize {
+                        let query = Query::new().observe(dysp, (t + i) % 2);
+                        let pending = match server.submit(query) {
+                            Ok(p) => p,
+                            Err(_) => break, // only possible post-shutdown
+                        };
+                        accepted.fetch_add(1, Ordering::Relaxed);
+                        match (t + i) % 5 {
+                            // Drop immediately: usually cancelled while
+                            // queued, sometimes after dequeue.
+                            0 => {
+                                dropped.fetch_add(1, Ordering::Relaxed);
+                                drop(pending);
+                            }
+                            // Drop after a beat: often lands between
+                            // dequeue and delivery.
+                            1 => {
+                                std::thread::yield_now();
+                                dropped.fetch_add(1, Ordering::Relaxed);
+                                drop(pending);
+                            }
+                            _ => {
+                                waited.fetch_add(1, Ordering::Relaxed);
+                                pending.wait().expect("well-formed query completes");
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in submitters {
+            handle.join().expect("submitter panicked");
+        }
+        // Shut down while cancellations may still be in flight; the
+        // drain resolves every accepted request.
+        server.shutdown();
+        stop_sampling.store(true, Ordering::Relaxed);
+        assert!(sampler.join().expect("sampler panicked") > 0);
+    });
+    let stats = server.stats();
+    let accepted = accepted.load(Ordering::Relaxed);
+    assert_eq!(stats.worker_panics, 0);
+    assert_eq!(
+        stats.submitted, accepted,
+        "rejections never counted as submitted"
+    );
+    assert_eq!(
+        stats.completed + stats.cancelled,
+        stats.submitted,
+        "after the drain every request resolved exactly once: {stats:?}"
+    );
+    assert_eq!(
+        stats.dequeued, stats.submitted,
+        "the drain dequeues everything"
+    );
+    assert!(
+        stats.completed >= waited.load(Ordering::Relaxed),
+        "every awaited request completed (dropped ones may too)"
+    );
+    assert!(
+        stats.cancelled <= dropped.load(Ordering::Relaxed),
+        "only dropped handles can cancel"
+    );
+}
+
+#[test]
 fn server_stats_start_at_zero() {
     let solver = Arc::new(Solver::new(&datasets::sprinkler()));
     let server = Server::new(solver);
