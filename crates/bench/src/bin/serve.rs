@@ -15,7 +15,7 @@
 //! cargo run --release -p fastbn-bench --bin serve -- \
 //!     [--cases N] [--threads T] [--width W] [--workers 1,2] \
 //!     [--delay-us D] [--repeat R] [--networks pigs,...] [--engines hybrid,...] \
-//!     [--cache] [--distinct D] [--quick]
+//!     [--cache] [--distinct D] [--models] [--workers-total N] [--quick]
 //! ```
 //! Defaults: 256 cases, best of 3 repetitions, engine threads = available cores, micro-batch
 //! width = engine threads (the narrowest batch that takes the
@@ -29,17 +29,27 @@
 //! each engine prints a cache-off row (no solver cache, no in-window
 //! dedup) against a cache-on row (solver cache + dedup) with the
 //! speedup and the hit/miss/dedup counters.
+//!
+//! `--models` switches to the **multi-model** benchmark: mixed traffic
+//! over several networks (default 3) driven through one `RoutedServer`
+//! whose models share a single worker pool, against N separate
+//! single-model `Server`s (each solver with its own pool) at equal
+//! total serve-worker count — with per-model p50/p99 on both sides.
+//! `--workers-total` overrides the worker budget (default: one per
+//! model).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fastbn_bayesnet::Evidence;
 use fastbn_bench::measure::{
-    cached_solver_for, prepare, repeat_cases, run_cases_serve, run_cases_serve_on, solver_for,
-    ServeRun,
+    cached_solver_for, prepare, repeat_cases, run_cases_serve, run_cases_serve_on,
+    run_mixed_traffic, solver_for, MixedRun, ServeRun,
 };
 use fastbn_bench::workloads::all_workloads;
-use fastbn_inference::{EngineKind, Query, QueryBatch};
+use fastbn_inference::{EngineKind, Query, QueryBatch, Solver};
+use fastbn_registry::{Registry, RoutedServer};
+use fastbn_serve::Server;
 
 /// The PR 2 batch path at fixed width: cases chopped into batches of
 /// exactly `width`, run back-to-back through one session (untimed
@@ -137,6 +147,149 @@ fn run_cache_rows(
     );
 }
 
+/// Prints one side of the multi-model comparison.
+fn print_mixed(label: &str, run: &MixedRun) {
+    println!(
+        "{:<34} {:>9.0} req/s  ({} ms total)",
+        label,
+        run.throughput,
+        fmt_ms(run.total),
+    );
+    for m in &run.per_model {
+        println!(
+            "{:<34} {:>6} req   p50 {} ms  p99 {} ms",
+            format!("    {}", m.model),
+            m.requests,
+            fmt_ms(m.latency.p50),
+            fmt_ms(m.latency.p99),
+        );
+    }
+}
+
+/// The `--models` mode: mixed traffic over several networks through
+/// one `RoutedServer` (models sharing a single worker pool) vs N
+/// separate single-model `Server`s (one private pool each) at equal
+/// total serve-worker count, with per-model p50/p99.
+#[allow(clippy::too_many_arguments)]
+fn run_models_mode(
+    names: &[String],
+    kind: EngineKind,
+    threads: usize,
+    workers_total: usize,
+    width: usize,
+    delay: Duration,
+    repeat: usize,
+    cases_per_model: usize,
+) {
+    let workloads: Vec<_> = names
+        .iter()
+        .map(|name| {
+            all_workloads()
+                .into_iter()
+                .find(|w| w.name == *name)
+                .unwrap_or_else(|| panic!("unknown network {name:?}"))
+        })
+        .collect();
+    assert!(
+        workloads.len() >= 2,
+        "--models needs at least two networks (got {names:?})"
+    );
+    let prepared: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            let net = w.build();
+            let cases = w.cases(&net, cases_per_model);
+            (w.name, prepare(&net), cases)
+        })
+        .collect();
+    // The interleaved stream: round-robin across models, so every
+    // micro-batch window sees mixed traffic.
+    let mut traffic: Vec<(String, Query)> = Vec::with_capacity(names.len() * cases_per_model);
+    for i in 0..cases_per_model {
+        for (name, _, cases) in &prepared {
+            traffic.push((name.to_string(), Query::new().evidence(cases[i].clone())));
+        }
+    }
+    let clients = 2 * workers_total * width;
+    println!(
+        "Multi-model serving: {} networks × {cases_per_model} cases (interleaved), engine {}, \
+         t={threads}, width {width}, {}µs window, {workers_total} total workers, \
+         {clients} clients, best of {repeat}\n",
+        names.len(),
+        kind.id(),
+        delay.as_micros(),
+    );
+
+    // One RoutedServer: every model compiled onto one shared pool.
+    let routed_best = (0..repeat)
+        .map(|_| {
+            let registry = Arc::new(Registry::builder().threads(threads).build());
+            for (name, prep, _) in &prepared {
+                let solver = Solver::from_prepared(Arc::clone(prep))
+                    .engine(kind)
+                    .pool(registry.pool_handle())
+                    .build();
+                registry
+                    .insert(*name, Arc::new(solver))
+                    .expect("unbounded registry");
+            }
+            let server = RoutedServer::builder(Arc::clone(&registry))
+                .workers(workers_total)
+                .max_batch(width)
+                .max_delay(delay)
+                .dedup(false)
+                .build();
+            let run = run_mixed_traffic(&traffic, clients, |model, query| {
+                server.submit(model, query).expect("model resident")
+            });
+            server.shutdown();
+            run
+        })
+        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .expect("at least one repetition");
+    print_mixed(
+        &format!("routed  (1 shared pool, {workers_total} wk)"),
+        &routed_best,
+    );
+
+    // N separate single-model servers: each solver spawns its own
+    // engine pool, and the worker budget is split across the servers.
+    let per_server = (workers_total / names.len()).max(1);
+    let separate_best = (0..repeat)
+        .map(|_| {
+            let servers: std::collections::HashMap<String, Server> = prepared
+                .iter()
+                .map(|(name, prep, _)| {
+                    let solver = Arc::new(solver_for(kind, Arc::clone(prep), threads));
+                    let server = Server::builder(solver)
+                        .workers(per_server)
+                        .max_batch(width)
+                        .max_delay(delay)
+                        .dedup(false)
+                        .build();
+                    (name.to_string(), server)
+                })
+                .collect();
+            let run = run_mixed_traffic(&traffic, clients, |model, query| {
+                servers[model].submit(query).expect("server accepting")
+            });
+            for server in servers.values() {
+                server.shutdown();
+            }
+            run
+        })
+        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .expect("at least one repetition");
+    print_mixed(
+        &format!("separate ({} pools, {per_server} wk each)", names.len()),
+        &separate_best,
+    );
+    println!(
+        "\nrouted vs separate at equal total workers: {:.2}x",
+        routed_best.throughput / separate_best.throughput
+    );
+}
+
 fn main() {
     let mut cases_n = 256usize;
     let mut threads = fastbn_parallel::available_threads().max(2);
@@ -147,11 +300,22 @@ fn main() {
     let mut networks: Option<Vec<String>> = None;
     let mut engines: Vec<EngineKind> = vec![EngineKind::Hybrid];
     let mut cache = false;
+    let mut models = false;
+    let mut workers_total: Option<usize> = None;
     let mut distinct = 16usize;
+    let mut quick = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--cache" => cache = true,
+            "--models" => models = true,
+            "--workers-total" => {
+                workers_total = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--workers-total N"),
+                )
+            }
             "--distinct" => {
                 distinct = it
                     .next()
@@ -162,6 +326,7 @@ fn main() {
                 // Each measurement must cover tens of milliseconds or OS
                 // jitter swamps the batch-vs-serve comparison; 384 cases
                 // of the smallest network keep the whole smoke run ~1s.
+                quick = true;
                 cases_n = 384;
                 threads = 2;
                 worker_counts = vec![1, 2];
@@ -213,6 +378,37 @@ fn main() {
     // Fewer cases than the width would never exercise the outer batch
     // path (same guard as sweep --batch).
     let cases_n = cases_n.max(width);
+
+    if models {
+        // `--quick` pinned networks to hailfinder for the single-model
+        // sweep; the multi-model comparison needs ≥ 3 of them.
+        let names = networks
+            .filter(|list| !quick || list.len() >= 2)
+            .unwrap_or_else(|| {
+                vec![
+                    "hailfinder".to_string(),
+                    "pathfinder".to_string(),
+                    "diabetes".to_string(),
+                ]
+            });
+        let workers_total = workers_total.unwrap_or(names.len()).max(1);
+        let cases_per_model = if quick {
+            16
+        } else {
+            (cases_n / names.len()).max(width)
+        };
+        run_models_mode(
+            &names,
+            engines[0],
+            threads,
+            workers_total,
+            width,
+            delay,
+            if quick { 1 } else { repeat },
+            cases_per_model,
+        );
+        return;
+    }
 
     if cache {
         println!(

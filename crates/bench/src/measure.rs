@@ -334,6 +334,115 @@ pub fn run_cases_serve_on(
     }
 }
 
+/// One model's share of a mixed-traffic run.
+#[derive(Debug, Clone)]
+pub struct ModelLatency {
+    /// The model id.
+    pub model: String,
+    /// Requests this model answered.
+    pub requests: usize,
+    /// Round-trip latency distribution for this model's requests.
+    pub latency: LatencySummary,
+}
+
+/// One measured mixed-traffic (multi-model) serving run.
+#[derive(Debug, Clone)]
+pub struct MixedRun {
+    /// Wall time from the clients' synchronized start to the last
+    /// result.
+    pub total: Duration,
+    /// Requests completed per second, all models together.
+    pub throughput: f64,
+    /// Per-model latency breakdown, in first-appearance order of the
+    /// traffic stream.
+    pub per_model: Vec<ModelLatency>,
+}
+
+/// Drives an interleaved multi-model traffic stream through any
+/// serving front end — `submit` is called as `submit(model_id, query)`
+/// and must return the request's [`Pending`](fastbn_registry::Pending)
+/// handle. Used for both sides of the `serve --models` comparison: a
+/// `RoutedServer` (one shared pool) and a fleet of per-model `Server`s
+/// (the closure routes to the right one).
+///
+/// Mirrors [`run_cases_serve`]: an untimed warm-up pass first, then
+/// closed-loop concurrent clients each striding the stream, with
+/// per-request round trips collected per model.
+pub fn run_mixed_traffic<F>(traffic: &[(String, Query)], clients: usize, submit: F) -> MixedRun
+where
+    F: Fn(&str, Query) -> fastbn_registry::Pending + Sync,
+{
+    use std::sync::{Barrier, Mutex};
+
+    assert!(!traffic.is_empty(), "mixed run needs traffic");
+    // Stable per-model slots in first-appearance order.
+    let mut order: Vec<String> = Vec::new();
+    let model_slot: std::collections::HashMap<&str, usize> = traffic
+        .iter()
+        .map(|(model, _)| {
+            if !order.contains(model) {
+                order.push(model.clone());
+            }
+            let slot = order.iter().position(|m| m == model).expect("just pushed");
+            (model.as_str(), slot)
+        })
+        .collect();
+
+    let warmup: Vec<_> = traffic
+        .iter()
+        .map(|(model, query)| submit(model, query.clone()))
+        .collect();
+    for pending in warmup {
+        pending.wait().expect("workload evidence has P(e) > 0");
+    }
+
+    let clients = clients.min(traffic.len()).max(1);
+    let barrier = Barrier::new(clients + 1);
+    let samples: Mutex<Vec<(usize, Duration)>> = Mutex::new(Vec::with_capacity(traffic.len()));
+    let start = std::thread::scope(|scope| {
+        for c in 0..clients {
+            let submit = &submit;
+            let barrier = &barrier;
+            let samples = &samples;
+            let model_slot = &model_slot;
+            scope.spawn(move || {
+                let mut mine = Vec::with_capacity(traffic.len() / clients + 1);
+                barrier.wait();
+                for (model, query) in traffic.iter().skip(c).step_by(clients) {
+                    let begin = Instant::now();
+                    let pending = submit(model, query.clone());
+                    pending.wait().expect("workload evidence has P(e) > 0");
+                    mine.push((model_slot[model.as_str()], begin.elapsed()));
+                }
+                samples.lock().expect("client panicked").extend(mine);
+            });
+        }
+        barrier.wait();
+        Instant::now()
+    });
+    let total = start.elapsed();
+    let samples = samples.into_inner().expect("client panicked");
+    assert_eq!(samples.len(), traffic.len(), "every request measured");
+    let mut buckets: Vec<Vec<Duration>> = vec![Vec::new(); order.len()];
+    for (slot, duration) in samples {
+        buckets[slot].push(duration);
+    }
+    let per_model = order
+        .into_iter()
+        .zip(buckets)
+        .map(|(model, samples)| ModelLatency {
+            model,
+            requests: samples.len(),
+            latency: LatencySummary::from_samples(samples),
+        })
+        .collect();
+    MixedRun {
+        total,
+        throughput: traffic.len() as f64 / total.as_secs_f64(),
+        per_model,
+    }
+}
+
 /// The paper's methodology: run each thread count, report the best.
 pub fn best_over_threads(
     kind: EngineKind,

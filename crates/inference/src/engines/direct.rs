@@ -30,7 +30,7 @@ struct ReceiverGroup {
 /// Coarse-grained (inter-clique only) parallel engine.
 pub struct DirectJt {
     prepared: Arc<Prepared>,
-    pool: ThreadPool,
+    pool: Arc<ThreadPool>,
     /// Per collect layer: receiver groups.
     collect_groups: Vec<Vec<ReceiverGroup>>,
     /// Per distribute layer: receiver groups (each holds one message,
@@ -64,6 +64,13 @@ fn group_by_receiver(
 impl DirectJt {
     /// Creates the engine with a private pool of `threads` workers.
     pub fn new(prepared: Arc<Prepared>, threads: usize) -> Self {
+        DirectJt::with_pool(prepared, ThreadPool::shared(threads))
+    }
+
+    /// Creates the engine on an **injected** (possibly shared) pool —
+    /// the multi-model path, where many engines run their regions on
+    /// one worker team instead of spawning a team each.
+    pub fn with_pool(prepared: Arc<Prepared>, pool: Arc<ThreadPool>) -> Self {
         let schedule = &prepared.built.schedule;
         let collect_groups = schedule
             .collect_layers
@@ -76,7 +83,7 @@ impl DirectJt {
             .map(|layer| group_by_receiver(&schedule.messages, layer, |m| m.child))
             .collect();
         DirectJt {
-            pool: ThreadPool::new(threads),
+            pool,
             prepared,
             collect_groups,
             distribute_groups,
@@ -130,6 +137,10 @@ impl InferenceEngine for DirectJt {
 
     fn pool(&self) -> Option<&ThreadPool> {
         Some(&self.pool)
+    }
+
+    fn pool_handle(&self) -> Option<Arc<ThreadPool>> {
+        Some(Arc::clone(&self.pool))
     }
 
     fn prepared(&self) -> &Arc<Prepared> {

@@ -58,7 +58,7 @@ struct SepMaps {
 /// Element-wise (GPU-analogue) parallel engine.
 pub struct ElementJt {
     prepared: Arc<Prepared>,
-    pool: ThreadPool,
+    pool: Arc<ThreadPool>,
     sched: Schedule,
     maps: Vec<SepMaps>,
 }
@@ -67,7 +67,14 @@ impl ElementJt {
     /// Creates the engine; materializes every mapping array in parallel
     /// (the GPU "upload tables" phase).
     pub fn new(prepared: Arc<Prepared>, threads: usize) -> Self {
-        let pool = ThreadPool::new(threads);
+        ElementJt::with_pool(prepared, ThreadPool::shared(threads))
+    }
+
+    /// Creates the engine on an **injected** (possibly shared) pool —
+    /// the multi-model path, where many engines run their regions on
+    /// one worker team instead of spawning a team each. The mapping
+    /// arrays are materialized on that pool.
+    pub fn with_pool(prepared: Arc<Prepared>, pool: Arc<ThreadPool>) -> Self {
         let sched = Schedule::Dynamic { grain: SETUP_GRAIN };
         let mut maps = Vec::with_capacity(prepared.num_separators());
         for (s, sep) in prepared.built.tree.separators.iter().enumerate() {
@@ -148,6 +155,10 @@ impl InferenceEngine for ElementJt {
 
     fn pool(&self) -> Option<&ThreadPool> {
         Some(&self.pool)
+    }
+
+    fn pool_handle(&self) -> Option<Arc<ThreadPool>> {
+        Some(Arc::clone(&self.pool))
     }
 
     fn prepared(&self) -> &Arc<Prepared> {

@@ -156,7 +156,7 @@ impl RawState {
 /// Fast-BNI-par: the hybrid flattened engine.
 pub struct HybridJt {
     prepared: Arc<Prepared>,
-    pool: ThreadPool,
+    pool: Arc<ThreadPool>,
     sep_info: Vec<SepInfo>,
     collect_plans: Vec<LayerPlan>,
     distribute_plans: Vec<LayerPlan>,
@@ -166,7 +166,15 @@ impl HybridJt {
     /// Builds the engine, precomputing all mappings and task lists for a
     /// pool of `threads` workers.
     pub fn new(prepared: Arc<Prepared>, threads: usize) -> Self {
-        let pool = ThreadPool::new(threads);
+        HybridJt::with_pool(prepared, ThreadPool::shared(threads))
+    }
+
+    /// Builds the engine on an **injected** (possibly shared) pool — the
+    /// multi-model path, where many engines run their regions on one
+    /// worker team instead of spawning a team each. Task plans are sized
+    /// to the pool's width.
+    pub fn with_pool(prepared: Arc<Prepared>, pool: Arc<ThreadPool>) -> Self {
+        let threads = pool.threads();
         let rooted = &prepared.built.rooted;
         let sep_info = prepared
             .built
@@ -382,6 +390,10 @@ impl InferenceEngine for HybridJt {
 
     fn pool(&self) -> Option<&ThreadPool> {
         Some(&self.pool)
+    }
+
+    fn pool_handle(&self) -> Option<Arc<ThreadPool>> {
+        Some(Arc::clone(&self.pool))
     }
 
     fn prepared(&self) -> &Arc<Prepared> {

@@ -52,6 +52,16 @@ pub trait InferenceEngine: Send + Sync {
         None
     }
 
+    /// A co-ownable handle to the engine's pool (`None` for the
+    /// sequential engines). Engines hold their pool through an `Arc`
+    /// precisely so it can be **shared**: hand this to
+    /// [`make_engine_on`] (or [`SolverBuilder::pool`](crate::solver::SolverBuilder::pool))
+    /// and another model's engine will run its regions on the same
+    /// worker team.
+    fn pool_handle(&self) -> Option<Arc<ThreadPool>> {
+        None
+    }
+
     /// The shared query-independent structures this engine runs over.
     fn prepared(&self) -> &Arc<Prepared>;
 
@@ -182,7 +192,8 @@ impl FromStr for EngineKind {
 }
 
 /// Instantiates a stateless engine of the requested kind. `threads` is
-/// ignored by the sequential engines. Most callers want
+/// ignored by the sequential engines; parallel engines spawn a private
+/// pool of that width. Most callers want
 /// [`Solver::builder`](crate::solver::Solver::builder) instead, which
 /// pairs the engine with a scratch pool.
 pub fn make_engine(
@@ -191,12 +202,38 @@ pub fn make_engine(
     threads: usize,
 ) -> Box<dyn InferenceEngine> {
     match kind {
+        EngineKind::Reference | EngineKind::Seq => make_sequential(kind, prepared),
+        _ => make_engine_on(kind, prepared, ThreadPool::shared(threads)),
+    }
+}
+
+/// Instantiates a stateless engine of the requested kind on an
+/// **injected** worker pool — the multi-model path: every engine handed
+/// the same `Arc` runs its parallel regions on one shared team instead
+/// of spawning `threads` workers each. Task plans (and therefore chunk
+/// layouts, and therefore bits) are sized to `pool.threads()`, exactly
+/// as a private pool of the same width would size them. The sequential
+/// kinds ignore the pool.
+pub fn make_engine_on(
+    kind: EngineKind,
+    prepared: Arc<Prepared>,
+    pool: Arc<ThreadPool>,
+) -> Box<dyn InferenceEngine> {
+    match kind {
+        EngineKind::Reference | EngineKind::Seq => make_sequential(kind, prepared),
+        EngineKind::Direct => Box::new(direct::DirectJt::with_pool(prepared, pool)),
+        EngineKind::Primitive => Box::new(primitive::PrimitiveJt::with_pool(prepared, pool)),
+        EngineKind::Element => Box::new(element::ElementJt::with_pool(prepared, pool)),
+        EngineKind::Hybrid => Box::new(hybrid::HybridJt::with_pool(prepared, pool)),
+    }
+}
+
+/// The pool-less kinds, shared by both `make_engine` flavors.
+fn make_sequential(kind: EngineKind, prepared: Arc<Prepared>) -> Box<dyn InferenceEngine> {
+    match kind {
         EngineKind::Reference => Box::new(reference::ReferenceJt::new(prepared)),
         EngineKind::Seq => Box::new(seq::SeqJt::new(prepared)),
-        EngineKind::Direct => Box::new(direct::DirectJt::new(prepared, threads)),
-        EngineKind::Primitive => Box::new(primitive::PrimitiveJt::new(prepared, threads)),
-        EngineKind::Element => Box::new(element::ElementJt::new(prepared, threads)),
-        EngineKind::Hybrid => Box::new(hybrid::HybridJt::new(prepared, threads)),
+        _ => unreachable!("caller dispatches only sequential kinds here"),
     }
 }
 

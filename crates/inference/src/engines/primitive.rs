@@ -21,7 +21,7 @@ use crate::state::WorkState;
 /// Fine-grained (intra-clique only) parallel engine.
 pub struct PrimitiveJt {
     prepared: Arc<Prepared>,
-    pool: ThreadPool,
+    pool: Arc<ThreadPool>,
     /// OpenMP-default-style static split, as in the original primitives.
     sched: Schedule,
 }
@@ -29,8 +29,15 @@ pub struct PrimitiveJt {
 impl PrimitiveJt {
     /// Creates the engine with a private pool of `threads` workers.
     pub fn new(prepared: Arc<Prepared>, threads: usize) -> Self {
+        PrimitiveJt::with_pool(prepared, ThreadPool::shared(threads))
+    }
+
+    /// Creates the engine on an **injected** (possibly shared) pool —
+    /// the multi-model path, where many engines run their regions on
+    /// one worker team instead of spawning a team each.
+    pub fn with_pool(prepared: Arc<Prepared>, pool: Arc<ThreadPool>) -> Self {
         PrimitiveJt {
-            pool: ThreadPool::new(threads),
+            pool,
             prepared,
             sched: Schedule::Static,
         }
@@ -63,6 +70,10 @@ impl InferenceEngine for PrimitiveJt {
 
     fn pool(&self) -> Option<&ThreadPool> {
         Some(&self.pool)
+    }
+
+    fn pool_handle(&self) -> Option<Arc<ThreadPool>> {
+        Some(Arc::clone(&self.pool))
     }
 
     fn prepared(&self) -> &Arc<Prepared> {

@@ -101,7 +101,7 @@ pub use engines::hybrid::HybridJt;
 pub use engines::primitive::PrimitiveJt;
 pub use engines::reference::ReferenceJt;
 pub use engines::seq::SeqJt;
-pub use engines::{make_engine, EngineKind, InferenceEngine, ParseEngineKindError};
+pub use engines::{make_engine, make_engine_on, EngineKind, InferenceEngine, ParseEngineKindError};
 pub use error::{InferenceError, LikelihoodDefect};
 pub use mpe::{most_probable_explanation, MpeResult};
 pub use owned::OwnedSession;

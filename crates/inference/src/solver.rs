@@ -20,7 +20,7 @@ use fastbn_jtree::JtreeOptions;
 use fastbn_potential::PotentialTable;
 
 use crate::cache::{CacheConfig, CacheStats, QueryCache};
-use crate::engines::{make_engine, EngineKind, InferenceEngine};
+use crate::engines::{make_engine, make_engine_on, EngineKind, InferenceEngine};
 use crate::error::InferenceError;
 use crate::mpe::{mpe_on_state, MpeResult};
 use crate::posterior::Posteriors;
@@ -82,6 +82,7 @@ impl Solver {
             source: Source::Net(net, JtreeOptions::default()),
             kind: EngineKind::Seq,
             threads: 1,
+            pool: None,
             cache: None,
         }
     }
@@ -93,6 +94,7 @@ impl Solver {
             source: Source::Prepared(prepared),
             kind: EngineKind::Seq,
             threads: 1,
+            pool: None,
             cache: None,
         }
     }
@@ -176,6 +178,15 @@ impl Solver {
     /// The shared query-independent structures.
     pub fn prepared(&self) -> &Arc<Prepared> {
         &self.prepared
+    }
+
+    /// A co-ownable handle to the engine's worker pool (`None` for the
+    /// sequential engines). Pass it to another builder's
+    /// [`SolverBuilder::pool`] to compile a second model onto the *same*
+    /// worker team — the pool-sharing configuration the multi-model
+    /// registry uses.
+    pub fn pool_handle(&self) -> Option<Arc<fastbn_parallel::ThreadPool>> {
+        self.engine.pool_handle()
     }
 
     /// The query-result cache, if one was enabled via
@@ -301,6 +312,7 @@ pub struct SolverBuilder<'n> {
     source: Source<'n>,
     kind: EngineKind,
     threads: usize,
+    pool: Option<Arc<fastbn_parallel::ThreadPool>>,
     cache: Option<CacheConfig>,
 }
 
@@ -312,9 +324,45 @@ impl SolverBuilder<'_> {
     }
 
     /// Worker threads per query for the parallel engines (default 1;
-    /// ignored by the sequential engines).
+    /// ignored by the sequential engines). When a shared pool was
+    /// injected via [`SolverBuilder::pool`], the pool's own width wins
+    /// and this setting is ignored.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs the engine's parallel regions on an **injected, shareable**
+    /// worker pool instead of spawning a private one — the multi-model
+    /// serving configuration, where N compiled models contend for one
+    /// worker team (the machine's cores) rather than oversubscribing the
+    /// host with N teams. Overrides [`SolverBuilder::threads`]: the
+    /// engine's width is `pool.threads()`, and its task plans (and
+    /// therefore its bits) are identical to a private pool of that
+    /// width. Ignored by the sequential engines.
+    ///
+    /// ```
+    /// use fastbn_bayesnet::datasets;
+    /// use fastbn_inference::{EngineKind, Solver};
+    /// use fastbn_parallel::ThreadPool;
+    ///
+    /// let pool = ThreadPool::shared(2);
+    /// let a = Solver::builder(&datasets::asia())
+    ///     .engine(EngineKind::Hybrid)
+    ///     .pool(pool.clone())
+    ///     .build();
+    /// let b = Solver::builder(&datasets::sprinkler())
+    ///     .engine(EngineKind::Hybrid)
+    ///     .pool(pool)
+    ///     .build();
+    /// assert_eq!(a.threads(), 2);
+    /// assert!(std::sync::Arc::ptr_eq(
+    ///     &a.pool_handle().unwrap(),
+    ///     &b.pool_handle().unwrap(),
+    /// ));
+    /// ```
+    pub fn pool(mut self, pool: Arc<fastbn_parallel::ThreadPool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -359,7 +407,10 @@ impl SolverBuilder<'_> {
             Source::Net(net, options) => Arc::new(Prepared::new(net, &options)),
             Source::Prepared(prepared) => prepared,
         };
-        let engine = make_engine(self.kind, prepared.clone(), self.threads);
+        let engine = match self.pool {
+            Some(pool) => make_engine_on(self.kind, prepared.clone(), pool),
+            None => make_engine(self.kind, prepared.clone(), self.threads),
+        };
         Solver {
             prepared,
             engine,

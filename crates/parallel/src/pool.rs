@@ -25,6 +25,19 @@ use crate::schedule::Schedule;
 /// caller drains its own region, so progress is guaranteed), though the
 /// Fast-BNI engines never need them — avoiding nesting is precisely the
 /// point of the paper's flattening.
+///
+/// # Sharing one pool between tenants
+///
+/// Because every entry point takes `&self` and regions interleave
+/// safely, a single pool can back any number of independent tenants —
+/// multiple engine instances, multiple compiled models, batch chunks —
+/// instead of each spawning its own worker team. Construct one with
+/// [`ThreadPool::shared`] and hand the `Arc` to each tenant: N models
+/// then contend for `t` workers (the machine's cores) rather than
+/// oversubscribing the host with `N × t` threads. Determinism is
+/// unaffected: a region's chunk layout depends only on its schedule and
+/// the pool width, never on which other tenants' regions are in flight
+/// (asserted by `shared_pool_tenants_do_not_perturb_each_other` below).
 pub struct ThreadPool {
     sender: Option<Sender<Arc<Region>>>,
     workers: Vec<JoinHandle<()>>,
@@ -51,6 +64,15 @@ impl ThreadPool {
             workers,
             threads,
         }
+    }
+
+    /// Spawns a pool wrapped in an [`Arc`], ready to be **shared** by
+    /// several tenants (engines, compiled models, serving workers). This
+    /// is the constructor the multi-model registry hands to every model
+    /// it compiles, so mixed traffic across many networks runs on one
+    /// worker team instead of one team per model.
+    pub fn shared(threads: usize) -> Arc<Self> {
+        Arc::new(ThreadPool::new(threads))
     }
 
     /// Pool width, including the participating caller.
@@ -540,6 +562,42 @@ mod tests {
             });
         }
         assert_eq!(total.into_inner(), 2000 * (15 * 16 / 2));
+    }
+
+    #[test]
+    fn shared_pool_tenants_do_not_perturb_each_other() {
+        // The multi-model contract: a tenant's reduction over a shared
+        // pool is bit-identical to the same reduction run alone on a
+        // private pool of the same width, no matter what other tenants
+        // are doing concurrently. Chunk layout depends only on
+        // (schedule, len), and the fold is chunk-ordered.
+        let data_a: Vec<f64> = (0..4096).map(|i| (i as f64).sin()).collect();
+        let data_b: Vec<f64> = (0..2999).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let reduce = |pool: &ThreadPool, data: &[f64]| {
+            pool.parallel_reduce(
+                0..data.len(),
+                Schedule::Dynamic { grain: 64 },
+                0.0,
+                |s, e| data[s..e].iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+        };
+        let private = ThreadPool::new(4);
+        let solo_a = reduce(&private, &data_a);
+        let solo_b = reduce(&private, &data_b);
+        let shared = ThreadPool::shared(4);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let shared = Arc::clone(&shared);
+                let (a, b) = (&data_a, &data_b);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(reduce(&shared, a).to_bits(), solo_a.to_bits());
+                        assert_eq!(reduce(&shared, b).to_bits(), solo_b.to_bits());
+                    }
+                });
+            }
+        });
     }
 
     #[test]

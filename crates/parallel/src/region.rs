@@ -4,6 +4,13 @@
 //! schedule, a type-erased loop body, and the bookkeeping that lets any
 //! number of threads (including only the caller) retire every chunk exactly
 //! once.
+//!
+//! Regions are self-contained: all coordination state lives in the
+//! region itself, never in the pool, which is what makes one pool safe
+//! to share between arbitrarily many concurrent callers (the
+//! multi-model registry leans on this — every compiled model's regions
+//! interleave on one worker team). A worker that picks a region off the
+//! queue after it has completed simply retires zero chunks.
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};

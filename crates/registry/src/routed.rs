@@ -1,0 +1,759 @@
+//! The [`RoutedServer`]: model-aware micro-batching over a
+//! [`Registry`] — the generalization of `fastbn-serve`'s single-model
+//! queue/window/cancellation machinery to many models on one worker
+//! pool.
+//!
+//! # How a routed request flows
+//!
+//! 1. [`RoutedServer::submit`] (blocking backpressure) or
+//!    [`RoutedServer::try_submit`] (fail-fast) resolves the **model
+//!    id** against the registry — an unknown id is a typed
+//!    [`SubmitErrorKind::UnknownModel`] with the query handed back —
+//!    then places the query, the resolved `Arc<Solver>`, and a oneshot
+//!    reply slot on the bounded queue, returning a [`Pending`] handle.
+//!    Resolving at submit time is what makes hot unload safe: the
+//!    request co-owns its model from acceptance to delivery.
+//! 2. A worker pops the first waiting request, then keeps collecting
+//!    until it has [`max_batch`](RoutedServerBuilder::max_batch)
+//!    requests or [`max_delay`](RoutedServerBuilder::max_delay) has
+//!    elapsed since the first pop — the micro-batching window.
+//! 3. The window is **grouped by model** — by (id, solver instance),
+//!    so a hot-reloaded model never shares a batch with its
+//!    predecessor and per-model counters stay exact even when one
+//!    solver is registered under several ids —
+//!    and each group runs as one `QueryBatch` through
+//!    [`Solver::query_batch`] — wide groups spread across the shared
+//!    pool exactly like `Session::run_batch`. In-window dedup
+//!    collapses requests with equal canonical `QueryKey`s *within a
+//!    group*; models never share computations.
+//! 4. Each result is delivered through its request's oneshot. Dropping
+//!    a [`Pending`] cancels; shutdown drains accepted requests and
+//!    joins the workers.
+//!
+//! Global traffic counters keep the single-model
+//! [`ServerStats`] contract; [`RoutedServer::model_stats`] adds the
+//! per-model breakdown.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_channel::{RecvTimeoutError, TrySendError};
+use fastbn_inference::{InferenceError, Query, QueryBatch, QueryKey, QueryResult, Solver};
+
+use crate::oneshot::{saturating_deadline, slot, SlotReceiver, SlotSender, WaitError};
+use crate::registry::Registry;
+use crate::stats::{Counters, ModelCounters, ModelStats, ServerStats};
+
+/// One queued request: the query, the model it was routed to (id,
+/// resolved solver, per-model counters), and the oneshot that delivers
+/// its result.
+struct Request {
+    solver: Arc<Solver>,
+    model: Arc<ModelTrack>,
+    query: Query,
+    reply: SlotSender<Result<QueryResult, InferenceError>>,
+}
+
+/// A model id's counter block, shared by every request routed to it.
+struct ModelTrack {
+    id: String,
+    counters: ModelCounters,
+}
+
+/// Why a waiting client got no result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The query itself failed (impossible evidence, malformed
+    /// likelihood, …) — the serving layer worked fine.
+    Inference(InferenceError),
+    /// The server went away before answering (shut down mid-flight or a
+    /// worker died); the request was accepted but never completed.
+    Abandoned,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Inference(e) => write!(f, "inference failed: {e}"),
+            ServeError::Abandoned => f.write_str("request abandoned: server went away"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Inference(e) => Some(e),
+            ServeError::Abandoned => None,
+        }
+    }
+}
+
+impl From<InferenceError> for ServeError {
+    fn from(e: InferenceError) -> Self {
+        ServeError::Inference(e)
+    }
+}
+
+/// Why a submission was not accepted. The rejected [`Query`] is handed
+/// back so the caller can retry, reroute, or degrade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitError {
+    query: Query,
+    model: String,
+    kind: SubmitErrorKind,
+}
+
+/// The rejection reason of a [`SubmitError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitErrorKind {
+    /// The bounded queue is at capacity (`try_submit` only — `submit`
+    /// blocks instead).
+    QueueFull,
+    /// The server has been shut down.
+    ShutDown,
+    /// No model with the requested id is resident in the registry
+    /// (never loaded, removed, or evicted).
+    UnknownModel,
+}
+
+impl SubmitError {
+    pub(crate) fn new(query: Query, model: String, kind: SubmitErrorKind) -> Self {
+        SubmitError { query, model, kind }
+    }
+
+    /// The rejection reason.
+    pub fn kind(&self) -> SubmitErrorKind {
+        self.kind
+    }
+
+    /// The model id the submission was routed to (the single-model
+    /// compatibility surface in `fastbn-serve` always routes to its
+    /// `SINGLE_MODEL_ID`).
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Recovers the rejected query.
+    pub fn into_query(self) -> Query {
+        self.query
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            SubmitErrorKind::QueueFull => f.write_str("request rejected: queue at capacity"),
+            SubmitErrorKind::ShutDown => f.write_str("request rejected: server shut down"),
+            SubmitErrorKind::UnknownModel => {
+                write!(
+                    f,
+                    "request rejected: no model {:?} in the registry",
+                    self.model
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A handle to one in-flight request. Wait on it for the result — or
+/// drop it to cancel the request (workers skip cancelled requests that
+/// have not started and discard results that finish after the drop).
+#[must_use = "dropping a Pending handle cancels the request"]
+pub struct Pending {
+    rx: SlotReceiver<Result<QueryResult, InferenceError>>,
+}
+
+impl Pending {
+    /// Blocks until the result arrives (or the server goes away).
+    pub fn wait(self) -> Result<QueryResult, ServeError> {
+        match self.rx.wait() {
+            Ok(result) => result.map_err(ServeError::from),
+            Err(WaitError::Abandoned) => Err(ServeError::Abandoned),
+        }
+    }
+
+    /// Waits up to `timeout`; on expiry the handle is returned so the
+    /// caller can keep waiting — or drop it, which cancels the request.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<QueryResult, ServeError>, Self> {
+        match self.rx.wait_timeout(timeout) {
+            Ok(Ok(result)) => Ok(result.map_err(ServeError::from)),
+            Ok(Err(WaitError::Abandoned)) => Ok(Err(ServeError::Abandoned)),
+            Err(rx) => Err(Pending { rx }),
+        }
+    }
+}
+
+impl std::fmt::Debug for Pending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pending").finish_non_exhaustive()
+    }
+}
+
+/// Configures and starts a [`RoutedServer`]; the micro-batching knobs
+/// are identical to the single-model server's.
+pub struct RoutedServerBuilder {
+    registry: Arc<Registry>,
+    workers: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    queue_capacity: Option<usize>,
+    dedup: bool,
+}
+
+impl RoutedServerBuilder {
+    /// Number of worker threads (default 1). Workers dispatch
+    /// independent windows concurrently; every dispatched batch runs
+    /// on the registry's shared pool.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Largest micro-batch window a worker collects (default 16). A
+    /// window closes as soon as it holds this many requests, without
+    /// waiting out the delay. Mixed windows dispatch one batch per
+    /// model in them.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Longest a worker waits, measured from the first request it
+    /// pops, for more requests before dispatching a partial window
+    /// (default 500µs). Zero still coalesces whatever is already
+    /// queued.
+    pub fn max_delay(mut self, max_delay: Duration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Bounded queue capacity (default `2 × workers × max_batch`).
+    /// When full, [`RoutedServer::submit`] blocks and
+    /// [`RoutedServer::try_submit`] rejects — backpressure instead of
+    /// unbounded buffering.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Whether a window deduplicates identical in-flight requests of
+    /// the **same model** (default on; equal canonical `QueryKey`s on
+    /// the same solver imply bit-identical results, so one computation
+    /// fans out to every waiter).
+    pub fn dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Starts the workers and returns the running server.
+    pub fn build(self) -> RoutedServer {
+        let queue_capacity = self
+            .queue_capacity
+            .unwrap_or(2 * self.workers * self.max_batch)
+            .max(1);
+        let (sender, receiver) = crossbeam_channel::bounded::<Request>(queue_capacity);
+        let counters = Arc::new(Counters::default());
+        let workers = (0..self.workers)
+            .map(|i| {
+                let rx = receiver.clone();
+                let counters = Arc::clone(&counters);
+                let max_batch = self.max_batch;
+                let max_delay = self.max_delay;
+                let dedup = self.dedup;
+                std::thread::Builder::new()
+                    .name(format!("fastbn-route-{i}"))
+                    .spawn(move || worker_loop(rx, max_batch, max_delay, dedup, &counters))
+                    .expect("failed to spawn fastbn routing worker")
+            })
+            .collect();
+        RoutedServer {
+            queue: RwLock::new(Some(sender)),
+            workers: Mutex::new(workers),
+            counters,
+            models: RwLock::new(HashMap::new()),
+            registry: self.registry,
+            worker_count: self.workers,
+            max_batch: self.max_batch,
+            max_delay: self.max_delay,
+            queue_capacity,
+            dedup: self.dedup,
+        }
+    }
+}
+
+/// A micro-batching serving front end routing requests by model id
+/// over a shared [`Registry`].
+///
+/// Results are **bit-identical** to running each query alone on a
+/// standalone single-model `Solver` of the same engine and width —
+/// routing, mixed windows, pool sharing, and worker scheduling are
+/// invisible to clients (asserted by `tests/registry.rs`).
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use fastbn_bayesnet::datasets;
+/// use fastbn_inference::Query;
+/// use fastbn_registry::{ModelConfig, Registry, RoutedServer};
+///
+/// let registry = Arc::new(Registry::builder().threads(2).build());
+/// registry.load("asia", &datasets::asia(), &ModelConfig::new()).unwrap();
+/// registry.load("sprinkler", &datasets::sprinkler(), &ModelConfig::new()).unwrap();
+///
+/// let server = RoutedServer::builder(Arc::clone(&registry))
+///     .workers(2)
+///     .max_batch(8)
+///     .max_delay(Duration::from_micros(200))
+///     .build();
+///
+/// // Mixed traffic: requests carry the model id they are for.
+/// let pending: Vec<_> = (0..8)
+///     .map(|i| {
+///         let model = if i % 2 == 0 { "asia" } else { "sprinkler" };
+///         server.submit(model, Query::new()).unwrap()
+///     })
+///     .collect();
+/// for p in pending {
+///     assert!(p.wait().unwrap().posteriors().unwrap().prob_evidence > 0.0);
+/// }
+///
+/// // Per-model accounting rides along with the global counters.
+/// server.shutdown();
+/// let per_model = server.model_stats();
+/// assert_eq!(per_model.len(), 2);
+/// assert!(per_model.iter().all(|m| m.submitted == m.completed + m.cancelled));
+/// ```
+pub struct RoutedServer {
+    /// `Some` while accepting; `None` after shutdown. Submitters clone
+    /// the sender out of the read lock, so a blocking `submit` never
+    /// holds the lock while parked on a full queue.
+    queue: RwLock<Option<crossbeam_channel::Sender<Request>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    counters: Arc<Counters>,
+    /// Per-model counter blocks, created on a model's first
+    /// submission. Kept across unload/reload so `model_stats` totals
+    /// stay monotonic (the drain invariant needs history, not
+    /// residency).
+    models: RwLock<HashMap<String, Arc<ModelTrack>>>,
+    registry: Arc<Registry>,
+    worker_count: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    queue_capacity: usize,
+    dedup: bool,
+}
+
+impl RoutedServer {
+    /// Starts a routed server with default settings (1 worker,
+    /// windows of up to 16 requests × 500µs). Use
+    /// [`RoutedServer::builder`] to tune.
+    pub fn new(registry: Arc<Registry>) -> RoutedServer {
+        RoutedServer::builder(registry).build()
+    }
+
+    /// Starts configuring a routed server over `registry`.
+    pub fn builder(registry: Arc<Registry>) -> RoutedServerBuilder {
+        RoutedServerBuilder {
+            registry,
+            workers: 1,
+            max_batch: 16,
+            max_delay: Duration::from_micros(500),
+            queue_capacity: None,
+            dedup: true,
+        }
+    }
+
+    /// Submits a query for `model`, **blocking while the queue is
+    /// full** (backpressure). Fails with
+    /// [`SubmitErrorKind::UnknownModel`] when the id is not resident,
+    /// or [`SubmitErrorKind::ShutDown`] after [`RoutedServer::shutdown`]
+    /// — the query is handed back either way.
+    pub fn submit(&self, model: &str, query: Query) -> Result<Pending, SubmitError> {
+        let (sender, request, rx) = self.admit(model, query)?;
+        match sender.send(request) {
+            Ok(()) => Ok(Pending { rx }),
+            Err(crossbeam_channel::SendError(request)) => {
+                Err(self.retract(request, SubmitErrorKind::ShutDown))
+            }
+        }
+    }
+
+    /// Submits without blocking; a full queue rejects with
+    /// [`SubmitErrorKind::QueueFull`] (the query handed back) instead
+    /// of waiting.
+    pub fn try_submit(&self, model: &str, query: Query) -> Result<Pending, SubmitError> {
+        let (sender, request, rx) = self.admit(model, query)?;
+        match sender.try_send(request) {
+            Ok(()) => Ok(Pending { rx }),
+            Err(TrySendError::Full(request)) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(self.retract(request, SubmitErrorKind::QueueFull))
+            }
+            Err(TrySendError::Disconnected(request)) => {
+                Err(self.retract(request, SubmitErrorKind::ShutDown))
+            }
+        }
+    }
+
+    /// The shared admission path: resolve the model, pre-count the
+    /// submission (global and per-model, **before** the send — a
+    /// worker may complete the request before the submitter runs
+    /// again, and `completed` must never lead `submitted` in any
+    /// snapshot), and assemble the request.
+    #[allow(clippy::type_complexity)]
+    fn admit(
+        &self,
+        model: &str,
+        query: Query,
+    ) -> Result<
+        (
+            crossbeam_channel::Sender<Request>,
+            Request,
+            SlotReceiver<Result<QueryResult, InferenceError>>,
+        ),
+        SubmitError,
+    > {
+        let Some(sender) = self.sender() else {
+            return Err(SubmitError::new(
+                query,
+                model.to_string(),
+                SubmitErrorKind::ShutDown,
+            ));
+        };
+        let Some(solver) = self.registry.get(model) else {
+            return Err(SubmitError::new(
+                query,
+                model.to_string(),
+                SubmitErrorKind::UnknownModel,
+            ));
+        };
+        let track = self.track(model);
+        self.counters.submitted.fetch_add(1, Ordering::SeqCst);
+        track.counters.submitted.fetch_add(1, Ordering::SeqCst);
+        let (reply, rx) = slot();
+        let request = Request {
+            solver,
+            model: track,
+            query,
+            reply,
+        };
+        Ok((sender, request, rx))
+    }
+
+    /// Undoes a pre-counted submission whose send failed, recovering
+    /// the query into a typed error.
+    fn retract(&self, request: Request, kind: SubmitErrorKind) -> SubmitError {
+        self.counters.submitted.fetch_sub(1, Ordering::SeqCst);
+        request
+            .model
+            .counters
+            .submitted
+            .fetch_sub(1, Ordering::SeqCst);
+        SubmitError::new(request.query, request.model.id.clone(), kind)
+    }
+
+    /// The counter block for `model`, created on first use.
+    fn track(&self, model: &str) -> Arc<ModelTrack> {
+        if let Some(track) = self
+            .models
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(model)
+        {
+            return Arc::clone(track);
+        }
+        let mut models = self.models.write().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(models.entry(model.to_string()).or_insert_with(|| {
+            Arc::new(ModelTrack {
+                id: model.to_string(),
+                counters: ModelCounters::default(),
+            })
+        }))
+    }
+
+    /// Stops accepting, lets the workers drain every already-accepted
+    /// request, and joins them. Idempotent; also runs on drop.
+    /// Requests still queued at this point are *completed*, not
+    /// discarded — only submissions after the call are rejected.
+    pub fn shutdown(&self) {
+        drop(
+            self.queue
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take(),
+        );
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// True once [`RoutedServer::shutdown`] has run (or started).
+    pub fn is_shut_down(&self) -> bool {
+        self.sender().is_none()
+    }
+
+    /// A snapshot of the global traffic counters.
+    pub fn stats(&self) -> ServerStats {
+        self.counters.snapshot()
+    }
+
+    /// The per-model traffic breakdown, sorted by model id. Covers
+    /// every model ever submitted to (unloaded models keep their
+    /// history). The rows sum to the global [`RoutedServer::stats`]
+    /// stage counters, and after a drain each row satisfies
+    /// `submitted == completed + cancelled` on its own.
+    pub fn model_stats(&self) -> Vec<ModelStats> {
+        let mut rows: Vec<ModelStats> = self
+            .models
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .map(|track| track.counters.snapshot(&track.id))
+            .collect();
+        rows.sort_unstable_by(|a, b| a.model.cmp(&b.model));
+        rows
+    }
+
+    /// One model's traffic counters, if it has ever been submitted to.
+    pub fn model_stats_for(&self, model: &str) -> Option<ModelStats> {
+        self.models
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(model)
+            .map(|track| track.counters.snapshot(&track.id))
+    }
+
+    /// The registry requests are routed against.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Largest micro-batch window a worker collects.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// The micro-batching window measured from a window's first
+    /// request.
+    pub fn max_delay(&self) -> Duration {
+        self.max_delay
+    }
+
+    /// Bounded queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Whether windows deduplicate identical in-flight requests.
+    pub fn dedup(&self) -> bool {
+        self.dedup
+    }
+
+    fn sender(&self) -> Option<crossbeam_channel::Sender<Request>> {
+        self.queue
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .cloned()
+    }
+}
+
+impl std::fmt::Debug for RoutedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutedServer")
+            .field("registry", &self.registry)
+            .field("workers", &self.worker_count)
+            .field("max_batch", &self.max_batch)
+            .field("max_delay", &self.max_delay)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("dedup", &self.dedup)
+            .field("shut_down", &self.is_shut_down())
+            .finish()
+    }
+}
+
+impl Drop for RoutedServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: pop a request, hold the window open until `max_batch`
+/// requests or `max_delay` elapsed, dispatch the window grouped by
+/// model, repeat; exit (after a final dispatch) once the queue is
+/// closed and drained.
+fn worker_loop(
+    rx: crossbeam_channel::Receiver<Request>,
+    max_batch: usize,
+    max_delay: Duration,
+    dedup: bool,
+    counters: &Counters,
+) {
+    let mut window: Vec<Request> = Vec::with_capacity(max_batch);
+    loop {
+        let first = match rx.recv() {
+            Ok(request) => request,
+            Err(_) => return, // queue closed and drained
+        };
+        counters.dequeued.fetch_add(1, Ordering::SeqCst);
+        window.push(first);
+        let deadline = saturating_deadline(max_delay);
+        let mut disconnected = false;
+        while window.len() < max_batch {
+            match rx.recv_deadline(deadline) {
+                Ok(request) => {
+                    counters.dequeued.fetch_add(1, Ordering::SeqCst);
+                    window.push(request);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        dispatch_window(&mut window, dedup, counters);
+        if disconnected {
+            return;
+        }
+    }
+}
+
+/// Dispatches one collected window: drop cancelled requests, group the
+/// rest by **(model id, solver instance)** — the model-track half
+/// keeps per-model accounting exact when one solver is registered
+/// under several ids, the instance half keeps a hot-reloaded model
+/// from ever sharing a batch (or a dedup slot) with its predecessor —
+/// then run each group. Groups are isolated against engine panics: a
+/// panicking dispatch abandons only its own group's requests
+/// ([`ServeError::Abandoned`]) — other models in the window, and the
+/// worker itself, keep going.
+fn dispatch_window(window: &mut Vec<Request>, dedup: bool, counters: &Counters) {
+    window.retain(|request| {
+        let live = !request.reply.is_cancelled();
+        if !live {
+            counters.cancelled.fetch_add(1, Ordering::SeqCst);
+            request
+                .model
+                .counters
+                .cancelled
+                .fetch_add(1, Ordering::SeqCst);
+        }
+        live
+    });
+    if window.is_empty() {
+        return;
+    }
+    let mut groups: Vec<Vec<Request>> = Vec::new();
+    let mut by_solver: HashMap<(*const ModelTrack, *const Solver), usize> = HashMap::new();
+    for request in window.drain(..) {
+        let key = (Arc::as_ptr(&request.model), Arc::as_ptr(&request.solver));
+        match by_solver.entry(key) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                groups[*slot.get()].push(request);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(groups.len());
+                groups.push(vec![request]);
+            }
+        }
+    }
+    for group in groups {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dispatch_group(group, dedup, counters)
+        }));
+        if outcome.is_err() {
+            // The group's replies died mid-unwind (their clients see
+            // `Abandoned`); the worker and the window's other models
+            // are unaffected.
+            counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs one model's share of a window as a single `QueryBatch` and
+/// delivers each slot's result. With `dedup` on, requests whose
+/// canonical `QueryKey`s match collapse into one computed slot whose
+/// result fans out to every waiter (bit-identical by the key
+/// contract — and only ever within one solver instance).
+fn dispatch_group(group: Vec<Request>, dedup: bool, counters: &Counters) {
+    debug_assert!(!group.is_empty());
+    let solver = Arc::clone(&group[0].solver);
+    let model = Arc::clone(&group[0].model);
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    model.counters.batches.fetch_add(1, Ordering::Relaxed);
+    // One computed slot per distinct key; every reply hangs off its slot.
+    let mut queries: Vec<Query> = Vec::with_capacity(group.len());
+    let mut waiters: Vec<Vec<SlotSender<Result<QueryResult, InferenceError>>>> =
+        Vec::with_capacity(group.len());
+    if dedup {
+        let mut seen: HashMap<QueryKey, usize> = HashMap::new();
+        for request in group {
+            match seen.entry(request.query.key()) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    counters.dedups.fetch_add(1, Ordering::Relaxed);
+                    model.counters.dedups.fetch_add(1, Ordering::Relaxed);
+                    waiters[*slot.get()].push(request.reply);
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(queries.len());
+                    queries.push(request.query);
+                    waiters.push(vec![request.reply]);
+                }
+            }
+        }
+    } else {
+        for request in group {
+            queries.push(request.query);
+            waiters.push(vec![request.reply]);
+        }
+    }
+    let batch = QueryBatch::from(queries);
+    let results = solver.query_batch(&batch);
+    for (replies, result) in waiters.into_iter().zip(results) {
+        let mut replies = replies.into_iter();
+        let last = replies.next_back();
+        for reply in replies {
+            deliver(reply, result.clone(), counters, &model);
+        }
+        if let Some(reply) = last {
+            // The representative (or lone) waiter takes the result
+            // without a clone.
+            deliver(reply, result, counters, &model);
+        }
+    }
+}
+
+/// Sends one result through its oneshot, counting the outcome globally
+/// and against the request's model.
+fn deliver(
+    reply: SlotSender<Result<QueryResult, InferenceError>>,
+    result: Result<QueryResult, InferenceError>,
+    counters: &Counters,
+    model: &ModelTrack,
+) {
+    match reply.send(result) {
+        Ok(()) => {
+            counters.completed.fetch_add(1, Ordering::SeqCst);
+            model.counters.completed.fetch_add(1, Ordering::SeqCst);
+        }
+        // The handle was dropped while the batch ran: result
+        // discarded, request counted as cancelled.
+        Err(_) => {
+            counters.cancelled.fetch_add(1, Ordering::SeqCst);
+            model.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+        }
+    };
+}

@@ -1,0 +1,160 @@
+//! Traffic counters for the serving front ends: the global
+//! [`ServerStats`] snapshot (shared with `fastbn-serve`) and the
+//! per-model [`ModelStats`] breakdown the routed server adds on top.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing a server's traffic so far (a snapshot;
+/// concurrently updated by submitters and workers).
+///
+/// # Accounting invariant
+///
+/// Every request is counted **exactly once** at each stage it reaches,
+/// so at any instant
+///
+/// ```text
+/// submitted == completed + cancelled + queued_or_in_flight
+/// ```
+///
+/// where `queued_or_in_flight` is the (unobservable) number of accepted
+/// requests not yet resolved; after a shutdown (the queue fully
+/// drained, workers joined) it is zero and `submitted == completed +
+/// cancelled` exactly — **provided `worker_panics` is 0** (a panicking
+/// dispatch abandons its group's requests mid-unwind; they surface to
+/// clients as `Abandoned` and are counted nowhere else). `rejected`
+/// requests were never accepted, so they sit outside the identity, and
+/// `completed + cancelled ≤ dequeued ≤ submitted` holds throughout. In
+/// particular a request whose handle is dropped *between* dequeue and
+/// delivery is counted once as `cancelled` — never double-counted
+/// across `dequeued` / `cancelled` / `completed`. Locked in by the
+/// stress tests in `tests/serve.rs` and `tests/registry.rs`.
+///
+/// On a routed (multi-model) server the same identity additionally
+/// holds **per model**: see
+/// [`RoutedServer::model_stats`](crate::RoutedServer::model_stats).
+/// `dequeued`, `rejected` and `worker_panics` are tracked globally
+/// only; the per-model stages are [`ModelStats`].
+///
+/// A request answered by the in-window dedup still counts as
+/// `completed` — `dedups` tells you how many of those completions
+/// shared another request's computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests accepted onto the queue.
+    pub submitted: u64,
+    /// `try_submit` rejections due to a full queue.
+    pub rejected: u64,
+    /// Requests popped off the queue by a worker.
+    pub dequeued: u64,
+    /// Results delivered to a live `Pending` handle.
+    pub completed: u64,
+    /// Requests whose handle was dropped — skipped before dispatch or
+    /// discarded after.
+    pub cancelled: u64,
+    /// Micro-batches dispatched (each covering ≥ 1 request; on a routed
+    /// server a mixed window dispatches one batch **per model** in it).
+    pub batches: u64,
+    /// Requests answered by cloning an identical in-flight request's
+    /// result instead of computing their own (in-window dedup; the
+    /// clones are bit-identical by the `QueryKey` contract).
+    pub dedups: u64,
+    /// Dispatches that panicked (an engine bug, not bad input — bad
+    /// input yields a per-slot `Err`). The group's requests surface as
+    /// `Abandoned`; the worker survives and keeps serving.
+    pub worker_panics: u64,
+}
+
+/// One model's share of a routed server's traffic — the per-model
+/// breakdown of [`ServerStats`].
+///
+/// After a drain the per-model identity `submitted == completed +
+/// cancelled` holds for every row (given zero `worker_panics`), and
+/// the rows sum to the global counters: routing never loses or
+/// double-counts a request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModelStats {
+    /// The model id requests were routed by.
+    pub model: String,
+    /// Requests for this model accepted onto the queue.
+    pub submitted: u64,
+    /// Results delivered to live handles.
+    pub completed: u64,
+    /// Requests whose handle was dropped before delivery.
+    pub cancelled: u64,
+    /// Completions that shared another in-flight request's computation.
+    pub dedups: u64,
+    /// Micro-batches dispatched for this model.
+    pub batches: u64,
+}
+
+/// The atomic counters behind [`ServerStats`].
+///
+/// The stage counters (`submitted`, `dequeued`, `completed`,
+/// `cancelled`) use `SeqCst` so the accounting invariant is observable
+/// from a *concurrent* snapshot, not just after shutdown: `submitted`
+/// is incremented **before** the request enters the queue (undone on a
+/// failed send), each later stage is incremented after the earlier
+/// one, and [`Counters::snapshot`] reads the stages in reverse order —
+/// so a snapshot can never catch a completion whose submission it
+/// missed.
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) dequeued: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) dedups: AtomicU64,
+    pub(crate) worker_panics: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        // Read latest-stage counters first: `completed + cancelled ≤
+        // dequeued ≤ submitted` must hold in the snapshot even while
+        // requests race through the pipeline (each read can only miss
+        // increments that post-date the earlier reads).
+        let completed = self.completed.load(Ordering::SeqCst);
+        let cancelled = self.cancelled.load(Ordering::SeqCst);
+        let dequeued = self.dequeued.load(Ordering::SeqCst);
+        let submitted = self.submitted.load(Ordering::SeqCst);
+        ServerStats {
+            submitted,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            dequeued,
+            completed,
+            cancelled,
+            batches: self.batches.load(Ordering::Relaxed),
+            dedups: self.dedups.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One model's atomic counters; same staging discipline as
+/// [`Counters`] (pre-counted `submitted`, reverse-order snapshot).
+#[derive(Default)]
+pub(crate) struct ModelCounters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    pub(crate) dedups: AtomicU64,
+    pub(crate) batches: AtomicU64,
+}
+
+impl ModelCounters {
+    pub(crate) fn snapshot(&self, model: &str) -> ModelStats {
+        let completed = self.completed.load(Ordering::SeqCst);
+        let cancelled = self.cancelled.load(Ordering::SeqCst);
+        let submitted = self.submitted.load(Ordering::SeqCst);
+        ModelStats {
+            model: model.to_string(),
+            submitted,
+            completed,
+            cancelled,
+            dedups: self.dedups.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}

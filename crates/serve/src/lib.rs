@@ -38,6 +38,14 @@
 //! [`Session`](fastbn_inference::Session): batching, scheduling, and
 //! worker count are invisible to clients.
 //!
+//! Since the multi-model registry landed, this crate is a **thin
+//! single-model wrapper**: [`Server`] registers its solver in a
+//! one-entry [`Registry`](fastbn_registry::Registry) and pins a
+//! [`RoutedServer`](fastbn_registry::RoutedServer)'s routing to
+//! [`SINGLE_MODEL_ID`]. Serving several networks from one process —
+//! hot load/unload, a shared worker pool, per-model stats — is
+//! `fastbn-registry`'s job; start from `examples/multi_model.rs`.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use std::time::Duration;
@@ -65,11 +73,11 @@
 //! rather than in the engines — is mapped out in `docs/ARCHITECTURE.md`
 //! at the repository root.
 
-mod oneshot;
 mod server;
 
 pub use server::{
-    Pending, ServeError, Server, ServerBuilder, ServerStats, SubmitError, SubmitErrorKind,
+    ModelStats, Pending, ServeError, Server, ServerBuilder, ServerStats, SubmitError,
+    SubmitErrorKind, SINGLE_MODEL_ID,
 };
 
 // Re-export the request/response vocabulary so serving callers can

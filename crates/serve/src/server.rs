@@ -1,282 +1,49 @@
-//! The [`Server`]: worker threads, a bounded request queue, and
-//! deadline micro-batching over one shared [`Solver`].
+//! The single-model [`Server`]: a thin compatibility wrapper over a
+//! **one-entry registry**.
 //!
-//! # How a request flows
+//! The queue/window/cancellation machinery that used to live here was
+//! generalized to carry a model id per request and now lives in
+//! `fastbn-registry` ([`RoutedServer`]); this module keeps the
+//! original single-model surface — `Server::builder(solver)`,
+//! `submit(query)` without an id — by registering the solver under
+//! [`SINGLE_MODEL_ID`] and routing every submission to it. Semantics
+//! are unchanged: same backpressure, micro-batching windows, in-window
+//! dedup, cancellation, drain-then-join shutdown, and
+//! [`ServerStats`] accounting invariant (`tests/serve.rs` runs against
+//! this wrapper verbatim).
 //!
-//! 1. [`Server::submit`] (blocking backpressure) or
-//!    [`Server::try_submit`] (fail-fast) places a [`Query`] plus a
-//!    oneshot reply slot on the bounded queue and hands the caller a
-//!    [`Pending`] handle.
-//! 2. A worker thread pops the first waiting request, then keeps
-//!    collecting until it has [`max_batch`](ServerBuilder::max_batch)
-//!    requests or [`max_delay`](ServerBuilder::max_delay) has elapsed
-//!    since the first pop — the micro-batching window that trades a
-//!    bounded latency hit for batch throughput.
-//! 3. The collected requests run as one
-//!    [`QueryBatch`](fastbn_inference::QueryBatch) through the worker's
-//!    [`OwnedSession`] — wide windows spread across the engine's worker
-//!    pool exactly like [`Session::run_batch`](fastbn_inference::Session::run_batch).
-//!    Identical in-flight requests (equal canonical
-//!    [`QueryKey`]s) are deduplicated first: one computation fans its
-//!    result out to every waiter ([`ServerBuilder::dedup`], on by
-//!    default, bit-identical by the key contract).
-//! 4. Each result is delivered through its request's oneshot;
-//!    [`Pending::wait`] unblocks with a per-request
-//!    `Result<QueryResult, _>` — batching never smears one request's
-//!    failure onto its neighbours.
-//!
-//! Dropping a [`Pending`] handle cancels the request: a worker that
-//! finds the reply slot dead before dispatch skips the query entirely;
-//! one that finishes after the drop discards the result. Dropping (or
-//! [`Server::shutdown`]ting) the server closes the queue, lets workers
-//! drain every already-accepted request, and joins them.
+//! New code serving **several** networks should use
+//! [`Registry`](fastbn_registry::Registry) + [`RoutedServer`]
+//! directly — see `examples/multi_model.rs`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam_channel::{RecvTimeoutError, TrySendError};
-use fastbn_inference::{
-    InferenceError, OwnedSession, Query, QueryBatch, QueryKey, QueryResult, Solver,
+use fastbn_inference::{Query, Solver};
+use fastbn_registry::{Registry, RoutedServer};
+
+pub use fastbn_registry::{
+    ModelStats, Pending, ServeError, ServerStats, SubmitError, SubmitErrorKind,
 };
 
-use crate::oneshot::{saturating_deadline, slot, SlotReceiver, SlotSender, WaitError};
-
-/// One queued request: the query and the oneshot that delivers its
-/// result.
-struct Request {
-    query: Query,
-    reply: SlotSender<Result<QueryResult, InferenceError>>,
-}
-
-/// Why a waiting client got no result.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ServeError {
-    /// The query itself failed (impossible evidence, malformed
-    /// likelihood, …) — the serving layer worked fine.
-    Inference(InferenceError),
-    /// The server went away before answering (shut down mid-flight or a
-    /// worker died); the request was accepted but never completed.
-    Abandoned,
-}
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServeError::Inference(e) => write!(f, "inference failed: {e}"),
-            ServeError::Abandoned => f.write_str("request abandoned: server went away"),
-        }
-    }
-}
-
-impl std::error::Error for ServeError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            ServeError::Inference(e) => Some(e),
-            ServeError::Abandoned => None,
-        }
-    }
-}
-
-impl From<InferenceError> for ServeError {
-    fn from(e: InferenceError) -> Self {
-        ServeError::Inference(e)
-    }
-}
-
-/// Why a submission was not accepted. The rejected [`Query`] is handed
-/// back so the caller can retry, reroute, or degrade.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SubmitError {
-    query: Query,
-    kind: SubmitErrorKind,
-}
-
-/// The rejection reason of a [`SubmitError`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SubmitErrorKind {
-    /// The bounded queue is at capacity ([`Server::try_submit`] only —
-    /// [`Server::submit`] blocks instead).
-    QueueFull,
-    /// The server has been shut down.
-    ShutDown,
-}
-
-impl SubmitError {
-    /// The rejection reason.
-    pub fn kind(&self) -> SubmitErrorKind {
-        self.kind
-    }
-
-    /// Recovers the rejected query.
-    pub fn into_query(self) -> Query {
-        self.query
-    }
-}
-
-impl std::fmt::Display for SubmitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.kind {
-            SubmitErrorKind::QueueFull => f.write_str("request rejected: queue at capacity"),
-            SubmitErrorKind::ShutDown => f.write_str("request rejected: server shut down"),
-        }
-    }
-}
-
-impl std::error::Error for SubmitError {}
-
-/// A handle to one in-flight request. Wait on it for the result — or
-/// drop it to cancel the request (workers skip cancelled requests that
-/// have not started and discard results that finish after the drop).
-#[must_use = "dropping a Pending handle cancels the request"]
-pub struct Pending {
-    rx: SlotReceiver<Result<QueryResult, InferenceError>>,
-}
-
-impl Pending {
-    /// Blocks until the result arrives (or the server goes away).
-    pub fn wait(self) -> Result<QueryResult, ServeError> {
-        match self.rx.wait() {
-            Ok(result) => result.map_err(ServeError::from),
-            Err(WaitError::Abandoned) => Err(ServeError::Abandoned),
-        }
-    }
-
-    /// Waits up to `timeout`; on expiry the handle is returned so the
-    /// caller can keep waiting — or drop it, which cancels the request.
-    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<QueryResult, ServeError>, Self> {
-        match self.rx.wait_timeout(timeout) {
-            Ok(Ok(result)) => Ok(result.map_err(ServeError::from)),
-            Ok(Err(WaitError::Abandoned)) => Ok(Err(ServeError::Abandoned)),
-            Err(rx) => Err(Pending { rx }),
-        }
-    }
-}
-
-impl std::fmt::Debug for Pending {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Pending").finish_non_exhaustive()
-    }
-}
-
-/// Monotonic counters describing a server's traffic so far (a snapshot;
-/// concurrently updated by submitters and workers).
-///
-/// # Accounting invariant
-///
-/// Every request is counted **exactly once** at each stage it reaches,
-/// so at any instant
-///
-/// ```text
-/// submitted == completed + cancelled + queued_or_in_flight
-/// ```
-///
-/// where `queued_or_in_flight` is the (unobservable) number of accepted
-/// requests not yet resolved; after [`Server::shutdown`] returns (the
-/// queue fully drained, workers joined) it is zero and `submitted ==
-/// completed + cancelled` exactly — **provided `worker_panics` is 0**
-/// (a panicking dispatch abandons its window's requests mid-unwind;
-/// they surface to clients as [`ServeError::Abandoned`] and are counted
-/// nowhere else). `rejected` requests were never accepted, so they sit
-/// outside the identity, and `completed + cancelled ≤ dequeued ≤
-/// submitted` holds throughout. In particular a request whose handle is
-/// dropped *between* dequeue and delivery is counted once as
-/// `cancelled` — never double-counted across `dequeued` / `cancelled` /
-/// `completed`. Locked in by the stress test in `tests/serve.rs`.
-///
-/// A request answered by the in-window dedup (see
-/// [`ServerBuilder::dedup`]) still counts as `completed` — `dedups`
-/// tells you how many of those completions shared another request's
-/// computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct ServerStats {
-    /// Requests accepted onto the queue.
-    pub submitted: u64,
-    /// `try_submit` rejections due to a full queue.
-    pub rejected: u64,
-    /// Requests popped off the queue by a worker.
-    pub dequeued: u64,
-    /// Results delivered to a live [`Pending`] handle.
-    pub completed: u64,
-    /// Requests whose handle was dropped — skipped before dispatch or
-    /// discarded after.
-    pub cancelled: u64,
-    /// Micro-batches dispatched (each covering ≥ 1 request).
-    pub batches: u64,
-    /// Requests answered by cloning an identical in-flight request's
-    /// result instead of computing their own (in-window dedup; the
-    /// clones are bit-identical by the [`QueryKey`] contract).
-    pub dedups: u64,
-    /// Dispatches that panicked (an engine bug, not bad input — bad
-    /// input yields a per-slot `Err`). The window's requests surface as
-    /// [`ServeError::Abandoned`]; the worker survives and keeps serving.
-    pub worker_panics: u64,
-}
-
-/// The atomic counters behind [`ServerStats`].
-///
-/// The stage counters (`submitted`, `dequeued`, `completed`,
-/// `cancelled`) use `SeqCst` so the accounting invariant is observable
-/// from a *concurrent* snapshot, not just after shutdown: `submitted`
-/// is incremented **before** the request enters the queue (undone on a
-/// failed send), each later stage is incremented after the earlier
-/// one, and [`Counters::snapshot`] reads the stages in reverse order —
-/// so a snapshot can never catch a completion whose submission it
-/// missed.
-#[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    dequeued: AtomicU64,
-    completed: AtomicU64,
-    cancelled: AtomicU64,
-    batches: AtomicU64,
-    dedups: AtomicU64,
-    worker_panics: AtomicU64,
-}
-
-impl Counters {
-    fn snapshot(&self) -> ServerStats {
-        // Read latest-stage counters first: `completed + cancelled ≤
-        // dequeued ≤ submitted` must hold in the snapshot even while
-        // requests race through the pipeline (each read can only miss
-        // increments that post-date the earlier reads).
-        let completed = self.completed.load(Ordering::SeqCst);
-        let cancelled = self.cancelled.load(Ordering::SeqCst);
-        let dequeued = self.dequeued.load(Ordering::SeqCst);
-        let submitted = self.submitted.load(Ordering::SeqCst);
-        ServerStats {
-            submitted,
-            rejected: self.rejected.load(Ordering::Relaxed),
-            dequeued,
-            completed,
-            cancelled,
-            batches: self.batches.load(Ordering::Relaxed),
-            dedups: self.dedups.load(Ordering::Relaxed),
-            worker_panics: self.worker_panics.load(Ordering::Relaxed),
-        }
-    }
-}
+/// The model id a single-model [`Server`] registers its solver under.
+/// Visible through [`Server::model_stats`] rows and
+/// [`SubmitError::model`].
+pub const SINGLE_MODEL_ID: &str = "default";
 
 /// Configures and starts a [`Server`]; see the field setters for the
 /// micro-batching knobs.
 pub struct ServerBuilder {
     solver: Arc<Solver>,
-    workers: usize,
-    max_batch: usize,
-    max_delay: Duration,
-    queue_capacity: Option<usize>,
-    dedup: bool,
+    inner: fastbn_registry::RoutedServerBuilder,
 }
 
 impl ServerBuilder {
-    /// Number of worker threads, each with its own [`OwnedSession`]
-    /// (default 1). Workers dispatch independent micro-batches
-    /// concurrently; their inner `run_batch` calls interleave on the
-    /// engine's shared pool.
+    /// Number of worker threads (default 1). Workers dispatch
+    /// independent micro-batches concurrently; their inner `run_batch`
+    /// calls interleave on the engine's shared pool.
     pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+        self.inner = self.inner.workers(workers);
         self
     }
 
@@ -284,7 +51,7 @@ impl ServerBuilder {
     /// closes as soon as it holds this many requests, without waiting
     /// out the delay.
     pub fn max_batch(mut self, max_batch: usize) -> Self {
-        self.max_batch = max_batch.max(1);
+        self.inner = self.inner.max_batch(max_batch);
         self
     }
 
@@ -292,7 +59,7 @@ impl ServerBuilder {
     /// for more requests before dispatching a partial batch (default
     /// 500µs). Zero still coalesces whatever is already queued.
     pub fn max_delay(mut self, max_delay: Duration) -> Self {
-        self.max_delay = max_delay;
+        self.inner = self.inner.max_delay(max_delay);
         self
     }
 
@@ -300,68 +67,31 @@ impl ServerBuilder {
     /// full, [`Server::submit`] blocks and [`Server::try_submit`]
     /// rejects — backpressure instead of unbounded buffering.
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
-        self.queue_capacity = Some(capacity.max(1));
+        self.inner = self.inner.queue_capacity(capacity);
         self
     }
 
     /// Whether a micro-batch window deduplicates identical in-flight
-    /// requests (default **on**). Requests whose canonical
-    /// [`QueryKey`]s match are dispatched as *one* query; the result
-    /// fans out to every waiter. Safe to leave on: equal keys imply the
-    /// engine would perform the exact same arithmetic, so the clones
-    /// are bit-identical to individual computation (each fan-out still
-    /// counts as `completed`; [`ServerStats::dedups`] counts the shared
-    /// ones). Turn it off to measure raw per-request engine throughput.
+    /// requests (default **on**). Requests whose canonical `QueryKey`s
+    /// match are dispatched as *one* query; the result fans out to
+    /// every waiter, bit-identically.
     pub fn dedup(mut self, dedup: bool) -> Self {
-        self.dedup = dedup;
+        self.inner = self.inner.dedup(dedup);
         self
     }
 
     /// Starts the workers and returns the running server.
     pub fn build(self) -> Server {
-        let queue_capacity = self
-            .queue_capacity
-            .unwrap_or(2 * self.workers * self.max_batch)
-            .max(1);
-        let (sender, receiver) = crossbeam_channel::bounded::<Request>(queue_capacity);
-        let counters = Arc::new(Counters::default());
-        let workers = (0..self.workers)
-            .map(|i| {
-                let session = OwnedSession::new(Arc::clone(&self.solver));
-                let rx = receiver.clone();
-                let counters = Arc::clone(&counters);
-                let max_batch = self.max_batch;
-                let max_delay = self.max_delay;
-                let dedup = self.dedup;
-                std::thread::Builder::new()
-                    .name(format!("fastbn-serve-{i}"))
-                    .spawn(move || worker_loop(session, rx, max_batch, max_delay, dedup, &counters))
-                    .expect("failed to spawn fastbn serve worker")
-            })
-            .collect();
         Server {
-            queue: RwLock::new(Some(sender)),
-            workers: Mutex::new(workers),
-            counters,
             solver: self.solver,
-            worker_count: self.workers,
-            max_batch: self.max_batch,
-            max_delay: self.max_delay,
-            queue_capacity,
-            dedup: self.dedup,
+            inner: self.inner.build(),
         }
     }
 }
 
-/// A micro-batching serving front end over one shared [`Solver`].
-///
-/// Owns N worker threads (each holding an [`OwnedSession`]) fed by a
-/// bounded MPMC queue. Submissions return [`Pending`] handles; workers
-/// coalesce waiting requests into deadline-bounded
-/// [`QueryBatch`](fastbn_inference::QueryBatch)es, so under load the
-/// engine sees wide batches (outer parallelism across its pool) while a
-/// lone request still leaves after at most
-/// [`max_delay`](ServerBuilder::max_delay).
+/// A micro-batching serving front end over one shared [`Solver`] — a
+/// one-entry [`Registry`](fastbn_registry::Registry) behind a
+/// [`RoutedServer`] with the routing pinned to [`SINGLE_MODEL_ID`].
 ///
 /// Results are **bit-identical** to running each query alone through a
 /// [`Session`](fastbn_inference::Session) — batching and scheduling are
@@ -398,18 +128,8 @@ impl ServerBuilder {
 /// assert!(server.submit(Query::new()).is_err());
 /// ```
 pub struct Server {
-    /// `Some` while accepting; `None` after shutdown. Submitters clone
-    /// the sender out of the read lock, so a blocking `submit` never
-    /// holds the lock while parked on a full queue.
-    queue: RwLock<Option<crossbeam_channel::Sender<Request>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
-    counters: Arc<Counters>,
     solver: Arc<Solver>,
-    worker_count: usize,
-    max_batch: usize,
-    max_delay: Duration,
-    queue_capacity: usize,
-    dedup: bool,
+    inner: RoutedServer,
 }
 
 impl Server {
@@ -421,75 +141,27 @@ impl Server {
 
     /// Starts configuring a server over `solver`.
     pub fn builder(solver: Arc<Solver>) -> ServerBuilder {
+        let registry = Arc::new(Registry::builder().build());
+        registry
+            .insert(SINGLE_MODEL_ID, Arc::clone(&solver))
+            .expect("a fresh unbounded registry always has room");
         ServerBuilder {
             solver,
-            workers: 1,
-            max_batch: 16,
-            max_delay: Duration::from_micros(500),
-            queue_capacity: None,
-            dedup: true,
+            inner: RoutedServer::builder(registry),
         }
     }
 
     /// Submits a query, **blocking while the queue is full**
     /// (backpressure). Fails only after [`Server::shutdown`].
     pub fn submit(&self, query: Query) -> Result<Pending, SubmitError> {
-        let Some(sender) = self.sender() else {
-            return Err(SubmitError {
-                query,
-                kind: SubmitErrorKind::ShutDown,
-            });
-        };
-        let (reply, rx) = slot();
-        // Count the submission *before* the send: a worker may dequeue
-        // and complete the request before this thread runs again, and
-        // `completed` must never lead `submitted` in any snapshot.
-        self.counters.submitted.fetch_add(1, Ordering::SeqCst);
-        match sender.send(Request { query, reply }) {
-            Ok(()) => Ok(Pending { rx }),
-            Err(crossbeam_channel::SendError(request)) => {
-                self.counters.submitted.fetch_sub(1, Ordering::SeqCst);
-                Err(SubmitError {
-                    query: request.query,
-                    kind: SubmitErrorKind::ShutDown,
-                })
-            }
-        }
+        self.inner.submit(SINGLE_MODEL_ID, query)
     }
 
     /// Submits a query without blocking; a full queue rejects with
     /// [`SubmitErrorKind::QueueFull`] (the query handed back) instead of
     /// waiting.
     pub fn try_submit(&self, query: Query) -> Result<Pending, SubmitError> {
-        let Some(sender) = self.sender() else {
-            return Err(SubmitError {
-                query,
-                kind: SubmitErrorKind::ShutDown,
-            });
-        };
-        let (reply, rx) = slot();
-        // Pre-counted for the same snapshot-consistency reason as
-        // `submit`; undone on rejection (a transiently-high `submitted`
-        // is harmless, a transiently-low one would let `completed` lead).
-        self.counters.submitted.fetch_add(1, Ordering::SeqCst);
-        match sender.try_send(Request { query, reply }) {
-            Ok(()) => Ok(Pending { rx }),
-            Err(TrySendError::Full(request)) => {
-                self.counters.submitted.fetch_sub(1, Ordering::SeqCst);
-                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(SubmitError {
-                    query: request.query,
-                    kind: SubmitErrorKind::QueueFull,
-                })
-            }
-            Err(TrySendError::Disconnected(request)) => {
-                self.counters.submitted.fetch_sub(1, Ordering::SeqCst);
-                Err(SubmitError {
-                    query: request.query,
-                    kind: SubmitErrorKind::ShutDown,
-                })
-            }
-        }
+        self.inner.try_submit(SINGLE_MODEL_ID, query)
     }
 
     /// Stops accepting, lets the workers drain every already-accepted
@@ -497,28 +169,23 @@ impl Server {
     /// still queued at this point are *completed*, not discarded — only
     /// submissions after the call are rejected.
     pub fn shutdown(&self) {
-        // Dropping the sender closes the queue; workers finish the
-        // backlog and exit on disconnect.
-        drop(
-            self.queue
-                .write()
-                .unwrap_or_else(PoisonError::into_inner)
-                .take(),
-        );
-        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
-        for handle in workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.inner.shutdown();
     }
 
     /// True once [`Server::shutdown`] has run (or started).
     pub fn is_shut_down(&self) -> bool {
-        self.sender().is_none()
+        self.inner.is_shut_down()
     }
 
     /// A snapshot of the traffic counters.
     pub fn stats(&self) -> ServerStats {
-        self.counters.snapshot()
+        self.inner.stats()
+    }
+
+    /// The per-model breakdown (at most the [`SINGLE_MODEL_ID`] row
+    /// here; meaningful on a [`RoutedServer`]).
+    pub fn model_stats(&self) -> Vec<ModelStats> {
+        self.inner.model_stats()
     }
 
     /// The shared solver the workers query.
@@ -528,36 +195,28 @@ impl Server {
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
-        self.worker_count
+        self.inner.workers()
     }
 
     /// Largest micro-batch a worker dispatches.
     pub fn max_batch(&self) -> usize {
-        self.max_batch
+        self.inner.max_batch()
     }
 
     /// The micro-batching window measured from a batch's first request.
     pub fn max_delay(&self) -> Duration {
-        self.max_delay
+        self.inner.max_delay()
     }
 
     /// Bounded queue capacity.
     pub fn queue_capacity(&self) -> usize {
-        self.queue_capacity
+        self.inner.queue_capacity()
     }
 
     /// Whether micro-batch windows deduplicate identical in-flight
     /// requests ([`ServerBuilder::dedup`]).
     pub fn dedup(&self) -> bool {
-        self.dedup
-    }
-
-    fn sender(&self) -> Option<crossbeam_channel::Sender<Request>> {
-        self.queue
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .as_ref()
-            .cloned()
+        self.inner.dedup()
     }
 }
 
@@ -565,153 +224,12 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("solver", &self.solver)
-            .field("workers", &self.worker_count)
-            .field("max_batch", &self.max_batch)
-            .field("max_delay", &self.max_delay)
-            .field("queue_capacity", &self.queue_capacity)
-            .field("dedup", &self.dedup)
+            .field("workers", &self.inner.workers())
+            .field("max_batch", &self.inner.max_batch())
+            .field("max_delay", &self.inner.max_delay())
+            .field("queue_capacity", &self.inner.queue_capacity())
+            .field("dedup", &self.inner.dedup())
             .field("shut_down", &self.is_shut_down())
             .finish()
     }
-}
-
-impl Drop for Server {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-/// One worker: pop a request, hold the micro-batching window open until
-/// `max_batch` requests or `max_delay` elapsed, dispatch, repeat; exit
-/// (after a final dispatch) once the queue is closed and drained.
-fn worker_loop(
-    mut session: OwnedSession,
-    rx: crossbeam_channel::Receiver<Request>,
-    max_batch: usize,
-    max_delay: Duration,
-    dedup: bool,
-    counters: &Counters,
-) {
-    let mut window: Vec<Request> = Vec::with_capacity(max_batch);
-    loop {
-        let first = match rx.recv() {
-            Ok(request) => request,
-            Err(_) => return, // queue closed and drained
-        };
-        counters.dequeued.fetch_add(1, Ordering::SeqCst);
-        window.push(first);
-        let deadline = saturating_deadline(max_delay);
-        let mut disconnected = false;
-        while window.len() < max_batch {
-            match rx.recv_deadline(deadline) {
-                Ok(request) => {
-                    counters.dequeued.fetch_add(1, Ordering::SeqCst);
-                    window.push(request);
-                }
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => {
-                    disconnected = true;
-                    break;
-                }
-            }
-        }
-        // A panicking dispatch (an engine bug — bad *input* comes back
-        // as a per-slot Err) must not kill the worker: with it dies its
-        // queue receiver, and once every worker is gone, already-queued
-        // requests would hang their clients until the server drops. The
-        // window's own replies were dropped mid-unwind, so those clients
-        // see `Abandoned`; everything still queued gets a live worker.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dispatch(&mut session, &mut window, dedup, counters)
-        }));
-        if outcome.is_err() {
-            counters.worker_panics.fetch_add(1, Ordering::Relaxed);
-            // Anything dispatch had not yet drained: dropping the
-            // requests drops their reply slots → Abandoned, not a hang.
-            window.clear();
-        }
-        if disconnected {
-            return;
-        }
-    }
-}
-
-/// Runs one collected window as a single `QueryBatch` and delivers each
-/// slot's result through its oneshot. Requests whose [`Pending`] handle
-/// is already gone are dropped *before* the batch is assembled, so
-/// cancelled work is never computed — and with `dedup` on, requests
-/// whose canonical [`QueryKey`]s match collapse into one computed slot
-/// whose result fans out to every waiter (bit-identical by the key
-/// contract; the engine would have performed the same arithmetic for
-/// each).
-fn dispatch(
-    session: &mut OwnedSession,
-    window: &mut Vec<Request>,
-    dedup: bool,
-    counters: &Counters,
-) {
-    window.retain(|request| {
-        let live = !request.reply.is_cancelled();
-        if !live {
-            counters.cancelled.fetch_add(1, Ordering::SeqCst);
-        }
-        live
-    });
-    if window.is_empty() {
-        return;
-    }
-    counters.batches.fetch_add(1, Ordering::Relaxed);
-    // One computed slot per distinct key; every reply hangs off its slot.
-    let mut queries: Vec<Query> = Vec::with_capacity(window.len());
-    let mut waiters: Vec<Vec<SlotSender<Result<QueryResult, InferenceError>>>> =
-        Vec::with_capacity(window.len());
-    if dedup {
-        let mut seen: std::collections::HashMap<QueryKey, usize> = std::collections::HashMap::new();
-        for request in window.drain(..) {
-            match seen.entry(request.query.key()) {
-                std::collections::hash_map::Entry::Occupied(slot) => {
-                    counters.dedups.fetch_add(1, Ordering::Relaxed);
-                    waiters[*slot.get()].push(request.reply);
-                }
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    slot.insert(queries.len());
-                    queries.push(request.query);
-                    waiters.push(vec![request.reply]);
-                }
-            }
-        }
-    } else {
-        for request in window.drain(..) {
-            queries.push(request.query);
-            waiters.push(vec![request.reply]);
-        }
-    }
-    let batch = QueryBatch::from(queries);
-    let results = session.run_batch(&batch);
-    for (replies, result) in waiters.into_iter().zip(results) {
-        let mut replies = replies.into_iter();
-        let last = replies.next_back();
-        for reply in replies {
-            deliver(reply, result.clone(), counters);
-        }
-        if let Some(reply) = last {
-            // The representative (or lone) waiter takes the result
-            // without a clone.
-            deliver(reply, result, counters);
-        }
-    }
-}
-
-/// Sends one result through its oneshot, counting the outcome.
-fn deliver(
-    reply: SlotSender<Result<QueryResult, InferenceError>>,
-    result: Result<QueryResult, InferenceError>,
-    counters: &Counters,
-) {
-    match reply.send(result) {
-        Ok(()) => counters.completed.fetch_add(1, Ordering::SeqCst),
-        // The handle was dropped while the batch ran: result discarded,
-        // request counted as cancelled.
-        Err(_) => counters.cancelled.fetch_add(1, Ordering::SeqCst),
-    };
 }

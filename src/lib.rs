@@ -112,6 +112,29 @@
 //! threads with one [`Session`] each works too — sessions are cheap and
 //! results are bit-identical either way.
 //!
+//! ## Multi-model serving
+//!
+//! Serving *several* networks from one process? Don't give each its
+//! own worker pool: put them in a [`Registry`] — every model compiles
+//! onto **one shared pool** — and route traffic by model id through a
+//! [`RoutedServer`], which supports hot load/unload mid-traffic, LRU
+//! capacity bounds, and per-model stats (see
+//! `examples/multi_model.rs`):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use fastbn::bayesnet::datasets;
+//! use fastbn::{ModelConfig, Query, Registry, RoutedServer};
+//!
+//! let registry = Arc::new(Registry::builder().threads(2).build());
+//! registry.load("asia", &datasets::asia(), &ModelConfig::new()).unwrap();
+//! registry.load("sprinkler", &datasets::sprinkler(), &ModelConfig::new()).unwrap();
+//! let server = RoutedServer::builder(Arc::clone(&registry)).workers(2).build();
+//! let a = server.submit("asia", Query::new()).unwrap();
+//! let b = server.submit("sprinkler", Query::new()).unwrap();
+//! assert!(a.wait().is_ok() && b.wait().is_ok());
+//! ```
+//!
 //! The full crate map and the path a query takes through the layers are
 //! documented in `docs/ARCHITECTURE.md`.
 
@@ -125,6 +148,8 @@ pub use fastbn_jtree as jtree;
 pub use fastbn_parallel as parallel;
 /// Potential tables and the three dominant operations.
 pub use fastbn_potential as potential;
+/// Multi-model registry and routed serving over one shared pool.
+pub use fastbn_registry as registry;
 /// Micro-batching serving front end over `Solver`.
 pub use fastbn_serve as serve;
 
@@ -137,8 +162,13 @@ pub use fastbn_inference::{
 };
 pub use fastbn_jtree::JtreeOptions;
 pub use fastbn_parallel::{Schedule, ThreadPool};
+pub use fastbn_registry::{
+    ModelConfig, ModelStats, Registry, RegistryBuilder, RegistryError, RoutedServer,
+    RoutedServerBuilder,
+};
 pub use fastbn_serve::{
     Pending, ServeError, Server, ServerBuilder, ServerStats, SubmitError, SubmitErrorKind,
+    SINGLE_MODEL_ID,
 };
 
 #[allow(deprecated)]
