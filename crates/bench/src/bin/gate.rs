@@ -1,0 +1,151 @@
+//! The perf regression gate over `BENCH_*.json` files — the CI teeth
+//! behind the committed baselines in `perf/`.
+//!
+//! Usage:
+//! ```text
+//! # Validate files against schema v1 (exit 1 on any violation):
+//! cargo run --release -p fastbn-bench --bin gate -- --schema-only perf/*.json
+//!
+//! # Compare a fresh run against a committed baseline:
+//! cargo run --release -p fastbn-bench --bin gate -- \
+//!     --baseline perf/BENCH_serve_quick.json \
+//!     --candidate /tmp/BENCH_serve_quick.json [--threshold 0.30]
+//! ```
+//!
+//! The comparison matches rows by identity
+//! (`network|engine|mode|threads|workers`) and **fails** (exit 1) when
+//! any baseline row's throughput drops by more than `--threshold`
+//! (default 0.30, the ">30% regression" gate), or when a baseline row
+//! is missing from the candidate — silently dropping a slow
+//! configuration must not pass. Candidate-only rows are reported but
+//! not gated; refresh the baseline to start trending them. A machine
+//! mismatch (os/arch/cores) is called out loudly: absolute throughput
+//! is only comparable on matching hardware, so cross-machine verdicts
+//! are advisory.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fastbn_bench::report::{compare, BenchReport};
+
+fn load_or_exit(path: &Path) -> Result<BenchReport, ExitCode> {
+    match BenchReport::load(path) {
+        Ok(report) => {
+            println!(
+                "ok: {} (bench {:?}, {} rows, schema v1)",
+                path.display(),
+                report.bench,
+                report.rows.len()
+            );
+            Ok(report)
+        }
+        Err(err) => {
+            eprintln!("SCHEMA FAIL: {err}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut candidate: Option<PathBuf> = None;
+    let mut threshold = 0.30f64;
+    let mut schema_only = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--schema-only" => schema_only = true,
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().expect("--baseline PATH")));
+            }
+            "--candidate" => {
+                candidate = Some(PathBuf::from(it.next().expect("--candidate PATH")));
+            }
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold FRACTION");
+                assert!(
+                    (0.0..1.0).contains(&threshold),
+                    "--threshold must be a fraction in [0, 1), got {threshold}"
+                );
+            }
+            path if !path.starts_with("--") => files.push(PathBuf::from(path)),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    if schema_only {
+        files.extend(baseline.into_iter().chain(candidate));
+        assert!(!files.is_empty(), "--schema-only needs at least one file");
+        let mut ok = true;
+        for path in &files {
+            ok &= load_or_exit(path).is_ok();
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let baseline = baseline.expect("--baseline PATH required (or use --schema-only)");
+    let candidate = candidate.expect("--candidate PATH required (or use --schema-only)");
+    let (Ok(baseline), Ok(candidate)) = (load_or_exit(&baseline), load_or_exit(&candidate)) else {
+        return ExitCode::FAILURE;
+    };
+    if baseline.machine != candidate.machine {
+        println!(
+            "WARNING: machine mismatch (baseline {}/{}/{} cores vs candidate {}/{}/{} cores) — \
+             absolute throughput is not comparable across machines; verdicts are advisory",
+            baseline.machine.os,
+            baseline.machine.arch,
+            baseline.machine.cores,
+            candidate.machine.os,
+            candidate.machine.arch,
+            candidate.machine.cores,
+        );
+    }
+
+    let outcome = compare(&baseline, &candidate, threshold);
+    println!(
+        "\ngating {} candidate rows against {} baseline rows (threshold {:.0}%):",
+        candidate.rows.len(),
+        baseline.rows.len(),
+        threshold * 100.0
+    );
+    for row in &outcome.rows {
+        println!(
+            "  {} {:<44} {:>9.0} -> {:>9.0} req/s  ({:>+6.1}%)",
+            if row.regressed { "FAIL" } else { "  ok" },
+            row.key,
+            row.baseline,
+            row.candidate,
+            row.change * 100.0,
+        );
+    }
+    for key in &outcome.missing {
+        println!("  FAIL {key:<44} missing from candidate");
+    }
+    let new_rows = candidate
+        .rows
+        .iter()
+        .filter(|row| baseline.row(&row.key()).is_none())
+        .count();
+    if new_rows > 0 {
+        println!("  note: {new_rows} candidate row(s) not in the baseline (ungated; refresh the baseline to trend them)");
+    }
+    if outcome.passed() {
+        println!("PASS: no row regressed beyond {:.0}%", threshold * 100.0);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "FAIL: {} regressed row(s), {} missing row(s)",
+            outcome.rows.iter().filter(|r| r.regressed).count(),
+            outcome.missing.len()
+        );
+        ExitCode::FAILURE
+    }
+}

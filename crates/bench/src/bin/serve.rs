@@ -15,7 +15,8 @@
 //! cargo run --release -p fastbn-bench --bin serve -- \
 //!     [--cases N] [--threads T] [--width W] [--workers 1,2] \
 //!     [--delay-us D] [--repeat R] [--networks pigs,...] [--engines hybrid,...] \
-//!     [--cache] [--distinct D] [--models] [--workers-total N] [--quick]
+//!     [--cache] [--distinct D] [--models] [--workers-total N] [--quick] \
+//!     [--json PATH]
 //! ```
 //! Defaults: 256 cases, best of 3 repetitions, engine threads = available cores, micro-batch
 //! width = engine threads (the narrowest batch that takes the
@@ -36,20 +37,53 @@
 //! single-model `Server`s (each solver with its own pool) at equal
 //! total serve-worker count — with per-model p50/p99 on both sides.
 //! `--workers-total` overrides the worker budget (default: one per
-//! model).
+//! model). `--models --cache` gives every model a query-result cache,
+//! cycles each model's traffic through `--distinct` evidence sets, and
+//! prints per-model cache counters read through
+//! `Registry::cache_stats_for`.
+//!
+//! `--json PATH` additionally writes the measured rows as a schema-v1
+//! `BENCH_*.json` perf record (see `fastbn_bench::report`) for the
+//! committed baselines in `perf/` and the CI regression gate. In the
+//! default mode this also measures each serve configuration with
+//! telemetry *disabled* (`telem_off` rows): the on/off throughput ratio
+//! in one file is the record that stage timing costs ≈ nothing.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fastbn_bayesnet::Evidence;
 use fastbn_bench::measure::{
-    cached_solver_for, prepare, repeat_cases, run_cases_serve, run_cases_serve_on,
-    run_mixed_traffic, solver_for, MixedRun, ServeRun,
+    cached_solver_for, prepare, repeat_cases, run_cases_serve_on, run_cases_serve_with,
+    run_mixed_traffic, solver_for, MixedRun, ServeOpts, ServeRun,
 };
+use fastbn_bench::report::{BenchReport, BenchRow};
 use fastbn_bench::workloads::all_workloads;
-use fastbn_inference::{EngineKind, Query, QueryBatch, Solver};
+use fastbn_inference::{CacheConfig, CacheStats, EngineKind, Query, QueryBatch, Solver};
 use fastbn_registry::{Registry, RoutedServer};
 use fastbn_serve::Server;
+
+/// Microseconds, for the JSON rows (`Duration` has no lossless float).
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// A serving measurement as a perf-trajectory row.
+fn serve_row(
+    network: &str,
+    engine: &str,
+    mode: &str,
+    threads: usize,
+    workers: usize,
+    run: &ServeRun,
+) -> BenchRow {
+    BenchRow::new(network, engine, mode, threads, workers)
+        .timed(run.stats.completed as usize, run.total.as_secs_f64())
+        .latency_us(us(run.latency.p50), us(run.latency.p99))
+        .counter("serve.batches", run.stats.batches)
+        .counter("serve.dedups", run.stats.dedups)
+}
 
 /// The PR 2 batch path at fixed width: cases chopped into batches of
 /// exactly `width`, run back-to-back through one session (untimed
@@ -92,6 +126,7 @@ fn fmt_ms(d: Duration) -> String {
 /// cache's hit/miss counters and the server's dedup counter reported.
 #[allow(clippy::too_many_arguments)]
 fn run_cache_rows(
+    network: &str,
     kind: EngineKind,
     prepared: Arc<fastbn_inference::Prepared>,
     threads: usize,
@@ -100,6 +135,7 @@ fn run_cache_rows(
     delay: Duration,
     repeat: usize,
     cases: &[Evidence],
+    report: &mut BenchReport,
 ) {
     let off = (0..repeat)
         .map(|_| {
@@ -145,6 +181,19 @@ fn run_cache_rows(
         stats.entries,
         on.stats.dedups,
     );
+    report.push(serve_row(
+        network,
+        kind.id(),
+        "cache_off",
+        threads,
+        workers,
+        &off,
+    ));
+    report.push(
+        serve_row(network, kind.id(), "cache_on", threads, workers, &on)
+            .counter("cache.hits", stats.hits)
+            .counter("cache.misses", stats.misses),
+    );
 }
 
 /// Prints one side of the multi-model comparison.
@@ -169,7 +218,10 @@ fn print_mixed(label: &str, run: &MixedRun) {
 /// The `--models` mode: mixed traffic over several networks through
 /// one `RoutedServer` (models sharing a single worker pool) vs N
 /// separate single-model `Server`s (one private pool each) at equal
-/// total serve-worker count, with per-model p50/p99.
+/// total serve-worker count, with per-model p50/p99. With `cache`,
+/// every model gets a query-result cache, each model's traffic cycles
+/// `distinct` evidence sets, and the routed side reports per-model
+/// cache counters read through `Registry::cache_stats_for`.
 #[allow(clippy::too_many_arguments)]
 fn run_models_mode(
     names: &[String],
@@ -180,6 +232,9 @@ fn run_models_mode(
     delay: Duration,
     repeat: usize,
     cases_per_model: usize,
+    cache: bool,
+    distinct: usize,
+    report: &mut BenchReport,
 ) {
     let workloads: Vec<_> = names
         .iter()
@@ -198,7 +253,10 @@ fn run_models_mode(
         .iter()
         .map(|w| {
             let net = w.build();
-            let cases = w.cases(&net, cases_per_model);
+            let mut cases = w.cases(&net, cases_per_model);
+            if cache {
+                cases = repeat_cases(&cases, distinct);
+            }
             (w.name, prepare(&net), cases)
         })
         .collect();
@@ -221,16 +279,18 @@ fn run_models_mode(
     );
 
     // One RoutedServer: every model compiled onto one shared pool.
-    let routed_best = (0..repeat)
+    let (routed_best, routed_caches) = (0..repeat)
         .map(|_| {
             let registry = Arc::new(Registry::builder().threads(threads).build());
             for (name, prep, _) in &prepared {
-                let solver = Solver::from_prepared(Arc::clone(prep))
+                let mut builder = Solver::from_prepared(Arc::clone(prep))
                     .engine(kind)
-                    .pool(registry.pool_handle())
-                    .build();
+                    .pool(registry.pool_handle());
+                if cache {
+                    builder = builder.cache(CacheConfig::default());
+                }
                 registry
-                    .insert(*name, Arc::new(solver))
+                    .insert(*name, Arc::new(builder.build()))
                     .expect("unbounded registry");
             }
             let server = RoutedServer::builder(Arc::clone(&registry))
@@ -243,14 +303,33 @@ fn run_models_mode(
                 server.submit(model, query).expect("model resident")
             });
             server.shutdown();
-            run
+            // Observed, not used: `cache_stats_for` reads a resident
+            // model's counters without bumping its LRU recency.
+            let caches: Vec<(String, Option<CacheStats>)> = names
+                .iter()
+                .map(|name| (name.clone(), registry.cache_stats_for(name)))
+                .collect();
+            (run, caches)
         })
-        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .max_by(|(a, _), (b, _)| a.throughput.total_cmp(&b.throughput))
         .expect("at least one repetition");
     print_mixed(
         &format!("routed  (1 shared pool, {workers_total} wk)"),
         &routed_best,
     );
+    if cache {
+        for (name, stats) in &routed_caches {
+            let stats = stats.as_ref().expect("--models --cache builds caches");
+            println!(
+                "{:<34} cache: {} hits / {} misses ({:.1}% hit rate, {} entries)",
+                format!("    {name}"),
+                stats.hits,
+                stats.misses,
+                stats.hit_rate() * 100.0,
+                stats.entries,
+            );
+        }
+    }
 
     // N separate single-model servers: each solver spawns its own
     // engine pool, and the worker budget is split across the servers.
@@ -260,7 +339,11 @@ fn run_models_mode(
             let servers: std::collections::HashMap<String, Server> = prepared
                 .iter()
                 .map(|(name, prep, _)| {
-                    let solver = Arc::new(solver_for(kind, Arc::clone(prep), threads));
+                    let solver = Arc::new(if cache {
+                        cached_solver_for(kind, Arc::clone(prep), threads)
+                    } else {
+                        solver_for(kind, Arc::clone(prep), threads)
+                    });
                     let server = Server::builder(solver)
                         .workers(per_server)
                         .max_batch(width)
@@ -288,6 +371,30 @@ fn run_models_mode(
         "\nrouted vs separate at equal total workers: {:.2}x",
         routed_best.throughput / separate_best.throughput
     );
+
+    // Perf-trajectory rows: one per side, the whole interleaved stream
+    // as a unit (the network field names the mix).
+    let mix = names.join("+");
+    let mode = |side: &str| {
+        if cache {
+            format!("{side}_cache")
+        } else {
+            side.to_string()
+        }
+    };
+    let mut routed_row = BenchRow::new(&mix, kind.id(), &mode("routed"), threads, workers_total)
+        .timed(traffic.len(), routed_best.total.as_secs_f64());
+    if cache {
+        for (name, stats) in &routed_caches {
+            let stats = stats.as_ref().expect("--models --cache builds caches");
+            routed_row = routed_row.counter(&format!("cache.{name}.hits"), stats.hits);
+        }
+    }
+    report.push(routed_row);
+    report.push(
+        BenchRow::new(&mix, kind.id(), &mode("separate"), threads, per_server)
+            .timed(traffic.len(), separate_best.total.as_secs_f64()),
+    );
 }
 
 fn main() {
@@ -304,11 +411,13 @@ fn main() {
     let mut workers_total: Option<usize> = None;
     let mut distinct = 16usize;
     let mut quick = false;
+    let mut json: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--cache" => cache = true,
             "--models" => models = true,
+            "--json" => json = Some(PathBuf::from(it.next().expect("--json PATH"))),
             "--workers-total" => {
                 workers_total = Some(
                     it.next()
@@ -379,6 +488,14 @@ fn main() {
     // path (same guard as sweep --batch).
     let cases_n = cases_n.max(width);
 
+    let mut report = BenchReport::new("serve", quick);
+    let write_report = |report: &BenchReport| {
+        if let Some(path) = &json {
+            report.write(path).expect("write --json report");
+            println!("wrote {} ({} rows)", path.display(), report.rows.len());
+        }
+    };
+
     if models {
         // `--quick` pinned networks to hailfinder for the single-model
         // sweep; the multi-model comparison needs ≥ 3 of them.
@@ -406,7 +523,11 @@ fn main() {
             delay,
             if quick { 1 } else { repeat },
             cases_per_model,
+            cache,
+            distinct,
+            &mut report,
         );
+        write_report(&report);
         return;
     }
 
@@ -443,6 +564,7 @@ fn main() {
             for &kind in &engines {
                 for &workers in &worker_counts {
                     run_cache_rows(
+                        w.name,
                         kind,
                         prepared.clone(),
                         threads,
@@ -451,6 +573,7 @@ fn main() {
                         delay,
                         repeat,
                         &repeated,
+                        &mut report,
                     );
                 }
             }
@@ -471,30 +594,56 @@ fn main() {
                 batch_thru,
                 fmt_ms(batch_total),
             );
+            report.push(
+                BenchRow::new(w.name, kind.id(), "batch", threads, 0)
+                    .timed(cases.len(), batch_total.as_secs_f64()),
+            );
+            // Dedup off, as in `run_cases_serve`: the batch-vs-serve
+            // comparison measures raw per-request serving overhead.
+            // With `--json`, every telemetry-on repetition is followed
+            // immediately by a telemetry-off one — machine-speed drift
+            // over the seconds of a sweep then hits both sides alike
+            // instead of masquerading as telemetry overhead.
+            let run_serve = |workers: usize, with_off: bool| {
+                let run_one = |telemetry: bool| {
+                    let opts = ServeOpts {
+                        workers,
+                        max_batch: width,
+                        max_delay: delay,
+                        dedup: false,
+                        telemetry,
+                    };
+                    let solver = Arc::new(solver_for(kind, prepared.clone(), threads));
+                    run_cases_serve_with(solver, &opts, &cases)
+                };
+                let faster = |best: &Option<ServeRun>, run: &ServeRun| {
+                    best.as_ref().is_none_or(|b| run.throughput > b.throughput)
+                };
+                let mut best_on: Option<ServeRun> = None;
+                let mut best_off: Option<ServeRun> = None;
+                for _ in 0..repeat {
+                    let on = run_one(true);
+                    if faster(&best_on, &on) {
+                        best_on = Some(on);
+                    }
+                    if with_off {
+                        let off = run_one(false);
+                        if faster(&best_off, &off) {
+                            best_off = Some(off);
+                        }
+                    }
+                }
+                (best_on.expect("at least one repetition"), best_off)
+            };
             let mut best_thru = 0.0f64;
-            let runs: Vec<(usize, ServeRun)> = worker_counts
+            let runs: Vec<(usize, ServeRun, Option<ServeRun>)> = worker_counts
                 .iter()
                 .map(|&workers| {
-                    (
-                        workers,
-                        (0..repeat)
-                            .map(|_| {
-                                run_cases_serve(
-                                    kind,
-                                    prepared.clone(),
-                                    threads,
-                                    workers,
-                                    width,
-                                    delay,
-                                    &cases,
-                                )
-                            })
-                            .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
-                            .expect("at least one repetition"),
-                    )
+                    let (on, off) = run_serve(workers, json.is_some());
+                    (workers, on, off)
                 })
                 .collect();
-            for (workers, run) in &runs {
+            for (workers, run, _) in &runs {
                 println!(
                     "{:<24} {:>9.0} req/s  ({:.2}x batch)  p50 {} ms  p99 {} ms  \
                      [{} batches, mean {} ms]",
@@ -507,6 +656,14 @@ fn main() {
                     fmt_ms(run.latency.mean),
                 );
                 best_thru = best_thru.max(run.throughput);
+                report.push(serve_row(
+                    w.name,
+                    kind.id(),
+                    "serve",
+                    threads,
+                    *workers,
+                    run,
+                ));
             }
             println!(
                 "{:<24} {:>9.0} req/s  ({:.2}x batch path at equal width)",
@@ -514,7 +671,28 @@ fn main() {
                 best_thru,
                 best_thru / batch_thru
             );
+            // The opt-out overhead record: the same configurations with
+            // stage timing disabled, in the same file, so the on/off
+            // ratio is part of the committed trajectory.
+            for (workers, on, off) in &runs {
+                let Some(off) = off else { continue };
+                println!(
+                    "{:<24} {:>9.0} req/s  (telemetry on: {:>+5.1}%)",
+                    format!("  telem-off workers={workers}"),
+                    off.throughput,
+                    (on.throughput / off.throughput - 1.0) * 100.0,
+                );
+                report.push(serve_row(
+                    w.name,
+                    kind.id(),
+                    "serve_telem_off",
+                    threads,
+                    *workers,
+                    off,
+                ));
+            }
         }
         println!();
     }
+    write_report(&report);
 }

@@ -7,7 +7,8 @@
 //! ```text
 //! cargo run -p fastbn-bench --release --bin sweep -- \
 //!     [--cases N] [--threads 1,2,4,8,16,32] [--networks pigs,...] \
-//!     [--engines hybrid,direct] [--batch] [--cache] [--distinct D]
+//!     [--engines hybrid,direct] [--batch] [--cache] [--distinct D] \
+//!     [--quick] [--json PATH]
 //! ```
 //! Defaults: 10 cases, threads {1, 2, 4, 8, 16, 32} (counts above the
 //! core count oversubscribe, as the paper's 32 threads did on 52 cores),
@@ -19,8 +20,16 @@
 //! stream cycles `--distinct` (default 8) evidence sets and each engine
 //! prints the uncached loop against the cache-enabled loop (warm cache,
 //! steady-state repeated traffic) plus the speedup and hit rate.
+//! `--quick` is the CI smoke preset (a few cases, threads {1, 2}, the
+//! smallest network, the hybrid and direct engines); `--json PATH`
+//! additionally writes the measured rows as a schema-v1 `BENCH_*.json`
+//! perf record (see `fastbn_bench::report`) for the committed baselines
+//! in `perf/` and the CI regression gate.
+
+use std::path::PathBuf;
 
 use fastbn_bench::measure::{prepare, repeat_cases, run_cases, run_cases_batch, run_cases_cached};
+use fastbn_bench::report::{BenchReport, BenchRow};
 use fastbn_bench::workloads::all_workloads;
 use fastbn_inference::EngineKind;
 
@@ -32,11 +41,24 @@ fn main() {
     let mut batch = false;
     let mut cache = false;
     let mut distinct = 8usize;
+    let mut quick = false;
+    let mut json: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--batch" => batch = true,
             "--cache" => cache = true,
+            "--quick" => {
+                // Enough cases that each cell covers tens of
+                // milliseconds — the regression gate compares these
+                // throughputs, so they must clear OS-jitter noise.
+                quick = true;
+                cases_n = 192;
+                threads = vec![1, 2];
+                networks = Some(vec!["hailfinder".into()]);
+                engines = vec![EngineKind::Hybrid, EngineKind::Direct];
+            }
+            "--json" => json = Some(PathBuf::from(it.next().expect("--json PATH"))),
             "--distinct" => {
                 distinct = it
                     .next()
@@ -95,6 +117,7 @@ fn main() {
     } else {
         println!("Thread sweep: {cases_n} cases/network, per-engine seconds by t\n");
     }
+    let mut report = BenchReport::new("sweep", quick);
     for w in all_workloads() {
         if let Some(filter) = &networks {
             if !filter.iter().any(|n| n == w.name) {
@@ -151,6 +174,15 @@ fn main() {
                     print!(" {:>8.2}x", n / b);
                 }
                 println!();
+                for (i, &t) in threads.iter().enumerate() {
+                    report.push(
+                        BenchRow::new(w.name, kind.id(), "loop", t, 0).timed(cases.len(), naive[i]),
+                    );
+                    report.push(
+                        BenchRow::new(w.name, kind.id(), "batch", t, 0)
+                            .timed(cases.len(), batched[i]),
+                    );
+                }
             } else if cache {
                 let uncached: Vec<f64> = threads
                     .iter()
@@ -186,6 +218,19 @@ fn main() {
                     "   [{} hits / {} misses per timed pass, {} entries]",
                     stats.hits, stats.misses, stats.entries
                 );
+                for (i, &t) in threads.iter().enumerate() {
+                    report.push(
+                        BenchRow::new(w.name, kind.id(), "loop", t, 0)
+                            .timed(cases.len(), uncached[i]),
+                    );
+                    let (s, stats) = &cached[i];
+                    report.push(
+                        BenchRow::new(w.name, kind.id(), "cache", t, 0)
+                            .timed(cases.len(), *s)
+                            .counter("cache.hits", stats.hits)
+                            .counter("cache.misses", stats.misses),
+                    );
+                }
             } else {
                 print!("{kind:<14}");
                 let mut best = (0usize, f64::INFINITY);
@@ -196,10 +241,17 @@ fn main() {
                         best = (t, s);
                     }
                     print!(" {s:>9.3}");
+                    report
+                        .push(BenchRow::new(w.name, kind.id(), "loop", t, 0).timed(cases.len(), s));
                 }
                 println!("   best: t={}", best.0);
             }
         }
         println!();
+    }
+
+    if let Some(path) = &json {
+        report.write(path).expect("write --json report");
+        println!("wrote {} ({} rows)", path.display(), report.rows.len());
     }
 }

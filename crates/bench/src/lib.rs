@@ -13,12 +13,21 @@
 //! `run_batch` call), and [`measure::run_cases_serve`] (closed-loop
 //! concurrent clients against a `fastbn_serve::Server`, with p50/p99
 //! latency percentiles).
+//!
+//! The report binaries (`table1`, `sweep`, `serve`) additionally emit
+//! their measurements as schema-versioned `BENCH_*.json` perf records
+//! via `--json PATH` (the [`report`] module); committed baselines live
+//! in `perf/` at the repository root, and the `gate` binary compares a
+//! fresh run against a baseline — failing on a >30% throughput
+//! regression — as CI's perf-trajectory check.
 
 pub mod measure;
+pub mod report;
 pub mod workloads;
 
 pub use measure::{
     batch_of, best_over_threads, percentile, prepare, run_cases, run_cases_batch, run_cases_serve,
-    solver_for, EngineTiming, LatencySummary, ServeRun,
+    run_cases_serve_with, solver_for, EngineTiming, LatencySummary, ServeOpts, ServeRun,
 };
+pub use report::{compare, BenchReport, BenchRow, GateOutcome, MachineInfo, RowComparison};
 pub use workloads::{adaptivity_workloads, all_workloads, workload_by_name, PaperRow, Workload};

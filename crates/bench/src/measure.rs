@@ -227,6 +227,24 @@ pub fn run_cases_serve(
     run_cases_serve_on(solver, workers, max_batch, max_delay, false, cases)
 }
 
+/// Server-shape knobs for [`run_cases_serve_with`], bundled so a
+/// telemetry on/off comparison cannot accidentally vary anything else.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOpts {
+    /// Serving worker threads.
+    pub workers: usize,
+    /// Micro-batch width.
+    pub max_batch: usize,
+    /// Micro-batching window deadline.
+    pub max_delay: Duration,
+    /// In-window duplicate collapsing.
+    pub dedup: bool,
+    /// Stage-histogram/timing telemetry on the server. Counters stay
+    /// live either way ([`fastbn_serve::ServerStats`] depends on them);
+    /// `false` measures the opt-out overhead floor.
+    pub telemetry: bool,
+}
+
 /// The [`run_cases_serve`] core over a caller-built solver — the entry
 /// point for cache-on / cache-off comparisons (pass a
 /// [`cached_solver_for`] solver, or disable the server's in-window
@@ -239,13 +257,35 @@ pub fn run_cases_serve_on(
     dedup: bool,
     cases: &[Evidence],
 ) -> ServeRun {
+    let opts = ServeOpts {
+        workers,
+        max_batch,
+        max_delay,
+        dedup,
+        telemetry: true,
+    };
+    run_cases_serve_with(solver, &opts, cases)
+}
+
+/// [`run_cases_serve_on`] with every server knob explicit — the runner
+/// behind the telemetry-on vs telemetry-off overhead rows in
+/// `serve --json`.
+pub fn run_cases_serve_with(solver: Arc<Solver>, opts: &ServeOpts, cases: &[Evidence]) -> ServeRun {
     use std::sync::{Barrier, Mutex};
 
+    let ServeOpts {
+        workers,
+        max_batch,
+        max_delay,
+        dedup,
+        telemetry,
+    } = *opts;
     let server = fastbn_serve::Server::builder(Arc::clone(&solver))
         .workers(workers)
         .max_batch(max_batch)
         .max_delay(max_delay)
         .dedup(dedup)
+        .telemetry(telemetry)
         .build();
     let queries: Vec<Query> = cases
         .iter()

@@ -1,0 +1,493 @@
+//! The `BENCH_*.json` **perf-trajectory schema (v1)** and its
+//! reader/writer: every report binary can emit its measurements as one
+//! machine-readable file (`--json <path>`), committed baselines live in
+//! `perf/`, and the `gate` binary compares a fresh run against a
+//! baseline and fails CI on a throughput regression.
+//!
+//! # Schema v1
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "serve",
+//!   "quick": true,
+//!   "machine": { "os": "linux", "arch": "x86_64", "cores": 2 },
+//!   "rows": [
+//!     {
+//!       "network": "hailfinder", "engine": "hybrid", "mode": "serve",
+//!       "threads": 2, "workers": 1, "cases": 384,
+//!       "seconds": 0.41, "throughput": 937.1,
+//!       "p50_us": 980.2, "p99_us": 4113.0,
+//!       "counters": { "serve.batches": 55, "serve.dedups": 0 }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Row identity for baseline comparison is
+//! `network|engine|mode|threads|workers` ([`BenchRow::key`]); `cases`
+//! and the measurements are payload. `p50_us`/`p99_us` are omitted for
+//! modes with no per-request latency (plain loops), `counters` carries
+//! whatever telemetry counters the mode exposes. Absolute numbers are
+//! only comparable on the same machine — the `machine` block is there
+//! so a cross-machine diff is recognizable as apples-to-oranges.
+
+use std::io;
+use std::path::Path;
+
+use fastbn_telemetry::Json;
+
+/// The schema version this crate writes and the `gate` bin accepts.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Where the measurement ran; recorded so baselines from a different
+/// machine are visibly non-comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineInfo {
+    /// `std::env::consts::OS` (`linux`, `macos`, …).
+    pub os: String,
+    /// `std::env::consts::ARCH` (`x86_64`, `aarch64`, …).
+    pub arch: String,
+    /// Logical CPUs visible to the process.
+    pub cores: usize,
+}
+
+impl MachineInfo {
+    /// The current machine.
+    pub fn current() -> MachineInfo {
+        MachineInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cores: fastbn_parallel::available_threads(),
+        }
+    }
+}
+
+/// One measured configuration: a (network, engine, mode, threads,
+/// workers) point and its numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Workload network name (`hailfinder`, …).
+    pub network: String,
+    /// Engine id (`hybrid`, `seq`, …), or `-` where the mode has none.
+    pub engine: String,
+    /// Execution mode: `loop`, `batch`, `cache`, `serve`,
+    /// `serve_telem_off`, `routed`, `separate`, `reference`, `best`, …
+    pub mode: String,
+    /// Engine worker threads inside each query.
+    pub threads: usize,
+    /// Serving workers (0 for non-serving modes).
+    pub workers: usize,
+    /// Requests/cases measured.
+    pub cases: usize,
+    /// Wall seconds for the timed window.
+    pub seconds: f64,
+    /// Cases per second (the gated quantity).
+    pub throughput: f64,
+    /// Median round-trip latency in microseconds (serving modes).
+    pub p50_us: Option<f64>,
+    /// p99 round-trip latency in microseconds (serving modes).
+    pub p99_us: Option<f64>,
+    /// Telemetry counters worth trending, by metric name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl BenchRow {
+    /// A row with the five identity fields set and everything else
+    /// zero/empty — fill in the measurements with the builder methods.
+    pub fn new(
+        network: &str,
+        engine: &str,
+        mode: &str,
+        threads: usize,
+        workers: usize,
+    ) -> BenchRow {
+        BenchRow {
+            network: network.to_string(),
+            engine: engine.to_string(),
+            mode: mode.to_string(),
+            threads,
+            workers,
+            cases: 0,
+            seconds: 0.0,
+            throughput: 0.0,
+            p50_us: None,
+            p99_us: None,
+            counters: Vec::new(),
+        }
+    }
+
+    /// Sets the timed window: `cases` completed in `seconds`; derives
+    /// throughput.
+    pub fn timed(mut self, cases: usize, seconds: f64) -> BenchRow {
+        self.cases = cases;
+        self.seconds = seconds;
+        self.throughput = if seconds > 0.0 {
+            cases as f64 / seconds
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Attaches round-trip latency percentiles (microseconds).
+    pub fn latency_us(mut self, p50: f64, p99: f64) -> BenchRow {
+        self.p50_us = Some(p50);
+        self.p99_us = Some(p99);
+        self
+    }
+
+    /// Attaches one named counter.
+    pub fn counter(mut self, name: &str, value: u64) -> BenchRow {
+        self.counters.push((name.to_string(), value));
+        self
+    }
+
+    /// The identity a baseline comparison matches rows by.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|t{}|w{}",
+            self.network, self.engine, self.mode, self.threads, self.workers
+        )
+    }
+
+    fn to_json(&self) -> Json {
+        let mut row = Json::obj()
+            .set("network", self.network.as_str())
+            .set("engine", self.engine.as_str())
+            .set("mode", self.mode.as_str())
+            .set("threads", self.threads as u64)
+            .set("workers", self.workers as u64)
+            .set("cases", self.cases as u64)
+            .set("seconds", self.seconds)
+            .set("throughput", self.throughput);
+        if let (Some(p50), Some(p99)) = (self.p50_us, self.p99_us) {
+            row = row.set("p50_us", p50).set("p99_us", p99);
+        }
+        if !self.counters.is_empty() {
+            let mut counters = Json::obj();
+            for (name, value) in &self.counters {
+                counters = counters.set(name, *value);
+            }
+            row = row.set("counters", counters);
+        }
+        row
+    }
+
+    fn from_json(row: &Json, index: usize) -> Result<BenchRow, String> {
+        let field = |name: &str| {
+            row.get(name)
+                .ok_or_else(|| format!("row {index}: missing field {name:?}"))
+        };
+        let string = |name: &str| {
+            field(name)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("row {index}: field {name:?} must be a string"))
+        };
+        let number = |name: &str| {
+            field(name)?
+                .as_f64()
+                .ok_or_else(|| format!("row {index}: field {name:?} must be a number"))
+        };
+        let counters = match row.get("counters") {
+            None => Vec::new(),
+            Some(Json::Obj(entries)) => entries
+                .iter()
+                .map(|(name, value)| {
+                    value
+                        .as_u64()
+                        .map(|v| (name.clone(), v))
+                        .ok_or_else(|| format!("row {index}: counter {name:?} must be a u64"))
+                })
+                .collect::<Result<_, _>>()?,
+            Some(_) => return Err(format!("row {index}: \"counters\" must be an object")),
+        };
+        let seconds = number("seconds")?;
+        let throughput = number("throughput")?;
+        if !(seconds.is_finite() && throughput.is_finite()) {
+            return Err(format!("row {index}: non-finite measurement"));
+        }
+        Ok(BenchRow {
+            network: string("network")?,
+            engine: string("engine")?,
+            mode: string("mode")?,
+            threads: number("threads")? as usize,
+            workers: number("workers")? as usize,
+            cases: number("cases")? as usize,
+            seconds,
+            throughput,
+            p50_us: row.get("p50_us").and_then(Json::as_f64),
+            p99_us: row.get("p99_us").and_then(Json::as_f64),
+            counters,
+        })
+    }
+}
+
+/// One emitted `BENCH_<name>.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Which binary produced it (`sweep`, `serve`, `table1`, …).
+    pub bench: String,
+    /// Whether the quick (CI smoke) preset was active.
+    pub quick: bool,
+    /// Where it ran.
+    pub machine: MachineInfo,
+    /// The measurements.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// An empty report for the current machine.
+    pub fn new(bench: &str, quick: bool) -> BenchReport {
+        BenchReport {
+            bench: bench.to_string(),
+            quick,
+            machine: MachineInfo::current(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a measured row.
+    pub fn push(&mut self, row: BenchRow) {
+        self.rows.push(row);
+    }
+
+    /// The row with `key`, if measured.
+    pub fn row(&self, key: &str) -> Option<&BenchRow> {
+        self.rows.iter().find(|row| row.key() == key)
+    }
+
+    /// Serializes to schema v1.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("schema_version", SCHEMA_VERSION)
+            .set("bench", self.bench.as_str())
+            .set("quick", self.quick)
+            .set(
+                "machine",
+                Json::obj()
+                    .set("os", self.machine.os.as_str())
+                    .set("arch", self.machine.arch.as_str())
+                    .set("cores", self.machine.cores as u64),
+            )
+            .set(
+                "rows",
+                Json::Arr(self.rows.iter().map(BenchRow::to_json).collect()),
+            )
+    }
+
+    /// Validates and deserializes a schema-v1 document. Every error
+    /// names the offending field — this is the `gate` bin's schema
+    /// check, so messages must stand alone in CI logs.
+    pub fn from_json(json: &Json) -> Result<BenchReport, String> {
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing or non-integer \"schema_version\"")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} unsupported (this reader understands {SCHEMA_VERSION})"
+            ));
+        }
+        let bench = json
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or("missing \"bench\" name")?
+            .to_string();
+        let quick = match json.get("quick") {
+            Some(Json::Bool(quick)) => *quick,
+            _ => return Err("missing or non-boolean \"quick\"".to_string()),
+        };
+        let machine = json.get("machine").ok_or("missing \"machine\" block")?;
+        let machine = MachineInfo {
+            os: machine
+                .get("os")
+                .and_then(Json::as_str)
+                .ok_or("machine.os must be a string")?
+                .to_string(),
+            arch: machine
+                .get("arch")
+                .and_then(Json::as_str)
+                .ok_or("machine.arch must be a string")?
+                .to_string(),
+            cores: machine
+                .get("cores")
+                .and_then(Json::as_u64)
+                .ok_or("machine.cores must be an integer")? as usize,
+        };
+        let rows = match json.get("rows") {
+            Some(Json::Arr(rows)) => rows
+                .iter()
+                .enumerate()
+                .map(|(index, row)| BenchRow::from_json(row, index))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing \"rows\" array".to_string()),
+        };
+        if rows.is_empty() {
+            return Err("\"rows\" must not be empty".to_string());
+        }
+        let mut keys: Vec<String> = rows.iter().map(BenchRow::key).collect();
+        keys.sort_unstable();
+        if let Some(dup) = keys.windows(2).find(|pair| pair[0] == pair[1]) {
+            return Err(format!("duplicate row key {:?}", dup[0]));
+        }
+        Ok(BenchReport {
+            bench,
+            quick,
+            machine,
+            rows,
+        })
+    }
+
+    /// Writes the report as pretty JSON (schema v1) to `path`.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty())
+    }
+
+    /// Reads and validates a report file.
+    pub fn load(path: &Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+        let json =
+            Json::parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+        BenchReport::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// One row's baseline-vs-candidate verdict from [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowComparison {
+    /// The matched row identity.
+    pub key: String,
+    /// Baseline throughput (cases/s).
+    pub baseline: f64,
+    /// Candidate throughput (cases/s).
+    pub candidate: f64,
+    /// `candidate / baseline - 1`: negative is a slowdown.
+    pub change: f64,
+    /// Whether the row breaches the threshold.
+    pub regressed: bool,
+}
+
+/// The outcome of gating `candidate` against `baseline`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Per-row verdicts for every baseline row found in the candidate.
+    pub rows: Vec<RowComparison>,
+    /// Baseline row keys the candidate no longer measures — a gate
+    /// failure (silently dropping a slow configuration must not pass).
+    pub missing: Vec<String>,
+}
+
+impl GateOutcome {
+    /// True when no row regressed and none went missing.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.rows.iter().all(|row| !row.regressed)
+    }
+}
+
+/// Gates `candidate` against `baseline`: every baseline row must be
+/// present in the candidate with throughput no worse than
+/// `(1 - threshold) ×` its baseline value. Candidate-only rows (new
+/// configurations) are ignored — they become gated once the baseline
+/// is refreshed.
+pub fn compare(baseline: &BenchReport, candidate: &BenchReport, threshold: f64) -> GateOutcome {
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for base in &baseline.rows {
+        let key = base.key();
+        match candidate.row(&key) {
+            None => missing.push(key),
+            Some(cand) => {
+                let change = if base.throughput > 0.0 {
+                    cand.throughput / base.throughput - 1.0
+                } else {
+                    0.0
+                };
+                rows.push(RowComparison {
+                    key,
+                    baseline: base.throughput,
+                    candidate: cand.throughput,
+                    change,
+                    regressed: change < -threshold,
+                });
+            }
+        }
+    }
+    GateOutcome { rows, missing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut report = BenchReport::new("serve", true);
+        report.push(
+            BenchRow::new("hailfinder", "hybrid", "serve", 2, 1)
+                .timed(384, 0.4)
+                .latency_us(950.0, 4100.0)
+                .counter("serve.batches", 55),
+        );
+        report.push(BenchRow::new("hailfinder", "hybrid", "batch", 2, 0).timed(384, 0.3));
+        report
+    }
+
+    #[test]
+    fn report_round_trips_through_schema_v1() {
+        let report = sample();
+        let text = report.to_json().to_pretty();
+        let back = BenchReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.rows[0].key(), "hailfinder|hybrid|serve|t2|w1");
+        assert!(back.rows[0].throughput > 900.0);
+    }
+
+    #[test]
+    fn schema_violations_are_named() {
+        let mut json = sample().to_json();
+        assert!(BenchReport::from_json(&json).is_ok());
+        json = json.set("schema_version", 2u64);
+        let err = BenchReport::from_json(&json).unwrap_err();
+        assert!(err.contains("schema_version 2"), "{err}");
+
+        let no_rows = Json::parse(
+            r#"{"schema_version":1,"bench":"x","quick":false,
+                "machine":{"os":"linux","arch":"x86_64","cores":2},"rows":[]}"#,
+        )
+        .unwrap();
+        let err = BenchReport::from_json(&no_rows).unwrap_err();
+        assert!(err.contains("must not be empty"), "{err}");
+
+        let mut dup = sample();
+        let row = dup.rows[0].clone();
+        dup.push(row);
+        let err = BenchReport::from_json(&dup.to_json()).unwrap_err();
+        assert!(err.contains("duplicate row key"), "{err}");
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond() {
+        let baseline = sample();
+        let mut candidate = sample();
+        // 20% slower: inside a 30% threshold, outside a 10% one.
+        candidate.rows[0].throughput *= 0.8;
+        let outcome = compare(&baseline, &candidate, 0.30);
+        assert!(outcome.passed(), "{outcome:?}");
+        let outcome = compare(&baseline, &candidate, 0.10);
+        assert!(!outcome.passed());
+        assert_eq!(
+            outcome.rows.iter().filter(|row| row.regressed).count(),
+            1,
+            "only the slowed row regresses"
+        );
+
+        // A dropped row fails the gate even when every present row is fine.
+        candidate.rows.remove(1);
+        candidate.rows[0].throughput *= 2.0;
+        let outcome = compare(&baseline, &candidate, 0.30);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.missing, vec!["hailfinder|hybrid|batch|t2|w0"]);
+    }
+}

@@ -201,6 +201,24 @@ impl Solver {
         self.cache.as_ref().map(QueryCache::stats)
     }
 
+    /// Writes this solver's point-in-time stats into `metrics` as gauges
+    /// under `scope`: `{scope}.threads`, and — when a cache is enabled —
+    /// `{scope}.cache.{hits,misses,insertions,evictions,entries,bytes}`.
+    /// Gauges (not counters) because the cache keeps its own authoritative
+    /// counters; this mirrors the latest snapshot for export alongside the
+    /// serving-layer metrics.
+    pub fn export_metrics(&self, metrics: &fastbn_telemetry::MetricsRegistry, scope: &str) {
+        metrics.set_gauge(&format!("{scope}.threads"), self.threads() as u64);
+        if let Some(stats) = self.cache_stats() {
+            metrics.set_gauge(&format!("{scope}.cache.hits"), stats.hits);
+            metrics.set_gauge(&format!("{scope}.cache.misses"), stats.misses);
+            metrics.set_gauge(&format!("{scope}.cache.insertions"), stats.insertions);
+            metrics.set_gauge(&format!("{scope}.cache.evictions"), stats.evictions);
+            metrics.set_gauge(&format!("{scope}.cache.entries"), stats.entries as u64);
+            metrics.set_gauge(&format!("{scope}.cache.bytes"), stats.bytes as u64);
+        }
+    }
+
     /// Number of network variables.
     pub fn num_vars(&self) -> usize {
         self.prepared.num_vars()

@@ -42,7 +42,7 @@ mod region;
 mod schedule;
 
 pub use latch::CompletionLatch;
-pub use pool::ThreadPool;
+pub use pool::{PoolStats, ThreadPool};
 pub use schedule::Schedule;
 
 /// Convenience: number of logical CPUs, used as the default pool width.

@@ -5,10 +5,39 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam_channel::{Receiver, Sender};
+use fastbn_telemetry::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
 
 use crate::region::Region;
 use crate::schedule::Schedule;
+
+/// A snapshot of a pool's region traffic — how many parallel regions
+/// tenants have issued and how busy the team is right now.
+///
+/// `regions_started - regions_finished` is the **occupancy**: regions
+/// in flight at the snapshot instant (0 on a quiescent pool). The
+/// counters use the telemetry staging discipline (`finished` read
+/// before `started`), so occupancy can never appear negative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pool width, including the participating caller.
+    pub threads: usize,
+    /// Parallel regions entered (every `parallel_for`-family call over
+    /// a non-empty range, including degenerate single-thread/inline
+    /// executions; empty ranges run nothing and count nothing).
+    pub regions_started: u64,
+    /// Regions fully retired.
+    pub regions_finished: u64,
+    /// Total items covered by all regions (the `len` of each range).
+    pub items: u64,
+}
+
+impl PoolStats {
+    /// Regions in flight when the snapshot was taken.
+    pub fn occupancy(&self) -> u64 {
+        self.regions_started - self.regions_finished
+    }
+}
 
 /// A fixed-width fork-join pool with OpenMP-like `parallel for` entry
 /// points.
@@ -42,6 +71,9 @@ pub struct ThreadPool {
     sender: Option<Sender<Arc<Region>>>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    regions_started: Counter,
+    regions_finished: Counter,
+    items: Counter,
 }
 
 impl ThreadPool {
@@ -63,6 +95,9 @@ impl ThreadPool {
             sender: Some(sender),
             workers,
             threads,
+            regions_started: Counter::new(),
+            regions_finished: Counter::new(),
+            items: Counter::new(),
         }
     }
 
@@ -80,6 +115,32 @@ impl ThreadPool {
         self.threads
     }
 
+    /// A snapshot of the pool's region traffic. Reads `finished` before
+    /// `started`, so [`PoolStats::occupancy`] never underflows even
+    /// while tenants race through regions.
+    pub fn stats(&self) -> PoolStats {
+        let regions_finished = self.regions_finished.get_seq();
+        let regions_started = self.regions_started.get_seq();
+        PoolStats {
+            threads: self.threads,
+            regions_started,
+            regions_finished,
+            items: self.items.get(),
+        }
+    }
+
+    /// Writes the pool's traffic counters into `metrics` as gauges
+    /// under `{scope}.…` — how the serving stack folds pool occupancy
+    /// into one metrics snapshot alongside its own families.
+    pub fn export_metrics(&self, metrics: &MetricsRegistry, scope: &str) {
+        let stats = self.stats();
+        metrics.set_gauge(&format!("{scope}.threads"), stats.threads as u64);
+        metrics.set_gauge(&format!("{scope}.regions_started"), stats.regions_started);
+        metrics.set_gauge(&format!("{scope}.regions_finished"), stats.regions_finished);
+        metrics.set_gauge(&format!("{scope}.occupancy"), stats.occupancy());
+        metrics.set_gauge(&format!("{scope}.items"), stats.items);
+    }
+
     /// Runs `body(start, end)` over every chunk of `range` under `sched`.
     ///
     /// This is the primitive the table operations build on: a chunk body
@@ -94,6 +155,11 @@ impl ThreadPool {
         if len == 0 {
             return;
         }
+        self.regions_started.inc_seq();
+        self.items.add(len as u64);
+        // Retire the region even if a chunk body panics (the panic
+        // propagates to the caller; occupancy must not leak).
+        let _retire = RetireRegion(&self.regions_finished);
         let offset = range.start;
         let shifted = move |s: usize, e: usize| body(offset + s, offset + e);
         if self.threads == 1 {
@@ -162,6 +228,11 @@ impl ThreadPool {
             return identity;
         }
         if self.threads == 1 {
+            // The multi-threaded path counts its region in the inner
+            // `parallel_for_chunks` call; mirror that accounting here.
+            self.regions_started.inc_seq();
+            self.items.add(len as u64);
+            let _retire = RetireRegion(&self.regions_finished);
             let offset = range.start;
             let mut acc = identity;
             for c in 0..sched.chunk_count(len, 1) {
@@ -265,6 +336,16 @@ fn worker_loop(rx: Receiver<Arc<Region>>) {
             }
             Err(crossbeam_channel::TryRecvError::Disconnected) => return,
         }
+    }
+}
+
+/// Bumps the regions-finished counter on scope exit — including
+/// unwinds, so a panicking chunk body can't leak pool occupancy.
+struct RetireRegion<'a>(&'a Counter);
+
+impl Drop for RetireRegion<'_> {
+    fn drop(&mut self) {
+        self.0.inc_seq();
     }
 }
 
@@ -562,6 +643,54 @@ mod tests {
             });
         }
         assert_eq!(total.into_inner(), 2000 * (15 * 16 / 2));
+    }
+
+    #[test]
+    fn pool_stats_count_regions_and_items() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.stats().regions_started, 0);
+        pool.parallel_for(0..100, Schedule::Static, |_| {});
+        pool.parallel_for(0..50, Schedule::Dynamic { grain: 8 }, |_| {});
+        pool.parallel_for(5..5, Schedule::Static, |_| unreachable!()); // empty: uncounted
+        let reduced: u64 = pool.parallel_reduce(
+            0..10,
+            Schedule::Static,
+            0,
+            |s, e| (s..e).map(|i| i as u64).sum(),
+            |a, b| a + b,
+        );
+        assert_eq!(reduced, 45);
+        let stats = pool.stats();
+        assert_eq!(stats.regions_started, 3);
+        assert_eq!(stats.regions_finished, 3);
+        assert_eq!(stats.occupancy(), 0);
+        assert_eq!(stats.items, 160);
+        assert_eq!(stats.threads, 4);
+
+        // Occupancy retires even through a panicking region.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel_for(0..8, Schedule::Static, |i| {
+                if i == 3 {
+                    panic!("injected");
+                }
+            });
+        }));
+        assert_eq!(pool.stats().occupancy(), 0, "panicked region still retires");
+
+        // The single-thread inline paths count identically.
+        let inline = ThreadPool::new(1);
+        inline.parallel_for(0..10, Schedule::Static, |_| {});
+        let _: u64 = inline.parallel_reduce(0..10, Schedule::Static, 0, |_, _| 0, |a, b| a + b);
+        assert_eq!(inline.stats().regions_started, 2);
+        assert_eq!(inline.stats().regions_finished, 2);
+
+        // And the gauge export lands under the requested scope.
+        let metrics = fastbn_telemetry::MetricsRegistry::new();
+        pool.export_metrics(&metrics, "pool");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("pool.threads"), Some(4));
+        assert_eq!(snap.gauge("pool.occupancy"), Some(0));
+        assert_eq!(snap.gauge("pool.regions_started"), Some(4));
     }
 
     #[test]

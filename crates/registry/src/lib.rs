@@ -81,8 +81,13 @@ pub use routed::{
 };
 pub use stats::{ModelStats, ServerStats};
 
-// Re-export the request/response vocabulary so routing callers can
+// Re-export the telemetry vocabulary (the routed server's metrics
+// surface) and the request/response vocabulary so routing callers can
 // depend on this crate alone.
+pub use fastbn_telemetry::{
+    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+
 pub use fastbn_inference::{
     CacheConfig, CacheStats, EngineKind, InferenceError, Query, QueryBatch, QueryKey, QueryResult,
     Solver, SolverBuilder,

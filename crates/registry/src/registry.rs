@@ -306,6 +306,39 @@ impl Registry {
             .map(|entry| entry.solver)
     }
 
+    /// A snapshot of one resident model's query-cache counters:
+    /// `None` when `id` is absent **or** resident without a cache
+    /// (tell the two apart with [`Registry::contains`]). Unlike
+    /// [`Registry::get`] this is an observation, not a use — it does
+    /// not bump the model's LRU stamp, so monitoring a registry never
+    /// protects an idle model from eviction.
+    pub fn cache_stats_for(&self, id: &str) -> Option<fastbn_inference::CacheStats> {
+        self.models
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(id)?
+            .solver
+            .cache_stats()
+    }
+
+    /// Writes every resident model's point-in-time stats into
+    /// `metrics` as gauges under `{scope}.model.<id>.*` (see
+    /// [`Solver::export_metrics`]), plus the shared pool's occupancy
+    /// gauges under `{scope}.pool.*` when the pool has been created.
+    /// Like [`Registry::cache_stats_for`] this bumps no LRU stamps.
+    pub fn export_metrics(&self, metrics: &fastbn_telemetry::MetricsRegistry, scope: &str) {
+        let models = self.models.read().unwrap_or_else(PoisonError::into_inner);
+        for (id, entry) in models.iter() {
+            entry
+                .solver
+                .export_metrics(metrics, &format!("{scope}.model.{id}"));
+        }
+        drop(models);
+        if let Some(pool) = self.pool.get() {
+            pool.export_metrics(metrics, &format!("{scope}.pool"));
+        }
+    }
+
     /// Whether `id` is currently resident.
     pub fn contains(&self, id: &str) -> bool {
         self.models
@@ -498,6 +531,57 @@ mod tests {
             .unwrap();
         assert!(registry.contains("fourth"));
         assert!(!registry.contains("old"));
+    }
+
+    #[test]
+    fn cache_stats_for_reports_without_bumping_lru() {
+        let registry = Registry::builder().threads(1).capacity(2).build();
+        let cached = registry
+            .load(
+                "cached",
+                &datasets::asia(),
+                &ModelConfig::new().cache(CacheConfig::default()),
+            )
+            .unwrap();
+        registry
+            .load("plain", &datasets::sprinkler(), &ModelConfig::new())
+            .unwrap();
+        drop(cached);
+
+        // A hit/miss pair shows up in the aggregated stats.
+        let solver = registry.get("cached").unwrap();
+        let query = fastbn_inference::Query::new();
+        solver.query(&query).unwrap();
+        solver.query(&query).unwrap();
+        drop(solver);
+        let stats = registry.cache_stats_for("cached").unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(registry.cache_stats_for("plain").is_none(), "no cache");
+        assert!(registry.cache_stats_for("ghost").is_none(), "not resident");
+
+        // Observing "plain" repeatedly must NOT refresh its LRU stamp:
+        // it stays the eviction victim ("cached" was touched by `get`).
+        for _ in 0..8 {
+            let _ = registry.cache_stats_for("plain");
+        }
+        registry
+            .load("third", &datasets::cancer(), &ModelConfig::new())
+            .unwrap();
+        assert!(!registry.contains("plain"), "observation is not use");
+        assert!(registry.contains("cached"));
+
+        // The exporter mirrors the same numbers into gauges.
+        let metrics = fastbn_telemetry::MetricsRegistry::new();
+        registry.export_metrics(&metrics, "registry");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("registry.model.cached.cache.hits"), Some(1));
+        assert_eq!(snap.gauge("registry.model.cached.cache.misses"), Some(1));
+        assert_eq!(snap.gauge("registry.model.cached.threads"), Some(1));
+        assert!(
+            snap.gauge("registry.model.third.cache.hits").is_none(),
+            "cacheless models export no cache gauges"
+        );
+        assert_eq!(snap.gauge("registry.pool.threads"), Some(1));
     }
 
     #[test]

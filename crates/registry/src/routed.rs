@@ -35,32 +35,101 @@
 //! per-model breakdown.
 
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{RecvTimeoutError, TrySendError};
 use fastbn_inference::{InferenceError, Query, QueryBatch, QueryKey, QueryResult, Solver};
+use fastbn_telemetry::{Histogram, MetricsRegistry, MetricsSnapshot};
 
 use crate::oneshot::{saturating_deadline, slot, SlotReceiver, SlotSender, WaitError};
 use crate::registry::Registry;
 use crate::stats::{Counters, ModelCounters, ModelStats, ServerStats};
 
 /// One queued request: the query, the model it was routed to (id,
-/// resolved solver, per-model counters), and the oneshot that delivers
-/// its result.
+/// resolved solver, per-model counters), the oneshot that delivers
+/// its result, and its acceptance timestamp (`None` when timing is
+/// disabled — see [`RoutedServerBuilder::telemetry`]).
 struct Request {
     solver: Arc<Solver>,
     model: Arc<ModelTrack>,
     query: Query,
     reply: SlotSender<Result<QueryResult, InferenceError>>,
+    submitted_at: Option<Instant>,
 }
 
 /// A model id's counter block, shared by every request routed to it.
 struct ModelTrack {
     id: String,
     counters: ModelCounters,
+}
+
+/// The per-stage latency histograms of the serving pipeline. Stage
+/// names follow a request's life:
+///
+/// ```text
+/// submit ──admission──▶ queued ──queue_wait──▶ popped ─┐
+///   window (first pop → dispatch) ◀──────────────────────┘
+///   compute (one QueryBatch per model group)
+///   delivery (oneshot sends)          total = submit → delivered
+/// ```
+///
+/// All values are nanoseconds except `serve.batch.size` (requests per
+/// dispatched group). Recording is a no-op when the registry was built
+/// `counters_only`, and the `Instant::now()` reads feeding these are
+/// skipped entirely ([`ServerTelemetry::timing`]).
+struct StageMetrics {
+    admission_ns: Arc<Histogram>,
+    queue_wait_ns: Arc<Histogram>,
+    window_ns: Arc<Histogram>,
+    compute_ns: Arc<Histogram>,
+    delivery_ns: Arc<Histogram>,
+    total_ns: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+}
+
+impl StageMetrics {
+    fn in_registry(metrics: &MetricsRegistry) -> StageMetrics {
+        StageMetrics {
+            admission_ns: metrics.histogram("serve.stage.admission_ns"),
+            queue_wait_ns: metrics.histogram("serve.stage.queue_wait_ns"),
+            window_ns: metrics.histogram("serve.stage.window_ns"),
+            compute_ns: metrics.histogram("serve.stage.compute_ns"),
+            delivery_ns: metrics.histogram("serve.stage.delivery_ns"),
+            total_ns: metrics.histogram("serve.request.total_ns"),
+            batch_size: metrics.histogram("serve.batch.size"),
+        }
+    }
+}
+
+/// Everything the submitters and workers share for observability: the
+/// traffic counters (the cells behind both [`ServerStats`] and the
+/// exported `serve.*` metrics), the stage histograms, and the registry
+/// they live in. `timing` caches
+/// [`MetricsRegistry::is_timing_enabled`] so the hot path can skip
+/// clock reads without a lock.
+struct ServerTelemetry {
+    counters: Counters,
+    stages: StageMetrics,
+    metrics: Arc<MetricsRegistry>,
+    timing: bool,
+}
+
+impl ServerTelemetry {
+    fn over(metrics: Arc<MetricsRegistry>) -> ServerTelemetry {
+        ServerTelemetry {
+            counters: Counters::in_registry(&metrics),
+            stages: StageMetrics::in_registry(&metrics),
+            timing: metrics.is_timing_enabled(),
+            metrics,
+        }
+    }
+
+    /// The current time, read only when stage timing is on.
+    fn now(&self) -> Option<Instant> {
+        self.timing.then(Instant::now)
+    }
 }
 
 /// Why a waiting client got no result.
@@ -204,6 +273,8 @@ pub struct RoutedServerBuilder {
     max_delay: Duration,
     queue_capacity: Option<usize>,
     dedup: bool,
+    metrics: Option<Arc<MetricsRegistry>>,
+    timing: bool,
 }
 
 impl RoutedServerBuilder {
@@ -251,6 +322,27 @@ impl RoutedServerBuilder {
         self
     }
 
+    /// Uses an existing [`MetricsRegistry`] instead of creating one —
+    /// e.g. to aggregate several servers, or to pass a
+    /// [`MetricsRegistry::counters_only`] registry built elsewhere.
+    /// Overrides [`RoutedServerBuilder::telemetry`].
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Whether the server records per-stage latency histograms
+    /// (default **on**). Off builds a [`MetricsRegistry::counters_only`]
+    /// registry: the traffic counters stay live (the [`ServerStats`]
+    /// accounting contract does not depend on this switch) but no
+    /// clocks are read and no histograms recorded on the hot path.
+    /// Ignored when [`RoutedServerBuilder::metrics`] injects a
+    /// registry — the injected registry's own mode rules.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.timing = enabled;
+        self
+    }
+
     /// Starts the workers and returns the running server.
     pub fn build(self) -> RoutedServer {
         let queue_capacity = self
@@ -258,24 +350,31 @@ impl RoutedServerBuilder {
             .unwrap_or(2 * self.workers * self.max_batch)
             .max(1);
         let (sender, receiver) = crossbeam_channel::bounded::<Request>(queue_capacity);
-        let counters = Arc::new(Counters::default());
+        let metrics = self.metrics.unwrap_or_else(|| {
+            Arc::new(if self.timing {
+                MetricsRegistry::new()
+            } else {
+                MetricsRegistry::counters_only()
+            })
+        });
+        let telemetry = Arc::new(ServerTelemetry::over(metrics));
         let workers = (0..self.workers)
             .map(|i| {
                 let rx = receiver.clone();
-                let counters = Arc::clone(&counters);
+                let telemetry = Arc::clone(&telemetry);
                 let max_batch = self.max_batch;
                 let max_delay = self.max_delay;
                 let dedup = self.dedup;
                 std::thread::Builder::new()
                     .name(format!("fastbn-route-{i}"))
-                    .spawn(move || worker_loop(rx, max_batch, max_delay, dedup, &counters))
+                    .spawn(move || worker_loop(rx, max_batch, max_delay, dedup, &telemetry))
                     .expect("failed to spawn fastbn routing worker")
             })
             .collect();
         RoutedServer {
             queue: RwLock::new(Some(sender)),
             workers: Mutex::new(workers),
-            counters,
+            telemetry,
             models: RwLock::new(HashMap::new()),
             registry: self.registry,
             worker_count: self.workers,
@@ -335,7 +434,7 @@ pub struct RoutedServer {
     /// holds the lock while parked on a full queue.
     queue: RwLock<Option<crossbeam_channel::Sender<Request>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
-    counters: Arc<Counters>,
+    telemetry: Arc<ServerTelemetry>,
     /// Per-model counter blocks, created on a model's first
     /// submission. Kept across unload/reload so `model_stats` totals
     /// stay monotonic (the drain invariant needs history, not
@@ -366,6 +465,8 @@ impl RoutedServer {
             max_delay: Duration::from_micros(500),
             queue_capacity: None,
             dedup: true,
+            metrics: None,
+            timing: true,
         }
     }
 
@@ -375,9 +476,18 @@ impl RoutedServer {
     /// or [`SubmitErrorKind::ShutDown`] after [`RoutedServer::shutdown`]
     /// — the query is handed back either way.
     pub fn submit(&self, model: &str, query: Query) -> Result<Pending, SubmitError> {
-        let (sender, request, rx) = self.admit(model, query)?;
+        let start = self.telemetry.now();
+        let (sender, request, rx) = self.admit(model, query, start)?;
         match sender.send(request) {
-            Ok(()) => Ok(Pending { rx }),
+            Ok(()) => {
+                if let Some(start) = start {
+                    self.telemetry
+                        .stages
+                        .admission_ns
+                        .record_duration(start.elapsed());
+                }
+                Ok(Pending { rx })
+            }
             Err(crossbeam_channel::SendError(request)) => {
                 Err(self.retract(request, SubmitErrorKind::ShutDown))
             }
@@ -388,11 +498,20 @@ impl RoutedServer {
     /// [`SubmitErrorKind::QueueFull`] (the query handed back) instead
     /// of waiting.
     pub fn try_submit(&self, model: &str, query: Query) -> Result<Pending, SubmitError> {
-        let (sender, request, rx) = self.admit(model, query)?;
+        let start = self.telemetry.now();
+        let (sender, request, rx) = self.admit(model, query, start)?;
         match sender.try_send(request) {
-            Ok(()) => Ok(Pending { rx }),
+            Ok(()) => {
+                if let Some(start) = start {
+                    self.telemetry
+                        .stages
+                        .admission_ns
+                        .record_duration(start.elapsed());
+                }
+                Ok(Pending { rx })
+            }
             Err(TrySendError::Full(request)) => {
-                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.counters.rejected.inc();
                 Err(self.retract(request, SubmitErrorKind::QueueFull))
             }
             Err(TrySendError::Disconnected(request)) => {
@@ -411,6 +530,7 @@ impl RoutedServer {
         &self,
         model: &str,
         query: Query,
+        submitted_at: Option<Instant>,
     ) -> Result<
         (
             crossbeam_channel::Sender<Request>,
@@ -434,14 +554,15 @@ impl RoutedServer {
             ));
         };
         let track = self.track(model);
-        self.counters.submitted.fetch_add(1, Ordering::SeqCst);
-        track.counters.submitted.fetch_add(1, Ordering::SeqCst);
+        self.telemetry.counters.submitted.inc_seq();
+        track.counters.submitted.inc_seq();
         let (reply, rx) = slot();
         let request = Request {
             solver,
             model: track,
             query,
             reply,
+            submitted_at,
         };
         Ok((sender, request, rx))
     }
@@ -449,12 +570,8 @@ impl RoutedServer {
     /// Undoes a pre-counted submission whose send failed, recovering
     /// the query into a typed error.
     fn retract(&self, request: Request, kind: SubmitErrorKind) -> SubmitError {
-        self.counters.submitted.fetch_sub(1, Ordering::SeqCst);
-        request
-            .model
-            .counters
-            .submitted
-            .fetch_sub(1, Ordering::SeqCst);
+        self.telemetry.counters.submitted.dec_seq();
+        request.model.counters.submitted.dec_seq();
         SubmitError::new(request.query, request.model.id.clone(), kind)
     }
 
@@ -472,7 +589,7 @@ impl RoutedServer {
         Arc::clone(models.entry(model.to_string()).or_insert_with(|| {
             Arc::new(ModelTrack {
                 id: model.to_string(),
-                counters: ModelCounters::default(),
+                counters: ModelCounters::in_registry(&self.telemetry.metrics, model),
             })
         }))
     }
@@ -501,7 +618,28 @@ impl RoutedServer {
 
     /// A snapshot of the global traffic counters.
     pub fn stats(&self) -> ServerStats {
-        self.counters.snapshot()
+        self.telemetry.counters.snapshot()
+    }
+
+    /// The server's metrics registry: the traffic counters
+    /// (`serve.submitted`, `serve.model.<id>.completed`, …) and —
+    /// unless built with [`RoutedServerBuilder::telemetry`]`(false)` —
+    /// the per-stage latency histograms (`serve.stage.*_ns`,
+    /// `serve.request.total_ns`, `serve.batch.size`). These are the
+    /// *same cells* [`RoutedServer::stats`] snapshots.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.telemetry.metrics
+    }
+
+    /// A consistent export snapshot: refreshes the registry-side
+    /// gauges (per-model cache stats under `registry.model.<id>.*`,
+    /// shared-pool occupancy under `registry.pool.*`) and then
+    /// snapshots the whole registry. See
+    /// [`MetricsSnapshot::to_json`] for the stable serialization.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry
+            .export_metrics(&self.telemetry.metrics, "registry");
+        self.telemetry.metrics.snapshot()
     }
 
     /// The per-model traffic breakdown, sorted by model id. Covers
@@ -599,7 +737,7 @@ fn worker_loop(
     max_batch: usize,
     max_delay: Duration,
     dedup: bool,
-    counters: &Counters,
+    telemetry: &ServerTelemetry,
 ) {
     let mut window: Vec<Request> = Vec::with_capacity(max_batch);
     loop {
@@ -607,14 +745,17 @@ fn worker_loop(
             Ok(request) => request,
             Err(_) => return, // queue closed and drained
         };
-        counters.dequeued.fetch_add(1, Ordering::SeqCst);
+        telemetry.counters.dequeued.inc_seq();
+        record_queue_wait(&first, telemetry);
+        let window_start = telemetry.now();
         window.push(first);
         let deadline = saturating_deadline(max_delay);
         let mut disconnected = false;
         while window.len() < max_batch {
             match rx.recv_deadline(deadline) {
                 Ok(request) => {
-                    counters.dequeued.fetch_add(1, Ordering::SeqCst);
+                    telemetry.counters.dequeued.inc_seq();
+                    record_queue_wait(&request, telemetry);
                     window.push(request);
                 }
                 Err(RecvTimeoutError::Timeout) => break,
@@ -624,10 +765,23 @@ fn worker_loop(
                 }
             }
         }
-        dispatch_window(&mut window, dedup, counters);
+        if let Some(start) = window_start {
+            telemetry.stages.window_ns.record_duration(start.elapsed());
+        }
+        dispatch_window(&mut window, dedup, telemetry);
         if disconnected {
             return;
         }
+    }
+}
+
+/// Records how long one just-popped request sat on the queue.
+fn record_queue_wait(request: &Request, telemetry: &ServerTelemetry) {
+    if let Some(submitted_at) = request.submitted_at {
+        telemetry
+            .stages
+            .queue_wait_ns
+            .record_duration(submitted_at.elapsed());
     }
 }
 
@@ -640,16 +794,12 @@ fn worker_loop(
 /// panicking dispatch abandons only its own group's requests
 /// ([`ServeError::Abandoned`]) — other models in the window, and the
 /// worker itself, keep going.
-fn dispatch_window(window: &mut Vec<Request>, dedup: bool, counters: &Counters) {
+fn dispatch_window(window: &mut Vec<Request>, dedup: bool, telemetry: &ServerTelemetry) {
     window.retain(|request| {
         let live = !request.reply.is_cancelled();
         if !live {
-            counters.cancelled.fetch_add(1, Ordering::SeqCst);
-            request
-                .model
-                .counters
-                .cancelled
-                .fetch_add(1, Ordering::SeqCst);
+            telemetry.counters.cancelled.inc_seq();
+            request.model.counters.cancelled.inc_seq();
         }
         live
     });
@@ -672,13 +822,13 @@ fn dispatch_window(window: &mut Vec<Request>, dedup: bool, counters: &Counters) 
     }
     for group in groups {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dispatch_group(group, dedup, counters)
+            dispatch_group(group, dedup, telemetry)
         }));
         if outcome.is_err() {
             // The group's replies died mid-unwind (their clients see
             // `Abandoned`); the worker and the window's other models
             // are unaffected.
-            counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+            telemetry.counters.worker_panics.inc();
         }
     }
 }
@@ -688,72 +838,97 @@ fn dispatch_window(window: &mut Vec<Request>, dedup: bool, counters: &Counters) 
 /// canonical `QueryKey`s match collapse into one computed slot whose
 /// result fans out to every waiter (bit-identical by the key
 /// contract — and only ever within one solver instance).
-fn dispatch_group(group: Vec<Request>, dedup: bool, counters: &Counters) {
+/// One undelivered reply: the oneshot plus the request's acceptance
+/// time (so delivery can record the end-to-end span).
+type Waiter = (
+    SlotSender<Result<QueryResult, InferenceError>>,
+    Option<Instant>,
+);
+
+fn dispatch_group(group: Vec<Request>, dedup: bool, telemetry: &ServerTelemetry) {
     debug_assert!(!group.is_empty());
     let solver = Arc::clone(&group[0].solver);
     let model = Arc::clone(&group[0].model);
-    counters.batches.fetch_add(1, Ordering::Relaxed);
-    model.counters.batches.fetch_add(1, Ordering::Relaxed);
+    telemetry.counters.batches.inc();
+    model.counters.batches.inc();
+    telemetry.stages.batch_size.record(group.len() as u64);
     // One computed slot per distinct key; every reply hangs off its slot.
     let mut queries: Vec<Query> = Vec::with_capacity(group.len());
-    let mut waiters: Vec<Vec<SlotSender<Result<QueryResult, InferenceError>>>> =
-        Vec::with_capacity(group.len());
+    let mut waiters: Vec<Vec<Waiter>> = Vec::with_capacity(group.len());
     if dedup {
         let mut seen: HashMap<QueryKey, usize> = HashMap::new();
         for request in group {
             match seen.entry(request.query.key()) {
                 std::collections::hash_map::Entry::Occupied(slot) => {
-                    counters.dedups.fetch_add(1, Ordering::Relaxed);
-                    model.counters.dedups.fetch_add(1, Ordering::Relaxed);
-                    waiters[*slot.get()].push(request.reply);
+                    telemetry.counters.dedups.inc();
+                    model.counters.dedups.inc();
+                    waiters[*slot.get()].push((request.reply, request.submitted_at));
                 }
                 std::collections::hash_map::Entry::Vacant(slot) => {
                     slot.insert(queries.len());
                     queries.push(request.query);
-                    waiters.push(vec![request.reply]);
+                    waiters.push(vec![(request.reply, request.submitted_at)]);
                 }
             }
         }
     } else {
         for request in group {
             queries.push(request.query);
-            waiters.push(vec![request.reply]);
+            waiters.push(vec![(request.reply, request.submitted_at)]);
         }
     }
     let batch = QueryBatch::from(queries);
+    let compute_start = telemetry.now();
     let results = solver.query_batch(&batch);
+    if let Some(start) = compute_start {
+        telemetry.stages.compute_ns.record_duration(start.elapsed());
+    }
+    let delivery_start = telemetry.now();
     for (replies, result) in waiters.into_iter().zip(results) {
         let mut replies = replies.into_iter();
         let last = replies.next_back();
-        for reply in replies {
-            deliver(reply, result.clone(), counters, &model);
+        for waiter in replies {
+            deliver(waiter, result.clone(), telemetry, &model);
         }
-        if let Some(reply) = last {
+        if let Some(waiter) = last {
             // The representative (or lone) waiter takes the result
             // without a clone.
-            deliver(reply, result, counters, &model);
+            deliver(waiter, result, telemetry, &model);
         }
+    }
+    if let Some(start) = delivery_start {
+        telemetry
+            .stages
+            .delivery_ns
+            .record_duration(start.elapsed());
     }
 }
 
 /// Sends one result through its oneshot, counting the outcome globally
-/// and against the request's model.
+/// and against the request's model; a delivered result also records
+/// the request's end-to-end latency.
 fn deliver(
-    reply: SlotSender<Result<QueryResult, InferenceError>>,
+    (reply, submitted_at): Waiter,
     result: Result<QueryResult, InferenceError>,
-    counters: &Counters,
+    telemetry: &ServerTelemetry,
     model: &ModelTrack,
 ) {
     match reply.send(result) {
         Ok(()) => {
-            counters.completed.fetch_add(1, Ordering::SeqCst);
-            model.counters.completed.fetch_add(1, Ordering::SeqCst);
+            telemetry.counters.completed.inc_seq();
+            model.counters.completed.inc_seq();
+            if let Some(submitted_at) = submitted_at {
+                telemetry
+                    .stages
+                    .total_ns
+                    .record_duration(submitted_at.elapsed());
+            }
         }
         // The handle was dropped while the batch ran: result
         // discarded, request counted as cancelled.
         Err(_) => {
-            counters.cancelled.fetch_add(1, Ordering::SeqCst);
-            model.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+            telemetry.counters.cancelled.inc_seq();
+            model.counters.cancelled.inc_seq();
         }
     };
 }

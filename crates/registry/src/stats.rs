@@ -2,7 +2,9 @@
 //! [`ServerStats`] snapshot (shared with `fastbn-serve`) and the
 //! per-model [`ModelStats`] breakdown the routed server adds on top.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fastbn_telemetry::{Counter, MetricsRegistry};
 
 /// Monotonic counters describing a server's traffic so far (a snapshot;
 /// concurrently updated by submitters and workers).
@@ -87,74 +89,102 @@ pub struct ModelStats {
     pub batches: u64,
 }
 
-/// The atomic counters behind [`ServerStats`].
+/// The counters behind [`ServerStats`] — handles into the server's
+/// [`MetricsRegistry`], so the `ServerStats` snapshot and the exported
+/// metrics (`serve.submitted`, `serve.completed`, …) are **the same
+/// cells**, not two bookkeeping systems that could drift.
 ///
 /// The stage counters (`submitted`, `dequeued`, `completed`,
-/// `cancelled`) use `SeqCst` so the accounting invariant is observable
-/// from a *concurrent* snapshot, not just after shutdown: `submitted`
-/// is incremented **before** the request enters the queue (undone on a
-/// failed send), each later stage is incremented after the earlier
-/// one, and [`Counters::snapshot`] reads the stages in reverse order —
-/// so a snapshot can never catch a completion whose submission it
-/// missed.
-#[derive(Default)]
+/// `cancelled`) use the counter's `SeqCst` methods so the accounting
+/// invariant is observable from a *concurrent* snapshot, not just
+/// after shutdown: `submitted` is incremented **before** the request
+/// enters the queue (undone on a failed send), each later stage is
+/// incremented after the earlier one, and [`Counters::snapshot`] reads
+/// the stages in reverse order — so a snapshot can never catch a
+/// completion whose submission it missed.
 pub(crate) struct Counters {
-    pub(crate) submitted: AtomicU64,
-    pub(crate) rejected: AtomicU64,
-    pub(crate) dequeued: AtomicU64,
-    pub(crate) completed: AtomicU64,
-    pub(crate) cancelled: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) dedups: AtomicU64,
-    pub(crate) worker_panics: AtomicU64,
+    pub(crate) submitted: Arc<Counter>,
+    pub(crate) rejected: Arc<Counter>,
+    pub(crate) dequeued: Arc<Counter>,
+    pub(crate) completed: Arc<Counter>,
+    pub(crate) cancelled: Arc<Counter>,
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) dedups: Arc<Counter>,
+    pub(crate) worker_panics: Arc<Counter>,
 }
 
 impl Counters {
+    /// Resolves the global traffic counters (`serve.*`) in `metrics`.
+    pub(crate) fn in_registry(metrics: &MetricsRegistry) -> Counters {
+        Counters {
+            submitted: metrics.counter("serve.submitted"),
+            rejected: metrics.counter("serve.rejected"),
+            dequeued: metrics.counter("serve.dequeued"),
+            completed: metrics.counter("serve.completed"),
+            cancelled: metrics.counter("serve.cancelled"),
+            batches: metrics.counter("serve.batches"),
+            dedups: metrics.counter("serve.dedups"),
+            worker_panics: metrics.counter("serve.worker_panics"),
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> ServerStats {
         // Read latest-stage counters first: `completed + cancelled ≤
         // dequeued ≤ submitted` must hold in the snapshot even while
         // requests race through the pipeline (each read can only miss
         // increments that post-date the earlier reads).
-        let completed = self.completed.load(Ordering::SeqCst);
-        let cancelled = self.cancelled.load(Ordering::SeqCst);
-        let dequeued = self.dequeued.load(Ordering::SeqCst);
-        let submitted = self.submitted.load(Ordering::SeqCst);
+        let completed = self.completed.get_seq();
+        let cancelled = self.cancelled.get_seq();
+        let dequeued = self.dequeued.get_seq();
+        let submitted = self.submitted.get_seq();
         ServerStats {
             submitted,
-            rejected: self.rejected.load(Ordering::Relaxed),
+            rejected: self.rejected.get(),
             dequeued,
             completed,
             cancelled,
-            batches: self.batches.load(Ordering::Relaxed),
-            dedups: self.dedups.load(Ordering::Relaxed),
-            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            batches: self.batches.get(),
+            dedups: self.dedups.get(),
+            worker_panics: self.worker_panics.get(),
         }
     }
 }
 
-/// One model's atomic counters; same staging discipline as
-/// [`Counters`] (pre-counted `submitted`, reverse-order snapshot).
-#[derive(Default)]
+/// One model's counters (`serve.model.<id>.*`); same staging
+/// discipline as [`Counters`] (pre-counted `submitted`, reverse-order
+/// snapshot).
 pub(crate) struct ModelCounters {
-    pub(crate) submitted: AtomicU64,
-    pub(crate) completed: AtomicU64,
-    pub(crate) cancelled: AtomicU64,
-    pub(crate) dedups: AtomicU64,
-    pub(crate) batches: AtomicU64,
+    pub(crate) submitted: Arc<Counter>,
+    pub(crate) completed: Arc<Counter>,
+    pub(crate) cancelled: Arc<Counter>,
+    pub(crate) dedups: Arc<Counter>,
+    pub(crate) batches: Arc<Counter>,
 }
 
 impl ModelCounters {
+    /// Resolves the per-model counters for `model` in `metrics`.
+    pub(crate) fn in_registry(metrics: &MetricsRegistry, model: &str) -> ModelCounters {
+        let name = |stage: &str| format!("serve.model.{model}.{stage}");
+        ModelCounters {
+            submitted: metrics.counter(&name("submitted")),
+            completed: metrics.counter(&name("completed")),
+            cancelled: metrics.counter(&name("cancelled")),
+            dedups: metrics.counter(&name("dedups")),
+            batches: metrics.counter(&name("batches")),
+        }
+    }
+
     pub(crate) fn snapshot(&self, model: &str) -> ModelStats {
-        let completed = self.completed.load(Ordering::SeqCst);
-        let cancelled = self.cancelled.load(Ordering::SeqCst);
-        let submitted = self.submitted.load(Ordering::SeqCst);
+        let completed = self.completed.get_seq();
+        let cancelled = self.cancelled.get_seq();
+        let submitted = self.submitted.get_seq();
         ModelStats {
             model: model.to_string(),
             submitted,
             completed,
             cancelled,
-            dedups: self.dedups.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
+            dedups: self.dedups.get(),
+            batches: self.batches.get(),
         }
     }
 }

@@ -80,8 +80,11 @@ pub use server::{
     SubmitErrorKind, SINGLE_MODEL_ID,
 };
 
-// Re-export the request/response vocabulary so serving callers can
-// depend on this crate alone.
+// Re-export the metrics vocabulary ([`Server::metrics`]) and the
+// request/response vocabulary so serving callers can depend on this
+// crate alone.
+pub use fastbn_telemetry::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+
 pub use fastbn_inference::{
     CacheConfig, CacheStats, InferenceError, OwnedSession, Query, QueryBatch, QueryKey,
     QueryResult, Solver,

@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use fastbn_inference::{Query, Solver};
 use fastbn_registry::{Registry, RoutedServer};
+use fastbn_telemetry::{MetricsRegistry, MetricsSnapshot};
 
 pub use fastbn_registry::{
     ModelStats, Pending, ServeError, ServerStats, SubmitError, SubmitErrorKind,
@@ -77,6 +78,23 @@ impl ServerBuilder {
     /// every waiter, bit-identically.
     pub fn dedup(mut self, dedup: bool) -> Self {
         self.inner = self.inner.dedup(dedup);
+        self
+    }
+
+    /// Uses an existing [`MetricsRegistry`] instead of creating one
+    /// (e.g. to aggregate several servers). Overrides
+    /// [`ServerBuilder::telemetry`].
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.inner = self.inner.metrics(metrics);
+        self
+    }
+
+    /// Whether the server records per-stage latency histograms
+    /// (default **on**); off keeps the traffic counters but skips all
+    /// clock reads on the hot path. See
+    /// [`RoutedServerBuilder::telemetry`](fastbn_registry::RoutedServerBuilder::telemetry).
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.inner = self.inner.telemetry(enabled);
         self
     }
 
@@ -186,6 +204,22 @@ impl Server {
     /// here; meaningful on a [`RoutedServer`]).
     pub fn model_stats(&self) -> Vec<ModelStats> {
         self.inner.model_stats()
+    }
+
+    /// The server's metrics registry: traffic counters plus — unless
+    /// built with [`ServerBuilder::telemetry`]`(false)` — the
+    /// per-stage latency histograms. See
+    /// [`RoutedServer::metrics`](fastbn_registry::RoutedServer::metrics).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.inner.metrics()
+    }
+
+    /// A consistent export snapshot of every metric, with the
+    /// solver-side gauges (cache stats, pool occupancy) refreshed
+    /// first. See
+    /// [`RoutedServer::metrics_snapshot`](fastbn_registry::RoutedServer::metrics_snapshot).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.metrics_snapshot()
     }
 
     /// The shared solver the workers query.

@@ -1,0 +1,103 @@
+//! The [`Counter`]: a monotonic atomic event counter.
+//!
+//! Two ordering tiers are exposed on purpose. The plain methods
+//! ([`Counter::inc`], [`Counter::add`], [`Counter::get`]) are `Relaxed`
+//! — right for throughput counters where only the eventual total
+//! matters (batches dispatched, cache dedups, regions run). The `_seq`
+//! methods are `SeqCst` — required by *staged* pipeline counters whose
+//! cross-counter inequalities must be observable from a concurrent
+//! snapshot (the serving stack's `submitted ≥ dequeued ≥ completed +
+//! cancelled` accounting invariant reads later stages first, which only
+//! works when every stage increment is totally ordered).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic `u64` event counter, safe to share between any number of
+/// recording threads. `Default` starts at zero.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one (`Relaxed`).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (`Relaxed`).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one with `SeqCst` ordering — for staged counters whose
+    /// relative order against *other* counters must be snapshot-visible.
+    #[inline]
+    pub fn inc_seq(&self) {
+        self.value.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Subtracts one with `SeqCst` ordering. The serving stack uses this
+    /// to retract a pre-counted submission whose enqueue failed; the
+    /// counter stays monotonic in the quiescent view because the
+    /// matching `inc_seq` always happens first on the same thread.
+    #[inline]
+    pub fn dec_seq(&self) {
+        self.value.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Current value (`Relaxed`).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Current value (`SeqCst`) — pairs with [`Counter::inc_seq`] for
+    /// ordered multi-counter snapshots.
+    #[inline]
+    pub fn get_seq(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_across_threads() {
+        let counter = Arc::new(Counter::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 80_000);
+    }
+
+    #[test]
+    fn seq_ops_round_trip() {
+        let counter = Counter::new();
+        counter.inc_seq();
+        counter.inc_seq();
+        counter.dec_seq();
+        assert_eq!(counter.get_seq(), 1);
+        counter.add(5);
+        assert_eq!(counter.get(), 6);
+    }
+}

@@ -1,0 +1,64 @@
+//! # fastbn-telemetry
+//!
+//! The measurement substrate for the fastbn serving stack: where time
+//! goes (per-stage latency histograms), what happened (atomic event
+//! counters), and a durable record of both (a stable JSON codec for
+//! `BENCH_*.json` perf-trajectory files and metric snapshots).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Free on the record path.** Recording is a few relaxed atomics —
+//!    no locks, no allocation, no floating point. The latency
+//!    [`Histogram`] uses fixed log buckets (≤ 12.5% quantile error,
+//!    saturating overflow bucket) so `p50/p90/p99/max` come out of a
+//!    plain array copy. The opt-out ([`MetricsRegistry::counters_only`])
+//!    reduces every histogram record to one predictable branch and lets
+//!    instrumented code skip its clock reads.
+//! 2. **Dependency-free.** This crate sits *below* everything —
+//!    even `fastbn-parallel` instruments its pool with it — and uses
+//!    nothing but `std` (not even the vendored shims).
+//! 3. **Consistent snapshots.** A [`MetricsRegistry::snapshot`] taken
+//!    under concurrent recording never shows torn histogram counts
+//!    (totals are derived from the bucket array) and respects the
+//!    serving stack's staged-counter inequalities (writers use the
+//!    `SeqCst` counter tier; see [`Counter`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fastbn_telemetry::MetricsRegistry;
+//! use std::time::{Duration, Instant};
+//!
+//! let metrics = MetricsRegistry::new();
+//! // Resolve once (locks), record hot (lock-free).
+//! let completed = metrics.counter("serve.completed");
+//! let latency = metrics.histogram("serve.request.total_ns");
+//!
+//! for _ in 0..100 {
+//!     let start = Instant::now();
+//!     std::hint::black_box(2 + 2); // the "request"
+//!     completed.inc();
+//!     latency.record_duration(start.elapsed().max(Duration::from_nanos(50)));
+//! }
+//!
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.counter("serve.completed"), 100);
+//! let lat = snap.histogram("serve.request.total_ns").unwrap();
+//! assert_eq!(lat.count, 100);
+//! assert!(lat.p99() >= lat.p50() && lat.max >= lat.p99());
+//! // And the whole family serializes to stable JSON:
+//! let text = snap.to_json().to_pretty();
+//! assert!(text.contains("serve.completed"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod counter;
+mod histogram;
+pub mod json;
+mod registry;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use json::{Json, JsonError};
+pub use registry::{MetricsRegistry, MetricsSnapshot};

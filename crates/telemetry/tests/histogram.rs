@@ -1,0 +1,185 @@
+//! Histogram correctness suite: bucket-boundary values, quantile
+//! monotonicity, overflow saturation, and the multi-thread hammer
+//! proving `snapshot()` is consistent while 8 threads record.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fastbn_telemetry::{Histogram, MetricsRegistry, BUCKETS};
+
+/// Values that sit exactly on bucket edges must be counted once, in a
+/// bucket whose reported quantile bound contains them.
+#[test]
+fn bucket_boundary_values_are_counted_exactly_once() {
+    let h = Histogram::new();
+    // Every power of two and its neighbours, through the whole exact
+    // range and beyond the overflow boundary.
+    let mut values: Vec<u64> = vec![0, 1, 2, 3, 7, 8, 9];
+    for exp in 3..=45u32 {
+        let p = 1u64 << exp;
+        values.extend([p - 1, p, p + 1]);
+    }
+    for &v in &values {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, values.len() as u64, "every record counted once");
+    assert_eq!(
+        snap.counts.iter().sum::<u64>(),
+        values.len() as u64,
+        "derived count equals the bucket sum by construction"
+    );
+    // Small values are exact: quantile of a single-value histogram is
+    // that value.
+    for v in [0u64, 1, 5, 7] {
+        let h = Histogram::new();
+        h.record(v);
+        assert_eq!(h.snapshot().quantile(0.5), v, "exact bucket for {v}");
+    }
+    // Larger values: the reported quantile is within the documented
+    // 12.5% above the true value (and clamped to the observed max).
+    for v in [8u64, 100, 1_000, 123_456, 1 << 20, (1 << 41) + 12345] {
+        let h = Histogram::new();
+        h.record(v);
+        let q = h.snapshot().quantile(0.5);
+        assert!(q >= v, "quantile {q} below recorded {v}");
+        assert!(
+            q as f64 <= v as f64 * 1.125 + 1.0,
+            "quantile {q} > 12.5% above {v}"
+        );
+    }
+}
+
+/// For any recorded distribution, quantiles must be non-decreasing in
+/// `q` and bounded by the exact max.
+#[test]
+fn quantiles_are_monotone_and_bounded_by_max() {
+    let h = Histogram::new();
+    // A deliberately lumpy distribution: heavy head, long tail.
+    for i in 0..1000u64 {
+        h.record(i % 17);
+    }
+    for i in 0..100u64 {
+        h.record(1_000 + i * 997);
+    }
+    h.record(5_000_000);
+    let snap = h.snapshot();
+    let qs: Vec<u64> = (1..=100).map(|p| snap.quantile(p as f64 / 100.0)).collect();
+    for pair in qs.windows(2) {
+        assert!(pair[0] <= pair[1], "quantiles must be monotone: {pair:?}");
+    }
+    assert_eq!(*qs.last().unwrap(), snap.max, "p100 is the exact max");
+    assert!(qs.iter().all(|&q| q <= snap.max));
+    assert_eq!(snap.p50(), snap.quantile(0.5));
+    assert!(snap.p50() <= snap.p90() && snap.p90() <= snap.p99());
+}
+
+/// Values beyond the exact range saturate into the final bucket instead
+/// of wrapping, and the exact max still reports them.
+#[test]
+fn overflow_bucket_saturates() {
+    let h = Histogram::new();
+    let huge = [u64::MAX, u64::MAX - 1, 1u64 << 60, (1u64 << 42) + 1];
+    for &v in &huge {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, huge.len() as u64);
+    assert_eq!(
+        snap.counts[BUCKETS - 1],
+        huge.len() as u64,
+        "all out-of-range values land in the one overflow bucket"
+    );
+    assert_eq!(
+        snap.max,
+        u64::MAX,
+        "max register is exact even when saturating"
+    );
+    // A quantile landing in the overflow bucket reports the observed
+    // max, not some fictional bucket bound.
+    assert_eq!(snap.quantile(0.99), u64::MAX);
+    // Mixing in-range values keeps the in-range quantiles sane.
+    h.record(100);
+    h.record(100);
+    h.record(100);
+    h.record(100);
+    let snap = h.snapshot();
+    assert!(
+        snap.quantile(0.25) < 120,
+        "in-range quantile unaffected by overflow tail"
+    );
+}
+
+/// The hammer: 8 threads record while a snapshotter loops. Every
+/// snapshot must be internally consistent (derived count == bucket sum,
+/// quantiles monotone, nothing above the final total) and consecutive
+/// snapshot totals must never decrease; the final snapshot must account
+/// for every record exactly.
+#[test]
+fn snapshot_is_consistent_under_8_recording_threads() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let metrics = Arc::new(MetricsRegistry::new());
+    let h = metrics.histogram("hammer_ns");
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = Arc::clone(&h);
+            scope.spawn(move || {
+                // Each thread hits a different value mix so buckets are
+                // updated from many threads at once.
+                for i in 0..PER_THREAD {
+                    h.record((i.wrapping_mul(2654435761) >> (t as u64 % 13)) % 1_000_000);
+                }
+            });
+        }
+        let snapshotter = {
+            let h = Arc::clone(&h);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let mut last_total = 0u64;
+                let mut snapshots = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = h.snapshot();
+                    // No torn counts: the total is the bucket sum by
+                    // construction, and it can only grow.
+                    assert_eq!(snap.counts.iter().sum::<u64>(), snap.count);
+                    assert!(
+                        snap.count >= last_total,
+                        "snapshot total decreased: {} -> {}",
+                        last_total,
+                        snap.count
+                    );
+                    assert!(
+                        snap.count <= THREADS as u64 * PER_THREAD,
+                        "snapshot total exceeds records ever made"
+                    );
+                    let (p50, p99) = (snap.p50(), snap.p99());
+                    assert!(p50 <= p99 && p99 <= snap.max.max(p99));
+                    last_total = snap.count;
+                    snapshots += 1;
+                }
+                snapshots
+            })
+        };
+        // Recorders join when the scope's other handles finish; signal
+        // the snapshotter only after they are all done.
+        // (Scope spawns are joined at scope exit; we emulate ordering by
+        // waiting on the recorded total instead.)
+        while h.snapshot().count < THREADS as u64 * PER_THREAD {
+            std::hint::spin_loop();
+        }
+        done.store(true, Ordering::Relaxed);
+        let snapshots = snapshotter.join().expect("snapshotter must not panic");
+        assert!(snapshots > 0, "snapshotter must have raced the recorders");
+    });
+
+    let final_snap = h.snapshot();
+    assert_eq!(
+        final_snap.count,
+        THREADS as u64 * PER_THREAD,
+        "no record lost or duplicated"
+    );
+    assert_eq!(final_snap.counts.iter().sum::<u64>(), final_snap.count);
+}

@@ -152,6 +152,8 @@ pub use fastbn_potential as potential;
 pub use fastbn_registry as registry;
 /// Micro-batching serving front end over `Solver`.
 pub use fastbn_serve as serve;
+/// Metrics/tracing: counters, latency histograms, JSON export.
+pub use fastbn_telemetry as telemetry;
 
 pub use fastbn_bayesnet::{BayesianNetwork, Evidence, NetworkBuilder, VarId, Variable};
 pub use fastbn_inference::{
@@ -169,6 +171,9 @@ pub use fastbn_registry::{
 pub use fastbn_serve::{
     Pending, ServeError, Server, ServerBuilder, ServerStats, SubmitError, SubmitErrorKind,
     SINGLE_MODEL_ID,
+};
+pub use fastbn_telemetry::{
+    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
 
 #[allow(deprecated)]
