@@ -15,9 +15,9 @@ use std::sync::Arc;
 
 use fastbn_parallel::{Schedule, ThreadPool};
 
-use crate::engines::{InferenceEngine, SharedTables};
+use crate::engines::InferenceEngine;
 use crate::prepared::Prepared;
-use crate::state::{message_seq, MessageParts, WorkState};
+use crate::state::{message_kernel, WorkState};
 
 /// One parallel work item: all same-layer messages into one receiver.
 #[derive(Debug, Clone)]
@@ -92,11 +92,10 @@ impl DirectJt {
 
     /// Runs one layer: receiver groups in parallel, sequential ops inside.
     fn run_layer(&self, state: &mut WorkState, groups: &[ReceiverGroup], collect: bool) {
-        let messages = &self.prepared.built.schedule.messages;
-        let cliques = SharedTables::new(&mut state.cliques);
-        let seps = SharedTables::new(&mut state.seps);
-        let fresh = SharedTables::new(&mut state.fresh);
-        let ratio = SharedTables::new(&mut state.ratio);
+        let prepared = &*self.prepared;
+        let messages = &prepared.built.schedule.messages;
+        let layout = &*prepared.layout;
+        let raw = state.raw();
         self.pool
             .parallel_for(0..groups.len(), Schedule::Dynamic { grain: 1 }, |g| {
                 let group = &groups[g];
@@ -104,22 +103,28 @@ impl DirectJt {
                     let m = messages[id];
                     let sender = if collect { m.child } else { m.parent };
                     // SAFETY (layer schedule invariants):
-                    // * `group.receiver` is written by exactly this task —
-                    //   receivers are distinct across a layer's groups;
-                    // * `sender` cliques are only read this layer: in
+                    // * `group.receiver`'s region is written by exactly
+                    //   this task — receivers are distinct across a
+                    //   layer's groups;
+                    // * `sender` regions are only read this layer: in
                     //   collect, a layer's senders are strictly deeper than
                     //   its receivers; in distribute, strictly shallower —
                     //   so no clique is both read and written concurrently;
-                    // * `m.sep` (and its scratch) belongs to exactly one
-                    //   message of the layer.
+                    // * `m.sep`'s regions (sep/fresh/ratio) belong to
+                    //   exactly one message of the layer.
                     unsafe {
-                        message_seq(MessageParts {
-                            sender: cliques.get(sender),
-                            receiver: cliques.get_mut(group.receiver),
-                            sep: seps.get_mut(m.sep),
-                            fresh: fresh.get_mut(m.sep),
-                            ratio: ratio.get_mut(m.sep),
-                        });
+                        message_kernel(
+                            prepared.plan_for(sender, m.sep),
+                            prepared.plan_for(group.receiver, m.sep),
+                            raw.slice(layout.clique_off[sender], layout.clique_len[sender]),
+                            raw.slice_mut(
+                                layout.clique_off[group.receiver],
+                                layout.clique_len[group.receiver],
+                            ),
+                            raw.slice_mut(layout.sep_off[m.sep], layout.sep_len[m.sep]),
+                            raw.slice_mut(layout.fresh_off[m.sep], layout.sep_len[m.sep]),
+                            raw.slice_mut(layout.ratio_off[m.sep], layout.sep_len[m.sep]),
+                        );
                     }
                 }
             });

@@ -23,7 +23,7 @@ use fastbn_bayesnet::Evidence;
 use fastbn_parallel::{Schedule, ThreadPool};
 use fastbn_potential::{fiber_offsets, ops_par};
 
-use crate::engines::{two_mut, InferenceEngine};
+use crate::engines::InferenceEngine;
 use crate::prepared::Prepared;
 use crate::state::WorkState;
 
@@ -77,15 +77,9 @@ impl ElementJt {
     pub fn with_pool(prepared: Arc<Prepared>, pool: Arc<ThreadPool>) -> Self {
         let sched = Schedule::Dynamic { grain: SETUP_GRAIN };
         let mut maps = Vec::with_capacity(prepared.num_separators());
-        for (s, sep) in prepared.built.tree.separators.iter().enumerate() {
-            // Resolve parent/child orientation from the rooted tree: the
-            // deeper endpoint is the child.
-            let (child, parent) =
-                if prepared.built.rooted.depth[sep.a] > prepared.built.rooted.depth[sep.b] {
-                    (sep.a, sep.b)
-                } else {
-                    (sep.b, sep.a)
-                };
+        for (s, edge) in prepared.sep_plans.iter().enumerate() {
+            // Parent/child orientation is precomputed with the plans.
+            let (child, parent) = (edge.child_clique, edge.parent_clique);
             let sep_dom = &prepared.sep_domains[s];
             let child_dom = &prepared.clique_domains[child];
             let parent_dom = &prepared.clique_domains[parent];
@@ -123,24 +117,10 @@ impl ElementJt {
         } else {
             (&maps.bases_in_parent, &maps.fibers_parent, &maps.map_child)
         };
-        let (s, r) = two_mut(&mut state.cliques, sender, receiver);
-        ops_par::marginalize_mapped_par(
-            &self.pool,
-            self.sched,
-            s,
-            &mut state.fresh[sep],
-            bases,
-            fibers,
-        );
-        ops_par::divide_into_par(
-            &self.pool,
-            self.sched,
-            &state.fresh[sep],
-            &state.seps[sep],
-            &mut state.ratio[sep],
-        );
-        std::mem::swap(&mut state.seps[sep], &mut state.fresh[sep]);
-        ops_par::extend_multiply_mapped_par(&self.pool, self.sched, r, &state.ratio[sep], ext_map);
+        let (s, r, sp, fresh, ratio) = state.message_slices(sender, receiver, sep);
+        ops_par::marginalize_mapped_slice_par(&self.pool, self.sched, s, fresh, bases, fibers);
+        ops_par::sep_update_par(&self.pool, self.sched, fresh, sp, ratio);
+        ops_par::extend_multiply_mapped_slice_par(&self.pool, self.sched, r, ratio, ext_map);
     }
 }
 
@@ -169,11 +149,14 @@ impl InferenceEngine for ElementJt {
         // Reduction as an element-wise kernel, like the other ops.
         for (var, observed) in evidence.iter() {
             let home = self.prepared.home[var.index()];
-            ops_par::reduce_evidence_par(
+            let dom = &self.prepared.clique_domains[home];
+            let (stride, card) = (dom.stride_of(var), dom.card_of(var));
+            ops_par::reduce_evidence_slice_par(
                 &self.pool,
                 self.sched,
-                &mut state.cliques[home],
-                var,
+                state.clique_mut(home),
+                stride,
+                card,
                 observed,
             );
         }

@@ -24,16 +24,17 @@
 //! per layer instead of three per message; (iii) the same code path is
 //! efficient on few-large-clique and many-small-clique trees.
 //!
-//! All index mappings (fiber offsets, base strides, extension strides) and
-//! the task lists themselves are precomputed at engine construction; the
-//! engine itself is stateless, so one instance serves any number of
-//! concurrent sessions, each supplying its own `WorkState`.
+//! All index mappings live in the [`Prepared`]'s precompiled
+//! [`KernelPlan`](fastbn_potential::KernelPlan)s (one per clique/separator
+//! incidence) and the task lists are precomputed at engine construction;
+//! the engine itself is stateless, so one instance serves any number of
+//! concurrent sessions, each supplying its own `WorkState` slab.
 
 use std::sync::Arc;
 
 use fastbn_jtree::Message;
 use fastbn_parallel::{Schedule, ThreadPool};
-use fastbn_potential::{embedding_strides, fiber_offsets, ops::safe_div, Odometer, PotentialTable};
+use fastbn_potential::ops::safe_div;
 
 use crate::engines::InferenceEngine;
 use crate::prepared::Prepared;
@@ -42,24 +43,6 @@ use crate::state::WorkState;
 /// Flat chunks per thread and phase; 4 gives the dynamic schedule room to
 /// balance without inflating claim traffic.
 const CHUNKS_PER_THREAD: usize = 4;
-
-/// Precomputed index-mapping data for one separator.
-struct SepInfo {
-    /// Offsets completing a separator assignment inside the child clique.
-    fibers_child: Vec<usize>,
-    /// Same, inside the parent clique.
-    fibers_parent: Vec<usize>,
-    /// Strides of separator variables inside the child clique (odometer
-    /// seed for fiber bases when the child is the sender).
-    base_strides_child: Vec<usize>,
-    /// Same for the parent clique.
-    base_strides_parent: Vec<usize>,
-    /// Strides mapping a *parent-clique* enumeration onto separator
-    /// indices (extension during collect).
-    ext_strides_parent: Vec<usize>,
-    /// Same for a child-clique enumeration (extension during distribute).
-    ext_strides_child: Vec<usize>,
-}
 
 /// One separator-phase chunk: entries `[lo, hi)` of `msg`'s separator.
 struct SepTask {
@@ -93,78 +76,17 @@ struct LayerPlan {
     recv_tasks: Vec<RecvTask>,
 }
 
-/// Raw value-pointer view of a table slice, so flat tasks can write
-/// disjoint entry ranges of shared tables without materializing aliasing
-/// `&mut` references. Soundness is argued at the use sites (the layer
-/// schedule guarantees range-disjoint writes and read/write separation).
-struct RawTables {
-    ptrs: Vec<*mut f64>,
-    lens: Vec<usize>,
-}
-
-unsafe impl Send for RawTables {}
-unsafe impl Sync for RawTables {}
-
-impl RawTables {
-    fn new(tables: &mut [PotentialTable]) -> Self {
-        RawTables {
-            ptrs: tables
-                .iter_mut()
-                .map(|t| t.values_mut().as_mut_ptr())
-                .collect(),
-            lens: tables.iter().map(PotentialTable::len).collect(),
-        }
-    }
-
-    /// # Safety
-    /// `[lo, hi)` must be in bounds of table `i` and disjoint from every
-    /// range concurrently borrowed from table `i`.
-    #[inline]
-    #[allow(clippy::mut_from_ref)] // exclusivity established by the task plan
-    unsafe fn slice_mut(&self, i: usize, lo: usize, hi: usize) -> &mut [f64] {
-        debug_assert!(hi <= self.lens[i] && lo <= hi);
-        std::slice::from_raw_parts_mut(self.ptrs[i].add(lo), hi - lo)
-    }
-
-    /// # Safety
-    /// No thread may concurrently write any part of table `i`.
-    #[inline]
-    unsafe fn read(&self, i: usize) -> &[f64] {
-        std::slice::from_raw_parts(self.ptrs[i], self.lens[i])
-    }
-}
-
-/// The three pointer views of one query's `WorkState`, rebuilt per
-/// `propagate` call (three small `Vec`s — negligible against even one
-/// layer's table work).
-struct RawState {
-    cliques: RawTables,
-    seps: RawTables,
-    ratio: RawTables,
-}
-
-impl RawState {
-    fn new(state: &mut WorkState) -> Self {
-        RawState {
-            cliques: RawTables::new(&mut state.cliques),
-            seps: RawTables::new(&mut state.seps),
-            ratio: RawTables::new(&mut state.ratio),
-        }
-    }
-}
-
 /// Fast-BNI-par: the hybrid flattened engine.
 pub struct HybridJt {
     prepared: Arc<Prepared>,
     pool: Arc<ThreadPool>,
-    sep_info: Vec<SepInfo>,
     collect_plans: Vec<LayerPlan>,
     distribute_plans: Vec<LayerPlan>,
 }
 
 impl HybridJt {
-    /// Builds the engine, precomputing all mappings and task lists for a
-    /// pool of `threads` workers.
+    /// Builds the engine, precomputing all task lists for a pool of
+    /// `threads` workers.
     pub fn new(prepared: Arc<Prepared>, threads: usize) -> Self {
         HybridJt::with_pool(prepared, ThreadPool::shared(threads))
     }
@@ -175,33 +97,6 @@ impl HybridJt {
     /// to the pool's width.
     pub fn with_pool(prepared: Arc<Prepared>, pool: Arc<ThreadPool>) -> Self {
         let threads = pool.threads();
-        let rooted = &prepared.built.rooted;
-        let sep_info = prepared
-            .built
-            .tree
-            .separators
-            .iter()
-            .enumerate()
-            .map(|(s, sep)| {
-                let (child, parent) = if rooted.depth[sep.a] > rooted.depth[sep.b] {
-                    (sep.a, sep.b)
-                } else {
-                    (sep.b, sep.a)
-                };
-                let sep_dom = &prepared.sep_domains[s];
-                let child_dom = &prepared.clique_domains[child];
-                let parent_dom = &prepared.clique_domains[parent];
-                SepInfo {
-                    fibers_child: fiber_offsets(child_dom, sep_dom),
-                    fibers_parent: fiber_offsets(parent_dom, sep_dom),
-                    base_strides_child: embedding_strides(sep_dom, child_dom),
-                    base_strides_parent: embedding_strides(sep_dom, parent_dom),
-                    ext_strides_parent: embedding_strides(parent_dom, sep_dom),
-                    ext_strides_child: embedding_strides(child_dom, sep_dom),
-                }
-            })
-            .collect();
-
         let schedule = &prepared.built.schedule;
         let collect_plans = schedule
             .collect_layers
@@ -216,7 +111,6 @@ impl HybridJt {
 
         HybridJt {
             pool,
-            sep_info,
             collect_plans,
             distribute_plans,
             prepared,
@@ -225,12 +119,10 @@ impl HybridJt {
 
     /// Runs one layer: separator phase (fused marginalize + ratio +
     /// in-place separator update), then receiver phase (extension).
-    fn run_layer(&self, raw: &RawState, plan: &LayerPlan, collect: bool) {
-        let messages = &self.prepared.built.schedule.messages;
-        let sep_domains = &self.prepared.sep_domains;
-        let clique_domains = &self.prepared.clique_domains;
-        let sep_info = &self.sep_info;
-        let (cliques, seps, ratio) = (&raw.cliques, &raw.seps, &raw.ratio);
+    fn run_layer(&self, raw: crate::state::SlabRaw, plan: &LayerPlan, collect: bool) {
+        let prepared = &*self.prepared;
+        let messages = &prepared.built.schedule.messages;
+        let layout = &*prepared.layout;
 
         // ---- Phase 1: flat over sep entries — fresh marginal, ratio
         // against the old value, separator updated in place (each entry is
@@ -241,31 +133,28 @@ impl HybridJt {
             |t| {
                 let task = &plan.sep_tasks[t];
                 let m = messages[task.msg];
-                let info = &sep_info[m.sep];
-                let (sender, fibers, base_strides) = if collect {
-                    (m.child, &info.fibers_child, &info.base_strides_child)
+                let edge = &prepared.sep_plans[m.sep];
+                let (sender, sender_plan) = if collect {
+                    (edge.child_clique, &edge.child)
                 } else {
-                    (m.parent, &info.fibers_parent, &info.base_strides_parent)
+                    (edge.parent_clique, &edge.parent)
                 };
                 // SAFETY: sender cliques are not written during this phase
                 // (only separators and ratios are); each sep entry range
-                // `[lo, hi)` belongs to exactly one task.
+                // `[lo, hi)` belongs to exactly one task, and sep/ratio
+                // regions are disjoint slab ranges.
                 unsafe {
-                    let sender_values = cliques.read(sender);
-                    let sep_chunk = seps.slice_mut(m.sep, task.lo, task.hi);
-                    let ratio_chunk = ratio.slice_mut(m.sep, task.lo, task.hi);
-                    let mut odo = Odometer::new(sep_domains[m.sep].cards(), base_strides);
-                    odo.seek(task.lo);
-                    for (slot, r) in sep_chunk.iter_mut().zip(ratio_chunk) {
-                        let base = odo.mapped();
-                        let mut acc = 0.0;
-                        for &off in fibers {
-                            acc += sender_values[base + off];
-                        }
-                        *r = safe_div(acc, *slot);
-                        *slot = acc;
-                        odo.advance();
-                    }
+                    let sender_values =
+                        raw.slice(layout.clique_off[sender], layout.clique_len[sender]);
+                    let sep_chunk =
+                        raw.slice_mut(layout.sep_off[m.sep] + task.lo, task.hi - task.lo);
+                    let ratio_chunk =
+                        raw.slice_mut(layout.ratio_off[m.sep] + task.lo, task.hi - task.lo);
+                    sender_plan.marginalize_fold(sender_values, task.lo, task.hi, |i, acc| {
+                        let k = i - task.lo;
+                        ratio_chunk[k] = safe_div(acc, sep_chunk[k]);
+                        sep_chunk[k] = acc;
+                    });
                 }
             },
         );
@@ -281,23 +170,19 @@ impl HybridJt {
                 // exactly once across tasks; ratios are read-only; sender
                 // cliques are untouched this phase.
                 unsafe {
-                    let recv_chunk = cliques.slice_mut(group.receiver, task.lo, task.hi);
+                    let recv_chunk = raw.slice_mut(
+                        layout.clique_off[group.receiver] + task.lo,
+                        task.hi - task.lo,
+                    );
                     for &id in &group.msgs {
                         let m = messages[id];
-                        let info = &sep_info[m.sep];
-                        let strides = if collect {
-                            &info.ext_strides_parent
-                        } else {
-                            &info.ext_strides_child
-                        };
-                        let ratio_values = ratio.read(m.sep);
-                        let mut odo =
-                            Odometer::new(clique_domains[group.receiver].cards(), strides);
-                        odo.seek(task.lo);
-                        for v in recv_chunk.iter_mut() {
-                            *v *= ratio_values[odo.mapped()];
-                            odo.advance();
-                        }
+                        let edge = &prepared.sep_plans[m.sep];
+                        // The *receiver*-side plan maps its entries onto
+                        // the separator.
+                        let recv_plan = if collect { &edge.parent } else { &edge.child };
+                        let ratio_values =
+                            raw.slice(layout.ratio_off[m.sep], layout.sep_len[m.sep]);
+                        recv_plan.extend_multiply_range(recv_chunk, ratio_values, task.lo);
                     }
                 }
             },
@@ -401,12 +286,12 @@ impl InferenceEngine for HybridJt {
     }
 
     fn propagate(&self, state: &mut WorkState) {
-        let raw = RawState::new(state);
+        let raw = state.raw();
         for plan in &self.collect_plans {
-            self.run_layer(&raw, plan, true);
+            self.run_layer(raw, plan, true);
         }
         for plan in &self.distribute_plans {
-            self.run_layer(&raw, plan, false);
+            self.run_layer(raw, plan, false);
         }
     }
 }

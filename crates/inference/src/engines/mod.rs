@@ -20,7 +20,6 @@ use std::sync::Arc;
 
 use fastbn_bayesnet::Evidence;
 use fastbn_parallel::ThreadPool;
-use fastbn_potential::PotentialTable;
 
 use crate::prepared::Prepared;
 use crate::state::WorkState;
@@ -237,82 +236,9 @@ fn make_sequential(kind: EngineKind, prepared: Arc<Prepared>) -> Box<dyn Inferen
     }
 }
 
-/// Two disjoint mutable borrows out of one slice (standard split trick);
-/// panics if `a == b`.
-pub(crate) fn two_mut<T>(slice: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
-    assert_ne!(a, b, "indices must differ");
-    if a < b {
-        let (lo, hi) = slice.split_at_mut(b);
-        (&mut lo[a], &mut hi[0])
-    } else {
-        let (lo, hi) = slice.split_at_mut(a);
-        (&mut hi[0], &mut lo[b])
-    }
-}
-
-/// Lifetime-bound shared view of a table slice for the parallel engines.
-///
-/// The layer schedule guarantees that, within one parallel region, every
-/// table index is either written by exactly one task or only ever read
-/// (see the safety comments at each use site); this wrapper carries the
-/// pointers across the thread-pool boundary.
-pub(crate) struct SharedTables<'a> {
-    ptr: *mut PotentialTable,
-    len: usize,
-    _marker: std::marker::PhantomData<&'a mut [PotentialTable]>,
-}
-
-unsafe impl Send for SharedTables<'_> {}
-unsafe impl Sync for SharedTables<'_> {}
-
-impl<'a> SharedTables<'a> {
-    pub(crate) fn new(tables: &'a mut [PotentialTable]) -> Self {
-        SharedTables {
-            ptr: tables.as_mut_ptr(),
-            len: tables.len(),
-            _marker: std::marker::PhantomData,
-        }
-    }
-
-    /// # Safety
-    /// `i` must be in bounds, and no other thread may hold a mutable
-    /// reference to table `i` for the duration of this borrow.
-    #[inline]
-    pub(crate) unsafe fn get(&self, i: usize) -> &PotentialTable {
-        debug_assert!(i < self.len);
-        &*self.ptr.add(i)
-    }
-
-    /// # Safety
-    /// `i` must be in bounds, and no other thread may hold *any* reference
-    /// to table `i` for the duration of this borrow.
-    #[allow(clippy::mut_from_ref)]
-    #[inline]
-    pub(crate) unsafe fn get_mut(&self, i: usize) -> &mut PotentialTable {
-        debug_assert!(i < self.len);
-        &mut *self.ptr.add(i)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn two_mut_returns_disjoint_references() {
-        let mut v = vec![1, 2, 3, 4];
-        let (a, b) = two_mut(&mut v, 3, 1);
-        *a += 10;
-        *b += 20;
-        assert_eq!(v, vec![1, 22, 3, 14]);
-    }
-
-    #[test]
-    #[should_panic(expected = "indices must differ")]
-    fn two_mut_rejects_equal_indices() {
-        let mut v = vec![1, 2];
-        let _ = two_mut(&mut v, 1, 1);
-    }
 
     #[test]
     fn engine_kind_names_are_stable() {

@@ -14,7 +14,7 @@ use fastbn_bayesnet::Evidence;
 use fastbn_parallel::{Schedule, ThreadPool};
 use fastbn_potential::ops_par;
 
-use crate::engines::{two_mut, InferenceEngine};
+use crate::engines::InferenceEngine;
 use crate::prepared::Prepared;
 use crate::state::WorkState;
 
@@ -43,19 +43,15 @@ impl PrimitiveJt {
         }
     }
 
-    /// One message: three parallel primitives, invoked back-to-back.
+    /// One message: three parallel primitives, invoked back-to-back, all
+    /// executing the precompiled plans on slab slices.
     fn message(&self, state: &mut WorkState, sender: usize, receiver: usize, sep: usize) {
-        let (s, r) = two_mut(&mut state.cliques, sender, receiver);
-        ops_par::marginalize_into_par(&self.pool, self.sched, s, &mut state.fresh[sep]);
-        ops_par::divide_into_par(
-            &self.pool,
-            self.sched,
-            &state.fresh[sep],
-            &state.seps[sep],
-            &mut state.ratio[sep],
-        );
-        std::mem::swap(&mut state.seps[sep], &mut state.fresh[sep]);
-        ops_par::extend_multiply_par(&self.pool, self.sched, r, &state.ratio[sep]);
+        let send_plan = self.prepared.plan_for(sender, sep);
+        let recv_plan = self.prepared.plan_for(receiver, sep);
+        let (s, r, sp, fresh, ratio) = state.message_slices(sender, receiver, sep);
+        ops_par::marginalize_plan_par(&self.pool, self.sched, send_plan, s, fresh);
+        ops_par::sep_update_par(&self.pool, self.sched, fresh, sp, ratio);
+        ops_par::extend_multiply_plan_par(&self.pool, self.sched, recv_plan, r, ratio);
     }
 }
 
@@ -84,11 +80,14 @@ impl InferenceEngine for PrimitiveJt {
         // Evidence reduction is also a node-level primitive here.
         for (var, observed) in evidence.iter() {
             let home = self.prepared.home[var.index()];
-            ops_par::reduce_evidence_par(
+            let dom = &self.prepared.clique_domains[home];
+            let (stride, card) = (dom.stride_of(var), dom.card_of(var));
+            ops_par::reduce_evidence_slice_par(
                 &self.pool,
                 self.sched,
-                &mut state.cliques[home],
-                var,
+                state.clique_mut(home),
+                stride,
+                card,
                 observed,
             );
         }

@@ -7,11 +7,11 @@
 //!
 //! * every table entry is processed via a **full mixed-radix decode into a
 //!   freshly allocated assignment vector** (no odometers, no stride
-//!   fusion);
+//!   fusion, no precompiled plans);
 //! * variable positions are found by **linear scans** of the scope (like
 //!   attribute-list lookups);
 //! * every message allocates **fresh separator tables** instead of reusing
-//!   scratch.
+//!   the slab's scratch regions.
 //!
 //! Results are bit-identical to the optimized engines (same accumulation
 //! order); only the constant factor differs — which is exactly what the
@@ -20,9 +20,9 @@
 use std::sync::Arc;
 
 use fastbn_bayesnet::{Evidence, VarId};
-use fastbn_potential::{Domain, PotentialTable};
+use fastbn_potential::Domain;
 
-use crate::engines::{two_mut, InferenceEngine};
+use crate::engines::InferenceEngine;
 use crate::prepared::Prepared;
 use crate::state::WorkState;
 
@@ -65,52 +65,51 @@ fn project_index(src: &Domain, states: &[usize], target: &Domain) -> usize {
     idx
 }
 
-fn naive_marginalize(src: &PotentialTable, target: Arc<Domain>) -> PotentialTable {
-    let mut out = PotentialTable::zeros(target);
-    for i in 0..src.len() {
-        let states = decode_fresh(src.domain(), i);
-        let t = project_index(src.domain(), &states, out.domain());
-        out.values_mut()[t] += src.values()[i];
+fn naive_marginalize(src: &[f64], src_dom: &Domain, target: &Domain) -> Vec<f64> {
+    let mut out = vec![0.0; target.size()];
+    for (i, &v) in src.iter().enumerate() {
+        let states = decode_fresh(src_dom, i);
+        out[project_index(src_dom, &states, target)] += v;
     }
     out
 }
 
-fn naive_divide(num: &PotentialTable, den: &PotentialTable) -> PotentialTable {
-    let mut out = PotentialTable::zeros(num.domain_arc().clone());
-    for i in 0..num.len() {
-        let (n, d) = (num.values()[i], den.values()[i]);
-        out.values_mut()[i] = if d == 0.0 { 0.0 } else { n / d };
-    }
-    out
+fn naive_divide(num: &[f64], den: &[f64]) -> Vec<f64> {
+    num.iter()
+        .zip(den)
+        .map(|(&n, &d)| if d == 0.0 { 0.0 } else { n / d })
+        .collect()
 }
 
-fn naive_extend_multiply(table: &mut PotentialTable, msg: &PotentialTable) {
-    let domain = table.domain_arc().clone();
-    for i in 0..table.len() {
-        let states = decode_fresh(&domain, i);
-        let m = project_index(&domain, &states, msg.domain());
-        table.values_mut()[i] *= msg.values()[m];
+fn naive_extend_multiply(table: &mut [f64], dom: &Domain, msg: &[f64], msg_dom: &Domain) {
+    for (i, v) in table.iter_mut().enumerate() {
+        let states = decode_fresh(dom, i);
+        *v *= msg[project_index(dom, &states, msg_dom)];
     }
 }
 
-fn naive_reduce(table: &mut PotentialTable, var: VarId, state: usize) {
-    let domain = table.domain_arc().clone();
-    for i in 0..table.len() {
-        let states = decode_fresh(&domain, i);
-        if states[position_linear(&domain, var)] != state {
-            table.values_mut()[i] = 0.0;
+fn naive_reduce(table: &mut [f64], dom: &Domain, var: VarId, state: usize) {
+    for (i, v) in table.iter_mut().enumerate() {
+        let states = decode_fresh(dom, i);
+        if states[position_linear(dom, var)] != state {
+            *v = 0.0;
         }
     }
 }
 
 impl ReferenceJt {
     fn message(&self, state: &mut WorkState, sender: usize, receiver: usize, sep: usize) {
-        let (s, r) = two_mut(&mut state.cliques, sender, receiver);
-        // Fresh allocations per message, like the Java baseline.
-        let fresh = naive_marginalize(s, self.prepared.sep_domains[sep].clone());
-        let ratio = naive_divide(&fresh, &state.seps[sep]);
-        state.seps[sep] = fresh;
-        naive_extend_multiply(r, &ratio);
+        let prepared = &*self.prepared;
+        let send_dom = &prepared.clique_domains[sender];
+        let recv_dom = &prepared.clique_domains[receiver];
+        let sep_dom = &prepared.sep_domains[sep];
+        let (s, r, sp, _fresh, _ratio) = state.message_slices(sender, receiver, sep);
+        // Fresh allocations per message, like the Java baseline — the
+        // slab's scratch regions stay deliberately unused here.
+        let fresh = naive_marginalize(s, send_dom, sep_dom);
+        let ratio = naive_divide(&fresh, sp);
+        sp.copy_from_slice(&fresh);
+        naive_extend_multiply(r, recv_dom, &ratio, sep_dom);
     }
 }
 
@@ -126,11 +125,9 @@ impl InferenceEngine for ReferenceJt {
     fn enter_evidence(&self, state: &mut WorkState, evidence: &Evidence) {
         // Per-entry decode even for reduction, as the baseline would.
         for (var, observed) in evidence.iter() {
-            naive_reduce(
-                &mut state.cliques[self.prepared.home[var.index()]],
-                var,
-                observed,
-            );
+            let home = self.prepared.home[var.index()];
+            let dom = &self.prepared.clique_domains[home];
+            naive_reduce(state.clique_mut(home), dom, var, observed);
         }
     }
 
@@ -158,12 +155,13 @@ mod tests {
     use crate::solver::Solver;
     use fastbn_bayesnet::{datasets, sampler};
     use fastbn_jtree::JtreeOptions;
+    use fastbn_potential::PotentialTable;
 
-    fn naive_marginal_of_var(table: &PotentialTable, var: VarId, card: usize) -> Vec<f64> {
+    fn naive_marginal_of_var(values: &[f64], dom: &Domain, var: VarId, card: usize) -> Vec<f64> {
         let mut out = vec![0.0; card];
-        for i in 0..table.len() {
-            let states = decode_fresh(table.domain(), i);
-            out[states[position_linear(table.domain(), var)]] += table.values()[i];
+        for (i, &v) in values.iter().enumerate() {
+            let states = decode_fresh(dom, i);
+            out[states[position_linear(dom, var)]] += v;
         }
         out
     }
@@ -211,26 +209,26 @@ mod tests {
         let table = PotentialTable::from_values(domain.clone(), values);
         let target = Arc::new(Domain::new(vec![(VarId(2), 3)]));
 
-        let naive = naive_marginalize(&table, target.clone());
-        let fast = ops::marginalize(&table, target);
-        assert_eq!(naive.values(), fast.values());
+        let naive = naive_marginalize(table.values(), table.domain(), &target);
+        let fast = ops::marginalize(&table, target.clone());
+        assert_eq!(naive.as_slice(), fast.values());
 
-        let msg =
-            PotentialTable::from_values(Arc::new(Domain::new(vec![(VarId(5), 2)])), vec![0.5, 2.0]);
+        let msg_dom = Arc::new(Domain::new(vec![(VarId(5), 2)]));
+        let msg = PotentialTable::from_values(msg_dom.clone(), vec![0.5, 2.0]);
         let mut a = table.clone();
         let mut b = table.clone();
-        naive_extend_multiply(&mut a, &msg);
+        naive_extend_multiply(a.values_mut(), &domain, msg.values(), &msg_dom);
         ops::extend_multiply(&mut b, &msg);
         assert_eq!(a.values(), b.values());
 
         let mut c = table.clone();
         let mut d = table.clone();
-        naive_reduce(&mut c, VarId(2), 1);
+        naive_reduce(c.values_mut(), &domain, VarId(2), 1);
         ops::reduce_evidence(&mut d, VarId(2), 1);
         assert_eq!(c.values(), d.values());
 
         assert_eq!(
-            naive_marginal_of_var(&table, VarId(0), 2),
+            naive_marginal_of_var(table.values(), &domain, VarId(0), 2),
             ops::marginal_of_var(&table, VarId(0))
         );
     }

@@ -1,15 +1,33 @@
 //! `SeqJt` — Fast-BNI-seq: the optimized sequential engine.
 //!
-//! All three bottleneck operations run as single odometer-fused linear
-//! scans (no per-entry decoding, no per-message allocation); this is the
-//! sequential baseline that beats UnBBayes by the Table-1 "seq speedup"
-//! column.
+//! All three bottleneck operations run as single plan-driven linear scans
+//! (no per-entry decoding, no per-message allocation — the plans are
+//! precompiled in [`Prepared`]); this is the sequential baseline that
+//! beats UnBBayes by the Table-1 "seq speedup" column.
+//!
+//! On top of the plans, this engine **defers ratio extension**: instead of
+//! eagerly multiplying each incoming ratio into the receiver, it records
+//! the separator in the state's per-clique pending slot, and fuses the
+//! multiplication into the receiver's *next outgoing marginalization* via
+//! [`multiply_marginalize`] — one pass over the clique instead of two.
+//! Bit-identity is preserved: if a second message arrives before the
+//! clique sends, the older ratio is flushed first (so ratios multiply in
+//! the same ascending message order the eager path uses), the fused pass
+//! forms the same per-element products and the same ascending-source
+//! sums, and every remaining pending ratio is flushed before `propagate`
+//! returns. A ratio region is never overwritten between deferral and
+//! fusion — each separator carries exactly one message per phase, and in
+//! the one same-separator corner (a root whose last collect edge is also
+//! its first distribute edge) the fused read consumes `ratio` before
+//! `sep_update` rewrites it.
 
 use std::sync::Arc;
 
-use crate::engines::{two_mut, InferenceEngine};
+use fastbn_potential::{multiply_marginalize, ops};
+
+use crate::engines::InferenceEngine;
 use crate::prepared::Prepared;
-use crate::state::{message_seq, MessageParts, WorkState};
+use crate::state::WorkState;
 
 /// The optimized sequential junction-tree engine (Fast-BNI-seq).
 ///
@@ -24,6 +42,45 @@ impl SeqJt {
     /// Creates an engine over prepared structures.
     pub fn new(prepared: Arc<Prepared>) -> Self {
         SeqJt { prepared }
+    }
+
+    /// One message `sender → receiver` over `sep`, with deferred ratio
+    /// extension: marginalize (fusing the sender's own pending ratio, if
+    /// any), update the separator, and record — not apply — the ratio for
+    /// the receiver.
+    fn send(&self, state: &mut WorkState, sender: usize, receiver: usize, sep: usize) {
+        let prepared = &*self.prepared;
+        // Keep the receiver's ratios in ascending message order: apply an
+        // older deferred ratio before deferring this one.
+        state.flush_pending(prepared, receiver);
+        let pending = state.take_pending(sender);
+        let marg_plan = prepared.plan_for(sender, sep);
+        let layout = &*prepared.layout;
+        let raw = state.raw();
+        // SAFETY: every slice below is a distinct slab region (clique,
+        // sep, fresh and ratio regions are pairwise disjoint by layout
+        // construction; `ratio[p]` vs `fresh[sep]` are distinct regions
+        // even when `p == sep`), and this engine is single-threaded.
+        unsafe {
+            let fresh = raw.slice_mut(layout.fresh_off[sep], layout.sep_len[sep]);
+            match pending {
+                Some(p) => {
+                    let mul_plan = prepared.plan_for(sender, p);
+                    let clique =
+                        raw.slice_mut(layout.clique_off[sender], layout.clique_len[sender]);
+                    let ratio_p = raw.slice(layout.ratio_off[p], layout.sep_len[p]);
+                    multiply_marginalize(mul_plan, marg_plan, clique, ratio_p, fresh);
+                }
+                None => {
+                    let clique = raw.slice(layout.clique_off[sender], layout.clique_len[sender]);
+                    marg_plan.marginalize(clique, fresh);
+                }
+            }
+            let sep_vals = raw.slice_mut(layout.sep_off[sep], layout.sep_len[sep]);
+            let ratio = raw.slice_mut(layout.ratio_off[sep], layout.sep_len[sep]);
+            ops::sep_update(fresh, sep_vals, ratio);
+        }
+        state.set_pending(receiver, sep);
     }
 }
 
@@ -41,28 +98,19 @@ impl InferenceEngine for SeqJt {
         for layer in &schedule.collect_layers {
             for &id in layer {
                 let m = schedule.messages[id];
-                let (sender, receiver) = two_mut(&mut state.cliques, m.child, m.parent);
-                message_seq(MessageParts {
-                    sender,
-                    receiver,
-                    sep: &mut state.seps[m.sep],
-                    fresh: &mut state.fresh[m.sep],
-                    ratio: &mut state.ratio[m.sep],
-                });
+                self.send(state, m.child, m.parent, m.sep);
             }
         }
         for layer in &schedule.distribute_layers {
             for &id in layer {
                 let m = schedule.messages[id];
-                let (sender, receiver) = two_mut(&mut state.cliques, m.parent, m.child);
-                message_seq(MessageParts {
-                    sender,
-                    receiver,
-                    sep: &mut state.seps[m.sep],
-                    fresh: &mut state.fresh[m.sep],
-                    ratio: &mut state.ratio[m.sep],
-                });
+                self.send(state, m.parent, m.child, m.sep);
             }
+        }
+        // Leaves (and any clique that never sent again) still hold a
+        // deferred ratio; apply them before extraction reads the cliques.
+        for c in 0..self.prepared.num_cliques() {
+            state.flush_pending(&self.prepared, c);
         }
     }
 }

@@ -8,9 +8,8 @@
 //! identical index mappings, max instead of sum).
 
 use fastbn_bayesnet::Evidence;
-use fastbn_potential::{ops, PotentialTable};
+use fastbn_potential::Domain;
 
-use crate::engines::two_mut;
 use crate::error::InferenceError;
 use crate::prepared::Prepared;
 use crate::state::WorkState;
@@ -58,20 +57,22 @@ pub(crate) fn mpe_on_state(
     state.reset(prepared);
     state.absorb_evidence(prepared, evidence);
     absorb_virtual(state, prepared, virtual_evidence);
-    let cliques = &mut state.cliques;
 
     // Max-collect: each separator carries the max-marginal of its child's
     // subtree. Separators start at 1 and receive exactly one collect
-    // message, so the Hugin division degenerates to a plain multiply.
+    // message, so the Hugin division degenerates to a plain multiply. The
+    // precompiled plans drive both kernels (`max_marginalize` initializes
+    // its output itself, so the `fresh` scratch needs no reset).
     let schedule = &prepared.built.schedule;
     for layer in &schedule.collect_layers {
         for &id in layer {
             let m = schedule.messages[id];
-            let (sender, receiver) = two_mut(cliques, m.child, m.parent);
-            // `max_marginalize_into` re-initializes the scratch itself.
-            let message = &mut state.fresh[m.sep];
-            ops::max_marginalize_into(sender, message);
-            ops::extend_multiply(receiver, message);
+            let send_plan = prepared.plan_for(m.child, m.sep);
+            let recv_plan = prepared.plan_for(m.parent, m.sep);
+            let (sender, receiver, _sep, fresh, _ratio) =
+                state.message_slices(m.child, m.parent, m.sep);
+            send_plan.max_marginalize(sender, fresh);
+            recv_plan.extend_multiply(receiver, fresh);
         }
     }
 
@@ -80,12 +81,12 @@ pub(crate) fn mpe_on_state(
     let mut assignment = vec![usize::MAX; prepared.num_vars()];
     let mut probability = 1.0f64;
     for &root in &prepared.built.rooted.roots {
-        let (best_idx, best_val) = argmax(cliques[root].values());
+        let (best_idx, best_val) = argmax(state.clique(root));
         if best_val <= 0.0 || !best_val.is_finite() {
             return Err(InferenceError::ImpossibleEvidence);
         }
         probability *= best_val;
-        fix_from_index(&cliques[root], best_idx, &mut assignment);
+        fix_from_index(&prepared.clique_domains[root], best_idx, &mut assignment);
     }
 
     // Back-track outward in BFS order: each clique extends the partial
@@ -95,7 +96,11 @@ pub(crate) fn mpe_on_state(
         if prepared.built.rooted.parent[c].is_none() {
             continue; // roots handled above
         }
-        extend_assignment(&cliques[c], &mut assignment);
+        extend_assignment(
+            state.clique(c),
+            &prepared.clique_domains[c],
+            &mut assignment,
+        );
     }
     debug_assert!(assignment.iter().all(|&s| s != usize::MAX));
 
@@ -122,8 +127,7 @@ fn argmax(values: &[f64]) -> (usize, f64) {
 }
 
 /// Writes the clique states of flat index `idx` into `assignment`.
-fn fix_from_index(table: &PotentialTable, idx: usize, assignment: &mut [usize]) {
-    let domain = table.domain();
+fn fix_from_index(domain: &Domain, idx: usize, assignment: &mut [usize]) {
     let mut states = vec![0usize; domain.num_vars()];
     domain.decode(idx, &mut states);
     for (pos, &v) in domain.vars().iter().enumerate() {
@@ -131,10 +135,10 @@ fn fix_from_index(table: &PotentialTable, idx: usize, assignment: &mut [usize]) 
     }
 }
 
-/// Maximizes `table` over its unassigned variables, with all assigned
-/// variables clamped; writes the winners into `assignment`.
-fn extend_assignment(table: &PotentialTable, assignment: &mut [usize]) {
-    let domain = table.domain();
+/// Maximizes `values` (over `domain`) across its unassigned variables,
+/// with all assigned variables clamped; writes the winners into
+/// `assignment`.
+fn extend_assignment(values: &[f64], domain: &Domain, assignment: &mut [usize]) {
     let mut base = 0usize;
     let mut free: Vec<usize> = Vec::new(); // positions within the domain
     for (pos, &v) in domain.vars().iter().enumerate() {
@@ -154,7 +158,7 @@ fn extend_assignment(table: &PotentialTable, assignment: &mut [usize]) {
     let mut offset = 0usize;
     let mut best = (vec![0usize; free.len()], f64::NEG_INFINITY);
     for _ in 0..total {
-        let v = table.values()[base + offset];
+        let v = values[base + offset];
         if v > best.1 {
             best = (digits.clone(), v);
         }

@@ -1,15 +1,56 @@
-//! Query-independent preparation: junction tree, domains, CPT assignment
-//! and initial potentials.
+//! Query-independent preparation: junction tree, domains, CPT assignment,
+//! the slab layout, and precompiled kernel plans.
 //!
 //! Everything here is computed once per network and shared (via `Arc`)
 //! by every engine instance; per-query work only ever touches the
-//! [`crate::state::WorkState`] copies.
+//! [`crate::state::WorkState`] slab. `Prepared` also compiles one
+//! [`KernelPlan`] per (clique, separator) incidence, so steady-state
+//! propagation never re-derives an index mapping — and never allocates.
 
 use std::sync::Arc;
 
 use fastbn_bayesnet::{BayesianNetwork, VarId};
 use fastbn_jtree::{build_junction_tree, BuiltTree, JtreeOptions};
-use fastbn_potential::{ops, Domain, PotentialTable};
+use fastbn_potential::{ops, Domain, KernelPlan, PotentialTable};
+
+/// Offsets of every table inside a [`crate::state::WorkState`] slab.
+///
+/// The slab holds four regions, in order: all clique tables, all current
+/// separator tables, all `fresh` scratch tables, all `ratio` scratch
+/// tables. Each table occupies a contiguous `[off, off + len)` range, so
+/// any (clique, sep, fresh, ratio) quadruple is a set of pairwise-disjoint
+/// slices of one allocation.
+#[derive(Debug, Clone)]
+pub struct SlabLayout {
+    /// Start of clique `c`'s values.
+    pub clique_off: Vec<usize>,
+    /// Length of clique `c`'s values (its domain size).
+    pub clique_len: Vec<usize>,
+    /// Start of separator `s`'s current values.
+    pub sep_off: Vec<usize>,
+    /// Length of separator `s`'s values (shared by sep/fresh/ratio).
+    pub sep_len: Vec<usize>,
+    /// Start of separator `s`'s `fresh` scratch.
+    pub fresh_off: Vec<usize>,
+    /// Start of separator `s`'s `ratio` scratch.
+    pub ratio_off: Vec<usize>,
+    /// Total slab length in `f64`s.
+    pub total: usize,
+}
+
+/// The two precompiled plans of one junction-tree edge: both endpoint
+/// cliques against the separator between them.
+#[derive(Debug, Clone)]
+pub struct EdgePlans {
+    /// The deeper endpoint (message sender during collect).
+    pub child_clique: usize,
+    /// The shallower endpoint (message sender during distribute).
+    pub parent_clique: usize,
+    /// Plan for `clique_domains[child_clique]` → separator domain.
+    pub child: KernelPlan,
+    /// Plan for `clique_domains[parent_clique]` → separator domain.
+    pub parent: KernelPlan,
+}
 
 /// Immutable, query-independent inference state for one network.
 #[derive(Debug, Clone)]
@@ -22,9 +63,14 @@ pub struct Prepared {
     pub clique_domains: Vec<Arc<Domain>>,
     /// One domain per separator.
     pub sep_domains: Vec<Arc<Domain>>,
-    /// Clique potentials after multiplying in all assigned CPT factors
-    /// (the state every query starts from).
-    pub initial_cliques: Vec<PotentialTable>,
+    /// One pair of precompiled kernel plans per separator edge.
+    pub sep_plans: Vec<EdgePlans>,
+    /// Slab offsets shared by every [`crate::state::WorkState`].
+    pub layout: Arc<SlabLayout>,
+    /// The slab every query starts from: clique regions hold the initial
+    /// potentials (all assigned CPT factors multiplied in), separator and
+    /// scratch regions hold `1.0`.
+    pub initial_slab: Box<[f64]>,
     /// `assignment[v]` = clique that absorbed the CPT of variable `v`
     /// (the smallest clique containing the family).
     pub assignment: Vec<usize>,
@@ -34,7 +80,7 @@ pub struct Prepared {
 }
 
 impl Prepared {
-    /// Builds the junction tree and initial potentials for `net`.
+    /// Builds the junction tree, plans, and initial slab for `net`.
     pub fn new(net: &BayesianNetwork, options: &JtreeOptions) -> Self {
         let built = build_junction_tree(net, options);
         let cards = net.cardinalities();
@@ -50,6 +96,27 @@ impl Prepared {
             .separators
             .iter()
             .map(|s| Arc::new(Domain::from_vars(&s.vars, &cards)))
+            .collect();
+
+        let sep_plans: Vec<EdgePlans> = built
+            .tree
+            .separators
+            .iter()
+            .zip(&sep_domains)
+            .map(|(sep, dom)| {
+                // The deeper endpoint sends during collect.
+                let (child, parent) = if built.rooted.depth[sep.a] > built.rooted.depth[sep.b] {
+                    (sep.a, sep.b)
+                } else {
+                    (sep.b, sep.a)
+                };
+                EdgePlans {
+                    child_clique: child,
+                    parent_clique: parent,
+                    child: KernelPlan::new(&clique_domains[child], dom),
+                    parent: KernelPlan::new(&clique_domains[parent], dom),
+                }
+            })
             .collect();
 
         let mut assignment = Vec::with_capacity(net.num_vars());
@@ -71,7 +138,39 @@ impl Prepared {
             );
         }
 
-        // Initial potentials: ones, then multiply in each assigned factor.
+        // Slab layout: cliques, then seps, then fresh, then ratio.
+        let mut layout = SlabLayout {
+            clique_off: Vec::with_capacity(clique_domains.len()),
+            clique_len: Vec::with_capacity(clique_domains.len()),
+            sep_off: Vec::with_capacity(sep_domains.len()),
+            sep_len: Vec::with_capacity(sep_domains.len()),
+            fresh_off: Vec::with_capacity(sep_domains.len()),
+            ratio_off: Vec::with_capacity(sep_domains.len()),
+            total: 0,
+        };
+        let mut off = 0usize;
+        for d in &clique_domains {
+            layout.clique_off.push(off);
+            layout.clique_len.push(d.size());
+            off += d.size();
+        }
+        for d in &sep_domains {
+            layout.sep_off.push(off);
+            layout.sep_len.push(d.size());
+            off += d.size();
+        }
+        for (s, _) in sep_domains.iter().enumerate() {
+            layout.fresh_off.push(off);
+            off += layout.sep_len[s];
+        }
+        for (s, _) in sep_domains.iter().enumerate() {
+            layout.ratio_off.push(off);
+            off += layout.sep_len[s];
+        }
+        layout.total = off;
+
+        // Initial potentials: ones, then multiply in each assigned factor
+        // (prep-time allocation is fine; queries only copy the slab).
         let mut initial_cliques: Vec<PotentialTable> = clique_domains
             .iter()
             .map(|d| PotentialTable::ones(d.clone()))
@@ -80,16 +179,42 @@ impl Prepared {
             let factor = PotentialTable::from_cpt(net.cpt(VarId::from_index(v)), &cards);
             ops::extend_multiply(&mut initial_cliques[assignment[v]], &factor);
         }
+        let mut initial_slab = vec![1.0f64; layout.total].into_boxed_slice();
+        for (c, table) in initial_cliques.iter().enumerate() {
+            let off = layout.clique_off[c];
+            initial_slab[off..off + layout.clique_len[c]].copy_from_slice(table.values());
+        }
 
         Prepared {
             cards,
             built,
             clique_domains,
             sep_domains,
-            initial_cliques,
+            sep_plans,
+            layout: Arc::new(layout),
+            initial_slab,
             assignment,
             home,
         }
+    }
+
+    /// The precompiled plan mapping `clique`'s domain onto separator
+    /// `sep`'s domain. `clique` must be one of the edge's two endpoints.
+    #[inline]
+    pub fn plan_for(&self, clique: usize, sep: usize) -> &KernelPlan {
+        let edge = &self.sep_plans[sep];
+        if edge.child_clique == clique {
+            &edge.child
+        } else {
+            debug_assert_eq!(edge.parent_clique, clique, "clique not on edge {sep}");
+            &edge.parent
+        }
+    }
+
+    /// Clique `c`'s initial values (the slab region every query resets to).
+    pub fn initial_clique(&self, c: usize) -> &[f64] {
+        let off = self.layout.clique_off[c];
+        &self.initial_slab[off..off + self.layout.clique_len[c]]
     }
 
     /// Number of cliques.
@@ -140,13 +265,79 @@ mod tests {
         let prepared = Prepared::new(&net, &JtreeOptions::default());
         for (c, dom) in prepared.clique_domains.iter().enumerate() {
             assert_eq!(dom.vars(), prepared.built.tree.cliques[c].vars.as_slice());
-            assert_eq!(prepared.initial_cliques[c].len(), dom.size());
+            assert_eq!(prepared.layout.clique_len[c], dom.size());
+            assert_eq!(prepared.initial_clique(c).len(), dom.size());
         }
         for (s, dom) in prepared.sep_domains.iter().enumerate() {
             assert_eq!(
                 dom.vars(),
                 prepared.built.tree.separators[s].vars.as_slice()
             );
+            assert_eq!(prepared.layout.sep_len[s], dom.size());
+        }
+    }
+
+    #[test]
+    fn slab_layout_regions_are_disjoint_and_cover_the_slab() {
+        let net = datasets::asia();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let layout = &prepared.layout;
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        for c in 0..prepared.num_cliques() {
+            ranges.push((layout.clique_off[c], layout.clique_len[c]));
+        }
+        for s in 0..prepared.num_separators() {
+            ranges.push((layout.sep_off[s], layout.sep_len[s]));
+            ranges.push((layout.fresh_off[s], layout.sep_len[s]));
+            ranges.push((layout.ratio_off[s], layout.sep_len[s]));
+        }
+        ranges.sort_unstable();
+        let mut end = 0usize;
+        for (off, len) in ranges {
+            assert_eq!(off, end, "regions must tile the slab without gaps");
+            end = off + len;
+        }
+        assert_eq!(end, layout.total);
+        assert_eq!(prepared.initial_slab.len(), layout.total);
+        // Non-clique regions start at 1.0.
+        for s in 0..prepared.num_separators() {
+            for &off in [layout.sep_off[s], layout.fresh_off[s], layout.ratio_off[s]].iter() {
+                assert!(prepared.initial_slab[off..off + layout.sep_len[s]]
+                    .iter()
+                    .all(|&v| v == 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn sep_plans_match_edge_endpoints() {
+        let net = datasets::asia();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        for (s, edge) in prepared.sep_plans.iter().enumerate() {
+            let sep = &prepared.built.tree.separators[s];
+            let endpoints = [edge.child_clique, edge.parent_clique];
+            assert!(endpoints.contains(&sep.a) && endpoints.contains(&sep.b));
+            assert!(
+                prepared.built.rooted.depth[edge.child_clique]
+                    > prepared.built.rooted.depth[edge.parent_clique]
+            );
+            assert_eq!(edge.child.sub_size(), prepared.sep_domains[s].size());
+            assert_eq!(
+                edge.child.sup_size(),
+                prepared.clique_domains[edge.child_clique].size()
+            );
+            assert_eq!(
+                edge.parent.sup_size(),
+                prepared.clique_domains[edge.parent_clique].size()
+            );
+            assert!(std::ptr::eq(
+                prepared.plan_for(edge.child_clique, s),
+                &edge.child
+            ));
+            assert!(std::ptr::eq(
+                prepared.plan_for(edge.parent_clique, s),
+                &edge.parent
+            ));
         }
     }
 
@@ -159,6 +350,6 @@ mod tests {
         let prepared = Prepared::new(&net, &JtreeOptions::default());
         assert_eq!(prepared.num_cliques(), 1);
         assert_eq!(prepared.num_separators(), 0);
-        assert_eq!(prepared.initial_cliques[0].values(), &[0.5, 0.25, 0.25]);
+        assert_eq!(prepared.initial_clique(0), &[0.5, 0.25, 0.25]);
     }
 }

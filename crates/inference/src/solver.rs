@@ -711,7 +711,9 @@ pub(crate) fn joint_on_state(
         &sorted,
         &prepared.cards,
     ));
-    let mut joint = fastbn_potential::ops::marginalize(&state.cliques[clique], target);
+    let mut joint = PotentialTable::zeros(target.clone());
+    let plan = fastbn_potential::KernelPlan::new(&prepared.clique_domains[clique], &target);
+    plan.marginalize(state.clique(clique), joint.values_mut());
     joint
         .normalize()
         .map_err(|_| InferenceError::ImpossibleEvidence)?;

@@ -1,56 +1,196 @@
-//! Per-query mutable state and the shared pieces of Hugin propagation.
+//! Per-query mutable state (one contiguous slab) and the shared pieces of
+//! Hugin propagation.
+
+use std::sync::Arc;
 
 use fastbn_bayesnet::{Evidence, VarId};
-use fastbn_potential::{ops, PotentialTable};
+use fastbn_potential::{ops, KernelPlan};
 
 use crate::error::InferenceError;
 use crate::posterior::Posteriors;
-use crate::prepared::Prepared;
+use crate::prepared::{Prepared, SlabLayout};
 
-/// The mutable tables of one in-flight query: clique potentials, separator
-/// potentials, plus two per-separator scratch buffers (the freshly
-/// marginalized message and the `new/old` ratio).
+/// Sentinel for "no deferred message" in the pending array.
+const NO_PENDING: u32 = u32::MAX;
+
+/// The mutable tables of one in-flight query — clique potentials,
+/// separator potentials, plus two per-separator scratch buffers (the
+/// freshly marginalized message and the `new/old` ratio) — packed into a
+/// **single contiguous `f64` slab** laid out by [`SlabLayout`].
 ///
 /// A `WorkState` is the unit of scratch a [`Session`](crate::solver::Session)
-/// holds: allocated once, reset per query (`copy_from_slice` into existing
-/// allocations — no per-query malloc), and recycled through the solver's
-/// scratch pool when the session drops.
+/// holds: allocated once (one slab allocation, not 4×N table `Vec`s),
+/// reset per query with a single `copy_from_slice`, and recycled through
+/// the solver's scratch pool when the session drops. Steady-state
+/// propagation touches only slab regions through precompiled
+/// [`KernelPlan`]s, so it performs **zero heap allocations**.
 #[derive(Debug, Clone)]
 pub struct WorkState {
-    /// Clique potentials (reset from `Prepared::initial_cliques`).
-    pub cliques: Vec<PotentialTable>,
-    /// Current separator potentials (reset to ones).
-    pub seps: Vec<PotentialTable>,
-    /// Scratch: newly marginalized separator message.
-    pub fresh: Vec<PotentialTable>,
-    /// Scratch: `fresh / old` ratio to multiply into the receiver.
-    pub ratio: Vec<PotentialTable>,
+    /// All tables, contiguously: cliques, seps, fresh, ratio.
+    slab: Box<[f64]>,
+    /// Per-clique deferred-ratio slot for the sequential engine's fused
+    /// collect/distribute path: the separator whose ratio still has to be
+    /// multiplied into this clique, or [`NO_PENDING`].
+    pending: Box<[u32]>,
+    /// Offsets into the slab (shared with the `Prepared`).
+    layout: Arc<SlabLayout>,
 }
 
 impl WorkState {
-    /// Allocates working tables shaped like `prepared`'s.
+    /// Allocates a working slab shaped like `prepared`'s and initializes
+    /// it from the initial slab (one allocation for all tables).
     pub fn new(prepared: &Prepared) -> Self {
-        let cliques = prepared.initial_cliques.clone();
-        let seps: Vec<PotentialTable> = prepared
-            .sep_domains
-            .iter()
-            .map(|d| PotentialTable::ones(d.clone()))
-            .collect();
         WorkState {
-            fresh: seps.clone(),
-            ratio: seps.clone(),
-            cliques,
-            seps,
+            slab: prepared.initial_slab.clone(),
+            pending: vec![NO_PENDING; prepared.num_cliques()].into_boxed_slice(),
+            layout: prepared.layout.clone(),
         }
     }
 
-    /// Restores the pre-evidence state, reusing all allocations.
+    /// Restores the pre-evidence state with one bulk copy, reusing the
+    /// allocation.
     pub fn reset(&mut self, prepared: &Prepared) {
-        for (work, init) in self.cliques.iter_mut().zip(&prepared.initial_cliques) {
-            work.copy_values_from(init);
+        self.slab.copy_from_slice(&prepared.initial_slab);
+        self.pending.fill(NO_PENDING);
+    }
+
+    /// Clique `c`'s values.
+    #[inline]
+    pub fn clique(&self, c: usize) -> &[f64] {
+        let off = self.layout.clique_off[c];
+        &self.slab[off..off + self.layout.clique_len[c]]
+    }
+
+    /// Clique `c`'s values, mutably.
+    #[inline]
+    pub fn clique_mut(&mut self, c: usize) -> &mut [f64] {
+        let off = self.layout.clique_off[c];
+        &mut self.slab[off..off + self.layout.clique_len[c]]
+    }
+
+    /// Separator `s`'s current values.
+    #[inline]
+    pub fn sep(&self, s: usize) -> &[f64] {
+        let off = self.layout.sep_off[s];
+        &self.slab[off..off + self.layout.sep_len[s]]
+    }
+
+    /// Separator `s`'s current values, mutably.
+    #[inline]
+    pub fn sep_mut(&mut self, s: usize) -> &mut [f64] {
+        let off = self.layout.sep_off[s];
+        &mut self.slab[off..off + self.layout.sep_len[s]]
+    }
+
+    /// Separator `s`'s fresh-message scratch.
+    #[inline]
+    pub fn fresh(&self, s: usize) -> &[f64] {
+        let off = self.layout.fresh_off[s];
+        &self.slab[off..off + self.layout.sep_len[s]]
+    }
+
+    /// Separator `s`'s fresh-message scratch, mutably.
+    #[inline]
+    pub fn fresh_mut(&mut self, s: usize) -> &mut [f64] {
+        let off = self.layout.fresh_off[s];
+        &mut self.slab[off..off + self.layout.sep_len[s]]
+    }
+
+    /// Separator `s`'s ratio scratch.
+    #[inline]
+    pub fn ratio(&self, s: usize) -> &[f64] {
+        let off = self.layout.ratio_off[s];
+        &self.slab[off..off + self.layout.sep_len[s]]
+    }
+
+    /// Separator `s`'s ratio scratch, mutably.
+    #[inline]
+    pub fn ratio_mut(&mut self, s: usize) -> &mut [f64] {
+        let off = self.layout.ratio_off[s];
+        &mut self.slab[off..off + self.layout.sep_len[s]]
+    }
+
+    /// The separator whose ratio is still pending multiplication into
+    /// clique `c`, if any (sequential-engine fusion bookkeeping).
+    #[inline]
+    pub fn pending(&self, c: usize) -> Option<usize> {
+        let p = self.pending[c];
+        (p != NO_PENDING).then_some(p as usize)
+    }
+
+    /// Records that separator `sep`'s ratio must later be multiplied into
+    /// clique `c`.
+    #[inline]
+    pub fn set_pending(&mut self, c: usize, sep: usize) {
+        self.pending[c] = sep as u32;
+    }
+
+    /// Clears and returns clique `c`'s pending separator, if any.
+    #[inline]
+    pub fn take_pending(&mut self, c: usize) -> Option<usize> {
+        let p = self.pending[c];
+        self.pending[c] = NO_PENDING;
+        (p != NO_PENDING).then_some(p as usize)
+    }
+
+    /// Multiplies clique `c`'s deferred ratio (if any) into the clique —
+    /// the flush half of the sequential engine's deferred-ratio fusion.
+    /// Allocation-free.
+    pub fn flush_pending(&mut self, prepared: &Prepared, c: usize) {
+        if let Some(sep) = self.take_pending(c) {
+            let plan = prepared.plan_for(c, sep);
+            let raw = self.raw();
+            // SAFETY: the clique and ratio regions are disjoint slab
+            // ranges, and `&mut self` guarantees exclusivity.
+            unsafe {
+                let clique = raw.slice_mut(self.layout.clique_off[c], self.layout.clique_len[c]);
+                let ratio = raw.slice(self.layout.ratio_off[sep], self.layout.sep_len[sep]);
+                plan.extend_multiply(clique, ratio);
+            }
         }
-        for sep in &mut self.seps {
-            sep.fill(1.0);
+    }
+
+    /// Splits out the five disjoint slices of one message: the sender
+    /// clique (shared), and the receiver clique, separator, fresh and
+    /// ratio buffers (exclusive).
+    ///
+    /// # Panics
+    /// Debug-asserts that `sender != receiver`; the slab regions of
+    /// distinct tables never overlap by construction of [`SlabLayout`].
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    pub fn message_slices(
+        &mut self,
+        sender: usize,
+        receiver: usize,
+        sep: usize,
+    ) -> (&[f64], &mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+        debug_assert_ne!(sender, receiver);
+        let layout = &self.layout;
+        let base = self.slab.as_mut_ptr();
+        // SAFETY: the five regions are pairwise disjoint — clique, sep,
+        // fresh and ratio regions tile the slab without overlap, and
+        // sender != receiver picks two distinct clique regions.
+        unsafe {
+            let sl = |off: usize, len: usize| std::slice::from_raw_parts(base.add(off), len);
+            let sm = |off: usize, len: usize| std::slice::from_raw_parts_mut(base.add(off), len);
+            (
+                sl(layout.clique_off[sender], layout.clique_len[sender]),
+                sm(layout.clique_off[receiver], layout.clique_len[receiver]),
+                sm(layout.sep_off[sep], layout.sep_len[sep]),
+                sm(layout.fresh_off[sep], layout.sep_len[sep]),
+                sm(layout.ratio_off[sep], layout.sep_len[sep]),
+            )
+        }
+    }
+
+    /// Raw view of the slab for the parallel engines, which hand disjoint
+    /// regions to worker closures the borrow checker cannot see through.
+    #[inline]
+    pub(crate) fn raw(&mut self) -> SlabRaw {
+        SlabRaw {
+            base: self.slab.as_mut_ptr(),
+            len: self.slab.len(),
         }
     }
 
@@ -59,7 +199,10 @@ impl WorkState {
     /// propagation spreads it).
     pub fn absorb_evidence(&mut self, prepared: &Prepared, evidence: &Evidence) {
         for (var, state) in evidence.iter() {
-            ops::reduce_evidence(&mut self.cliques[prepared.home[var.index()]], var, state);
+            let home = prepared.home[var.index()];
+            let dom = &prepared.clique_domains[home];
+            let (stride, card) = (dom.stride_of(var), dom.card_of(var));
+            ops::reduce_evidence_slice(self.clique_mut(home), stride, card, state);
         }
     }
 
@@ -72,7 +215,7 @@ impl WorkState {
             .rooted
             .roots
             .iter()
-            .map(|&r| self.cliques[r].sum())
+            .map(|&r| self.clique(r).iter().sum::<f64>())
             .product()
     }
 
@@ -89,7 +232,9 @@ impl WorkState {
             point[state] = 1.0;
             return Ok(point);
         }
-        let mut m = ops::marginal_of_var(&self.cliques[prepared.home[var.index()]], var);
+        let home = prepared.home[var.index()];
+        let mut m =
+            ops::marginal_of_var_slice(self.clique(home), &prepared.clique_domains[home], var);
         let total: f64 = m.iter().sum();
         if total <= 0.0 || !total.is_finite() {
             return Err(InferenceError::ImpossibleEvidence);
@@ -156,36 +301,58 @@ impl WorkState {
     }
 }
 
-/// One sequential collect/distribute message using the odometer-fused ops
-/// (shared by the Seq and Direct engines; Primitive/Element/Hybrid have
-/// their own parallel versions).
-pub fn message_seq(state_parts: MessageParts<'_>) {
-    let MessageParts {
-        sender,
-        receiver,
-        sep,
-        fresh,
-        ratio,
-    } = state_parts;
-    ops::marginalize_into(sender, fresh);
-    ops::divide_into(fresh, sep, ratio);
-    std::mem::swap(sep, fresh);
-    ops::extend_multiply(receiver, ratio);
+/// One sequential collect/distribute message executing precompiled plans
+/// on slab slices (shared by the Seq, Reference-adjacent and Direct
+/// paths; Primitive/Element/Hybrid have their own parallel versions):
+/// marginalize the sender onto `fresh`, fold the separator update
+/// (`ratio = fresh / sep; sep = fresh` — bitwise identical to the old
+/// divide-then-swap), then multiply the ratio into the receiver.
+#[inline]
+pub fn message_kernel(
+    send_plan: &KernelPlan,
+    recv_plan: &KernelPlan,
+    sender: &[f64],
+    receiver: &mut [f64],
+    sep: &mut [f64],
+    fresh: &mut [f64],
+    ratio: &mut [f64],
+) {
+    send_plan.marginalize(sender, fresh);
+    ops::sep_update(fresh, sep, ratio);
+    recv_plan.extend_multiply(receiver, ratio);
 }
 
-/// Borrowed pieces of one message, so engines can split `WorkState`
-/// mutably without aliasing.
-pub struct MessageParts<'a> {
-    /// Clique being marginalized (read-only).
-    pub sender: &'a PotentialTable,
-    /// Clique receiving the ratio (read-write).
-    pub receiver: &'a mut PotentialTable,
-    /// Current separator table (swapped with `fresh`).
-    pub sep: &'a mut PotentialTable,
-    /// Scratch for the new message.
-    pub fresh: &'a mut PotentialTable,
-    /// Scratch for the ratio.
-    pub ratio: &'a mut PotentialTable,
+/// Raw slab view: base pointer + length, `Send + Sync` so parallel
+/// engines can hand disjoint regions to worker closures. All safety
+/// obligations sit on the callers, who must only touch pairwise-disjoint
+/// regions per parallel phase (guaranteed by the layer schedules).
+#[derive(Clone, Copy)]
+pub(crate) struct SlabRaw {
+    base: *mut f64,
+    len: usize,
+}
+
+unsafe impl Send for SlabRaw {}
+unsafe impl Sync for SlabRaw {}
+
+impl SlabRaw {
+    /// # Safety
+    /// `[off, off + len)` must be in bounds and not concurrently written.
+    #[inline]
+    pub(crate) unsafe fn slice(&self, off: usize, len: usize) -> &[f64] {
+        debug_assert!(off + len <= self.len);
+        std::slice::from_raw_parts(self.base.add(off), len)
+    }
+
+    /// # Safety
+    /// `[off, off + len)` must be in bounds and disjoint from every other
+    /// slice handed out for the duration of this borrow.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn slice_mut(&self, off: usize, len: usize) -> &mut [f64] {
+        debug_assert!(off + len <= self.len);
+        std::slice::from_raw_parts_mut(self.base.add(off), len)
+    }
 }
 
 #[cfg(test)]
@@ -201,18 +368,56 @@ mod tests {
         let mut state = WorkState::new(&prepared);
         let rain = net.var_id("Rain").unwrap();
         state.absorb_evidence(&prepared, &Evidence::from_pairs([(rain, 0)]));
-        let changed = state.cliques[prepared.home[rain.index()]]
-            .values()
-            .contains(&0.0);
+        let changed = state.clique(prepared.home[rain.index()]).contains(&0.0);
         assert!(changed, "evidence must zero some entries");
+        state.set_pending(0, 3);
         state.reset(&prepared);
-        for (work, init) in state.cliques.iter().zip(&prepared.initial_cliques) {
-            assert_eq!(work.values(), init.values());
+        for c in 0..prepared.num_cliques() {
+            assert_eq!(state.clique(c), prepared.initial_clique(c));
+            assert_eq!(state.pending(c), None);
         }
-        assert!(state
-            .seps
-            .iter()
-            .all(|s| s.values().iter().all(|&v| v == 1.0)));
+        for s in 0..prepared.num_separators() {
+            assert!(state.sep(s).iter().all(|&v| v == 1.0));
+        }
+    }
+
+    #[test]
+    fn message_slices_are_disjoint_and_correctly_placed() {
+        let net = datasets::asia();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let mut state = WorkState::new(&prepared);
+        let edge = prepared.sep_plans[0].clone();
+        let (sender_len, receiver_len) = (
+            prepared.layout.clique_len[edge.child_clique],
+            prepared.layout.clique_len[edge.parent_clique],
+        );
+        let (sender, receiver, sep, fresh, ratio) =
+            state.message_slices(edge.child_clique, edge.parent_clique, 0);
+        assert_eq!(sender.len(), sender_len);
+        assert_eq!(receiver.len(), receiver_len);
+        assert_eq!(sep.len(), prepared.layout.sep_len[0]);
+        assert_eq!(fresh.len(), sep.len());
+        assert_eq!(ratio.len(), sep.len());
+        // Writing through the exclusive slices must not alias the sender.
+        let before = sender.to_vec();
+        receiver.fill(7.0);
+        sep.fill(8.0);
+        fresh.fill(9.0);
+        ratio.fill(10.0);
+        assert_eq!(sender, &before[..]);
+    }
+
+    #[test]
+    fn pending_roundtrip() {
+        let net = datasets::asia();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let mut state = WorkState::new(&prepared);
+        assert_eq!(state.pending(2), None);
+        state.set_pending(2, 4);
+        assert_eq!(state.pending(2), Some(4));
+        assert_eq!(state.take_pending(2), Some(4));
+        assert_eq!(state.pending(2), None);
+        assert_eq!(state.take_pending(2), None);
     }
 
     #[test]

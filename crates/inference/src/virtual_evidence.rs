@@ -11,10 +11,8 @@
 //! verify that equivalence, plus agreement with a likelihood-weighted
 //! variable-elimination oracle.
 
-use std::sync::Arc;
-
 use fastbn_bayesnet::VarId;
-use fastbn_potential::{ops, Domain, PotentialTable};
+use fastbn_potential::{Domain, KernelPlan};
 
 use crate::prepared::Prepared;
 use crate::state::WorkState;
@@ -134,11 +132,15 @@ pub(crate) fn absorb_virtual(
 ) {
     for (var, likelihood) in virtual_evidence.iter() {
         debug_assert_eq!(likelihood.len(), prepared.cards[var.index()]);
-        let msg = PotentialTable::from_values(
-            Arc::new(Domain::new(vec![(var, likelihood.len())])),
-            canonical_likelihood(likelihood),
+        let msg = canonical_likelihood(likelihood);
+        let home = prepared.home[var.index()];
+        // One-off plan per finding — absorption is per-query, not
+        // steady-state, so the transient compile is acceptable here.
+        let plan = KernelPlan::new(
+            &prepared.clique_domains[home],
+            &Domain::new(vec![(var, likelihood.len())]),
         );
-        ops::extend_multiply(&mut state.cliques[prepared.home[var.index()]], &msg);
+        plan.extend_multiply(state.clique_mut(home), &msg);
     }
 }
 

@@ -1,0 +1,117 @@
+//! Steady-state allocation regression test: once a [`WorkState`] slab is
+//! built, a full `reset → enter_evidence → propagate` cycle of the
+//! sequential engine must perform **zero heap allocations** — every
+//! potential, separator and scratch table lives in the one contiguous
+//! slab, and every index mapping lives in the [`Prepared`] plans.
+//!
+//! Lives in its own integration-test binary because it installs a
+//! counting `#[global_allocator]`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fastbn_bayesnet::{datasets, generators, sampler, Evidence};
+use fastbn_inference::{InferenceEngine, Prepared, SeqJt, WorkState};
+use fastbn_jtree::JtreeOptions;
+
+/// Counts every allocation (alloc / alloc_zeroed / realloc) and defers
+/// the real work to the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// One full query cycle on pre-built scratch.
+fn cycle(engine: &SeqJt, prepared: &Prepared, state: &mut WorkState, evidence: &Evidence) {
+    state.reset(prepared);
+    engine.enter_evidence(state, evidence);
+    engine.propagate(state);
+}
+
+#[test]
+fn seq_steady_state_is_allocation_free() {
+    let nets = [
+        datasets::asia(),
+        datasets::student(),
+        generators::naive_bayes(10, 3, 2, 8),
+    ];
+    for net in &nets {
+        let prepared = Arc::new(Prepared::new(net, &JtreeOptions::default()));
+        let engine = SeqJt::new(prepared.clone());
+        let mut state = WorkState::new(&prepared);
+        let cases = sampler::generate_cases(net, 4, 0.3, 77);
+
+        // Warm-up: any one-time lazy work happens here, not in the
+        // measured window.
+        cycle(&engine, &prepared, &mut state, &Evidence::empty());
+        for case in &cases {
+            cycle(&engine, &prepared, &mut state, &case.evidence);
+        }
+
+        let before = allocations();
+        cycle(&engine, &prepared, &mut state, &Evidence::empty());
+        for case in &cases {
+            cycle(&engine, &prepared, &mut state, &case.evidence);
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta,
+            0,
+            "steady-state propagation allocated {delta} times on {:?}",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn workstate_construction_allocates_but_clone_stays_flat() {
+    // The slab design means a WorkState is a fixed small number of
+    // allocations (slab + pending + container bookkeeping), independent
+    // of how many cliques/separators the tree has.
+    let small = Arc::new(Prepared::new(
+        &datasets::sprinkler(),
+        &JtreeOptions::default(),
+    ));
+    let large = Arc::new(Prepared::new(
+        &generators::naive_bayes(24, 3, 2, 8),
+        &JtreeOptions::default(),
+    ));
+    let count_new = |prepared: &Prepared| {
+        let before = allocations();
+        let state = WorkState::new(prepared);
+        let delta = allocations() - before;
+        drop(state);
+        delta
+    };
+    let a = count_new(&small);
+    let b = count_new(&large);
+    assert_eq!(a, b, "WorkState allocations must not scale with tree size");
+}

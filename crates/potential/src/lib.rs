@@ -17,6 +17,12 @@
 //! * fully **materialized mapping arrays** for the Element engine, which
 //!   reproduces the GPU design of precomputing mapping tables.
 //!
+//! All three consume precompiled [`plan::KernelPlan`]s: one plan per
+//! (source, target) domain pair holds the strides, fiber offsets, and a
+//! layout classification selecting blocked fast paths when the mapped
+//! variables form a contiguous inner or outer block — compiled once,
+//! executed allocation-free.
+//!
 //! Sequential ops live in [`ops`], parallel ops (driven by a
 //! [`fastbn_parallel::ThreadPool`] + [`fastbn_parallel::Schedule`]) in
 //! [`ops_par`]. Parallel results are bit-identical to sequential ones: for
@@ -29,8 +35,10 @@ pub mod domain;
 pub mod index_map;
 pub mod ops;
 pub mod ops_par;
+pub mod plan;
 pub mod table;
 
 pub use domain::Domain;
 pub use index_map::{embedding_strides, fiber_offsets, Odometer};
+pub use plan::{multiply_marginalize, KernelPlan, Layout};
 pub use table::PotentialTable;

@@ -1,32 +1,29 @@
 //! Sequential potential-table operations.
 //!
-//! These are the "simplified bottleneck operations" of Fast-BNI-seq: every
-//! operation walks its output (or input) exactly once with an incremental
-//! [`Odometer`] index mapping — no per-entry decode, no allocation beyond
-//! the output table.
+//! These are the "simplified bottleneck operations" of Fast-BNI-seq. Each
+//! table-level entry point compiles a transient [`KernelPlan`] for its
+//! (source, target) domain pair and executes it — one walk, no per-entry
+//! decode. Hot paths that run the same pair repeatedly (propagation) hold
+//! precompiled plans instead and call the plan kernels directly; these
+//! functions are the convenience layer for one-shot callers (preparation,
+//! oracles, tests).
 
 use crate::domain::Domain;
-use crate::index_map::{embedding_strides, Odometer};
+use crate::index_map::embedding_strides;
+use crate::plan::KernelPlan;
 use crate::table::PotentialTable;
 use fastbn_bayesnet::VarId;
 
-/// Marginalizes `src` onto `out`'s (sub)domain, accumulating into `out`
-/// (which is zeroed first): `out[m(i)] += src[i]` over a single linear
-/// scan of the source.
+/// Marginalizes `src` onto `out`'s (sub)domain, overwriting `out`:
+/// `out[m(i)] += src[i]` starting from zeros.
 ///
 /// For each output entry, contributions arrive in ascending source index —
 /// the same order the parallel fiber sums use, so results are bit-identical
 /// across all engines.
 pub fn marginalize_into(src: &PotentialTable, out: &mut PotentialTable) {
     debug_assert!(out.domain().is_subdomain_of(src.domain()));
-    out.fill(0.0);
-    let strides = embedding_strides(src.domain(), out.domain());
-    let mut odo = Odometer::new(src.domain().cards(), &strides);
-    let out_values = out.values_mut();
-    for &v in src.values() {
-        out_values[odo.mapped()] += v;
-        odo.advance();
-    }
+    let plan = KernelPlan::new(src.domain(), out.domain());
+    plan.marginalize(src.values(), out.values_mut());
 }
 
 /// Allocating variant of [`marginalize_into`].
@@ -40,14 +37,10 @@ pub fn marginalize(src: &PotentialTable, target: std::sync::Arc<Domain>) -> Pote
 /// message into a larger-domain table, `table[i] *= msg[m(i)]`.
 pub fn extend_multiply(table: &mut PotentialTable, msg: &PotentialTable) {
     debug_assert!(msg.domain().is_subdomain_of(table.domain()));
-    let domain = table.domain_arc().clone();
-    let strides = embedding_strides(&domain, msg.domain());
-    let mut odo = Odometer::new(domain.cards(), &strides);
-    let msg_values = msg.values();
-    for v in table.values_mut() {
-        *v *= msg_values[odo.mapped()];
-        odo.advance();
-    }
+    // The plan borrows the domain only during compilation, so no `Arc`
+    // refcount bump is needed to appease the borrow checker.
+    let plan = KernelPlan::new(table.domain(), msg.domain());
+    plan.extend_multiply(table.values_mut(), msg.values());
 }
 
 /// Like [`extend_multiply`] but dividing, with the Hugin convention
@@ -55,15 +48,8 @@ pub fn extend_multiply(table: &mut PotentialTable, msg: &PotentialTable) {
 /// zero numerator during propagation).
 pub fn extend_divide(table: &mut PotentialTable, msg: &PotentialTable) {
     debug_assert!(msg.domain().is_subdomain_of(table.domain()));
-    let domain = table.domain_arc().clone();
-    let strides = embedding_strides(&domain, msg.domain());
-    let mut odo = Odometer::new(domain.cards(), &strides);
-    let msg_values = msg.values();
-    for v in table.values_mut() {
-        let d = msg_values[odo.mapped()];
-        *v = safe_div(*v, d);
-        odo.advance();
-    }
+    let plan = KernelPlan::new(table.domain(), msg.domain());
+    plan.extend_divide(table.values_mut(), msg.values());
 }
 
 /// Element-wise `num[i] / den[i]` written into `out[i]`, all on the same
@@ -78,6 +64,20 @@ pub fn divide_into(num: &PotentialTable, den: &PotentialTable, out: &mut Potenti
         .zip(num.values().iter().zip(den.values()))
     {
         *o = safe_div(n, d);
+    }
+}
+
+/// The fused Hugin separator update: given the freshly marginalized
+/// message, computes the `new/old` ratio and installs the new separator in
+/// one pass — `ratio[t] = fresh[t] / sep[t]` (with `0/0 = 0`), then
+/// `sep[t] = fresh[t]`. Values are bitwise identical to the historical
+/// divide-then-swap sequence; only the table shuffling is gone.
+pub fn sep_update(fresh: &[f64], sep: &mut [f64], ratio: &mut [f64]) {
+    debug_assert_eq!(fresh.len(), sep.len());
+    debug_assert_eq!(fresh.len(), ratio.len());
+    for ((&f, s), r) in fresh.iter().zip(sep).zip(ratio) {
+        *r = safe_div(f, *s);
+        *s = f;
     }
 }
 
@@ -98,10 +98,16 @@ pub fn multiply_into(table: &mut PotentialTable, other: &PotentialTable) {
 pub fn reduce_evidence(table: &mut PotentialTable, var: VarId, state: usize) {
     let stride = table.domain().stride_of(var);
     let card = table.domain().card_of(var);
+    reduce_evidence_slice(table.values_mut(), stride, card, state);
+}
+
+/// Slice form of [`reduce_evidence`] for tables living in a slab: zeroes
+/// every entry whose `(i / stride) % card != state`, walking contiguous
+/// stride segments.
+pub fn reduce_evidence_slice(values: &mut [f64], stride: usize, card: usize, state: usize) {
     debug_assert!(state < card);
     let block = stride * card;
-    let len = table.len();
-    let values = table.values_mut();
+    let len = values.len();
     let mut base = 0;
     while base < len {
         for s in 0..card {
@@ -116,11 +122,15 @@ pub fn reduce_evidence(table: &mut PotentialTable, var: VarId, state: usize) {
 /// Single-variable marginal of a table: sums all entries by the state of
 /// `var`. Returns a vector of length `card(var)` (unnormalized).
 pub fn marginal_of_var(table: &PotentialTable, var: VarId) -> Vec<f64> {
-    let stride = table.domain().stride_of(var);
-    let card = table.domain().card_of(var);
+    marginal_of_var_slice(table.values(), table.domain(), var)
+}
+
+/// Slice form of [`marginal_of_var`] for tables living in a slab.
+pub fn marginal_of_var_slice(values: &[f64], domain: &Domain, var: VarId) -> Vec<f64> {
+    let stride = domain.stride_of(var);
+    let card = domain.card_of(var);
     let mut out = vec![0.0; card];
     let block = stride * card;
-    let values = table.values();
     let mut base = 0;
     while base < values.len() {
         for (s, slot) in out.iter_mut().enumerate() {
@@ -143,17 +153,8 @@ pub fn marginal_of_var(table: &PotentialTable, var: VarId) -> Vec<f64> {
 /// propagation.
 pub fn max_marginalize_into(src: &PotentialTable, out: &mut PotentialTable) {
     debug_assert!(out.domain().is_subdomain_of(src.domain()));
-    out.fill(f64::NEG_INFINITY);
-    let strides = embedding_strides(src.domain(), out.domain());
-    let mut odo = Odometer::new(src.domain().cards(), &strides);
-    let out_values = out.values_mut();
-    for &v in src.values() {
-        let slot = &mut out_values[odo.mapped()];
-        if v > *slot {
-            *slot = v;
-        }
-        odo.advance();
-    }
+    let plan = KernelPlan::new(src.domain(), out.domain());
+    plan.max_marginalize(src.values(), out.values_mut());
 }
 
 /// Max-marginal of a single variable: `out[s] = max { table[i] :
@@ -161,9 +162,9 @@ pub fn max_marginalize_into(src: &PotentialTable, out: &mut PotentialTable) {
 pub fn max_marginal_of_var(table: &PotentialTable, var: VarId) -> Vec<f64> {
     let stride = table.domain().stride_of(var);
     let card = table.domain().card_of(var);
+    let values = table.values();
     let mut out = vec![f64::NEG_INFINITY; card];
     let block = stride * card;
-    let values = table.values();
     let mut base = 0;
     while base < values.len() {
         for (s, slot) in out.iter_mut().enumerate() {

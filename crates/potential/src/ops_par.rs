@@ -2,9 +2,16 @@
 //!
 //! Every operation parallelizes over **output** entries, so no two tasks
 //! ever write the same slot and no atomics are needed on the value arrays.
-//! Each chunk pays one `Odometer::seek` (a single mixed-radix decode) and
-//! then streams incrementally — this is the paper's "parallelize the index
-//! mapping computations of different potential table entries".
+//! All kernels execute a precompiled [`KernelPlan`]: each chunk pays one
+//! `seek` (a single mixed-radix decode) and then streams incrementally —
+//! this is the paper's "parallelize the index mapping computations of
+//! different potential table entries", minus the per-call stride/fiber
+//! recomputation the plans amortize away.
+//!
+//! The `*_plan_par` / `*_slice_par` functions are the hot-path entry
+//! points: they take raw `f64` slices (slab regions) plus a prebuilt plan
+//! and allocate nothing. The table-based functions compile a transient
+//! plan and delegate — the convenience layer for one-shot callers.
 //!
 //! The `*_mapped` variants implement the Element engine's two-pass GPU
 //! style: pass one materializes the whole index-mapping array, pass two
@@ -16,8 +23,9 @@ use fastbn_bayesnet::VarId;
 use fastbn_parallel::{Schedule, ThreadPool};
 
 use crate::domain::Domain;
-use crate::index_map::{embedding_strides, fiber_offsets, Odometer};
+use crate::index_map::{embedding_strides, Odometer};
 use crate::ops::safe_div;
+use crate::plan::KernelPlan;
 use crate::table::{PotentialTable, ZeroSumError};
 
 /// Raw-pointer wrapper allowing disjoint chunks to write a shared output
@@ -45,8 +53,122 @@ impl<T> SharedMut<T> {
     }
 }
 
-/// Parallel marginalization: for each target entry, sums its source fiber
-/// in ascending source order (bit-identical to the sequential scan).
+/// Parallel plan-based marginalization over raw slices: for each target
+/// entry, sums its source fiber in ascending source order (bit-identical
+/// to the sequential scan). Allocation-free.
+pub fn marginalize_plan_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    plan: &KernelPlan,
+    src: &[f64],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(src.len(), plan.sup_size());
+    debug_assert_eq!(out.len(), plan.sub_size());
+    let out_ptr = SharedMut(out.as_mut_ptr());
+    pool.parallel_for_chunks(0..plan.sub_size(), sched, |start, end| {
+        // SAFETY: chunks are disjoint sub-ranges of the output.
+        let chunk = unsafe { out_ptr.range(start, end) };
+        plan.marginalize_fold(src, start, end, |t, v| chunk[t - start] = v);
+    });
+}
+
+/// Parallel plan-based extension over raw slices: `table[i] *= msg[m(i)]`.
+/// Allocation-free.
+pub fn extend_multiply_plan_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    plan: &KernelPlan,
+    table: &mut [f64],
+    msg: &[f64],
+) {
+    debug_assert_eq!(table.len(), plan.sup_size());
+    debug_assert_eq!(msg.len(), plan.sub_size());
+    let ptr = SharedMut(table.as_mut_ptr());
+    pool.parallel_for_chunks(0..plan.sup_size(), sched, |start, end| {
+        // SAFETY: chunks are disjoint sub-ranges of the table.
+        let chunk = unsafe { ptr.range(start, end) };
+        plan.extend_multiply_range(chunk, msg, start);
+    });
+}
+
+/// Parallel plan-based extension-divide over raw slices with `0/0 = 0`.
+/// Allocation-free.
+pub fn extend_divide_plan_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    plan: &KernelPlan,
+    table: &mut [f64],
+    msg: &[f64],
+) {
+    debug_assert_eq!(table.len(), plan.sup_size());
+    debug_assert_eq!(msg.len(), plan.sub_size());
+    let ptr = SharedMut(table.as_mut_ptr());
+    pool.parallel_for_chunks(0..plan.sup_size(), sched, |start, end| {
+        // SAFETY: chunks are disjoint sub-ranges of the table.
+        let chunk = unsafe { ptr.range(start, end) };
+        plan.extend_divide_range(chunk, msg, start);
+    });
+}
+
+/// Parallel fused separator update: `ratio[t] = fresh[t] / sep[t]`
+/// (`0/0 = 0`) then `sep[t] = fresh[t]` — the parallel twin of
+/// [`crate::ops::sep_update`], bitwise identical to it (every entry is
+/// independent and written exactly once).
+pub fn sep_update_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    fresh: &[f64],
+    sep: &mut [f64],
+    ratio: &mut [f64],
+) {
+    debug_assert_eq!(fresh.len(), sep.len());
+    debug_assert_eq!(fresh.len(), ratio.len());
+    let sep_ptr = SharedMut(sep.as_mut_ptr());
+    let ratio_ptr = SharedMut(ratio.as_mut_ptr());
+    pool.parallel_for_chunks(0..fresh.len(), sched, |start, end| {
+        // SAFETY: chunks are disjoint sub-ranges of both outputs.
+        let sep_chunk = unsafe { sep_ptr.range(start, end) };
+        let ratio_chunk = unsafe { ratio_ptr.range(start, end) };
+        for ((&f, s), r) in fresh[start..end].iter().zip(sep_chunk).zip(ratio_chunk) {
+            *r = safe_div(f, *s);
+            *s = f;
+        }
+    });
+}
+
+/// Parallel slice-form reduction: zeroes entries inconsistent with
+/// `var = state`, given the variable's stride and cardinality in the
+/// slice's domain. One integer division per stride segment, not per
+/// entry. Allocation-free.
+pub fn reduce_evidence_slice_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    values: &mut [f64],
+    stride: usize,
+    card: usize,
+    state: usize,
+) {
+    debug_assert!(state < card);
+    let len = values.len();
+    let ptr = SharedMut(values.as_mut_ptr());
+    pool.parallel_for_chunks(0..len, sched, |start, end| {
+        let mut i = start;
+        while i < end {
+            let seg = i / stride; // which stride segment we are in
+            let seg_state = seg % card;
+            let seg_end = ((seg + 1) * stride).min(end);
+            if seg_state != state {
+                // SAFETY: [i, seg_end) ⊆ [start, end), this chunk's range.
+                unsafe { ptr.range(i, seg_end) }.fill(0.0);
+            }
+            i = seg_end;
+        }
+    });
+}
+
+/// Parallel marginalization over tables: compiles a transient plan and
+/// delegates to [`marginalize_plan_par`].
 pub fn marginalize_into_par(
     pool: &ThreadPool,
     sched: Schedule,
@@ -54,29 +176,11 @@ pub fn marginalize_into_par(
     out: &mut PotentialTable,
 ) {
     debug_assert!(out.domain().is_subdomain_of(src.domain()));
-    let fibers = fiber_offsets(src.domain(), out.domain());
-    let base_strides = embedding_strides(out.domain(), src.domain());
-    let out_domain = out.domain_arc().clone();
-    let src_values = src.values();
-    let out_ptr = SharedMut(out.values_mut().as_mut_ptr());
-    pool.parallel_for_chunks(0..out_domain.size(), sched, |start, end| {
-        let mut odo = Odometer::new(out_domain.cards(), &base_strides);
-        odo.seek(start);
-        // SAFETY: chunks are disjoint sub-ranges of the output.
-        let out_chunk = unsafe { out_ptr.range(start, end) };
-        for slot in out_chunk {
-            let base = odo.mapped();
-            let mut acc = 0.0;
-            for &off in &fibers {
-                acc += src_values[base + off];
-            }
-            *slot = acc;
-            odo.advance();
-        }
-    });
+    let plan = KernelPlan::new(src.domain(), out.domain());
+    marginalize_plan_par(pool, sched, &plan, src.values(), out.values_mut());
 }
 
-/// Parallel extension: `table[i] *= msg[m(i)]`.
+/// Parallel extension over tables: `table[i] *= msg[m(i)]`.
 pub fn extend_multiply_par(
     pool: &ThreadPool,
     sched: Schedule,
@@ -84,23 +188,11 @@ pub fn extend_multiply_par(
     msg: &PotentialTable,
 ) {
     debug_assert!(msg.domain().is_subdomain_of(table.domain()));
-    let domain = table.domain_arc().clone();
-    let strides = embedding_strides(&domain, msg.domain());
-    let msg_values = msg.values();
-    let ptr = SharedMut(table.values_mut().as_mut_ptr());
-    pool.parallel_for_chunks(0..domain.size(), sched, |start, end| {
-        let mut odo = Odometer::new(domain.cards(), &strides);
-        odo.seek(start);
-        // SAFETY: chunks are disjoint sub-ranges of the table.
-        let chunk = unsafe { ptr.range(start, end) };
-        for v in chunk {
-            *v *= msg_values[odo.mapped()];
-            odo.advance();
-        }
-    });
+    let plan = KernelPlan::new(table.domain(), msg.domain());
+    extend_multiply_plan_par(pool, sched, &plan, table.values_mut(), msg.values());
 }
 
-/// Parallel extension-divide with `0/0 = 0`.
+/// Parallel extension-divide over tables with `0/0 = 0`.
 pub fn extend_divide_par(
     pool: &ThreadPool,
     sched: Schedule,
@@ -108,20 +200,8 @@ pub fn extend_divide_par(
     msg: &PotentialTable,
 ) {
     debug_assert!(msg.domain().is_subdomain_of(table.domain()));
-    let domain = table.domain_arc().clone();
-    let strides = embedding_strides(&domain, msg.domain());
-    let msg_values = msg.values();
-    let ptr = SharedMut(table.values_mut().as_mut_ptr());
-    pool.parallel_for_chunks(0..domain.size(), sched, |start, end| {
-        let mut odo = Odometer::new(domain.cards(), &strides);
-        odo.seek(start);
-        // SAFETY: chunks are disjoint sub-ranges of the table.
-        let chunk = unsafe { ptr.range(start, end) };
-        for v in chunk {
-            *v = safe_div(*v, msg_values[odo.mapped()]);
-            odo.advance();
-        }
-    });
+    let plan = KernelPlan::new(table.domain(), msg.domain());
+    extend_divide_plan_par(pool, sched, &plan, table.values_mut(), msg.values());
 }
 
 /// Parallel same-domain element-wise division (`out = num / den`,
@@ -147,8 +227,8 @@ pub fn divide_into_par(
     });
 }
 
-/// Parallel reduction: zeroes entries inconsistent with `var = state`.
-/// One integer division per stride segment, not per entry.
+/// Parallel reduction over tables: zeroes entries inconsistent with
+/// `var = state`.
 pub fn reduce_evidence_par(
     pool: &ThreadPool,
     sched: Schedule,
@@ -158,22 +238,7 @@ pub fn reduce_evidence_par(
 ) {
     let stride = table.domain().stride_of(var);
     let card = table.domain().card_of(var);
-    debug_assert!(state < card);
-    let len = table.len();
-    let ptr = SharedMut(table.values_mut().as_mut_ptr());
-    pool.parallel_for_chunks(0..len, sched, |start, end| {
-        let mut i = start;
-        while i < end {
-            let seg = i / stride; // which stride segment we are in
-            let seg_state = seg % card;
-            let seg_end = ((seg + 1) * stride).min(end);
-            if seg_state != state {
-                // SAFETY: [i, seg_end) ⊆ [start, end), this chunk's range.
-                unsafe { ptr.range(i, seg_end) }.fill(0.0);
-            }
-            i = seg_end;
-        }
-    });
+    reduce_evidence_slice_par(pool, sched, table.values_mut(), stride, card, state);
 }
 
 /// Parallel sum of all entries (chunk-ordered fold: deterministic across
@@ -239,7 +304,28 @@ pub fn materialize_map_par(
     map
 }
 
-/// Element-engine pass 2 (extension): `table[i] *= msg[map[i]]`.
+/// Element-engine pass 2 (extension) over raw slices:
+/// `table[i] *= msg[map[i]]`. Allocation-free.
+pub fn extend_multiply_mapped_slice_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    table: &mut [f64],
+    msg: &[f64],
+    map: &[u32],
+) {
+    debug_assert_eq!(map.len(), table.len());
+    let len = table.len();
+    let ptr = SharedMut(table.as_mut_ptr());
+    pool.parallel_for_chunks(0..len, sched, |start, end| {
+        // SAFETY: chunks are disjoint sub-ranges of the table.
+        let chunk = unsafe { ptr.range(start, end) };
+        for (i, v) in (start..end).zip(chunk) {
+            *v *= msg[map[i] as usize];
+        }
+    });
+}
+
+/// Element-engine pass 2 (extension) over tables.
 pub fn extend_multiply_mapped_par(
     pool: &ThreadPool,
     sched: Schedule,
@@ -247,22 +333,38 @@ pub fn extend_multiply_mapped_par(
     msg: &PotentialTable,
     map: &[u32],
 ) {
-    debug_assert_eq!(map.len(), table.len());
-    let msg_values = msg.values();
-    let len = table.len();
-    let ptr = SharedMut(table.values_mut().as_mut_ptr());
+    extend_multiply_mapped_slice_par(pool, sched, table.values_mut(), msg.values(), map);
+}
+
+/// Element-engine pass 2 (marginalization) over raw slices:
+/// `out[t] = Σ_f src[bases[t] + fibers[f]]`, with `bases` produced by
+/// [`materialize_map_par`] over `(target → source)`. Allocation-free.
+pub fn marginalize_mapped_slice_par(
+    pool: &ThreadPool,
+    sched: Schedule,
+    src: &[f64],
+    out: &mut [f64],
+    bases: &[u32],
+    fibers: &[usize],
+) {
+    debug_assert_eq!(bases.len(), out.len());
+    let len = out.len();
+    let ptr = SharedMut(out.as_mut_ptr());
     pool.parallel_for_chunks(0..len, sched, |start, end| {
-        // SAFETY: chunks are disjoint sub-ranges of the table.
+        // SAFETY: chunks are disjoint sub-ranges of the output.
         let chunk = unsafe { ptr.range(start, end) };
-        for (i, v) in (start..end).zip(chunk) {
-            *v *= msg_values[map[i] as usize];
+        for (t, slot) in (start..end).zip(chunk) {
+            let base = bases[t] as usize;
+            let mut acc = 0.0;
+            for &off in fibers {
+                acc += src[base + off];
+            }
+            *slot = acc;
         }
     });
 }
 
-/// Element-engine pass 2 (marginalization): `out[t] = Σ_f src[bases[t] +
-/// fibers[f]]`, with `bases` produced by [`materialize_map_par`] over
-/// `(target → source)`.
+/// Element-engine pass 2 (marginalization) over tables.
 pub fn marginalize_mapped_par(
     pool: &ThreadPool,
     sched: Schedule,
@@ -271,28 +373,13 @@ pub fn marginalize_mapped_par(
     bases: &[u32],
     fibers: &[usize],
 ) {
-    debug_assert_eq!(bases.len(), out.len());
-    let src_values = src.values();
-    let len = out.len();
-    let ptr = SharedMut(out.values_mut().as_mut_ptr());
-    pool.parallel_for_chunks(0..len, sched, |start, end| {
-        // SAFETY: chunks are disjoint sub-ranges of the output.
-        let chunk = unsafe { ptr.range(start, end) };
-        for (t, slot) in (start..end).zip(chunk) {
-            let base = bases[t] as usize;
-            let mut acc = 0.0;
-            for &off in fibers {
-                acc += src_values[base + off];
-            }
-            *slot = acc;
-        }
-    });
+    marginalize_mapped_slice_par(pool, sched, src.values(), out.values_mut(), bases, fibers);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::index_map::materialize_map;
+    use crate::index_map::{fiber_offsets, materialize_map};
     use crate::ops;
     use std::sync::Arc;
 
@@ -391,6 +478,29 @@ mod tests {
     }
 
     #[test]
+    fn sep_update_par_matches_seq() {
+        let n = 37usize;
+        let fresh: Vec<f64> = (0..n)
+            .map(|i| if i % 5 == 0 { 0.0 } else { i as f64 })
+            .collect();
+        let sep0: Vec<f64> = (0..n)
+            .map(|i| if i % 5 == 0 { 0.0 } else { (i + 2) as f64 })
+            .collect();
+        let mut seq_sep = sep0.clone();
+        let mut seq_ratio = vec![f64::NAN; n];
+        ops::sep_update(&fresh, &mut seq_sep, &mut seq_ratio);
+        for pool in pools() {
+            for sched in schedules() {
+                let mut sep = sep0.clone();
+                let mut ratio = vec![f64::NAN; n];
+                sep_update_par(&pool, sched, &fresh, &mut sep, &mut ratio);
+                assert_eq!(sep, seq_sep, "{sched:?}");
+                assert_eq!(ratio, seq_ratio, "{sched:?}");
+            }
+        }
+    }
+
+    #[test]
     fn reduce_evidence_par_matches_seq() {
         for (var, state) in [(VarId(0), 1usize), (VarId(1), 0), (VarId(2), 3)] {
             let d = dom(&[(0, 2), (1, 3), (2, 4)]);
@@ -470,5 +580,34 @@ mod tests {
         let mut got = PotentialTable::zeros(sub);
         marginalize_mapped_par(&pool, sched, &src, &mut got, &bases, &fibers);
         assert_eq!(got.values(), expect.values());
+    }
+
+    #[test]
+    fn plan_par_entry_points_match_table_forms() {
+        let sup = dom(&[(0, 3), (1, 2), (2, 2), (3, 3)]);
+        let sub = dom(&[(1, 2), (2, 2)]);
+        let plan = KernelPlan::new(&sup, &sub);
+        let src = pseudo_random_table(sup.clone(), 10);
+        let msg = pseudo_random_table(sub.clone(), 11);
+        let pool = ThreadPool::new(4);
+        let sched = Schedule::Dynamic { grain: 3 };
+
+        let mut expect_marg = PotentialTable::zeros(sub.clone());
+        ops::marginalize_into(&src, &mut expect_marg);
+        let mut got = vec![f64::NAN; sub.size()];
+        marginalize_plan_par(&pool, sched, &plan, src.values(), &mut got);
+        assert_eq!(&got[..], expect_marg.values());
+
+        let mut expect_mul = src.clone();
+        ops::extend_multiply(&mut expect_mul, &msg);
+        let mut table = src.values().to_vec();
+        extend_multiply_plan_par(&pool, sched, &plan, &mut table, msg.values());
+        assert_eq!(&table[..], expect_mul.values());
+
+        let mut expect_div = src.clone();
+        ops::extend_divide(&mut expect_div, &msg);
+        let mut table = src.values().to_vec();
+        extend_divide_plan_par(&pool, sched, &plan, &mut table, msg.values());
+        assert_eq!(&table[..], expect_div.values());
     }
 }

@@ -1,0 +1,634 @@
+//! Precompiled kernel plans: everything the table ops of [`crate::ops`]
+//! used to re-derive per call — embedding strides, fiber offsets, and a
+//! layout classification — computed **once** per (source domain, target
+//! domain) pair and replayed allocation-free ever after.
+//!
+//! A [`KernelPlan`] is directional: it maps a *superdomain* table (the
+//! clique) onto a *subdomain* table (the separator or message). One plan
+//! serves every op over that pair — marginalization, max-marginalization,
+//! extension-multiply/divide, and the fused collect kernel
+//! [`multiply_marginalize`].
+//!
+//! # Layout taxonomy
+//!
+//! Domains are row-major with the **last** (highest-id) variable fastest,
+//! and variable lists are strictly ascending. That makes two common cases
+//! detectable from the variable lists alone:
+//!
+//! * [`Layout::InnerBlock`] — the subdomain's variables are exactly the
+//!   *suffix* (fastest block) of the superdomain. The mapped index is
+//!   `i % sub_size`, so marginalization is a blocked stride-1 sum
+//!   (`out[t] += src[b·sub + t]`, autovectorizable) and extension is a
+//!   per-block element-wise multiply.
+//! * [`Layout::OuterBlock`] — the subdomain's variables are exactly the
+//!   *prefix* (slowest block). The mapped index is `i / fiber_len`, so
+//!   marginalization sums contiguous slices and extension broadcasts one
+//!   scalar per slice.
+//! * [`Layout::Identity`] — same domain: copy / element-wise.
+//! * [`Layout::Generic`] — scattered variables: incremental odometer
+//!   stepping, with the digit array held **inline on the stack** so the
+//!   generic path allocates nothing either.
+//!
+//! # Bit-identity
+//!
+//! Every fast path preserves the repo-wide determinism contract: each
+//! output slot's f64 addition chain visits its source entries in ascending
+//! source index. For `InnerBlock`, the blocked loop adds `src[b·sub + t]`
+//! to `out[t]` in ascending `b` — exactly the ascending fiber order of the
+//! generic path. For `OuterBlock`, the contiguous slice sum is literally
+//! the ascending-source scan. Extension writes each entry exactly once, so
+//! only the product operands matter, and they are identical across paths.
+
+use crate::domain::Domain;
+use crate::index_map::{embedding_strides, fiber_offsets};
+use crate::ops::safe_div;
+
+/// Upper bound on superdomain variables for the inline odometer digits.
+/// A table over more than 32 discrete variables has at least 2³³ entries
+/// (≥ 64 GiB of f64), far beyond anything this engine targets, so the
+/// bound is enforced with a hard assert rather than a heap fallback.
+pub const MAX_PLAN_VARS: usize = 32;
+
+/// How the subdomain's variables sit inside the superdomain's memory
+/// layout — selects the kernel fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Sub and sup are the same domain: marginalize = copy, extend =
+    /// element-wise.
+    Identity,
+    /// Sub is the fastest-varying (suffix) block: `mapped(i) = i % sub`.
+    InnerBlock,
+    /// Sub is the slowest-varying (prefix) block: `mapped(i) = i / fiber`,
+    /// with `fiber = sup_size / sub_size` consecutive entries per slot.
+    OuterBlock {
+        /// Number of consecutive superdomain entries sharing one
+        /// subdomain slot.
+        fiber_len: usize,
+    },
+    /// Scattered variables: incremental mixed-radix odometer stepping.
+    Generic,
+}
+
+/// A precompiled (superdomain → subdomain) index mapping with all derived
+/// arrays and the layout classification. Build once (allocates), execute
+/// forever (allocation-free).
+#[derive(Debug, Clone)]
+pub struct KernelPlan {
+    /// Cardinalities of the superdomain (odometer radices).
+    sup_cards: Box<[usize]>,
+    /// Cardinalities of the subdomain (output-walk radices).
+    sub_cards: Box<[usize]>,
+    /// Per-sup-variable stride in the subdomain (0 if absent): walking the
+    /// sup with these yields `mapped(i)` — the extension mapping.
+    ext_strides: Box<[usize]>,
+    /// Per-sub-variable stride in the superdomain: walking the sub with
+    /// these yields each output slot's base source index.
+    base_strides: Box<[usize]>,
+    /// Ascending source offsets of the summed-out completions; each output
+    /// slot's value is `Σ src[base + fibers[k]]`.
+    fibers: Box<[usize]>,
+    sup_size: usize,
+    sub_size: usize,
+    layout: Layout,
+}
+
+impl KernelPlan {
+    /// Compiles the plan for mapping `sup` tables onto `sub` tables.
+    /// `sub` must be a subdomain of `sup`.
+    pub fn new(sup: &Domain, sub: &Domain) -> Self {
+        assert!(
+            sub.is_subdomain_of(sup),
+            "kernel plan target must be a subdomain of the source"
+        );
+        assert!(
+            sup.num_vars() <= MAX_PLAN_VARS,
+            "table scope exceeds {MAX_PLAN_VARS} variables (≥ 2^33 entries)"
+        );
+        let layout = classify(sup, sub);
+        KernelPlan {
+            sup_cards: sup.cards().into(),
+            sub_cards: sub.cards().into(),
+            ext_strides: embedding_strides(sup, sub).into(),
+            base_strides: embedding_strides(sub, sup).into(),
+            fibers: fiber_offsets(sup, sub).into(),
+            sup_size: sup.size(),
+            sub_size: sub.size(),
+            layout,
+        }
+    }
+
+    /// Superdomain table size.
+    #[inline]
+    pub fn sup_size(&self) -> usize {
+        self.sup_size
+    }
+
+    /// Subdomain table size.
+    #[inline]
+    pub fn sub_size(&self) -> usize {
+        self.sub_size
+    }
+
+    /// The layout classification this plan dispatches on.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Superdomain cardinalities (odometer radices for source walks).
+    #[inline]
+    pub fn sup_cards(&self) -> &[usize] {
+        &self.sup_cards
+    }
+
+    /// Subdomain cardinalities (odometer radices for output walks).
+    #[inline]
+    pub fn sub_cards(&self) -> &[usize] {
+        &self.sub_cards
+    }
+
+    /// Per-sup-variable strides in the subdomain (the extension mapping).
+    #[inline]
+    pub fn ext_strides(&self) -> &[usize] {
+        &self.ext_strides
+    }
+
+    /// Per-sub-variable strides in the superdomain (output-walk bases).
+    #[inline]
+    pub fn base_strides(&self) -> &[usize] {
+        &self.base_strides
+    }
+
+    /// Ascending source offsets of the summed-out completions.
+    #[inline]
+    pub fn fibers(&self) -> &[usize] {
+        &self.fibers
+    }
+
+    /// Marginalization: `out[m(i)] += src[i]`, `out` overwritten. Each
+    /// output slot accumulates its fiber in ascending source order.
+    pub fn marginalize(&self, src: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(src.len(), self.sup_size);
+        debug_assert_eq!(out.len(), self.sub_size);
+        match self.layout {
+            Layout::Identity => out.copy_from_slice(src),
+            Layout::InnerBlock => {
+                out.fill(0.0);
+                let sub = self.sub_size;
+                for block in src.chunks_exact(sub) {
+                    // Stride-1 over both operands: autovectorizes. Ascending
+                    // blocks = ascending source order per output slot.
+                    for (slot, &v) in out.iter_mut().zip(block) {
+                        *slot += v;
+                    }
+                }
+            }
+            Layout::OuterBlock { fiber_len } => {
+                for (slot, fiber) in out.iter_mut().zip(src.chunks_exact(fiber_len)) {
+                    let mut acc = 0.0;
+                    for &v in fiber {
+                        acc += v;
+                    }
+                    *slot = acc;
+                }
+            }
+            Layout::Generic => {
+                out.fill(0.0);
+                let mut odo = InlineOdometer::new(&self.sup_cards, &self.ext_strides);
+                for &v in src {
+                    out[odo.mapped()] += v;
+                    odo.advance();
+                }
+            }
+        }
+    }
+
+    /// Per-output-slot marginalization over the slot range `[lo, hi)`:
+    /// calls `f(t, value)` for each target slot `t`. Bit-identical to
+    /// [`KernelPlan::marginalize`] (each slot sums its fiber in ascending
+    /// source order); this is the chunkable form the parallel kernels and
+    /// the hybrid engine's flattened sep phase consume.
+    #[inline]
+    pub fn marginalize_fold(
+        &self,
+        src: &[f64],
+        lo: usize,
+        hi: usize,
+        mut f: impl FnMut(usize, f64),
+    ) {
+        debug_assert!(hi <= self.sub_size);
+        match self.layout {
+            Layout::Identity => {
+                for (t, &v) in src.iter().enumerate().take(hi).skip(lo) {
+                    f(t, v);
+                }
+            }
+            Layout::OuterBlock { fiber_len } => {
+                for t in lo..hi {
+                    let fiber = &src[t * fiber_len..(t + 1) * fiber_len];
+                    let mut acc = 0.0;
+                    for &v in fiber {
+                        acc += v;
+                    }
+                    f(t, acc);
+                }
+            }
+            _ => {
+                let mut odo = InlineOdometer::new(&self.sub_cards, &self.base_strides);
+                odo.seek(lo);
+                for t in lo..hi {
+                    let base = odo.mapped();
+                    let mut acc = 0.0;
+                    for &off in self.fibers.iter() {
+                        acc += src[base + off];
+                    }
+                    f(t, acc);
+                    odo.advance();
+                }
+            }
+        }
+    }
+
+    /// Max-marginalization: `out[m(i)] = max(out[m(i)], src[i])`, `out`
+    /// overwritten (initialized to `-inf`).
+    pub fn max_marginalize(&self, src: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(src.len(), self.sup_size);
+        debug_assert_eq!(out.len(), self.sub_size);
+        if self.layout == Layout::Identity {
+            out.copy_from_slice(src);
+            return;
+        }
+        out.fill(f64::NEG_INFINITY);
+        let mut odo = InlineOdometer::new(&self.sup_cards, &self.ext_strides);
+        for &v in src {
+            let slot = &mut out[odo.mapped()];
+            if v > *slot {
+                *slot = v;
+            }
+            odo.advance();
+        }
+    }
+
+    /// Extension-multiply: `table[i] *= msg[m(i)]`.
+    pub fn extend_multiply(&self, table: &mut [f64], msg: &[f64]) {
+        debug_assert_eq!(table.len(), self.sup_size);
+        debug_assert_eq!(msg.len(), self.sub_size);
+        match self.layout {
+            Layout::Identity => {
+                for (v, &m) in table.iter_mut().zip(msg) {
+                    *v *= m;
+                }
+            }
+            Layout::InnerBlock => {
+                for block in table.chunks_exact_mut(self.sub_size) {
+                    for (v, &m) in block.iter_mut().zip(msg) {
+                        *v *= m;
+                    }
+                }
+            }
+            Layout::OuterBlock { fiber_len } => {
+                for (fiber, &m) in table.chunks_exact_mut(fiber_len).zip(msg) {
+                    for v in fiber {
+                        *v *= m;
+                    }
+                }
+            }
+            Layout::Generic => {
+                let mut odo = InlineOdometer::new(&self.sup_cards, &self.ext_strides);
+                for v in table {
+                    *v *= msg[odo.mapped()];
+                    odo.advance();
+                }
+            }
+        }
+    }
+
+    /// Extension-divide with the Hugin `0/0 = 0` convention.
+    pub fn extend_divide(&self, table: &mut [f64], msg: &[f64]) {
+        debug_assert_eq!(table.len(), self.sup_size);
+        debug_assert_eq!(msg.len(), self.sub_size);
+        let mut odo = InlineOdometer::new(&self.sup_cards, &self.ext_strides);
+        for v in table {
+            *v = safe_div(*v, msg[odo.mapped()]);
+            odo.advance();
+        }
+    }
+
+    /// Chunked extension-multiply: applies `table[lo + j] *= msg[m(lo + j)]`
+    /// to `chunk = &mut table[lo..hi]`. Parallel callers hand each worker a
+    /// disjoint chunk; results are bitwise equal to the full-table form
+    /// because each entry is written exactly once.
+    #[inline]
+    pub fn extend_multiply_range(&self, chunk: &mut [f64], msg: &[f64], lo: usize) {
+        self.extend_range_apply(chunk, msg, lo, |v, m| *v *= m);
+    }
+
+    /// Chunked extension-divide (`0/0 = 0`); see
+    /// [`KernelPlan::extend_multiply_range`].
+    #[inline]
+    pub fn extend_divide_range(&self, chunk: &mut [f64], msg: &[f64], lo: usize) {
+        self.extend_range_apply(chunk, msg, lo, |v, m| *v = safe_div(*v, m));
+    }
+
+    #[inline]
+    fn extend_range_apply(
+        &self,
+        chunk: &mut [f64],
+        msg: &[f64],
+        lo: usize,
+        mut apply: impl FnMut(&mut f64, f64),
+    ) {
+        debug_assert!(lo + chunk.len() <= self.sup_size);
+        match self.layout {
+            Layout::Identity => {
+                for (v, &m) in chunk.iter_mut().zip(&msg[lo..]) {
+                    apply(v, m);
+                }
+            }
+            Layout::InnerBlock => {
+                let sub = self.sub_size;
+                let mut m = lo % sub;
+                for v in chunk {
+                    apply(v, msg[m]);
+                    m += 1;
+                    if m == sub {
+                        m = 0;
+                    }
+                }
+            }
+            Layout::OuterBlock { fiber_len } => {
+                let mut t = lo / fiber_len;
+                let mut left = fiber_len - lo % fiber_len;
+                for v in chunk {
+                    apply(v, msg[t]);
+                    left -= 1;
+                    if left == 0 {
+                        t += 1;
+                        left = fiber_len;
+                    }
+                }
+            }
+            Layout::Generic => {
+                let mut odo = InlineOdometer::new(&self.sup_cards, &self.ext_strides);
+                odo.seek(lo);
+                for v in chunk {
+                    apply(v, msg[odo.mapped()]);
+                    odo.advance();
+                }
+            }
+        }
+    }
+}
+
+/// The fused collect kernel: in one pass over the clique,
+/// `table[i] *= msg[mul(i)]` and `out[marg(i)] += table[i]` — the
+/// extension of a pending separator ratio folded into the next outgoing
+/// marginalization, so the fully-extended clique is never materialized in
+/// a separate sweep.
+///
+/// `mul` and `marg` must be plans over the **same superdomain** (the
+/// clique); `msg` lives on `mul`'s subdomain, `out` (overwritten) on
+/// `marg`'s.
+///
+/// Bit-identity: the products `table[i] · msg[mul(i)]` are exactly the
+/// values the unfused `extend_multiply`-then-`marginalize` pair computes,
+/// and each output slot still accumulates them in ascending source index
+/// — so the fused result is bitwise equal to the two-pass result, for both
+/// the updated clique and the outgoing message. That equality is also
+/// what licenses the internal dispatch: when either plan has a fast
+/// (non-[`Layout::Generic`]) layout, the two vectorizable passes beat one
+/// fused double-odometer walk (the `kernels` microbench measures ~7× on
+/// blocked layouts), so this function runs them instead; the single
+/// fused pass is kept for the generic/generic case, where saving a full
+/// clique traversal is what wins.
+pub fn multiply_marginalize(
+    mul: &KernelPlan,
+    marg: &KernelPlan,
+    table: &mut [f64],
+    msg: &[f64],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(mul.sup_size, marg.sup_size, "plans must share a clique");
+    debug_assert_eq!(table.len(), mul.sup_size);
+    debug_assert_eq!(msg.len(), mul.sub_size);
+    debug_assert_eq!(out.len(), marg.sub_size);
+    if mul.layout != Layout::Generic || marg.layout != Layout::Generic {
+        mul.extend_multiply(table, msg);
+        marg.marginalize(table, out);
+        return;
+    }
+    out.fill(0.0);
+    let mut mul_odo = InlineOdometer::new(&mul.sup_cards, &mul.ext_strides);
+    let mut marg_odo = InlineOdometer::new(&marg.sup_cards, &marg.ext_strides);
+    for v in table {
+        *v *= msg[mul_odo.mapped()];
+        out[marg_odo.mapped()] += *v;
+        mul_odo.advance();
+        marg_odo.advance();
+    }
+}
+
+/// Mixed-radix odometer with **inline** digit storage — the allocation-free
+/// twin of [`crate::index_map::Odometer`] used inside plan execution.
+/// Capacity is [`MAX_PLAN_VARS`]; plan construction enforces the bound.
+struct InlineOdometer<'a> {
+    cards: &'a [usize],
+    strides: &'a [usize],
+    digits: [usize; MAX_PLAN_VARS],
+    mapped: usize,
+}
+
+impl<'a> InlineOdometer<'a> {
+    #[inline]
+    fn new(cards: &'a [usize], strides: &'a [usize]) -> Self {
+        debug_assert_eq!(cards.len(), strides.len());
+        debug_assert!(cards.len() <= MAX_PLAN_VARS);
+        InlineOdometer {
+            cards,
+            strides,
+            digits: [0; MAX_PLAN_VARS],
+            mapped: 0,
+        }
+    }
+
+    /// Jumps to flat position `idx` (one mixed-radix decode).
+    #[inline]
+    fn seek(&mut self, idx: usize) {
+        let mut rest = idx;
+        self.mapped = 0;
+        for i in (0..self.cards.len()).rev() {
+            self.digits[i] = rest % self.cards[i];
+            rest /= self.cards[i];
+            self.mapped += self.digits[i] * self.strides[i];
+        }
+        debug_assert_eq!(rest, 0, "seek past end of domain");
+    }
+
+    #[inline]
+    fn mapped(&self) -> usize {
+        self.mapped
+    }
+
+    #[inline]
+    fn advance(&mut self) {
+        let mut i = self.cards.len();
+        loop {
+            if i == 0 {
+                return; // wrapped past the last assignment
+            }
+            i -= 1;
+            self.digits[i] += 1;
+            self.mapped += self.strides[i];
+            if self.digits[i] < self.cards[i] {
+                return;
+            }
+            self.mapped -= self.strides[i] * self.cards[i];
+            self.digits[i] = 0;
+        }
+    }
+}
+
+/// Classifies how `sub`'s variables sit inside `sup`'s layout. Both
+/// variable lists are strictly ascending, so a subset that forms a
+/// contiguous suffix (prefix) of the list is automatically in matching
+/// order — position comparison suffices.
+fn classify(sup: &Domain, sub: &Domain) -> Layout {
+    let (sv, bv) = (sup.vars(), sub.vars());
+    if sv == bv {
+        return Layout::Identity;
+    }
+    if sv[sv.len() - bv.len()..] == *bv {
+        return Layout::InnerBlock;
+    }
+    if sv[..bv.len()] == *bv {
+        return Layout::OuterBlock {
+            fiber_len: sup.size() / sub.size(),
+        };
+    }
+    Layout::Generic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbn_bayesnet::VarId;
+
+    fn dom(pairs: &[(u32, usize)]) -> Domain {
+        Domain::new(pairs.iter().map(|&(v, c)| (VarId(v), c)).collect())
+    }
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i + 1) as f64).collect()
+    }
+
+    #[test]
+    fn classification_covers_all_cases() {
+        let sup = dom(&[(0, 2), (1, 3), (2, 2), (3, 2)]);
+        let same = KernelPlan::new(&sup, &sup);
+        assert_eq!(same.layout(), Layout::Identity);
+        let inner = KernelPlan::new(&sup, &dom(&[(2, 2), (3, 2)]));
+        assert_eq!(inner.layout(), Layout::InnerBlock);
+        let outer = KernelPlan::new(&sup, &dom(&[(0, 2), (1, 3)]));
+        assert_eq!(outer.layout(), Layout::OuterBlock { fiber_len: 4 });
+        let scattered = KernelPlan::new(&sup, &dom(&[(1, 3), (3, 2)]));
+        assert_eq!(scattered.layout(), Layout::Generic);
+        // Scalar target: the empty suffix rule wins, block size 1.
+        let scalar = KernelPlan::new(&sup, &Domain::scalar());
+        assert_eq!(scalar.layout(), Layout::InnerBlock);
+        assert_eq!(scalar.sub_size(), 1);
+    }
+
+    #[test]
+    fn fast_paths_match_generic_bitwise() {
+        // Force every layout through the generic odometer by comparing
+        // against a plan whose classification is overridden.
+        let sup = dom(&[(0, 2), (1, 3), (2, 2), (3, 2)]);
+        for sub in [
+            dom(&[(2, 2), (3, 2)]),
+            dom(&[(0, 2), (1, 3)]),
+            dom(&[(0, 2), (3, 2)]),
+            sup.clone(),
+            Domain::scalar(),
+        ] {
+            let plan = KernelPlan::new(&sup, &sub);
+            let mut generic = plan.clone();
+            generic.layout = Layout::Generic;
+
+            let src = ramp(sup.size());
+            let msg: Vec<f64> = (0..sub.size()).map(|i| 0.25 * (i + 1) as f64).collect();
+
+            let mut fast = vec![f64::NAN; sub.size()];
+            let mut slow = vec![f64::NAN; sub.size()];
+            plan.marginalize(&src, &mut fast);
+            generic.marginalize(&src, &mut slow);
+            assert_eq!(fast, slow, "marginalize {:?}", plan.layout());
+
+            let mut folded = vec![f64::NAN; sub.size()];
+            plan.marginalize_fold(&src, 0, sub.size(), |t, v| folded[t] = v);
+            assert_eq!(folded, slow, "fold {:?}", plan.layout());
+
+            let mut a = src.clone();
+            let mut b = src.clone();
+            plan.extend_multiply(&mut a, &msg);
+            generic.extend_multiply(&mut b, &msg);
+            assert_eq!(a, b, "extend {:?}", plan.layout());
+
+            // Range form, split at an awkward boundary.
+            let mut c = src.clone();
+            let mid = sup.size() / 3;
+            let (left, right) = c.split_at_mut(mid);
+            plan.extend_multiply_range(left, &msg, 0);
+            plan.extend_multiply_range(right, &msg, mid);
+            assert_eq!(c, b, "extend range {:?}", plan.layout());
+        }
+    }
+
+    #[test]
+    fn fused_kernel_equals_two_pass() {
+        let sup = dom(&[(0, 2), (1, 3), (2, 2)]);
+        let mul_sub = dom(&[(1, 3)]);
+        let marg_sub = dom(&[(0, 2), (2, 2)]);
+        let mul = KernelPlan::new(&sup, &mul_sub);
+        let marg = KernelPlan::new(&sup, &marg_sub);
+        let msg = [2.0, 0.5, 1.5];
+
+        let mut fused_table = ramp(sup.size());
+        let mut fused_out = vec![f64::NAN; marg_sub.size()];
+        multiply_marginalize(&mul, &marg, &mut fused_table, &msg, &mut fused_out);
+
+        let mut two_pass = ramp(sup.size());
+        mul.extend_multiply(&mut two_pass, &msg);
+        let mut out = vec![f64::NAN; marg_sub.size()];
+        marg.marginalize(&two_pass, &mut out);
+
+        assert_eq!(fused_table, two_pass);
+        assert_eq!(fused_out, out);
+    }
+
+    #[test]
+    fn max_marginalize_matches_reference() {
+        let sup = dom(&[(0, 2), (1, 3), (2, 2)]);
+        let sub = dom(&[(1, 3)]);
+        let plan = KernelPlan::new(&sup, &sub);
+        let src: Vec<f64> = (0..sup.size()).map(|i| ((i * 7) % 11) as f64).collect();
+        let mut got = vec![0.0; sub.size()];
+        plan.max_marginalize(&src, &mut got);
+        let mut want = vec![f64::NEG_INFINITY; sub.size()];
+        let mut odo = InlineOdometer::new(plan.sup_cards(), plan.ext_strides());
+        for &v in &src {
+            if v > want[odo.mapped()] {
+                want[odo.mapped()] = v;
+            }
+            odo.advance();
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "subdomain")]
+    fn non_subdomain_target_rejected() {
+        let sup = dom(&[(0, 2), (1, 2)]);
+        let other = dom(&[(5, 2)]);
+        KernelPlan::new(&sup, &other);
+    }
+}

@@ -1,0 +1,244 @@
+//! Seeded property sweep for [`KernelPlan`]: every plan kernel, on
+//! random (superdomain, subdomain) pairs covering the whole layout
+//! taxonomy, must be **bitwise** equal to a per-entry decode-and-project
+//! reference — the contract the engines' bit-identity suites stand on.
+//! (The build environment has no proptest; this is the seeded-sweep
+//! equivalent.)
+
+use fastbn_bayesnet::VarId;
+use fastbn_potential::{multiply_marginalize, Domain, KernelPlan, Layout};
+
+/// Minimal deterministic generator (xorshift64*) for test data.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng(seed.wrapping_mul(0x9E3779B97F4A7C15).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A random superdomain of 2..=6 variables, cards 2..=5, ids drawn
+/// sparsely from 0..14 so scopes have gaps like real clique scopes.
+fn random_sup(rng: &mut TestRng) -> Domain {
+    let num_vars = 2 + rng.below(5);
+    let mut ids: Vec<u32> = (0..14).collect();
+    for i in 0..num_vars {
+        let j = i + rng.below(14 - i);
+        ids.swap(i, j);
+    }
+    let mut chosen: Vec<u32> = ids[..num_vars].to_vec();
+    chosen.sort_unstable();
+    Domain::new(
+        chosen
+            .into_iter()
+            .map(|v| (VarId(v), 2 + rng.below(4)))
+            .collect(),
+    )
+}
+
+/// A subdomain of `sup` chosen to exercise every layout class: scope
+/// suffixes (`InnerBlock`), prefixes (`OuterBlock`), the full scope
+/// (`Identity`), scattered subsets and the empty/scalar scope.
+fn random_sub(rng: &mut TestRng, sup: &Domain) -> Domain {
+    let n = sup.num_vars();
+    let pick: Vec<usize> = match rng.below(5) {
+        0 => (0..n).collect(),                        // Identity
+        1 => (n - 1 - rng.below(n - 1)..n).collect(), // proper suffix
+        2 => (0..1 + rng.below(n - 1)).collect(),     // proper prefix
+        3 => Vec::new(),                              // scalar target
+        _ => {
+            // Scattered subset (may happen to be a prefix/suffix — the
+            // classification, not the choice, decides the layout).
+            let mut v: Vec<usize> = (0..n).filter(|_| rng.below(2) == 0).collect();
+            if v.is_empty() {
+                v.push(rng.below(n));
+            }
+            v
+        }
+    };
+    Domain::new(
+        pick.iter()
+            .map(|&p| (sup.vars()[p], sup.cards()[p]))
+            .collect(),
+    )
+}
+
+fn random_values(rng: &mut TestRng, n: usize) -> Vec<f64> {
+    // Mix of magnitudes and exact zeros (zeros exercise safe division
+    // paths downstream and make reassociation visible).
+    (0..n)
+        .map(|_| match rng.below(8) {
+            0 => 0.0,
+            1 => rng.f64() * 1e6,
+            _ => rng.f64(),
+        })
+        .collect()
+}
+
+/// Per-entry reference mapping: flat `sup` index → flat `sub` index, via
+/// full decode and project (what the plans' `ext_strides` precompute).
+fn mapped_index(sup: &Domain, sub: &Domain, idx: usize) -> usize {
+    let mut states = vec![0usize; sup.num_vars()];
+    sup.decode(idx, &mut states);
+    sub.vars()
+        .iter()
+        .enumerate()
+        .map(|(pos, &v)| states[sup.position_of(v).unwrap()] * sub.strides()[pos])
+        .sum()
+}
+
+#[test]
+fn plan_kernels_match_decode_reference_bitwise() {
+    let mut seen = [false; 4]; // Identity, InnerBlock, OuterBlock, Generic
+    for seed in 0..200u64 {
+        let mut rng = TestRng::new(seed + 1);
+        let sup = random_sup(&mut rng);
+        let sub = random_sub(&mut rng, &sup);
+        let plan = KernelPlan::new(&sup, &sub);
+        seen[match plan.layout() {
+            Layout::Identity => 0,
+            Layout::InnerBlock => 1,
+            Layout::OuterBlock { .. } => 2,
+            Layout::Generic => 3,
+        }] = true;
+
+        let map: Vec<usize> = (0..sup.size())
+            .map(|i| mapped_index(&sup, &sub, i))
+            .collect();
+        let table = random_values(&mut rng, sup.size());
+        let msg = random_values(&mut rng, sub.size());
+
+        // marginalize: ascending-source accumulation per output slot.
+        let mut got = vec![0.0; sub.size()];
+        plan.marginalize(&table, &mut got);
+        let mut want = vec![0.0; sub.size()];
+        for (i, &v) in table.iter().enumerate() {
+            want[map[i]] += v;
+        }
+        assert_bits(&got, &want, "marginalize", seed);
+
+        // marginalize_fold over a random sub-range must agree with the
+        // full kernel on that range (the parallel chunking contract).
+        let lo = rng.below(sub.size());
+        let hi = lo + 1 + rng.below(sub.size() - lo);
+        let mut folded = vec![f64::NAN; hi - lo];
+        plan.marginalize_fold(&table, lo, hi, |t, acc| folded[t - lo] = acc);
+        assert_bits(&folded, &want[lo..hi], "marginalize_fold", seed);
+
+        // max_marginalize: same mapping, max instead of sum.
+        let mut got = vec![0.0; sub.size()];
+        plan.max_marginalize(&table, &mut got);
+        let mut want = vec![f64::NEG_INFINITY; sub.size()];
+        for (i, &v) in table.iter().enumerate() {
+            if v > want[map[i]] {
+                want[map[i]] = v;
+            }
+        }
+        assert_bits(&got, &want, "max_marginalize", seed);
+
+        // extend_multiply / extend_divide (full and chunked range forms).
+        let mut got = table.clone();
+        plan.extend_multiply(&mut got, &msg);
+        let want: Vec<f64> = table
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * msg[map[i]])
+            .collect();
+        assert_bits(&got, &want, "extend_multiply", seed);
+
+        // extend_divide holds the Hugin invariant (0 only ever divides
+        // 0), so zero the table wherever the mapped divisor is zero —
+        // this is exactly the state propagation produces, and it drives
+        // the 0/0 → 0 branch.
+        let table_div: Vec<f64> = table
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if msg[map[i]] == 0.0 { 0.0 } else { v })
+            .collect();
+        let mut got = table_div.clone();
+        plan.extend_divide(&mut got, &msg);
+        let want_div: Vec<f64> = table_div
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if msg[map[i]] == 0.0 {
+                    0.0
+                } else {
+                    v / msg[map[i]]
+                }
+            })
+            .collect();
+        assert_bits(&got, &want_div, "extend_divide", seed);
+
+        let lo = rng.below(sup.size());
+        let hi = lo + 1 + rng.below(sup.size() - lo);
+        let mut chunk = table[lo..hi].to_vec();
+        plan.extend_multiply_range(&mut chunk, &msg, lo);
+        assert_bits(&chunk, &want[lo..hi], "extend_multiply_range", seed);
+        let mut chunk = table_div[lo..hi].to_vec();
+        plan.extend_divide_range(&mut chunk, &msg, lo);
+        assert_bits(&chunk, &want_div[lo..hi], "extend_divide_range", seed);
+    }
+    assert_eq!(
+        seen, [true; 4],
+        "sweep must cover Identity/InnerBlock/OuterBlock/Generic"
+    );
+}
+
+#[test]
+fn fused_multiply_marginalize_is_bitwise_two_pass() {
+    // The Seq engine's deferred-ratio fusion rests on this: fusing a
+    // pending ratio into the next outgoing marginalization must produce
+    // the exact bits of extend-multiply-then-marginalize, for both the
+    // updated clique and the outgoing message — including when the two
+    // plans target different subdomains and across every layout pairing.
+    for seed in 200..340u64 {
+        let mut rng = TestRng::new(seed);
+        let sup = random_sup(&mut rng);
+        let mul_sub = random_sub(&mut rng, &sup);
+        let marg_sub = random_sub(&mut rng, &sup);
+        let mul = KernelPlan::new(&sup, &mul_sub);
+        let marg = KernelPlan::new(&sup, &marg_sub);
+
+        let table = random_values(&mut rng, sup.size());
+        let msg = random_values(&mut rng, mul_sub.size());
+
+        let mut fused_table = table.clone();
+        let mut fused_out = vec![f64::NAN; marg_sub.size()];
+        multiply_marginalize(&mul, &marg, &mut fused_table, &msg, &mut fused_out);
+
+        let mut two_pass_table = table.clone();
+        mul.extend_multiply(&mut two_pass_table, &msg);
+        let mut two_pass_out = vec![0.0; marg_sub.size()];
+        marg.marginalize(&two_pass_table, &mut two_pass_out);
+
+        assert_bits(&fused_table, &two_pass_table, "fused clique", seed);
+        assert_bits(&fused_out, &two_pass_out, "fused message", seed);
+    }
+}
+
+fn assert_bits(got: &[f64], want: &[f64], what: &str, seed: u64) {
+    assert_eq!(got.len(), want.len(), "{what} length (seed {seed})");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what} slot {i} (seed {seed}): {g} vs {w}"
+        );
+    }
+}
