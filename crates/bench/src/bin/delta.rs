@@ -1,0 +1,229 @@
+//! Incremental vs from-scratch re-propagation under a single-finding
+//! edit stream.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p fastbn-bench --release --bin delta -- \
+//!     [--iters N] [--quick] [--json PATH]
+//! ```
+//!
+//! Each network gets a deterministic edit stream that models a
+//! monitoring dashboard: a small set of hot variables whose hard finding
+//! changes one at a time, with one watched variable re-read after every
+//! edit. Two modes process the identical stream:
+//!
+//! * `incremental` — a [`LiveSession`] applies each
+//!   [`EvidenceDelta`] and serves the read from its saved-message state
+//!   (collect re-runs only on the dirty path; distribute materializes
+//!   lazily along the watched variable's path);
+//! * `scratch` — a plain [`Session`] re-runs a full targeted query with
+//!   the same cumulative evidence, the cost every update paid before
+//!   live sessions existed.
+//!
+//! Before timing, both modes replay a prefix of the stream side by side
+//! and every `P(e)` and watched marginal must agree **bitwise** — the
+//! bench refuses to publish a number for a shortcut that changed the
+//! answer.
+//!
+//! `--quick` sizes the stream so each row covers tens of milliseconds;
+//! `--json PATH` writes the schema-v1 record committed as
+//! `perf/BENCH_delta_quick.json` and enforced by the CI `perf-gate` job
+//! (the committed baseline also locks in the headline: the hailfinder
+//! incremental row must stay ≥ 3× the scratch row).
+//!
+//! [`LiveSession`]: fastbn_inference::LiveSession
+//! [`EvidenceDelta`]: fastbn_inference::EvidenceDelta
+//! [`Session`]: fastbn_inference::Session
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use fastbn_bayesnet::{datasets, BayesianNetwork, Evidence, VarId};
+use fastbn_bench::report::{BenchReport, BenchRow};
+use fastbn_bench::workloads::workload_by_name;
+use fastbn_inference::{EvidenceDelta, Query, Solver};
+
+struct Args {
+    iters: usize,
+    quick: bool,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        iters: 20_000,
+        quick: false,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            // Sized so the incremental rows still cover tens of
+            // milliseconds — the regression gate needs timings well
+            // clear of clock jitter.
+            "--quick" => {
+                args.quick = true;
+                args.iters = 4_000;
+            }
+            "--iters" => {
+                args.iters = it.next().and_then(|v| v.parse().ok()).expect("--iters N");
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().expect("--json PATH")));
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    args
+}
+
+/// The monitored edit stream: `steps` single-finding changes rotating
+/// through up to eight hot variables. Consecutive visits to the same
+/// variable always pick a different state, so every edit is an effective
+/// change, never a detected no-op.
+fn edit_stream(net: &BayesianNetwork, steps: usize, exclude: &[VarId]) -> Vec<(VarId, usize)> {
+    let n = net.num_vars();
+    let mut hot: Vec<VarId> = Vec::new();
+    for i in 0..n {
+        let var = VarId::from_index((i * 7 + 3) % n);
+        if !exclude.contains(&var) && !hot.contains(&var) {
+            hot.push(var);
+        }
+        if hot.len() == 8 {
+            break;
+        }
+    }
+    (0..steps)
+        .map(|i| {
+            let var = hot[i % hot.len()];
+            let state = (i / hot.len()) % net.cardinality(var);
+            (var, state)
+        })
+        .collect()
+}
+
+/// The benchmark networks — the same trio the differential edit-script
+/// tests sweep. Asia's deterministic or-gate is excluded from the
+/// stream (observing it can zero the evidence, which is a correctness
+/// case for the tests, not a throughput case).
+fn networks() -> Vec<(&'static str, BayesianNetwork, Vec<VarId>)> {
+    let asia = datasets::asia();
+    let exclude = vec![asia.var_id("TbOrCa").unwrap()];
+    vec![
+        ("sprinkler", datasets::sprinkler(), Vec::new()),
+        ("asia", asia, exclude),
+        (
+            "hailfinder",
+            workload_by_name("hailfinder").unwrap().build(),
+            Vec::new(),
+        ),
+    ]
+}
+
+fn main() {
+    let args = parse_args();
+    let mut report = BenchReport::new("delta", args.quick);
+    println!(
+        "Incremental re-propagation bench: {} edits/row, one watched marginal per edit",
+        args.iters
+    );
+    println!(
+        "{:<12} {:<12} {:>8} {:>12} {:>12}",
+        "network", "mode", "edits", "total(ms)", "edits/s"
+    );
+
+    for (name, net, exclude) in networks() {
+        let solver = Arc::new(Solver::new(&net));
+        let watch = VarId::from_index(net.num_vars() - 1);
+        let stream = edit_stream(&net, args.iters, &exclude);
+
+        // Self-check: the first 200 steps side by side, bit for bit.
+        {
+            let mut live = solver.live_session();
+            let mut session = solver.session();
+            let mut evidence = Evidence::empty();
+            let mut buf = vec![0.0; net.cardinality(watch)];
+            for &(var, state) in stream.iter().take(200) {
+                live.apply(EvidenceDelta::observe(var, state)).unwrap();
+                evidence.set(var, state);
+                let result = session
+                    .run(&Query::new().evidence(evidence.clone()).targets([watch]))
+                    .map(|r| r.into_posteriors().unwrap());
+                match (live.marginal_into(watch, &mut buf), result) {
+                    (Ok(()), Ok(posteriors)) => {
+                        assert_eq!(
+                            live.prob_evidence().to_bits(),
+                            posteriors.prob_evidence.to_bits(),
+                            "{name}: P(e) bits diverged"
+                        );
+                        for (x, y) in buf.iter().zip(posteriors.marginal(watch)) {
+                            assert_eq!(x.to_bits(), y.to_bits(), "{name}: marginal bits diverged");
+                        }
+                    }
+                    // Some full-observation combinations are impossible
+                    // (deterministic CPT rows); both modes must agree on
+                    // that, too.
+                    (Err(live_err), Err(scratch_err)) => {
+                        assert_eq!(live_err, scratch_err, "{name}: error mismatch")
+                    }
+                    (a, b) => panic!("{name}: incremental {a:?} but scratch {b:?}"),
+                }
+            }
+        }
+
+        let mut emit = |mode: &str, edits: usize, seconds: f64| {
+            let per_edit = seconds / edits as f64;
+            println!(
+                "{:<12} {:<12} {:>8} {:>12.2} {:>12.1}",
+                name,
+                mode,
+                edits,
+                seconds * 1e3,
+                1.0 / per_edit
+            );
+            report.push(BenchRow::new(name, "seq", mode, 1, 0).timed(edits, seconds));
+            per_edit
+        };
+
+        // Incremental: apply the edit, refresh the watched marginal.
+        let mut live = solver.live_session();
+        let mut buf = vec![0.0; net.cardinality(watch)];
+        let start = Instant::now();
+        for &(var, state) in &stream {
+            live.apply(EvidenceDelta::observe(var, state)).unwrap();
+            // Impossible-evidence steps surface as an error and are part
+            // of the stream for both modes alike.
+            let _ = live.marginal_into(watch, &mut buf);
+        }
+        let incremental = emit("incremental", stream.len(), start.elapsed().as_secs_f64());
+
+        // From scratch: full targeted query with the cumulative evidence.
+        // A prefix of the same stream suffices — throughput is per edit,
+        // and a full-length run would dominate the bench's wall clock.
+        let scratch_stream = &stream[..(stream.len() / 8).max(250).min(stream.len())];
+        let mut session = solver.session();
+        let mut evidence = Evidence::empty();
+        let start = Instant::now();
+        for &(var, state) in scratch_stream {
+            evidence.set(var, state);
+            let _ = session.run(&Query::new().evidence(evidence.clone()).targets([watch]));
+        }
+        let scratch = emit(
+            "scratch",
+            scratch_stream.len(),
+            start.elapsed().as_secs_f64(),
+        );
+
+        println!(
+            "{:<12} single-finding speedup: {:.1}x",
+            name,
+            scratch / incremental
+        );
+    }
+
+    if let Some(path) = &args.json {
+        report.write(path).expect("write --json report");
+        println!("\nwrote {} ({} rows)", path.display(), report.rows.len());
+    }
+}

@@ -17,6 +17,12 @@
 //!   back as a unified [`QueryResult`]. Independent requests group into a
 //!   [`QueryBatch`] and execute as one unit.
 //!
+//! For streaming/monitoring workloads where evidence changes one finding
+//! at a time, [`LiveSession`] (module [`delta`]) keeps a fully propagated
+//! state and re-propagates only the dirty part of the tree per
+//! [`EvidenceDelta`] edit — bit-identical to a from-scratch query, with a
+//! zero-allocation steady state.
+//!
 //! ```
 //! use fastbn_bayesnet::datasets;
 //! use fastbn_inference::{EngineKind, Query, QueryBatch, Solver};
@@ -81,6 +87,7 @@
 
 pub mod cache;
 pub mod compat;
+pub mod delta;
 pub mod engines;
 pub mod error;
 pub mod mpe;
@@ -95,6 +102,7 @@ pub mod validate;
 pub mod virtual_evidence;
 
 pub use cache::{CacheConfig, CacheStats, QueryCache};
+pub use delta::{EvidenceDelta, LiveSession};
 pub use engines::direct::DirectJt;
 pub use engines::element::ElementJt;
 pub use engines::hybrid::HybridJt;

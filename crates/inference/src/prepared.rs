@@ -20,6 +20,16 @@ use fastbn_potential::{ops, Domain, KernelPlan, PotentialTable};
 /// tables. Each table occupies a contiguous `[off, off + len)` range, so
 /// any (clique, sep, fresh, ratio) quadruple is a set of pairwise-disjoint
 /// slices of one allocation.
+///
+/// Two further **saved-message regions** extend the layout past `total`,
+/// used only by incremental re-propagation
+/// ([`LiveSession`](crate::delta::LiveSession)): a per-clique snapshot of
+/// the post-collect clique values and a per-separator copy of the collect
+/// message. A plain query [`WorkState`](crate::state::WorkState) allocates
+/// `total` values and never touches them; a live state allocates
+/// `live_total` and keeps them current across evidence-delta edits, so a
+/// single-finding update replays only the dirty path against saved
+/// messages — allocation-free.
 #[derive(Debug, Clone)]
 pub struct SlabLayout {
     /// Start of clique `c`'s values.
@@ -34,8 +44,16 @@ pub struct SlabLayout {
     pub fresh_off: Vec<usize>,
     /// Start of separator `s`'s `ratio` scratch.
     pub ratio_off: Vec<usize>,
-    /// Total slab length in `f64`s.
+    /// Slab length in `f64`s for a plain query state (the four active
+    /// regions; also the prefix a reset restores).
     pub total: usize,
+    /// Start of clique `c`'s saved post-collect snapshot (live states
+    /// only; the saved clique block begins at `total`).
+    pub saved_clique_off: Vec<usize>,
+    /// Start of separator `s`'s saved collect message (live states only).
+    pub saved_col_off: Vec<usize>,
+    /// Slab length including the saved-message regions.
+    pub live_total: usize,
 }
 
 /// The two precompiled plans of one junction-tree edge: both endpoint
@@ -147,6 +165,9 @@ impl Prepared {
             fresh_off: Vec::with_capacity(sep_domains.len()),
             ratio_off: Vec::with_capacity(sep_domains.len()),
             total: 0,
+            saved_clique_off: Vec::with_capacity(clique_domains.len()),
+            saved_col_off: Vec::with_capacity(sep_domains.len()),
+            live_total: 0,
         };
         let mut off = 0usize;
         for d in &clique_domains {
@@ -168,6 +189,18 @@ impl Prepared {
             off += layout.sep_len[s];
         }
         layout.total = off;
+        // Saved-message regions (live states only): the clique snapshots
+        // first — contiguous and in clique order, so one bulk copy
+        // snapshots every post-collect clique — then the collect messages.
+        for (c, _) in clique_domains.iter().enumerate() {
+            layout.saved_clique_off.push(off);
+            off += layout.clique_len[c];
+        }
+        for (s, _) in sep_domains.iter().enumerate() {
+            layout.saved_col_off.push(off);
+            off += layout.sep_len[s];
+        }
+        layout.live_total = off;
 
         // Initial potentials: ones, then multiply in each assigned factor
         // (prep-time allocation is fine; queries only copy the slab).
@@ -299,6 +332,21 @@ mod tests {
         }
         assert_eq!(end, layout.total);
         assert_eq!(prepared.initial_slab.len(), layout.total);
+        // The saved-message regions tile the live extension past `total`.
+        let mut saved: Vec<(usize, usize)> = Vec::new();
+        for c in 0..prepared.num_cliques() {
+            saved.push((layout.saved_clique_off[c], layout.clique_len[c]));
+        }
+        for s in 0..prepared.num_separators() {
+            saved.push((layout.saved_col_off[s], layout.sep_len[s]));
+        }
+        saved.sort_unstable();
+        let mut end = layout.total;
+        for (off, len) in saved {
+            assert_eq!(off, end, "saved regions must tile past the active slab");
+            end = off + len;
+        }
+        assert_eq!(end, layout.live_total);
         // Non-clique regions start at 1.0.
         for s in 0..prepared.num_separators() {
             for &off in [layout.sep_off[s], layout.fresh_off[s], layout.ratio_off[s]].iter() {

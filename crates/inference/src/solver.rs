@@ -128,6 +128,15 @@ impl Solver {
         crate::owned::OwnedSession::new(self)
     }
 
+    /// Opens a [`LiveSession`](crate::delta::LiveSession): a fully
+    /// propagated state that accepts incremental
+    /// [`EvidenceDelta`](crate::delta::EvidenceDelta) edits and
+    /// re-propagates only what each edit can reach. Clones the `Arc`
+    /// (the live session keeps its own handle).
+    pub fn live_session(self: &Arc<Self>) -> crate::delta::LiveSession {
+        crate::delta::LiveSession::new(Arc::clone(self))
+    }
+
     /// Draws one scratch state from the pool (for session handles).
     pub(crate) fn acquire_scratch(&self) -> Box<ScratchNode> {
         self.scratch.acquire(&self.prepared)

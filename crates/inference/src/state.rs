@@ -47,10 +47,35 @@ impl WorkState {
         }
     }
 
+    /// Allocates a **live** slab: the four active regions plus the
+    /// saved-message regions ([`SlabLayout::saved_clique_off`] /
+    /// [`SlabLayout::saved_col_off`]) that incremental re-propagation
+    /// keeps current between evidence-delta edits. Same allocation count
+    /// as [`WorkState::new`], one slab — just a longer one.
+    pub fn with_saved(prepared: &Prepared) -> Self {
+        let layout = prepared.layout.clone();
+        let mut slab = vec![1.0f64; layout.live_total].into_boxed_slice();
+        slab[..prepared.initial_slab.len()].copy_from_slice(&prepared.initial_slab);
+        WorkState {
+            slab,
+            pending: vec![NO_PENDING; prepared.num_cliques()].into_boxed_slice(),
+            layout,
+        }
+    }
+
+    /// Whether this state carries the saved-message regions (allocated by
+    /// [`WorkState::with_saved`]).
+    #[inline]
+    pub fn has_saved(&self) -> bool {
+        self.slab.len() == self.layout.live_total
+    }
+
     /// Restores the pre-evidence state with one bulk copy, reusing the
-    /// allocation.
+    /// allocation. On a live state ([`WorkState::with_saved`]) only the
+    /// active prefix is restored; the saved-message regions are owned by
+    /// the incremental bookkeeping that rewrites them.
     pub fn reset(&mut self, prepared: &Prepared) {
-        self.slab.copy_from_slice(&prepared.initial_slab);
+        self.slab[..prepared.initial_slab.len()].copy_from_slice(&prepared.initial_slab);
         self.pending.fill(NO_PENDING);
     }
 
@@ -184,6 +209,147 @@ impl WorkState {
         }
     }
 
+    /// Clique `c`'s saved post-collect snapshot (live states only).
+    #[inline]
+    pub fn saved_clique(&self, c: usize) -> &[f64] {
+        debug_assert!(self.has_saved());
+        let off = self.layout.saved_clique_off[c];
+        &self.slab[off..off + self.layout.clique_len[c]]
+    }
+
+    /// Separator `s`'s saved collect message (live states only).
+    #[inline]
+    pub fn saved_col(&self, s: usize) -> &[f64] {
+        debug_assert!(self.has_saved());
+        let off = self.layout.saved_col_off[s];
+        &self.slab[off..off + self.layout.sep_len[s]]
+    }
+
+    /// Snapshots every clique's current values into the saved block with
+    /// one bulk copy (the clique regions tile the slab head, and the
+    /// saved block mirrors their order).
+    pub(crate) fn snapshot_cliques(&mut self) {
+        debug_assert!(self.has_saved());
+        let n = self.layout.clique_off.len();
+        let clique_end = self.layout.clique_off[n - 1] + self.layout.clique_len[n - 1];
+        let (active, saved) = self.slab.split_at_mut(self.layout.total);
+        saved[..clique_end].copy_from_slice(&active[..clique_end]);
+    }
+
+    /// Snapshots clique `c`'s current values into its saved region.
+    pub(crate) fn snapshot_clique(&mut self, c: usize) {
+        debug_assert!(self.has_saved());
+        let (off, len) = (self.layout.clique_off[c], self.layout.clique_len[c]);
+        let saved_off = self.layout.saved_clique_off[c] - self.layout.total;
+        let (active, saved) = self.slab.split_at_mut(self.layout.total);
+        saved[saved_off..saved_off + len].copy_from_slice(&active[off..off + len]);
+    }
+
+    /// Restores clique `c`'s active values from its saved snapshot.
+    pub(crate) fn restore_clique(&mut self, c: usize) {
+        debug_assert!(self.has_saved());
+        let (off, len) = (self.layout.clique_off[c], self.layout.clique_len[c]);
+        let saved_off = self.layout.saved_clique_off[c] - self.layout.total;
+        let (active, saved) = self.slab.split_at_mut(self.layout.total);
+        active[off..off + len].copy_from_slice(&saved[saved_off..saved_off + len]);
+    }
+
+    /// Rewinds clique `c` to its initial (pre-evidence) values.
+    pub(crate) fn load_initial_clique(&mut self, prepared: &Prepared, c: usize) {
+        self.clique_mut(c)
+            .copy_from_slice(prepared.initial_clique(c));
+    }
+
+    /// One collect message recorded into the saved block: marginalizes
+    /// `child` onto separator `sep`'s **saved** collect region and
+    /// multiplies it into `parent`. Bit-identical to the engines' eager
+    /// collect step — a collect ratio is `fresh / 1.0`, which IEEE
+    /// division leaves exactly `fresh` — with the message kept for later
+    /// delta replays instead of discarded.
+    pub(crate) fn collect_into_saved(
+        &mut self,
+        prepared: &Prepared,
+        child: usize,
+        parent: usize,
+        sep: usize,
+    ) {
+        debug_assert!(self.has_saved());
+        let send_plan = prepared.plan_for(child, sep);
+        let recv_plan = prepared.plan_for(parent, sep);
+        let raw = self.raw();
+        // SAFETY: child clique, parent clique and the saved collect region
+        // are pairwise-disjoint slab ranges; `&mut self` is exclusive.
+        unsafe {
+            let child_v = raw.slice(self.layout.clique_off[child], self.layout.clique_len[child]);
+            let parent_v = raw.slice_mut(
+                self.layout.clique_off[parent],
+                self.layout.clique_len[parent],
+            );
+            let msg = raw.slice_mut(self.layout.saved_col_off[sep], self.layout.sep_len[sep]);
+            send_plan.marginalize(child_v, msg);
+            recv_plan.extend_multiply(parent_v, msg);
+        }
+    }
+
+    /// Multiplies separator `sep`'s **saved** collect message into clique
+    /// `receiver` — the replay of an unchanged child's contribution when
+    /// an ancestor on a dirty path is rebuilt.
+    pub(crate) fn replay_saved_ratio(&mut self, prepared: &Prepared, receiver: usize, sep: usize) {
+        debug_assert!(self.has_saved());
+        let plan = prepared.plan_for(receiver, sep);
+        let raw = self.raw();
+        // SAFETY: the receiver clique and the saved collect region are
+        // disjoint slab ranges; `&mut self` is exclusive.
+        unsafe {
+            let clique = raw.slice_mut(
+                self.layout.clique_off[receiver],
+                self.layout.clique_len[receiver],
+            );
+            let msg = raw.slice(self.layout.saved_col_off[sep], self.layout.sep_len[sep]);
+            plan.extend_multiply(clique, msg);
+        }
+    }
+
+    /// One on-demand distribute step: marginalizes the (final) `parent`
+    /// clique onto `sep`'s fresh scratch, folds it into a ratio against
+    /// the saved collect message ([`ops::sep_ratio`]), then rebuilds
+    /// `child` as its saved post-collect snapshot times that ratio —
+    /// exactly the arithmetic of the engines' eager distribute message,
+    /// operand for operand.
+    pub(crate) fn distribute_from_parent(
+        &mut self,
+        prepared: &Prepared,
+        parent: usize,
+        child: usize,
+        sep: usize,
+    ) {
+        debug_assert!(self.has_saved());
+        let send_plan = prepared.plan_for(parent, sep);
+        let recv_plan = prepared.plan_for(child, sep);
+        let raw = self.raw();
+        // SAFETY: parent clique, child clique, fresh scratch, saved
+        // collect message and saved child snapshot are pairwise-disjoint
+        // slab ranges; `&mut self` is exclusive.
+        unsafe {
+            let parent_v = raw.slice(
+                self.layout.clique_off[parent],
+                self.layout.clique_len[parent],
+            );
+            let fresh = raw.slice_mut(self.layout.fresh_off[sep], self.layout.sep_len[sep]);
+            let saved_msg = raw.slice(self.layout.saved_col_off[sep], self.layout.sep_len[sep]);
+            let child_v =
+                raw.slice_mut(self.layout.clique_off[child], self.layout.clique_len[child]);
+            let child_saved = raw.slice(
+                self.layout.saved_clique_off[child],
+                self.layout.clique_len[child],
+            );
+            send_plan.marginalize(parent_v, fresh);
+            ops::sep_ratio(fresh, saved_msg);
+            child_v.copy_from_slice(child_saved);
+            recv_plan.extend_multiply(child_v, fresh);
+        }
+    }
+
     /// Raw view of the slab for the parallel engines, which hand disjoint
     /// regions to worker closures the borrow checker cannot see through.
     #[inline]
@@ -221,7 +387,7 @@ impl WorkState {
 
     /// One variable's normalized posterior (point mass if observed), read
     /// from its home clique. Requires a propagated state.
-    fn marginal_of(
+    pub(crate) fn marginal_of(
         &self,
         prepared: &Prepared,
         evidence: &Evidence,
@@ -246,7 +412,7 @@ impl WorkState {
     }
 
     /// Checks that `P(evidence)` is positive and finite, returning it.
-    fn checked_prob_evidence(&self, prepared: &Prepared) -> Result<f64, InferenceError> {
+    pub(crate) fn checked_prob_evidence(&self, prepared: &Prepared) -> Result<f64, InferenceError> {
         let prob_evidence = self.prob_evidence(prepared);
         if prob_evidence <= 0.0 || !prob_evidence.is_finite() {
             return Err(InferenceError::ImpossibleEvidence);

@@ -23,21 +23,33 @@ pub(crate) fn validate_evidence(
     evidence: &Evidence,
 ) -> Result<(), InferenceError> {
     for (var, state) in evidence.iter() {
-        if var.index() >= prepared.num_vars() {
-            return Err(InferenceError::InvalidEvidence(
-                fastbn_bayesnet::evidence::EvidenceError::UnknownVariable(var),
-            ));
-        }
-        let cardinality = prepared.cards[var.index()];
-        if state >= cardinality {
-            return Err(InferenceError::InvalidEvidence(
-                fastbn_bayesnet::evidence::EvidenceError::StateOutOfRange {
-                    var,
-                    state,
-                    cardinality,
-                },
-            ));
-        }
+        validate_finding(prepared, var, state)?;
+    }
+    Ok(())
+}
+
+/// The single-finding core of [`validate_evidence`], shared with the
+/// incremental edit path (a delta edit carries one finding, validated
+/// before any slab region is touched).
+pub(crate) fn validate_finding(
+    prepared: &Prepared,
+    var: fastbn_bayesnet::VarId,
+    state: usize,
+) -> Result<(), InferenceError> {
+    if var.index() >= prepared.num_vars() {
+        return Err(InferenceError::InvalidEvidence(
+            fastbn_bayesnet::evidence::EvidenceError::UnknownVariable(var),
+        ));
+    }
+    let cardinality = prepared.cards[var.index()];
+    if state >= cardinality {
+        return Err(InferenceError::InvalidEvidence(
+            fastbn_bayesnet::evidence::EvidenceError::StateOutOfRange {
+                var,
+                state,
+                cardinality,
+            },
+        ));
     }
     Ok(())
 }
@@ -53,41 +65,52 @@ pub(crate) fn validate_virtual(
     virtual_evidence: &VirtualEvidence,
 ) -> Result<(), InferenceError> {
     for (var, likelihood) in virtual_evidence.iter() {
-        if var.index() >= prepared.num_vars() {
-            return Err(InferenceError::InvalidEvidence(
-                fastbn_bayesnet::evidence::EvidenceError::UnknownVariable(var),
-            ));
-        }
-        let expected = prepared.cards[var.index()];
-        if likelihood.len() != expected {
-            return Err(InferenceError::InvalidLikelihood {
-                var: var.index(),
-                expected,
-                got: likelihood.len(),
-            });
-        }
-        let mut any_positive = false;
-        for &p in likelihood {
-            if !p.is_finite() {
-                return Err(InferenceError::MalformedLikelihood {
-                    var: var.index(),
-                    defect: LikelihoodDefect::NonFinite,
-                });
-            }
-            if p < 0.0 {
-                return Err(InferenceError::MalformedLikelihood {
-                    var: var.index(),
-                    defect: LikelihoodDefect::Negative,
-                });
-            }
-            any_positive |= p > 0.0;
-        }
-        if !any_positive {
+        validate_likelihood(prepared, var, likelihood)?;
+    }
+    Ok(())
+}
+
+/// The single-finding core of [`validate_virtual`], shared with the
+/// incremental edit path.
+pub(crate) fn validate_likelihood(
+    prepared: &Prepared,
+    var: fastbn_bayesnet::VarId,
+    likelihood: &[f64],
+) -> Result<(), InferenceError> {
+    if var.index() >= prepared.num_vars() {
+        return Err(InferenceError::InvalidEvidence(
+            fastbn_bayesnet::evidence::EvidenceError::UnknownVariable(var),
+        ));
+    }
+    let expected = prepared.cards[var.index()];
+    if likelihood.len() != expected {
+        return Err(InferenceError::InvalidLikelihood {
+            var: var.index(),
+            expected,
+            got: likelihood.len(),
+        });
+    }
+    let mut any_positive = false;
+    for &p in likelihood {
+        if !p.is_finite() {
             return Err(InferenceError::MalformedLikelihood {
                 var: var.index(),
-                defect: LikelihoodDefect::AllZero,
+                defect: LikelihoodDefect::NonFinite,
             });
         }
+        if p < 0.0 {
+            return Err(InferenceError::MalformedLikelihood {
+                var: var.index(),
+                defect: LikelihoodDefect::Negative,
+            });
+        }
+        any_positive |= p > 0.0;
+    }
+    if !any_positive {
+        return Err(InferenceError::MalformedLikelihood {
+            var: var.index(),
+            defect: LikelihoodDefect::AllZero,
+        });
     }
     Ok(())
 }

@@ -121,6 +121,29 @@ pub(crate) fn canonical_likelihood(likelihood: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// In-place form of [`canonical_likelihood`] for pre-validated vectors
+/// (finite entries, positive maximum): divides by the maximum and maps
+/// `-0.0` to `+0.0`, producing bit-identical values to the allocating
+/// form. The incremental edit path canonicalizes the caller's vector at
+/// edit time so the steady-state replay multiplies stored canonical
+/// entries without allocating.
+pub(crate) fn canonicalize_likelihood(likelihood: &mut [f64]) {
+    let mut max = 0.0f64;
+    for &p in likelihood.iter() {
+        debug_assert!(p.is_finite());
+        if p > max {
+            max = p;
+        }
+    }
+    debug_assert!(
+        max > 0.0,
+        "canonicalize_likelihood needs a validated vector"
+    );
+    for p in likelihood {
+        *p = if *p == 0.0 { 0.0 } else { *p / max };
+    }
+}
+
 /// Absorbs virtual findings into a work state (after hard evidence,
 /// before propagation). Each vector is absorbed in its
 /// [`canonical_likelihood`] form, so proportional findings perform

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fastbn_bayesnet::{datasets, generators, sampler, Evidence};
-use fastbn_inference::{InferenceEngine, Prepared, SeqJt, WorkState};
+use fastbn_inference::{EvidenceDelta, InferenceEngine, Prepared, SeqJt, Solver, WorkState};
 use fastbn_jtree::JtreeOptions;
 
 /// Counts every allocation (alloc / alloc_zeroed / realloc) and defers
@@ -89,6 +89,59 @@ fn seq_steady_state_is_allocation_free() {
             net.name()
         );
     }
+}
+
+/// The incremental edit path has the same contract: once a
+/// [`LiveSession`](fastbn_inference::LiveSession) is warm, applying a
+/// single-finding delta — observe, change, retract, likelihood set or
+/// retract — plus the monitoring reads (`prob_evidence`,
+/// `marginal_into`) must perform **zero** heap allocations. Likelihood
+/// vectors are owned by the edit and move into the session, so the
+/// script is built outside the measured window, exactly as a caller
+/// would construct edits before a latency-critical apply.
+#[test]
+fn live_session_single_finding_edits_are_allocation_free() {
+    let net = datasets::asia();
+    let solver = Arc::new(Solver::new(&net));
+    let mut live = solver.live_session();
+    let dysp = net.var_id("Dyspnea").unwrap();
+    let xray = net.var_id("XRay").unwrap();
+    let smoke = net.var_id("Smoker").unwrap();
+    let tub = net.var_id("Tuberculosis").unwrap();
+
+    // Ends with everything retracted, so replaying it from the end state
+    // retraces the exact same evidence-capacity trajectory.
+    let script = || {
+        vec![
+            EvidenceDelta::observe(dysp, 0),
+            EvidenceDelta::observe(xray, 1),
+            EvidenceDelta::likelihood(smoke, vec![0.7, 0.3]),
+            EvidenceDelta::observe(dysp, 1), // change
+            EvidenceDelta::likelihood(smoke, vec![0.2, 0.9]), // replace
+            EvidenceDelta::retract(xray),
+            EvidenceDelta::retract_likelihood(smoke),
+            EvidenceDelta::retract(dysp),
+        ]
+    };
+    let mut buf = [0.0f64; 2];
+
+    // Warm-up: grows the evidence vector to the script's high-water mark
+    // and touches every read path once.
+    for edit in script() {
+        live.apply(edit).unwrap();
+        let _ = live.prob_evidence();
+        live.marginal_into(tub, &mut buf).unwrap();
+    }
+
+    let edits = script(); // the likelihood vectors allocate *here*
+    let before = allocations();
+    for edit in edits {
+        live.apply(edit).unwrap();
+        let _ = live.prob_evidence();
+        live.marginal_into(tub, &mut buf).unwrap();
+    }
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "steady-state delta edits allocated {delta} times");
 }
 
 #[test]

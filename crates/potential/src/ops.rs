@@ -81,6 +81,21 @@ pub fn sep_update(fresh: &[f64], sep: &mut [f64], ratio: &mut [f64]) {
     }
 }
 
+/// The ratio-forming half of [`sep_update`] against a **saved** separator:
+/// `msg[t] = msg[t] / saved[t]` in place (with `0/0 = 0`), leaving `saved`
+/// untouched. Incremental re-propagation keeps each separator's collect
+/// message in a saved slab region that later delta updates still need, so
+/// the distribute ratio must fold into the fresh message rather than
+/// overwrite the divisor. The quotient bits are identical to
+/// [`sep_update`]'s `ratio` output — same [`safe_div`], same operands —
+/// only the destination differs.
+pub fn sep_ratio(msg: &mut [f64], saved: &[f64]) {
+    debug_assert_eq!(msg.len(), saved.len());
+    for (m, &s) in msg.iter_mut().zip(saved) {
+        *m = safe_div(*m, s);
+    }
+}
+
 /// Element-wise multiply of two same-domain tables.
 pub fn multiply_into(table: &mut PotentialTable, other: &PotentialTable) {
     debug_assert_eq!(table.domain().vars(), other.domain().vars());
@@ -127,9 +142,20 @@ pub fn marginal_of_var(table: &PotentialTable, var: VarId) -> Vec<f64> {
 
 /// Slice form of [`marginal_of_var`] for tables living in a slab.
 pub fn marginal_of_var_slice(values: &[f64], domain: &Domain, var: VarId) -> Vec<f64> {
+    let mut out = vec![0.0; domain.card_of(var)];
+    marginal_of_var_into(values, domain, var, &mut out);
+    out
+}
+
+/// Allocation-free form of [`marginal_of_var_slice`]: accumulates the
+/// unnormalized marginal into a caller-provided buffer of length
+/// `card(var)` (overwritten, not added to). This is the steady-state
+/// monitored-read primitive of the incremental re-propagation path.
+pub fn marginal_of_var_into(values: &[f64], domain: &Domain, var: VarId, out: &mut [f64]) {
     let stride = domain.stride_of(var);
     let card = domain.card_of(var);
-    let mut out = vec![0.0; card];
+    debug_assert_eq!(out.len(), card);
+    out.fill(0.0);
     let block = stride * card;
     let mut base = 0;
     while base < values.len() {
@@ -145,7 +171,6 @@ pub fn marginal_of_var_slice(values: &[f64], domain: &Domain, var: VarId) -> Vec
         }
         base += block;
     }
-    out
 }
 
 /// Max-marginalization: like [`marginalize_into`] but taking the maximum

@@ -157,10 +157,11 @@ pub use fastbn_telemetry as telemetry;
 
 pub use fastbn_bayesnet::{BayesianNetwork, Evidence, NetworkBuilder, VarId, Variable};
 pub use fastbn_inference::{
-    make_engine, CacheConfig, CacheStats, DirectJt, ElementJt, EngineKind, HybridJt,
-    InferenceEngine, InferenceError, LikelihoodDefect, MpeResult, OwnedSession, Posteriors,
-    Prepared, PrimitiveJt, Query, QueryBatch, QueryCache, QueryKey, QueryMode, QueryResult,
-    ReferenceJt, SeqJt, Session, SessionCore, Solver, SolverBuilder, VirtualEvidence, WorkState,
+    make_engine, CacheConfig, CacheStats, DirectJt, ElementJt, EngineKind, EvidenceDelta, HybridJt,
+    InferenceEngine, InferenceError, LikelihoodDefect, LiveSession, MpeResult, OwnedSession,
+    Posteriors, Prepared, PrimitiveJt, Query, QueryBatch, QueryCache, QueryKey, QueryMode,
+    QueryResult, ReferenceJt, SeqJt, Session, SessionCore, Solver, SolverBuilder, VirtualEvidence,
+    WorkState,
 };
 pub use fastbn_jtree::JtreeOptions;
 pub use fastbn_parallel::{Schedule, ThreadPool};
