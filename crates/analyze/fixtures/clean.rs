@@ -1,0 +1,12 @@
+//! A file that trips no lint: safe code, no atomics, no raw pointers,
+//! no opt-in markers.
+
+/// Adds one, saturating.
+pub fn inc(x: u64) -> u64 {
+    x.saturating_add(1)
+}
+
+/// Sums a slice.
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

@@ -1,0 +1,58 @@
+//! FB-L1 fixture: `unsafe` sites and their `SAFETY:` justifications.
+//!
+//! Lines with a trailing expectation marker must each produce exactly
+//! one safety-comment finding; every other line must stay silent.
+
+pub fn unjustified() -> u8 {
+    let x = unsafe { std::mem::zeroed::<u8>() }; //~ FB-L1
+    x
+}
+
+pub fn justified_same_line() -> u8 {
+    let x = unsafe { std::mem::zeroed::<u8>() }; // SAFETY: u8 has no invalid bit patterns.
+    x
+}
+
+pub fn justified_block_above() -> u8 {
+    // SAFETY: u8 has no invalid bit patterns, so an all-zero value is
+    // a valid u8.
+    let x = unsafe { std::mem::zeroed::<u8>() };
+    x
+}
+
+pub fn suppressed_block() -> u8 {
+    // fastbn: allow(safety-comment): exercised by the suppression test.
+    unsafe { std::mem::zeroed::<u8>() }
+}
+
+struct Bare(*mut u8);
+
+unsafe impl Send for Bare {} //~ FB-L1
+
+struct Token(*mut u8);
+
+// SAFETY: Token's pointer is only dereferenced on the owning thread;
+// the handle itself is just an address, so moving or sharing it is
+// harmless. One comment covers the grouped pair below.
+unsafe impl Send for Token {}
+unsafe impl Sync for Token {}
+
+unsafe fn bare_unsafe_fn() {} //~ FB-L1
+
+// SAFETY: no preconditions; the body performs no unsafe operations.
+unsafe fn commented_unsafe_fn() {}
+
+pub unsafe fn undocumented(p: *const u8) -> u8 { //~ FB-L1
+    // SAFETY: dereferencing `p` is the caller's contract.
+    unsafe { *p }
+}
+
+/// Reads the byte behind `p`.
+///
+/// # Safety
+///
+/// `p` must be non-null, aligned, and point to a live initialized byte.
+pub unsafe fn documented(p: *const u8) -> u8 {
+    // SAFETY: forwarded caller contract.
+    unsafe { *p }
+}

@@ -1,0 +1,38 @@
+//! FB-L2 fixture: the atomic-ordering policy.
+//!
+//! `_seq` functions must use `SeqCst`; `Relaxed` is free anywhere;
+//! every other ordering needs an `// ORDERING:` note.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn advance_seq(c: &AtomicUsize) {
+    c.fetch_add(1, Ordering::SeqCst); // ok: SeqCst inside a `_seq` fn
+    c.store(0, Ordering::Relaxed); //~ FB-L2
+}
+
+pub fn throughput(c: &AtomicUsize) -> usize {
+    c.load(Ordering::Relaxed) // ok: Relaxed is always free
+}
+
+pub fn handshake(c: &AtomicUsize) -> usize {
+    c.load(Ordering::Acquire) //~ FB-L2
+}
+
+pub fn annotated_handshake(c: &AtomicUsize) -> usize {
+    // ORDERING: pairs with the Release store in the publisher; the
+    // note is what FB-L2 asks for.
+    c.load(Ordering::Acquire)
+}
+
+pub fn annotated_same_line(c: &AtomicUsize) {
+    c.store(1, Ordering::Release); // ORDERING: publishes the seeded state.
+}
+
+pub fn suppressed_site(c: &AtomicUsize) -> usize {
+    // fastbn: allow(ordering-policy): exercised by the suppression test.
+    c.fetch_add(1, Ordering::AcqRel)
+}
+
+pub fn comparisons(a: u32, b: u32) -> std::cmp::Ordering {
+    a.cmp(&b) // ok: `cmp::Ordering` values never parse as atomic orderings
+}

@@ -1,0 +1,34 @@
+//! FB-L3 fixture: allocation idioms in an opted-in hot module.
+//!
+//! fastbn: deny-hot-alloc
+
+pub fn hot_path(xs: &[f64]) -> f64 {
+    let scratch: Vec<f64> = Vec::new(); //~ FB-L3
+    let staged = vec![0.0f64; 8]; //~ FB-L3
+    let copied = xs.to_vec(); //~ FB-L3
+    let boxed = Box::new(xs[0]); //~ FB-L3
+    let doubled = xs.iter().map(|x| x * 2.0).collect::<Vec<f64>>(); //~ FB-L3
+    let echoed = copied.clone(); //~ FB-L3
+    scratch.len() as f64 + staged[0] + *boxed + doubled[0] + echoed[0]
+}
+
+// fastbn: allow(hot-alloc): cold constructor — allocates once at startup,
+// never on the propagation path.
+pub fn cold_setup(n: usize) -> Vec<f64> {
+    let mut buf = Vec::new();
+    buf.resize(n, 0.0);
+    buf
+}
+
+pub fn line_allowed() -> Vec<f64> {
+    vec![1.0] // fastbn: allow(hot-alloc): documented one-off
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_allocates_freely() {
+        let v = vec![1.0, 2.0];
+        assert_eq!(v.clone().len(), 2);
+    }
+}

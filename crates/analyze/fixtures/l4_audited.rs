@@ -1,0 +1,21 @@
+//! FB-L4 fixture: the audit marker admits raw-pointer primitives.
+//!
+//! fastbn: audited-raw-ptr
+//!
+//! This file must produce zero findings: FB-L4 is disabled by the
+//! marker and every `unsafe` site carries its FB-L1 justification.
+
+/// Borrows `n` elements starting at `p`.
+///
+/// # Safety
+///
+/// `p` must point to `n` initialized, live `f64`s with no aliasing
+/// `&mut` to any of them for the returned lifetime.
+pub unsafe fn view(p: *const f64, n: usize) -> &'static [f64] {
+    // SAFETY: forwarded caller contract.
+    unsafe { std::slice::from_raw_parts(p, n) }
+}
+
+pub fn split_base(xs: &mut [f64]) -> *mut f64 {
+    xs.as_mut_ptr()
+}

@@ -1,0 +1,17 @@
+//! FB-L4 fixture: raw-pointer primitives *without* the audit marker.
+
+pub fn shared_base(xs: &[f64]) -> *const f64 {
+    xs.as_ptr() // ok: `as_ptr` (shared) is not a confined primitive
+}
+
+pub fn alias(xs: &mut [f64]) -> &mut [f64] {
+    let p = xs.as_mut_ptr(); //~ FB-L4
+    let n = xs.len();
+    // SAFETY: identity reborrow of a live unique slice.
+    unsafe { std::slice::from_raw_parts_mut(p, n) } //~ FB-L4
+}
+
+pub fn launder(b: Box<u8>) -> *mut u8 {
+    // fastbn: allow(slab-discipline): exercised by the suppression test.
+    Box::into_raw(b)
+}

@@ -1,0 +1,560 @@
+//! A line-level Rust lexer: enough structure for invariant linting,
+//! nothing more.
+//!
+//! The scanner makes one pass over the source and produces, per line,
+//! the **code text** (string/char-literal contents and comments blanked
+//! out) and the **comment text** (with its `//` / `///` / `//!` marker
+//! preserved, so lints can distinguish doc comments from plain ones).
+//! A second pass over the cleaned code recovers the little structure the
+//! lints need: `fn` item spans (by brace matching) and `#[cfg(test)]`
+//! item spans. There is no AST — the lints are line- and token-oriented
+//! by design, in the spirit of the token-table lexers used by fast
+//! zero-copy parsers: a 256-entry byte-class table drives tokenization,
+//! and everything else is a small state machine.
+
+/// Byte classes for the tokenizer's dispatch table.
+const C_OTHER: u8 = 0;
+/// Identifier continuation bytes: `[A-Za-z0-9_]` plus all non-ASCII
+/// lead/continuation bytes (identifiers are the only multi-byte tokens
+/// the lints care about).
+const C_IDENT: u8 = 1;
+/// Whitespace.
+const C_WS: u8 = 2;
+
+/// The 256-entry byte-class table driving [`tokenize`]. Built in a
+/// `const` context so the scanner is branch-light: one load per byte.
+static CLASS: [u8; 256] = build_class_table();
+
+const fn build_class_table() -> [u8; 256] {
+    let mut table = [C_OTHER; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let c = b as u8;
+        if c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80 {
+            table[b] = C_IDENT;
+        } else if c == b' ' || c == b'\t' || c == b'\r' || c == b'\n' {
+            table[b] = C_WS;
+        }
+        b += 1;
+    }
+    table
+}
+
+/// One token of cleaned line code: an identifier/number word or a single
+/// punctuation character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Byte column within the cleaned line.
+    pub col: usize,
+    /// Token text (one char for punctuation).
+    pub text: String,
+}
+
+/// Splits cleaned code into identifier words and single-char punctuation
+/// tokens using the byte-class table.
+pub fn tokenize(code: &str) -> Vec<Tok> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match CLASS[bytes[i] as usize] {
+            C_WS => i += 1,
+            C_IDENT => {
+                let start = i;
+                while i < bytes.len() && CLASS[bytes[i] as usize] == C_IDENT {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    col: start,
+                    text: code[start..i].to_string(),
+                });
+            }
+            _ => {
+                toks.push(Tok {
+                    col: i,
+                    text: code[i..i + 1].to_string(),
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// One scanned source line.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code with comments and string/char contents blanked (spaces keep
+    /// tokens separated; the quotes themselves are dropped).
+    pub code: String,
+    /// Comment text on this line, including its marker (`//`, `///`,
+    /// `//!`, or the interior of a `/* */`). Multiple comments on one
+    /// line are concatenated.
+    pub comment: String,
+}
+
+impl Line {
+    /// Whether the line holds any code tokens at all.
+    pub fn has_code(&self) -> bool {
+        !self.code.trim().is_empty()
+    }
+
+    /// Whether the line's comment is a doc comment (`///` or `//!`).
+    pub fn has_doc_comment(&self) -> bool {
+        self.comment.starts_with("///") || self.comment.starts_with("//!")
+    }
+}
+
+/// A `fn` item span recovered by brace matching.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// 0-based line of the body's closing brace (== `sig_line` for
+    /// bodiless declarations).
+    pub end_line: usize,
+}
+
+/// A fully scanned file: cleaned lines plus the structural spans the
+/// lints consume.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Cleaned per-line code and comments (0-based).
+    pub lines: Vec<Line>,
+    /// `line_tokens[i]` = tokens of `lines[i].code`.
+    pub tokens: Vec<Vec<Tok>>,
+    /// `fn` item spans, innermost-last for nested items.
+    pub fns: Vec<FnSpan>,
+    /// `in_test[i]` is true when line `i` sits inside a `#[cfg(test)]`
+    /// item (the attribute line itself included).
+    pub in_test: Vec<bool>,
+}
+
+impl ScannedFile {
+    /// Scans `source` into lines, tokens and spans.
+    pub fn scan(source: &str) -> ScannedFile {
+        let lines = strip(source);
+        let tokens: Vec<Vec<Tok>> = lines.iter().map(|l| tokenize(&l.code)).collect();
+        let (fns, in_test) = spans(&lines, &tokens);
+        ScannedFile {
+            lines,
+            tokens,
+            fns,
+            in_test,
+        }
+    }
+
+    /// The innermost `fn` span containing `line` (0-based), if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.sig_line <= line && line <= f.end_line)
+            .min_by_key(|f| f.end_line - f.sig_line)
+    }
+}
+
+/// Scanner states for [`strip`].
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment { depth: usize, doc: bool },
+    Str,
+    RawStr { hashes: usize },
+}
+
+/// Strips comments and literal contents, producing one [`Line`] per
+/// source line. Handles nested block comments, raw strings (`r#"..."#`,
+/// byte variants), char literals vs. lifetimes, and escapes.
+fn strip(source: &str) -> Vec<Line> {
+    let bytes = source.as_bytes();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    macro_rules! newline {
+        () => {{
+            lines.push(std::mem::take(&mut cur));
+            // A block comment continues across the line break; everything
+            // else resets to code (line comments end, and an unterminated
+            // string at EOL is malformed input we treat leniently).
+            match mode {
+                Mode::BlockComment { .. } | Mode::RawStr { .. } => {}
+                _ => mode = Mode::Code,
+            }
+        }};
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            newline!();
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    // Line comment; capture the marker so doc comments
+                    // stay recognizable.
+                    let start = i;
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    cur.comment.push_str(&source[start..i]);
+                    cur.code.push(' ');
+                    mode = Mode::LineComment;
+                    continue;
+                }
+                if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    let doc = i + 2 < bytes.len() && (bytes[i + 2] == b'*' || bytes[i + 2] == b'!');
+                    if doc {
+                        cur.comment
+                            .push_str(if bytes[i + 2] == b'!' { "//!" } else { "///" });
+                    }
+                    mode = Mode::BlockComment { depth: 1, doc };
+                    cur.code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if b == b'"' {
+                    // Keep a placeholder so `"..."` still separates tokens.
+                    cur.code.push(' ');
+                    mode = Mode::Str;
+                    i += 1;
+                    continue;
+                }
+                if b == b'r' || b == b'b' {
+                    // Possible raw (byte) string: r", r#", br", b"...
+                    let mut j = i + 1;
+                    if b == b'b' && j < bytes.len() && bytes[j] == b'r' {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while j < bytes.len() && bytes[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let prev_ident = i > 0 && CLASS[bytes[i - 1] as usize] == C_IDENT;
+                    if !prev_ident
+                        && j < bytes.len()
+                        && bytes[j] == b'"'
+                        && (b == b'r' || hashes > 0 || bytes.get(i + 1) == Some(&b'"'))
+                    {
+                        cur.code.push(' ');
+                        mode = Mode::RawStr { hashes };
+                        i = j + 1;
+                        continue;
+                    }
+                    // Plain identifier character.
+                    cur.code.push(b as char);
+                    i += 1;
+                    continue;
+                }
+                if b == b'\'' {
+                    // Char literal vs. lifetime: `'x'` closes immediately
+                    // after one char (or an escape); a lifetime word never
+                    // has a quote directly after its first char, so
+                    // `<'a, 'b>` stays punctuation.
+                    let rest = &bytes[i + 1..];
+                    let is_char = match (rest.first(), rest.get(1)) {
+                        (Some(b'\\'), _) => true,
+                        (Some(&c), Some(b'\'')) if c != b'\'' => true,
+                        (Some(&c), _) if c >= 0x80 => {
+                            // Multi-byte char literal: closing quote within
+                            // the next four bytes.
+                            rest.iter().take(5).skip(1).any(|&x| x == b'\'')
+                        }
+                        _ => false,
+                    };
+                    if is_char {
+                        cur.code.push(' ');
+                        i += 1;
+                        // Skip to the closing quote, honouring escapes.
+                        let mut escaped = false;
+                        while i < bytes.len() && bytes[i] != b'\n' {
+                            if escaped {
+                                escaped = false;
+                            } else if bytes[i] == b'\\' {
+                                escaped = true;
+                            } else if bytes[i] == b'\'' {
+                                i += 1;
+                                break;
+                            }
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    // Lifetime tick: keep as punctuation (harmless).
+                    cur.code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                cur.code.push(b as char);
+                i += 1;
+            }
+            Mode::LineComment => {
+                // Only reachable for bytes after a comment was captured in
+                // one go above; nothing to do until the newline.
+                i += 1;
+            }
+            Mode::BlockComment { depth, doc } => {
+                if b == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment {
+                            depth: depth - 1,
+                            doc,
+                        };
+                    }
+                    i += 2;
+                    continue;
+                }
+                if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    mode = Mode::BlockComment {
+                        depth: depth + 1,
+                        doc,
+                    };
+                    i += 2;
+                    continue;
+                }
+                cur.comment.push(b as char);
+                i += 1;
+            }
+            Mode::Str => {
+                if b == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if b == b'"' {
+                    mode = Mode::Code;
+                }
+                i += 1;
+            }
+            Mode::RawStr { hashes } => {
+                if b == b'"' {
+                    let mut k = 0;
+                    while k < hashes && i + 1 + k < bytes.len() && bytes[i + 1 + k] == b'#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        mode = Mode::Code;
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// A pending item announced by `fn` or a `#[cfg(test)]` attribute,
+/// waiting for its opening brace.
+struct Pending {
+    fn_name: Option<(String, usize)>,
+    test_attr: bool,
+    attr_line: usize,
+}
+
+/// Recovers `fn` spans and `#[cfg(test)]` item spans by brace matching
+/// over the cleaned token stream.
+fn spans(lines: &[Line], tokens: &[Vec<Tok>]) -> (Vec<FnSpan>, Vec<bool>) {
+    let mut fns: Vec<FnSpan> = Vec::new();
+    let mut in_test = vec![false; lines.len()];
+    // Open items: (depth after their `{`, index into `fns`) and test
+    // spans: (depth after `{`, start line).
+    let mut open_fns: Vec<(usize, usize)> = Vec::new();
+    let mut open_tests: Vec<(usize, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut pending: Option<Pending> = None;
+
+    for (lno, toks) in tokens.iter().enumerate() {
+        let mut t = 0;
+        while t < toks.len() {
+            let tok = &toks[t].text;
+            match tok.as_str() {
+                "fn" => {
+                    if let Some(name) = toks
+                        .get(t + 1)
+                        .filter(|n| CLASS[n.text.as_bytes()[0] as usize] == C_IDENT)
+                    {
+                        let p = pending.get_or_insert(Pending {
+                            fn_name: None,
+                            test_attr: false,
+                            attr_line: lno,
+                        });
+                        p.fn_name = Some((name.text.clone(), lno));
+                    }
+                }
+                // `#[cfg(test)]` / `#[cfg(all(test, ...))]`: mark a
+                // pending test item unless the `test` token is negated
+                // by a directly preceding `not(`.
+                "#" if toks.get(t + 1).map(|x| x.text.as_str()) == Some("[")
+                    && toks.get(t + 2).map(|x| x.text.as_str()) == Some("cfg") =>
+                {
+                    let rest: Vec<&str> = toks[t..].iter().map(|x| x.text.as_str()).collect();
+                    if cfg_mentions_bare_test(&rest) {
+                        let p = pending.get_or_insert(Pending {
+                            fn_name: None,
+                            test_attr: false,
+                            attr_line: lno,
+                        });
+                        p.test_attr = true;
+                        p.attr_line = p.attr_line.min(lno);
+                    }
+                }
+                "{" => {
+                    depth += 1;
+                    if let Some(p) = pending.take() {
+                        if let Some((name, sig_line)) = p.fn_name {
+                            fns.push(FnSpan {
+                                name,
+                                sig_line,
+                                end_line: sig_line,
+                            });
+                            open_fns.push((depth, fns.len() - 1));
+                        }
+                        if p.test_attr {
+                            open_tests.push((depth, p.attr_line));
+                        }
+                    }
+                }
+                "}" => {
+                    if let Some((d, idx)) = open_fns.last().copied() {
+                        if d == depth {
+                            fns[idx].end_line = lno;
+                            open_fns.pop();
+                        }
+                    }
+                    if let Some((d, start)) = open_tests.last().copied() {
+                        if d == depth {
+                            for flag in in_test.iter_mut().take(lno + 1).skip(start) {
+                                *flag = true;
+                            }
+                            open_tests.pop();
+                        }
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ";" => {
+                    // A `;` at the pending item's depth means the item was
+                    // bodiless (trait method decl, cfg'd `use`/statement).
+                    if let Some(p) = pending.take() {
+                        if p.test_attr {
+                            for flag in in_test.iter_mut().take(lno + 1).skip(p.attr_line) {
+                                *flag = true;
+                            }
+                        }
+                        if let Some((name, sig_line)) = p.fn_name {
+                            fns.push(FnSpan {
+                                name,
+                                sig_line,
+                                end_line: lno,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            t += 1;
+        }
+    }
+    // Unclosed spans (malformed input): close at EOF.
+    for (_, idx) in open_fns {
+        fns[idx].end_line = lines.len().saturating_sub(1);
+    }
+    for (_, start) in open_tests {
+        for flag in in_test.iter_mut().skip(start) {
+            *flag = true;
+        }
+    }
+    (fns, in_test)
+}
+
+/// Whether a `# [ cfg ( ... ) ]` token run mentions `test` outside a
+/// `not(...)` directly wrapping it.
+fn cfg_mentions_bare_test(toks: &[&str]) -> bool {
+    for (i, tok) in toks.iter().enumerate() {
+        if *tok == "test" {
+            let negated = i >= 2 && toks[i - 1] == "(" && toks[i - 2] == "not";
+            if !negated {
+                return true;
+            }
+        }
+        if *tok == "]" && i > 0 {
+            break;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let scan = ScannedFile::scan("let x = \"unsafe\"; // unsafe here\nlet c = 'u';\n");
+        assert!(!scan.lines[0].code.contains("unsafe"));
+        assert!(scan.lines[0].comment.contains("unsafe"));
+        assert!(!scan.lines[1].code.contains('u'));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let scan = ScannedFile::scan("let r = r#\"vec![unsafe]\"#;\nfn f<'a>(x: &'a str) {}\n");
+        assert!(!scan.lines[0].code.contains("unsafe"));
+        assert!(scan.lines[1].code.contains("str"));
+        assert_eq!(scan.fns.len(), 1);
+        assert_eq!(scan.fns[0].name, "f");
+    }
+
+    #[test]
+    fn doc_comments_keep_markers() {
+        let scan = ScannedFile::scan("/// # Safety\n//! inner\n// plain\n/** block doc */\n");
+        assert!(scan.lines[0].has_doc_comment());
+        assert!(scan.lines[1].has_doc_comment());
+        assert!(!scan.lines[2].has_doc_comment());
+        assert!(scan.lines[3].has_doc_comment());
+    }
+
+    #[test]
+    fn fn_spans_nest_and_close() {
+        let src = "fn outer() {\n    fn inner() {\n    }\n}\nfn later() {}\n";
+        let scan = ScannedFile::scan(src);
+        let names: Vec<&str> = scan.fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"outer") && names.contains(&"inner") && names.contains(&"later"));
+        let outer = scan.fns.iter().find(|f| f.name == "outer").unwrap();
+        assert_eq!((outer.sig_line, outer.end_line), (0, 3));
+        assert_eq!(scan.enclosing_fn(2).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_mod() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let scan = ScannedFile::scan(src);
+        assert!(!scan.in_test[0]);
+        assert!(scan.in_test[1] && scan.in_test[2] && scan.in_test[3] && scan.in_test[4]);
+        assert!(!scan.in_test[5]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let src = "#[cfg(not(test))]\nfn release_only() {}\n";
+        let scan = ScannedFile::scan(src);
+        assert!(!scan.in_test[1]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let scan = ScannedFile::scan("/* a /* b */ still comment */ let x = 1;\n");
+        assert!(scan.lines[0].code.contains("let"));
+        assert!(!scan.lines[0].code.contains("still"));
+    }
+}

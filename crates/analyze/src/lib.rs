@@ -1,0 +1,156 @@
+//! `fastbn-analyze` — the workspace invariant linter.
+//!
+//! The fastbn workspace buys its kernel speed with a deliberately small
+//! unsafe surface: one contiguous f64 slab, disjoint-region splitting,
+//! raw-pointer dispatch to worker threads, and hand-rolled atomics in
+//! the pool/serving/telemetry layers. This crate makes the rules of
+//! that surface *machine-checked* instead of convention-checked: a
+//! dependency-free, line-level lexer ([`lexer`]) feeds four named lints
+//! ([`lints`]) that every CI run enforces with zero findings allowed.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p fastbn-analyze -- --check
+//! ```
+//!
+//! See `crates/analyze/README.md` for the lint catalog, marker and
+//! suppression syntax, and the companion *dynamic* slab race detector
+//! that lives in `fastbn-inference`'s `state.rs`.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod lints;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use lints::{FileContext, Finding, Lint};
+
+/// Directory names the tree walk never descends into. `fixtures`
+/// excludes the linter's own deliberately-violating test inputs.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "fixtures"];
+
+/// Directory names that put files into *test context* (FB-L3/FB-L4 are
+/// about production hot paths and do not apply there).
+const TEST_DIRS: [&str; 3] = ["tests", "benches", "examples"];
+
+/// The result of linting a tree: findings plus how many files were
+/// actually scanned (so "clean" is distinguishable from "walked
+/// nothing").
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files linted.
+    pub files: usize,
+}
+
+impl Report {
+    /// True when no lint fired.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints one source string under an explicit context (the unit the
+/// fixture tests drive directly).
+pub fn lint_source(source: &str, ctx: &FileContext) -> Vec<Finding> {
+    let scan = lexer::ScannedFile::scan(source);
+    lints::lint_scanned(&scan, ctx)
+}
+
+/// Derives the lint context from a path: label plus whether any
+/// component is a test-scaffolding directory.
+pub fn context_for(path: &Path) -> FileContext {
+    let test_context = path
+        .components()
+        .any(|c| TEST_DIRS.contains(&c.as_os_str().to_str().unwrap_or("")));
+    FileContext {
+        path: path.display().to_string(),
+        test_context,
+    }
+}
+
+/// Lints a single file from disk.
+pub fn lint_file(path: &Path) -> io::Result<Vec<Finding>> {
+    let source = fs::read_to_string(path)?;
+    Ok(lint_source(&source, &context_for(path)))
+}
+
+/// Lints every `.rs` file under `root` (skipping `target/`, `.git/` and
+/// `fixtures/`), or the file itself when `root` is one. Paths in
+/// findings are reported relative to `root` when possible.
+pub fn check_tree(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    let mut files: Vec<PathBuf> = Vec::new();
+    while let Some(dir) = stack.pop() {
+        if dir.is_file() {
+            files.push(dir);
+            continue;
+        }
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_str().unwrap_or("");
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    for path in files {
+        let source = fs::read_to_string(&path)?;
+        // When `root` is the file itself, stripping would leave an
+        // empty label — keep the full path in that case.
+        let label = match path.strip_prefix(root) {
+            Ok(rel) if !rel.as_os_str().is_empty() => rel,
+            _ => &path,
+        };
+        let mut ctx = context_for(&path);
+        ctx.path = label.display().to_string();
+        report.findings.extend(lint_source(&source, &ctx));
+        report.files += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_classifies_test_dirs() {
+        assert!(context_for(Path::new("crates/x/tests/foo.rs")).test_context);
+        assert!(context_for(Path::new("crates/x/benches/foo.rs")).test_context);
+        assert!(context_for(Path::new("examples/foo.rs")).test_context);
+        assert!(!context_for(Path::new("crates/x/src/foo.rs")).test_context);
+    }
+
+    #[test]
+    fn lint_source_smoke() {
+        let ctx = FileContext {
+            path: "mem.rs".into(),
+            test_context: false,
+        };
+        let findings = lint_source("fn main() { let _ = unsafe { f() }; }\n", &ctx);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, Lint::SafetyComment);
+        let clean = lint_source(
+            "fn main() {\n    // SAFETY: f has no preconditions.\n    let _ = unsafe { f() };\n}\n",
+            &ctx,
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+}

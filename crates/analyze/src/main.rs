@@ -1,0 +1,94 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! fastbn-analyze --check [--root DIR]   # lint a tree, exit 1 on findings
+//! fastbn-analyze --check PATH [PATH..]  # lint explicit files/dirs
+//! fastbn-analyze --list-lints           # print the lint catalog
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fastbn_analyze::{check_tree, Lint};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // `--check` is the (only) mode; accepted explicitly so CI
+            // invocations read as intent.
+            "--check" => {}
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("fastbn-analyze: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-lints" => list = true,
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("fastbn-analyze: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    if list {
+        for lint in Lint::ALL {
+            println!("{} ({}): {}", lint.id(), lint.name(), lint.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if paths.is_empty() {
+        paths.push(root.clone().unwrap_or_else(|| PathBuf::from(".")));
+    }
+
+    let mut findings = 0usize;
+    let mut files = 0usize;
+    for path in &paths {
+        match check_tree(path) {
+            Ok(report) => {
+                for finding in &report.findings {
+                    println!("{finding}");
+                }
+                findings += report.findings.len();
+                files += report.files;
+            }
+            Err(err) => {
+                eprintln!("fastbn-analyze: {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if findings == 0 {
+        eprintln!("fastbn-analyze: clean ({files} files)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fastbn-analyze: {findings} finding(s) across {files} files");
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!(
+        "fastbn-analyze: workspace invariant linter\n\
+         \n\
+         USAGE:\n\
+         \tfastbn-analyze --check [--root DIR] [PATH...]\n\
+         \tfastbn-analyze --list-lints\n\
+         \n\
+         Lints every .rs file under the root (default `.`), skipping\n\
+         target/, .git/ and fixtures/. Exits 0 when clean, 1 on findings,\n\
+         2 on usage or I/O errors. See crates/analyze/README.md."
+    );
+}

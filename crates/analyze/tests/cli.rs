@@ -1,0 +1,63 @@
+//! End-to-end CLI tests: the exit-code contract CI relies on.
+//!
+//! Exit 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fastbn-analyze"))
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    let out = bin()
+        .args(["--check"])
+        .arg(fixture("clean.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("clean (1 files)"), "{stderr}");
+}
+
+#[test]
+fn findings_exit_one_and_name_the_lint() {
+    let out = bin()
+        .args(["--check"])
+        .arg(fixture("l4_slab.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FB-L4"), "{stdout}");
+    assert!(stdout.contains("slab-discipline"), "{stdout}");
+}
+
+#[test]
+fn missing_path_exits_two() {
+    let out = bin().args(["--check", "no/such/path.rs"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = bin().args(["--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn list_lints_prints_the_catalog() {
+    let out = bin().args(["--list-lints"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in ["FB-L1", "FB-L2", "FB-L3", "FB-L4"] {
+        assert!(stdout.contains(id), "missing {id} in {stdout}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Fixture-driven lint tests.
+//!
+//! Each file under `crates/analyze/fixtures/` annotates its expected
+//! findings inline: a trailing `//~ FB-Lk` comment on a line means that
+//! exact lint must fire there. The harness diffs the linter's actual
+//! findings against the markers in both directions, so a fixture change
+//! that silences a lint (or fires a new one) fails loudly with line
+//! numbers.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use fastbn_analyze::{lint_file, Lint};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Parses `//~ FB-Lk [FB-Lk ...]` expectation markers: line → lint ids.
+fn expectations(source: &str) -> BTreeMap<usize, Vec<String>> {
+    let mut want = BTreeMap::new();
+    for (i, line) in source.lines().enumerate() {
+        let Some(pos) = line.find("//~") else {
+            continue;
+        };
+        let ids: Vec<String> = line[pos + 3..]
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        assert!(
+            !ids.is_empty() && ids.iter().all(|id| id.starts_with("FB-L")),
+            "malformed expectation marker on line {}: {line:?}",
+            i + 1
+        );
+        want.insert(i + 1, ids);
+    }
+    want
+}
+
+fn check_fixture(name: &str) {
+    let path = fixture(name);
+    let source = std::fs::read_to_string(&path).unwrap();
+    let want = expectations(&source);
+    let findings = lint_file(&path).unwrap();
+    let mut got: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for f in &findings {
+        got.entry(f.line).or_default().push(f.lint.id().to_string());
+    }
+    assert_eq!(
+        got,
+        want,
+        "findings mismatch in {name}\nactual findings:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn l1_safety_comment() {
+    check_fixture("l1_safety.rs");
+}
+
+#[test]
+fn l2_ordering_policy() {
+    check_fixture("l2_ordering.rs");
+}
+
+#[test]
+fn l3_hot_alloc() {
+    check_fixture("l3_hot_alloc.rs");
+}
+
+#[test]
+fn l4_slab_discipline() {
+    check_fixture("l4_slab.rs");
+}
+
+#[test]
+fn l4_audited_module_is_exempt() {
+    check_fixture("l4_audited.rs");
+}
+
+#[test]
+fn clean_file_has_no_findings() {
+    check_fixture("clean.rs");
+}
+
+#[test]
+fn hot_alloc_needs_the_marker() {
+    // The same allocation-heavy body with the `deny-hot-alloc` marker
+    // stripped must produce nothing: FB-L3 is strictly opt-in.
+    let source = std::fs::read_to_string(fixture("l3_hot_alloc.rs")).unwrap();
+    let stripped: String = source
+        .lines()
+        .filter(|l| l.trim() != "//! fastbn: deny-hot-alloc")
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let ctx = fastbn_analyze::FileContext {
+        path: "stripped.rs".into(),
+        test_context: false,
+    };
+    let findings = fastbn_analyze::lint_source(&stripped, &ctx);
+    assert!(
+        findings.iter().all(|f| f.lint != Lint::HotAlloc),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn test_context_disables_l3_and_l4() {
+    // The same sources again, but under a `tests/` path: FB-L3/FB-L4
+    // do not apply to test scaffolding.
+    for name in ["l3_hot_alloc.rs", "l4_slab.rs"] {
+        let source = std::fs::read_to_string(fixture(name)).unwrap();
+        let ctx = fastbn_analyze::FileContext {
+            path: format!("tests/{name}"),
+            test_context: true,
+        };
+        let findings = fastbn_analyze::lint_source(&source, &ctx);
+        assert!(
+            findings
+                .iter()
+                .all(|f| f.lint != Lint::HotAlloc && f.lint != Lint::SlabDiscipline),
+            "{name}: {findings:?}"
+        );
+    }
+}

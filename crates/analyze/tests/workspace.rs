@@ -1,0 +1,31 @@
+//! The linter's reason to exist: the workspace itself must be clean.
+//!
+//! This is the same check CI runs (`cargo run -p fastbn-analyze --
+//! --check`), expressed as a test so `cargo test` alone catches a
+//! regression — an unsafe block landing without its `SAFETY:` comment,
+//! an allocation sneaking into a `deny-hot-alloc` kernel module.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = fastbn_analyze::check_tree(&root).expect("walk workspace");
+    // Guard against silently linting the wrong directory: the workspace
+    // has far more than this many Rust files.
+    assert!(
+        report.files > 50,
+        "only {} files scanned — wrong root?",
+        report.files
+    );
+    assert!(
+        report.clean(),
+        "workspace has lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -24,6 +24,11 @@
 //! assert!(ev.get(rain).is_some());
 //! ```
 
+// No unsafe code: raw-pointer and atomics tricks live in the audited
+// modules of fastbn-potential/parallel/inference (see FB-L4 in
+// crates/analyze); everything here must stay checkable by construction.
+#![forbid(unsafe_code)]
+
 pub mod bif;
 pub mod cpt;
 pub mod datasets;

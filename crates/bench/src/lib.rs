@@ -21,6 +21,11 @@
 //! fresh run against a baseline — failing on a >30% throughput
 //! regression — as CI's perf-trajectory check.
 
+// No unsafe code: raw-pointer and atomics tricks live in the audited
+// modules of fastbn-potential/parallel/inference (see FB-L4 in
+// crates/analyze); everything here must stay checkable by construction.
+#![forbid(unsafe_code)]
+
 pub mod measure;
 pub mod report;
 pub mod workloads;

@@ -44,6 +44,8 @@
 //! (including one per-variable likelihood plan compiled at session
 //! construction), and the path walk reuses a preallocated buffer —
 //! enforced by the counting-allocator test in `tests/alloc.rs`.
+//!
+//! fastbn: deny-hot-alloc
 
 use std::sync::Arc;
 
@@ -179,6 +181,8 @@ impl LiveSession {
     /// evidence state. Construction allocates the live slab and compiles
     /// the per-variable likelihood plans; edits afterwards do not
     /// allocate.
+    // fastbn: allow(hot-alloc): one-time session construction — builds the
+    // live slab, child lists and per-variable likelihood plans.
     pub fn new(solver: Arc<Solver>) -> Self {
         let prepared = Arc::clone(solver.prepared());
         let n_cliques = prepared.num_cliques();
@@ -333,6 +337,8 @@ impl LiveSession {
     }
 
     /// One variable's normalized posterior under the current findings.
+    // fastbn: allow(hot-alloc): allocating convenience form; the hot path
+    // is `marginal_into`.
     pub fn marginal(&mut self, var: VarId) -> Result<Vec<f64>, InferenceError> {
         let prepared = Arc::clone(&self.prepared);
         let mut out = vec![0.0; prepared.cards.get(var.index()).copied().unwrap_or(0)];
@@ -394,6 +400,7 @@ impl LiveSession {
     /// (one canonical vector per variable); the equivalent from-scratch
     /// query is `Query::new().evidence(live.evidence().clone())
     /// .virtual_evidence(live.virtual_evidence())`.
+    // fastbn: allow(hot-alloc): diagnostic snapshot, not on the edit path.
     pub fn virtual_evidence(&self) -> VirtualEvidence {
         let mut virt = VirtualEvidence::empty();
         for (v, slot) in self.likelihoods.iter().enumerate() {

@@ -10,6 +10,8 @@
 //! Every table operation inside a message is sequential — that is this
 //! engine's defining limitation: one huge clique in a layer stalls the
 //! whole team (the load imbalance the paper attributes to this family).
+//!
+//! fastbn: deny-hot-alloc
 
 use std::sync::Arc;
 
@@ -39,6 +41,7 @@ pub struct DirectJt {
 }
 
 /// Groups a layer's messages by the receiving clique.
+// fastbn: allow(hot-alloc): plan construction, runs once per engine build.
 fn group_by_receiver(
     messages: &[fastbn_jtree::Message],
     layer: &[usize],
@@ -102,7 +105,7 @@ impl DirectJt {
                 for &id in &group.msgs {
                     let m = messages[id];
                     let sender = if collect { m.child } else { m.parent };
-                    // SAFETY (layer schedule invariants):
+                    // SAFETY: layer schedule invariants —
                     // * `group.receiver`'s region is written by exactly
                     //   this task — receivers are distinct across a
                     //   layer's groups;

@@ -16,6 +16,8 @@
 //! Compared to `PrimitiveJt` this trades index arithmetic for memory
 //! traffic; both share the "one region per operation" overhead the hybrid
 //! engine eliminates.
+//!
+//! fastbn: deny-hot-alloc
 
 use std::sync::Arc;
 

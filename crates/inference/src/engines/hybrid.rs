@@ -29,6 +29,8 @@
 //! incidence) and the task lists are precomputed at engine construction;
 //! the engine itself is stateless, so one instance serves any number of
 //! concurrent sessions, each supplying its own `WorkState` slab.
+//!
+//! fastbn: deny-hot-alloc
 
 use std::sync::Arc;
 
@@ -127,6 +129,7 @@ impl HybridJt {
         // ---- Phase 1: flat over sep entries — fresh marginal, ratio
         // against the old value, separator updated in place (each entry is
         // owned by exactly one task, so read-then-overwrite is safe).
+        raw.begin_phase();
         self.pool.parallel_for(
             0..plan.sep_tasks.len(),
             Schedule::Dynamic { grain: 1 },
@@ -159,7 +162,10 @@ impl HybridJt {
             },
         );
 
-        // ---- Phase 2: extension over flat receiver entries.
+        // ---- Phase 2: extension over flat receiver entries. The pool
+        // barrier between the phases is what makes re-claiming phase-1
+        // regions sound, so the tracker generation resets here too.
+        raw.begin_phase();
         self.pool.parallel_for(
             0..plan.recv_tasks.len(),
             Schedule::Dynamic { grain: 1 },
@@ -191,6 +197,7 @@ impl HybridJt {
 }
 
 /// Builds the flattened task lists for one layer.
+// fastbn: allow(hot-alloc): plan construction, runs once per engine build.
 fn build_layer_plan(
     prepared: &Prepared,
     layer: &[usize],

@@ -7,6 +7,8 @@
 //! table entries. That means **three parallel-region invocations per
 //! message**, so on trees with many small cliques the per-region overhead
 //! dominates: exactly the pathology the paper reports for this family.
+//!
+//! fastbn: deny-hot-alloc
 
 use std::sync::Arc;
 

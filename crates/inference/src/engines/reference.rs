@@ -16,6 +16,8 @@
 //! Results are bit-identical to the optimized engines (same accumulation
 //! order); only the constant factor differs — which is exactly what the
 //! Table-1 "sequential speedup" column measures.
+//!
+//! fastbn: deny-hot-alloc
 
 use std::sync::Arc;
 
@@ -40,6 +42,8 @@ impl ReferenceJt {
 
 /// Decodes `idx` into a freshly allocated assignment vector (the "object
 /// per configuration" cost model).
+// fastbn: allow(hot-alloc): deliberate — this engine reproduces UnBBayes'
+// allocation-per-entry cost model.
 fn decode_fresh(domain: &Domain, idx: usize) -> Vec<usize> {
     let mut states = vec![0usize; domain.num_vars()];
     domain.decode(idx, &mut states);
@@ -65,6 +69,7 @@ fn project_index(src: &Domain, states: &[usize], target: &Domain) -> usize {
     idx
 }
 
+// fastbn: allow(hot-alloc): deliberate — see `decode_fresh`.
 fn naive_marginalize(src: &[f64], src_dom: &Domain, target: &Domain) -> Vec<f64> {
     let mut out = vec![0.0; target.size()];
     for (i, &v) in src.iter().enumerate() {

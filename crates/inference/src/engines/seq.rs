@@ -20,6 +20,8 @@
 //! the one same-separator corner (a root whose last collect edge is also
 //! its first distribute edge) the fused read consumes `ratio` before
 //! `sep_update` rewrites it.
+//!
+//! fastbn: deny-hot-alloc
 
 use std::sync::Arc;
 

@@ -85,6 +85,11 @@
 //! front end) is mapped in `docs/ARCHITECTURE.md` at the repository
 //! root.
 
+// Every unsafe operation inside an `unsafe fn` must sit in its own
+// `unsafe {}` block with a SAFETY comment (enforced by fastbn-analyze
+// FB-L1 plus this lint).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cache;
 pub mod compat;
 pub mod delta;
@@ -96,6 +101,7 @@ pub mod owned;
 pub mod posterior;
 pub mod prepared;
 pub mod query;
+pub(crate) mod slab_track;
 pub mod solver;
 pub mod state;
 pub mod validate;

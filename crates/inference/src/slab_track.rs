@@ -1,0 +1,138 @@
+//! Dynamic slab race detector (debug builds and `--features slab-track`).
+//!
+//! The static linter (`fastbn-analyze`, FB-L4) confines raw-slab
+//! primitives to audited modules; this module checks the *runtime* claim
+//! those audits rest on: within one parallel phase, the slab regions
+//! handed to different threads are pairwise disjoint unless every
+//! claimant only reads.
+//!
+//! Every [`SlabRaw::slice`](crate::state::SlabRaw)/`slice_mut` and
+//! `WorkState::message_slices` call registers a claim — range,
+//! mutability, `#[track_caller]` site, thread id — against its slab's
+//! current *generation*; `WorkState::raw` and `SlabRaw::begin_phase`
+//! open a new generation. Two overlapping claims within one generation,
+//! at least one of them mutable, from two different threads, panic with
+//! both claim sites. Same-thread overlaps are legal sequential
+//! re-borrows (the Seq engine flushing a pending ratio into the clique
+//! it is about to read, the Direct engine re-claiming a receiver for
+//! each child in a group) and stay silent — this is a *race* detector,
+//! not a borrow checker.
+//!
+//! Cost: one global mutex hop per claim. Debug builds only; release
+//! builds compile every entry point here to an empty inline function
+//! unless the `slab-track` feature is enabled.
+
+#[cfg(any(debug_assertions, feature = "slab-track"))]
+mod imp {
+    use std::collections::HashMap;
+    use std::panic::Location;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+    use std::thread::{self, ThreadId};
+
+    /// One registered borrow of a slab range.
+    #[derive(Clone, Copy)]
+    struct Claim {
+        start: usize,
+        end: usize,
+        mutable: bool,
+        site: &'static Location<'static>,
+        thread: ThreadId,
+    }
+
+    /// Claims of one live slab within its current generation.
+    #[derive(Default)]
+    struct SlabClaims {
+        claims: Vec<Claim>,
+    }
+
+    /// Live slabs, keyed by base address. An address is only ambiguous
+    /// across time (free + realloc), and [`retire`] clears the entry
+    /// when a `WorkState` drops, so reuse starts clean.
+    fn registry() -> &'static Mutex<HashMap<usize, SlabClaims>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<usize, SlabClaims>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, HashMap<usize, SlabClaims>> {
+        // The map is never left mid-update, so a poisoned lock (some
+        // unrelated test panicked while holding it) is still consistent.
+        registry().lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Opens a new generation for `base`'s slab: earlier claims no
+    /// longer conflict with later ones. Called at every `WorkState::raw`
+    /// and at explicit phase boundaries inside a single raw view
+    /// (`SlabRaw::begin_phase` — the Hybrid engine's per-layer phases).
+    pub fn begin_phase(base: *const f64) {
+        let mut map = lock();
+        // `clear` keeps the claim buffer's capacity, so steady-state
+        // propagation stays allocation-free even with tracking on (the
+        // `alloc.rs` regression test runs with the tracker active).
+        map.entry(base as usize).or_default().claims.clear();
+    }
+
+    /// Registers a borrow of `[off, off + len)` of `base`'s slab,
+    /// panicking — with both claim sites — when it races a prior claim
+    /// of the current generation from another thread.
+    #[track_caller]
+    pub fn claim(base: *const f64, off: usize, len: usize, mutable: bool) {
+        let site = Location::caller();
+        let thread = thread::current().id();
+        let (start, end) = (off, off + len);
+        let mut map = lock();
+        let entry = map.entry(base as usize).or_default();
+        for prior in &entry.claims {
+            let overlap = start < prior.end && prior.start < end;
+            if overlap && (mutable || prior.mutable) && prior.thread != thread {
+                let clash = *prior;
+                drop(map); // release (don't poison) the registry first
+                panic!(
+                    "slab race: {} claim of [{start}, {end}) at {site} overlaps {} claim \
+                     of [{}, {}) at {} from another thread (same parallel phase)",
+                    kind(mutable),
+                    kind(clash.mutable),
+                    clash.start,
+                    clash.end,
+                    clash.site,
+                );
+            }
+        }
+        entry.claims.push(Claim {
+            start,
+            end,
+            mutable,
+            site,
+            thread,
+        });
+    }
+
+    fn kind(mutable: bool) -> &'static str {
+        if mutable {
+            "mutable"
+        } else {
+            "shared"
+        }
+    }
+
+    /// Forgets a slab (called when its `WorkState` drops), so a later
+    /// allocation reusing the address starts with no claims.
+    pub fn retire(base: *const f64) {
+        lock().remove(&(base as usize));
+    }
+}
+
+#[cfg(not(any(debug_assertions, feature = "slab-track")))]
+mod imp {
+    //! Release-mode no-ops: tracking compiles away entirely.
+
+    #[inline(always)]
+    pub fn begin_phase(_base: *const f64) {}
+
+    #[inline(always)]
+    pub fn claim(_base: *const f64, _off: usize, _len: usize, _mutable: bool) {}
+
+    #[inline(always)]
+    pub fn retire(_base: *const f64) {}
+}
+
+pub(crate) use imp::{begin_phase, claim, retire};

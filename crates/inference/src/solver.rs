@@ -11,6 +11,8 @@
 //! steady-state querying performs no allocation, and results are
 //! bit-identical to the sequential baseline regardless of engine, thread
 //! count, or interleaving.
+//!
+//! fastbn: audited-raw-ptr
 
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -782,6 +784,8 @@ impl ScratchPool {
 
     /// Pops a parked state, or allocates one shaped like `prepared`'s.
     fn acquire(&self, prepared: &Prepared) -> Box<ScratchNode> {
+        // ORDERING: Acquire pairs with the Release CAS in `push_chain`,
+        // making parked nodes' contents visible before the deref below.
         let chain = self.head.swap(std::ptr::null_mut(), Ordering::Acquire);
         if chain.is_null() {
             return Box::new(ScratchNode {
@@ -837,6 +841,8 @@ impl ScratchPool {
             unsafe { (*tail).next.store(head, Ordering::Relaxed) };
             match self
                 .head
+                // ORDERING: Release publishes the chain's nodes to the
+                // Acquire swap in `acquire`; failed CAS just retries.
                 .compare_exchange_weak(head, chain, Ordering::Release, Ordering::Relaxed)
             {
                 Ok(_) => return,

@@ -1,5 +1,8 @@
 //! Per-query mutable state (one contiguous slab) and the shared pieces of
 //! Hugin propagation.
+//!
+//! fastbn: audited-raw-ptr
+//! fastbn: deny-hot-alloc
 
 use std::sync::Arc;
 
@@ -9,6 +12,7 @@ use fastbn_potential::{ops, KernelPlan};
 use crate::error::InferenceError;
 use crate::posterior::Posteriors;
 use crate::prepared::{Prepared, SlabLayout};
+use crate::slab_track;
 
 /// Sentinel for "no deferred message" in the pending array.
 const NO_PENDING: u32 = u32::MAX;
@@ -39,6 +43,8 @@ pub struct WorkState {
 impl WorkState {
     /// Allocates a working slab shaped like `prepared`'s and initializes
     /// it from the initial slab (one allocation for all tables).
+    // fastbn: allow(hot-alloc): constructor — the one slab allocation a
+    // query pays (then recycled through the solver's scratch pool).
     pub fn new(prepared: &Prepared) -> Self {
         WorkState {
             slab: prepared.initial_slab.clone(),
@@ -52,6 +58,7 @@ impl WorkState {
     /// [`SlabLayout::saved_col_off`]) that incremental re-propagation
     /// keeps current between evidence-delta edits. Same allocation count
     /// as [`WorkState::new`], one slab — just a longer one.
+    // fastbn: allow(hot-alloc): constructor (live-session slab).
     pub fn with_saved(prepared: &Prepared) -> Self {
         let layout = prepared.layout.clone();
         let mut slab = vec![1.0f64; layout.live_total].into_boxed_slice();
@@ -193,9 +200,26 @@ impl WorkState {
         debug_assert_ne!(sender, receiver);
         let layout = &self.layout;
         let base = self.slab.as_mut_ptr();
+        slab_track::begin_phase(base);
+        slab_track::claim(
+            base,
+            layout.clique_off[sender],
+            layout.clique_len[sender],
+            false,
+        );
+        slab_track::claim(
+            base,
+            layout.clique_off[receiver],
+            layout.clique_len[receiver],
+            true,
+        );
+        slab_track::claim(base, layout.sep_off[sep], layout.sep_len[sep], true);
+        slab_track::claim(base, layout.fresh_off[sep], layout.sep_len[sep], true);
+        slab_track::claim(base, layout.ratio_off[sep], layout.sep_len[sep], true);
         // SAFETY: the five regions are pairwise disjoint — clique, sep,
         // fresh and ratio regions tile the slab without overlap, and
-        // sender != receiver picks two distinct clique regions.
+        // sender != receiver picks two distinct clique regions (checked
+        // by the region tracker in debug builds).
         unsafe {
             let sl = |off: usize, len: usize| std::slice::from_raw_parts(base.add(off), len);
             let sm = |off: usize, len: usize| std::slice::from_raw_parts_mut(base.add(off), len);
@@ -354,10 +378,14 @@ impl WorkState {
     /// regions to worker closures the borrow checker cannot see through.
     #[inline]
     pub(crate) fn raw(&mut self) -> SlabRaw {
-        SlabRaw {
+        let raw = SlabRaw {
             base: self.slab.as_mut_ptr(),
             len: self.slab.len(),
-        }
+        };
+        // A fresh raw view starts a fresh tracking generation: borrows
+        // handed out before it cannot alias the ones handed out after.
+        slab_track::begin_phase(raw.base);
+        raw
     }
 
     /// Enters evidence by reducing, for each observation, the potential of
@@ -387,6 +415,8 @@ impl WorkState {
 
     /// One variable's normalized posterior (point mass if observed), read
     /// from its home clique. Requires a propagated state.
+    // fastbn: allow(hot-alloc): read-path output allocation (posterior
+    // vector handed to the caller).
     pub(crate) fn marginal_of(
         &self,
         prepared: &Prepared,
@@ -498,26 +528,55 @@ pub(crate) struct SlabRaw {
     len: usize,
 }
 
+// SAFETY: a `SlabRaw` is just (base, len) into a slab owned by a live
+// `WorkState` borrow; parallel phases hand out pairwise-disjoint regions
+// only (layer-schedule invariant), so cross-thread access never aliases.
 unsafe impl Send for SlabRaw {}
 unsafe impl Sync for SlabRaw {}
 
 impl SlabRaw {
+    /// Opens a new race-tracking generation mid-view: claims handed out
+    /// before this call no longer conflict with claims after it. The
+    /// Hybrid engine calls this at each intra-layer phase boundary — a
+    /// clique written as a phase's receiver is legally *read* as a
+    /// sender in the next phase, and the phases are separated by a
+    /// pool barrier. No-op in untracked builds.
+    #[inline]
+    pub(crate) fn begin_phase(&self) {
+        slab_track::begin_phase(self.base);
+    }
+
     /// # Safety
     /// `[off, off + len)` must be in bounds and not concurrently written.
     #[inline]
+    #[track_caller]
     pub(crate) unsafe fn slice(&self, off: usize, len: usize) -> &[f64] {
         debug_assert!(off + len <= self.len);
-        std::slice::from_raw_parts(self.base.add(off), len)
+        slab_track::claim(self.base, off, len, false);
+        // SAFETY: in-bounds per the debug_assert and the caller contract.
+        unsafe { std::slice::from_raw_parts(self.base.add(off), len) }
     }
 
     /// # Safety
     /// `[off, off + len)` must be in bounds and disjoint from every other
     /// slice handed out for the duration of this borrow.
     #[inline]
+    #[track_caller]
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn slice_mut(&self, off: usize, len: usize) -> &mut [f64] {
         debug_assert!(off + len <= self.len);
-        std::slice::from_raw_parts_mut(self.base.add(off), len)
+        slab_track::claim(self.base, off, len, true);
+        // SAFETY: in-bounds and exclusive per the caller contract.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(off), len) }
+    }
+}
+
+#[cfg(any(debug_assertions, feature = "slab-track"))]
+impl Drop for WorkState {
+    fn drop(&mut self) {
+        // Forget the slab's claims so a future allocation reusing this
+        // address starts clean.
+        slab_track::retire(self.slab.as_ptr());
     }
 }
 
@@ -642,5 +701,63 @@ mod tests {
             targeted.prob_evidence.to_bits(),
             full.prob_evidence.to_bits()
         );
+    }
+
+    /// The dynamic race detector must abort on what it exists to catch:
+    /// two threads claiming overlapping slab ranges, at least one
+    /// mutably, inside one tracking generation — and the panic must name
+    /// both claim sites.
+    #[cfg(any(debug_assertions, feature = "slab-track"))]
+    #[test]
+    fn slab_tracker_panics_on_cross_thread_overlap() {
+        use std::sync::mpsc;
+
+        let net = datasets::sprinkler();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let mut state = WorkState::new(&prepared);
+        let raw = state.raw();
+        let (claimed_tx, claimed_rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                // SAFETY: sound on its own — [0, 8) is in bounds and
+                // nothing else borrows it until after this claim lands.
+                let chunk = unsafe { raw.slice_mut(0, 8) };
+                chunk[0] += 0.0;
+                claimed_tx.send(()).unwrap();
+            });
+            claimed_rx.recv().unwrap();
+            let payload = std::panic::catch_unwind(|| {
+                // SAFETY: never executes — the deliberately overlapping
+                // claim panics inside the tracker first.
+                let _ = unsafe { raw.slice_mut(4, 8) };
+            })
+            .expect_err("overlapping cross-thread mutable claims must panic");
+            let msg = payload
+                .downcast_ref::<String>()
+                .expect("tracker panics with a formatted message");
+            assert!(msg.contains("slab race"), "unexpected message: {msg}");
+            assert!(
+                msg.matches("state.rs").count() >= 2,
+                "both claim sites should be reported: {msg}"
+            );
+        });
+    }
+
+    /// Same-thread overlaps are legal sequential re-borrows (the Seq
+    /// engine's pending-ratio corner) and must stay silent.
+    #[cfg(any(debug_assertions, feature = "slab-track"))]
+    #[test]
+    fn slab_tracker_allows_same_thread_reclaims() {
+        let net = datasets::sprinkler();
+        let prepared = Prepared::new(&net, &JtreeOptions::default());
+        let mut state = WorkState::new(&prepared);
+        let raw = state.raw();
+        // SAFETY: sequential re-borrows on one thread; the earlier
+        // reference is dead before the next one is created.
+        unsafe {
+            let _ = raw.slice_mut(0, 8);
+            let _ = raw.slice_mut(4, 8); // overlapping, same thread: ok
+            let _ = raw.slice(0, 16); // shared over both: ok
+        }
     }
 }

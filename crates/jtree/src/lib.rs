@@ -23,6 +23,11 @@
 //! assert!(built.tree.num_cliques() >= 6);
 //! ```
 
+// No unsafe code: raw-pointer and atomics tricks live in the audited
+// modules of fastbn-potential/parallel/inference (see FB-L4 in
+// crates/analyze); everything here must stay checkable by construction.
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod chordal;
 pub mod layers;

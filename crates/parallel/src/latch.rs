@@ -36,7 +36,8 @@ impl CompletionLatch {
 
     /// Marks the latch as set and wakes all parked waiters.
     pub fn set(&self) {
-        // Release pairs with the Acquire loads in `wait`/`is_set`; taking
+        // ORDERING: Release pairs with the Acquire loads in `wait`/
+        // `is_set`; taking
         // the lock before notifying closes the race with a waiter that
         // checked the flag and is about to park.
         self.flag.store(true, Ordering::Release);
@@ -48,12 +49,14 @@ impl CompletionLatch {
     /// immediately if it already was). Spins briefly first.
     pub fn wait(&self) {
         for _ in 0..SPIN_LIMIT {
+            // ORDERING: Acquire pairs with the Release store in `set`.
             if self.flag.load(Ordering::Acquire) {
                 return;
             }
             std::hint::spin_loop();
         }
         let mut guard = self.lock.lock();
+        // ORDERING: Acquire — same pairing as the spin loop above.
         while !self.flag.load(Ordering::Acquire) {
             self.cond.wait(&mut guard);
         }
@@ -61,6 +64,7 @@ impl CompletionLatch {
 
     /// Non-blocking probe, used by tests.
     pub fn is_set(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release store in `set`.
         self.flag.load(Ordering::Acquire)
     }
 }

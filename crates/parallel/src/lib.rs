@@ -36,6 +36,11 @@
 //! assert_eq!(total.into_inner(), 999 * 1000 / 2);
 //! ```
 
+// Every unsafe operation inside an `unsafe fn` must sit in its own
+// `unsafe {}` block with a SAFETY comment (enforced by fastbn-analyze
+// FB-L1 plus this lint).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod latch;
 mod pool;
 mod region;

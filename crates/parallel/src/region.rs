@@ -11,6 +11,8 @@
 //! multi-model registry leans on this — every compiled model's regions
 //! interleave on one worker team). A worker that picks a region off the
 //! queue after it has completed simply retires zero chunks.
+//!
+//! fastbn: audited-raw-ptr
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -80,8 +82,9 @@ impl Region {
         threads: usize,
         sched: Schedule,
     ) -> Self {
-        // Erase the borrow's lifetime; soundness is argued above.
-        let body: *const (dyn Fn(usize, usize) + Sync) = std::mem::transmute(body);
+        // SAFETY: erases the borrow's lifetime; soundness is argued in
+        // the `# Safety` section above.
+        let body: *const (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(body) };
         Region {
             body: BodyPtr(body),
             len,
@@ -117,6 +120,10 @@ impl Region {
             }
             // Retire the chunk *after* the body returned; the final retirer
             // releases the caller.
+            // ORDERING: AcqRel — the Release half publishes this body's
+            // writes to whoever observes completion; the Acquire half
+            // makes earlier chunks' writes visible to the final retirer
+            // before it opens the latch.
             let done = self.completed.fetch_add(end - start, Ordering::AcqRel) + (end - start);
             debug_assert!(done <= self.len);
             if done == self.len {

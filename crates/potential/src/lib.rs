@@ -31,6 +31,11 @@
 //! in the full stack is mapped in `docs/ARCHITECTURE.md` at the
 //! repository root.
 
+// Every unsafe operation inside an `unsafe fn` must sit in its own
+// `unsafe {}` block with a SAFETY comment (enforced by fastbn-analyze
+// FB-L1 plus this lint).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod domain;
 pub mod index_map;
 pub mod ops;

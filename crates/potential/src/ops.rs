@@ -7,6 +7,8 @@
 //! precompiled plans instead and call the plan kernels directly; these
 //! functions are the convenience layer for one-shot callers (preparation,
 //! oracles, tests).
+//!
+//! fastbn: deny-hot-alloc
 
 use crate::domain::Domain;
 use crate::index_map::embedding_strides;
@@ -141,6 +143,8 @@ pub fn marginal_of_var(table: &PotentialTable, var: VarId) -> Vec<f64> {
 }
 
 /// Slice form of [`marginal_of_var`] for tables living in a slab.
+// fastbn: allow(hot-alloc): allocating convenience form; hot paths use
+// `marginal_of_var_into`.
 pub fn marginal_of_var_slice(values: &[f64], domain: &Domain, var: VarId) -> Vec<f64> {
     let mut out = vec![0.0; domain.card_of(var)];
     marginal_of_var_into(values, domain, var, &mut out);
@@ -184,6 +188,7 @@ pub fn max_marginalize_into(src: &PotentialTable, out: &mut PotentialTable) {
 
 /// Max-marginal of a single variable: `out[s] = max { table[i] :
 /// state_of(i, var) = s }`.
+// fastbn: allow(hot-alloc): allocating convenience form (MPE read path).
 pub fn max_marginal_of_var(table: &PotentialTable, var: VarId) -> Vec<f64> {
     let stride = table.domain().stride_of(var);
     let card = table.domain().card_of(var);

@@ -18,6 +18,9 @@
 //! applies it. They produce identical results with more parallel regions
 //! and more memory traffic — which is precisely the overhead the paper's
 //! hybrid design avoids.
+//!
+//! fastbn: audited-raw-ptr
+//! fastbn: deny-hot-alloc
 
 use fastbn_bayesnet::VarId;
 use fastbn_parallel::{Schedule, ThreadPool};
@@ -32,6 +35,9 @@ use crate::table::{PotentialTable, ZeroSumError};
 /// slice. Soundness: callers only ever hand each chunk the sub-slice
 /// `[start, end)` it owns, and chunks are disjoint by construction.
 struct SharedMut<T>(*mut T);
+// SAFETY: sending/sharing the pointer is sound because each chunk
+// closure only touches the disjoint `[start, end)` range it is handed
+// (see `SharedMut::range`).
 unsafe impl<T: Send> Send for SharedMut<T> {}
 unsafe impl<T: Send> Sync for SharedMut<T> {}
 
@@ -49,7 +55,8 @@ impl<T> SharedMut<T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     unsafe fn range(&self, start: usize, end: usize) -> &mut [T] {
-        std::slice::from_raw_parts_mut(self.get().add(start), end - start)
+        // SAFETY: in-bounds and disjoint per the caller contract above.
+        unsafe { std::slice::from_raw_parts_mut(self.get().add(start), end - start) }
     }
 }
 
@@ -127,8 +134,9 @@ pub fn sep_update_par(
     let sep_ptr = SharedMut(sep.as_mut_ptr());
     let ratio_ptr = SharedMut(ratio.as_mut_ptr());
     pool.parallel_for_chunks(0..fresh.len(), sched, |start, end| {
-        // SAFETY: chunks are disjoint sub-ranges of both outputs.
+        // SAFETY: chunks are disjoint sub-ranges of the sep output.
         let sep_chunk = unsafe { sep_ptr.range(start, end) };
+        // SAFETY: likewise disjoint sub-ranges of the ratio output.
         let ratio_chunk = unsafe { ratio_ptr.range(start, end) };
         for ((&f, s), r) in fresh[start..end].iter().zip(sep_chunk).zip(ratio_chunk) {
             *r = safe_div(f, *s);
@@ -278,6 +286,8 @@ pub fn normalize_par(
 
 /// Element-engine pass 1: materializes the full `iter_domain → target`
 /// index-mapping array in parallel.
+// fastbn: allow(hot-alloc): pass-one map materialization — the Element
+// engine's per-network precompute, not a per-query path.
 pub fn materialize_map_par(
     pool: &ThreadPool,
     sched: Schedule,

@@ -38,6 +38,8 @@
 //! generic path. For `OuterBlock`, the contiguous slice sum is literally
 //! the ascending-source scan. Extension writes each entry exactly once, so
 //! only the product operands matter, and they are identical across paths.
+//!
+//! fastbn: deny-hot-alloc
 
 use crate::domain::Domain;
 use crate::index_map::{embedding_strides, fiber_offsets};

@@ -70,6 +70,11 @@
 //! mapped out in `docs/ARCHITECTURE.md` at the repository root, and
 //! `examples/multi_model.rs` is a runnable quickstart.
 
+// No unsafe code: raw-pointer and atomics tricks live in the audited
+// modules of fastbn-potential/parallel/inference (see FB-L4 in
+// crates/analyze); everything here must stay checkable by construction.
+#![forbid(unsafe_code)]
+
 mod oneshot;
 mod registry;
 mod routed;

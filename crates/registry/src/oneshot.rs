@@ -81,6 +81,9 @@ impl<T> SlotSender<T> {
     /// value was delivered while the handle was still live.
     pub(crate) fn send(mut self, value: T) -> Result<(), T> {
         let mut slot = self.inner.lock();
+        // ORDERING: Acquire pairs with the Release store in the
+        // receiver's `Drop` (the lock covers send-vs-drop; the ordering
+        // covers the lock-free `is_cancelled` fast path).
         if self.inner.cancelled.load(Ordering::Acquire) {
             return Err(value);
         }
@@ -94,6 +97,8 @@ impl<T> SlotSender<T> {
     /// True once the receiver has been dropped — the client abandoned
     /// the request, so computing its result is wasted work.
     pub(crate) fn is_cancelled(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release store in the
+        // receiver's `Drop`.
         self.inner.cancelled.load(Ordering::Acquire)
     }
 }
@@ -161,6 +166,8 @@ impl<T> Drop for SlotReceiver<T> {
         // Under the slot lock, so it serializes with `SlotSender::send`
         // (see there); `is_cancelled` stays a lock-free advisory read.
         let _slot = self.inner.lock();
+        // ORDERING: Release pairs with the Acquire loads in `send` and
+        // `is_cancelled`.
         self.inner.cancelled.store(true, Ordering::Release);
     }
 }

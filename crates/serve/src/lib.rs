@@ -73,6 +73,11 @@
 //! rather than in the engines — is mapped out in `docs/ARCHITECTURE.md`
 //! at the repository root.
 
+// No unsafe code: raw-pointer and atomics tricks live in the audited
+// modules of fastbn-potential/parallel/inference (see FB-L4 in
+// crates/analyze); everything here must stay checkable by construction.
+#![forbid(unsafe_code)]
+
 mod server;
 
 pub use server::{

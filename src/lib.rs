@@ -138,6 +138,11 @@
 //! The full crate map and the path a query takes through the layers are
 //! documented in `docs/ARCHITECTURE.md`.
 
+// No unsafe code: raw-pointer and atomics tricks live in the audited
+// modules of fastbn-potential/parallel/inference (see FB-L4 in
+// crates/analyze); everything here must stay checkable by construction.
+#![forbid(unsafe_code)]
+
 /// Bayesian-network substrate (variables, CPTs, DAG, BIF, generators).
 pub use fastbn_bayesnet as bayesnet;
 /// Inference engines and oracles (the paper's contribution).

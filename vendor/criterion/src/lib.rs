@@ -9,6 +9,11 @@
 //! No statistics, plots, or regression tracking; results print to
 //! stdout. Invoke via `cargo bench` exactly as with real criterion.
 
+// No unsafe code: raw-pointer and atomics tricks live in the audited
+// modules of fastbn-potential/parallel/inference (see FB-L4 in
+// crates/analyze); everything here must stay checkable by construction.
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

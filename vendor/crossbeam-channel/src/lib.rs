@@ -13,6 +13,11 @@
 //! Deviation from upstream: zero-capacity (rendezvous) channels are not
 //! implemented; `bounded(0)` panics.
 
+// No unsafe code: raw-pointer and atomics tricks live in the audited
+// modules of fastbn-potential/parallel/inference (see FB-L4 in
+// crates/analyze); everything here must stay checkable by construction.
+#![forbid(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -161,6 +166,9 @@ impl<T> Sender<T> {
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut queue = self.chan.lock();
         loop {
+            // ORDERING: Acquire pairs with the AcqRel handle-count
+            // updates in `Receiver`'s Clone/Drop, so a zero read means
+            // the last receiver is truly gone.
             if self.chan.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
@@ -183,6 +191,7 @@ impl<T> Sender<T> {
     /// [`TrySendError::Disconnected`] when every receiver is gone.
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
         let mut queue = self.chan.lock();
+        // ORDERING: Acquire — same pairing as in `send`.
         if self.chan.receivers.load(Ordering::Acquire) == 0 {
             return Err(TrySendError::Disconnected(value));
         }
@@ -198,6 +207,9 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
+        // ORDERING: AcqRel — the count is decremented in `Drop` and read
+        // by receiver-side disconnect checks; the full RMW ordering keeps
+        // the last-handle transition unambiguous across threads.
         self.chan.senders.fetch_add(1, Ordering::AcqRel);
         Sender {
             chan: self.chan.clone(),
@@ -207,6 +219,9 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
+        // ORDERING: AcqRel pairs with the Acquire disconnect loads in
+        // `recv`/`try_recv`; the decrement that reaches zero must be the
+        // one that wakes the parked receivers.
         if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last sender: wake parked receivers so they observe the
             // disconnect.
@@ -232,6 +247,8 @@ impl<T> Receiver<T> {
         let mut queue = self.chan.lock();
         match self.pop(&mut queue) {
             Some(v) => Ok(v),
+            // ORDERING: Acquire pairs with the AcqRel handle-count
+            // updates in `Sender`'s Clone/Drop.
             None if self.chan.senders.load(Ordering::Acquire) == 0 => {
                 Err(TryRecvError::Disconnected)
             }
@@ -246,6 +263,7 @@ impl<T> Receiver<T> {
             if let Some(v) = self.pop(&mut queue) {
                 return Ok(v);
             }
+            // ORDERING: Acquire — same pairing as in `try_recv`.
             if self.chan.senders.load(Ordering::Acquire) == 0 {
                 return Err(RecvError);
             }
@@ -278,6 +296,7 @@ impl<T> Receiver<T> {
             if let Some(v) = self.pop(&mut queue) {
                 return Ok(v);
             }
+            // ORDERING: Acquire — same pairing as in `try_recv`.
             if self.chan.senders.load(Ordering::Acquire) == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
@@ -303,6 +322,7 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
+        // ORDERING: AcqRel — mirrors `Sender::clone` (see there).
         self.chan.receivers.fetch_add(1, Ordering::AcqRel);
         Receiver {
             chan: self.chan.clone(),
@@ -312,6 +332,9 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
+        // ORDERING: AcqRel pairs with the Acquire disconnect loads in
+        // `send`/`try_send`; the decrement that reaches zero must be the
+        // one that wakes the blocked senders.
         if self.chan.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last receiver: wake senders blocked on a full bounded
             // channel so they observe the disconnect.

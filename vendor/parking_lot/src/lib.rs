@@ -5,6 +5,11 @@
 //! MutexGuard` — implemented over `std::sync`. Poisoning is swallowed
 //! (parking_lot has none): a panicked holder does not wedge the lock.
 
+// No unsafe code: raw-pointer and atomics tricks live in the audited
+// modules of fastbn-potential/parallel/inference (see FB-L4 in
+// crates/analyze); everything here must stay checkable by construction.
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 
 /// Mutual exclusion lock with parking_lot's non-poisoning `lock()` API.

@@ -11,6 +11,11 @@
 //! in the workspace depends on the exact stream, only on seed
 //! determinism (same seed, same sequence, forever).
 
+// No unsafe code: raw-pointer and atomics tricks live in the audited
+// modules of fastbn-potential/parallel/inference (see FB-L4 in
+// crates/analyze); everything here must stay checkable by construction.
+#![forbid(unsafe_code)]
+
 /// Core trait: a source of uniformly distributed 64-bit words.
 pub trait RngCore {
     /// Returns the next 64 random bits.
