@@ -15,9 +15,12 @@
 //! The comparison matches rows by identity
 //! (`network|engine|mode|threads|workers`) and **fails** (exit 1) when
 //! any baseline row's throughput drops by more than `--threshold`
-//! (default 0.30, the ">30% regression" gate), or when a baseline row
-//! is missing from the candidate — silently dropping a slow
-//! configuration must not pass. Candidate-only rows are reported but
+//! (default 0.30, the ">30% regression" gate), when a latency-carrying
+//! row's p99 *grows* by more than the same threshold (tail blow-ups at
+//! steady throughput fail too; baselines under
+//! [`P99_FLOOR_US`](fastbn_bench::report::P99_FLOOR_US) are noise and
+//! exempt), or when a baseline row is missing from the candidate —
+//! silently dropping a slow configuration must not pass. Candidate-only rows are reported but
 //! not gated; refresh the baseline to start trending them. A machine
 //! mismatch (os/arch/cores) is called out loudly: absolute throughput
 //! is only comparable on matching hardware, so cross-machine verdicts
@@ -117,9 +120,17 @@ fn main() -> ExitCode {
         threshold * 100.0
     );
     for row in &outcome.rows {
+        let p99 = match row.p99_change {
+            Some(growth) => format!("  p99 {:>+6.1}%", growth * 100.0),
+            None => String::new(),
+        };
         println!(
-            "  {} {:<44} {:>9.0} -> {:>9.0} req/s  ({:>+6.1}%)",
-            if row.regressed { "FAIL" } else { "  ok" },
+            "  {} {:<44} {:>9.0} -> {:>9.0} req/s  ({:>+6.1}%){p99}",
+            if row.regressed || row.p99_regressed {
+                "FAIL"
+            } else {
+                "  ok"
+            },
             row.key,
             row.baseline,
             row.candidate,
@@ -143,7 +154,11 @@ fn main() -> ExitCode {
     } else {
         println!(
             "FAIL: {} regressed row(s), {} missing row(s)",
-            outcome.rows.iter().filter(|r| r.regressed).count(),
+            outcome
+                .rows
+                .iter()
+                .filter(|r| r.regressed || r.p99_regressed)
+                .count(),
             outcome.missing.len()
         );
         ExitCode::FAILURE

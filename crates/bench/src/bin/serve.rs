@@ -46,8 +46,11 @@
 //! `BENCH_*.json` perf record (see `fastbn_bench::report`) for the
 //! committed baselines in `perf/` and the CI regression gate. In the
 //! default mode this also measures each serve configuration with
-//! telemetry *disabled* (`telem_off` rows): the on/off throughput ratio
-//! in one file is the record that stage timing costs ≈ nothing.
+//! telemetry *disabled* (`serve_telem_off` rows) and with a request
+//! tracer at default 1-in-16 head sampling (`serve_trace` rows): the
+//! three interleaved repetitions in one file are the record that stage
+//! timing costs ≈ nothing and sampled tracing stays under a few
+//! percent.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -63,6 +66,7 @@ use fastbn_bench::workloads::all_workloads;
 use fastbn_inference::{CacheConfig, CacheStats, EngineKind, Query, QueryBatch, Solver};
 use fastbn_registry::{Registry, RoutedServer};
 use fastbn_serve::Server;
+use fastbn_telemetry::{TraceConfig, Tracer};
 
 /// Microseconds, for the JSON rows (`Duration` has no lossless float).
 fn us(d: Duration) -> f64 {
@@ -601,17 +605,20 @@ fn main() {
             // Dedup off, as in `run_cases_serve`: the batch-vs-serve
             // comparison measures raw per-request serving overhead.
             // With `--json`, every telemetry-on repetition is followed
-            // immediately by a telemetry-off one — machine-speed drift
-            // over the seconds of a sweep then hits both sides alike
-            // instead of masquerading as telemetry overhead.
-            let run_serve = |workers: usize, with_off: bool| {
-                let run_one = |telemetry: bool| {
+            // immediately by a telemetry-off one and a traced one
+            // (fresh tracer, default 1-in-16 head sampling) — machine-
+            // speed drift over the seconds of a sweep then hits all
+            // sides alike instead of masquerading as instrumentation
+            // overhead.
+            let run_serve = |workers: usize, with_variants: bool| {
+                let run_one = |telemetry: bool, tracer: Option<Arc<Tracer>>| {
                     let opts = ServeOpts {
                         workers,
                         max_batch: width,
                         max_delay: delay,
                         dedup: false,
                         telemetry,
+                        tracer,
                     };
                     let solver = Arc::new(solver_for(kind, prepared.clone(), threads));
                     run_cases_serve_with(solver, &opts, &cases)
@@ -621,29 +628,39 @@ fn main() {
                 };
                 let mut best_on: Option<ServeRun> = None;
                 let mut best_off: Option<ServeRun> = None;
+                let mut best_trace: Option<ServeRun> = None;
                 for _ in 0..repeat {
-                    let on = run_one(true);
+                    let on = run_one(true, None);
                     if faster(&best_on, &on) {
                         best_on = Some(on);
                     }
-                    if with_off {
-                        let off = run_one(false);
+                    if with_variants {
+                        let off = run_one(false, None);
                         if faster(&best_off, &off) {
                             best_off = Some(off);
                         }
+                        let traced =
+                            run_one(true, Some(Arc::new(Tracer::new(TraceConfig::default()))));
+                        if faster(&best_trace, &traced) {
+                            best_trace = Some(traced);
+                        }
                     }
                 }
-                (best_on.expect("at least one repetition"), best_off)
+                (
+                    best_on.expect("at least one repetition"),
+                    best_off,
+                    best_trace,
+                )
             };
             let mut best_thru = 0.0f64;
-            let runs: Vec<(usize, ServeRun, Option<ServeRun>)> = worker_counts
+            let runs: Vec<(usize, ServeRun, Option<ServeRun>, Option<ServeRun>)> = worker_counts
                 .iter()
                 .map(|&workers| {
-                    let (on, off) = run_serve(workers, json.is_some());
-                    (workers, on, off)
+                    let (on, off, traced) = run_serve(workers, json.is_some());
+                    (workers, on, off, traced)
                 })
                 .collect();
-            for (workers, run, _) in &runs {
+            for (workers, run, _, _) in &runs {
                 println!(
                     "{:<24} {:>9.0} req/s  ({:.2}x batch)  p50 {} ms  p99 {} ms  \
                      [{} batches, mean {} ms]",
@@ -671,10 +688,11 @@ fn main() {
                 best_thru,
                 best_thru / batch_thru
             );
-            // The opt-out overhead record: the same configurations with
-            // stage timing disabled, in the same file, so the on/off
-            // ratio is part of the committed trajectory.
-            for (workers, on, off) in &runs {
+            // The instrumentation overhead record: the same
+            // configurations with stage timing disabled and with a
+            // sampling tracer installed, in the same file, so both
+            // ratios are part of the committed trajectory.
+            for (workers, on, off, traced) in &runs {
                 let Some(off) = off else { continue };
                 println!(
                     "{:<24} {:>9.0} req/s  (telemetry on: {:>+5.1}%)",
@@ -689,6 +707,21 @@ fn main() {
                     threads,
                     *workers,
                     off,
+                ));
+                let Some(traced) = traced else { continue };
+                println!(
+                    "{:<24} {:>9.0} req/s  (vs untraced: {:>+5.1}%)",
+                    format!("  traced    workers={workers}"),
+                    traced.throughput,
+                    (traced.throughput / on.throughput - 1.0) * 100.0,
+                );
+                report.push(serve_row(
+                    w.name,
+                    kind.id(),
+                    "serve_trace",
+                    threads,
+                    *workers,
+                    traced,
                 ));
             }
         }

@@ -229,7 +229,7 @@ pub fn run_cases_serve(
 
 /// Server-shape knobs for [`run_cases_serve_with`], bundled so a
 /// telemetry on/off comparison cannot accidentally vary anything else.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeOpts {
     /// Serving worker threads.
     pub workers: usize,
@@ -243,6 +243,11 @@ pub struct ServeOpts {
     /// live either way ([`fastbn_serve::ServerStats`] depends on them);
     /// `false` measures the opt-out overhead floor.
     pub telemetry: bool,
+    /// Request tracer installed on the server
+    /// ([`fastbn_serve::Tracer`]): every request gets the slow-query
+    /// accounting, head-sampled ones record span trees. `None` measures
+    /// the no-tracer hot path.
+    pub tracer: Option<Arc<fastbn_telemetry::Tracer>>,
 }
 
 /// The [`run_cases_serve`] core over a caller-built solver — the entry
@@ -263,6 +268,7 @@ pub fn run_cases_serve_on(
         max_delay,
         dedup,
         telemetry: true,
+        tracer: None,
     };
     run_cases_serve_with(solver, &opts, cases)
 }
@@ -279,14 +285,18 @@ pub fn run_cases_serve_with(solver: Arc<Solver>, opts: &ServeOpts, cases: &[Evid
         max_delay,
         dedup,
         telemetry,
+        ref tracer,
     } = *opts;
-    let server = fastbn_serve::Server::builder(Arc::clone(&solver))
+    let mut builder = fastbn_serve::Server::builder(Arc::clone(&solver))
         .workers(workers)
         .max_batch(max_batch)
         .max_delay(max_delay)
         .dedup(dedup)
-        .telemetry(telemetry)
-        .build();
+        .telemetry(telemetry);
+    if let Some(tracer) = tracer {
+        builder = builder.tracer(Arc::clone(tracer));
+    }
+    let server = builder.build();
     let queries: Vec<Query> = cases
         .iter()
         .map(|ev| Query::new().evidence(ev.clone()))

@@ -2,7 +2,8 @@
 //! reader/writer: every report binary can emit its measurements as one
 //! machine-readable file (`--json <path>`), committed baselines live in
 //! `perf/`, and the `gate` binary compares a fresh run against a
-//! baseline and fails CI on a throughput regression.
+//! baseline and fails CI on a throughput regression or — for rows with
+//! per-request latency — a p99 tail-latency blow-up.
 //!
 //! # Schema v1
 //!
@@ -355,6 +356,11 @@ impl BenchReport {
     }
 }
 
+/// Tail latencies below this (microseconds) are not gated: at
+/// micro-batching window scale, a couple hundred microseconds of p99 is
+/// scheduler noise, and a ratio over it flags nothing real.
+pub const P99_FLOOR_US: f64 = 200.0;
+
 /// One row's baseline-vs-candidate verdict from [`compare`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RowComparison {
@@ -366,8 +372,14 @@ pub struct RowComparison {
     pub candidate: f64,
     /// `candidate / baseline - 1`: negative is a slowdown.
     pub change: f64,
-    /// Whether the row breaches the threshold.
+    /// Whether the row breaches the throughput threshold.
     pub regressed: bool,
+    /// `candidate_p99 / baseline_p99 - 1`: positive is a latency
+    /// *growth*. `None` when either side lacks latency or the baseline
+    /// p99 sits under [`P99_FLOOR_US`].
+    pub p99_change: Option<f64>,
+    /// Whether the p99 growth breaches the threshold.
+    pub p99_regressed: bool,
 }
 
 /// The outcome of gating `candidate` against `baseline`.
@@ -381,17 +393,25 @@ pub struct GateOutcome {
 }
 
 impl GateOutcome {
-    /// True when no row regressed and none went missing.
+    /// True when no row regressed (throughput *or* p99) and none went
+    /// missing.
     pub fn passed(&self) -> bool {
-        self.missing.is_empty() && self.rows.iter().all(|row| !row.regressed)
+        self.missing.is_empty()
+            && self
+                .rows
+                .iter()
+                .all(|row| !row.regressed && !row.p99_regressed)
     }
 }
 
 /// Gates `candidate` against `baseline`: every baseline row must be
 /// present in the candidate with throughput no worse than
-/// `(1 - threshold) ×` its baseline value. Candidate-only rows (new
-/// configurations) are ignored — they become gated once the baseline
-/// is refreshed.
+/// `(1 - threshold) ×` its baseline value, and — where both rows carry
+/// per-request latency and the baseline p99 clears [`P99_FLOOR_US`] —
+/// p99 latency no worse than `(1 + threshold) ×` the baseline (tail
+/// growth fails even when throughput holds, e.g. one straggler worker
+/// in an otherwise fast run). Candidate-only rows (new configurations)
+/// are ignored — they become gated once the baseline is refreshed.
 pub fn compare(baseline: &BenchReport, candidate: &BenchReport, threshold: f64) -> GateOutcome {
     let mut rows = Vec::new();
     let mut missing = Vec::new();
@@ -405,12 +425,20 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport, threshold: f64) 
                 } else {
                     0.0
                 };
+                let p99_change = match (base.p99_us, cand.p99_us) {
+                    (Some(base_p99), Some(cand_p99)) if base_p99 >= P99_FLOOR_US => {
+                        Some(cand_p99 / base_p99 - 1.0)
+                    }
+                    _ => None,
+                };
                 rows.push(RowComparison {
                     key,
                     baseline: base.throughput,
                     candidate: cand.throughput,
                     change,
                     regressed: change < -threshold,
+                    p99_change,
+                    p99_regressed: p99_change.is_some_and(|growth| growth > threshold),
                 });
             }
         }
@@ -489,5 +517,34 @@ mod tests {
         let outcome = compare(&baseline, &candidate, 0.30);
         assert!(!outcome.passed());
         assert_eq!(outcome.missing, vec!["hailfinder|hybrid|batch|t2|w0"]);
+    }
+
+    #[test]
+    fn gate_fails_on_p99_growth_even_at_equal_throughput() {
+        let baseline = sample();
+        let mut candidate = sample();
+        // Throughput identical, tail 40% worse: a straggler, not a
+        // slowdown — the latency gate must still catch it.
+        candidate.rows[0].p99_us = Some(4100.0 * 1.4);
+        let outcome = compare(&baseline, &candidate, 0.30);
+        assert!(!outcome.passed());
+        let row = &outcome.rows[0];
+        assert!(!row.regressed, "throughput did not move");
+        assert!(row.p99_regressed);
+        assert!((row.p99_change.unwrap() - 0.4).abs() < 1e-9);
+
+        // 20% growth passes a 30% threshold.
+        candidate.rows[0].p99_us = Some(4100.0 * 1.2);
+        assert!(compare(&baseline, &candidate, 0.30).passed());
+
+        // Rows without latency (the batch row) are never latency-gated,
+        // and a baseline p99 under the floor is noise, not a gate.
+        let mut tiny = sample();
+        tiny.rows[0].p99_us = Some(P99_FLOOR_US / 2.0);
+        let mut blown = tiny.clone();
+        blown.rows[0].p99_us = Some(P99_FLOOR_US * 10.0);
+        let outcome = compare(&tiny, &blown, 0.30);
+        assert!(outcome.passed(), "{outcome:?}");
+        assert_eq!(outcome.rows[0].p99_change, None);
     }
 }

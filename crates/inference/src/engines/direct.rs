@@ -156,12 +156,16 @@ impl InferenceEngine for DirectJt {
     }
 
     fn propagate(&self, state: &mut WorkState) {
-        for groups in &self.collect_groups {
-            self.run_layer(state, groups, true);
-        }
-        for groups in &self.distribute_groups {
-            self.run_layer(state, groups, false);
-        }
+        crate::trace::collect(|| {
+            for groups in &self.collect_groups {
+                self.run_layer(state, groups, true);
+            }
+        });
+        crate::trace::distribute(|| {
+            for groups in &self.distribute_groups {
+                self.run_layer(state, groups, false);
+            }
+        });
     }
 }
 

@@ -294,12 +294,16 @@ impl InferenceEngine for HybridJt {
 
     fn propagate(&self, state: &mut WorkState) {
         let raw = state.raw();
-        for plan in &self.collect_plans {
-            self.run_layer(raw, plan, true);
-        }
-        for plan in &self.distribute_plans {
-            self.run_layer(raw, plan, false);
-        }
+        crate::trace::collect(|| {
+            for plan in &self.collect_plans {
+                self.run_layer(raw, plan, true);
+            }
+        });
+        crate::trace::distribute(|| {
+            for plan in &self.distribute_plans {
+                self.run_layer(raw, plan, false);
+            }
+        });
     }
 }
 

@@ -97,18 +97,22 @@ impl InferenceEngine for PrimitiveJt {
 
     fn propagate(&self, state: &mut WorkState) {
         let schedule = &self.prepared.built.schedule;
-        for layer in &schedule.collect_layers {
-            for &id in layer {
-                let m = schedule.messages[id];
-                self.message(state, m.child, m.parent, m.sep);
+        crate::trace::collect(|| {
+            for layer in &schedule.collect_layers {
+                for &id in layer {
+                    let m = schedule.messages[id];
+                    self.message(state, m.child, m.parent, m.sep);
+                }
             }
-        }
-        for layer in &schedule.distribute_layers {
-            for &id in layer {
-                let m = schedule.messages[id];
-                self.message(state, m.parent, m.child, m.sep);
+        });
+        crate::trace::distribute(|| {
+            for layer in &schedule.distribute_layers {
+                for &id in layer {
+                    let m = schedule.messages[id];
+                    self.message(state, m.parent, m.child, m.sep);
+                }
             }
-        }
+        });
     }
 }
 

@@ -59,29 +59,35 @@ impl SeqJt {
         let marg_plan = prepared.plan_for(sender, sep);
         let layout = &*prepared.layout;
         let raw = state.raw();
-        // SAFETY: every slice below is a distinct slab region (clique,
-        // sep, fresh and ratio regions are pairwise disjoint by layout
-        // construction; `ratio[p]` vs `fresh[sep]` are distinct regions
-        // even when `p == sep`), and this engine is single-threaded.
-        unsafe {
-            let fresh = raw.slice_mut(layout.fresh_off[sep], layout.sep_len[sep]);
-            match pending {
-                Some(p) => {
-                    let mul_plan = prepared.plan_for(sender, p);
-                    let clique =
-                        raw.slice_mut(layout.clique_off[sender], layout.clique_len[sender]);
-                    let ratio_p = raw.slice(layout.ratio_off[p], layout.sep_len[p]);
-                    multiply_marginalize(mul_plan, marg_plan, clique, ratio_p, fresh);
+        crate::trace::kernel(
+            crate::trace::layout_class(marg_plan.layout()),
+            sender as u64,
+            ||
+            // SAFETY: every slice below is a distinct slab region (clique,
+            // sep, fresh and ratio regions are pairwise disjoint by layout
+            // construction; `ratio[p]` vs `fresh[sep]` are distinct regions
+            // even when `p == sep`), and this engine is single-threaded.
+            unsafe {
+                let fresh = raw.slice_mut(layout.fresh_off[sep], layout.sep_len[sep]);
+                match pending {
+                    Some(p) => {
+                        let mul_plan = prepared.plan_for(sender, p);
+                        let clique =
+                            raw.slice_mut(layout.clique_off[sender], layout.clique_len[sender]);
+                        let ratio_p = raw.slice(layout.ratio_off[p], layout.sep_len[p]);
+                        multiply_marginalize(mul_plan, marg_plan, clique, ratio_p, fresh);
+                    }
+                    None => {
+                        let clique =
+                            raw.slice(layout.clique_off[sender], layout.clique_len[sender]);
+                        marg_plan.marginalize(clique, fresh);
+                    }
                 }
-                None => {
-                    let clique = raw.slice(layout.clique_off[sender], layout.clique_len[sender]);
-                    marg_plan.marginalize(clique, fresh);
-                }
-            }
-            let sep_vals = raw.slice_mut(layout.sep_off[sep], layout.sep_len[sep]);
-            let ratio = raw.slice_mut(layout.ratio_off[sep], layout.sep_len[sep]);
-            ops::sep_update(fresh, sep_vals, ratio);
-        }
+                let sep_vals = raw.slice_mut(layout.sep_off[sep], layout.sep_len[sep]);
+                let ratio = raw.slice_mut(layout.ratio_off[sep], layout.sep_len[sep]);
+                ops::sep_update(fresh, sep_vals, ratio);
+            },
+        );
         state.set_pending(receiver, sep);
     }
 }
@@ -97,23 +103,28 @@ impl InferenceEngine for SeqJt {
 
     fn propagate(&self, state: &mut WorkState) {
         let schedule = &self.prepared.built.schedule;
-        for layer in &schedule.collect_layers {
-            for &id in layer {
-                let m = schedule.messages[id];
-                self.send(state, m.child, m.parent, m.sep);
+        crate::trace::collect(|| {
+            for layer in &schedule.collect_layers {
+                for &id in layer {
+                    let m = schedule.messages[id];
+                    self.send(state, m.child, m.parent, m.sep);
+                }
             }
-        }
-        for layer in &schedule.distribute_layers {
-            for &id in layer {
-                let m = schedule.messages[id];
-                self.send(state, m.parent, m.child, m.sep);
+        });
+        crate::trace::distribute(|| {
+            for layer in &schedule.distribute_layers {
+                for &id in layer {
+                    let m = schedule.messages[id];
+                    self.send(state, m.parent, m.child, m.sep);
+                }
             }
-        }
-        // Leaves (and any clique that never sent again) still hold a
-        // deferred ratio; apply them before extraction reads the cliques.
-        for c in 0..self.prepared.num_cliques() {
-            state.flush_pending(&self.prepared, c);
-        }
+            // Leaves (and any clique that never sent again) still hold a
+            // deferred ratio; apply them before extraction reads the
+            // cliques.
+            for c in 0..self.prepared.num_cliques() {
+                state.flush_pending(&self.prepared, c);
+            }
+        });
     }
 }
 

@@ -104,6 +104,7 @@ pub mod query;
 pub(crate) mod slab_track;
 pub mod solver;
 pub mod state;
+pub mod trace;
 pub mod validate;
 pub mod virtual_evidence;
 
@@ -124,6 +125,7 @@ pub use prepared::Prepared;
 pub use query::{Query, QueryBatch, QueryKey, QueryMode, QueryResult};
 pub use solver::{Session, SessionCore, Solver, SolverBuilder};
 pub use state::WorkState;
+pub use trace::{layout_class, layout_class_name, scoped, TraceContext, TraceScope};
 pub use virtual_evidence::VirtualEvidence;
 
 #[allow(deprecated)]

@@ -164,6 +164,44 @@ impl Solver {
         }
     }
 
+    /// [`Solver::query_batch`] with one optional
+    /// [`TraceContext`](crate::trace::TraceContext) per
+    /// query slot: each query executes with its context installed
+    /// ([`crate::trace::scoped`]) on whichever thread runs it, so engine
+    /// phase spans land in the right trace. Execution strategy, result
+    /// ordering, and numerical output are identical to the untraced
+    /// path — the contexts only add span recording around it.
+    ///
+    /// `ctxs.len()` must equal `batch.len()`.
+    pub fn query_batch_traced(
+        &self,
+        batch: &QueryBatch,
+        ctxs: &[Option<crate::trace::TraceContext>],
+    ) -> Vec<Result<QueryResult, InferenceError>> {
+        assert_eq!(
+            ctxs.len(),
+            batch.len(),
+            "one trace context slot per batch query"
+        );
+        if self.outer_pool_for(batch.len()).is_some() {
+            self.run_batch_outer_ctx(batch, Some(ctxs))
+        } else {
+            // Same narrow-batch path Session::run_batch takes: one
+            // session, queries run in order — with each query's context
+            // scoped around its run.
+            let mut session = self.session();
+            batch
+                .queries()
+                .iter()
+                .zip(ctxs)
+                .map(|(query, ctx)| {
+                    let _trace = crate::trace::scoped(ctx.as_ref());
+                    session.run(query)
+                })
+                .collect()
+        }
+    }
+
     /// One-shot convenience for the common case: all posterior marginals
     /// given hard evidence.
     pub fn posteriors(&self, evidence: &Evidence) -> Result<Posteriors, InferenceError> {
@@ -258,6 +296,17 @@ impl Solver {
         &self,
         batch: &QueryBatch,
     ) -> Vec<Result<QueryResult, InferenceError>> {
+        self.run_batch_outer_ctx(batch, None)
+    }
+
+    /// [`Solver::run_batch_outer`] with optional per-slot trace
+    /// contexts (`ctxs[i]` wraps query `i`); `None` is the untraced
+    /// fast path.
+    pub(crate) fn run_batch_outer_ctx(
+        &self,
+        batch: &QueryBatch,
+        ctxs: Option<&[Option<crate::trace::TraceContext>]>,
+    ) -> Vec<Result<QueryResult, InferenceError>> {
         let queries = batch.queries();
         let pool = self
             .outer_pool_for(queries.len())
@@ -292,6 +341,8 @@ impl Solver {
                 .expect("one pre-acquired state per concurrently running chunk");
             for (offset, slot) in chunk.iter_mut().enumerate() {
                 let query = &queries[start + offset];
+                let _trace =
+                    crate::trace::scoped(ctxs.and_then(|ctxs| ctxs[start + offset].as_ref()));
                 *slot = Some(run_on_state(
                     self,
                     &mut node.state,

@@ -86,11 +86,12 @@ pub use routed::{
 };
 pub use stats::{ModelStats, ServerStats};
 
-// Re-export the telemetry vocabulary (the routed server's metrics
-// surface) and the request/response vocabulary so routing callers can
-// depend on this crate alone.
+// Re-export the telemetry vocabulary (the routed server's metrics and
+// tracing surface) and the request/response vocabulary so routing
+// callers can depend on this crate alone.
 pub use fastbn_telemetry::{
-    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    Counter, Histogram, HistogramSnapshot, Introspection, IntrospectionBuilder, MetricsRegistry,
+    MetricsSnapshot, SlowEntry, TraceConfig, TraceView, Tracer,
 };
 
 pub use fastbn_inference::{

@@ -40,7 +40,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{RecvTimeoutError, TrySendError};
+use fastbn_inference::trace::TraceContext;
 use fastbn_inference::{InferenceError, Query, QueryBatch, QueryKey, QueryResult, Solver};
+use fastbn_telemetry::trace::{
+    SlowEntry, SpanRecord, Tracer, SPAN_COMPUTE, SPAN_DELIVERY, SPAN_QUEUE_WAIT, SPAN_REQUEST,
+    SPAN_WINDOW,
+};
 use fastbn_telemetry::{Histogram, MetricsRegistry, MetricsSnapshot};
 
 use crate::oneshot::{saturating_deadline, slot, SlotReceiver, SlotSender, WaitError};
@@ -57,6 +62,29 @@ struct Request {
     query: Query,
     reply: SlotSender<Result<QueryResult, InferenceError>>,
     submitted_at: Option<Instant>,
+    /// Tracing identity, present iff the server has a
+    /// [`Tracer`] installed ([`RoutedServerBuilder::tracer`]).
+    trace: Option<ReqTrace>,
+}
+
+/// Per-request tracing identity, minted at admission. The slow-query
+/// log consumes it for **every** request (it is always on once a
+/// tracer is installed); the span tree is only recorded when
+/// `sampled`. All times are on the tracer's own clock, so tracing
+/// works even with stage timing off
+/// ([`RoutedServerBuilder::telemetry`]`(false)`).
+#[derive(Clone, Copy)]
+struct ReqTrace {
+    /// The request's trace id.
+    trace: u64,
+    /// The pre-minted root (request) span id stage spans parent to.
+    root: u64,
+    /// Whether this request records a span tree (head sampling).
+    sampled: bool,
+    /// Admission time.
+    t0_ns: u64,
+    /// Queue wait, filled in when a worker pops the request.
+    queue_ns: u64,
 }
 
 /// A model id's counter block, shared by every request routed to it.
@@ -114,21 +142,43 @@ struct ServerTelemetry {
     stages: StageMetrics,
     metrics: Arc<MetricsRegistry>,
     timing: bool,
+    /// The request tracer, when one was installed
+    /// ([`RoutedServerBuilder::tracer`]). `None` keeps the hot path
+    /// exactly as it was before tracing existed.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl ServerTelemetry {
-    fn over(metrics: Arc<MetricsRegistry>) -> ServerTelemetry {
+    fn over(metrics: Arc<MetricsRegistry>, tracer: Option<Arc<Tracer>>) -> ServerTelemetry {
         ServerTelemetry {
             counters: Counters::in_registry(&metrics),
             stages: StageMetrics::in_registry(&metrics),
             timing: metrics.is_timing_enabled(),
             metrics,
+            tracer,
         }
     }
 
     /// The current time, read only when stage timing is on.
     fn now(&self) -> Option<Instant> {
         self.timing.then(Instant::now)
+    }
+
+    /// Mints a request's tracing identity at admission: trace and root
+    /// span ids unconditionally (the slow-query log never samples),
+    /// head sampling only while stage timing is on — `telemetry(false)`
+    /// forces the span-tree rate to zero without touching slow-query
+    /// exactness.
+    fn begin_request(&self) -> Option<ReqTrace> {
+        let tracer = self.tracer.as_deref()?;
+        let token = tracer.begin_trace();
+        Some(ReqTrace {
+            trace: token.trace,
+            root: tracer.next_span(),
+            sampled: token.sampled && self.timing,
+            t0_ns: tracer.now_ns(),
+            queue_ns: 0,
+        })
     }
 }
 
@@ -275,6 +325,7 @@ pub struct RoutedServerBuilder {
     dedup: bool,
     metrics: Option<Arc<MetricsRegistry>>,
     timing: bool,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl RoutedServerBuilder {
@@ -343,6 +394,19 @@ impl RoutedServerBuilder {
         self
     }
 
+    /// Installs a request [`Tracer`] (default none — and with none, the
+    /// serving hot path is exactly the pre-tracing one). With a tracer,
+    /// every request gets a trace id and the always-on slow-query log;
+    /// head-sampled requests (see [`fastbn_telemetry::TraceConfig`])
+    /// additionally record a span tree — admission → queue → window →
+    /// compute → delivery, plus the engine's collect/distribute phases.
+    /// [`RoutedServerBuilder::telemetry`]`(false)` forces the sampling
+    /// rate to zero but keeps the slow-query log exact.
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Starts the workers and returns the running server.
     pub fn build(self) -> RoutedServer {
         let queue_capacity = self
@@ -357,7 +421,7 @@ impl RoutedServerBuilder {
                 MetricsRegistry::counters_only()
             })
         });
-        let telemetry = Arc::new(ServerTelemetry::over(metrics));
+        let telemetry = Arc::new(ServerTelemetry::over(metrics, self.tracer));
         let workers = (0..self.workers)
             .map(|i| {
                 let rx = receiver.clone();
@@ -467,6 +531,7 @@ impl RoutedServer {
             dedup: true,
             metrics: None,
             timing: true,
+            tracer: None,
         }
     }
 
@@ -556,6 +621,7 @@ impl RoutedServer {
         let track = self.track(model);
         self.telemetry.counters.submitted.inc_seq();
         track.counters.submitted.inc_seq();
+        let trace = self.telemetry.begin_request();
         let (reply, rx) = slot();
         let request = Request {
             solver,
@@ -563,6 +629,7 @@ impl RoutedServer {
             query,
             reply,
             submitted_at,
+            trace,
         };
         Ok((sender, request, rx))
     }
@@ -668,6 +735,14 @@ impl RoutedServer {
             .map(|track| track.counters.snapshot(&track.id))
     }
 
+    /// The request tracer, when one was installed via
+    /// [`RoutedServerBuilder::tracer`] — hand it to an
+    /// [`fastbn_telemetry::IntrospectionBuilder`] to serve
+    /// `/traces/recent` and `/traces/slow` live.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.telemetry.tracer.as_ref()
+    }
+
     /// The registry requests are routed against.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
@@ -741,21 +816,22 @@ fn worker_loop(
 ) {
     let mut window: Vec<Request> = Vec::with_capacity(max_batch);
     loop {
-        let first = match rx.recv() {
+        let mut first = match rx.recv() {
             Ok(request) => request,
             Err(_) => return, // queue closed and drained
         };
         telemetry.counters.dequeued.inc_seq();
-        record_queue_wait(&first, telemetry);
+        record_queue_wait(&mut first, telemetry);
         let window_start = telemetry.now();
+        let window_t0 = telemetry.tracer.as_deref().map(Tracer::now_ns);
         window.push(first);
         let deadline = saturating_deadline(max_delay);
         let mut disconnected = false;
         while window.len() < max_batch {
             match rx.recv_deadline(deadline) {
-                Ok(request) => {
+                Ok(mut request) => {
                     telemetry.counters.dequeued.inc_seq();
-                    record_queue_wait(&request, telemetry);
+                    record_queue_wait(&mut request, telemetry);
                     window.push(request);
                 }
                 Err(RecvTimeoutError::Timeout) => break,
@@ -768,6 +844,7 @@ fn worker_loop(
         if let Some(start) = window_start {
             telemetry.stages.window_ns.record_duration(start.elapsed());
         }
+        record_window_spans(&window, window_t0, telemetry);
         dispatch_window(&mut window, dedup, telemetry);
         if disconnected {
             return;
@@ -775,13 +852,59 @@ fn worker_loop(
     }
 }
 
-/// Records how long one just-popped request sat on the queue.
-fn record_queue_wait(request: &Request, telemetry: &ServerTelemetry) {
+/// Records one window-stage span per sampled request in the window
+/// (same interval for all of them — they shared the window; `tag`
+/// carries the window size).
+fn record_window_spans(window: &[Request], window_t0: Option<u64>, telemetry: &ServerTelemetry) {
+    let (Some(tracer), Some(start)) = (telemetry.tracer.as_deref(), window_t0) else {
+        return;
+    };
+    if !window.iter().any(|r| r.trace.is_some_and(|rt| rt.sampled)) {
+        return;
+    }
+    let dur = tracer.now_ns().saturating_sub(start);
+    for request in window {
+        let Some(rt) = request.trace.filter(|rt| rt.sampled) else {
+            continue;
+        };
+        tracer.record(&SpanRecord {
+            trace: rt.trace,
+            span: tracer.next_span(),
+            parent: rt.root,
+            name: SPAN_WINDOW,
+            start_ns: start,
+            dur_ns: dur,
+            tag: window.len() as u64,
+            aux: 0,
+        });
+    }
+}
+
+/// Records how long one just-popped request sat on the queue — into
+/// the stage histogram, and (with a tracer) into the request's
+/// [`ReqTrace`] for the slow-query log, plus a queue-wait span when
+/// the request is sampled.
+fn record_queue_wait(request: &mut Request, telemetry: &ServerTelemetry) {
     if let Some(submitted_at) = request.submitted_at {
         telemetry
             .stages
             .queue_wait_ns
             .record_duration(submitted_at.elapsed());
+    }
+    if let (Some(tracer), Some(rt)) = (telemetry.tracer.as_deref(), request.trace.as_mut()) {
+        rt.queue_ns = tracer.now_ns().saturating_sub(rt.t0_ns);
+        if rt.sampled {
+            tracer.record(&SpanRecord {
+                trace: rt.trace,
+                span: tracer.next_span(),
+                parent: rt.root,
+                name: SPAN_QUEUE_WAIT,
+                start_ns: rt.t0_ns,
+                dur_ns: rt.queue_ns,
+                tag: 0,
+                aux: 0,
+            });
+        }
     }
 }
 
@@ -843,7 +966,16 @@ fn dispatch_window(window: &mut Vec<Request>, dedup: bool, telemetry: &ServerTel
 type Waiter = (
     SlotSender<Result<QueryResult, InferenceError>>,
     Option<Instant>,
+    Option<ReqTrace>,
 );
+
+/// Group-level context delivery passes to the slow-query log: the
+/// batch the request rode in and that batch's compute time, on the
+/// tracer's clock.
+struct GroupTrace {
+    compute_ns: u64,
+    batch: u64,
+}
 
 fn dispatch_group(group: Vec<Request>, dedup: bool, telemetry: &ServerTelemetry) {
     debug_assert!(!group.is_empty());
@@ -862,38 +994,95 @@ fn dispatch_group(group: Vec<Request>, dedup: bool, telemetry: &ServerTelemetry)
                 std::collections::hash_map::Entry::Occupied(slot) => {
                     telemetry.counters.dedups.inc();
                     model.counters.dedups.inc();
-                    waiters[*slot.get()].push((request.reply, request.submitted_at));
+                    waiters[*slot.get()].push((request.reply, request.submitted_at, request.trace));
                 }
                 std::collections::hash_map::Entry::Vacant(slot) => {
                     slot.insert(queries.len());
                     queries.push(request.query);
-                    waiters.push(vec![(request.reply, request.submitted_at)]);
+                    waiters.push(vec![(request.reply, request.submitted_at, request.trace)]);
                 }
             }
         }
     } else {
         for request in group {
             queries.push(request.query);
-            waiters.push(vec![(request.reply, request.submitted_at)]);
+            waiters.push(vec![(request.reply, request.submitted_at, request.trace)]);
         }
     }
     let batch = QueryBatch::from(queries);
+    // Per-slot engine trace contexts: the slot's first sampled waiter
+    // is its representative — its trace gets the compute span and the
+    // engine collect/distribute spans (dedup followers share the
+    // result, not the span tree).
+    let mut ctxs: Vec<Option<TraceContext>> = Vec::new();
+    let mut compute_spans: Vec<(u64, u64, u64)> = Vec::new(); // (trace, span, root)
+    if let Some(tracer) = telemetry.tracer.as_ref() {
+        ctxs = waiters
+            .iter()
+            .map(|slot_waiters| {
+                let rt = slot_waiters
+                    .iter()
+                    .find_map(|(_, _, rt)| rt.filter(|rt| rt.sampled))?;
+                let span = tracer.next_span();
+                compute_spans.push((rt.trace, span, rt.root));
+                Some(TraceContext {
+                    tracer: Arc::clone(tracer),
+                    trace: rt.trace,
+                    parent: span,
+                })
+            })
+            .collect();
+    }
+    let traced = ctxs.iter().any(Option::is_some);
+    let compute_t0 = telemetry.tracer.as_deref().map(Tracer::now_ns);
     let compute_start = telemetry.now();
-    let results = solver.query_batch(&batch);
+    let results = if traced {
+        solver.query_batch_traced(&batch, &ctxs)
+    } else {
+        solver.query_batch(&batch)
+    };
     if let Some(start) = compute_start {
         telemetry.stages.compute_ns.record_duration(start.elapsed());
     }
+    let group_trace = match (telemetry.tracer.as_deref(), compute_t0) {
+        (Some(tracer), Some(t0)) => {
+            let compute_ns = tracer.now_ns().saturating_sub(t0);
+            for (trace, span, root) in compute_spans {
+                tracer.record(&SpanRecord {
+                    trace,
+                    span,
+                    parent: root,
+                    name: SPAN_COMPUTE,
+                    start_ns: t0,
+                    dur_ns: compute_ns,
+                    tag: batch.len() as u64,
+                    aux: 0,
+                });
+            }
+            Some(GroupTrace {
+                compute_ns,
+                batch: batch.len() as u64,
+            })
+        }
+        _ => None,
+    };
     let delivery_start = telemetry.now();
     for (replies, result) in waiters.into_iter().zip(results) {
         let mut replies = replies.into_iter();
         let last = replies.next_back();
         for waiter in replies {
-            deliver(waiter, result.clone(), telemetry, &model);
+            deliver(
+                waiter,
+                result.clone(),
+                telemetry,
+                &model,
+                group_trace.as_ref(),
+            );
         }
         if let Some(waiter) = last {
             // The representative (or lone) waiter takes the result
             // without a clone.
-            deliver(waiter, result, telemetry, &model);
+            deliver(waiter, result, telemetry, &model, group_trace.as_ref());
         }
     }
     if let Some(start) = delivery_start {
@@ -906,29 +1095,84 @@ fn dispatch_group(group: Vec<Request>, dedup: bool, telemetry: &ServerTelemetry)
 
 /// Sends one result through its oneshot, counting the outcome globally
 /// and against the request's model; a delivered result also records
-/// the request's end-to-end latency.
+/// the request's end-to-end latency. With a tracer, a delivered
+/// request closes out its trace: a delivery span and the root request
+/// span when sampled, and — for **every** request over the threshold,
+/// sampled or not — a slow-query log entry.
 fn deliver(
-    (reply, submitted_at): Waiter,
+    (reply, submitted_at, trace): Waiter,
     result: Result<QueryResult, InferenceError>,
     telemetry: &ServerTelemetry,
     model: &ModelTrack,
+    group: Option<&GroupTrace>,
 ) {
-    match reply.send(result) {
-        Ok(()) => {
-            telemetry.counters.completed.inc_seq();
-            model.counters.completed.inc_seq();
-            if let Some(submitted_at) = submitted_at {
-                telemetry
-                    .stages
-                    .total_ns
-                    .record_duration(submitted_at.elapsed());
-            }
+    let tracer = telemetry.tracer.as_deref();
+    let send_t0 = match (tracer, &trace) {
+        (Some(tracer), Some(rt)) if rt.sampled => Some(tracer.now_ns()),
+        _ => None,
+    };
+    let delivered = reply.send(result).is_ok();
+    if delivered {
+        telemetry.counters.completed.inc_seq();
+        model.counters.completed.inc_seq();
+        if let Some(submitted_at) = submitted_at {
+            telemetry
+                .stages
+                .total_ns
+                .record_duration(submitted_at.elapsed());
         }
+    } else {
         // The handle was dropped while the batch ran: result
         // discarded, request counted as cancelled.
-        Err(_) => {
-            telemetry.counters.cancelled.inc_seq();
-            model.counters.cancelled.inc_seq();
-        }
+        telemetry.counters.cancelled.inc_seq();
+        model.counters.cancelled.inc_seq();
+    }
+    let (Some(tracer), Some(rt)) = (tracer, trace) else {
+        return;
     };
+    if !delivered {
+        // Cancelled mid-batch: no root span, no slow entry — the
+        // request never produced a client-visible latency.
+        return;
+    }
+    let end = tracer.now_ns();
+    let total_ns = end.saturating_sub(rt.t0_ns);
+    if rt.sampled {
+        if let Some(send_t0) = send_t0 {
+            tracer.record(&SpanRecord {
+                trace: rt.trace,
+                span: tracer.next_span(),
+                parent: rt.root,
+                name: SPAN_DELIVERY,
+                start_ns: send_t0,
+                dur_ns: end.saturating_sub(send_t0),
+                tag: 0,
+                aux: 0,
+            });
+        }
+        // The root request span last, now that the total is known;
+        // `tag` carries the batch size, `aux` the interned model id.
+        tracer.record(&SpanRecord {
+            trace: rt.trace,
+            span: rt.root,
+            parent: 0,
+            name: SPAN_REQUEST,
+            start_ns: rt.t0_ns,
+            dur_ns: total_ns,
+            tag: group.map_or(0, |g| g.batch),
+            aux: u64::from(tracer.intern(&model.id).0),
+        });
+    }
+    if total_ns > tracer.slow_threshold_ns() {
+        tracer.record_slow(SlowEntry {
+            trace: rt.trace,
+            model: model.id.clone(),
+            total_ns,
+            queue_ns: rt.queue_ns,
+            compute_ns: group.map_or(0, |g| g.compute_ns),
+            batch: group.map_or(0, |g| g.batch),
+            sampled: rt.sampled,
+            at_ns: end,
+        });
+    }
 }

@@ -85,10 +85,13 @@ pub use server::{
     SubmitErrorKind, SINGLE_MODEL_ID,
 };
 
-// Re-export the metrics vocabulary ([`Server::metrics`]) and the
-// request/response vocabulary so serving callers can depend on this
-// crate alone.
-pub use fastbn_telemetry::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+// Re-export the metrics/tracing vocabulary ([`Server::metrics`],
+// [`ServerBuilder::tracer`]) and the request/response vocabulary so
+// serving callers can depend on this crate alone.
+pub use fastbn_telemetry::{
+    HistogramSnapshot, Introspection, IntrospectionBuilder, MetricsRegistry, MetricsSnapshot,
+    SlowEntry, TraceConfig, TraceView, Tracer,
+};
 
 pub use fastbn_inference::{
     CacheConfig, CacheStats, InferenceError, OwnedSession, Query, QueryBatch, QueryKey,

@@ -98,6 +98,15 @@ impl ServerBuilder {
         self
     }
 
+    /// Installs a request [`Tracer`](fastbn_telemetry::Tracer): every
+    /// request gets a trace id and the always-on slow-query log,
+    /// head-sampled requests record full span trees. See
+    /// [`RoutedServerBuilder::tracer`](fastbn_registry::RoutedServerBuilder::tracer).
+    pub fn tracer(mut self, tracer: Arc<fastbn_telemetry::Tracer>) -> Self {
+        self.inner = self.inner.tracer(tracer);
+        self
+    }
+
     /// Starts the workers and returns the running server.
     pub fn build(self) -> Server {
         Server {
@@ -220,6 +229,12 @@ impl Server {
     /// [`RoutedServer::metrics_snapshot`](fastbn_registry::RoutedServer::metrics_snapshot).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.inner.metrics_snapshot()
+    }
+
+    /// The request tracer, when one was installed via
+    /// [`ServerBuilder::tracer`].
+    pub fn tracer(&self) -> Option<&Arc<fastbn_telemetry::Tracer>> {
+        self.inner.tracer()
     }
 
     /// The shared solver the workers query.

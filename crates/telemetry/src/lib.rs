@@ -55,10 +55,20 @@
 
 mod counter;
 mod histogram;
+pub mod http;
 pub mod json;
+mod prom;
 mod registry;
+pub mod trace;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use http::{Introspection, IntrospectionBuilder, SnapshotFn};
 pub use json::{Json, JsonError};
+pub use prom::prometheus_text;
 pub use registry::{MetricsRegistry, MetricsSnapshot};
+pub use trace::{
+    NameId, SlowEntry, SpanRecord, TraceConfig, TraceToken, TraceView, Tracer, SPAN_COLLECT,
+    SPAN_COMPUTE, SPAN_DELIVERY, SPAN_DISTRIBUTE, SPAN_KERNEL, SPAN_QUEUE_WAIT, SPAN_REQUEST,
+    SPAN_WINDOW,
+};

@@ -1,0 +1,109 @@
+//! Prometheus text-format exposition for [`MetricsSnapshot`].
+//!
+//! Emits the text format (version 0.0.4) scrapers understand: counters
+//! and gauges as single samples, histograms as **summaries** — the
+//! `quantile`-labelled p50/p90/p99 samples plus the `_sum` and `_count`
+//! series (the torn-read-safe `sum`/`count` snapshot fields make both
+//! exact at quiescence). Dotted fastbn metric names (`serve.submitted`)
+//! become Prometheus-legal underscored ones (`serve_submitted`);
+//! everything stays name-sorted because the snapshot maps are.
+
+use std::fmt::Write as _;
+
+use crate::registry::MetricsSnapshot;
+
+/// A metric name with every Prometheus-illegal character replaced by
+/// `_` (legal: `[a-zA-Z0-9_:]`, non-digit lead).
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let legal =
+            c == '_' || c == ':' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit());
+        if legal {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as Prometheus text exposition (version 0.0.4).
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, value) in &snap.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} summary");
+        for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+            let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("serve.stage.compute_ns"), "serve_stage_compute_ns");
+        assert_eq!(sanitize("model.alarm-v2.hits"), "model_alarm_v2_hits");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("ok:name_1"), "ok:name_1");
+    }
+
+    #[test]
+    fn exposition_has_types_quantiles_sum_and_count() {
+        let registry = MetricsRegistry::new();
+        registry.counter("serve.completed").add(5);
+        registry.set_gauge("pool.threads", 8);
+        let h = registry.histogram("serve.request.total_ns");
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let text = prometheus_text(&registry.snapshot());
+        assert!(text.contains("# TYPE serve_completed counter\nserve_completed 5\n"));
+        assert!(text.contains("# TYPE pool_threads gauge\npool_threads 8\n"));
+        assert!(text.contains("# TYPE serve_request_total_ns summary"));
+        assert!(text.contains("serve_request_total_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("serve_request_total_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("serve_request_total_ns_sum 600\n"));
+        assert!(text.contains("serve_request_total_ns_count 3\n"));
+    }
+
+    #[test]
+    fn every_line_is_well_formed() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a.b").inc();
+        registry.histogram("lat_ns").record(42);
+        let text = prometheus_text(&registry.snapshot());
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE ") || {
+                    let mut parts = line.rsplitn(2, ' ');
+                    let value = parts.next().unwrap();
+                    let name = parts.next().unwrap_or("");
+                    !name.is_empty() && value.parse::<f64>().is_ok()
+                },
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+}

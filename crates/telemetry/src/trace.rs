@@ -1,0 +1,813 @@
+//! End-to-end request tracing: per-thread lock-free span rings, head
+//! sampling, and an always-on slow-query log.
+//!
+//! fastbn: deny-hot-alloc
+//!
+//! A [`Tracer`] is the per-server tracing authority: it mints trace and
+//! span IDs, decides head-based sampling (1-in-N by trace ID), owns the
+//! span storage, and keeps the slow-query log. The serving stack
+//! attaches one to a `RoutedServer`; instrumented layers downstream
+//! (queue, window, batch compute, engine propagation) record
+//! [`SpanRecord`]s against it.
+//!
+//! # Storage: single-producer seqlock rings
+//!
+//! Span recording must cost nothing measurable on the serving hot path,
+//! so spans land in **fixed-capacity per-thread rings**: every slot is a
+//! block of `AtomicU64` fields guarded by a per-slot sequence word
+//! (odd = write in progress). The recording thread is the only writer
+//! of its ring — rings are reached through a thread-local cache — so a
+//! record is a handful of `Relaxed` stores bracketed by two fences and
+//! two sequence stores: **no locks, no allocation, no syscalls** in
+//! steady state (the ring itself is allocated once per thread, off the
+//! record path; locked in by `tests/alloc.rs`). Readers (the
+//! introspection endpoint, the `trace` bin) validate the sequence word
+//! before and after copying a slot and drop torn reads; old spans are
+//! simply overwritten.
+//!
+//! # Sampling and the slow-query log
+//!
+//! Head sampling keeps tracing cheap under load: a trace is *sampled*
+//! (gets the full span tree) iff `trace_id % sample_every == 0`
+//! ([`TraceConfig::sample_every`]; 0 disables sampling entirely).
+//! Orthogonally, the **slow-query log is always on**: every request
+//! whose total latency exceeds [`TraceConfig::slow_threshold`] is
+//! force-retained as a [`SlowEntry`] — a compact per-request summary,
+//! not a span tree — in a bounded ring with an exact total count, so
+//! the one request that mattered is never lost to sampling.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// An interned span-name identifier. Well-known stage names are
+/// pre-interned constants ([`SPAN_REQUEST`] …); dynamic names (model
+/// ids) come from [`Tracer::intern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NameId(pub u32);
+
+/// Root span of one request, admission → delivery.
+pub const SPAN_REQUEST: NameId = NameId(0);
+/// Time between enqueue and a worker popping the request.
+pub const SPAN_QUEUE_WAIT: NameId = NameId(1);
+/// Micro-batching window the request waited in.
+pub const SPAN_WINDOW: NameId = NameId(2);
+/// Batch compute (`query_batch`) the request rode in.
+pub const SPAN_COMPUTE: NameId = NameId(3);
+/// Result fan-out back to the waiting client.
+pub const SPAN_DELIVERY: NameId = NameId(4);
+/// Engine propagation, collect (upward) phase.
+pub const SPAN_COLLECT: NameId = NameId(5);
+/// Engine propagation, distribute (downward) phase.
+pub const SPAN_DISTRIBUTE: NameId = NameId(6);
+/// One clique kernel (only with the `trace-kernels` feature; `tag` is
+/// the `KernelPlan` layout class, `aux` the clique index).
+pub const SPAN_KERNEL: NameId = NameId(7);
+
+const WELL_KNOWN: [&str; 8] = [
+    "request",
+    "queue_wait",
+    "window",
+    "compute",
+    "delivery",
+    "collect",
+    "distribute",
+    "kernel",
+];
+const FIRST_DYNAMIC: u32 = WELL_KNOWN.len() as u32;
+
+/// Tracing knobs. Plain fields; use struct-update syntax over
+/// [`Default`] to change a subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Head sampling: a trace gets its full span tree iff
+    /// `trace_id % sample_every == 0`. `1` samples everything, `0`
+    /// disables sampling (the slow-query log still runs).
+    pub sample_every: u64,
+    /// Requests slower than this enter the slow-query log regardless of
+    /// sampling.
+    pub slow_threshold: Duration,
+    /// Span slots per recording thread (rounded up to a power of two,
+    /// minimum 8). Old spans are overwritten.
+    pub ring_capacity: usize,
+    /// Slow-query log entries retained (oldest overwritten; the total
+    /// count stays exact).
+    pub slow_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            sample_every: 16,
+            slow_threshold: Duration::from_millis(100),
+            ring_capacity: 2048,
+            slow_capacity: 128,
+        }
+    }
+}
+
+/// One completed span, as recorded and as read back. `tag`/`aux` are
+/// span-kind-specific payload: batch size and model name id on
+/// `request` spans, layout class and clique index on `kernel` spans,
+/// zero elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to (minted at admission; never 0).
+    pub trace: u64,
+    /// This span's id (unique within the tracer; never 0).
+    pub span: u64,
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// Interned span name.
+    pub name: NameId,
+    /// Start, nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Span-kind-specific payload (see type docs).
+    pub tag: u64,
+    /// Span-kind-specific payload (see type docs).
+    pub aux: u64,
+}
+
+/// The admission-time decision for one request: its trace id and
+/// whether it is head-sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceToken {
+    /// The minted trace id (never 0).
+    pub trace: u64,
+    /// Whether this trace records a full span tree.
+    pub sampled: bool,
+}
+
+/// One slow-query log record — the compact always-on summary of a
+/// request that exceeded the threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// The request's trace id.
+    pub trace: u64,
+    /// Model the request was routed to.
+    pub model: String,
+    /// End-to-end latency, admission → delivery.
+    pub total_ns: u64,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_ns: u64,
+    /// Batch compute time of the batch the request rode in.
+    pub compute_ns: u64,
+    /// Size of that batch.
+    pub batch: u64,
+    /// Whether the trace was also head-sampled (span tree available).
+    pub sampled: bool,
+    /// Completion time, nanoseconds since the tracer's epoch.
+    pub at_ns: u64,
+}
+
+/// One trace's spans, as grouped by [`Tracer::recent_traces`] (sorted
+/// by start time, then span id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceView {
+    /// The trace id.
+    pub trace: u64,
+    /// Its spans, start-ordered.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// One span slot: a seqlock (odd `seq` = write in progress) over eight
+/// payload words. All-atomic so the whole scheme stays in safe code.
+struct SpanSlot {
+    seq: AtomicU64,
+    trace: AtomicU64,
+    span: AtomicU64,
+    parent: AtomicU64,
+    name: AtomicU64,
+    start_ns: AtomicU64,
+    dur_ns: AtomicU64,
+    tag: AtomicU64,
+    aux: AtomicU64,
+}
+
+impl SpanSlot {
+    const fn empty() -> SpanSlot {
+        SpanSlot {
+            seq: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            span: AtomicU64::new(0),
+            parent: AtomicU64::new(0),
+            name: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            dur_ns: AtomicU64::new(0),
+            tag: AtomicU64::new(0),
+            aux: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-capacity single-producer span ring. The owning thread is the
+/// only writer (rings are reached via the thread-local cache); any
+/// thread may read concurrently and gets seqlock-validated copies.
+pub(crate) struct SpanRing {
+    slots: Box<[SpanSlot]>,
+    mask: usize,
+    /// Total spans ever pushed (head % capacity is the next slot).
+    head: AtomicU64,
+}
+
+impl SpanRing {
+    // fastbn: allow(hot-alloc): ring construction — one allocation per
+    // (thread, tracer), off the steady-state record path.
+    fn with_capacity(capacity: usize) -> SpanRing {
+        let cap = capacity.next_power_of_two().max(8);
+        let mut slots = Vec::with_capacity(cap);
+        for _ in 0..cap {
+            slots.push(SpanSlot::empty());
+        }
+        SpanRing {
+            slots: slots.into_boxed_slice(),
+            mask: cap - 1,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one span. Caller contract: only the ring's owning thread
+    /// calls this (upheld by the thread-local routing in
+    /// [`Tracer::record`]); a violation could only tear a slot's seqlock
+    /// discipline, never memory safety.
+    fn push(&self, rec: &SpanRecord) {
+        let n = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[n as usize & self.mask];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
+        // ORDERING: Release fence orders the odd write-in-progress
+        // marker above before the field stores below — a reader that
+        // observes any new field value and then issues its Acquire
+        // fence is guaranteed to see the odd (or later) sequence on
+        // re-check and drops the torn copy.
+        fence(Ordering::Release);
+        slot.trace.store(rec.trace, Ordering::Relaxed);
+        slot.span.store(rec.span, Ordering::Relaxed);
+        slot.parent.store(rec.parent, Ordering::Relaxed);
+        slot.name.store(rec.name.0 as u64, Ordering::Relaxed);
+        slot.start_ns.store(rec.start_ns, Ordering::Relaxed);
+        slot.dur_ns.store(rec.dur_ns, Ordering::Relaxed);
+        slot.tag.store(rec.tag, Ordering::Relaxed);
+        slot.aux.store(rec.aux, Ordering::Relaxed);
+        // ORDERING: publishing the even sequence with Release makes
+        // every field store above visible to a reader that
+        // Acquire-loads this value in `read`.
+        slot.seq.store(seq.wrapping_add(2), Ordering::Release);
+        self.head.store(n.wrapping_add(1), Ordering::Relaxed);
+    }
+
+    /// A seqlock-validated copy of slot `index`: `None` when the slot
+    /// is empty or a concurrent write tore the read.
+    fn read(&self, index: usize) -> Option<SpanRecord> {
+        let slot = &self.slots[index & self.mask];
+        // ORDERING: Acquire pairs with the Release publish in `push` —
+        // an even sequence observed here makes the matching field
+        // stores visible below.
+        let s1 = slot.seq.load(Ordering::Acquire);
+        if s1 == 0 || s1 & 1 == 1 {
+            return None;
+        }
+        let rec = SpanRecord {
+            trace: slot.trace.load(Ordering::Relaxed),
+            span: slot.span.load(Ordering::Relaxed),
+            parent: slot.parent.load(Ordering::Relaxed),
+            name: NameId(slot.name.load(Ordering::Relaxed) as u32),
+            start_ns: slot.start_ns.load(Ordering::Relaxed),
+            dur_ns: slot.dur_ns.load(Ordering::Relaxed),
+            tag: slot.tag.load(Ordering::Relaxed),
+            aux: slot.aux.load(Ordering::Relaxed),
+        };
+        // ORDERING: Acquire fence orders the field loads above before
+        // the re-check load below; pairs with the Release fence in
+        // `push`, so a torn read cannot revalidate.
+        fence(Ordering::Acquire);
+        let s2 = slot.seq.load(Ordering::Relaxed);
+        (s1 == s2).then_some(rec)
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    /// Per-thread cache mapping tracer id → this thread's ring for it.
+    static RINGS: std::cell::RefCell<Vec<(u64, Arc<SpanRing>)>> =
+        const { std::cell::RefCell::new(Vec::new()) }; // fastbn: allow(hot-alloc): const empty vec, never grows on the record path after first registration
+}
+
+/// Tracer instance ids, for the thread-local ring cache.
+static TRACER_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// The tracing authority for one server: id minting, sampling, span
+/// storage, slow-query log. `Send + Sync`; share behind an `Arc`.
+#[derive(Debug)]
+pub struct Tracer {
+    id: u64,
+    epoch: Instant,
+    config: TraceConfig,
+    next_trace: AtomicU64,
+    next_span: AtomicU64,
+    rings: Mutex<Vec<Arc<SpanRing>>>,
+    names: Mutex<Vec<String>>,
+    slow: Mutex<Vec<SlowEntry>>,
+    slow_head: AtomicU64,
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.len())
+            .field("pushed", &self.pushed())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer with the given configuration.
+    pub fn new(config: TraceConfig) -> Tracer {
+        Tracer {
+            id: TRACER_IDS.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            config,
+            next_trace: AtomicU64::new(0),
+            next_span: AtomicU64::new(0),
+            rings: Mutex::new(Vec::with_capacity(8)),
+            names: Mutex::new(Vec::with_capacity(8)),
+            slow: Mutex::new(Vec::with_capacity(0)),
+            slow_head: AtomicU64::new(0),
+        }
+    }
+
+    /// The tracer's configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Nanoseconds since this tracer was created — the time base every
+    /// span's `start_ns` and every slow entry's `at_ns` use.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The configured slow-query threshold in nanoseconds.
+    #[inline]
+    pub fn slow_threshold_ns(&self) -> u64 {
+        u64::try_from(self.config.slow_threshold.as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Mints a trace id and takes the head-sampling decision. Called
+    /// once per request at admission.
+    #[inline]
+    pub fn begin_trace(&self) -> TraceToken {
+        let trace = self.next_trace.fetch_add(1, Ordering::Relaxed) + 1;
+        let sampled =
+            self.config.sample_every > 0 && trace.is_multiple_of(self.config.sample_every);
+        TraceToken { trace, sampled }
+    }
+
+    /// Mints a span id (unique within this tracer, never 0).
+    #[inline]
+    pub fn next_span(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records one completed span into the calling thread's ring.
+    /// Steady state: a thread-local lookup plus the seqlock stores —
+    /// no locks, no allocation (first call on a thread registers its
+    /// ring, which allocates once).
+    #[inline]
+    pub fn record(&self, rec: &SpanRecord) {
+        RINGS.with(|cell| {
+            let Ok(mut rings) = cell.try_borrow_mut() else {
+                return; // re-entrant record from a destructor: drop it
+            };
+            if let Some((_, ring)) = rings.iter().find(|(id, _)| *id == self.id) {
+                ring.push(rec);
+                return;
+            }
+            let ring = self.register_ring();
+            ring.push(rec);
+            rings.push((self.id, ring));
+        });
+    }
+
+    // fastbn: allow(hot-alloc): ring registration — once per
+    // (thread, tracer), off the steady-state record path.
+    fn register_ring(&self) -> Arc<SpanRing> {
+        let ring = Arc::new(SpanRing::with_capacity(self.config.ring_capacity));
+        self.rings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&ring));
+        ring
+    }
+
+    /// Appends to the slow-query log (bounded ring, oldest overwritten;
+    /// the total count stays exact). Cold by definition — only requests
+    /// over the threshold get here.
+    pub fn record_slow(&self, entry: SlowEntry) {
+        let mut slow = self.slow.lock().unwrap_or_else(PoisonError::into_inner);
+        let n = self.slow_head.fetch_add(1, Ordering::Relaxed);
+        if self.config.slow_capacity == 0 {
+            return;
+        }
+        if slow.len() < self.config.slow_capacity {
+            slow.push(entry);
+        } else {
+            slow[(n % self.config.slow_capacity as u64) as usize] = entry;
+        }
+    }
+
+    /// Exact count of requests that ever exceeded the slow threshold
+    /// (including entries since overwritten).
+    pub fn slow_total(&self) -> u64 {
+        self.slow_head.load(Ordering::Relaxed)
+    }
+
+    /// Total spans ever recorded, across all threads' rings.
+    pub fn spans_recorded(&self) -> u64 {
+        self.rings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|r| r.pushed())
+            .sum()
+    }
+
+    // fastbn: allow(hot-alloc): name interning — once per distinct
+    // name (model ids at admission), never on the span record path.
+    /// Interns a span name, returning a stable [`NameId`]. Well-known
+    /// stage names resolve to their pre-interned constants.
+    pub fn intern(&self, name: &str) -> NameId {
+        if let Some(i) = WELL_KNOWN.iter().position(|w| *w == name) {
+            return NameId(i as u32);
+        }
+        let mut names = self.names.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(i) = names.iter().position(|n| n == name) {
+            return NameId(FIRST_DYNAMIC + i as u32);
+        }
+        names.push(name.to_string());
+        NameId(FIRST_DYNAMIC + names.len() as u32 - 1)
+    }
+
+    // fastbn: allow(hot-alloc): diagnostic read path.
+    /// The string a [`NameId`] was interned from (`"?"` for ids this
+    /// tracer never issued).
+    pub fn name(&self, id: NameId) -> String {
+        let i = id.0 as usize;
+        if i < WELL_KNOWN.len() {
+            return WELL_KNOWN[i].to_string();
+        }
+        let names = self.names.lock().unwrap_or_else(PoisonError::into_inner);
+        names
+            .get(i - WELL_KNOWN.len())
+            .map(|s| s.as_str())
+            .unwrap_or("?")
+            .to_string()
+    }
+
+    // fastbn: allow(hot-alloc): diagnostic read path (introspection
+    // endpoint / trace bin), not on the record path.
+    /// Seqlock-validated copies of every live span slot, in no
+    /// particular order. Torn slots (mid-write) are skipped.
+    pub fn recent_spans(&self) -> Vec<SpanRecord> {
+        let rings: Vec<Arc<SpanRing>> = {
+            let guard = self.rings.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.iter().map(Arc::clone).collect()
+        };
+        let mut out = Vec::with_capacity(rings.iter().map(|r| r.len()).sum());
+        for ring in &rings {
+            for i in 0..ring.len() {
+                if let Some(rec) = ring.read(i) {
+                    out.push(rec);
+                }
+            }
+        }
+        out
+    }
+
+    // fastbn: allow(hot-alloc): diagnostic read path.
+    /// The most recent `max` traces (by latest span start), each with
+    /// its spans sorted by start time then span id.
+    pub fn recent_traces(&self, max: usize) -> Vec<TraceView> {
+        let mut spans = self.recent_spans();
+        spans.sort_by_key(|s| (s.trace, s.start_ns, s.span));
+        let mut traces: Vec<TraceView> = Vec::with_capacity(16);
+        for span in spans {
+            match traces.last_mut() {
+                Some(t) if t.trace == span.trace => t.spans.push(span),
+                _ => traces.push(TraceView {
+                    trace: span.trace,
+                    spans: {
+                        let mut v = Vec::with_capacity(8);
+                        v.push(span);
+                        v
+                    },
+                }),
+            }
+        }
+        // Most recent trace first, by its latest span start.
+        traces.sort_by_key(|t| std::cmp::Reverse(t.spans.iter().map(|s| s.start_ns).max()));
+        traces.truncate(max);
+        traces
+    }
+
+    // fastbn: allow(hot-alloc): diagnostic read path.
+    /// The slow-query log, oldest first, plus the exact total.
+    pub fn slow_entries(&self) -> Vec<SlowEntry> {
+        let slow = self.slow.lock().unwrap_or_else(PoisonError::into_inner);
+        let head = self.slow_head.load(Ordering::Relaxed) as usize;
+        let mut out = Vec::with_capacity(slow.len());
+        if slow.len() < self.config.slow_capacity || self.config.slow_capacity == 0 {
+            out.extend(slow.iter().map(SlowEntry::clone));
+        } else {
+            let start = head % self.config.slow_capacity;
+            for i in 0..slow.len() {
+                out.push(SlowEntry::clone(&slow[(start + i) % slow.len()]));
+            }
+        }
+        out
+    }
+
+    // fastbn: allow(hot-alloc): diagnostic read path.
+    /// The `/traces/recent` JSON document: `{"traces": [{"trace",
+    /// "spans": [{"span","parent","name","start_ns","dur_ns","tag",
+    /// "aux"}]}]}`, most recent trace first.
+    pub fn traces_json(&self, max: usize) -> Json {
+        let traces: Vec<Json> = self
+            .recent_traces(max)
+            .iter()
+            .map(|t| {
+                let spans: Vec<Json> = t
+                    .spans
+                    .iter()
+                    .map(|s| {
+                        Json::obj()
+                            .set("span", s.span)
+                            .set("parent", s.parent)
+                            .set("name", self.name(s.name))
+                            .set("start_ns", s.start_ns)
+                            .set("dur_ns", s.dur_ns)
+                            .set("tag", s.tag)
+                            .set("aux", s.aux)
+                    })
+                    .collect();
+                Json::obj().set("trace", t.trace).set("spans", spans)
+            })
+            .collect();
+        Json::obj().set("traces", traces)
+    }
+
+    // fastbn: allow(hot-alloc): diagnostic read path.
+    /// The `/traces/slow` JSON document: `{"total", "threshold_ns",
+    /// "entries": [{"trace","model","total_ns","queue_ns","compute_ns",
+    /// "batch","sampled","at_ns"}]}`, oldest entry first.
+    pub fn slow_json(&self) -> Json {
+        let entries: Vec<Json> = self
+            .slow_entries()
+            .iter()
+            .map(|e| {
+                Json::obj()
+                    .set("trace", e.trace)
+                    .set("model", e.model.as_str())
+                    .set("total_ns", e.total_ns)
+                    .set("queue_ns", e.queue_ns)
+                    .set("compute_ns", e.compute_ns)
+                    .set("batch", e.batch)
+                    .set("sampled", e.sampled)
+                    .set("at_ns", e.at_ns)
+            })
+            .collect();
+        Json::obj()
+            .set("total", self.slow_total())
+            .set("threshold_ns", self.slow_threshold_ns())
+            .set("entries", entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace: u64, span: u64, parent: u64, name: NameId, start: u64) -> SpanRecord {
+        SpanRecord {
+            trace,
+            span,
+            parent,
+            name,
+            start_ns: start,
+            dur_ns: 10,
+            tag: 0,
+            aux: 0,
+        }
+    }
+
+    #[test]
+    fn spans_round_trip_through_the_ring() {
+        let tracer = Tracer::new(TraceConfig::default());
+        let root = tracer.next_span();
+        let child = tracer.next_span();
+        tracer.record(&rec(7, root, 0, SPAN_REQUEST, 100));
+        tracer.record(&rec(7, child, root, SPAN_COMPUTE, 120));
+        let traces = tracer.recent_traces(10);
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].trace, 7);
+        assert_eq!(traces[0].spans.len(), 2);
+        assert_eq!(traces[0].spans[0].name, SPAN_REQUEST);
+        assert_eq!(traces[0].spans[1].parent, root);
+        assert_eq!(tracer.spans_recorded(), 2);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_spans() {
+        let tracer = Tracer::new(TraceConfig {
+            ring_capacity: 8,
+            ..TraceConfig::default()
+        });
+        for i in 0..20u64 {
+            tracer.record(&rec(1, i + 1, 0, SPAN_COMPUTE, i));
+        }
+        let spans = tracer.recent_spans();
+        assert_eq!(spans.len(), 8, "capacity bounds retained spans");
+        // Only the newest 8 remain.
+        let min_start = spans.iter().map(|s| s.start_ns).min().unwrap();
+        assert_eq!(min_start, 12);
+        assert_eq!(tracer.spans_recorded(), 20);
+    }
+
+    #[test]
+    fn head_sampling_is_one_in_n() {
+        let tracer = Tracer::new(TraceConfig {
+            sample_every: 4,
+            ..TraceConfig::default()
+        });
+        let sampled = (0..100).filter(|_| tracer.begin_trace().sampled).count();
+        assert_eq!(sampled, 25);
+
+        let never = Tracer::new(TraceConfig {
+            sample_every: 0,
+            ..TraceConfig::default()
+        });
+        assert!((0..50).all(|_| !never.begin_trace().sampled));
+
+        let always = Tracer::new(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        });
+        assert!((0..50).all(|_| always.begin_trace().sampled));
+    }
+
+    #[test]
+    fn trace_ids_are_unique_across_threads() {
+        let tracer = std::sync::Arc::new(Tracer::new(TraceConfig::default()));
+        let mut ids: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let tracer = Arc::clone(&tracer);
+                    scope.spawn(move || {
+                        (0..1000)
+                            .map(|_| tracer.begin_trace().trace)
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4000);
+    }
+
+    #[test]
+    fn slow_log_overwrites_but_counts_exactly() {
+        let tracer = Tracer::new(TraceConfig {
+            slow_capacity: 4,
+            ..TraceConfig::default()
+        });
+        for i in 0..10u64 {
+            tracer.record_slow(SlowEntry {
+                trace: i + 1,
+                model: "m".to_string(),
+                total_ns: 1000 + i,
+                queue_ns: 1,
+                compute_ns: 2,
+                batch: 3,
+                sampled: false,
+                at_ns: i,
+            });
+        }
+        assert_eq!(tracer.slow_total(), 10);
+        let entries = tracer.slow_entries();
+        assert_eq!(entries.len(), 4);
+        // Oldest-first, the newest four retained.
+        let traces: Vec<u64> = entries.iter().map(|e| e.trace).collect();
+        assert_eq!(traces, [7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn interning_round_trips_and_reuses_ids() {
+        let tracer = Tracer::new(TraceConfig::default());
+        assert_eq!(tracer.intern("compute"), SPAN_COMPUTE);
+        let alarm = tracer.intern("model.alarm");
+        assert_eq!(tracer.intern("model.alarm"), alarm);
+        let other = tracer.intern("model.insurance");
+        assert_ne!(alarm, other);
+        assert_eq!(tracer.name(alarm), "model.alarm");
+        assert_eq!(tracer.name(SPAN_COLLECT), "collect");
+        assert_eq!(tracer.name(NameId(9999)), "?");
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_spans() {
+        let tracer = Arc::new(Tracer::new(TraceConfig {
+            ring_capacity: 16,
+            ..TraceConfig::default()
+        }));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let writer_tracer = Arc::clone(&tracer);
+            let writer_stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !writer_stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    // A self-consistent record: all payload words equal.
+                    writer_tracer.record(&SpanRecord {
+                        trace: i,
+                        span: i,
+                        parent: i,
+                        name: NameId(0),
+                        start_ns: i,
+                        dur_ns: i,
+                        tag: i,
+                        aux: i,
+                    });
+                }
+            });
+            for _ in 0..3 {
+                let reader_tracer = Arc::clone(&tracer);
+                scope.spawn(move || {
+                    for _ in 0..2000 {
+                        for s in reader_tracer.recent_spans() {
+                            assert!(
+                                s.trace == s.span
+                                    && s.span == s.parent
+                                    && s.parent == s.start_ns
+                                    && s.start_ns == s.dur_ns
+                                    && s.dur_ns == s.tag
+                                    && s.tag == s.aux,
+                                "torn span escaped the seqlock: {s:?}"
+                            );
+                        }
+                    }
+                });
+            }
+            // Give the verification threads time against a live writer.
+            std::thread::sleep(Duration::from_millis(50));
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn json_documents_parse_and_carry_names() {
+        let tracer = Tracer::new(TraceConfig::default());
+        let root = tracer.next_span();
+        tracer.record(&rec(42, root, 0, SPAN_REQUEST, 5));
+        tracer.record_slow(SlowEntry {
+            trace: 42,
+            model: "alarm".to_string(),
+            total_ns: 123,
+            queue_ns: 4,
+            compute_ns: 5,
+            batch: 6,
+            sampled: true,
+            at_ns: 7,
+        });
+        let traces = tracer.traces_json(10);
+        let parsed = Json::parse(&traces.to_pretty()).unwrap();
+        let list = parsed.get("traces").unwrap().as_arr().unwrap();
+        assert_eq!(list[0].get("trace").unwrap().as_u64(), Some(42));
+        let span = &list[0].get("spans").unwrap().as_arr().unwrap()[0];
+        assert_eq!(span.get("name").unwrap().as_str(), Some("request"));
+
+        let slow = tracer.slow_json();
+        let parsed = Json::parse(&slow.to_pretty()).unwrap();
+        assert_eq!(parsed.get("total").unwrap().as_u64(), Some(1));
+        let entry = &parsed.get("entries").unwrap().as_arr().unwrap()[0];
+        assert_eq!(entry.get("model").unwrap().as_str(), Some("alarm"));
+        assert_eq!(entry.get("sampled"), Some(&Json::Bool(true)));
+    }
+}

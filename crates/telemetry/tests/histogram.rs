@@ -183,3 +183,39 @@ fn snapshot_is_consistent_under_8_recording_threads() {
     );
     assert_eq!(final_snap.counts.iter().sum::<u64>(), final_snap.count);
 }
+
+/// The `sum` register (exported as Prometheus `_sum`, and feeding
+/// `mean()`) is an exact tally, not a bucket-derived approximation:
+/// with many threads recording known values concurrently, the settled
+/// snapshot's sum must equal the arithmetic total to the last unit.
+#[test]
+fn concurrent_sum_is_exact_at_quiescence() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let h = Histogram::new();
+
+    // Thread t records t*PER_THREAD + i for i in 0..PER_THREAD, so the
+    // expected total has a closed form and every value is distinct —
+    // a lost or double-counted add changes the sum, not just the count.
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+
+    let n = THREADS * PER_THREAD;
+    let expected: u64 = n * (n - 1) / 2; // sum of 0..n, each recorded once
+    let snap = h.snapshot();
+    assert_eq!(snap.count, n, "every record counted");
+    assert_eq!(snap.sum, expected, "sum must be exact, not approximated");
+    assert_eq!(
+        snap.mean(),
+        expected as f64 / n as f64,
+        "mean derives from the exact sum"
+    );
+}

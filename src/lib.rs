@@ -161,6 +161,7 @@ pub use fastbn_serve as serve;
 pub use fastbn_telemetry as telemetry;
 
 pub use fastbn_bayesnet::{BayesianNetwork, Evidence, NetworkBuilder, VarId, Variable};
+pub use fastbn_inference::trace::TraceContext;
 pub use fastbn_inference::{
     make_engine, CacheConfig, CacheStats, DirectJt, ElementJt, EngineKind, EvidenceDelta, HybridJt,
     InferenceEngine, InferenceError, LikelihoodDefect, LiveSession, MpeResult, OwnedSession,
@@ -179,7 +180,8 @@ pub use fastbn_serve::{
     SINGLE_MODEL_ID,
 };
 pub use fastbn_telemetry::{
-    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    prometheus_text, Counter, Histogram, HistogramSnapshot, Introspection, IntrospectionBuilder,
+    MetricsRegistry, MetricsSnapshot, SlowEntry, SpanRecord, TraceConfig, TraceView, Tracer,
 };
 
 #[allow(deprecated)]
